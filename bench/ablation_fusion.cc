@@ -1,0 +1,135 @@
+/// \file ablation_fusion.cc
+/// \brief Ablation study behind the paper's headline claim: how does
+/// retrieval precision change as features are added to the fusion, and
+/// how much does the normalization strategy matter?
+///
+/// Not a table in the paper, but the design choice (multi-feature
+/// combination) the paper's conclusion rests on; DESIGN.md calls this
+/// out as the ablation bench.
+///
+///   ./ablation_fusion [videos_per_category] [queries_per_category]
+
+#include <cstdio>
+#include <iostream>
+
+#include "eval/corpus.h"
+#include "eval/table1_runner.h"
+#include "eval/user_study.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace {
+
+/// Precision@20 of the combined ranking with only the given features
+/// enabled.
+vr::Result<double> CombinedPrecision(
+    const std::vector<vr::FeatureKind>& features,
+    vr::NormalizationKind normalization, int videos_per_category,
+    int queries_per_category, uint64_t seed) {
+  const std::string dir = "/tmp/vretrieve_ablation";
+  vr::RemoveDirRecursive(dir);
+  vr::EngineOptions options;
+  options.enabled_features = features;
+  options.normalization = normalization;
+  options.store_video_blob = false;
+  VR_ASSIGN_OR_RETURN(auto engine, vr::RetrievalEngine::Open(dir, options));
+  vr::CorpusSpec corpus;
+  corpus.videos_per_category = videos_per_category;
+  corpus.width = 128;
+  corpus.height = 96;
+  corpus.seed = seed;
+  VR_ASSIGN_OR_RETURN(vr::CorpusInfo info,
+                      vr::BuildCorpus(engine.get(), corpus));
+  std::vector<double> precisions;
+  for (int c = 0; c < vr::kNumCategories; ++c) {
+    const auto category = static_cast<vr::VideoCategory>(c);
+    for (int q = 0; q < queries_per_category; ++q) {
+      VR_ASSIGN_OR_RETURN(
+          vr::Image query,
+          vr::MakeQueryFrame(corpus, category,
+                             7000 + static_cast<uint64_t>(c) * 100 +
+                                 static_cast<uint64_t>(q)));
+      VR_ASSIGN_OR_RETURN(auto results, engine->QueryByImage(query, 20));
+      size_t hits = 0;
+      for (const auto& r : results) {
+        if (info.CategoryOf(r.v_id) == category) ++hits;
+      }
+      precisions.push_back(static_cast<double>(hits) / 20.0);
+    }
+  }
+  double mean = 0;
+  for (double p : precisions) mean += p;
+  return mean / static_cast<double>(precisions.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int videos =
+      argc > 1 ? static_cast<int>(vr::ParseInt64(argv[1]).ValueOr(4)) : 4;
+  const int queries =
+      argc > 2 ? static_cast<int>(vr::ParseInt64(argv[2]).ValueOr(4)) : 4;
+  const uint64_t seed = 77;
+
+  std::printf("=== Ablation: feature fusion (precision@20, combined) ===\n\n");
+
+  // Cumulative feature sets, cheapest first.
+  const std::vector<std::pair<const char*, std::vector<vr::FeatureKind>>>
+      sets = {
+          {"histogram only", {vr::FeatureKind::kColorHistogram}},
+          {"+ naive signature",
+           {vr::FeatureKind::kColorHistogram,
+            vr::FeatureKind::kNaiveSignature}},
+          {"+ glcm",
+           {vr::FeatureKind::kColorHistogram,
+            vr::FeatureKind::kNaiveSignature, vr::FeatureKind::kGlcm}},
+          {"+ tamura",
+           {vr::FeatureKind::kColorHistogram,
+            vr::FeatureKind::kNaiveSignature, vr::FeatureKind::kGlcm,
+            vr::FeatureKind::kTamura}},
+          {"+ gabor",
+           {vr::FeatureKind::kColorHistogram,
+            vr::FeatureKind::kNaiveSignature, vr::FeatureKind::kGlcm,
+            vr::FeatureKind::kTamura, vr::FeatureKind::kGabor}},
+          {"+ correlogram",
+           {vr::FeatureKind::kColorHistogram,
+            vr::FeatureKind::kNaiveSignature, vr::FeatureKind::kGlcm,
+            vr::FeatureKind::kTamura, vr::FeatureKind::kGabor,
+            vr::FeatureKind::kAutoCorrelogram}},
+          {"all seven",
+           {vr::FeatureKind::kColorHistogram,
+            vr::FeatureKind::kNaiveSignature, vr::FeatureKind::kGlcm,
+            vr::FeatureKind::kTamura, vr::FeatureKind::kGabor,
+            vr::FeatureKind::kAutoCorrelogram,
+            vr::FeatureKind::kRegionGrowing}},
+      };
+
+  vr::TablePrinter table({"feature set", "precision@20"});
+  for (const auto& [label, features] : sets) {
+    auto p = CombinedPrecision(features, vr::NormalizationKind::kMinMax,
+                               videos, queries, seed);
+    if (!p.ok()) {
+      std::fprintf(stderr, "%s: %s\n", label, p.status().ToString().c_str());
+      return 1;
+    }
+    table.AddRow(label, {*p});
+  }
+  table.Print(std::cout);
+
+  std::printf("\n=== Ablation: score normalization (all seven features) ===\n\n");
+  vr::TablePrinter norm_table({"normalization", "precision@20"});
+  for (auto [kind, name] :
+       {std::make_pair(vr::NormalizationKind::kMinMax, "min-max"),
+        std::make_pair(vr::NormalizationKind::kGaussian, "gaussian"),
+        std::make_pair(vr::NormalizationKind::kRank, "rank")}) {
+    auto p = CombinedPrecision(sets.back().second, kind, videos, queries,
+                               seed);
+    if (!p.ok()) {
+      std::fprintf(stderr, "%s: %s\n", name, p.status().ToString().c_str());
+      return 1;
+    }
+    norm_table.AddRow(name, {*p});
+  }
+  norm_table.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,64 @@
+/// \file micro_features.cc
+/// \brief google-benchmark microbenchmarks for the seven feature
+/// extractors and their distances.
+
+#include <benchmark/benchmark.h>
+
+#include "features/extractor_registry.h"
+#include "imaging/draw.h"
+#include "util/rng.h"
+
+namespace {
+
+vr::Image BenchImage(int w, int h, uint64_t seed) {
+  vr::Rng rng(seed);
+  vr::Image img(w, h, 3);
+  vr::FillVerticalGradient(&img, {40, 70, 120}, {200, 180, 90});
+  vr::DrawStripes(&img, 9, 35.0, {90, 40, 40}, {40, 90, 40});
+  vr::AddGaussianNoise(&img, 6.0, &rng);
+  return img;
+}
+
+void BM_Extract(benchmark::State& state) {
+  const auto kind = static_cast<vr::FeatureKind>(state.range(0));
+  const int size = static_cast<int>(state.range(1));
+  auto extractor = vr::MakeExtractor(kind);
+  const vr::Image img = BenchImage(size, size * 3 / 4, 1);
+  for (auto _ : state) {
+    auto fv = extractor->Extract(img);
+    benchmark::DoNotOptimize(fv);
+  }
+  state.SetLabel(vr::FeatureKindName(kind));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Extract)
+    ->ArgsProduct({{0, 1, 2, 3, 4, 5, 6}, {128, 256}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Distance(benchmark::State& state) {
+  const auto kind = static_cast<vr::FeatureKind>(state.range(0));
+  auto extractor = vr::MakeExtractor(kind);
+  const vr::FeatureVector a =
+      extractor->Extract(BenchImage(160, 120, 2)).value();
+  const vr::FeatureVector b =
+      extractor->Extract(BenchImage(160, 120, 3)).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(extractor->Distance(a, b));
+  }
+  state.SetLabel(vr::FeatureKindName(kind));
+}
+BENCHMARK(BM_Distance)->DenseRange(0, 6);
+
+void BM_FeatureStringRoundTrip(benchmark::State& state) {
+  auto extractor = vr::MakeExtractor(vr::FeatureKind::kGabor);
+  const vr::FeatureVector fv =
+      extractor->Extract(BenchImage(128, 96, 4)).value();
+  for (auto _ : state) {
+    const std::string s = fv.ToString();
+    auto back = vr::FeatureVector::FromString(s);
+    benchmark::DoNotOptimize(back);
+  }
+}
+BENCHMARK(BM_FeatureStringRoundTrip);
+
+}  // namespace

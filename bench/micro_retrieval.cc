@@ -1,0 +1,102 @@
+/// \file micro_retrieval.cc
+/// \brief Microbenchmarks for the retrieval path: key-frame extraction,
+/// index-pruned vs full-scan queries, DTW video similarity.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "eval/table1_runner.h"  // RemoveDirRecursive
+#include "keyframe/keyframe_extractor.h"
+#include "retrieval/engine.h"
+#include "similarity/dtw.h"
+#include "video/synth/generator.h"
+
+namespace {
+
+std::vector<vr::Image> BenchVideo(vr::VideoCategory category, uint64_t seed) {
+  vr::SyntheticVideoSpec spec;
+  spec.category = category;
+  spec.width = 128;
+  spec.height = 96;
+  spec.num_scenes = 3;
+  spec.frames_per_scene = 10;
+  spec.seed = seed;
+  return vr::GenerateVideoFrames(spec).value();
+}
+
+/// Builds a shared engine with a small corpus once per benchmark run.
+vr::RetrievalEngine* SharedEngine(bool use_index) {
+  static std::unique_ptr<vr::RetrievalEngine> engine_with_index;
+  static std::unique_ptr<vr::RetrievalEngine> engine_no_index;
+  auto& slot = use_index ? engine_with_index : engine_no_index;
+  if (!slot) {
+    const std::string dir = use_index ? "/tmp/vretrieve_bench_q_idx"
+                                      : "/tmp/vretrieve_bench_q_noidx";
+    vr::RemoveDirRecursive(dir);
+    vr::EngineOptions options;
+    options.enabled_features = {vr::FeatureKind::kColorHistogram,
+                                vr::FeatureKind::kGlcm,
+                                vr::FeatureKind::kNaiveSignature};
+    options.use_index = use_index;
+    options.store_video_blob = false;
+    slot = vr::RetrievalEngine::Open(dir, options).value();
+    for (int c = 0; c < vr::kNumCategories; ++c) {
+      for (int v = 0; v < 4; ++v) {
+        (void)slot->IngestFrames(
+            BenchVideo(static_cast<vr::VideoCategory>(c),
+                       100 + static_cast<uint64_t>(c) * 10 +
+                           static_cast<uint64_t>(v)),
+            "bench");
+      }
+    }
+  }
+  return slot.get();
+}
+
+void BM_KeyFrameExtraction(benchmark::State& state) {
+  const auto frames = BenchVideo(vr::VideoCategory::kSports, 1);
+  vr::KeyFrameExtractor extractor;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(extractor.Extract(frames));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(frames.size()));
+}
+BENCHMARK(BM_KeyFrameExtraction)->Unit(benchmark::kMillisecond);
+
+void BM_QueryByImage(benchmark::State& state) {
+  vr::RetrievalEngine* engine = SharedEngine(state.range(0) != 0);
+  const vr::Image query = BenchVideo(vr::VideoCategory::kMovie, 999)[5];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine->QueryByImage(query, 20));
+  }
+  state.SetLabel(state.range(0) != 0 ? "index" : "full-scan");
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QueryByImage)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_QueryByVideoDtw(benchmark::State& state) {
+  vr::RetrievalEngine* engine = SharedEngine(true);
+  const auto query = BenchVideo(vr::VideoCategory::kCartoon, 998);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine->QueryByVideo(query, 5));
+  }
+}
+BENCHMARK(BM_QueryByVideoDtw)->Unit(benchmark::kMillisecond);
+
+void BM_DtwScalar(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<double> a(n);
+  std::vector<double> b(n);
+  for (size_t i = 0; i < n; ++i) {
+    a[i] = std::sin(0.1 * static_cast<double>(i));
+    b[i] = std::sin(0.1 * static_cast<double>(i) + 0.5);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vr::DtwDistanceScalar(a, b));
+  }
+}
+BENCHMARK(BM_DtwScalar)->Arg(64)->Arg(512);
+
+}  // namespace

@@ -1,0 +1,137 @@
+/// \file micro_storage.cc
+/// \brief Microbenchmarks for the storage engine: B+tree, heap file,
+/// blob store, table inserts/gets, WAL append.
+
+#include <benchmark/benchmark.h>
+#include <sys/stat.h>
+
+#include "eval/table1_runner.h"  // RemoveDirRecursive
+#include "storage/table.h"
+#include "storage/wal.h"
+#include "util/rng.h"
+
+namespace {
+
+std::string BenchDir(const char* name) {
+  const std::string dir = std::string("/tmp/vretrieve_bench_") + name;
+  vr::RemoveDirRecursive(dir);
+  mkdir(dir.c_str(), 0755);
+  return dir;
+}
+
+void BM_BPlusTreeInsert(benchmark::State& state) {
+  const std::string dir = BenchDir("bt_insert");
+  int64_t key = 0;
+  auto pager = vr::Pager::Open(dir + "/bt.vpg", true).value();
+  auto tree = vr::BPlusTree::Open(pager.get()).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tree->Insert(key++, vr::Rid{1, 0}).ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BPlusTreeInsert);
+
+void BM_BPlusTreeLookup(benchmark::State& state) {
+  const std::string dir = BenchDir("bt_lookup");
+  auto pager = vr::Pager::Open(dir + "/bt.vpg", true).value();
+  auto tree = vr::BPlusTree::Open(pager.get()).value();
+  const int64_t n = state.range(0);
+  for (int64_t k = 0; k < n; ++k) {
+    (void)tree->Insert(k, vr::Rid{1, 0});
+  }
+  vr::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree->Get(rng.UniformInt(0, n - 1)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BPlusTreeLookup)->Arg(1000)->Arg(100000);
+
+void BM_HeapInsert(benchmark::State& state) {
+  const std::string dir = BenchDir("heap_insert");
+  auto pager = vr::Pager::Open(dir + "/heap.vpg", true).value();
+  auto heap = vr::HeapFile::Open(pager.get()).value();
+  const std::vector<uint8_t> record(static_cast<size_t>(state.range(0)), 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(heap->Insert(record));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HeapInsert)->Arg(64)->Arg(1024);
+
+void BM_BlobPutGet(benchmark::State& state) {
+  const std::string dir = BenchDir("blob");
+  auto pager = vr::Pager::Open(dir + "/blob.vpg", true).value();
+  vr::BlobStore store(pager.get());
+  const std::vector<uint8_t> blob(static_cast<size_t>(state.range(0)), 0x5A);
+  for (auto _ : state) {
+    const vr::BlobRef ref = store.Put(blob).value();
+    benchmark::DoNotOptimize(store.Get(ref));
+    (void)store.Delete(ref);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0) * 2);
+}
+BENCHMARK(BM_BlobPutGet)->Arg(8 << 10)->Arg(256 << 10);
+
+void BM_TableInsert(benchmark::State& state) {
+  const std::string dir = BenchDir("table_insert");
+  vr::Schema schema =
+      vr::Schema::Create(
+          {
+              {"ID", vr::ColumnType::kInt64, false},
+              {"NAME", vr::ColumnType::kText, true},
+              {"FEAT", vr::ColumnType::kText, true},
+          },
+          "ID")
+          .value();
+  auto table = vr::Table::Open(dir, "t", schema, true).value();
+  const std::string feature(400, 'f');
+  int64_t id = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        table->Insert({vr::Value(id++), vr::Value("row"),
+                       vr::Value(feature)}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TableInsert);
+
+void BM_TableGet(benchmark::State& state) {
+  const std::string dir = BenchDir("table_get");
+  vr::Schema schema =
+      vr::Schema::Create(
+          {
+              {"ID", vr::ColumnType::kInt64, false},
+              {"FEAT", vr::ColumnType::kText, true},
+          },
+          "ID")
+          .value();
+  auto table = vr::Table::Open(dir, "t", schema, true).value();
+  const std::string feature(400, 'f');
+  const int64_t n = 10000;
+  for (int64_t id = 0; id < n; ++id) {
+    (void)table->Insert({vr::Value(id), vr::Value(feature)});
+  }
+  vr::Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table->Get(rng.UniformInt(0, n - 1)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TableGet);
+
+void BM_WalAppendSync(benchmark::State& state) {
+  const std::string dir = BenchDir("wal");
+  auto wal = vr::Wal::Open(dir + "/j.wal").value();
+  const std::vector<uint8_t> payload(512, 1);
+  int64_t pk = 0;
+  for (auto _ : state) {
+    (void)wal->AppendInsert("T", pk++, payload);
+    (void)wal->Sync();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WalAppendSync);
+
+}  // namespace

@@ -1,0 +1,80 @@
+/// \file micro_video.cc
+/// \brief Microbenchmarks for the video substrate: synthesis, container
+/// encode/decode, PackBits.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "video/synth/generator.h"
+#include "video/video_reader.h"
+#include "video/video_writer.h"
+
+namespace {
+
+vr::SyntheticVideoSpec BenchSpec(vr::VideoCategory category) {
+  vr::SyntheticVideoSpec spec;
+  spec.category = category;
+  spec.width = 160;
+  spec.height = 120;
+  spec.num_scenes = 2;
+  spec.frames_per_scene = 10;
+  spec.seed = 9;
+  return spec;
+}
+
+void BM_SynthesizeVideo(benchmark::State& state) {
+  const auto category = static_cast<vr::VideoCategory>(state.range(0));
+  const auto spec = BenchSpec(category);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vr::GenerateVideoFrames(spec));
+  }
+  state.SetLabel(vr::CategoryName(category));
+  state.SetItemsProcessed(state.iterations() * 20);  // frames
+}
+BENCHMARK(BM_SynthesizeVideo)->DenseRange(0, 4)->Unit(benchmark::kMillisecond);
+
+void BM_VideoEncode(benchmark::State& state) {
+  const auto frames =
+      vr::GenerateVideoFrames(BenchSpec(vr::VideoCategory::kCartoon)).value();
+  const std::string path = "/tmp/vretrieve_bench_encode.vsv";
+  for (auto _ : state) {
+    vr::VideoWriter writer;
+    (void)writer.Open(path, 160, 120, 3, 12);
+    for (const vr::Image& f : frames) (void)writer.Append(f);
+    (void)writer.Finish();
+  }
+  std::remove(path.c_str());
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(frames.size()));
+}
+BENCHMARK(BM_VideoEncode)->Unit(benchmark::kMillisecond);
+
+void BM_VideoDecode(benchmark::State& state) {
+  const std::string path = "/tmp/vretrieve_bench_decode.vsv";
+  (void)vr::GenerateVideoFile(BenchSpec(vr::VideoCategory::kSports), path);
+  for (auto _ : state) {
+    vr::VideoReader reader;
+    (void)reader.Open(path);
+    benchmark::DoNotOptimize(reader.ReadAll());
+  }
+  std::remove(path.c_str());
+  state.SetItemsProcessed(state.iterations() * 20);
+}
+BENCHMARK(BM_VideoDecode)->Unit(benchmark::kMillisecond);
+
+void BM_PackBits(benchmark::State& state) {
+  const auto frames =
+      vr::GenerateVideoFrames(BenchSpec(vr::VideoCategory::kELearning))
+          .value();
+  const std::vector<uint8_t>& raw = frames[0].buffer();
+  for (auto _ : state) {
+    const auto encoded = vr::PackBitsEncode(raw);
+    benchmark::DoNotOptimize(vr::PackBitsDecode(encoded, raw.size()));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(raw.size()));
+}
+BENCHMARK(BM_PackBits);
+
+}  // namespace

@@ -1,0 +1,123 @@
+/// \file ingest_admin.cpp
+/// \brief The Administrator role of the paper's use-case diagram:
+/// add, list and delete videos in the store from the command line.
+///
+///   ./ingest_admin <db_dir> add <video.vsv> <name>
+///   ./ingest_admin <db_dir> gen <category> <seed> <name>
+///   ./ingest_admin <db_dir> list
+///   ./ingest_admin <db_dir> del <v_id>
+///   ./ingest_admin <db_dir> stats
+
+#include <cstdio>
+#include <cstring>
+
+#include "retrieval/engine.h"
+#include "util/string_util.h"
+#include "video/synth/generator.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: ingest_admin <db_dir> add <video.vsv> <name>\n"
+               "       ingest_admin <db_dir> gen <category> <seed> <name>\n"
+               "       ingest_admin <db_dir> list\n"
+               "       ingest_admin <db_dir> del <v_id>\n"
+               "       ingest_admin <db_dir> stats\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string dir = argv[1];
+  const std::string cmd = argv[2];
+
+  auto engine_result = vr::RetrievalEngine::Open(dir, vr::EngineOptions{});
+  if (!engine_result.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 engine_result.status().ToString().c_str());
+    return 1;
+  }
+  auto engine = std::move(engine_result).value();
+
+  if (cmd == "add" && argc == 5) {
+    auto v_id = engine->IngestVideoFile(argv[3], argv[4]);
+    if (!v_id.ok()) {
+      std::fprintf(stderr, "ingest failed: %s\n",
+                   v_id.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("ingested '%s' as video %lld\n", argv[4],
+                static_cast<long long>(*v_id));
+  } else if (cmd == "gen" && argc == 6) {
+    vr::SyntheticVideoSpec spec;
+    bool found = false;
+    for (int c = 0; c < vr::kNumCategories; ++c) {
+      if (std::strcmp(argv[3],
+                      vr::CategoryName(static_cast<vr::VideoCategory>(c))) ==
+          0) {
+        spec.category = static_cast<vr::VideoCategory>(c);
+        found = true;
+      }
+    }
+    if (!found) {
+      std::fprintf(stderr, "unknown category '%s'\n", argv[3]);
+      return 1;
+    }
+    spec.width = 160;
+    spec.height = 120;
+    spec.num_scenes = 4;
+    spec.frames_per_scene = 12;
+    spec.seed = static_cast<uint64_t>(vr::ParseInt64(argv[4]).ValueOr(1));
+    const auto frames = vr::GenerateVideoFrames(spec).value();
+    auto v_id = engine->IngestFrames(frames, argv[5]);
+    if (!v_id.ok()) {
+      std::fprintf(stderr, "ingest failed: %s\n",
+                   v_id.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("generated and ingested '%s' (%s) as video %lld\n", argv[5],
+                argv[3], static_cast<long long>(*v_id));
+  } else if (cmd == "list" && argc == 3) {
+    const auto videos = engine->store()->ListVideos().value();
+    std::printf("%-6s %-28s %-12s %-10s\n", "v_id", "name", "stored",
+                "keyframes");
+    for (const auto& v : videos) {
+      const auto ids = engine->store()->KeyFrameIdsOfVideo(v.v_id).value();
+      std::printf("%-6lld %-28s %-12s %-10zu\n",
+                  static_cast<long long>(v.v_id), v.v_name.c_str(),
+                  v.dostore.c_str(), ids.size());
+    }
+  } else if (cmd == "del" && argc == 4) {
+    auto v_id = vr::ParseInt64(argv[3]);
+    if (!v_id.ok()) return Usage();
+    const vr::Status st = engine->RemoveVideo(*v_id);
+    if (!st.ok()) {
+      std::fprintf(stderr, "delete failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("deleted video %lld and its key frames\n",
+                static_cast<long long>(*v_id));
+  } else if (cmd == "stats" && argc == 3) {
+    std::printf("videos:        %llu\n",
+                static_cast<unsigned long long>(
+                    engine->store()->VideoCount().value()));
+    std::printf("key frames:    %llu\n",
+                static_cast<unsigned long long>(
+                    engine->store()->KeyFrameCount().value()));
+    std::printf("journal bytes: %llu\n",
+                static_cast<unsigned long long>(
+                    engine->store()->database()->JournalBytes().value()));
+  } else {
+    return Usage();
+  }
+
+  const vr::Status st = engine->store()->Checkpoint();
+  if (!st.ok()) {
+    std::fprintf(stderr, "checkpoint failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,252 @@
+/// \file search_cli.cpp
+/// \brief Interactive search console over an ingested corpus — the User
+/// role of the paper's Figure 2 use-case diagram and the search screen
+/// of its Figures 9-10, as a terminal UI.
+///
+///   ./search_cli [db_dir]
+///
+/// Commands:
+///   seed                      build a small demo corpus (if empty)
+///   list                      list stored videos
+///   find <substring>          metadata search over video names
+///   query <category> [k]      search with a fresh frame of a category
+///   queryfile <image.ppm> [k] search with an image file
+///   single <feature> <category> rank by one feature only
+///   like <v_id>               mark last results from v_id relevant and
+///                             re-weight features (relevance feedback)
+///   video <v_id>              show a video's key frames
+///   quit
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#include "eval/table1_runner.h"
+#include "imaging/ppm.h"
+#include "retrieval/browse.h"
+#include "retrieval/engine.h"
+#include "retrieval/feedback.h"
+#include "util/string_util.h"
+#include "video/synth/generator.h"
+
+namespace {
+
+vr::Result<vr::VideoCategory> ParseCategory(const std::string& name) {
+  for (int c = 0; c < vr::kNumCategories; ++c) {
+    const auto cat = static_cast<vr::VideoCategory>(c);
+    if (name == vr::CategoryName(cat)) return cat;
+  }
+  return vr::Status::InvalidArgument(
+      "unknown category (use e-learning/sports/cartoon/movie/news)");
+}
+
+vr::Image FreshFrame(vr::VideoCategory category, uint64_t seed) {
+  vr::SyntheticVideoSpec spec;
+  spec.category = category;
+  spec.width = 120;
+  spec.height = 90;
+  spec.num_scenes = 1;
+  spec.frames_per_scene = 3;
+  spec.seed = 0xC0FFEE + seed;
+  return vr::GenerateVideoFrames(spec).value()[1];
+}
+
+void PrintResults(const std::vector<vr::QueryResult>& results,
+                  vr::RetrievalEngine* engine) {
+  std::printf("%-5s %-8s %-8s %-10s\n", "rank", "i_id", "v_id", "score");
+  for (size_t i = 0; i < results.size(); ++i) {
+    std::printf("%-5zu %-8lld %-8lld %-10.4f\n", i + 1,
+                static_cast<long long>(results[i].i_id),
+                static_cast<long long>(results[i].v_id), results[i].score);
+  }
+  const vr::CandidateStats stats = engine->last_candidate_stats();
+  std::printf("(scored %zu of %zu key frames)\n", stats.candidates,
+              stats.total);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string dir = argc > 1 ? argv[1] : "/tmp/vretrieve_search";
+  vr::EngineOptions options;
+  auto engine_result = vr::RetrievalEngine::Open(dir, options);
+  if (!engine_result.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 engine_result.status().ToString().c_str());
+    return 1;
+  }
+  auto engine = std::move(engine_result).value();
+  std::printf("vretrieve search console — %zu key frames indexed in %s\n",
+              engine->indexed_key_frames(), dir.c_str());
+  std::printf("type 'help' for commands\n");
+
+  uint64_t query_counter = 0;
+  std::vector<vr::QueryResult> last_results;
+  std::string line;
+  while (std::printf("> "), std::fflush(stdout),
+         std::getline(std::cin, line)) {
+    const std::vector<std::string> args = vr::SplitWhitespace(line);
+    if (args.empty()) continue;
+    const std::string& cmd = args[0];
+    if (cmd == "quit" || cmd == "exit") break;
+    if (cmd == "help") {
+      std::printf(
+          "  seed | list | find <substr> | query <category> [k]\n"
+          "  queryfile <ppm> [k] | single <feature> <category> [k]\n"
+          "  like <v_id> | sheet <out.ppm> | video <v_id> | quit\n");
+    } else if (cmd == "sheet" && args.size() >= 2) {
+      if (last_results.empty()) {
+        std::printf("run a query first, then: sheet <out.ppm>\n");
+        continue;
+      }
+      auto sheet = vr::RenderResultSheet(engine.get(), last_results);
+      if (!sheet.ok()) {
+        std::printf("%s\n", sheet.status().ToString().c_str());
+        continue;
+      }
+      const vr::Status st = vr::WritePnm(*sheet, args[1]);
+      if (!st.ok()) {
+        std::printf("%s\n", st.ToString().c_str());
+        continue;
+      }
+      std::printf("wrote %s (%dx%d, %zu thumbnails)\n", args[1].c_str(),
+                  sheet->width(), sheet->height(), last_results.size());
+    } else if (cmd == "find" && args.size() >= 2) {
+      auto videos = engine->store()->FindVideosByName(args[1]);
+      if (!videos.ok()) {
+        std::printf("%s\n", videos.status().ToString().c_str());
+        continue;
+      }
+      std::printf("%-6s %-24s %-12s\n", "v_id", "name", "stored");
+      for (const auto& v : *videos) {
+        std::printf("%-6lld %-24s %-12s\n", static_cast<long long>(v.v_id),
+                    v.v_name.c_str(), v.dostore.c_str());
+      }
+    } else if (cmd == "like" && args.size() >= 2) {
+      auto v_id = vr::ParseInt64(args[1]);
+      if (!v_id.ok() || last_results.empty()) {
+        std::printf("run a query first, then: like <v_id>\n");
+        continue;
+      }
+      vr::FeedbackJudgments judgments;
+      for (const vr::QueryResult& r : last_results) {
+        if (r.v_id == *v_id) {
+          judgments.relevant.push_back(r.i_id);
+        } else {
+          judgments.non_relevant.push_back(r.i_id);
+        }
+      }
+      auto weights = vr::ApplyRelevanceFeedback(engine.get(), last_results,
+                                                judgments);
+      if (!weights.ok()) {
+        std::printf("%s\n", weights.status().ToString().c_str());
+        continue;
+      }
+      std::printf("re-weighted features:");
+      for (const auto& [kind, w] : *weights) {
+        std::printf(" %s=%.2f", vr::FeatureKindName(kind), w);
+      }
+      std::printf("\nre-run your query to see the effect\n");
+    } else if (cmd == "seed") {
+      for (int c = 0; c < vr::kNumCategories; ++c) {
+        vr::SyntheticVideoSpec spec;
+        spec.category = static_cast<vr::VideoCategory>(c);
+        spec.width = 120;
+        spec.height = 90;
+        spec.num_scenes = 3;
+        spec.frames_per_scene = 10;
+        spec.seed = 500 + static_cast<uint64_t>(c);
+        const auto frames = vr::GenerateVideoFrames(spec).value();
+        auto v_id = engine->IngestFrames(
+            frames, std::string("seed_") +
+                        vr::CategoryName(spec.category));
+        if (!v_id.ok()) {
+          std::printf("ingest failed: %s\n", v_id.status().ToString().c_str());
+          break;
+        }
+        std::printf("ingested %s as video %lld\n",
+                    vr::CategoryName(spec.category),
+                    static_cast<long long>(*v_id));
+      }
+    } else if (cmd == "list") {
+      const auto videos = engine->store()->ListVideos().value();
+      std::printf("%-6s %-24s %-12s\n", "v_id", "name", "stored");
+      for (const auto& v : videos) {
+        std::printf("%-6lld %-24s %-12s\n", static_cast<long long>(v.v_id),
+                    v.v_name.c_str(), v.dostore.c_str());
+      }
+    } else if (cmd == "query" && args.size() >= 2) {
+      auto category = ParseCategory(args[1]);
+      if (!category.ok()) {
+        std::printf("%s\n", category.status().ToString().c_str());
+        continue;
+      }
+      const size_t k = args.size() > 2
+                           ? static_cast<size_t>(
+                                 vr::ParseInt64(args[2]).ValueOr(10))
+                           : 10;
+      const vr::Image query = FreshFrame(*category, ++query_counter);
+      auto results = engine->QueryByImage(query, k);
+      if (!results.ok()) {
+        std::printf("%s\n", results.status().ToString().c_str());
+        continue;
+      }
+      last_results = *results;
+      PrintResults(*results, engine.get());
+    } else if (cmd == "queryfile" && args.size() >= 2) {
+      auto img = vr::ReadPnm(args[1]);
+      if (!img.ok()) {
+        std::printf("%s\n", img.status().ToString().c_str());
+        continue;
+      }
+      const size_t k = args.size() > 2
+                           ? static_cast<size_t>(
+                                 vr::ParseInt64(args[2]).ValueOr(10))
+                           : 10;
+      auto results = engine->QueryByImage(*img, k);
+      if (!results.ok()) {
+        std::printf("%s\n", results.status().ToString().c_str());
+        continue;
+      }
+      last_results = *results;
+      PrintResults(*results, engine.get());
+    } else if (cmd == "single" && args.size() >= 3) {
+      auto kind = vr::FeatureKindFromName(args[1]);
+      auto category = ParseCategory(args[2]);
+      if (!kind.ok() || !category.ok()) {
+        std::printf("usage: single <feature> <category> [k]\n");
+        continue;
+      }
+      const size_t k = args.size() > 3
+                           ? static_cast<size_t>(
+                                 vr::ParseInt64(args[3]).ValueOr(10))
+                           : 10;
+      const vr::Image query = FreshFrame(*category, ++query_counter);
+      auto results = engine->QueryByImageSingleFeature(query, *kind, k);
+      if (!results.ok()) {
+        std::printf("%s\n", results.status().ToString().c_str());
+        continue;
+      }
+      last_results = *results;
+      PrintResults(*results, engine.get());
+    } else if (cmd == "video" && args.size() >= 2) {
+      auto v_id = vr::ParseInt64(args[1]);
+      if (!v_id.ok()) {
+        std::printf("bad video id\n");
+        continue;
+      }
+      auto ids = engine->store()->KeyFrameIdsOfVideo(*v_id);
+      if (!ids.ok()) {
+        std::printf("%s\n", ids.status().ToString().c_str());
+        continue;
+      }
+      std::printf("video %lld has %zu key frames:",
+                  static_cast<long long>(*v_id), ids->size());
+      for (int64_t i : *ids) std::printf(" %lld", static_cast<long long>(i));
+      std::printf("\n");
+    } else {
+      std::printf("unknown command; type 'help'\n");
+    }
+  }
+  return 0;
+}

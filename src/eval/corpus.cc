@@ -1,0 +1,52 @@
+#include "eval/corpus.h"
+
+#include "util/string_util.h"
+
+namespace vr {
+
+VideoCategory CorpusInfo::CategoryOf(int64_t v_id) const {
+  auto it = video_category.find(v_id);
+  return it != video_category.end() ? it->second : VideoCategory::kMovie;
+}
+
+Result<CorpusInfo> BuildCorpus(RetrievalEngine* engine,
+                               const CorpusSpec& spec) {
+  CorpusInfo info;
+  info.spec = spec;
+  for (int c = 0; c < kNumCategories; ++c) {
+    const VideoCategory category = static_cast<VideoCategory>(c);
+    for (int v = 0; v < spec.videos_per_category; ++v) {
+      SyntheticVideoSpec vs;
+      vs.category = category;
+      vs.width = spec.width;
+      vs.height = spec.height;
+      vs.num_scenes = spec.scenes_per_video;
+      vs.frames_per_scene = spec.frames_per_scene;
+      vs.seed = spec.seed * 1000003ULL + static_cast<uint64_t>(c) * 131 +
+                static_cast<uint64_t>(v);
+      VR_ASSIGN_OR_RETURN(std::vector<Image> frames, GenerateVideoFrames(vs));
+      const std::string name =
+          StringPrintf("%s_%02d", CategoryName(category), v);
+      VR_ASSIGN_OR_RETURN(int64_t v_id, engine->IngestFrames(frames, name));
+      info.video_category.emplace(v_id, category);
+    }
+  }
+  info.key_frames = engine->indexed_key_frames();
+  return info;
+}
+
+Result<Image> MakeQueryFrame(const CorpusSpec& spec, VideoCategory category,
+                             uint64_t query_seed) {
+  SyntheticVideoSpec vs;
+  vs.category = category;
+  vs.width = spec.width;
+  vs.height = spec.height;
+  vs.num_scenes = 1;
+  vs.frames_per_scene = 8;
+  // Offset the seed space so query videos never collide with the corpus.
+  vs.seed = spec.seed * 1000003ULL + 0xDEADBEEFULL + query_seed;
+  VR_ASSIGN_OR_RETURN(std::vector<Image> frames, GenerateVideoFrames(vs));
+  return frames[frames.size() / 2];
+}
+
+}  // namespace vr

@@ -1,0 +1,52 @@
+/// \file corpus.h
+/// \brief Synthetic evaluation corpus with category ground truth.
+///
+/// Substitute for the paper's archive.org video collection: a corpus of
+/// synthetic videos across the five categories, ingested into a
+/// retrieval engine, with relevance ground truth = "retrieved key frame
+/// belongs to a video of the query's category".
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "retrieval/engine.h"
+#include "video/synth/generator.h"
+
+namespace vr {
+
+/// Parameters of the evaluation corpus.
+struct CorpusSpec {
+  int videos_per_category = 8;
+  int width = 160;
+  int height = 120;
+  int scenes_per_video = 4;
+  int frames_per_scene = 18;
+  uint64_t seed = 2012;  ///< the paper's publication year, for fun
+};
+
+/// Ground truth and bookkeeping of an ingested corpus.
+struct CorpusInfo {
+  CorpusSpec spec;
+  /// v_id -> category.
+  std::map<int64_t, VideoCategory> video_category;
+  /// Total key frames ingested.
+  size_t key_frames = 0;
+
+  /// Category of a video id; kMovie if unknown (does not happen for
+  /// corpus-produced ids).
+  VideoCategory CategoryOf(int64_t v_id) const;
+};
+
+/// Generates and ingests the corpus into \p engine.
+Result<CorpusInfo> BuildCorpus(RetrievalEngine* engine,
+                               const CorpusSpec& spec);
+
+/// Generates a held-out query frame of the given category (a frame from
+/// a video not in the corpus, per the user-study protocol).
+Result<Image> MakeQueryFrame(const CorpusSpec& spec, VideoCategory category,
+                             uint64_t query_seed);
+
+}  // namespace vr

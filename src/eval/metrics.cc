@@ -1,0 +1,50 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+
+namespace vr {
+
+double PrecisionAtK(size_t num_retrieved, const RelevanceFn& relevant,
+                    size_t k) {
+  if (k == 0) return 0.0;
+  size_t hits = 0;
+  const size_t upto = std::min(num_retrieved, k);
+  for (size_t i = 0; i < upto; ++i) {
+    if (relevant(i)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+double RecallAtK(size_t num_retrieved, const RelevanceFn& relevant, size_t k,
+                 size_t total_relevant) {
+  if (total_relevant == 0) return 0.0;
+  size_t hits = 0;
+  const size_t upto = std::min(num_retrieved, k);
+  for (size_t i = 0; i < upto; ++i) {
+    if (relevant(i)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(total_relevant);
+}
+
+double AveragePrecision(size_t num_retrieved, const RelevanceFn& relevant,
+                        size_t total_relevant) {
+  if (total_relevant == 0) return 0.0;
+  size_t hits = 0;
+  double acc = 0.0;
+  for (size_t i = 0; i < num_retrieved; ++i) {
+    if (relevant(i)) {
+      ++hits;
+      acc += static_cast<double>(hits) / static_cast<double>(i + 1);
+    }
+  }
+  return acc / static_cast<double>(total_relevant);
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double acc = 0.0;
+  for (double v : values) acc += v;
+  return acc / static_cast<double>(values.size());
+}
+
+}  // namespace vr

@@ -1,0 +1,32 @@
+/// \file metrics.h
+/// \brief Retrieval quality metrics (precision@k and friends).
+
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace vr {
+
+/// Relevance oracle: true when the retrieved item is relevant.
+using RelevanceFn = std::function<bool(size_t rank)>;
+
+/// Precision over the first \p k of \p num_retrieved results;
+/// when fewer than k were retrieved, the denominator stays k (missing
+/// results count as misses, as in the paper's fixed recall points).
+double PrecisionAtK(size_t num_retrieved, const RelevanceFn& relevant,
+                    size_t k);
+
+/// Recall at k given the total number of relevant items in the corpus.
+double RecallAtK(size_t num_retrieved, const RelevanceFn& relevant, size_t k,
+                 size_t total_relevant);
+
+/// Non-interpolated average precision over the ranked list.
+double AveragePrecision(size_t num_retrieved, const RelevanceFn& relevant,
+                        size_t total_relevant);
+
+/// Mean of a vector (0 when empty).
+double Mean(const std::vector<double>& values);
+
+}  // namespace vr

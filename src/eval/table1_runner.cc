@@ -1,0 +1,93 @@
+#include "eval/table1_runner.h"
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace vr {
+
+void RemoveDirRecursive(const std::string& dir) {
+  DIR* d = opendir(dir.c_str());
+  if (d == nullptr) return;
+  struct dirent* entry;
+  while ((entry = readdir(d)) != nullptr) {
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    const std::string path = dir + "/" + name;
+    struct stat st {};
+    if (stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode)) {
+      RemoveDirRecursive(path);
+    } else {
+      std::remove(path.c_str());
+    }
+  }
+  closedir(d);
+  rmdir(dir.c_str());
+}
+
+std::string Table1Result::ToTableString(
+    const std::vector<size_t>& cutoffs) const {
+  std::vector<std::string> headers = {"Metric"};
+  for (const MethodEvaluation& m : methods) headers.push_back(m.method);
+  TablePrinter table(std::move(headers));
+  for (size_t ci = 0; ci < cutoffs.size(); ++ci) {
+    std::vector<std::string> row = {
+        StringPrintf("Avg. prec. at %zu frames", cutoffs[ci])};
+    for (const MethodEvaluation& m : methods) {
+      row.push_back(ci < m.precision_at.size()
+                        ? StringPrintf("%.3f", m.precision_at[ci])
+                        : "-");
+    }
+    table.AddRow(std::move(row));
+  }
+  return table.ToString();
+}
+
+double Table1Result::Precision(const std::string& method,
+                               size_t cutoff_index) const {
+  for (const MethodEvaluation& m : methods) {
+    if (m.method == method && cutoff_index < m.precision_at.size()) {
+      return m.precision_at[cutoff_index];
+    }
+  }
+  return -1.0;
+}
+
+Result<Table1Result> RunTable1(const Table1Options& options) {
+  if (options.fresh) {
+    RemoveDirRecursive(options.db_dir);
+  }
+  EngineOptions engine_options;
+  engine_options.store_video_blob = options.store_video_blob;
+  VR_ASSIGN_OR_RETURN(std::unique_ptr<RetrievalEngine> engine,
+                      RetrievalEngine::Open(options.db_dir, engine_options));
+  VR_ASSIGN_OR_RETURN(CorpusInfo corpus,
+                      BuildCorpus(engine.get(), options.corpus));
+  Table1Result result;
+  // The paper's table: per-feature methods + equal-weight combined.
+  VR_ASSIGN_OR_RETURN(result.methods,
+                      RunUserStudy(engine.get(), corpus, options.study));
+  if (options.fit_weights) {
+    // Extension: fit fusion weights on held-out training queries and
+    // evaluate the fitted combined method on the same study queries.
+    VR_ASSIGN_OR_RETURN(FittedWeights fitted,
+                        FitWeights(engine.get(), corpus, options.fit));
+    ApplyWeights(engine.get(), fitted);
+    result.fitted_weights = fitted.weights;
+    VR_ASSIGN_OR_RETURN(
+        MethodEvaluation fitted_eval,
+        EvaluateCombinedMethod(engine.get(), corpus, options.study,
+                               "combined-fit"));
+    result.methods.push_back(std::move(fitted_eval));
+  }
+  result.key_frames = corpus.key_frames;
+  result.videos = corpus.video_category.size();
+  return result;
+}
+
+}  // namespace vr

@@ -1,0 +1,51 @@
+/// \file table1_runner.h
+/// \brief End-to-end reproduction of the paper's Table 1.
+
+#pragma once
+
+#include <string>
+
+#include "eval/user_study.h"
+#include "eval/weight_fitting.h"
+
+namespace vr {
+
+/// Parameters for a full Table-1 run.
+struct Table1Options {
+  CorpusSpec corpus;
+  UserStudyOptions study;
+  /// Database directory; emptied by the runner before use when
+  /// \p fresh is true.
+  std::string db_dir = "/tmp/vretrieve_table1";
+  bool fresh = true;
+  /// Skip storing video blobs (halves I/O; Table 1 only needs frames).
+  bool store_video_blob = false;
+  /// Fit fusion weights on held-out training queries before evaluating
+  /// the combined method (extension; the paper uses equal weights).
+  bool fit_weights = false;
+  WeightFitOptions fit;
+};
+
+/// Result of a run: the evaluated methods plus corpus statistics.
+struct Table1Result {
+  std::vector<MethodEvaluation> methods;
+  size_t key_frames = 0;
+  size_t videos = 0;
+  /// Populated when Table1Options::fit_weights was set.
+  std::map<FeatureKind, double> fitted_weights;
+
+  /// Renders the paper-style table ("Avg. prec. at N frames" rows,
+  /// one column per method).
+  std::string ToTableString(const std::vector<size_t>& cutoffs) const;
+
+  /// Precision for (method, cutoff index); -1 when missing.
+  double Precision(const std::string& method, size_t cutoff_index) const;
+};
+
+/// Builds the corpus, runs the user study, returns the table.
+Result<Table1Result> RunTable1(const Table1Options& options);
+
+/// Deletes a database directory (helper for fresh runs and tests).
+void RemoveDirRecursive(const std::string& dir);
+
+}  // namespace vr

@@ -1,0 +1,129 @@
+#include "eval/user_study.h"
+
+#include <algorithm>
+
+namespace vr {
+
+namespace {
+
+/// Measures precision at every cutoff for one ranked result list.
+std::vector<double> MeasureCutoffs(const std::vector<QueryResult>& results,
+                                   const CorpusInfo& corpus,
+                                   VideoCategory query_category,
+                                   const UserStudyOptions& options, Rng* judge) {
+  std::vector<double> out;
+  out.reserve(options.cutoffs.size());
+  // Precompute noisy judgments once so every cutoff sees the same judge.
+  std::vector<bool> relevant(results.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    bool truth = corpus.CategoryOf(results[i].v_id) == query_category;
+    if (options.judge_noise > 0 && judge->Bernoulli(options.judge_noise)) {
+      truth = !truth;
+    }
+    relevant[i] = truth;
+  }
+  for (size_t k : options.cutoffs) {
+    out.push_back(PrecisionAtK(
+        results.size(), [&](size_t rank) { return relevant[rank]; }, k));
+  }
+  return out;
+}
+
+/// Builds the study's query set (category, frame) pairs.
+Result<std::vector<std::pair<VideoCategory, Image>>> BuildQuerySet(
+    const CorpusInfo& corpus, const UserStudyOptions& options) {
+  std::vector<std::pair<VideoCategory, Image>> queries;
+  for (int c = 0; c < kNumCategories; ++c) {
+    const VideoCategory category = static_cast<VideoCategory>(c);
+    for (int q = 0; q < options.queries_per_category; ++q) {
+      VR_ASSIGN_OR_RETURN(
+          Image img,
+          MakeQueryFrame(corpus.spec, category,
+                         options.seed * 7919 + static_cast<uint64_t>(c) * 100 +
+                             static_cast<uint64_t>(q)));
+      queries.emplace_back(category, std::move(img));
+    }
+  }
+  return queries;
+}
+
+}  // namespace
+
+Result<MethodEvaluation> EvaluateCombinedMethod(
+    RetrievalEngine* engine, const CorpusInfo& corpus,
+    const UserStudyOptions& options, const std::string& label) {
+  size_t max_cutoff = 0;
+  for (size_t k : options.cutoffs) max_cutoff = std::max(max_cutoff, k);
+  VR_ASSIGN_OR_RETURN(auto queries, BuildQuerySet(corpus, options));
+  Rng judge(options.seed);
+  MethodEvaluation eval;
+  eval.method = label;
+  std::vector<std::vector<double>> per_query;
+  for (const auto& [category, img] : queries) {
+    VR_ASSIGN_OR_RETURN(std::vector<QueryResult> results,
+                        engine->QueryByImage(img, max_cutoff));
+    per_query.push_back(
+        MeasureCutoffs(results, corpus, category, options, &judge));
+  }
+  for (size_t ci = 0; ci < options.cutoffs.size(); ++ci) {
+    std::vector<double> column;
+    for (const auto& row : per_query) column.push_back(row[ci]);
+    eval.precision_at.push_back(Mean(column));
+  }
+  return eval;
+}
+
+Result<std::vector<MethodEvaluation>> RunUserStudy(
+    RetrievalEngine* engine, const CorpusInfo& corpus,
+    const UserStudyOptions& options) {
+  size_t max_cutoff = 0;
+  for (size_t k : options.cutoffs) max_cutoff = std::max(max_cutoff, k);
+
+  // Build the query set once: (category, query image).
+  VR_ASSIGN_OR_RETURN(auto queries, BuildQuerySet(corpus, options));
+
+  std::vector<MethodEvaluation> evaluations;
+  Rng judge(options.seed);
+
+  // Per-feature methods, in the paper's column order.
+  for (FeatureKind kind : Table1FeatureKinds()) {
+    MethodEvaluation eval;
+    eval.method = FeatureKindName(kind);
+    std::vector<std::vector<double>> per_query;
+    for (const auto& [category, img] : queries) {
+      VR_ASSIGN_OR_RETURN(
+          std::vector<QueryResult> results,
+          engine->QueryByImageSingleFeature(img, kind, max_cutoff));
+      per_query.push_back(
+          MeasureCutoffs(results, corpus, category, options, &judge));
+    }
+    for (size_t ci = 0; ci < options.cutoffs.size(); ++ci) {
+      std::vector<double> column;
+      for (const auto& row : per_query) column.push_back(row[ci]);
+      eval.precision_at.push_back(Mean(column));
+    }
+    evaluations.push_back(std::move(eval));
+  }
+
+  // Combined.
+  {
+    MethodEvaluation eval;
+    eval.method = "combined";
+    std::vector<std::vector<double>> per_query;
+    for (const auto& [category, img] : queries) {
+      VR_ASSIGN_OR_RETURN(std::vector<QueryResult> results,
+                          engine->QueryByImage(img, max_cutoff));
+      per_query.push_back(
+          MeasureCutoffs(results, corpus, category, options, &judge));
+    }
+    for (size_t ci = 0; ci < options.cutoffs.size(); ++ci) {
+      std::vector<double> column;
+      for (const auto& row : per_query) column.push_back(row[ci]);
+      eval.precision_at.push_back(Mean(column));
+    }
+    evaluations.push_back(std::move(eval));
+  }
+  return evaluations;
+}
+
+}  // namespace vr

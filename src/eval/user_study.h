@@ -1,0 +1,52 @@
+/// \file user_study.h
+/// \brief Simulated user study over the corpus.
+///
+/// The paper's evaluation is a user study: people judged whether
+/// retrieved frames matched the query. Here the judgment is simulated
+/// with category ground truth (relevant = same category as the query),
+/// optionally with judge noise to model human disagreement.
+
+#pragma once
+
+#include <vector>
+
+#include "eval/corpus.h"
+#include "eval/metrics.h"
+#include "util/rng.h"
+
+namespace vr {
+
+/// Parameters for the simulated study.
+struct UserStudyOptions {
+  /// Queries per category.
+  int queries_per_category = 8;
+  /// Probability a judge flips a judgment (0 = perfect oracle).
+  double judge_noise = 0.0;
+  /// Precision cutoffs to report (the paper's 20/30/50/100).
+  std::vector<size_t> cutoffs = {20, 30, 50, 100};
+  uint64_t seed = 7;
+};
+
+/// Result of evaluating one ranking method.
+struct MethodEvaluation {
+  std::string method;
+  /// Mean precision per cutoff, aligned with UserStudyOptions::cutoffs.
+  std::vector<double> precision_at;
+};
+
+/// Runs the per-feature and combined evaluation over the corpus:
+/// for each query, ranks the stored key frames and measures precision
+/// at the requested cutoffs. Methods evaluated: each kind in
+/// Table1FeatureKinds(), then "combined".
+Result<std::vector<MethodEvaluation>> RunUserStudy(
+    RetrievalEngine* engine, const CorpusInfo& corpus,
+    const UserStudyOptions& options);
+
+/// Evaluates only the combined ranking (with whatever weights the
+/// engine's scorer currently holds), labeled \p label. Used to compare
+/// equal-weight vs fitted fusion on the same query set.
+Result<MethodEvaluation> EvaluateCombinedMethod(
+    RetrievalEngine* engine, const CorpusInfo& corpus,
+    const UserStudyOptions& options, const std::string& label);
+
+}  // namespace vr

@@ -1,0 +1,147 @@
+#include "eval/weight_fitting.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "eval/metrics.h"
+#include "similarity/combined_scorer.h"
+
+namespace vr {
+
+namespace {
+
+/// Precomputed state for one training query: relevance flags plus one
+/// raw-distance column per feature, aligned by candidate.
+struct TrainingQuery {
+  std::vector<bool> relevant;
+  std::map<FeatureKind, std::vector<double>> columns;
+};
+
+/// Precision@cutoff for one weight assignment over all training queries.
+Result<double> EvaluateWeights(const std::vector<TrainingQuery>& queries,
+                               const std::map<FeatureKind, double>& weights,
+                               NormalizationKind normalization,
+                               size_t cutoff) {
+  CombinedScorer scorer;
+  scorer.SetNormalization(normalization);
+  // Zero all weights first, then install the assignment, so features
+  // absent from `weights` do not default to 1.
+  for (int i = 0; i < kNumFeatureKinds; ++i) {
+    scorer.SetWeight(static_cast<FeatureKind>(i), 0.0);
+  }
+  double weight_total = 0.0;
+  for (const auto& [kind, w] : weights) {
+    scorer.SetWeight(kind, w);
+    weight_total += w;
+  }
+  if (weight_total <= 0) return 0.0;  // degenerate assignment: worst score
+
+  std::vector<double> precisions;
+  precisions.reserve(queries.size());
+  for (const TrainingQuery& q : queries) {
+    VR_ASSIGN_OR_RETURN(std::vector<double> combined,
+                        scorer.Combine(q.columns));
+    std::vector<size_t> order(combined.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    const size_t top = std::min(cutoff, order.size());
+    std::partial_sort(order.begin(),
+                      order.begin() + static_cast<ptrdiff_t>(top), order.end(),
+                      [&](size_t a, size_t b) {
+                        return combined[a] < combined[b];
+                      });
+    size_t hits = 0;
+    for (size_t i = 0; i < top; ++i) {
+      if (q.relevant[order[i]]) ++hits;
+    }
+    precisions.push_back(static_cast<double>(hits) /
+                         static_cast<double>(cutoff));
+  }
+  return Mean(precisions);
+}
+
+}  // namespace
+
+Result<FittedWeights> FitWeights(RetrievalEngine* engine,
+                                 const CorpusInfo& corpus,
+                                 const WeightFitOptions& options) {
+  const std::vector<FeatureKind>& features =
+      engine->options().enabled_features;
+  if (features.empty()) {
+    return Status::InvalidArgument("engine has no features to weight");
+  }
+
+  // Build the training set: distance columns come straight from a
+  // full-size query (every candidate carries per-feature distances).
+  std::vector<TrainingQuery> training;
+  for (int c = 0; c < kNumCategories; ++c) {
+    const VideoCategory category = static_cast<VideoCategory>(c);
+    for (int q = 0; q < options.train_queries_per_category; ++q) {
+      VR_ASSIGN_OR_RETURN(
+          Image query,
+          MakeQueryFrame(corpus.spec, category,
+                         options.seed * 6007 + static_cast<uint64_t>(c) * 97 +
+                             static_cast<uint64_t>(q)));
+      VR_ASSIGN_OR_RETURN(
+          std::vector<QueryResult> results,
+          engine->QueryByImage(query, std::numeric_limits<size_t>::max()));
+      if (results.empty()) continue;
+      TrainingQuery tq;
+      tq.relevant.reserve(results.size());
+      for (const QueryResult& r : results) {
+        tq.relevant.push_back(corpus.CategoryOf(r.v_id) == category);
+      }
+      for (FeatureKind kind : features) {
+        std::vector<double> column;
+        column.reserve(results.size());
+        for (const QueryResult& r : results) {
+          const auto it = r.feature_distances.find(kind);
+          column.push_back(it != r.feature_distances.end()
+                               ? it->second
+                               : std::numeric_limits<double>::max());
+        }
+        tq.columns.emplace(kind, std::move(column));
+      }
+      training.push_back(std::move(tq));
+    }
+  }
+  if (training.empty()) {
+    return Status::InvalidArgument("no training queries could be built");
+  }
+
+  // Coordinate ascent from the paper's equal weights.
+  FittedWeights fitted;
+  for (FeatureKind kind : features) fitted.weights[kind] = 1.0;
+  VR_ASSIGN_OR_RETURN(
+      fitted.train_precision,
+      EvaluateWeights(training, fitted.weights,
+                      engine->options().normalization, options.cutoff));
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    for (FeatureKind kind : features) {
+      double best_w = fitted.weights[kind];
+      double best_p = fitted.train_precision;
+      for (double w : options.candidate_weights) {
+        std::map<FeatureKind, double> trial = fitted.weights;
+        trial[kind] = w;
+        VR_ASSIGN_OR_RETURN(
+            double p,
+            EvaluateWeights(training, trial,
+                            engine->options().normalization, options.cutoff));
+        if (p > best_p) {
+          best_p = p;
+          best_w = w;
+        }
+      }
+      fitted.weights[kind] = best_w;
+      fitted.train_precision = best_p;
+    }
+  }
+  return fitted;
+}
+
+void ApplyWeights(RetrievalEngine* engine, const FittedWeights& fitted) {
+  for (const auto& [kind, weight] : fitted.weights) {
+    engine->scorer()->SetWeight(kind, weight);
+  }
+}
+
+}  // namespace vr

@@ -1,0 +1,48 @@
+/// \file weight_fitting.h
+/// \brief Learns fusion weights for the combined scorer.
+///
+/// The paper fuses features with equal weights; this extension fits the
+/// weights by coordinate ascent on a set of training queries that is
+/// disjoint (by seed space) from the evaluation queries. Per-feature
+/// distance columns are computed once per training query, so trying a
+/// weight vector costs only a normalization + weighted sum + sort.
+
+#pragma once
+
+#include <map>
+
+#include "eval/corpus.h"
+
+namespace vr {
+
+/// Options for FitWeights.
+struct WeightFitOptions {
+  /// Training queries per category (seed space disjoint from the
+  /// user-study queries).
+  int train_queries_per_category = 4;
+  /// Coordinate-ascent sweeps over all features.
+  int iterations = 2;
+  /// Weights tried for each feature during a sweep.
+  std::vector<double> candidate_weights = {0.0, 0.25, 0.5, 1.0, 2.0, 4.0};
+  /// Precision cutoff the fit optimizes.
+  size_t cutoff = 20;
+  uint64_t seed = 4242;
+};
+
+/// Result of a fit: the weights and the training precision they reach.
+struct FittedWeights {
+  std::map<FeatureKind, double> weights;
+  double train_precision = 0.0;
+};
+
+/// Fits weights for the features enabled in \p engine, using the corpus
+/// ground truth for relevance. Does not modify the engine; call
+/// ApplyWeights to install the result.
+Result<FittedWeights> FitWeights(RetrievalEngine* engine,
+                                 const CorpusInfo& corpus,
+                                 const WeightFitOptions& options);
+
+/// Installs fitted weights into the engine's combined scorer.
+void ApplyWeights(RetrievalEngine* engine, const FittedWeights& fitted);
+
+}  // namespace vr

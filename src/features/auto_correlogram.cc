@@ -1,0 +1,86 @@
+#include "features/auto_correlogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "imaging/color.h"
+#include "imaging/resize.h"
+
+namespace vr {
+
+AutoColorCorrelogram::AutoColorCorrelogram(int max_distance)
+    : max_distance_(std::clamp(max_distance, 1, 16)) {}
+
+Result<FeatureVector> AutoColorCorrelogram::Extract(const Image& img) const {
+  if (img.empty()) return Status::InvalidArgument("empty image");
+  // Cap the working size: the correlogram is O(pixels * max_distance^2)
+  // and its statistics stabilize well below full resolution.
+  Image work = img;
+  if (work.width() > 256 || work.height() > 256) {
+    const double s = 256.0 / std::max(work.width(), work.height());
+    work = Resize(work, std::max(8, static_cast<int>(work.width() * s)),
+                  std::max(8, static_cast<int>(work.height() * s)),
+                  ResizeFilter::kBilinear);
+  }
+  const int w = work.width();
+  const int h = work.height();
+
+  std::vector<int> quant(static_cast<size_t>(w) * h);
+  std::vector<uint64_t> color_count(kHsvQuantBins, 0);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const int q = QuantizeHsv(RgbToHsv(work.PixelRgb(x, y)));
+      quant[static_cast<size_t>(y) * w + x] = q;
+      ++color_count[static_cast<size_t>(q)];
+    }
+  }
+
+  const int d_max = max_distance_;
+  // counts[c][d-1] = same-color pairs at chessboard distance d;
+  // ring_total[c][d-1] = in-image neighbors inspected from pixels of c.
+  std::vector<double> counts(static_cast<size_t>(kHsvQuantBins) * d_max, 0.0);
+  std::vector<double> ring_total(static_cast<size_t>(kHsvQuantBins) * d_max,
+                                 0.0);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const int c = quant[static_cast<size_t>(y) * w + x];
+      for (int d = 1; d <= d_max; ++d) {
+        const size_t idx =
+            static_cast<size_t>(c) * d_max + static_cast<size_t>(d - 1);
+        // Chessboard ring of radius d: the square boundary.
+        for (int dx = -d; dx <= d; ++dx) {
+          for (int dy = -d; dy <= d; ++dy) {
+            if (std::max(std::abs(dx), std::abs(dy)) != d) continue;
+            const int nx = x + dx;
+            const int ny = y + dy;
+            if (nx < 0 || ny < 0 || nx >= w || ny >= h) continue;
+            ring_total[idx] += 1.0;
+            if (quant[static_cast<size_t>(ny) * w + nx] == c) {
+              counts[idx] += 1.0;
+            }
+          }
+        }
+      }
+    }
+  }
+
+  std::vector<double> feature(static_cast<size_t>(kHsvQuantBins) * d_max, 0.0);
+  for (size_t i = 0; i < feature.size(); ++i) {
+    feature[i] = ring_total[i] > 0 ? counts[i] / ring_total[i] : 0.0;
+  }
+  return FeatureVector(name(), std::move(feature));
+}
+
+double AutoColorCorrelogram::Distance(const FeatureVector& a,
+                                      const FeatureVector& b) const {
+  // The d1 measure of Huang et al.: sum |a-b| / (1 + a + b).
+  const size_t n = std::min(a.size(), b.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    acc += std::fabs(a[i] - b[i]) / (1.0 + a[i] + b[i]);
+  }
+  return acc;
+}
+
+}  // namespace vr

@@ -1,0 +1,32 @@
+/// \file auto_correlogram.h
+/// \brief Auto color correlogram feature (paper §4.7).
+
+#pragma once
+
+#include "features/feature_vector.h"
+
+namespace vr {
+
+/// \brief Auto color correlogram (Huang et al. 1997).
+///
+/// Colors are quantized in HSV space into 256 bins (16 hue x 4 sat x
+/// 4 val, as in the paper's pseudo-code). For each color c and each
+/// chessboard distance d in [1, max_distance], the feature stores the
+/// probability that a pixel at distance d from a pixel of color c also
+/// has color c. Layout: [c0d1..c0dD, c1d1..c1dD, ...], 256 * D values.
+class AutoColorCorrelogram : public FeatureExtractor {
+ public:
+  explicit AutoColorCorrelogram(int max_distance = 4);
+
+  FeatureKind kind() const override { return FeatureKind::kAutoCorrelogram; }
+  Result<FeatureVector> Extract(const Image& img) const override;
+  double Distance(const FeatureVector& a,
+                  const FeatureVector& b) const override;
+
+  int max_distance() const { return max_distance_; }
+
+ private:
+  int max_distance_;
+};
+
+}  // namespace vr

@@ -1,0 +1,47 @@
+#include "features/color_histogram.h"
+
+#include <cmath>
+
+#include "imaging/color.h"
+
+namespace vr {
+
+int SimpleColorHistogram::Quantize(Rgb pixel) const {
+  switch (space_) {
+    case HistogramSpace::kRgb256:
+      // 8 x 8 x 4 levels.
+      return ((pixel.r >> 5) << 5) | ((pixel.g >> 5) << 2) | (pixel.b >> 6);
+    case HistogramSpace::kGray256:
+      return RgbToGray(pixel);
+    case HistogramSpace::kHsv256:
+      return QuantizeHsv(RgbToHsv(pixel));
+  }
+  return 0;
+}
+
+Result<FeatureVector> SimpleColorHistogram::Extract(const Image& img) const {
+  if (img.empty()) return Status::InvalidArgument("empty image");
+  std::vector<double> bins(256, 0.0);
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      bins[static_cast<size_t>(Quantize(img.PixelRgb(x, y)))] += 1.0;
+    }
+  }
+  return FeatureVector(name(), std::move(bins));
+}
+
+double SimpleColorHistogram::Distance(const FeatureVector& a,
+                                      const FeatureVector& b) const {
+  // L1 over L1-normalized histograms, in [0, 2].
+  const double sa = a.Sum();
+  const double sb = b.Sum();
+  if (sa == 0.0 || sb == 0.0) return sa == sb ? 0.0 : 2.0;
+  const size_t n = std::min(a.size(), b.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    acc += std::fabs(a[i] / sa - b[i] / sb);
+  }
+  return acc;
+}
+
+}  // namespace vr

@@ -1,0 +1,28 @@
+/// \file color_moments.h
+/// \brief HSV color moments (extension feature).
+///
+/// Stricker & Orengo's compact color descriptor: mean, standard
+/// deviation and cube-root skewness of each HSV channel — 9 values.
+/// Part of the paper's future-work feature set.
+
+#pragma once
+
+#include "features/feature_vector.h"
+
+namespace vr {
+
+/// \brief First three moments of each HSV channel.
+class ColorMoments : public FeatureExtractor {
+ public:
+  ColorMoments() = default;
+
+  FeatureKind kind() const override { return FeatureKind::kColorMoments; }
+  Result<FeatureVector> Extract(const Image& img) const override;
+  double Distance(const FeatureVector& a,
+                  const FeatureVector& b) const override;
+
+  /// Layout: [mean_h, std_h, skew_h, mean_s, ..., skew_v].
+  static constexpr size_t kDims = 9;
+};
+
+}  // namespace vr

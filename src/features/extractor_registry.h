@@ -1,0 +1,23 @@
+/// \file extractor_registry.h
+/// \brief Factory for the paper's seven feature extractors.
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "features/feature_vector.h"
+
+namespace vr {
+
+/// Creates the extractor for one feature family with default parameters.
+std::unique_ptr<FeatureExtractor> MakeExtractor(FeatureKind kind);
+
+/// Creates all seven extractors, ordered by FeatureKind value.
+std::vector<std::unique_ptr<FeatureExtractor>> MakeAllExtractors();
+
+/// The feature kinds the paper's Table 1 evaluates individually
+/// (all seven, in the paper's column order).
+const std::vector<FeatureKind>& Table1FeatureKinds();
+
+}  // namespace vr

@@ -1,0 +1,105 @@
+#include "features/feature_vector.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace vr {
+
+const char* FeatureKindName(FeatureKind kind) {
+  switch (kind) {
+    case FeatureKind::kColorHistogram:
+      return "histogram";
+    case FeatureKind::kGlcm:
+      return "glcm";
+    case FeatureKind::kGabor:
+      return "gabor";
+    case FeatureKind::kTamura:
+      return "tamura";
+    case FeatureKind::kAutoCorrelogram:
+      return "acc";
+    case FeatureKind::kNaiveSignature:
+      return "naive";
+    case FeatureKind::kRegionGrowing:
+      return "regions";
+    case FeatureKind::kEdgeHistogram:
+      return "edgehist";
+    case FeatureKind::kColorMoments:
+      return "moments";
+    case FeatureKind::kColorSignature:
+      return "colorsig";
+  }
+  return "unknown";
+}
+
+Result<FeatureKind> FeatureKindFromName(const std::string& name) {
+  for (int i = 0; i < kNumFeatureKinds; ++i) {
+    const FeatureKind kind = static_cast<FeatureKind>(i);
+    if (name == FeatureKindName(kind)) return kind;
+  }
+  return Status::InvalidArgument("unknown feature kind: " + name);
+}
+
+std::string FeatureVector::ToString() const {
+  std::string out = type_;
+  out += ' ';
+  out += std::to_string(values_.size());
+  for (double v : values_) {
+    out += ' ';
+    out += FormatDouble(v);
+  }
+  return out;
+}
+
+Result<FeatureVector> FeatureVector::FromString(const std::string& text) {
+  const std::vector<std::string> tokens = SplitWhitespace(text);
+  if (tokens.size() < 2) {
+    return Status::Corruption("feature string too short");
+  }
+  VR_ASSIGN_OR_RETURN(int64_t n, ParseInt64(tokens[1]));
+  if (n < 0 || static_cast<size_t>(n) != tokens.size() - 2) {
+    return Status::Corruption(StringPrintf(
+        "feature string declares %lld values but carries %zu",
+        static_cast<long long>(n), tokens.size() - 2));
+  }
+  std::vector<double> values(static_cast<size_t>(n));
+  for (size_t i = 0; i < values.size(); ++i) {
+    VR_ASSIGN_OR_RETURN(values[i], ParseDouble(tokens[i + 2]));
+  }
+  return FeatureVector(tokens[0], std::move(values));
+}
+
+double FeatureVector::Sum() const {
+  double s = 0.0;
+  for (double v : values_) s += v;
+  return s;
+}
+
+double FeatureVector::Norm() const {
+  double s = 0.0;
+  for (double v : values_) s += v * v;
+  return std::sqrt(s);
+}
+
+void FeatureVector::NormalizeL1() {
+  const double s = Sum();
+  if (s == 0.0) return;
+  for (double& v : values_) v /= s;
+}
+
+double FeatureExtractor::Distance(const FeatureVector& a,
+                                  const FeatureVector& b) const {
+  // Default: L2 over the common prefix; dimension mismatch contributes
+  // the missing mass.
+  const size_t n = std::min(a.size(), b.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  for (size_t i = n; i < a.size(); ++i) acc += a[i] * a[i];
+  for (size_t i = n; i < b.size(); ++i) acc += b[i] * b[i];
+  return std::sqrt(acc);
+}
+
+}  // namespace vr

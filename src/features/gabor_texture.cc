@@ -1,0 +1,87 @@
+#include "features/gabor_texture.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "imaging/color.h"
+#include "imaging/fft.h"
+#include "imaging/resize.h"
+
+namespace vr {
+
+GaborTexture::GaborTexture(int scales, int orientations, int working_size)
+    : scales_(std::max(1, scales)),
+      orientations_(std::max(1, orientations)),
+      working_size_(static_cast<int>(
+          NextPowerOfTwo(static_cast<size_t>(std::max(16, working_size))))) {}
+
+Result<FeatureVector> GaborTexture::Extract(const Image& img) const {
+  if (img.empty()) return Status::InvalidArgument("empty image");
+
+  // Gray, fixed working size, zero-mean unit-variance.
+  const Image small =
+      Resize(ToGray(img), working_size_, working_size_, ResizeFilter::kBilinear);
+  FloatImage f = FloatImage::FromImage(small);
+  double mean = 0.0;
+  for (float v : f.data()) mean += v;
+  mean /= static_cast<double>(f.data().size());
+  double var = 0.0;
+  for (float v : f.data()) {
+    const double d = v - mean;
+    var += d * d;
+  }
+  var /= static_cast<double>(f.data().size());
+  const double inv_std = var > 1e-12 ? 1.0 / std::sqrt(var) : 0.0;
+  for (float& v : f.data()) {
+    v = static_cast<float>((v - mean) * inv_std);
+  }
+
+  ComplexImage spectrum = ToComplexPadded(f, working_size_, working_size_);
+  VR_RETURN_NOT_OK(Fft2D(&spectrum, /*inverse=*/false));
+
+  const int w = spectrum.width;
+  const int h = spectrum.height;
+  const size_t pixels = static_cast<size_t>(w) * h;
+  const double f_max = 0.4;  // highest center frequency (cycles/pixel)
+
+  std::vector<double> feature;
+  feature.reserve(dimensions());
+  ComplexImage response(w, h);
+  for (int m = 0; m < scales_; ++m) {
+    const double f0 = f_max / std::pow(std::sqrt(2.0), m);
+    const double sigma_f = f0 / 2.0;  // isotropic frequency-domain spread
+    for (int n = 0; n < orientations_; ++n) {
+      const double theta = static_cast<double>(n) * M_PI / orientations_;
+      const double u0 = f0 * std::cos(theta);
+      const double v0 = f0 * std::sin(theta);
+      // Apply the one-sided Gaussian transfer function.
+      for (int ky = 0; ky < h; ++ky) {
+        // Wrap to signed normalized frequency in [-0.5, 0.5).
+        const double v = (ky < h / 2 ? ky : ky - h) / static_cast<double>(h);
+        for (int kx = 0; kx < w; ++kx) {
+          const double u = (kx < w / 2 ? kx : kx - w) / static_cast<double>(w);
+          const double du = u - u0;
+          const double dv = v - v0;
+          const double g =
+              std::exp(-(du * du + dv * dv) / (2.0 * sigma_f * sigma_f));
+          response.At(kx, ky) = spectrum.At(kx, ky) * static_cast<float>(g);
+        }
+      }
+      VR_RETURN_NOT_OK(Fft2D(&response, /*inverse=*/true));
+      double mag_mean = 0.0;
+      for (const Complex& c : response.data) mag_mean += std::abs(c);
+      mag_mean /= static_cast<double>(pixels);
+      double mag_var = 0.0;
+      for (const Complex& c : response.data) {
+        const double d = std::abs(c) - mag_mean;
+        mag_var += d * d;
+      }
+      mag_var /= static_cast<double>(pixels);
+      feature.push_back(mag_mean);
+      feature.push_back(std::sqrt(mag_var));
+    }
+  }
+  return FeatureVector(name(), std::move(feature));
+}
+
+}  // namespace vr

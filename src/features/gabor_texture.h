@@ -1,0 +1,39 @@
+/// \file gabor_texture.h
+/// \brief Gabor filter-bank texture feature (paper §4.4).
+
+#pragma once
+
+#include "features/feature_vector.h"
+
+namespace vr {
+
+/// \brief Mean/std of Gabor filter responses over M scales x N orientations.
+///
+/// The paper's feature is 60 values: for each of M=5 scales and N=6
+/// orientations, the mean and the standard deviation of the filter
+/// response magnitude. Filtering runs in the frequency domain: the gray
+/// image is resized to a power-of-two raster, FFT'd once, each filter is
+/// an analytic (one-sided) Gaussian in frequency space, and one inverse
+/// FFT per filter yields the complex response. The input is normalized to
+/// zero mean / unit variance first, for illumination invariance.
+class GaborTexture : public FeatureExtractor {
+ public:
+  GaborTexture(int scales = 5, int orientations = 6, int working_size = 128);
+
+  FeatureKind kind() const override { return FeatureKind::kGabor; }
+  Result<FeatureVector> Extract(const Image& img) const override;
+
+  int scales() const { return scales_; }
+  int orientations() const { return orientations_; }
+  /// Feature dimensionality = 2 * scales * orientations.
+  size_t dimensions() const {
+    return 2 * static_cast<size_t>(scales_) * orientations_;
+  }
+
+ private:
+  int scales_;
+  int orientations_;
+  int working_size_;
+};
+
+}  // namespace vr

@@ -1,0 +1,98 @@
+#include "features/glcm_texture.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "imaging/color.h"
+
+namespace vr {
+
+GlcmTexture::GlcmTexture(int step, int levels)
+    : step_(std::max(1, step)), levels_(std::clamp(levels, 2, 256)) {}
+
+Result<FeatureVector> GlcmTexture::Extract(const Image& img) const {
+  if (img.empty()) return Status::InvalidArgument("empty image");
+  if (img.width() <= step_) {
+    return Status::InvalidArgument("image narrower than GLCM step");
+  }
+  const Image gray = ToGray(img);
+  const int shift = [this] {
+    int s = 0;
+    while ((256 >> s) > levels_) ++s;
+    return s;
+  }();
+  const size_t l = static_cast<size_t>(256 >> shift);
+
+  std::vector<double> glcm(l * l, 0.0);
+  uint64_t pixel_counter = 0;
+  for (int y = 0; y < gray.height(); ++y) {
+    for (int x = 0; x + step_ < gray.width(); ++x) {
+      const size_t a = static_cast<size_t>(gray.At(x, y) >> shift);
+      const size_t b = static_cast<size_t>(gray.At(x + step_, y) >> shift);
+      // Symmetric tabulation, as in the paper.
+      glcm[a * l + b] += 1.0;
+      glcm[b * l + a] += 1.0;
+      pixel_counter += 2;
+    }
+  }
+  if (pixel_counter == 0) return Status::InvalidArgument("degenerate image");
+  for (double& v : glcm) v /= static_cast<double>(pixel_counter);
+
+  double asm_ = 0.0;
+  double contrast = 0.0;
+  double idm = 0.0;
+  double entropy = 0.0;
+  double mean_x = 0.0;
+  double mean_y = 0.0;
+  for (size_t a = 0; a < l; ++a) {
+    for (size_t b = 0; b < l; ++b) {
+      const double p = glcm[a * l + b];
+      if (p == 0.0) continue;
+      asm_ += p * p;
+      const double d = static_cast<double>(a) - static_cast<double>(b);
+      contrast += d * d * p;
+      idm += p / (1.0 + d * d);
+      entropy -= p * std::log(p);
+      mean_x += static_cast<double>(a) * p;
+      mean_y += static_cast<double>(b) * p;
+    }
+  }
+  double var_x = 0.0;
+  double var_y = 0.0;
+  double cov = 0.0;
+  for (size_t a = 0; a < l; ++a) {
+    for (size_t b = 0; b < l; ++b) {
+      const double p = glcm[a * l + b];
+      if (p == 0.0) continue;
+      const double dx = static_cast<double>(a) - mean_x;
+      const double dy = static_cast<double>(b) - mean_y;
+      var_x += dx * dx * p;
+      var_y += dy * dy * p;
+      cov += dx * dy * p;
+    }
+  }
+  const double denom = std::sqrt(var_x) * std::sqrt(var_y);
+  const double correlation = denom > 0 ? cov / denom : 0.0;
+
+  return FeatureVector(
+      name(), {static_cast<double>(pixel_counter), asm_, contrast, correlation,
+               idm, entropy});
+}
+
+double GlcmTexture::Distance(const FeatureVector& a,
+                             const FeatureVector& b) const {
+  // Canberra distance over the five texture statistics (pixelCounter is a
+  // size artifact, not texture); robust to the very different scales of
+  // ASM (~1e-2) vs contrast (~1e2).
+  double acc = 0.0;
+  const size_t n = std::min(a.size(), b.size());
+  for (size_t i = kAsm; i < n && i < kStatCount; ++i) {
+    const double num = std::fabs(a[i] - b[i]);
+    const double den = std::fabs(a[i]) + std::fabs(b[i]);
+    if (den > 0) acc += num / den;
+  }
+  return acc;
+}
+
+}  // namespace vr

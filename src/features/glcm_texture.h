@@ -1,0 +1,45 @@
+/// \file glcm_texture.h
+/// \brief Gray-level co-occurrence matrix texture feature (paper §4.3).
+
+#pragma once
+
+#include "features/feature_vector.h"
+
+namespace vr {
+
+/// \brief GLCM texture statistics.
+///
+/// Builds the symmetric gray-level co-occurrence matrix at the given
+/// pixel offset and emits the paper's six values in order:
+/// [pixelCounter, ASM (energy), contrast, correlation, IDM (homogeneity),
+/// entropy]. The paper's pseudo-code accumulates correlation with a
+/// partial-sum denominator (a transcription bug); we compute the standard
+/// normalized correlation in [-1, 1].
+class GlcmTexture : public FeatureExtractor {
+ public:
+  /// \p step is the horizontal co-occurrence offset (the paper's `step`).
+  /// \p levels quantizes gray values to reduce matrix sparsity.
+  explicit GlcmTexture(int step = 1, int levels = 256);
+
+  FeatureKind kind() const override { return FeatureKind::kGlcm; }
+  Result<FeatureVector> Extract(const Image& img) const override;
+  double Distance(const FeatureVector& a,
+                  const FeatureVector& b) const override;
+
+  /// Positions of the stats within the feature vector.
+  enum : size_t {
+    kPixelCounter = 0,
+    kAsm = 1,
+    kContrast = 2,
+    kCorrelation = 3,
+    kIdm = 4,
+    kEntropy = 5,
+    kStatCount = 6,
+  };
+
+ private:
+  int step_;
+  int levels_;
+};
+
+}  // namespace vr

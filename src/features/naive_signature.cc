@@ -1,0 +1,61 @@
+#include "features/naive_signature.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "imaging/resize.h"
+
+namespace vr {
+
+NaiveSignature::NaiveSignature(int base_size, int sample_size)
+    : base_size_(std::max(25, base_size)),
+      sample_size_(std::max(1, sample_size)) {}
+
+Result<FeatureVector> NaiveSignature::Extract(const Image& img) const {
+  if (img.empty()) return Status::InvalidArgument("empty image");
+  const Image scaled =
+      Resize(img, base_size_, base_size_, ResizeFilter::kNearest);
+
+  std::vector<double> feature;
+  feature.reserve(static_cast<size_t>(kPoints) * 3);
+  for (int gy = 0; gy < kGrid; ++gy) {
+    const double py = (2.0 * gy + 1.0) / (2.0 * kGrid);  // 0.1, 0.3, ...
+    for (int gx = 0; gx < kGrid; ++gx) {
+      const double px = (2.0 * gx + 1.0) / (2.0 * kGrid);
+      const int cx = static_cast<int>(px * base_size_);
+      const int cy = static_cast<int>(py * base_size_);
+      double accum[3] = {0.0, 0.0, 0.0};
+      int num = 0;
+      for (int y = cy - sample_size_; y < cy + sample_size_; ++y) {
+        for (int x = cx - sample_size_; x < cx + sample_size_; ++x) {
+          if (!scaled.Contains(x, y)) continue;
+          const Rgb p = scaled.PixelRgb(x, y);
+          accum[0] += p.r;
+          accum[1] += p.g;
+          accum[2] += p.b;
+          ++num;
+        }
+      }
+      if (num == 0) num = 1;
+      feature.push_back(accum[0] / num);
+      feature.push_back(accum[1] / num);
+      feature.push_back(accum[2] / num);
+    }
+  }
+  return FeatureVector(name(), std::move(feature));
+}
+
+double NaiveSignature::Distance(const FeatureVector& a,
+                                const FeatureVector& b) const {
+  const size_t n = std::min(a.size(), b.size()) / 3;
+  double acc = 0.0;
+  for (size_t p = 0; p < n; ++p) {
+    const double dr = a[3 * p] - b[3 * p];
+    const double dg = a[3 * p + 1] - b[3 * p + 1];
+    const double db = a[3 * p + 2] - b[3 * p + 2];
+    acc += std::sqrt(dr * dr + dg * dg + db * db);
+  }
+  return acc;
+}
+
+}  // namespace vr

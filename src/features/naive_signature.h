@@ -1,0 +1,39 @@
+/// \file naive_signature.h
+/// \brief Superficial (naive) 25-point color signature (paper §4.6).
+
+#pragma once
+
+#include "features/feature_vector.h"
+
+namespace vr {
+
+/// \brief 25 mean-color samples on a 5x5 grid over the rescaled image.
+///
+/// The paper rescales to 300x300 (nearest-neighbor), samples a 5x5 grid
+/// of locations at {0.1, 0.3, 0.5, 0.7, 0.9} of each axis, and averages
+/// a +/- sample_size window around each location in R, G, B. The feature
+/// is 75 values (25 points x RGB, row-major).
+///
+/// The key-frame extractor (§4.1) uses this signature's distance with
+/// the paper's threshold of 800.
+class NaiveSignature : public FeatureExtractor {
+ public:
+  NaiveSignature(int base_size = 300, int sample_size = 15);
+
+  FeatureKind kind() const override { return FeatureKind::kNaiveSignature; }
+  Result<FeatureVector> Extract(const Image& img) const override;
+
+  /// Sum over the 25 points of the Euclidean RGB distance between the
+  /// two signatures — the quantity the paper compares against 800.
+  double Distance(const FeatureVector& a,
+                  const FeatureVector& b) const override;
+
+  static constexpr int kGrid = 5;
+  static constexpr int kPoints = kGrid * kGrid;
+
+ private:
+  int base_size_;
+  int sample_size_;
+};
+
+}  // namespace vr

@@ -1,0 +1,99 @@
+#include "features/region_growing.h"
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "imaging/color.h"
+#include "imaging/morphology.h"
+#include "imaging/threshold.h"
+
+namespace vr {
+
+SimpleRegionGrowing::SimpleRegionGrowing(double major_fraction)
+    : major_fraction_(major_fraction) {}
+
+Result<Image> SimpleRegionGrowing::Preprocess(const Image& img) const {
+  if (img.empty()) return Status::InvalidArgument("empty image");
+  const Image gray = ToGray(img);
+  const GrayHistogram hist = ComputeGrayHistogram(gray);
+  const int threshold = MinFuzzinessThreshold(hist);
+  Image binary = Binarize(gray, threshold);
+  // The paper's morphology sequence: dilate, erode, erode, dilate
+  // (a close followed by an open), with its 5x5 kernel.
+  const StructuringElement kernel = PaperKernel5x5();
+  binary = Dilate(binary, kernel);
+  binary = Erode(binary, kernel);
+  binary = Erode(binary, kernel);
+  binary = Dilate(binary, kernel);
+  return binary;
+}
+
+Result<RegionStats> SimpleRegionGrowing::Analyze(const Image& img) const {
+  VR_ASSIGN_OR_RETURN(Image binary, Preprocess(img));
+  const int w = binary.width();
+  const int h = binary.height();
+  std::vector<int> labels(static_cast<size_t>(w) * h, -1);
+  auto label_at = [&](int x, int y) -> int& {
+    return labels[static_cast<size_t>(y) * w + x];
+  };
+
+  RegionStats stats;
+  const size_t major_min = std::max<size_t>(
+      1, static_cast<size_t>(major_fraction_ * static_cast<double>(w) * h));
+  std::vector<std::pair<int, int>> stack;
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      if (label_at(x, y) >= 0) continue;
+      const uint8_t value = binary.At(x, y);
+      if (value == 0) ++stats.num_holes;
+      ++stats.num_regions;
+      const int region = stats.num_regions;
+      size_t size = 0;
+      stack.clear();
+      stack.emplace_back(x, y);
+      label_at(x, y) = region;
+      while (!stack.empty()) {
+        const auto [cx, cy] = stack.back();
+        stack.pop_back();
+        ++size;
+        for (int dy = -1; dy <= 1; ++dy) {
+          for (int dx = -1; dx <= 1; ++dx) {
+            const int nx = cx + dx;
+            const int ny = cy + dy;
+            if (nx < 0 || ny < 0 || nx >= w || ny >= h) continue;
+            if (label_at(nx, ny) >= 0) continue;
+            if (binary.At(nx, ny) != value) continue;
+            label_at(nx, ny) = region;
+            stack.emplace_back(nx, ny);
+          }
+        }
+      }
+      if (size >= major_min) ++stats.num_major_regions;
+    }
+  }
+  return stats;
+}
+
+Result<FeatureVector> SimpleRegionGrowing::Extract(const Image& img) const {
+  VR_ASSIGN_OR_RETURN(RegionStats stats, Analyze(img));
+  return FeatureVector(
+      name(), {static_cast<double>(stats.num_regions),
+               static_cast<double>(stats.num_holes),
+               static_cast<double>(stats.num_major_regions)});
+}
+
+double SimpleRegionGrowing::Distance(const FeatureVector& a,
+                                     const FeatureVector& b) const {
+  // Canberra: counts live on very different scales (regions can reach
+  // hundreds while major regions stay in single digits).
+  const size_t n = std::min(a.size(), b.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double den = std::fabs(a[i]) + std::fabs(b[i]);
+    if (den > 0) acc += std::fabs(a[i] - b[i]) / den;
+  }
+  return acc;
+}
+
+}  // namespace vr

@@ -1,0 +1,52 @@
+/// \file region_growing.h
+/// \brief Simple region growing segmentation feature (paper §4.8).
+
+#pragma once
+
+#include "features/feature_vector.h"
+#include "imaging/image.h"
+
+namespace vr {
+
+/// \brief Connected-component statistics after the paper's preprocessing.
+struct RegionStats {
+  int num_regions = 0;       ///< all connected components (fg + bg)
+  int num_holes = 0;         ///< background (0-valued) components
+  int num_major_regions = 0; ///< components covering >= the major fraction
+};
+
+/// \brief Stack-based region growing over the binarized frame.
+///
+/// Preprocessing follows the paper: gray conversion (their
+/// {0.114, 0.587, 0.299} band combine), binarization at the
+/// minimum-fuzziness (Huang) threshold, then dilate / erode / erode /
+/// dilate with the 3x3-ones-in-5x5 kernel. Labeling grows 8-connected
+/// regions of equal binary value; components of zeros count as holes.
+class SimpleRegionGrowing : public FeatureExtractor {
+ public:
+  /// \p major_fraction: a region is "major" when it covers at least this
+  /// fraction of the frame (the paper reports "no. of max regions").
+  explicit SimpleRegionGrowing(double major_fraction = 0.01);
+
+  FeatureKind kind() const override { return FeatureKind::kRegionGrowing; }
+  Result<FeatureVector> Extract(const Image& img) const override;
+  double Distance(const FeatureVector& a,
+                  const FeatureVector& b) const override;
+
+  /// Runs preprocessing + labeling and returns the raw statistics.
+  Result<RegionStats> Analyze(const Image& img) const;
+
+  /// The preprocessed binary image (for tests and the inspector example).
+  Result<Image> Preprocess(const Image& img) const;
+
+  enum : size_t {
+    kNumRegions = 0,
+    kNumHoles = 1,
+    kMajorRegions = 2,
+  };
+
+ private:
+  double major_fraction_;
+};
+
+}  // namespace vr

@@ -1,0 +1,39 @@
+/// \file tamura_texture.h
+/// \brief Tamura texture features: coarseness, contrast, directionality.
+///
+/// The paper's TAMURA column stores 18 values: coarseness, contrast,
+/// then a 16-bin directionality histogram.
+
+#pragma once
+
+#include "features/feature_vector.h"
+
+namespace vr {
+
+/// \brief Tamura features (Tamura, Mori & Yamawaki 1978).
+class TamuraTexture : public FeatureExtractor {
+ public:
+  /// \p max_scale bounds the coarseness window at 2^max_scale pixels;
+  /// \p dir_bins is the directionality histogram size;
+  /// \p dir_threshold drops near-flat gradients from the histogram.
+  TamuraTexture(int max_scale = 5, int dir_bins = 16,
+                double dir_threshold = 12.0);
+
+  FeatureKind kind() const override { return FeatureKind::kTamura; }
+  Result<FeatureVector> Extract(const Image& img) const override;
+  double Distance(const FeatureVector& a,
+                  const FeatureVector& b) const override;
+
+  enum : size_t {
+    kCoarseness = 0,
+    kContrast = 1,
+    kDirStart = 2,
+  };
+
+ private:
+  int max_scale_;
+  int dir_bins_;
+  double dir_threshold_;
+};
+
+}  // namespace vr

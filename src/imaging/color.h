@@ -1,0 +1,42 @@
+/// \file color.h
+/// \brief Color-space conversions (RGB <-> HSV, RGB -> gray).
+
+#pragma once
+
+#include "imaging/image.h"
+
+namespace vr {
+
+/// \brief HSV triple: h in [0, 360), s and v in [0, 1].
+struct Hsv {
+  double h = 0.0;
+  double s = 0.0;
+  double v = 0.0;
+};
+
+/// Converts one RGB pixel to HSV.
+Hsv RgbToHsv(Rgb rgb);
+
+/// Converts one HSV triple back to RGB.
+Rgb HsvToRgb(const Hsv& hsv);
+
+/// BT.601 luma of an RGB pixel, rounded to [0, 255].
+uint8_t RgbToGray(Rgb rgb);
+
+/// Converts any image to single-channel gray (BT.601). Gray input is copied.
+Image ToGray(const Image& img);
+
+/// Converts a gray image to 3-channel RGB by channel replication;
+/// RGB input is copied.
+Image ToRgb(const Image& img);
+
+/// Quantizes an HSV pixel into one of 16*4*4 = 256 bins
+/// (16 hue x 4 saturation x 4 value), in [0, 255].
+/// This is the quantizer the auto color correlogram uses (the paper's
+/// correlogram is 256-bin).
+int QuantizeHsv(const Hsv& hsv);
+
+/// Number of bins QuantizeHsv produces.
+inline constexpr int kHsvQuantBins = 256;
+
+}  // namespace vr

@@ -1,0 +1,39 @@
+/// \file dct_codec.h
+/// \brief JPEG-style lossy image codec ("VJF") for key-frame storage.
+///
+/// The paper's pipeline converts frames with a "video to jpeg
+/// converter" before storing them as ORDImage blobs. This codec plays
+/// that role natively: YCbCr color transform, 8x8 blocks, 2-D DCT,
+/// JPEG quantization tables scaled by a quality factor, zigzag ordering,
+/// and an Exp-Golomb entropy coder (DC deltas + AC (run, level) pairs).
+///
+/// Container: "VJF1" | u16 width | u16 height | u8 channels | u8 quality
+/// | per-plane u32 payload length + payload.
+
+#pragma once
+
+#include <vector>
+
+#include "imaging/image.h"
+#include "util/status.h"
+
+namespace vr {
+
+/// Encodes \p img at the given quality (1 = worst, 100 = near lossless).
+Result<std::vector<uint8_t>> EncodeVjf(const Image& img, int quality = 85);
+
+/// Decodes a VJF byte string.
+Result<Image> DecodeVjf(const std::vector<uint8_t>& bytes);
+
+/// True when \p bytes begins with the VJF magic.
+bool LooksLikeVjf(const std::vector<uint8_t>& bytes);
+
+/// Decodes a stored key-frame blob of either supported format
+/// (PNM or VJF), sniffing the magic.
+Result<Image> DecodeKeyFrameImage(const std::vector<uint8_t>& bytes);
+
+/// Peak signal-to-noise ratio in dB between two same-sized images
+/// (infinity-free: identical images report 99 dB).
+Result<double> Psnr(const Image& a, const Image& b);
+
+}  // namespace vr

@@ -1,0 +1,88 @@
+#include "imaging/fft.h"
+
+#include <cmath>
+
+namespace vr {
+
+bool IsPowerOfTwo(size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+size_t NextPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+Status Fft1D(std::vector<Complex>* data, bool inverse) {
+  const size_t n = data->size();
+  if (!IsPowerOfTwo(n)) {
+    return Status::InvalidArgument("FFT size must be a power of two");
+  }
+  auto& a = *data;
+  // Bit-reversal permutation.
+  for (size_t i = 1, j = 0; i < n; ++i) {
+    size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  for (size_t len = 2; len <= n; len <<= 1) {
+    const float ang =
+        2.0f * static_cast<float>(M_PI) / len * (inverse ? 1.0f : -1.0f);
+    const Complex wlen(std::cos(ang), std::sin(ang));
+    for (size_t i = 0; i < n; i += len) {
+      Complex w(1.0f, 0.0f);
+      for (size_t k = 0; k < len / 2; ++k) {
+        const Complex u = a[i + k];
+        const Complex v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    const float inv_n = 1.0f / static_cast<float>(n);
+    for (auto& c : a) c *= inv_n;
+  }
+  return Status::OK();
+}
+
+Status Fft2D(ComplexImage* img, bool inverse) {
+  const int w = img->width;
+  const int h = img->height;
+  if (!IsPowerOfTwo(static_cast<size_t>(w)) ||
+      !IsPowerOfTwo(static_cast<size_t>(h))) {
+    return Status::InvalidArgument("2-D FFT dimensions must be powers of two");
+  }
+  // Rows.
+  std::vector<Complex> row(static_cast<size_t>(w));
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) row[static_cast<size_t>(x)] = img->At(x, y);
+    VR_RETURN_NOT_OK(Fft1D(&row, inverse));
+    for (int x = 0; x < w; ++x) img->At(x, y) = row[static_cast<size_t>(x)];
+  }
+  // Columns.
+  std::vector<Complex> col(static_cast<size_t>(h));
+  for (int x = 0; x < w; ++x) {
+    for (int y = 0; y < h; ++y) col[static_cast<size_t>(y)] = img->At(x, y);
+    VR_RETURN_NOT_OK(Fft1D(&col, inverse));
+    for (int y = 0; y < h; ++y) img->At(x, y) = col[static_cast<size_t>(y)];
+  }
+  return Status::OK();
+}
+
+ComplexImage ToComplexPadded(const FloatImage& img, int min_w, int min_h) {
+  const int w = static_cast<int>(
+      NextPowerOfTwo(static_cast<size_t>(std::max(img.width(), min_w))));
+  const int h = static_cast<int>(
+      NextPowerOfTwo(static_cast<size_t>(std::max(img.height(), min_h))));
+  ComplexImage out(w, h);
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      out.At(x, y) = Complex(img.At(x, y), 0.f);
+    }
+  }
+  return out;
+}
+
+}  // namespace vr

@@ -1,0 +1,58 @@
+/// \file fft.h
+/// \brief Radix-2 FFT (1-D and 2-D) over std::complex<float>.
+///
+/// Used by the Gabor texture extractor: the image is transformed once,
+/// each Gabor filter is applied as an analytic frequency-domain Gaussian,
+/// and one inverse transform per filter yields the complex response.
+/// Direct spatial convolution with 30 large kernels would be ~100x
+/// slower, which matters on the single-core benchmark machine.
+
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "imaging/float_image.h"
+#include "util/status.h"
+
+namespace vr {
+
+using Complex = std::complex<float>;
+
+/// True iff n is a power of two (and > 0).
+bool IsPowerOfTwo(size_t n);
+
+/// Smallest power of two >= n.
+size_t NextPowerOfTwo(size_t n);
+
+/// In-place radix-2 FFT of \p data. Size must be a power of two.
+/// \p inverse selects the inverse transform (with 1/N scaling).
+Status Fft1D(std::vector<Complex>* data, bool inverse);
+
+/// \brief Dense row-major complex matrix for 2-D transforms.
+struct ComplexImage {
+  int width = 0;
+  int height = 0;
+  std::vector<Complex> data;
+
+  ComplexImage() = default;
+  ComplexImage(int w, int h)
+      : width(w), height(h),
+        data(static_cast<size_t>(w) * static_cast<size_t>(h)) {}
+
+  Complex& At(int x, int y) {
+    return data[static_cast<size_t>(y) * width + x];
+  }
+  const Complex& At(int x, int y) const {
+    return data[static_cast<size_t>(y) * width + x];
+  }
+};
+
+/// In-place 2-D FFT; both dimensions must be powers of two.
+Status Fft2D(ComplexImage* img, bool inverse);
+
+/// Zero-pads \p img into a pow2 x pow2 complex raster of at least
+/// \p min_w x \p min_h.
+ComplexImage ToComplexPadded(const FloatImage& img, int min_w, int min_h);
+
+}  // namespace vr

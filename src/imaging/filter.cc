@@ -1,0 +1,137 @@
+#include "imaging/filter.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vr {
+
+Kernel MakeGaussianKernel(double sigma, int radius) {
+  if (radius < 0) radius = static_cast<int>(std::ceil(3.0 * sigma));
+  radius = std::max(radius, 1);
+  const int size = 2 * radius + 1;
+  Kernel k;
+  k.width = size;
+  k.height = size;
+  k.weights.resize(static_cast<size_t>(size) * size);
+  double total = 0.0;
+  for (int y = -radius; y <= radius; ++y) {
+    for (int x = -radius; x <= radius; ++x) {
+      const double w = std::exp(-(x * x + y * y) / (2.0 * sigma * sigma));
+      k.weights[static_cast<size_t>(y + radius) * size + (x + radius)] =
+          static_cast<float>(w);
+      total += w;
+    }
+  }
+  for (auto& w : k.weights) w = static_cast<float>(w / total);
+  return k;
+}
+
+FloatImage Convolve(const FloatImage& img, const Kernel& kernel) {
+  FloatImage out(img.width(), img.height());
+  const int rx = kernel.width / 2;
+  const int ry = kernel.height / 2;
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      float acc = 0.f;
+      for (int ky = 0; ky < kernel.height; ++ky) {
+        for (int kx = 0; kx < kernel.width; ++kx) {
+          acc += kernel.At(kx, ky) *
+                 img.AtClamped(x + kx - rx, y + ky - ry);
+        }
+      }
+      out.At(x, y) = acc;
+    }
+  }
+  return out;
+}
+
+FloatImage GaussianBlur(const FloatImage& img, double sigma) {
+  const int radius = std::max(1, static_cast<int>(std::ceil(3.0 * sigma)));
+  std::vector<float> k(static_cast<size_t>(2 * radius + 1));
+  double total = 0.0;
+  for (int i = -radius; i <= radius; ++i) {
+    const double w = std::exp(-(i * i) / (2.0 * sigma * sigma));
+    k[static_cast<size_t>(i + radius)] = static_cast<float>(w);
+    total += w;
+  }
+  for (auto& w : k) w = static_cast<float>(w / total);
+
+  FloatImage tmp(img.width(), img.height());
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      float acc = 0.f;
+      for (int i = -radius; i <= radius; ++i) {
+        acc += k[static_cast<size_t>(i + radius)] * img.AtClamped(x + i, y);
+      }
+      tmp.At(x, y) = acc;
+    }
+  }
+  FloatImage out(img.width(), img.height());
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      float acc = 0.f;
+      for (int i = -radius; i <= radius; ++i) {
+        acc += k[static_cast<size_t>(i + radius)] * tmp.AtClamped(x, y + i);
+      }
+      out.At(x, y) = acc;
+    }
+  }
+  return out;
+}
+
+GradientField Sobel(const FloatImage& img) {
+  GradientField g;
+  g.dx = FloatImage(img.width(), img.height());
+  g.dy = FloatImage(img.width(), img.height());
+  g.magnitude = FloatImage(img.width(), img.height());
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      const float p00 = img.AtClamped(x - 1, y - 1);
+      const float p10 = img.AtClamped(x, y - 1);
+      const float p20 = img.AtClamped(x + 1, y - 1);
+      const float p01 = img.AtClamped(x - 1, y);
+      const float p21 = img.AtClamped(x + 1, y);
+      const float p02 = img.AtClamped(x - 1, y + 1);
+      const float p12 = img.AtClamped(x, y + 1);
+      const float p22 = img.AtClamped(x + 1, y + 1);
+      const float gx = (p20 + 2 * p21 + p22) - (p00 + 2 * p01 + p02);
+      const float gy = (p02 + 2 * p12 + p22) - (p00 + 2 * p10 + p20);
+      g.dx.At(x, y) = gx;
+      g.dy.At(x, y) = gy;
+      g.magnitude.At(x, y) = std::sqrt(gx * gx + gy * gy);
+    }
+  }
+  return g;
+}
+
+FloatImage NeighborhoodAverage(const FloatImage& img, int k) {
+  // Summed-area table for O(1) window sums.
+  const int w = img.width();
+  const int h = img.height();
+  std::vector<double> sat(static_cast<size_t>(w + 1) * (h + 1), 0.0);
+  auto s = [&](int x, int y) -> double& {
+    return sat[static_cast<size_t>(y) * (w + 1) + x];
+  };
+  for (int y = 1; y <= h; ++y) {
+    for (int x = 1; x <= w; ++x) {
+      s(x, y) = img.At(x - 1, y - 1) + s(x - 1, y) + s(x, y - 1) -
+                s(x - 1, y - 1);
+    }
+  }
+  const int half = (1 << k) / 2;
+  FloatImage out(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const int x0 = std::max(0, x - half);
+      const int y0 = std::max(0, y - half);
+      const int x1 = std::min(w, x + half);
+      const int y1 = std::min(h, y + half);
+      const double area = static_cast<double>(x1 - x0) * (y1 - y0);
+      const double sum = s(x1, y1) - s(x0, y1) - s(x1, y0) + s(x0, y0);
+      out.At(x, y) = area > 0 ? static_cast<float>(sum / area) : 0.f;
+    }
+  }
+  return out;
+}
+
+}  // namespace vr

@@ -1,0 +1,47 @@
+/// \file filter.h
+/// \brief Spatial filtering: generic convolution, Gaussian blur, Sobel.
+
+#pragma once
+
+#include <vector>
+
+#include "imaging/float_image.h"
+
+namespace vr {
+
+/// \brief Dense convolution kernel with odd width and height.
+struct Kernel {
+  int width = 0;
+  int height = 0;
+  std::vector<float> weights;  // row-major, size width*height
+
+  float At(int x, int y) const {
+    return weights[static_cast<size_t>(y) * width + x];
+  }
+};
+
+/// Builds a normalized Gaussian kernel with the given sigma;
+/// radius defaults to ceil(3*sigma).
+Kernel MakeGaussianKernel(double sigma, int radius = -1);
+
+/// Convolves \p img with \p kernel (edge pixels use clamped reads).
+FloatImage Convolve(const FloatImage& img, const Kernel& kernel);
+
+/// Gaussian-blurs \p img (separable implementation).
+FloatImage GaussianBlur(const FloatImage& img, double sigma);
+
+/// \brief Per-pixel gradient from the Sobel operator.
+struct GradientField {
+  FloatImage dx;
+  FloatImage dy;
+  FloatImage magnitude;
+};
+
+/// Computes Sobel gradients of \p img.
+GradientField Sobel(const FloatImage& img);
+
+/// Box-filter mean of the (2^k x 2^k) neighborhood around each pixel,
+/// as used by Tamura coarseness. \p k is the log2 window size.
+FloatImage NeighborhoodAverage(const FloatImage& img, int k);
+
+}  // namespace vr

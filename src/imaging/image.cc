@@ -1,0 +1,77 @@
+#include "imaging/image.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace vr {
+
+Image::Image(int width, int height, int channels)
+    : width_(std::max(width, 0)),
+      height_(std::max(height, 0)),
+      channels_(channels == 3 ? 3 : 1),
+      data_(static_cast<size_t>(width_) * static_cast<size_t>(height_) *
+                static_cast<size_t>(channels_),
+            0) {}
+
+Result<Image> Image::FromData(int width, int height, int channels,
+                              std::vector<uint8_t> data) {
+  if (width < 0 || height < 0) {
+    return Status::InvalidArgument("negative image dimensions");
+  }
+  if (channels != 1 && channels != 3) {
+    return Status::InvalidArgument(
+        StringPrintf("unsupported channel count %d (expected 1 or 3)",
+                     channels));
+  }
+  const size_t expected = static_cast<size_t>(width) *
+                          static_cast<size_t>(height) *
+                          static_cast<size_t>(channels);
+  if (data.size() != expected) {
+    return Status::InvalidArgument(StringPrintf(
+        "pixel buffer has %zu bytes, expected %zu", data.size(), expected));
+  }
+  Image img;
+  img.width_ = width;
+  img.height_ = height;
+  img.channels_ = channels;
+  img.data_ = std::move(data);
+  return img;
+}
+
+void Image::SetPixel(int x, int y, Rgb color) {
+  const size_t off = Offset(x, y);
+  if (channels_ == 1) {
+    // ITU-R BT.601 luma, matching the paper's {0.114, 0.587, 0.299} matrix.
+    data_[off] = static_cast<uint8_t>(0.299 * color.r + 0.587 * color.g +
+                                      0.114 * color.b + 0.5);
+  } else {
+    data_[off] = color.r;
+    data_[off + 1] = color.g;
+    data_[off + 2] = color.b;
+  }
+}
+
+void Image::Fill(Rgb color) {
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      SetPixel(x, y, color);
+    }
+  }
+}
+
+Image Image::Crop(int x, int y, int w, int h) const {
+  const int x0 = std::clamp(x, 0, width_);
+  const int y0 = std::clamp(y, 0, height_);
+  const int x1 = std::clamp(x + w, x0, width_);
+  const int y1 = std::clamp(y + h, y0, height_);
+  Image out(x1 - x0, y1 - y0, channels_);
+  for (int yy = y0; yy < y1; ++yy) {
+    const uint8_t* src = data_.data() + Offset(x0, yy);
+    uint8_t* dst = out.data() + out.Offset(0, yy - y0);
+    std::copy(src, src + static_cast<size_t>(x1 - x0) * channels_, dst);
+  }
+  return out;
+}
+
+}  // namespace vr

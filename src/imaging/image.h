@@ -1,0 +1,101 @@
+/// \file image.h
+/// \brief 8-bit raster image type used throughout the library.
+///
+/// Stands in for the Java/JAI `RenderedImage`/`PlanarImage` objects the
+/// paper's pseudo-code manipulates. Pixels are interleaved row-major
+/// uint8 with 1 (gray) or 3 (RGB) channels.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace vr {
+
+/// \brief An 8-bit RGB color triple.
+struct Rgb {
+  uint8_t r = 0;
+  uint8_t g = 0;
+  uint8_t b = 0;
+
+  bool operator==(const Rgb&) const = default;
+};
+
+/// \brief Row-major interleaved 8-bit image with 1 or 3 channels.
+class Image {
+ public:
+  /// Creates an empty (0x0) image.
+  Image() = default;
+
+  /// Creates a zero-filled image. \p channels must be 1 or 3.
+  Image(int width, int height, int channels);
+
+  /// Creates an image adopting the given pixel buffer.
+  /// \p data must contain exactly width*height*channels bytes.
+  static Result<Image> FromData(int width, int height, int channels,
+                                std::vector<uint8_t> data);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  int channels() const { return channels_; }
+  bool empty() const { return width_ == 0 || height_ == 0; }
+  size_t PixelCount() const {
+    return static_cast<size_t>(width_) * static_cast<size_t>(height_);
+  }
+  size_t SizeBytes() const { return data_.size(); }
+
+  const uint8_t* data() const { return data_.data(); }
+  uint8_t* data() { return data_.data(); }
+  const std::vector<uint8_t>& buffer() const { return data_; }
+
+  /// True when (x, y) lies inside the raster.
+  bool Contains(int x, int y) const {
+    return x >= 0 && y >= 0 && x < width_ && y < height_;
+  }
+
+  /// Unchecked channel access at (x, y).
+  uint8_t At(int x, int y, int c = 0) const {
+    return data_[Offset(x, y) + static_cast<size_t>(c)];
+  }
+  uint8_t& At(int x, int y, int c = 0) {
+    return data_[Offset(x, y) + static_cast<size_t>(c)];
+  }
+
+  /// RGB read at (x, y); replicates the gray value for 1-channel images.
+  Rgb PixelRgb(int x, int y) const {
+    if (channels_ == 1) {
+      uint8_t v = At(x, y);
+      return {v, v, v};
+    }
+    const size_t off = Offset(x, y);
+    return {data_[off], data_[off + 1], data_[off + 2]};
+  }
+
+  /// RGB write at (x, y); 1-channel images store the luma of \p color.
+  void SetPixel(int x, int y, Rgb color);
+
+  /// Fills the whole raster with \p color.
+  void Fill(Rgb color);
+
+  /// Returns the sub-image [x, x+w) x [y, y+h); clamped to bounds.
+  Image Crop(int x, int y, int w, int h) const;
+
+  /// Deep equality (dimensions, channels and every byte).
+  bool operator==(const Image& other) const = default;
+
+ private:
+  size_t Offset(int x, int y) const {
+    return (static_cast<size_t>(y) * static_cast<size_t>(width_) +
+            static_cast<size_t>(x)) *
+           static_cast<size_t>(channels_);
+  }
+
+  int width_ = 0;
+  int height_ = 0;
+  int channels_ = 1;
+  std::vector<uint8_t> data_;
+};
+
+}  // namespace vr

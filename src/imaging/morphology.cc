@@ -1,0 +1,77 @@
+#include "imaging/morphology.h"
+
+namespace vr {
+
+StructuringElement PaperKernel5x5() {
+  StructuringElement se;
+  se.width = 5;
+  se.height = 5;
+  se.mask = {0, 0, 0, 0, 0,
+             0, 1, 1, 1, 0,
+             0, 1, 1, 1, 0,
+             0, 1, 1, 1, 0,
+             0, 0, 0, 0, 0};
+  return se;
+}
+
+StructuringElement Box3x3() {
+  StructuringElement se;
+  se.width = 3;
+  se.height = 3;
+  se.mask.assign(9, 1);
+  return se;
+}
+
+namespace {
+
+enum class Op { kDilate, kErode };
+
+Image Morph(const Image& binary, const StructuringElement& se, Op op) {
+  Image out(binary.width(), binary.height(), 1);
+  const int rx = se.width / 2;
+  const int ry = se.height / 2;
+  for (int y = 0; y < binary.height(); ++y) {
+    for (int x = 0; x < binary.width(); ++x) {
+      bool hit = (op == Op::kErode);  // erode: all must be set
+      for (int ky = 0; ky < se.height && (op == Op::kErode ? hit : !hit);
+           ++ky) {
+        for (int kx = 0; kx < se.width && (op == Op::kErode ? hit : !hit);
+             ++kx) {
+          if (!se.At(kx, ky)) continue;
+          const int px = x + kx - rx;
+          const int py = y + ky - ry;
+          // Outside the raster counts as background (0).
+          const bool set =
+              binary.Contains(px, py) && binary.At(px, py) != 0;
+          if (op == Op::kDilate) {
+            if (set) hit = true;
+          } else {
+            if (!set) hit = false;
+          }
+        }
+      }
+      out.At(x, y) = hit ? 255 : 0;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Image Dilate(const Image& binary, const StructuringElement& se) {
+  return Morph(binary, se, Op::kDilate);
+}
+
+Image Erode(const Image& binary, const StructuringElement& se) {
+  return Morph(binary, se, Op::kErode);
+}
+
+Image Open(const Image& binary, const StructuringElement& se) {
+  return Dilate(Erode(binary, se), se);
+}
+
+Image Close(const Image& binary, const StructuringElement& se) {
+  return Erode(Dilate(binary, se), se);
+}
+
+}  // namespace vr

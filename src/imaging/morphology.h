@@ -1,0 +1,44 @@
+/// \file morphology.h
+/// \brief Binary morphology (dilate / erode / open / close).
+///
+/// The paper's region-growing preprocessing dilates and erodes the
+/// binarized frame with a 3x3-ones-in-5x5 kernel before labeling.
+
+#pragma once
+
+#include <vector>
+
+#include "imaging/image.h"
+
+namespace vr {
+
+/// \brief Flat structuring element; true entries are members.
+struct StructuringElement {
+  int width = 0;
+  int height = 0;
+  std::vector<uint8_t> mask;  // row-major 0/1 flags
+
+  bool At(int x, int y) const {
+    return mask[static_cast<size_t>(y) * width + x] != 0;
+  }
+};
+
+/// The paper's kernel: 3x3 block of ones centered in a 5x5 window.
+StructuringElement PaperKernel5x5();
+
+/// Full 3x3 box.
+StructuringElement Box3x3();
+
+/// Dilation of a binary (0 / nonzero) gray image.
+Image Dilate(const Image& binary, const StructuringElement& se);
+
+/// Erosion of a binary (0 / nonzero) gray image.
+Image Erode(const Image& binary, const StructuringElement& se);
+
+/// Erode then dilate.
+Image Open(const Image& binary, const StructuringElement& se);
+
+/// Dilate then erode.
+Image Close(const Image& binary, const StructuringElement& se);
+
+}  // namespace vr

@@ -1,0 +1,119 @@
+#include "imaging/ppm.h"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace vr {
+
+namespace {
+
+/// Reads the next PNM header token, skipping whitespace and '#' comments.
+Result<std::string> NextToken(const std::string& bytes, size_t* pos) {
+  while (*pos < bytes.size()) {
+    char c = bytes[*pos];
+    if (c == '#') {
+      while (*pos < bytes.size() && bytes[*pos] != '\n') ++*pos;
+    } else if (std::isspace(static_cast<unsigned char>(c))) {
+      ++*pos;
+    } else {
+      break;
+    }
+  }
+  if (*pos >= bytes.size()) return Status::Corruption("truncated PNM header");
+  size_t start = *pos;
+  while (*pos < bytes.size() &&
+         !std::isspace(static_cast<unsigned char>(bytes[*pos]))) {
+    ++*pos;
+  }
+  return bytes.substr(start, *pos - start);
+}
+
+}  // namespace
+
+std::string EncodePnm(const Image& img) {
+  std::string out;
+  const char* magic = img.channels() == 3 ? "P6" : "P5";
+  out += StringPrintf("%s\n%d %d\n255\n", magic, img.width(), img.height());
+  out.append(reinterpret_cast<const char*>(img.data()), img.SizeBytes());
+  return out;
+}
+
+Result<Image> DecodePnm(const std::string& bytes) {
+  size_t pos = 0;
+  VR_ASSIGN_OR_RETURN(std::string magic, NextToken(bytes, &pos));
+  int channels = 0;
+  bool ascii = false;
+  if (magic == "P6") {
+    channels = 3;
+  } else if (magic == "P5") {
+    channels = 1;
+  } else if (magic == "P3") {
+    channels = 3;
+    ascii = true;
+  } else if (magic == "P2") {
+    channels = 1;
+    ascii = true;
+  } else {
+    return Status::Corruption("unsupported PNM magic '" + magic + "'");
+  }
+  VR_ASSIGN_OR_RETURN(std::string w_str, NextToken(bytes, &pos));
+  VR_ASSIGN_OR_RETURN(std::string h_str, NextToken(bytes, &pos));
+  VR_ASSIGN_OR_RETURN(std::string max_str, NextToken(bytes, &pos));
+  VR_ASSIGN_OR_RETURN(int64_t w, ParseInt64(w_str));
+  VR_ASSIGN_OR_RETURN(int64_t h, ParseInt64(h_str));
+  VR_ASSIGN_OR_RETURN(int64_t maxval, ParseInt64(max_str));
+  if (w <= 0 || h <= 0 || w > 1 << 16 || h > 1 << 16) {
+    return Status::Corruption("bad PNM dimensions");
+  }
+  if (maxval != 255) {
+    return Status::NotImplemented("only maxval 255 PNM supported");
+  }
+  const size_t n =
+      static_cast<size_t>(w) * static_cast<size_t>(h) * channels;
+  std::vector<uint8_t> data(n);
+  if (ascii) {
+    for (size_t i = 0; i < n; ++i) {
+      VR_ASSIGN_OR_RETURN(std::string tok, NextToken(bytes, &pos));
+      VR_ASSIGN_OR_RETURN(int64_t v, ParseInt64(tok));
+      if (v < 0 || v > 255) return Status::Corruption("PNM sample out of range");
+      data[i] = static_cast<uint8_t>(v);
+    }
+  } else {
+    // Exactly one whitespace byte separates the header from raster data.
+    if (pos >= bytes.size()) return Status::Corruption("truncated PNM");
+    ++pos;
+    if (bytes.size() - pos < n) {
+      return Status::Corruption(
+          StringPrintf("PNM raster truncated: have %zu bytes, need %zu",
+                       bytes.size() - pos, n));
+    }
+    std::copy(bytes.begin() + static_cast<ptrdiff_t>(pos),
+              bytes.begin() + static_cast<ptrdiff_t>(pos + n), data.begin());
+  }
+  return Image::FromData(static_cast<int>(w), static_cast<int>(h), channels,
+                         std::move(data));
+}
+
+Status WritePnm(const Image& img, const std::string& path) {
+  if (img.empty()) return Status::InvalidArgument("cannot write empty image");
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return Status::IOError("cannot open for write: " + path);
+  const std::string bytes = EncodePnm(img);
+  f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!f) return Status::IOError("short write: " + path);
+  return Status::OK();
+}
+
+Result<Image> ReadPnm(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return Status::IOError("cannot open for read: " + path);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return DecodePnm(ss.str());
+}
+
+}  // namespace vr

@@ -1,0 +1,28 @@
+/// \file ppm.h
+/// \brief PPM (P6) / PGM (P5) image codecs.
+///
+/// Stands in for the paper's "video to jpeg converter" output path: frames
+/// are materialized as portable pixmaps, which every image tool can open.
+
+#pragma once
+
+#include <string>
+
+#include "imaging/image.h"
+#include "util/status.h"
+
+namespace vr {
+
+/// Writes \p img as binary PPM (3-channel) or PGM (1-channel).
+Status WritePnm(const Image& img, const std::string& path);
+
+/// Reads a binary or ASCII PPM/PGM file.
+Result<Image> ReadPnm(const std::string& path);
+
+/// Serializes \p img to an in-memory PNM byte string.
+std::string EncodePnm(const Image& img);
+
+/// Parses an in-memory PNM byte string.
+Result<Image> DecodePnm(const std::string& bytes);
+
+}  // namespace vr

@@ -1,0 +1,65 @@
+#include "imaging/resize.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vr {
+
+namespace {
+
+Image ResizeNearest(const Image& img, int out_w, int out_h) {
+  Image out(out_w, out_h, img.channels());
+  const double sx = static_cast<double>(img.width()) / out_w;
+  const double sy = static_cast<double>(img.height()) / out_h;
+  for (int y = 0; y < out_h; ++y) {
+    const int src_y = std::min(static_cast<int>(y * sy), img.height() - 1);
+    for (int x = 0; x < out_w; ++x) {
+      const int src_x = std::min(static_cast<int>(x * sx), img.width() - 1);
+      for (int c = 0; c < img.channels(); ++c) {
+        out.At(x, y, c) = img.At(src_x, src_y, c);
+      }
+    }
+  }
+  return out;
+}
+
+Image ResizeBilinear(const Image& img, int out_w, int out_h) {
+  Image out(out_w, out_h, img.channels());
+  const double sx = static_cast<double>(img.width()) / out_w;
+  const double sy = static_cast<double>(img.height()) / out_h;
+  for (int y = 0; y < out_h; ++y) {
+    const double fy = std::max(0.0, (y + 0.5) * sy - 0.5);
+    const int y0 = std::min(static_cast<int>(fy), img.height() - 1);
+    const int y1 = std::min(y0 + 1, img.height() - 1);
+    const double wy = fy - y0;
+    for (int x = 0; x < out_w; ++x) {
+      const double fx = std::max(0.0, (x + 0.5) * sx - 0.5);
+      const int x0 = std::min(static_cast<int>(fx), img.width() - 1);
+      const int x1 = std::min(x0 + 1, img.width() - 1);
+      const double wx = fx - x0;
+      for (int c = 0; c < img.channels(); ++c) {
+        const double top = img.At(x0, y0, c) * (1 - wx) + img.At(x1, y0, c) * wx;
+        const double bot = img.At(x0, y1, c) * (1 - wx) + img.At(x1, y1, c) * wx;
+        out.At(x, y, c) =
+            static_cast<uint8_t>(std::lround(top * (1 - wy) + bot * wy));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Image Resize(const Image& img, int out_w, int out_h, ResizeFilter filter) {
+  if (img.empty() || out_w <= 0 || out_h <= 0) return Image();
+  if (out_w == img.width() && out_h == img.height()) return img;
+  switch (filter) {
+    case ResizeFilter::kNearest:
+      return ResizeNearest(img, out_w, out_h);
+    case ResizeFilter::kBilinear:
+      return ResizeBilinear(img, out_w, out_h);
+  }
+  return Image();
+}
+
+}  // namespace vr

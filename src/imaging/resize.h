@@ -1,0 +1,23 @@
+/// \file resize.h
+/// \brief Image rescaling (nearest-neighbor and bilinear).
+///
+/// The paper's naive-signature pseudo-code rescales every image to
+/// 300x300 with nearest-neighbor interpolation before sampling; both
+/// that filter and a better bilinear one are provided.
+
+#pragma once
+
+#include "imaging/image.h"
+
+namespace vr {
+
+enum class ResizeFilter {
+  kNearest,
+  kBilinear,
+};
+
+/// Rescales \p img to \p out_w x \p out_h. Empty inputs yield empty output.
+Image Resize(const Image& img, int out_w, int out_h,
+             ResizeFilter filter = ResizeFilter::kBilinear);
+
+}  // namespace vr

@@ -1,0 +1,25 @@
+/// \file threshold.h
+/// \brief Global thresholding: Otsu and Huang's minimum-fuzziness method.
+///
+/// The paper's region-growing preprocessing calls JAI's
+/// `getMinFuzzinessThreshold`, which implements Huang & Wang (1995)
+/// fuzzy thresholding; both that and Otsu's method are provided.
+
+#pragma once
+
+#include "imaging/histogram.h"
+#include "imaging/image.h"
+
+namespace vr {
+
+/// Otsu's between-class-variance-maximizing threshold from a histogram.
+int OtsuThreshold(const GrayHistogram& hist);
+
+/// Huang & Wang minimum-fuzziness threshold from a histogram
+/// (JAI's getMinFuzzinessThreshold).
+int MinFuzzinessThreshold(const GrayHistogram& hist);
+
+/// Binarizes \p img: pixels > \p threshold map to 255, others to 0.
+Image Binarize(const Image& img, int threshold);
+
+}  // namespace vr

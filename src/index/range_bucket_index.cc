@@ -1,0 +1,61 @@
+#include "index/range_bucket_index.h"
+
+#include <algorithm>
+
+namespace vr {
+
+GrayRange RangeBucketIndex::Insert(int64_t id, const GrayHistogram& hist) {
+  const GrayRange range = FindRange(hist, options_);
+  InsertAt(id, range);
+  return range;
+}
+
+void RangeBucketIndex::InsertAt(int64_t id, const GrayRange& range) {
+  buckets_[range].push_back(id);
+}
+
+bool RangeBucketIndex::Erase(int64_t id, const GrayRange& range) {
+  auto it = buckets_.find(range);
+  if (it == buckets_.end()) return false;
+  auto& ids = it->second;
+  auto pos = std::find(ids.begin(), ids.end(), id);
+  if (pos == ids.end()) return false;
+  ids.erase(pos);
+  if (ids.empty()) buckets_.erase(it);
+  return true;
+}
+
+std::vector<int64_t> RangeBucketIndex::Lookup(const GrayRange& query,
+                                              RangeLookupMode mode) const {
+  std::vector<int64_t> out;
+  for (const auto& [range, ids] : buckets_) {
+    bool match = false;
+    switch (mode) {
+      case RangeLookupMode::kExact:
+        match = range == query;
+        break;
+      case RangeLookupMode::kLineage:
+        match = range.Contains(query) || query.Contains(range);
+        break;
+      case RangeLookupMode::kOverlapping:
+        match = range.Overlaps(query);
+        break;
+    }
+    if (match) out.insert(out.end(), ids.begin(), ids.end());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<int64_t> RangeBucketIndex::Lookup(const Image& query,
+                                              RangeLookupMode mode) const {
+  return Lookup(FindRange(query, options_), mode);
+}
+
+size_t RangeBucketIndex::size() const {
+  size_t n = 0;
+  for (const auto& [range, ids] : buckets_) n += ids.size();
+  return n;
+}
+
+}  // namespace vr

@@ -1,0 +1,66 @@
+/// \file range_bucket_index.h
+/// \brief Posting-list index keyed by the range finder's buckets.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "index/range_finder.h"
+
+namespace vr {
+
+/// Candidate-selection policy for lookups.
+enum class RangeLookupMode {
+  /// Only the query's exact bucket.
+  kExact,
+  /// The query's bucket plus every ancestor and descendant bucket —
+  /// frames whose recursion stopped earlier or went deeper on the same
+  /// branch. This is the lossless prune for the tree of Figure 7.
+  kLineage,
+  /// Every bucket whose range overlaps the query's range.
+  kOverlapping,
+};
+
+/// \brief In-memory bucket -> frame-id index.
+class RangeBucketIndex {
+ public:
+  explicit RangeBucketIndex(RangeFinderOptions options = {})
+      : options_(options) {}
+
+  const RangeFinderOptions& options() const { return options_; }
+
+  /// Indexes a frame id under its histogram's bucket; returns the bucket.
+  GrayRange Insert(int64_t id, const GrayHistogram& hist);
+
+  /// Indexes a frame id under a precomputed bucket.
+  void InsertAt(int64_t id, const GrayRange& range);
+
+  /// Removes one id from its bucket; true when found.
+  bool Erase(int64_t id, const GrayRange& range);
+
+  /// Candidate ids for a query bucket, per the lookup mode.
+  std::vector<int64_t> Lookup(const GrayRange& query,
+                              RangeLookupMode mode) const;
+
+  /// Candidate ids for a query image.
+  std::vector<int64_t> Lookup(const Image& query, RangeLookupMode mode) const;
+
+  /// Total indexed ids.
+  size_t size() const;
+
+  /// Number of non-empty buckets.
+  size_t bucket_count() const { return buckets_.size(); }
+
+  /// Occupancy per bucket, for the Figure-7 bench.
+  const std::map<GrayRange, std::vector<int64_t>>& buckets() const {
+    return buckets_;
+  }
+
+ private:
+  RangeFinderOptions options_;
+  std::map<GrayRange, std::vector<int64_t>> buckets_;
+};
+
+}  // namespace vr

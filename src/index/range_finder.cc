@@ -1,0 +1,64 @@
+#include "index/range_finder.h"
+
+#include "util/string_util.h"
+
+namespace vr {
+
+std::string GrayRange::ToString() const {
+  return StringPrintf("[%d, %d]", min, max);
+}
+
+GrayRange FindRange(const GrayHistogram& hist,
+                    const RangeFinderOptions& options) {
+  GrayRange range;  // root: [0, 255], depth 0
+  const double total = static_cast<double>(hist.Total());
+  if (total <= 0 || options.max_depth <= 0) return range;
+
+  for (int depth = 1; depth <= options.max_depth; ++depth) {
+    const int mid = (range.min + range.max) / 2;
+    const double left_pct =
+        100.0 * static_cast<double>(hist.MassInRange(range.min, mid)) / total;
+    const double right_pct =
+        100.0 *
+        static_cast<double>(hist.MassInRange(mid + 1, range.max)) / total;
+    if (depth == 1) {
+      // Level 1 always descends: left when it clears the 55% bar,
+      // otherwise right (the paper's "1st block test").
+      if (left_pct > options.level1_threshold_pct) {
+        range = {range.min, mid, depth};
+      } else {
+        range = {mid + 1, range.max, depth};
+      }
+    } else {
+      // Deeper levels descend only while one half holds enough mass;
+      // otherwise the frame stays grouped at the previous level.
+      if (left_pct > options.lower_threshold_pct) {
+        range = {range.min, mid, depth};
+      } else if (right_pct > options.lower_threshold_pct) {
+        range = {mid + 1, range.max, depth};
+      } else {
+        break;
+      }
+    }
+  }
+  return range;
+}
+
+GrayRange FindRange(const Image& img, const RangeFinderOptions& options) {
+  return FindRange(ComputeGrayHistogram(img), options);
+}
+
+std::vector<GrayRange> AllTreeRanges(int max_depth) {
+  std::vector<GrayRange> out;
+  out.push_back(GrayRange{0, 255, 0});
+  for (size_t i = 0; i < out.size(); ++i) {
+    const GrayRange r = out[i];
+    if (r.depth >= max_depth) continue;
+    const int mid = (r.min + r.max) / 2;
+    out.push_back(GrayRange{r.min, mid, r.depth + 1});
+    out.push_back(GrayRange{mid + 1, r.max, r.depth + 1});
+  }
+  return out;
+}
+
+}  // namespace vr

@@ -1,0 +1,71 @@
+/// \file range_finder.h
+/// \brief Histogram-based range-finder indexing (paper §4.2, Figure 7).
+///
+/// The indexer assigns each frame a gray range [min, max] by recursively
+/// halving the histogram domain: level 1 splits 0..255 into 0..127 /
+/// 128..255, level 2 halves again, and so on. The paper descends at
+/// level 1 unconditionally (left if >55% of pixel mass, else right) and
+/// below that only while one half holds >60% of the mass; otherwise the
+/// frame is grouped at the previous level's range.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "imaging/histogram.h"
+#include "imaging/image.h"
+
+namespace vr {
+
+/// Tuning knobs for the range finder.
+struct RangeFinderOptions {
+  /// Maximum splits below the root; 3 reproduces the paper's tree
+  /// (ranges of width 128, 64, 32).
+  int max_depth = 3;
+  /// Percent of pixel mass required to choose a half at level 1
+  /// (the paper's 55; level 1 always descends into the heavier side).
+  double level1_threshold_pct = 55.0;
+  /// Percent of mass required to descend below level 1 (the paper's 60).
+  double lower_threshold_pct = 60.0;
+};
+
+/// A node of the indexing tree: the gray range a frame was grouped into.
+struct GrayRange {
+  int min = 0;
+  int max = 255;
+  /// Depth in the tree: 0 = root (0..255), 1 = width-128 range, ...
+  int depth = 0;
+
+  bool operator==(const GrayRange&) const = default;
+  /// Orders by (min, max); usable as a map key.
+  bool operator<(const GrayRange& other) const {
+    if (min != other.min) return min < other.min;
+    return max < other.max;
+  }
+
+  /// True when \p other lies within this range.
+  bool Contains(const GrayRange& other) const {
+    return min <= other.min && other.max <= max;
+  }
+  /// True when the two ranges share any gray level.
+  bool Overlaps(const GrayRange& other) const {
+    return min <= other.max && other.min <= max;
+  }
+
+  /// "[min, max]" for logs and the Figure-7 bench.
+  std::string ToString() const;
+};
+
+/// Computes the range for a histogram.
+GrayRange FindRange(const GrayHistogram& hist,
+                    const RangeFinderOptions& options = {});
+
+/// Convenience: histogram + range in one call.
+GrayRange FindRange(const Image& img, const RangeFinderOptions& options = {});
+
+/// Every range the tree of the given depth can produce (for the
+/// Figure-7 bench and for tests), in breadth-first order.
+std::vector<GrayRange> AllTreeRanges(int max_depth);
+
+}  // namespace vr

@@ -1,0 +1,66 @@
+/// \file keyframe_extractor.h
+/// \brief Key-frame extraction (paper §4.1).
+///
+/// The paper walks the ordered frame list, compares consecutive frames
+/// with the naive 25-point signature, deletes frames within a threshold
+/// (800) of the current anchor, keeps the anchor as the key frame, and
+/// restarts at the first frame that falls outside the threshold.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "features/naive_signature.h"
+#include "imaging/image.h"
+#include "util/status.h"
+
+namespace vr {
+
+/// Options for the run-collapsing key-frame extractor.
+struct KeyFrameOptions {
+  /// Signature distance above which two frames are "different"
+  /// (the paper's dist > 800.0).
+  double threshold = 800.0;
+  /// Signature rescale size (the paper rescales to 300).
+  int signature_base_size = 300;
+  /// Per-point averaging half-window (the paper's sampleSize 15).
+  int signature_sample_size = 15;
+};
+
+/// \brief One selected key frame.
+struct KeyFrame {
+  /// Index in the input frame sequence.
+  size_t frame_index = 0;
+  /// Number of consecutive similar frames this key frame represents
+  /// (including itself).
+  size_t run_length = 1;
+  /// The key frame pixels.
+  Image image;
+};
+
+/// \brief Implements the paper's §4.1 algorithm.
+class KeyFrameExtractor {
+ public:
+  explicit KeyFrameExtractor(KeyFrameOptions options = {});
+
+  /// Selects key frames from an ordered frame list.
+  /// Returns InvalidArgument for an empty input.
+  Result<std::vector<KeyFrame>> Extract(const std::vector<Image>& frames) const;
+
+  /// Distance the extractor uses between two frames (exposed for tests
+  /// and for shot-boundary tooling).
+  Result<double> FrameDistance(const Image& a, const Image& b) const;
+
+  const KeyFrameOptions& options() const { return options_; }
+
+ private:
+  KeyFrameOptions options_;
+  NaiveSignature signature_;
+};
+
+/// Baseline: every k-th frame is a key frame (first frame always kept).
+std::vector<KeyFrame> UniformSampleKeyFrames(const std::vector<Image>& frames,
+                                             size_t stride);
+
+}  // namespace vr

@@ -1,0 +1,54 @@
+#include "keyframe/shot_detector.h"
+
+#include <cmath>
+
+#include "imaging/histogram.h"
+
+namespace vr {
+
+ShotDetector::ShotDetector(ShotDetectorOptions options) : options_(options) {}
+
+Result<std::vector<size_t>> ShotDetector::DetectShotStarts(
+    const std::vector<Image>& frames) const {
+  if (frames.empty()) {
+    return Status::InvalidArgument("no frames for shot detection");
+  }
+  std::vector<size_t> starts = {0};
+  GrayHistogram prev = ComputeGrayHistogram(frames[0]);
+  double prev_total = static_cast<double>(prev.Total());
+  for (size_t i = 1; i < frames.size(); ++i) {
+    const GrayHistogram cur = ComputeGrayHistogram(frames[i]);
+    const double cur_total = static_cast<double>(cur.Total());
+    double l1 = 0.0;
+    if (prev_total > 0 && cur_total > 0) {
+      for (int b = 0; b < 256; ++b) {
+        l1 += std::fabs(
+            static_cast<double>(prev.bins[static_cast<size_t>(b)]) /
+                prev_total -
+            static_cast<double>(cur.bins[static_cast<size_t>(b)]) / cur_total);
+      }
+    }
+    if (l1 > options_.cut_threshold &&
+        i - starts.back() >= options_.min_shot_length) {
+      starts.push_back(i);
+    }
+    prev = cur;
+    prev_total = cur_total;
+  }
+  return starts;
+}
+
+Result<std::vector<size_t>> ShotDetector::SelectKeyFrameIndices(
+    const std::vector<Image>& frames) const {
+  VR_ASSIGN_OR_RETURN(std::vector<size_t> starts, DetectShotStarts(frames));
+  std::vector<size_t> keys;
+  keys.reserve(starts.size());
+  for (size_t s = 0; s < starts.size(); ++s) {
+    const size_t begin = starts[s];
+    const size_t end = s + 1 < starts.size() ? starts[s + 1] : frames.size();
+    keys.push_back(begin + (end - begin) / 2);
+  }
+  return keys;
+}
+
+}  // namespace vr

@@ -1,0 +1,47 @@
+/// \file shot_detector.h
+/// \brief Shot-boundary (hard cut) detection via histogram differences.
+///
+/// A complementary key-frame strategy: find the cuts first, then keep
+/// one representative frame per shot. Useful as an alternative to the
+/// paper's run-collapsing extractor and for validating it (synthetic
+/// videos have known cut positions).
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "imaging/image.h"
+#include "util/status.h"
+
+namespace vr {
+
+/// Options for histogram-based cut detection.
+struct ShotDetectorOptions {
+  /// A cut is declared when the L1 distance between consecutive
+  /// normalized gray histograms exceeds this value (range 0..2).
+  double cut_threshold = 0.35;
+  /// Minimum frames between cuts (suppresses flashes).
+  size_t min_shot_length = 3;
+};
+
+/// \brief Detects hard cuts and picks per-shot representatives.
+class ShotDetector {
+ public:
+  explicit ShotDetector(ShotDetectorOptions options = {});
+
+  /// Indices where a new shot begins (frame 0 always starts a shot).
+  Result<std::vector<size_t>> DetectShotStarts(
+      const std::vector<Image>& frames) const;
+
+  /// One key-frame index per shot (the middle frame of each shot).
+  Result<std::vector<size_t>> SelectKeyFrameIndices(
+      const std::vector<Image>& frames) const;
+
+  const ShotDetectorOptions& options() const { return options_; }
+
+ private:
+  ShotDetectorOptions options_;
+};
+
+}  // namespace vr

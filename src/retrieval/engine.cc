@@ -1,0 +1,82 @@
+#include "retrieval/engine.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace vr {
+
+Result<std::unique_ptr<RetrievalEngine>> RetrievalEngine::Open(
+    const std::string& dir, EngineOptions options) {
+  if (options.enabled_features.empty()) {
+    return Status::InvalidArgument("engine needs at least one feature");
+  }
+  auto engine =
+      std::unique_ptr<RetrievalEngine>(new RetrievalEngine(options));
+  engine->scorer_.SetNormalization(options.normalization);
+  engine->extractors_.resize(kNumFeatureKinds);
+  for (FeatureKind kind : options.enabled_features) {
+    engine->extractors_[static_cast<size_t>(kind)] = MakeExtractor(kind);
+  }
+  VR_ASSIGN_OR_RETURN(engine->store_, VideoStore::Open(dir));
+  VR_RETURN_NOT_OK(engine->WarmCache());
+  return engine;
+}
+
+Status RetrievalEngine::WarmCache() {
+  cache_.clear();
+  cache_by_id_.clear();
+  Status inner = Status::OK();
+  VR_RETURN_NOT_OK(store_->ScanKeyFrames([&](const KeyFrameRecord& record) {
+    CachedKeyFrame cached;
+    cached.i_id = record.i_id;
+    cached.v_id = record.v_id;
+    cached.range = GrayRange{static_cast<int>(record.min),
+                             static_cast<int>(record.max), 0};
+    cached.features = record.features;
+    index_.InsertAt(record.i_id, cached.range);
+    cache_by_id_.emplace(record.i_id, cache_.size());
+    cache_.push_back(std::move(cached));
+    return true;
+  }));
+  VR_RETURN_NOT_OK(inner);
+  if (!cache_.empty()) {
+    VR_LOG(Info) << "warmed retrieval cache with " << cache_.size()
+                 << " key frames";
+  }
+  return Status::OK();
+}
+
+Result<FeatureMap> RetrievalEngine::ExtractEnabled(
+    const Image& img) const {
+  FeatureMap out;
+  for (FeatureKind kind : options_.enabled_features) {
+    const FeatureExtractor* extractor =
+        extractors_[static_cast<size_t>(kind)].get();
+    VR_ASSIGN_OR_RETURN(FeatureVector fv, extractor->Extract(img));
+    out.emplace(kind, std::move(fv));
+  }
+  return out;
+}
+
+Status RetrievalEngine::RemoveVideo(int64_t v_id) {
+  VR_ASSIGN_OR_RETURN(std::vector<int64_t> ids,
+                      store_->KeyFrameIdsOfVideo(v_id));
+  VR_RETURN_NOT_OK(store_->DeleteVideo(v_id));
+  for (int64_t i_id : ids) {
+    auto it = cache_by_id_.find(i_id);
+    if (it == cache_by_id_.end()) continue;
+    index_.Erase(i_id, cache_[it->second].range);
+    // Swap-erase from the cache, fixing the moved entry's index.
+    const size_t pos = it->second;
+    cache_by_id_.erase(it);
+    if (pos != cache_.size() - 1) {
+      cache_[pos] = std::move(cache_.back());
+      cache_by_id_[cache_[pos].i_id] = pos;
+    }
+    cache_.pop_back();
+  }
+  return Status::OK();
+}
+
+}  // namespace vr

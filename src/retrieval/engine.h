@@ -1,0 +1,160 @@
+/// \file engine.h
+/// \brief The content-based video retrieval engine (the paper's system).
+///
+/// Ties every substrate together: ingestion decodes a video, extracts
+/// key frames (§4.1), runs the seven feature extractors (§4.3-4.8),
+/// assigns the range-finder bucket (§4.2) and persists everything into
+/// the VIDEO_STORE / KEY_FRAMES tables; querying extracts the same
+/// features from the query frame, prunes candidates through the range
+/// index, ranks by per-feature or combined distance, and supports
+/// video-to-video search via DTW over key-frame sequences.
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "features/extractor_registry.h"
+#include "imaging/image.h"
+#include "index/range_bucket_index.h"
+#include "keyframe/keyframe_extractor.h"
+#include "similarity/combined_scorer.h"
+#include "storage/video_store.h"
+#include "util/status.h"
+
+namespace vr {
+
+/// Tuning for the retrieval engine.
+struct EngineOptions {
+  /// Features extracted at ingest and available for querying.
+  std::vector<FeatureKind> enabled_features = {
+      FeatureKind::kColorHistogram, FeatureKind::kGlcm,
+      FeatureKind::kGabor,          FeatureKind::kTamura,
+      FeatureKind::kAutoCorrelogram, FeatureKind::kNaiveSignature,
+      FeatureKind::kRegionGrowing,
+  };
+  KeyFrameOptions keyframe;
+  RangeFinderOptions range;
+  /// Prune candidates through the range index; false scans everything.
+  bool use_index = true;
+  /// Candidate policy when use_index is true.
+  RangeLookupMode lookup_mode = RangeLookupMode::kLineage;
+  /// Per-feature score normalization for the combined ranking.
+  NormalizationKind normalization = NormalizationKind::kMinMax;
+  /// Store the full video bytes in VIDEO_STORE (disable to save space
+  /// in large experiments; key frames are always stored).
+  bool store_video_blob = true;
+  /// Format of stored key-frame images: lossless PNM or the DCT codec
+  /// (the paper stores JPEG-converted frames).
+  enum class KeyFrameFormat { kPnm, kVjf } key_frame_format = KeyFrameFormat::kPnm;
+  /// Quality for KeyFrameFormat::kVjf.
+  int key_frame_quality = 85;
+};
+
+/// Extracted features keyed by family.
+using FeatureMap = std::map<FeatureKind, FeatureVector>;
+
+/// One ranked retrieval hit.
+struct QueryResult {
+  int64_t i_id = 0;  ///< key-frame id
+  int64_t v_id = 0;  ///< owning video
+  double score = 0.0;  ///< smaller = more similar
+  /// Raw per-feature distances behind the combined score.
+  std::map<FeatureKind, double> feature_distances;
+};
+
+/// One ranked video-level hit (DTW over key-frame sequences).
+struct VideoQueryResult {
+  int64_t v_id = 0;
+  double score = 0.0;
+};
+
+/// Candidate-pruning statistics of the last query.
+struct CandidateStats {
+  size_t candidates = 0;  ///< key frames scored
+  size_t total = 0;       ///< key frames in the store
+};
+
+/// \brief The CBVR system facade.
+class RetrievalEngine {
+ public:
+  /// Opens (or creates) the engine over a database directory and warms
+  /// the in-memory feature cache and range index from stored key frames.
+  static Result<std::unique_ptr<RetrievalEngine>> Open(
+      const std::string& dir, EngineOptions options = {});
+
+  /// \name Ingestion (the Administrator role).
+  /// @{
+  /// Ingests decoded frames as one video; returns its v_id.
+  Result<int64_t> IngestFrames(const std::vector<Image>& frames,
+                               const std::string& name);
+  /// Ingests a .vsv file.
+  Result<int64_t> IngestVideoFile(const std::string& path,
+                                  const std::string& name);
+  /// Removes a video and all of its key frames.
+  Status RemoveVideo(int64_t v_id);
+  /// @}
+
+  /// \name Querying (the User role).
+  /// @{
+  /// Combined multi-feature ranking of the top \p k key frames.
+  Result<std::vector<QueryResult>> QueryByImage(const Image& query, size_t k);
+  /// Ranking by a single feature (the per-feature columns of Table 1).
+  Result<std::vector<QueryResult>> QueryByImageSingleFeature(
+      const Image& query, FeatureKind kind, size_t k);
+  /// Video-to-video search: DTW over key-frame sequences with fused
+  /// per-pair feature costs.
+  Result<std::vector<VideoQueryResult>> QueryByVideo(
+      const std::vector<Image>& query_frames, size_t k);
+  /// @}
+
+  /// Pruning statistics of the most recent image query.
+  const CandidateStats& last_candidate_stats() const { return last_stats_; }
+
+  /// Mutable fusion weights (defaults: all 1).
+  CombinedScorer* scorer() { return &scorer_; }
+
+  VideoStore* store() { return store_.get(); }
+  const EngineOptions& options() const { return options_; }
+
+  /// Number of key frames currently indexed.
+  size_t indexed_key_frames() const { return cache_.size(); }
+
+ private:
+  explicit RetrievalEngine(EngineOptions options)
+      : options_(std::move(options)),
+        key_frames_(options_.keyframe),
+        index_(options_.range) {}
+
+  /// Cached per-key-frame state for in-memory ranking.
+  struct CachedKeyFrame {
+    int64_t i_id = 0;
+    int64_t v_id = 0;
+    GrayRange range;
+    FeatureMap features;
+  };
+
+  Status WarmCache();
+  Result<FeatureMap> ExtractEnabled(
+      const Image& img) const;
+  Result<std::vector<const CachedKeyFrame*>> SelectCandidates(
+      const Image& query);
+  Result<std::vector<QueryResult>> Rank(
+      const FeatureMap& query_features,
+      const std::vector<const CachedKeyFrame*>& candidates,
+      const std::vector<FeatureKind>& kinds, size_t k) const;
+
+  EngineOptions options_;
+  KeyFrameExtractor key_frames_;
+  RangeBucketIndex index_;
+  CombinedScorer scorer_;
+  std::unique_ptr<VideoStore> store_;
+  std::vector<std::unique_ptr<FeatureExtractor>> extractors_;
+  std::vector<CachedKeyFrame> cache_;
+  std::map<int64_t, size_t> cache_by_id_;
+  CandidateStats last_stats_;
+};
+
+}  // namespace vr

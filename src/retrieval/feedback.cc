@@ -1,0 +1,77 @@
+#include "retrieval/feedback.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vr {
+
+Result<std::map<FeatureKind, double>> ApplyRelevanceFeedback(
+    RetrievalEngine* engine, const std::vector<QueryResult>& results,
+    const FeedbackJudgments& judgments, const FeedbackOptions& options) {
+  if (judgments.relevant.empty() || judgments.non_relevant.empty()) {
+    return Status::InvalidArgument(
+        "feedback needs at least one relevant and one non-relevant item");
+  }
+  auto find_result = [&](int64_t i_id) -> const QueryResult* {
+    for (const QueryResult& r : results) {
+      if (r.i_id == i_id) return &r;
+    }
+    return nullptr;
+  };
+
+  // Per-feature mean distances over each judged set.
+  std::map<FeatureKind, double> relevant_mean;
+  std::map<FeatureKind, double> non_relevant_mean;
+  std::map<FeatureKind, int> relevant_n;
+  std::map<FeatureKind, int> non_relevant_n;
+  for (int64_t i_id : judgments.relevant) {
+    const QueryResult* r = find_result(i_id);
+    if (r == nullptr) {
+      return Status::InvalidArgument(
+          "judged item was not in the result list: " + std::to_string(i_id));
+    }
+    for (const auto& [kind, d] : r->feature_distances) {
+      relevant_mean[kind] += d;
+      ++relevant_n[kind];
+    }
+  }
+  for (int64_t i_id : judgments.non_relevant) {
+    const QueryResult* r = find_result(i_id);
+    if (r == nullptr) {
+      return Status::InvalidArgument(
+          "judged item was not in the result list: " + std::to_string(i_id));
+    }
+    for (const auto& [kind, d] : r->feature_distances) {
+      non_relevant_mean[kind] += d;
+      ++non_relevant_n[kind];
+    }
+  }
+
+  std::map<FeatureKind, double> new_weights;
+  for (FeatureKind kind : engine->options().enabled_features) {
+    const auto rn = relevant_n.find(kind);
+    const auto nn = non_relevant_n.find(kind);
+    double discrimination = 1.0;
+    if (rn != relevant_n.end() && nn != non_relevant_n.end() &&
+        rn->second > 0 && nn->second > 0) {
+      const double rel = relevant_mean[kind] / rn->second;
+      const double non = non_relevant_mean[kind] / nn->second;
+      // Scale-free: distances of different features are not comparable,
+      // but the ratio within one feature is.
+      discrimination = non / (rel + 1e-12);
+      if (!std::isfinite(discrimination)) {
+        discrimination = options.max_weight;
+      }
+    }
+    const double current = engine->scorer()->GetWeight(kind);
+    const double target =
+        std::clamp(discrimination, options.min_weight, options.max_weight);
+    const double blended = current * (1.0 - options.learning_rate) +
+                           target * options.learning_rate;
+    engine->scorer()->SetWeight(kind, blended);
+    new_weights[kind] = blended;
+  }
+  return new_weights;
+}
+
+}  // namespace vr

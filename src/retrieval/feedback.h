@@ -1,0 +1,51 @@
+/// \file feedback.h
+/// \brief Relevance feedback: re-weight features from user judgments.
+///
+/// Extension of the paper's interactive retrieval loop (its reference
+/// [12] studies user-oriented interactive retrieval): after a query,
+/// the user marks some results relevant / non-relevant; each feature is
+/// re-weighted by how well its distances separate the two sets, and the
+/// query is re-run. A feature whose distances are small for relevant
+/// hits and large for non-relevant ones earns weight; an inverted or
+/// uninformative feature loses it.
+
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "retrieval/engine.h"
+
+namespace vr {
+
+/// One round of user judgments over previously returned results.
+struct FeedbackJudgments {
+  /// i_ids the user marked relevant.
+  std::vector<int64_t> relevant;
+  /// i_ids the user marked non-relevant.
+  std::vector<int64_t> non_relevant;
+};
+
+/// Options for the feedback update.
+struct FeedbackOptions {
+  /// Weight floor/ceiling after the update.
+  double min_weight = 0.05;
+  double max_weight = 8.0;
+  /// Exponential smoothing toward the new evidence (1 = replace).
+  double learning_rate = 0.7;
+};
+
+/// \brief Computes per-feature separation weights from one feedback
+/// round and applies them to the engine's combined scorer.
+///
+/// For each enabled feature, the discrimination score is
+/// mean(distance to non-relevant) / (mean(distance to relevant) + eps),
+/// clamped into [min_weight, max_weight]; weights blend with the current
+/// ones by the learning rate. Distances are taken from the
+/// QueryResult::feature_distances the engine returned for the judged
+/// items, so no re-extraction happens.
+Result<std::map<FeatureKind, double>> ApplyRelevanceFeedback(
+    RetrievalEngine* engine, const std::vector<QueryResult>& results,
+    const FeedbackJudgments& judgments, const FeedbackOptions& options = {});
+
+}  // namespace vr

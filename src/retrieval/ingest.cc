@@ -1,0 +1,123 @@
+#include <ctime>
+
+#include "features/region_growing.h"
+#include "imaging/dct_codec.h"
+#include "imaging/ppm.h"
+#include "retrieval/engine.h"
+#include "util/string_util.h"
+#include "video/video_reader.h"
+#include "video/video_writer.h"
+
+namespace vr {
+
+namespace {
+
+/// Serializes key-frame ids for the STREAM column (the paper stores the
+/// "stream of keyframes" alongside the video).
+std::vector<uint8_t> EncodeStream(const std::vector<int64_t>& ids) {
+  std::string text;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (i > 0) text += ' ';
+    text += std::to_string(ids[i]);
+  }
+  return std::vector<uint8_t>(text.begin(), text.end());
+}
+
+}  // namespace
+
+Result<int64_t> RetrievalEngine::IngestFrames(const std::vector<Image>& frames,
+                                              const std::string& name) {
+  if (frames.empty()) {
+    return Status::InvalidArgument("cannot ingest an empty video");
+  }
+  VR_ASSIGN_OR_RETURN(std::vector<KeyFrame> keys, key_frames_.Extract(frames));
+
+  const int64_t v_id = store_->NextVideoId();
+  std::vector<int64_t> key_ids;
+  std::vector<CachedKeyFrame> new_cache_entries;
+  key_ids.reserve(keys.size());
+
+  for (const KeyFrame& kf : keys) {
+    KeyFrameRecord record;
+    record.i_id = store_->NextKeyFrameId();
+    record.i_name = StringPrintf("%s#%zu", name.c_str(), kf.frame_index);
+    if (options_.key_frame_format == EngineOptions::KeyFrameFormat::kVjf) {
+      VR_ASSIGN_OR_RETURN(record.image,
+                          EncodeVjf(kf.image, options_.key_frame_quality));
+    } else {
+      const std::string pnm = EncodePnm(kf.image);
+      record.image.assign(pnm.begin(), pnm.end());
+    }
+    const GrayRange range = FindRange(kf.image, options_.range);
+    record.min = range.min;
+    record.max = range.max;
+    record.v_id = v_id;
+    VR_ASSIGN_OR_RETURN(record.features, ExtractEnabled(kf.image));
+    auto regions = record.features.find(FeatureKind::kRegionGrowing);
+    if (regions != record.features.end() &&
+        regions->second.size() > SimpleRegionGrowing::kMajorRegions) {
+      record.major_regions = static_cast<int64_t>(
+          regions->second[SimpleRegionGrowing::kMajorRegions]);
+    }
+    VR_ASSIGN_OR_RETURN(int64_t i_id, store_->PutKeyFrame(record));
+    key_ids.push_back(i_id);
+
+    CachedKeyFrame cached;
+    cached.i_id = i_id;
+    cached.v_id = v_id;
+    cached.range = range;
+    cached.features = std::move(record.features);
+    new_cache_entries.push_back(std::move(cached));
+  }
+
+  VideoRecord video;
+  video.v_id = v_id;
+  video.v_name = name;
+  video.stream = EncodeStream(key_ids);
+  const std::time_t now = std::time(nullptr);
+  char date[32];
+  std::strftime(date, sizeof(date), "%Y-%m-%d", std::gmtime(&now));
+  video.dostore = date;
+  if (options_.store_video_blob) {
+    // Re-encode the frames into a .vsv blob for the VIDEO column.
+    const std::string tmp = store_->database()->dir() + "/.ingest.vsv.tmp";
+    VideoWriter writer;
+    VR_RETURN_NOT_OK(writer.Open(tmp, frames[0].width(), frames[0].height(),
+                                 frames[0].channels(), 12));
+    for (const Image& f : frames) {
+      VR_RETURN_NOT_OK(writer.Append(f));
+    }
+    VR_RETURN_NOT_OK(writer.Finish());
+    std::FILE* f = std::fopen(tmp.c_str(), "rb");
+    if (f == nullptr) return Status::IOError("cannot reopen temp video");
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    video.video.resize(static_cast<size_t>(size));
+    const size_t got = std::fread(video.video.data(), 1, video.video.size(), f);
+    std::fclose(f);
+    std::remove(tmp.c_str());
+    if (got != video.video.size()) {
+      return Status::IOError("short read of temp video");
+    }
+  }
+  VR_RETURN_NOT_OK(store_->PutVideo(video).status());
+
+  // Publish to the in-memory structures only after everything persisted.
+  for (CachedKeyFrame& cached : new_cache_entries) {
+    index_.InsertAt(cached.i_id, cached.range);
+    cache_by_id_.emplace(cached.i_id, cache_.size());
+    cache_.push_back(std::move(cached));
+  }
+  return v_id;
+}
+
+Result<int64_t> RetrievalEngine::IngestVideoFile(const std::string& path,
+                                                 const std::string& name) {
+  VideoReader reader;
+  VR_RETURN_NOT_OK(reader.Open(path));
+  VR_ASSIGN_OR_RETURN(std::vector<Image> frames, reader.ReadAll());
+  return IngestFrames(frames, name);
+}
+
+}  // namespace vr

@@ -1,0 +1,202 @@
+#include <algorithm>
+#include <limits>
+
+#include "retrieval/engine.h"
+#include "similarity/dtw.h"
+#include "similarity/normalizer.h"
+
+namespace vr {
+
+Result<std::vector<const RetrievalEngine::CachedKeyFrame*>>
+RetrievalEngine::SelectCandidates(const Image& query) {
+  std::vector<const CachedKeyFrame*> out;
+  last_stats_.total = cache_.size();
+  if (!options_.use_index) {
+    out.reserve(cache_.size());
+    for (const CachedKeyFrame& kf : cache_) out.push_back(&kf);
+    last_stats_.candidates = out.size();
+    return out;
+  }
+  const GrayRange query_range = FindRange(query, options_.range);
+  for (const CachedKeyFrame& kf : cache_) {
+    bool match = false;
+    switch (options_.lookup_mode) {
+      case RangeLookupMode::kExact:
+        match = kf.range.min == query_range.min &&
+                kf.range.max == query_range.max;
+        break;
+      case RangeLookupMode::kLineage:
+        match = kf.range.Contains(query_range) ||
+                query_range.Contains(kf.range);
+        break;
+      case RangeLookupMode::kOverlapping:
+        match = kf.range.Overlaps(query_range);
+        break;
+    }
+    if (match) out.push_back(&kf);
+  }
+  last_stats_.candidates = out.size();
+  return out;
+}
+
+Result<std::vector<QueryResult>> RetrievalEngine::Rank(
+    const FeatureMap& query_features,
+    const std::vector<const CachedKeyFrame*>& candidates,
+    const std::vector<FeatureKind>& kinds, size_t k) const {
+  if (candidates.empty()) return std::vector<QueryResult>{};
+
+  // One raw-distance column per feature.
+  std::map<FeatureKind, std::vector<double>> columns;
+  for (FeatureKind kind : kinds) {
+    const auto q_it = query_features.find(kind);
+    if (q_it == query_features.end()) {
+      return Status::InvalidArgument(
+          std::string("feature not extracted from query: ") +
+          FeatureKindName(kind));
+    }
+    const FeatureExtractor* extractor =
+        extractors_[static_cast<size_t>(kind)].get();
+    if (extractor == nullptr) {
+      return Status::InvalidArgument(
+          std::string("feature not enabled: ") + FeatureKindName(kind));
+    }
+    std::vector<double> column;
+    column.reserve(candidates.size());
+    for (const CachedKeyFrame* kf : candidates) {
+      const auto f_it = kf->features.find(kind);
+      if (f_it == kf->features.end()) {
+        // A key frame ingested without this feature ranks last for it.
+        column.push_back(std::numeric_limits<double>::max());
+      } else {
+        column.push_back(extractor->Distance(q_it->second, f_it->second));
+      }
+    }
+    columns.emplace(kind, std::move(column));
+  }
+
+  std::vector<double> scores;
+  if (kinds.size() == 1) {
+    scores = columns.begin()->second;
+  } else {
+    VR_ASSIGN_OR_RETURN(scores, scorer_.Combine(columns));
+  }
+
+  std::vector<size_t> order(candidates.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  const size_t top = std::min(k, order.size());
+  std::partial_sort(order.begin(), order.begin() + static_cast<ptrdiff_t>(top),
+                    order.end(), [&](size_t a, size_t b) {
+                      if (scores[a] != scores[b]) return scores[a] < scores[b];
+                      return candidates[a]->i_id < candidates[b]->i_id;
+                    });
+  order.resize(top);
+
+  std::vector<QueryResult> results;
+  results.reserve(top);
+  for (size_t idx : order) {
+    QueryResult r;
+    r.i_id = candidates[idx]->i_id;
+    r.v_id = candidates[idx]->v_id;
+    r.score = scores[idx];
+    for (const auto& [kind, column] : columns) {
+      r.feature_distances[kind] = column[idx];
+    }
+    results.push_back(std::move(r));
+  }
+  return results;
+}
+
+Result<std::vector<QueryResult>> RetrievalEngine::QueryByImage(
+    const Image& query, size_t k) {
+  if (query.empty()) return Status::InvalidArgument("empty query image");
+  VR_ASSIGN_OR_RETURN(FeatureMap features,
+                      ExtractEnabled(query));
+  VR_ASSIGN_OR_RETURN(std::vector<const CachedKeyFrame*> candidates,
+                      SelectCandidates(query));
+  return Rank(features, candidates, options_.enabled_features, k);
+}
+
+Result<std::vector<QueryResult>> RetrievalEngine::QueryByImageSingleFeature(
+    const Image& query, FeatureKind kind, size_t k) {
+  if (query.empty()) return Status::InvalidArgument("empty query image");
+  const FeatureExtractor* extractor =
+      extractors_[static_cast<size_t>(kind)].get();
+  if (extractor == nullptr) {
+    return Status::InvalidArgument(std::string("feature not enabled: ") +
+                                   FeatureKindName(kind));
+  }
+  VR_ASSIGN_OR_RETURN(FeatureVector fv, extractor->Extract(query));
+  FeatureMap features;
+  features.emplace(kind, std::move(fv));
+  VR_ASSIGN_OR_RETURN(std::vector<const CachedKeyFrame*> candidates,
+                      SelectCandidates(query));
+  return Rank(features, candidates, {kind}, k);
+}
+
+Result<std::vector<VideoQueryResult>> RetrievalEngine::QueryByVideo(
+    const std::vector<Image>& query_frames, size_t k) {
+  if (query_frames.empty()) {
+    return Status::InvalidArgument("empty query video");
+  }
+  // Key frames + features of the query sequence.
+  VR_ASSIGN_OR_RETURN(std::vector<KeyFrame> query_keys,
+                      key_frames_.Extract(query_frames));
+  std::vector<FeatureMap> query_features;
+  query_features.reserve(query_keys.size());
+  for (const KeyFrame& kf : query_keys) {
+    VR_ASSIGN_OR_RETURN(FeatureMap f,
+                        ExtractEnabled(kf.image));
+    query_features.push_back(std::move(f));
+  }
+
+  // Group stored key frames per video, in id (i.e. temporal) order.
+  std::map<int64_t, std::vector<const CachedKeyFrame*>> by_video;
+  for (const CachedKeyFrame& kf : cache_) {
+    by_video[kf.v_id].push_back(&kf);
+  }
+  for (auto& [v_id, frames] : by_video) {
+    std::sort(frames.begin(), frames.end(),
+              [](const CachedKeyFrame* a, const CachedKeyFrame* b) {
+                return a->i_id < b->i_id;
+              });
+  }
+
+  // Pair cost: mean of per-feature distances, each squashed to [0, 1]
+  // with x / (1 + x) so no single feature's scale dominates.
+  auto pair_cost = [&](const FeatureMap& qf,
+                       const CachedKeyFrame& kf) {
+    double acc = 0.0;
+    int n = 0;
+    for (FeatureKind kind : options_.enabled_features) {
+      const auto a = qf.find(kind);
+      const auto b = kf.features.find(kind);
+      if (a == qf.end() || b == kf.features.end()) continue;
+      const double d =
+          extractors_[static_cast<size_t>(kind)]->Distance(a->second,
+                                                           b->second);
+      acc += d / (1.0 + d);
+      ++n;
+    }
+    return n > 0 ? acc / n : 1.0;
+  };
+
+  std::vector<VideoQueryResult> results;
+  for (const auto& [v_id, frames] : by_video) {
+    VR_ASSIGN_OR_RETURN(
+        double score,
+        DtwDistanceCost(query_features.size(), frames.size(),
+                        [&](size_t i, size_t j) {
+                          return pair_cost(query_features[i], *frames[j]);
+                        }));
+    results.push_back(VideoQueryResult{v_id, score});
+  }
+  std::sort(results.begin(), results.end(),
+            [](const VideoQueryResult& a, const VideoQueryResult& b) {
+              if (a.score != b.score) return a.score < b.score;
+              return a.v_id < b.v_id;
+            });
+  if (results.size() > k) results.resize(k);
+  return results;
+}
+
+}  // namespace vr

@@ -1,0 +1,54 @@
+#include "similarity/combined_scorer.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace vr {
+
+CombinedScorer::CombinedScorer() {
+  std::fill(std::begin(weights_), std::end(weights_), 1.0);
+}
+
+void CombinedScorer::SetWeight(FeatureKind kind, double weight) {
+  weights_[static_cast<int>(kind)] = std::max(0.0, weight);
+}
+
+double CombinedScorer::GetWeight(FeatureKind kind) const {
+  return weights_[static_cast<int>(kind)];
+}
+
+Result<std::vector<double>> CombinedScorer::Combine(
+    const std::map<FeatureKind, std::vector<double>>& distances) const {
+  if (distances.empty()) {
+    return Status::InvalidArgument("no feature distances to combine");
+  }
+  const size_t n = distances.begin()->second.size();
+  for (const auto& [kind, column] : distances) {
+    if (column.size() != n) {
+      return Status::InvalidArgument(StringPrintf(
+          "distance column '%s' has %zu entries, expected %zu",
+          FeatureKindName(kind), column.size(), n));
+    }
+  }
+
+  std::vector<double> combined(n, 0.0);
+  double weight_total = 0.0;
+  for (const auto& [kind, column] : distances) {
+    const double w = GetWeight(kind);
+    if (w <= 0) continue;
+    ScoreNormalizer norm(normalization_);
+    norm.Fit(column);
+    for (size_t i = 0; i < n; ++i) {
+      combined[i] += w * norm.Apply(column[i]);
+    }
+    weight_total += w;
+  }
+  if (weight_total <= 0) {
+    return Status::InvalidArgument("all feature weights are zero");
+  }
+  for (double& v : combined) v /= weight_total;
+  return combined;
+}
+
+}  // namespace vr

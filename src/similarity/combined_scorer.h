@@ -1,0 +1,46 @@
+/// \file combined_scorer.h
+/// \brief Multi-feature score fusion (the paper's "Combined" column).
+
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "features/feature_vector.h"
+#include "similarity/normalizer.h"
+#include "util/status.h"
+
+namespace vr {
+
+/// \brief Weighted late fusion of per-feature distances.
+///
+/// For every candidate, each enabled feature contributes its distance to
+/// the query; distances are normalized per feature across the candidate
+/// batch and then combined as a weighted mean. This is the paper's
+/// "combining various approaches to take advantage of different levels
+/// of representations".
+class CombinedScorer {
+ public:
+  CombinedScorer();
+
+  /// Sets the fusion weight for one feature (>= 0). Features default to
+  /// weight 1.
+  void SetWeight(FeatureKind kind, double weight);
+  double GetWeight(FeatureKind kind) const;
+
+  /// Selects the normalization applied per feature before fusion.
+  void SetNormalization(NormalizationKind kind) { normalization_ = kind; }
+  NormalizationKind normalization() const { return normalization_; }
+
+  /// Fuses per-feature distance columns. \p distances maps each feature
+  /// to a column of raw distances, all columns the same length N (one
+  /// entry per candidate). Returns the N combined scores in [0, 1].
+  Result<std::vector<double>> Combine(
+      const std::map<FeatureKind, std::vector<double>>& distances) const;
+
+ private:
+  double weights_[kNumFeatureKinds];
+  NormalizationKind normalization_ = NormalizationKind::kMinMax;
+};
+
+}  // namespace vr

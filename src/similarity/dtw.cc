@@ -1,0 +1,92 @@
+#include "similarity/dtw.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace vr {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Generic DTW over an index-pair cost callback.
+Result<double> DtwImpl(size_t n, size_t m,
+                       const std::function<double(size_t, size_t)>& cost,
+                       const DtwOptions& options) {
+  if (n == 0 || m == 0) {
+    return Status::InvalidArgument("DTW requires non-empty sequences");
+  }
+  const size_t window =
+      options.window < 0
+          ? std::max(n, m)
+          : std::max<size_t>(static_cast<size_t>(options.window),
+                             n > m ? n - m : m - n);
+
+  // Rolling rows of (cost, path length).
+  std::vector<double> prev(m + 1, kInf);
+  std::vector<double> cur(m + 1, kInf);
+  std::vector<uint32_t> prev_len(m + 1, 0);
+  std::vector<uint32_t> cur_len(m + 1, 0);
+  prev[0] = 0.0;
+  for (size_t i = 1; i <= n; ++i) {
+    std::fill(cur.begin(), cur.end(), kInf);
+    const size_t j_lo = i > window ? i - window : 1;
+    const size_t j_hi = std::min(m, i + window);
+    for (size_t j = j_lo; j <= j_hi; ++j) {
+      const double c = cost(i - 1, j - 1);
+      // Choose the cheapest predecessor among (i-1,j-1), (i-1,j),
+      // (i,j-1); ties prefer the diagonal so path lengths (and hence the
+      // path-normalized distance) stay symmetric in the two sequences.
+      double best = prev[j - 1];
+      uint32_t best_len = prev_len[j - 1];
+      if (prev[j] < best) {
+        best = prev[j];
+        best_len = prev_len[j];
+      }
+      if (cur[j - 1] < best) {
+        best = cur[j - 1];
+        best_len = cur_len[j - 1];
+      }
+      if (best == kInf) continue;
+      cur[j] = best + c;
+      cur_len[j] = best_len + 1;
+    }
+    std::swap(prev, cur);
+    std::swap(prev_len, cur_len);
+  }
+  if (prev[m] == kInf) {
+    return Status::InvalidArgument("DTW window too narrow for alignment");
+  }
+  if (options.normalize_by_path && prev_len[m] > 0) {
+    return prev[m] / static_cast<double>(prev_len[m]);
+  }
+  return prev[m];
+}
+
+}  // namespace
+
+Result<double> DtwDistanceCost(
+    size_t n, size_t m, const std::function<double(size_t, size_t)>& cost,
+    const DtwOptions& options) {
+  return DtwImpl(n, m, cost, options);
+}
+
+Result<double> DtwDistance(const std::vector<FeatureVector>& a,
+                           const std::vector<FeatureVector>& b,
+                           const ElementDistanceFn& dist,
+                           const DtwOptions& options) {
+  return DtwImpl(
+      a.size(), b.size(),
+      [&](size_t i, size_t j) { return dist(a[i], b[j]); }, options);
+}
+
+Result<double> DtwDistanceScalar(const std::vector<double>& a,
+                                 const std::vector<double>& b,
+                                 const DtwOptions& options) {
+  return DtwImpl(
+      a.size(), b.size(),
+      [&](size_t i, size_t j) { return std::fabs(a[i] - b[j]); }, options);
+}
+
+}  // namespace vr

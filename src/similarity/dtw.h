@@ -1,0 +1,56 @@
+/// \file dtw.h
+/// \brief Dynamic-programming sequence similarity (DTW).
+///
+/// The paper "uses a dynamic programming approach to compute the
+/// similarity between the feature vectors for the query and feature
+/// vectors in the feature database". This module implements dynamic time
+/// warping over key-frame feature sequences, which is the standard DP
+/// similarity for variable-length video signatures: it aligns the two
+/// key-frame sequences monotonically and sums the per-pair distances
+/// along the cheapest alignment.
+
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "features/feature_vector.h"
+#include "util/status.h"
+
+namespace vr {
+
+/// Pairwise distance callback between sequence elements.
+using ElementDistanceFn =
+    std::function<double(const FeatureVector&, const FeatureVector&)>;
+
+/// Options for DtwDistance.
+struct DtwOptions {
+  /// Sakoe-Chiba band half-width; < 0 means unconstrained.
+  int window = -1;
+  /// Divide the total path cost by the path length, so videos of
+  /// different lengths compare fairly.
+  bool normalize_by_path = true;
+};
+
+/// DTW distance between two feature sequences. Either sequence being
+/// empty is InvalidArgument.
+Result<double> DtwDistance(const std::vector<FeatureVector>& a,
+                           const std::vector<FeatureVector>& b,
+                           const ElementDistanceFn& dist,
+                           const DtwOptions& options = {});
+
+/// DTW over plain scalar sequences (used by tests and by shot-boundary
+/// post-processing).
+Result<double> DtwDistanceScalar(const std::vector<double>& a,
+                                 const std::vector<double>& b,
+                                 const DtwOptions& options = {});
+
+/// DTW over a precomputed cost callback: \p cost(i, j) is the pairwise
+/// distance between element i of the first sequence (length \p n) and
+/// element j of the second (length \p m). The retrieval engine uses this
+/// for video-to-video similarity with fused multi-feature pair costs.
+Result<double> DtwDistanceCost(size_t n, size_t m,
+                               const std::function<double(size_t, size_t)>& cost,
+                               const DtwOptions& options = {});
+
+}  // namespace vr

@@ -1,0 +1,125 @@
+#include "similarity/emd.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vr {
+
+namespace {
+
+/// L1-normalizes into \p out; returns false when total mass is zero.
+bool Normalize(const std::vector<double>& in, std::vector<double>* out) {
+  double total = 0.0;
+  for (double v : in) total += std::max(0.0, v);
+  if (total <= 0.0) return false;
+  out->resize(in.size());
+  for (size_t i = 0; i < in.size(); ++i) {
+    (*out)[i] = std::max(0.0, in[i]) / total;
+  }
+  return true;
+}
+
+}  // namespace
+
+double EmdLinear(const std::vector<double>& a, const std::vector<double>& b) {
+  std::vector<double> pa;
+  std::vector<double> pb;
+  if (!Normalize(a, &pa) || !Normalize(b, &pb)) return 0.0;
+  const size_t n = std::min(pa.size(), pb.size());
+  double carry = 0.0;
+  double cost = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    carry += pa[i] - pb[i];
+    cost += std::fabs(carry);
+  }
+  return cost;
+}
+
+double EmdCircular(const std::vector<double>& a,
+                   const std::vector<double>& b) {
+  std::vector<double> pa;
+  std::vector<double> pb;
+  if (!Normalize(a, &pa) || !Normalize(b, &pb)) return 0.0;
+  const size_t n = std::min(pa.size(), pb.size());
+  if (n == 0) return 0.0;
+  // Cumulative difference; circular EMD = sum |F_i - median(F)|.
+  std::vector<double> cum(n);
+  double carry = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    carry += pa[i] - pb[i];
+    cum[i] = carry;
+  }
+  std::vector<double> sorted = cum;
+  std::nth_element(sorted.begin(), sorted.begin() + static_cast<ptrdiff_t>(n / 2),
+                   sorted.end());
+  const double median = sorted[n / 2];
+  double cost = 0.0;
+  for (double f : cum) cost += std::fabs(f - median);
+  return cost;
+}
+
+double EmdCentroidLowerBound(const std::vector<double>& a,
+                             const std::vector<double>& b) {
+  std::vector<double> pa;
+  std::vector<double> pb;
+  if (!Normalize(a, &pa) || !Normalize(b, &pb)) return 0.0;
+  const size_t n = std::min(pa.size(), pb.size());
+  double ca = 0.0;
+  double cb = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    ca += static_cast<double>(i) * pa[i];
+    cb += static_cast<double>(i) * pb[i];
+  }
+  return std::fabs(ca - cb);
+}
+
+Result<std::vector<EmdMatch>> EmdTopKScanner::Scan(
+    const std::vector<double>& query,
+    const std::vector<std::pair<int64_t, std::vector<double>>>& candidates) {
+  if (k_ == 0) return Status::InvalidArgument("k must be >= 1");
+  stats_ = EmdScanStats{};
+  stats_.candidates = candidates.size();
+
+  // Rank candidates by the cheap lower bound.
+  struct Bounded {
+    size_t index;
+    double lower_bound;
+  };
+  std::vector<Bounded> order;
+  order.reserve(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    order.push_back({i, EmdCentroidLowerBound(query, candidates[i].second)});
+  }
+  std::sort(order.begin(), order.end(), [](const Bounded& x, const Bounded& y) {
+    return x.lower_bound < y.lower_bound;
+  });
+
+  // Exact EMD in lower-bound order; stop when the bound alone already
+  // disqualifies everything that follows.
+  std::vector<EmdMatch> top;
+  for (size_t rank = 0; rank < order.size(); ++rank) {
+    const Bounded& entry = order[rank];
+    if (top.size() >= k_ && entry.lower_bound >= top.back().distance) {
+      stats_.skipped = order.size() - rank;
+      break;
+    }
+    const double exact =
+        EmdLinear(query, candidates[entry.index].second);
+    ++stats_.exact_computed;
+    if (top.size() < k_ || exact < top.back().distance) {
+      EmdMatch match{candidates[entry.index].first, exact};
+      top.insert(std::upper_bound(top.begin(), top.end(), match,
+                                  [](const EmdMatch& x, const EmdMatch& y) {
+                                    if (x.distance != y.distance) {
+                                      return x.distance < y.distance;
+                                    }
+                                    return x.id < y.id;
+                                  }),
+                 match);
+      if (top.size() > k_) top.pop_back();
+    }
+  }
+  return top;
+}
+
+}  // namespace vr

@@ -1,0 +1,133 @@
+#include "similarity/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vr {
+
+namespace {
+size_t CommonSize(const std::vector<double>& a, const std::vector<double>& b) {
+  return std::min(a.size(), b.size());
+}
+}  // namespace
+
+double L1Distance(const std::vector<double>& a, const std::vector<double>& b) {
+  double acc = 0.0;
+  for (size_t i = 0, n = CommonSize(a, b); i < n; ++i) {
+    acc += std::fabs(a[i] - b[i]);
+  }
+  return acc;
+}
+
+double L2Distance(const std::vector<double>& a, const std::vector<double>& b) {
+  double acc = 0.0;
+  for (size_t i = 0, n = CommonSize(a, b); i < n; ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+double LInfDistance(const std::vector<double>& a,
+                    const std::vector<double>& b) {
+  double mx = 0.0;
+  for (size_t i = 0, n = CommonSize(a, b); i < n; ++i) {
+    mx = std::max(mx, std::fabs(a[i] - b[i]));
+  }
+  return mx;
+}
+
+double CosineDistance(const std::vector<double>& a,
+                      const std::vector<double>& b) {
+  double dot = 0.0;
+  double na = 0.0;
+  double nb = 0.0;
+  for (size_t i = 0, n = CommonSize(a, b); i < n; ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  if (na == 0.0 || nb == 0.0) return na == nb ? 0.0 : 1.0;
+  const double cosine = dot / (std::sqrt(na) * std::sqrt(nb));
+  return 1.0 - std::clamp(cosine, -1.0, 1.0);
+}
+
+double ChiSquareDistance(const std::vector<double>& a,
+                         const std::vector<double>& b) {
+  double acc = 0.0;
+  for (size_t i = 0, n = CommonSize(a, b); i < n; ++i) {
+    const double s = a[i] + b[i];
+    if (s > 0) {
+      const double d = a[i] - b[i];
+      acc += d * d / s;
+    }
+  }
+  return acc;
+}
+
+double HistogramIntersectionDistance(const std::vector<double>& a,
+                                     const std::vector<double>& b) {
+  double inter = 0.0;
+  double sa = 0.0;
+  double sb = 0.0;
+  for (size_t i = 0, n = CommonSize(a, b); i < n; ++i) {
+    inter += std::min(a[i], b[i]);
+  }
+  for (double v : a) sa += v;
+  for (double v : b) sb += v;
+  const double denom = std::min(sa, sb);
+  if (denom <= 0) return sa == sb ? 0.0 : 1.0;
+  return 1.0 - inter / denom;
+}
+
+double JensenShannonDivergence(const std::vector<double>& a,
+                               const std::vector<double>& b) {
+  const size_t n = CommonSize(a, b);
+  double sa = 0.0;
+  double sb = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    sa += std::max(0.0, a[i]);
+    sb += std::max(0.0, b[i]);
+  }
+  if (sa <= 0 || sb <= 0) return sa == sb ? 0.0 : std::log(2.0);
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double p = std::max(0.0, a[i]) / sa;
+    const double q = std::max(0.0, b[i]) / sb;
+    const double m = 0.5 * (p + q);
+    if (p > 0) acc += 0.5 * p * std::log(p / m);
+    if (q > 0) acc += 0.5 * q * std::log(q / m);
+  }
+  return std::max(0.0, acc);
+}
+
+double EmdL1Distance(const std::vector<double>& a,
+                     const std::vector<double>& b) {
+  const size_t n = CommonSize(a, b);
+  double sa = 0.0;
+  double sb = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    sa += a[i];
+    sb += b[i];
+  }
+  if (sa <= 0 || sb <= 0) return sa == sb ? 0.0 : 1.0;
+  double cdf_diff = 0.0;
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    cdf_diff += a[i] / sa - b[i] / sb;
+    acc += std::fabs(cdf_diff);
+  }
+  return acc;
+}
+
+double CanberraDistance(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  double acc = 0.0;
+  for (size_t i = 0, n = CommonSize(a, b); i < n; ++i) {
+    const double den = std::fabs(a[i]) + std::fabs(b[i]);
+    if (den > 0) acc += std::fabs(a[i] - b[i]) / den;
+  }
+  return acc;
+}
+
+}  // namespace vr

@@ -1,0 +1,51 @@
+/// \file metrics.h
+/// \brief Vector dissimilarity measures used across retrieval.
+///
+/// All functions treat the common prefix of the two vectors and are
+/// symmetric, non-negative and zero on identical inputs (a genuine
+/// metric only where noted).
+
+#pragma once
+
+#include <vector>
+
+namespace vr {
+
+/// Manhattan (L1) distance.
+double L1Distance(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Euclidean (L2) distance.
+double L2Distance(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Chebyshev (L-infinity) distance.
+double LInfDistance(const std::vector<double>& a,
+                    const std::vector<double>& b);
+
+/// Cosine distance = 1 - cosine similarity (0 for parallel vectors).
+double CosineDistance(const std::vector<double>& a,
+                      const std::vector<double>& b);
+
+/// Symmetric chi-squared distance: sum (a-b)^2 / (a+b) over positive mass.
+double ChiSquareDistance(const std::vector<double>& a,
+                         const std::vector<double>& b);
+
+/// Histogram-intersection dissimilarity: 1 - sum min(a,b) / min(|a|,|b|).
+/// Inputs are interpreted as (possibly unnormalized) histograms.
+double HistogramIntersectionDistance(const std::vector<double>& a,
+                                     const std::vector<double>& b);
+
+/// Jensen-Shannon divergence between L1-normalized distributions, in
+/// [0, ln 2].
+double JensenShannonDivergence(const std::vector<double>& a,
+                               const std::vector<double>& b);
+
+/// 1-D earth mover's distance between L1-normalized histograms whose bins
+/// are ordered: the L1 norm of the CDF difference.
+double EmdL1Distance(const std::vector<double>& a,
+                     const std::vector<double>& b);
+
+/// Canberra distance: sum |a-b| / (|a|+|b|).
+double CanberraDistance(const std::vector<double>& a,
+                        const std::vector<double>& b);
+
+}  // namespace vr

@@ -1,0 +1,71 @@
+#include "similarity/normalizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vr {
+
+void ScoreNormalizer::Fit(const std::vector<double>& scores) {
+  fitted_ = !scores.empty();
+  if (!fitted_) return;
+  switch (kind_) {
+    case NormalizationKind::kMinMax: {
+      auto [mn, mx] = std::minmax_element(scores.begin(), scores.end());
+      min_ = *mn;
+      max_ = *mx;
+      break;
+    }
+    case NormalizationKind::kGaussian: {
+      double mean = 0.0;
+      for (double s : scores) mean += s;
+      mean /= static_cast<double>(scores.size());
+      double var = 0.0;
+      for (double s : scores) {
+        const double d = s - mean;
+        var += d * d;
+      }
+      var /= static_cast<double>(scores.size());
+      mean_ = mean;
+      stddev_ = std::sqrt(var);
+      break;
+    }
+    case NormalizationKind::kRank: {
+      sorted_ = scores;
+      std::sort(sorted_.begin(), sorted_.end());
+      break;
+    }
+  }
+}
+
+double ScoreNormalizer::Apply(double score) const {
+  if (!fitted_) return 0.5;
+  switch (kind_) {
+    case NormalizationKind::kMinMax: {
+      const double span = max_ - min_;
+      if (span <= 0) return 0.0;
+      return std::clamp((score - min_) / span, 0.0, 1.0);
+    }
+    case NormalizationKind::kGaussian: {
+      if (stddev_ <= 0) return 0.5;
+      return std::clamp((score - mean_) / (3.0 * stddev_) + 0.5, 0.0, 1.0);
+    }
+    case NormalizationKind::kRank: {
+      const auto it =
+          std::lower_bound(sorted_.begin(), sorted_.end(), score);
+      return static_cast<double>(it - sorted_.begin()) /
+             static_cast<double>(sorted_.size());
+    }
+  }
+  return 0.5;
+}
+
+std::vector<double> ScoreNormalizer::FitTransform(
+    const std::vector<double>& scores) {
+  Fit(scores);
+  std::vector<double> out;
+  out.reserve(scores.size());
+  for (double s : scores) out.push_back(Apply(s));
+  return out;
+}
+
+}  // namespace vr

@@ -1,0 +1,54 @@
+/// \file normalizer.h
+/// \brief Per-feature score normalization for multi-feature fusion.
+///
+/// Raw distances from different features live on wildly different scales
+/// (an L1 histogram distance is <= 2, a naive-signature distance reaches
+/// thousands). Before the combined scorer can add them, each feature's
+/// distances are mapped to a comparable [0, 1] range.
+
+#pragma once
+
+#include <vector>
+
+namespace vr {
+
+/// Normalization strategies.
+enum class NormalizationKind {
+  /// (x - min) / (max - min) over the observed batch.
+  kMinMax,
+  /// Gaussian: clamp((x - mean) / (3 * stddev) + 0.5, 0, 1).
+  kGaussian,
+  /// Rank: fraction of batch values strictly smaller than x.
+  kRank,
+};
+
+/// \brief Fits a normalization on a batch of raw scores, then maps values.
+class ScoreNormalizer {
+ public:
+  explicit ScoreNormalizer(NormalizationKind kind = NormalizationKind::kMinMax)
+      : kind_(kind) {}
+
+  /// Fits parameters on \p scores (one retrieval round's distances for
+  /// one feature). Empty input leaves the normalizer degenerate: Apply
+  /// then returns 0.5.
+  void Fit(const std::vector<double>& scores);
+
+  /// Maps one raw score into [0, 1].
+  double Apply(double score) const;
+
+  /// Fits on \p scores and returns the whole batch normalized.
+  std::vector<double> FitTransform(const std::vector<double>& scores);
+
+  NormalizationKind kind() const { return kind_; }
+
+ private:
+  NormalizationKind kind_;
+  bool fitted_ = false;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double mean_ = 0.0;
+  double stddev_ = 0.0;
+  std::vector<double> sorted_;  // for kRank
+};
+
+}  // namespace vr

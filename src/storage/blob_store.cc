@@ -1,0 +1,95 @@
+#include "storage/blob_store.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/string_util.h"
+
+namespace vr {
+
+namespace {
+// Blob page layout: [0] type, [4..7] next page, [8..11] used bytes,
+// payload from byte 12.
+constexpr uint32_t kBlobHeader = 12;
+}  // namespace
+
+uint32_t BlobStore::PayloadPerPage() { return kPageSize - kBlobHeader; }
+
+Result<BlobRef> BlobStore::Put(const std::vector<uint8_t>& bytes) {
+  BlobRef ref;
+  ref.size = bytes.size();
+  if (bytes.empty()) {
+    // Even empty blobs get a head page so Delete/Get are uniform.
+    VR_ASSIGN_OR_RETURN(ref.first_page, pager_->Allocate(PageType::kBlob));
+    VR_ASSIGN_OR_RETURN(std::shared_ptr<Page> page,
+                        pager_->Fetch(ref.first_page));
+    page->set_next_page(kInvalidPageId);
+    page->WriteAt<uint32_t>(8, 0);
+    pager_->MarkDirty(ref.first_page);
+    return ref;
+  }
+
+  uint32_t prev_id = kInvalidPageId;
+  size_t offset = 0;
+  while (offset < bytes.size()) {
+    const uint32_t chunk = static_cast<uint32_t>(
+        std::min<size_t>(PayloadPerPage(), bytes.size() - offset));
+    VR_ASSIGN_OR_RETURN(uint32_t page_id, pager_->Allocate(PageType::kBlob));
+    VR_ASSIGN_OR_RETURN(std::shared_ptr<Page> page, pager_->Fetch(page_id));
+    page->set_next_page(kInvalidPageId);
+    page->WriteAt<uint32_t>(8, chunk);
+    std::memcpy(page->data() + kBlobHeader, bytes.data() + offset, chunk);
+    pager_->MarkDirty(page_id);
+    if (prev_id == kInvalidPageId) {
+      ref.first_page = page_id;
+    } else {
+      VR_ASSIGN_OR_RETURN(std::shared_ptr<Page> prev, pager_->Fetch(prev_id));
+      prev->set_next_page(page_id);
+      pager_->MarkDirty(prev_id);
+    }
+    prev_id = page_id;
+    offset += chunk;
+  }
+  return ref;
+}
+
+Result<std::vector<uint8_t>> BlobStore::Get(const BlobRef& ref) const {
+  std::vector<uint8_t> out;
+  out.reserve(ref.size);
+  uint32_t cur = ref.first_page;
+  while (cur != kInvalidPageId && out.size() < ref.size) {
+    VR_ASSIGN_OR_RETURN(std::shared_ptr<Page> page, pager_->Fetch(cur));
+    if (page->type() != PageType::kBlob) {
+      return Status::Corruption("blob chain reaches a non-blob page");
+    }
+    const uint32_t used = page->ReadAt<uint32_t>(8);
+    if (used > PayloadPerPage()) {
+      return Status::Corruption("blob page claims impossible payload");
+    }
+    out.insert(out.end(), page->data() + kBlobHeader,
+               page->data() + kBlobHeader + used);
+    cur = page->next_page();
+  }
+  if (out.size() != ref.size) {
+    return Status::Corruption(
+        StringPrintf("blob chain holds %zu bytes, expected %llu", out.size(),
+                     static_cast<unsigned long long>(ref.size)));
+  }
+  return out;
+}
+
+Status BlobStore::Delete(const BlobRef& ref) {
+  uint32_t cur = ref.first_page;
+  while (cur != kInvalidPageId) {
+    VR_ASSIGN_OR_RETURN(std::shared_ptr<Page> page, pager_->Fetch(cur));
+    if (page->type() != PageType::kBlob) {
+      return Status::Corruption("blob chain reaches a non-blob page");
+    }
+    const uint32_t next = page->next_page();
+    VR_RETURN_NOT_OK(pager_->Free(cur));
+    cur = next;
+  }
+  return Status::OK();
+}
+
+}  // namespace vr

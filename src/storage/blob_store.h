@@ -1,0 +1,38 @@
+/// \file blob_store.h
+/// \brief Large-object storage across chained overflow pages.
+///
+/// Stands in for Oracle's BLOB / ORDImage / ORDVideo columns: byte
+/// strings of arbitrary size are split across a singly linked chain of
+/// pages and addressed by a BlobRef (head page + size).
+
+#pragma once
+
+#include <memory>
+
+#include "storage/pager.h"
+#include "storage/row.h"
+
+namespace vr {
+
+/// \brief Put/Get/Delete of arbitrary-size byte strings.
+class BlobStore {
+ public:
+  explicit BlobStore(Pager* pager) : pager_(pager) {}
+
+  /// Writes \p bytes into a fresh page chain.
+  Result<BlobRef> Put(const std::vector<uint8_t>& bytes);
+
+  /// Reads a blob back.
+  Result<std::vector<uint8_t>> Get(const BlobRef& ref) const;
+
+  /// Frees the blob's page chain.
+  Status Delete(const BlobRef& ref);
+
+  /// Bytes of payload stored per page.
+  static uint32_t PayloadPerPage();
+
+ private:
+  Pager* pager_;
+};
+
+}  // namespace vr

@@ -1,0 +1,363 @@
+#include "storage/bplus_tree.h"
+
+#include <cstring>
+
+#include "util/string_util.h"
+
+namespace vr {
+
+namespace {
+
+// Shared header offsets.
+constexpr uint32_t kCountOffset = 8;
+constexpr uint32_t kEntriesOffset = 12;
+
+// Leaf entries: { i64 key, u32 page, u32 slot } = 16 bytes.
+constexpr uint32_t kLeafEntrySize = 16;
+constexpr uint32_t kLeafCapacity = (kPageSize - kEntriesOffset) / kLeafEntrySize;
+
+// Internal: u32 child0 then { i64 key, u32 child } = 12 bytes per key.
+constexpr uint32_t kInternalKeySize = 12;
+constexpr uint32_t kInternalCapacity =
+    (kPageSize - kEntriesOffset - 4) / kInternalKeySize;
+
+uint16_t NodeCount(const Page& p) { return p.ReadAt<uint16_t>(kCountOffset); }
+void SetNodeCount(Page* p, uint16_t n) { p->WriteAt<uint16_t>(kCountOffset, n); }
+
+int64_t LeafKey(const Page& p, uint32_t i) {
+  return p.ReadAt<int64_t>(kEntriesOffset + i * kLeafEntrySize);
+}
+Rid LeafRid(const Page& p, uint32_t i) {
+  Rid rid;
+  rid.page_id = p.ReadAt<uint32_t>(kEntriesOffset + i * kLeafEntrySize + 8);
+  rid.slot = static_cast<uint16_t>(
+      p.ReadAt<uint32_t>(kEntriesOffset + i * kLeafEntrySize + 12));
+  return rid;
+}
+void SetLeafEntry(Page* p, uint32_t i, int64_t key, const Rid& rid) {
+  p->WriteAt<int64_t>(kEntriesOffset + i * kLeafEntrySize, key);
+  p->WriteAt<uint32_t>(kEntriesOffset + i * kLeafEntrySize + 8, rid.page_id);
+  p->WriteAt<uint32_t>(kEntriesOffset + i * kLeafEntrySize + 12,
+                       static_cast<uint32_t>(rid.slot));
+}
+void MoveLeafEntries(Page* dst, uint32_t dst_i, const Page& src, uint32_t src_i,
+                     uint32_t n) {
+  std::memmove(dst->data() + kEntriesOffset + dst_i * kLeafEntrySize,
+               src.data() + kEntriesOffset + src_i * kLeafEntrySize,
+               static_cast<size_t>(n) * kLeafEntrySize);
+}
+
+uint32_t InternalChild(const Page& p, uint32_t i) {
+  // child i sits before key i; child 0 at kEntriesOffset.
+  if (i == 0) return p.ReadAt<uint32_t>(kEntriesOffset);
+  return p.ReadAt<uint32_t>(kEntriesOffset + 4 + (i - 1) * kInternalKeySize +
+                            8);
+}
+int64_t InternalKey(const Page& p, uint32_t i) {
+  return p.ReadAt<int64_t>(kEntriesOffset + 4 + i * kInternalKeySize);
+}
+void SetInternalChild(Page* p, uint32_t i, uint32_t child) {
+  if (i == 0) {
+    p->WriteAt<uint32_t>(kEntriesOffset, child);
+  } else {
+    p->WriteAt<uint32_t>(kEntriesOffset + 4 + (i - 1) * kInternalKeySize + 8,
+                         child);
+  }
+}
+void SetInternalKey(Page* p, uint32_t i, int64_t key) {
+  p->WriteAt<int64_t>(kEntriesOffset + 4 + i * kInternalKeySize, key);
+}
+
+/// Binary search in a leaf; returns the first index with key >= target.
+uint32_t LeafLowerBound(const Page& p, int64_t key) {
+  uint32_t lo = 0;
+  uint32_t hi = NodeCount(p);
+  while (lo < hi) {
+    const uint32_t mid = (lo + hi) / 2;
+    if (LeafKey(p, mid) < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+/// Child index to descend into for \p key.
+uint32_t InternalChildIndex(const Page& p, int64_t key) {
+  const uint32_t n = NodeCount(p);
+  uint32_t lo = 0;
+  uint32_t hi = n;
+  // First key strictly greater than target -> descend left of it.
+  while (lo < hi) {
+    const uint32_t mid = (lo + hi) / 2;
+    if (InternalKey(p, mid) <= key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<BPlusTree>> BPlusTree::Open(Pager* pager) {
+  auto tree = std::unique_ptr<BPlusTree>(new BPlusTree(pager));
+  tree->root_ = pager->user_root();
+  if (tree->root_ == kInvalidPageId) {
+    VR_ASSIGN_OR_RETURN(tree->root_, pager->Allocate(PageType::kBTreeLeaf));
+    VR_ASSIGN_OR_RETURN(std::shared_ptr<Page> page,
+                        pager->Fetch(tree->root_));
+    page->set_next_page(kInvalidPageId);
+    SetNodeCount(page.get(), 0);
+    pager->MarkDirty(tree->root_);
+    pager->set_user_root(tree->root_);
+  }
+  return tree;
+}
+
+Result<uint32_t> BPlusTree::FindLeaf(int64_t key,
+                                     std::vector<uint32_t>* path) const {
+  uint32_t cur = root_;
+  while (true) {
+    VR_ASSIGN_OR_RETURN(std::shared_ptr<Page> page, pager_->Fetch(cur));
+    if (page->type() == PageType::kBTreeLeaf) return cur;
+    if (page->type() != PageType::kBTreeInternal) {
+      return Status::Corruption("B+tree descent hit a non-tree page");
+    }
+    if (path != nullptr) path->push_back(cur);
+    cur = InternalChild(*page, InternalChildIndex(*page, key));
+  }
+}
+
+Result<Rid> BPlusTree::Get(int64_t key) const {
+  VR_ASSIGN_OR_RETURN(uint32_t leaf_id, FindLeaf(key, nullptr));
+  VR_ASSIGN_OR_RETURN(std::shared_ptr<Page> leaf, pager_->Fetch(leaf_id));
+  const uint32_t pos = LeafLowerBound(*leaf, key);
+  if (pos < NodeCount(*leaf) && LeafKey(*leaf, pos) == key) {
+    return LeafRid(*leaf, pos);
+  }
+  return Status::NotFound(
+      StringPrintf("key %lld not in index", static_cast<long long>(key)));
+}
+
+Status BPlusTree::InsertIntoLeaf(uint32_t leaf_id, int64_t key, const Rid& rid,
+                                 bool overwrite,
+                                 std::optional<SplitResult>* split) {
+  VR_ASSIGN_OR_RETURN(std::shared_ptr<Page> leaf, pager_->Fetch(leaf_id));
+  const uint32_t n = NodeCount(*leaf);
+  const uint32_t pos = LeafLowerBound(*leaf, key);
+  if (pos < n && LeafKey(*leaf, pos) == key) {
+    if (!overwrite) {
+      return Status::AlreadyExists(StringPrintf(
+          "duplicate key %lld", static_cast<long long>(key)));
+    }
+    SetLeafEntry(leaf.get(), pos, key, rid);
+    pager_->MarkDirty(leaf_id);
+    return Status::OK();
+  }
+  if (n < kLeafCapacity) {
+    MoveLeafEntries(leaf.get(), pos + 1, *leaf, pos, n - pos);
+    SetLeafEntry(leaf.get(), pos, key, rid);
+    SetNodeCount(leaf.get(), static_cast<uint16_t>(n + 1));
+    pager_->MarkDirty(leaf_id);
+    return Status::OK();
+  }
+
+  // Split: right half moves to a new leaf.
+  VR_ASSIGN_OR_RETURN(uint32_t new_id, pager_->Allocate(PageType::kBTreeLeaf));
+  VR_ASSIGN_OR_RETURN(std::shared_ptr<Page> right, pager_->Fetch(new_id));
+  // Re-fetch left in case allocation evicted it (shared_ptr keeps ours
+  // alive but the cache copy is the same object, so this is just safety).
+  const uint32_t mid = n / 2;
+  SetNodeCount(right.get(), static_cast<uint16_t>(n - mid));
+  MoveLeafEntries(right.get(), 0, *leaf, mid, n - mid);
+  right->set_next_page(leaf->next_page());
+  SetNodeCount(leaf.get(), static_cast<uint16_t>(mid));
+  leaf->set_next_page(new_id);
+
+  // Insert the pending key into the correct half.
+  if (key < LeafKey(*right, 0)) {
+    const uint32_t p = LeafLowerBound(*leaf, key);
+    const uint32_t ln = NodeCount(*leaf);
+    MoveLeafEntries(leaf.get(), p + 1, *leaf, p, ln - p);
+    SetLeafEntry(leaf.get(), p, key, rid);
+    SetNodeCount(leaf.get(), static_cast<uint16_t>(ln + 1));
+  } else {
+    const uint32_t p = LeafLowerBound(*right, key);
+    const uint32_t rn = NodeCount(*right);
+    MoveLeafEntries(right.get(), p + 1, *right, p, rn - p);
+    SetLeafEntry(right.get(), p, key, rid);
+    SetNodeCount(right.get(), static_cast<uint16_t>(rn + 1));
+  }
+  pager_->MarkDirty(leaf_id);
+  pager_->MarkDirty(new_id);
+  *split = SplitResult{LeafKey(*right, 0), new_id};
+  return Status::OK();
+}
+
+Status BPlusTree::InsertIntoParents(std::vector<uint32_t>* path,
+                                    SplitResult split) {
+  while (true) {
+    if (path->empty()) {
+      // Grow a new root.
+      VR_ASSIGN_OR_RETURN(uint32_t new_root,
+                          pager_->Allocate(PageType::kBTreeInternal));
+      VR_ASSIGN_OR_RETURN(std::shared_ptr<Page> root_page,
+                          pager_->Fetch(new_root));
+      SetNodeCount(root_page.get(), 1);
+      SetInternalChild(root_page.get(), 0, root_);
+      SetInternalKey(root_page.get(), 0, split.separator);
+      SetInternalChild(root_page.get(), 1, split.new_page);
+      pager_->MarkDirty(new_root);
+      root_ = new_root;
+      pager_->set_user_root(root_);
+      return Status::OK();
+    }
+    const uint32_t parent_id = path->back();
+    path->pop_back();
+    VR_ASSIGN_OR_RETURN(std::shared_ptr<Page> parent,
+                        pager_->Fetch(parent_id));
+    const uint32_t n = NodeCount(*parent);
+    const uint32_t pos = InternalChildIndex(*parent, split.separator);
+    if (n < kInternalCapacity) {
+      // Shift keys/children right of pos.
+      for (uint32_t i = n; i > pos; --i) {
+        SetInternalKey(parent.get(), i, InternalKey(*parent, i - 1));
+        SetInternalChild(parent.get(), i + 1, InternalChild(*parent, i));
+      }
+      SetInternalKey(parent.get(), pos, split.separator);
+      SetInternalChild(parent.get(), pos + 1, split.new_page);
+      SetNodeCount(parent.get(), static_cast<uint16_t>(n + 1));
+      pager_->MarkDirty(parent_id);
+      return Status::OK();
+    }
+
+    // Split the internal node. Gather keys/children with the new entry
+    // applied, then redistribute around a median that moves up.
+    std::vector<int64_t> keys;
+    std::vector<uint32_t> children;
+    keys.reserve(n + 1);
+    children.reserve(n + 2);
+    for (uint32_t i = 0; i < n; ++i) keys.push_back(InternalKey(*parent, i));
+    for (uint32_t i = 0; i <= n; ++i) {
+      children.push_back(InternalChild(*parent, i));
+    }
+    keys.insert(keys.begin() + pos, split.separator);
+    children.insert(children.begin() + pos + 1, split.new_page);
+
+    const uint32_t total = static_cast<uint32_t>(keys.size());
+    const uint32_t mid = total / 2;
+    const int64_t up_key = keys[mid];
+
+    VR_ASSIGN_OR_RETURN(uint32_t new_id,
+                        pager_->Allocate(PageType::kBTreeInternal));
+    VR_ASSIGN_OR_RETURN(std::shared_ptr<Page> right, pager_->Fetch(new_id));
+    // Left keeps keys [0, mid), children [0, mid].
+    SetNodeCount(parent.get(), static_cast<uint16_t>(mid));
+    for (uint32_t i = 0; i < mid; ++i) {
+      SetInternalKey(parent.get(), i, keys[i]);
+    }
+    for (uint32_t i = 0; i <= mid; ++i) {
+      SetInternalChild(parent.get(), i, children[i]);
+    }
+    // Right takes keys (mid, total), children [mid+1, total].
+    const uint32_t right_n = total - mid - 1;
+    SetNodeCount(right.get(), static_cast<uint16_t>(right_n));
+    for (uint32_t i = 0; i < right_n; ++i) {
+      SetInternalKey(right.get(), i, keys[mid + 1 + i]);
+    }
+    for (uint32_t i = 0; i <= right_n; ++i) {
+      SetInternalChild(right.get(), i, children[mid + 1 + i]);
+    }
+    pager_->MarkDirty(parent_id);
+    pager_->MarkDirty(new_id);
+    split = SplitResult{up_key, new_id};
+  }
+}
+
+Status BPlusTree::Insert(int64_t key, const Rid& rid) {
+  std::vector<uint32_t> path;
+  VR_ASSIGN_OR_RETURN(uint32_t leaf_id, FindLeaf(key, &path));
+  std::optional<SplitResult> split;
+  VR_RETURN_NOT_OK(InsertIntoLeaf(leaf_id, key, rid, /*overwrite=*/false,
+                                  &split));
+  if (split.has_value()) {
+    return InsertIntoParents(&path, *split);
+  }
+  return Status::OK();
+}
+
+Status BPlusTree::Upsert(int64_t key, const Rid& rid) {
+  std::vector<uint32_t> path;
+  VR_ASSIGN_OR_RETURN(uint32_t leaf_id, FindLeaf(key, &path));
+  std::optional<SplitResult> split;
+  VR_RETURN_NOT_OK(InsertIntoLeaf(leaf_id, key, rid, /*overwrite=*/true,
+                                  &split));
+  if (split.has_value()) {
+    return InsertIntoParents(&path, *split);
+  }
+  return Status::OK();
+}
+
+Status BPlusTree::Delete(int64_t key) {
+  VR_ASSIGN_OR_RETURN(uint32_t leaf_id, FindLeaf(key, nullptr));
+  VR_ASSIGN_OR_RETURN(std::shared_ptr<Page> leaf, pager_->Fetch(leaf_id));
+  const uint32_t n = NodeCount(*leaf);
+  const uint32_t pos = LeafLowerBound(*leaf, key);
+  if (pos >= n || LeafKey(*leaf, pos) != key) {
+    return Status::NotFound(
+        StringPrintf("key %lld not in index", static_cast<long long>(key)));
+  }
+  MoveLeafEntries(leaf.get(), pos, *leaf, pos + 1, n - pos - 1);
+  SetNodeCount(leaf.get(), static_cast<uint16_t>(n - 1));
+  pager_->MarkDirty(leaf_id);
+  return Status::OK();
+}
+
+Status BPlusTree::ScanRange(
+    int64_t lo, int64_t hi,
+    const std::function<bool(int64_t, const Rid&)>& cb) const {
+  if (lo > hi) return Status::OK();
+  VR_ASSIGN_OR_RETURN(uint32_t leaf_id, FindLeaf(lo, nullptr));
+  uint32_t cur = leaf_id;
+  while (cur != kInvalidPageId) {
+    VR_ASSIGN_OR_RETURN(std::shared_ptr<Page> leaf, pager_->Fetch(cur));
+    const uint32_t n = NodeCount(*leaf);
+    for (uint32_t i = LeafLowerBound(*leaf, lo); i < n; ++i) {
+      const int64_t key = LeafKey(*leaf, i);
+      if (key > hi) return Status::OK();
+      if (!cb(key, LeafRid(*leaf, i))) return Status::OK();
+    }
+    cur = leaf->next_page();
+  }
+  return Status::OK();
+}
+
+Status BPlusTree::ScanAll(
+    const std::function<bool(int64_t, const Rid&)>& cb) const {
+  return ScanRange(INT64_MIN, INT64_MAX, cb);
+}
+
+Result<uint64_t> BPlusTree::Count() const {
+  uint64_t n = 0;
+  VR_RETURN_NOT_OK(ScanAll([&n](int64_t, const Rid&) {
+    ++n;
+    return true;
+  }));
+  return n;
+}
+
+Result<int> BPlusTree::Height() const {
+  int height = 1;
+  uint32_t cur = root_;
+  while (true) {
+    VR_ASSIGN_OR_RETURN(std::shared_ptr<Page> page, pager_->Fetch(cur));
+    if (page->type() == PageType::kBTreeLeaf) return height;
+    cur = InternalChild(*page, 0);
+    ++height;
+  }
+}
+
+}  // namespace vr

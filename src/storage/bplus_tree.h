@@ -1,0 +1,88 @@
+/// \file bplus_tree.h
+/// \brief Disk-resident B+tree mapping int64 keys to record ids.
+///
+/// Used as the primary-key index of every table and, with encoded
+/// composite keys, as the (min, max) range index that backs the paper's
+/// histogram range-finder lookups.
+///
+/// Node layout (within a Page):
+///   leaf:     [0] type, [4..7] next leaf, [8..9] count,
+///             entries from byte 12: { i64 key, u32 page, u32 slot }
+///   internal: [0] type, [8..9] key count,
+///             from byte 12: u32 child0, then { i64 key, u32 child } * count
+///
+/// Deletion removes entries from leaves without rebalancing (empty
+/// leaves stay in the chain); this keeps the structure simple and is
+/// harmless for this workload, where deletes are rare relative to
+/// inserts and scans.
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "storage/heap_file.h"
+#include "storage/pager.h"
+
+namespace vr {
+
+/// \brief Unique-key B+tree over a Pager (user_root anchors the root).
+class BPlusTree {
+ public:
+  /// Attaches to \p pager, creating an empty tree if none exists.
+  static Result<std::unique_ptr<BPlusTree>> Open(Pager* pager);
+
+  /// Inserts a key; AlreadyExists on duplicates.
+  Status Insert(int64_t key, const Rid& rid);
+
+  /// Inserts or overwrites a key.
+  Status Upsert(int64_t key, const Rid& rid);
+
+  /// Point lookup.
+  Result<Rid> Get(int64_t key) const;
+
+  /// Removes a key; NotFound when absent.
+  Status Delete(int64_t key);
+
+  /// Visits entries with lo <= key <= hi in key order; callback returns
+  /// false to stop.
+  Status ScanRange(int64_t lo, int64_t hi,
+                   const std::function<bool(int64_t, const Rid&)>& cb) const;
+
+  /// Visits every entry in key order.
+  Status ScanAll(const std::function<bool(int64_t, const Rid&)>& cb) const;
+
+  /// Number of entries (walks the leaf chain).
+  Result<uint64_t> Count() const;
+
+  /// Tree height (1 = just a root leaf).
+  Result<int> Height() const;
+
+  /// Encodes a (min, max) gray-range pair as one composite key, ordered
+  /// by (min, max) — used by the KEY_FRAMES (MIN, MAX) index.
+  static int64_t EncodeComposite(int32_t hi_part, int32_t lo_part) {
+    return (static_cast<int64_t>(static_cast<uint32_t>(hi_part)) << 32) |
+           static_cast<uint32_t>(lo_part);
+  }
+
+ private:
+  explicit BPlusTree(Pager* pager) : pager_(pager) {}
+
+  struct SplitResult {
+    int64_t separator = 0;
+    uint32_t new_page = kInvalidPageId;
+  };
+
+  Result<uint32_t> FindLeaf(int64_t key,
+                            std::vector<uint32_t>* path) const;
+  Status InsertIntoLeaf(uint32_t leaf_id, int64_t key, const Rid& rid,
+                        bool overwrite, std::optional<SplitResult>* split);
+  Status InsertIntoParents(std::vector<uint32_t>* path, SplitResult split);
+
+  Pager* pager_;
+  uint32_t root_ = kInvalidPageId;
+};
+
+}  // namespace vr

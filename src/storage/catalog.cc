@@ -1,0 +1,92 @@
+#include "storage/catalog.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace vr {
+
+Result<Catalog> Catalog::Load(const std::string& path) {
+  Catalog catalog;
+  std::ifstream f(path);
+  if (!f) return catalog;  // fresh database
+  std::string line;
+  while (std::getline(f, line)) {
+    const std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    const size_t sp1 = trimmed.find(' ');
+    if (sp1 == std::string_view::npos) {
+      return Status::Corruption("bad catalog line: " + line);
+    }
+    const std::string_view kind = trimmed.substr(0, sp1);
+    const size_t sp2 = trimmed.find(' ', sp1 + 1);
+    if (sp2 == std::string_view::npos) {
+      return Status::Corruption("bad catalog line: " + line);
+    }
+    const std::string name(trimmed.substr(sp1 + 1, sp2 - sp1 - 1));
+    const std::string rest(trimmed.substr(sp2 + 1));
+    if (kind == "TABLE") {
+      VR_ASSIGN_OR_RETURN(Schema schema, Schema::Parse(rest));
+      VR_RETURN_NOT_OK(catalog.AddTable(name, schema));
+    } else if (kind == "INDEX") {
+      VR_ASSIGN_OR_RETURN(IndexSpec spec, IndexSpec::Parse(rest));
+      VR_RETURN_NOT_OK(catalog.AddIndex(name, spec));
+    } else {
+      return Status::Corruption("unknown catalog entry: " + line);
+    }
+  }
+  return catalog;
+}
+
+Status Catalog::Save(const std::string& path) const {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::trunc);
+    if (!f) return Status::IOError("cannot write catalog: " + tmp);
+    f << "# vretrieve catalog\n";
+    for (const TableDef& t : tables_) {
+      f << "TABLE " << t.name << " " << t.schema.Serialize() << "\n";
+      for (const IndexSpec& idx : t.indexes) {
+        f << "INDEX " << t.name << " " << idx.Serialize() << "\n";
+      }
+    }
+    if (!f) return Status::IOError("short catalog write");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IOError("cannot rename catalog into place");
+  }
+  return Status::OK();
+}
+
+Status Catalog::AddTable(const std::string& name, const Schema& schema) {
+  if (Find(name) != nullptr) {
+    return Status::AlreadyExists("table exists: " + name);
+  }
+  tables_.push_back(TableDef{name, schema, {}});
+  return Status::OK();
+}
+
+Status Catalog::AddIndex(const std::string& table, const IndexSpec& spec) {
+  for (TableDef& t : tables_) {
+    if (t.name != table) continue;
+    for (const IndexSpec& existing : t.indexes) {
+      if (existing.name == spec.name) {
+        return Status::AlreadyExists("index exists: " + spec.name);
+      }
+    }
+    t.indexes.push_back(spec);
+    return Status::OK();
+  }
+  return Status::NotFound("no such table: " + table);
+}
+
+const Catalog::TableDef* Catalog::Find(const std::string& name) const {
+  for (const TableDef& t : tables_) {
+    if (t.name == name) return &t;
+  }
+  return nullptr;
+}
+
+}  // namespace vr

@@ -1,0 +1,48 @@
+/// \file catalog.h
+/// \brief Persistent catalog of table definitions and index specs.
+///
+/// A small text file (`catalog.vcat`) inside the database directory:
+///   TABLE <name> <serialized schema>
+///   INDEX <table> <serialized index spec>
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "storage/schema.h"
+#include "storage/table.h"
+
+namespace vr {
+
+/// \brief In-memory catalog with load/save.
+class Catalog {
+ public:
+  struct TableDef {
+    std::string name;
+    Schema schema;
+    std::vector<IndexSpec> indexes;
+  };
+
+  /// Loads the catalog file; a missing file yields an empty catalog.
+  static Result<Catalog> Load(const std::string& path);
+
+  /// Writes the catalog file atomically (write temp + rename).
+  Status Save(const std::string& path) const;
+
+  /// Registers a table; AlreadyExists when the name is taken.
+  Status AddTable(const std::string& name, const Schema& schema);
+
+  /// Registers an index on an existing table.
+  Status AddIndex(const std::string& table, const IndexSpec& spec);
+
+  /// Lookup; nullptr when absent.
+  const TableDef* Find(const std::string& name) const;
+
+  const std::vector<TableDef>& tables() const { return tables_; }
+
+ private:
+  std::vector<TableDef> tables_;
+};
+
+}  // namespace vr

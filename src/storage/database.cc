@@ -1,0 +1,169 @@
+#include "storage/database.h"
+
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include "util/logging.h"
+
+namespace vr {
+
+namespace {
+
+Status EnsureDirectory(const std::string& dir, bool create) {
+  struct stat st {};
+  if (stat(dir.c_str(), &st) == 0) {
+    if (!S_ISDIR(st.st_mode)) {
+      return Status::InvalidArgument(dir + " exists and is not a directory");
+    }
+    return Status::OK();
+  }
+  if (!create) return Status::NotFound("no such database: " + dir);
+  if (mkdir(dir.c_str(), 0755) != 0) {
+    return Status::IOError("cannot create database directory: " + dir);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Database::~Database() {
+  if (!closed_) {
+    const Status st = Close();
+    if (!st.ok()) {
+      VR_LOG(Error) << "error closing database " << dir_ << ": "
+                    << st.ToString();
+    }
+  }
+}
+
+Result<std::unique_ptr<Database>> Database::Open(const std::string& dir,
+                                                 bool create_if_missing) {
+  VR_RETURN_NOT_OK(EnsureDirectory(dir, create_if_missing));
+  auto db = std::unique_ptr<Database>(new Database(dir));
+  VR_ASSIGN_OR_RETURN(db->catalog_, Catalog::Load(dir + "/catalog.vcat"));
+  VR_ASSIGN_OR_RETURN(db->wal_, Wal::Open(dir + "/journal.wal"));
+
+  for (const Catalog::TableDef& def : db->catalog_.tables()) {
+    VR_ASSIGN_OR_RETURN(std::unique_ptr<Table> table,
+                        Table::Open(dir, def.name, def.schema, true));
+    for (const IndexSpec& spec : def.indexes) {
+      VR_RETURN_NOT_OK(table->CreateIndex(spec));
+    }
+    db->tables_.emplace(def.name, std::move(table));
+  }
+  VR_RETURN_NOT_OK(db->ReplayJournal());
+  return db;
+}
+
+Status Database::ReplayJournal() {
+  size_t applied = 0;
+  VR_RETURN_NOT_OK(wal_->Replay([&](const WalRecord& record) -> Status {
+    auto it = tables_.find(record.table);
+    if (it == tables_.end()) {
+      // A journal record for a table the catalog does not know means the
+      // catalog write raced the crash; surface it rather than guess.
+      return Status::Corruption("journal references unknown table " +
+                                record.table);
+    }
+    Table* table = it->second.get();
+    if (record.op == WalOp::kInsert) {
+      VR_ASSIGN_OR_RETURN(DecodedRow decoded,
+                          DeserializeRow(table->schema(), record.payload));
+      // Idempotent: a row already present was applied before the crash.
+      if (!table->Exists(record.pk)) {
+        VR_RETURN_NOT_OK(table->Insert(decoded.values).status());
+        ++applied;
+      }
+    } else {
+      const Status st = table->Delete(record.pk);
+      if (st.ok()) {
+        ++applied;
+      } else if (!st.IsNotFound()) {
+        return st;
+      }
+    }
+    return Status::OK();
+  }));
+  if (applied > 0) {
+    VR_LOG(Info) << "journal replay applied " << applied << " records";
+    return Checkpoint();
+  }
+  return Status::OK();
+}
+
+Result<Table*> Database::CreateTable(const std::string& name,
+                                     const Schema& schema) {
+  VR_RETURN_NOT_OK(catalog_.AddTable(name, schema));
+  VR_ASSIGN_OR_RETURN(std::unique_ptr<Table> table,
+                      Table::Open(dir_, name, schema, true));
+  Table* raw = table.get();
+  tables_.emplace(name, std::move(table));
+  VR_RETURN_NOT_OK(catalog_.Save(dir_ + "/catalog.vcat"));
+  return raw;
+}
+
+Result<Table*> Database::GetTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("no such table: " + name);
+  return it->second.get();
+}
+
+Status Database::CreateIndex(const std::string& table, const IndexSpec& spec) {
+  VR_ASSIGN_OR_RETURN(Table * t, GetTable(table));
+  VR_RETURN_NOT_OK(t->CreateIndex(spec));
+  VR_RETURN_NOT_OK(catalog_.AddIndex(table, spec));
+  return catalog_.Save(dir_ + "/catalog.vcat");
+}
+
+Result<int64_t> Database::Insert(const std::string& table, const Row& row) {
+  VR_ASSIGN_OR_RETURN(Table * t, GetTable(table));
+  VR_RETURN_NOT_OK(t->schema().ValidateRow(row));
+  const int64_t pk = row[t->schema().primary_key_index()].AsInt64();
+  if (t->Exists(pk)) {
+    return Status::AlreadyExists(table + ": duplicate pk " +
+                                 std::to_string(pk));
+  }
+  // Journal first (blobs inline), then apply.
+  VR_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
+                      SerializeRow(t->schema(), row));
+  VR_RETURN_NOT_OK(wal_->AppendInsert(table, pk, payload));
+  VR_RETURN_NOT_OK(wal_->Sync());
+  return t->Insert(row);
+}
+
+Status Database::Delete(const std::string& table, int64_t pk) {
+  VR_ASSIGN_OR_RETURN(Table * t, GetTable(table));
+  if (!t->Exists(pk)) {
+    return Status::NotFound(table + ": no pk " + std::to_string(pk));
+  }
+  VR_RETURN_NOT_OK(wal_->AppendDelete(table, pk));
+  VR_RETURN_NOT_OK(wal_->Sync());
+  return t->Delete(pk);
+}
+
+Status Database::Update(const std::string& table, const Row& row) {
+  VR_ASSIGN_OR_RETURN(Table * t, GetTable(table));
+  VR_RETURN_NOT_OK(t->schema().ValidateRow(row));
+  const int64_t pk = row[t->schema().primary_key_index()].AsInt64();
+  VR_RETURN_NOT_OK(Delete(table, pk));
+  return Insert(table, row).status();
+}
+
+Status Database::Checkpoint() {
+  // A partially constructed Database (Open failed mid-way) has no
+  // journal; there is nothing to checkpoint.
+  if (wal_ == nullptr) return Status::OK();
+  for (auto& [name, table] : tables_) {
+    VR_RETURN_NOT_OK(table->Sync());
+  }
+  return wal_->Truncate();
+}
+
+Status Database::Close() {
+  if (closed_) return Status::OK();
+  VR_RETURN_NOT_OK(Checkpoint());
+  closed_ = true;
+  return Status::OK();
+}
+
+}  // namespace vr

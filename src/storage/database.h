@@ -1,0 +1,74 @@
+/// \file database.h
+/// \brief The embedded database: catalog + tables + journal + recovery.
+///
+/// A database is a directory. Mutations routed through the Database are
+/// journaled (journal-first, fsync, then apply), so a crash between
+/// commit and page flush is recovered by idempotent replay on the next
+/// Open. Checkpoint() flushes every table and truncates the journal.
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "storage/catalog.h"
+#include "storage/table.h"
+#include "storage/wal.h"
+
+namespace vr {
+
+/// \brief Directory-backed database with WAL-based crash recovery.
+class Database {
+ public:
+  ~Database();
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Opens a database directory (creating it when \p create_if_missing),
+  /// loads the catalog, opens every table and replays the journal.
+  static Result<std::unique_ptr<Database>> Open(const std::string& dir,
+                                                bool create_if_missing);
+
+  /// Creates a table and persists the catalog.
+  Result<Table*> CreateTable(const std::string& name, const Schema& schema);
+
+  /// Looks up an open table; NotFound when absent.
+  Result<Table*> GetTable(const std::string& name);
+
+  /// Creates a secondary index and persists the catalog.
+  Status CreateIndex(const std::string& table, const IndexSpec& spec);
+
+  /// Journaled insert. AlreadyExists on pk collision.
+  Result<int64_t> Insert(const std::string& table, const Row& row);
+
+  /// Journaled delete by primary key.
+  Status Delete(const std::string& table, int64_t pk);
+
+  /// Journaled update (delete + insert under the same pk).
+  Status Update(const std::string& table, const Row& row);
+
+  /// Flushes all tables and truncates the journal.
+  Status Checkpoint();
+
+  /// Checkpoint + close. Called by the destructor if needed.
+  Status Close();
+
+  const std::string& dir() const { return dir_; }
+
+  /// Bytes currently pending in the journal.
+  Result<uint64_t> JournalBytes() const { return wal_->SizeBytes(); }
+
+ private:
+  explicit Database(std::string dir) : dir_(std::move(dir)) {}
+
+  Status ReplayJournal();
+
+  std::string dir_;
+  Catalog catalog_;
+  std::unique_ptr<Wal> wal_;
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+  bool closed_ = false;
+};
+
+}  // namespace vr

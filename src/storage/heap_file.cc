@@ -1,0 +1,119 @@
+#include "storage/heap_file.h"
+
+namespace vr {
+
+Result<std::unique_ptr<HeapFile>> HeapFile::Open(Pager* pager) {
+  auto heap = std::unique_ptr<HeapFile>(new HeapFile(pager));
+  heap->first_page_ = pager->user_root();
+  if (heap->first_page_ == kInvalidPageId) {
+    VR_ASSIGN_OR_RETURN(heap->first_page_,
+                        pager->Allocate(PageType::kSlotted));
+    VR_ASSIGN_OR_RETURN(std::shared_ptr<Page> page,
+                        pager->Fetch(heap->first_page_));
+    SlottedPage(page.get()).Init();
+    pager->MarkDirty(heap->first_page_);
+    pager->set_user_root(heap->first_page_);
+    heap->tail_page_ = heap->first_page_;
+  } else {
+    // Find the tail of the chain.
+    uint32_t cur = heap->first_page_;
+    while (true) {
+      VR_ASSIGN_OR_RETURN(std::shared_ptr<Page> page, pager->Fetch(cur));
+      const uint32_t next = page->next_page();
+      if (next == kInvalidPageId) break;
+      cur = next;
+    }
+    heap->tail_page_ = cur;
+  }
+  return heap;
+}
+
+Result<Rid> HeapFile::Insert(const std::vector<uint8_t>& record) {
+  // Try the tail page, then grow the chain.
+  VR_ASSIGN_OR_RETURN(std::shared_ptr<Page> page, pager_->Fetch(tail_page_));
+  SlottedPage slotted(page.get());
+  Result<uint16_t> slot = slotted.Insert(record);
+  if (slot.ok()) {
+    pager_->MarkDirty(tail_page_);
+    return Rid{tail_page_, slot.value()};
+  }
+  if (!slot.status().IsOutOfRange() && !slot.status().IsInvalidArgument()) {
+    return slot.status();
+  }
+  if (record.size() > SlottedPage::MaxRecordSize()) {
+    return Status::InvalidArgument(
+        "record too large for heap page; use the blob store");
+  }
+  VR_ASSIGN_OR_RETURN(uint32_t new_page_id,
+                      pager_->Allocate(PageType::kSlotted));
+  VR_ASSIGN_OR_RETURN(std::shared_ptr<Page> new_page,
+                      pager_->Fetch(new_page_id));
+  SlottedPage new_slotted(new_page.get());
+  new_slotted.Init();
+  VR_ASSIGN_OR_RETURN(uint16_t new_slot, new_slotted.Insert(record));
+  pager_->MarkDirty(new_page_id);
+  page->set_next_page(new_page_id);
+  pager_->MarkDirty(tail_page_);
+  tail_page_ = new_page_id;
+  return Rid{new_page_id, new_slot};
+}
+
+Result<std::vector<uint8_t>> HeapFile::Get(const Rid& rid) const {
+  VR_ASSIGN_OR_RETURN(std::shared_ptr<Page> page, pager_->Fetch(rid.page_id));
+  if (page->type() != PageType::kSlotted) {
+    return Status::InvalidArgument("rid does not point at a record page");
+  }
+  return SlottedPage(page.get()).Get(rid.slot);
+}
+
+Status HeapFile::Delete(const Rid& rid) {
+  VR_ASSIGN_OR_RETURN(std::shared_ptr<Page> page, pager_->Fetch(rid.page_id));
+  if (page->type() != PageType::kSlotted) {
+    return Status::InvalidArgument("rid does not point at a record page");
+  }
+  VR_RETURN_NOT_OK(SlottedPage(page.get()).Delete(rid.slot));
+  pager_->MarkDirty(rid.page_id);
+  return Status::OK();
+}
+
+Result<Rid> HeapFile::Update(const Rid& rid,
+                             const std::vector<uint8_t>& record) {
+  VR_ASSIGN_OR_RETURN(std::shared_ptr<Page> page, pager_->Fetch(rid.page_id));
+  SlottedPage slotted(page.get());
+  VR_RETURN_NOT_OK(slotted.Delete(rid.slot));
+  pager_->MarkDirty(rid.page_id);
+  // Re-insert, preferring the same page.
+  Result<uint16_t> slot = slotted.Insert(record);
+  if (slot.ok()) {
+    return Rid{rid.page_id, slot.value()};
+  }
+  return Insert(record);
+}
+
+Status HeapFile::Scan(
+    const std::function<bool(const Rid&, const std::vector<uint8_t>&)>& cb)
+    const {
+  uint32_t cur = first_page_;
+  while (cur != kInvalidPageId) {
+    VR_ASSIGN_OR_RETURN(std::shared_ptr<Page> page, pager_->Fetch(cur));
+    SlottedPage slotted(page.get());
+    for (uint16_t s = 0; s < slotted.slot_count(); ++s) {
+      if (!slotted.IsLive(s)) continue;
+      VR_ASSIGN_OR_RETURN(std::vector<uint8_t> record, slotted.Get(s));
+      if (!cb(Rid{cur, s}, record)) return Status::OK();
+    }
+    cur = page->next_page();
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> HeapFile::Count() const {
+  uint64_t n = 0;
+  VR_RETURN_NOT_OK(Scan([&n](const Rid&, const std::vector<uint8_t>&) {
+    ++n;
+    return true;
+  }));
+  return n;
+}
+
+}  // namespace vr

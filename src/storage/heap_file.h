@@ -1,0 +1,60 @@
+/// \file heap_file.h
+/// \brief Unordered record storage over a chain of slotted pages.
+
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "storage/pager.h"
+
+namespace vr {
+
+/// \brief Record id: page + slot.
+struct Rid {
+  uint32_t page_id = kInvalidPageId;
+  uint16_t slot = 0;
+
+  bool operator==(const Rid&) const = default;
+  bool valid() const { return page_id != kInvalidPageId; }
+};
+
+/// \brief Heap file over a Pager (the pager's user_root anchors the
+/// first data page). Records must fit in one page; larger payloads go
+/// through the BlobStore.
+class HeapFile {
+ public:
+  /// Attaches to \p pager, creating the first data page if absent.
+  static Result<std::unique_ptr<HeapFile>> Open(Pager* pager);
+
+  /// Appends a record; returns its Rid.
+  Result<Rid> Insert(const std::vector<uint8_t>& record);
+
+  /// Reads a record.
+  Result<std::vector<uint8_t>> Get(const Rid& rid) const;
+
+  /// Deletes a record (slot becomes dead; space reclaimed on demand).
+  Status Delete(const Rid& rid);
+
+  /// Replaces a record; the Rid may change when the new payload no
+  /// longer fits in place.
+  Result<Rid> Update(const Rid& rid, const std::vector<uint8_t>& record);
+
+  /// Visits every live record in chain order. The callback returns
+  /// false to stop early.
+  Status Scan(
+      const std::function<bool(const Rid&, const std::vector<uint8_t>&)>& cb)
+      const;
+
+  /// Number of live records (walks the chain).
+  Result<uint64_t> Count() const;
+
+ private:
+  explicit HeapFile(Pager* pager) : pager_(pager) {}
+
+  Pager* pager_;
+  uint32_t first_page_ = kInvalidPageId;
+  uint32_t tail_page_ = kInvalidPageId;
+};
+
+}  // namespace vr

@@ -1,0 +1,104 @@
+#include "storage/page.h"
+
+#include "util/string_util.h"
+
+namespace vr {
+
+void SlottedPage::Init() {
+  page_->set_type(PageType::kSlotted);
+  page_->set_next_page(kInvalidPageId);
+  set_slot_count(0);
+  set_free_start(static_cast<uint16_t>(kHeaderSize));
+  set_free_end(static_cast<uint16_t>(kPageSize));
+}
+
+uint32_t SlottedPage::FreeSpace() const {
+  const uint32_t start = free_start();
+  const uint32_t end = free_end();
+  if (end <= start + kSlotSize) return 0;
+  return end - start - kSlotSize;
+}
+
+uint32_t SlottedPage::MaxRecordSize() {
+  return kPageSize - kHeaderSize - kSlotSize;
+}
+
+Result<uint16_t> SlottedPage::Insert(const std::vector<uint8_t>& record) {
+  if (record.size() > MaxRecordSize()) {
+    return Status::InvalidArgument(
+        StringPrintf("record of %zu bytes exceeds page capacity %u",
+                     record.size(), MaxRecordSize()));
+  }
+  if (record.size() > FreeSpace()) {
+    // Try to reclaim dead-slot space first.
+    Compact();
+    if (record.size() > FreeSpace()) {
+      return Status::OutOfRange("page full");
+    }
+  }
+  const uint16_t slot = slot_count();
+  const uint16_t rec_off =
+      static_cast<uint16_t>(free_end() - static_cast<uint32_t>(record.size()));
+  std::memcpy(page_->data() + rec_off, record.data(), record.size());
+  page_->WriteAt<uint16_t>(SlotOffset(slot), rec_off);
+  page_->WriteAt<uint16_t>(SlotOffset(slot) + 2,
+                           static_cast<uint16_t>(record.size()));
+  set_slot_count(static_cast<uint16_t>(slot + 1));
+  set_free_start(static_cast<uint16_t>(free_start() + kSlotSize));
+  set_free_end(rec_off);
+  return slot;
+}
+
+bool SlottedPage::IsLive(uint16_t slot) const {
+  if (slot >= slot_count()) return false;
+  return page_->ReadAt<uint16_t>(SlotOffset(slot)) != 0;
+}
+
+Result<std::vector<uint8_t>> SlottedPage::Get(uint16_t slot) const {
+  if (slot >= slot_count()) {
+    return Status::NotFound(StringPrintf("slot %u out of range", slot));
+  }
+  const uint16_t off = page_->ReadAt<uint16_t>(SlotOffset(slot));
+  if (off == 0) {
+    return Status::NotFound(StringPrintf("slot %u is dead", slot));
+  }
+  const uint16_t len = page_->ReadAt<uint16_t>(SlotOffset(slot) + 2);
+  if (static_cast<uint32_t>(off) + len > kPageSize) {
+    return Status::Corruption("slot points outside the page");
+  }
+  return std::vector<uint8_t>(page_->data() + off, page_->data() + off + len);
+}
+
+Status SlottedPage::Delete(uint16_t slot) {
+  if (slot >= slot_count() || page_->ReadAt<uint16_t>(SlotOffset(slot)) == 0) {
+    return Status::NotFound(StringPrintf("slot %u not live", slot));
+  }
+  page_->WriteAt<uint16_t>(SlotOffset(slot), 0);
+  page_->WriteAt<uint16_t>(SlotOffset(slot) + 2, 0);
+  return Status::OK();
+}
+
+void SlottedPage::Compact() {
+  // Collect live records, clear the data area, re-place from the back
+  // while keeping slot ids stable.
+  const uint16_t n = slot_count();
+  std::vector<std::pair<uint16_t, std::vector<uint8_t>>> live;
+  for (uint16_t s = 0; s < n; ++s) {
+    const uint16_t off = page_->ReadAt<uint16_t>(SlotOffset(s));
+    if (off == 0) continue;
+    const uint16_t len = page_->ReadAt<uint16_t>(SlotOffset(s) + 2);
+    live.emplace_back(
+        s, std::vector<uint8_t>(page_->data() + off, page_->data() + off + len));
+  }
+  uint16_t end = static_cast<uint16_t>(kPageSize);
+  for (auto& [slot, record] : live) {
+    end = static_cast<uint16_t>(end - record.size());
+    std::memcpy(page_->data() + end, record.data(), record.size());
+    page_->WriteAt<uint16_t>(SlotOffset(slot), end);
+    page_->WriteAt<uint16_t>(SlotOffset(slot) + 2,
+                             static_cast<uint16_t>(record.size()));
+  }
+  set_free_end(end);
+}
+
+}  // namespace vr

@@ -1,0 +1,116 @@
+/// \file page.h
+/// \brief Fixed-size pages and the slotted-page record layout.
+///
+/// Every storage file (heap, B+tree, blob chains) is an array of 8 KiB
+/// pages. Page 0 of each file is a meta page. Record-bearing pages use
+/// the classic slotted layout: a header, a slot directory growing from
+/// the front, and record payloads growing from the back.
+
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "util/status.h"
+
+namespace vr {
+
+inline constexpr uint32_t kPageSize = 8192;
+inline constexpr uint32_t kInvalidPageId = 0;  // page 0 is the meta page
+
+/// Kinds of pages, stored in the page header.
+enum class PageType : uint8_t {
+  kFree = 0,
+  kMeta = 1,
+  kSlotted = 2,
+  kBTreeLeaf = 3,
+  kBTreeInternal = 4,
+  kBlob = 5,
+};
+
+/// \brief An 8 KiB buffer with typed field access helpers.
+class Page {
+ public:
+  Page() : data_(kPageSize, 0) {}
+
+  uint8_t* data() { return data_.data(); }
+  const uint8_t* data() const { return data_.data(); }
+
+  template <typename T>
+  T ReadAt(uint32_t offset) const {
+    T v{};
+    std::memcpy(&v, data_.data() + offset, sizeof(T));
+    return v;
+  }
+  template <typename T>
+  void WriteAt(uint32_t offset, T v) {
+    std::memcpy(data_.data() + offset, &v, sizeof(T));
+  }
+
+  PageType type() const { return static_cast<PageType>(ReadAt<uint8_t>(0)); }
+  void set_type(PageType t) { WriteAt<uint8_t>(0, static_cast<uint8_t>(t)); }
+
+  /// Generic "next page" link at a fixed header offset (slot 4..8).
+  uint32_t next_page() const { return ReadAt<uint32_t>(4); }
+  void set_next_page(uint32_t p) { WriteAt<uint32_t>(4, p); }
+
+ private:
+  std::vector<uint8_t> data_;
+};
+
+/// \brief Slotted-record operations over a Page.
+///
+/// Header layout (bytes): [0] type, [1..3] pad, [4..7] next_page,
+/// [8..9] slot_count, [10..11] free_start, [12..13] free_end.
+/// Slot entry: u16 offset, u16 length; offset 0 marks a dead slot.
+class SlottedPage {
+ public:
+  /// Wraps a page; call Init() on fresh pages before use.
+  explicit SlottedPage(Page* page) : page_(page) {}
+
+  /// Formats the page as an empty slotted page.
+  void Init();
+
+  uint16_t slot_count() const { return page_->ReadAt<uint16_t>(8); }
+
+  /// Contiguous free bytes available for one more record (including its
+  /// slot entry).
+  uint32_t FreeSpace() const;
+
+  /// Inserts a record; returns its slot id or OutOfRange when full.
+  Result<uint16_t> Insert(const std::vector<uint8_t>& record);
+
+  /// Reads the record in \p slot; NotFound for dead/invalid slots.
+  Result<std::vector<uint8_t>> Get(uint16_t slot) const;
+
+  /// Marks \p slot dead. Space is reclaimed by Compact().
+  Status Delete(uint16_t slot);
+
+  /// True when the slot holds a live record.
+  bool IsLive(uint16_t slot) const;
+
+  /// Rewrites live records contiguously, reclaiming dead space.
+  void Compact();
+
+  /// Maximum record payload a single empty page can hold.
+  static uint32_t MaxRecordSize();
+
+ private:
+  static constexpr uint32_t kHeaderSize = 14;
+  static constexpr uint32_t kSlotSize = 4;
+
+  uint16_t free_start() const { return page_->ReadAt<uint16_t>(10); }
+  void set_free_start(uint16_t v) { page_->WriteAt<uint16_t>(10, v); }
+  uint16_t free_end() const { return page_->ReadAt<uint16_t>(12); }
+  void set_free_end(uint16_t v) { page_->WriteAt<uint16_t>(12, v); }
+  void set_slot_count(uint16_t v) { page_->WriteAt<uint16_t>(8, v); }
+
+  uint32_t SlotOffset(uint16_t slot) const {
+    return kHeaderSize + kSlotSize * static_cast<uint32_t>(slot);
+  }
+
+  Page* page_;
+};
+
+}  // namespace vr

@@ -1,0 +1,232 @@
+#include "storage/pager.h"
+
+#include <unistd.h>
+
+#include <cstring>
+
+#include "util/string_util.h"
+
+namespace vr {
+
+namespace {
+constexpr uint32_t kMetaMagic = 0x56504746;  // "VPGF"
+}  // namespace
+
+Pager::~Pager() {
+  if (file_ != nullptr) {
+    (void)Flush();
+    std::fclose(file_);
+  }
+}
+
+Result<std::unique_ptr<Pager>> Pager::Open(const std::string& path,
+                                           bool create_if_missing,
+                                           size_t cache_pages) {
+  auto pager = std::unique_ptr<Pager>(new Pager());
+  pager->path_ = path;
+  pager->cache_capacity_ = std::max<size_t>(8, cache_pages);
+
+  pager->file_ = std::fopen(path.c_str(), "r+b");
+  if (pager->file_ == nullptr) {
+    if (!create_if_missing) {
+      return Status::IOError("cannot open page file: " + path);
+    }
+    pager->file_ = std::fopen(path.c_str(), "w+b");
+    if (pager->file_ == nullptr) {
+      return Status::IOError("cannot create page file: " + path);
+    }
+    pager->meta_dirty_ = true;
+    VR_RETURN_NOT_OK(pager->StoreMeta());
+    // A fresh file must be recoverable immediately: push the meta page
+    // through to the kernel before anyone can journal against it.
+    if (std::fflush(pager->file_) != 0) {
+      return Status::IOError("flush of fresh page file failed");
+    }
+  } else {
+    VR_RETURN_NOT_OK(pager->LoadMeta());
+  }
+  return pager;
+}
+
+Status Pager::LoadMeta() {
+  Page meta;
+  VR_RETURN_NOT_OK(ReadPageFromDisk(0, &meta));
+  if (meta.ReadAt<uint32_t>(8) != kMetaMagic) {
+    return Status::Corruption("bad page-file magic: " + path_);
+  }
+  page_count_ = meta.ReadAt<uint32_t>(12);
+  free_head_ = meta.ReadAt<uint32_t>(16);
+  user_root_ = meta.ReadAt<uint32_t>(20);
+  user_counter_ = meta.ReadAt<uint64_t>(24);
+  if (page_count_ == 0) return Status::Corruption("zero page count");
+  return Status::OK();
+}
+
+Status Pager::StoreMeta() {
+  Page meta;
+  meta.set_type(PageType::kMeta);
+  meta.WriteAt<uint32_t>(8, kMetaMagic);
+  meta.WriteAt<uint32_t>(12, page_count_);
+  meta.WriteAt<uint32_t>(16, free_head_);
+  meta.WriteAt<uint32_t>(20, user_root_);
+  meta.WriteAt<uint64_t>(24, user_counter_);
+  VR_RETURN_NOT_OK(WritePageToDisk(0, meta));
+  meta_dirty_ = false;
+  return Status::OK();
+}
+
+Status Pager::ReadPageFromDisk(uint32_t page_id, Page* out) {
+  if (std::fseek(file_, static_cast<long>(page_id) * kPageSize, SEEK_SET) !=
+      0) {
+    return Status::IOError("seek failed");
+  }
+  const size_t n = std::fread(out->data(), 1, kPageSize, file_);
+  if (n != kPageSize) {
+    return Status::Corruption(StringPrintf(
+        "short page read (page %u) from %s", page_id, path_.c_str()));
+  }
+  return Status::OK();
+}
+
+Status Pager::WritePageToDisk(uint32_t page_id, const Page& page) {
+  if (std::fseek(file_, static_cast<long>(page_id) * kPageSize, SEEK_SET) !=
+      0) {
+    return Status::IOError("seek failed");
+  }
+  if (std::fwrite(page.data(), 1, kPageSize, file_) != kPageSize) {
+    return Status::IOError("short page write to " + path_);
+  }
+  return Status::OK();
+}
+
+void Pager::Touch(uint32_t page_id, CacheEntry* entry) {
+  lru_.erase(entry->lru_it);
+  lru_.push_front(page_id);
+  entry->lru_it = lru_.begin();
+}
+
+Status Pager::EvictIfNeeded() {
+  while (cache_.size() > cache_capacity_) {
+    // Evict from the LRU tail, skipping pages still referenced outside.
+    bool evicted = false;
+    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+      auto centry = cache_.find(*it);
+      if (centry == cache_.end()) continue;
+      if (centry->second.page.use_count() > 1) continue;  // pinned
+      if (centry->second.dirty) {
+        VR_RETURN_NOT_OK(WritePageToDisk(*it, *centry->second.page));
+      }
+      lru_.erase(std::next(it).base());
+      cache_.erase(centry);
+      evicted = true;
+      break;
+    }
+    if (!evicted) break;  // everything pinned; let the cache grow
+  }
+  return Status::OK();
+}
+
+Result<std::shared_ptr<Page>> Pager::Fetch(uint32_t page_id) {
+  if (page_id >= page_count_) {
+    return Status::InvalidArgument(
+        StringPrintf("page %u beyond end (%u pages)", page_id, page_count_));
+  }
+  auto it = cache_.find(page_id);
+  if (it != cache_.end()) {
+    ++cache_hits_;
+    Touch(page_id, &it->second);
+    return it->second.page;
+  }
+  ++cache_misses_;
+  auto page = std::make_shared<Page>();
+  VR_RETURN_NOT_OK(ReadPageFromDisk(page_id, page.get()));
+  lru_.push_front(page_id);
+  CacheEntry entry;
+  entry.page = page;
+  entry.lru_it = lru_.begin();
+  cache_.emplace(page_id, std::move(entry));
+  VR_RETURN_NOT_OK(EvictIfNeeded());
+  return page;
+}
+
+void Pager::MarkDirty(uint32_t page_id) {
+  auto it = cache_.find(page_id);
+  if (it != cache_.end()) it->second.dirty = true;
+}
+
+Result<uint32_t> Pager::Allocate(PageType type) {
+  uint32_t page_id;
+  if (free_head_ != kInvalidPageId) {
+    page_id = free_head_;
+    VR_ASSIGN_OR_RETURN(std::shared_ptr<Page> page, Fetch(page_id));
+    free_head_ = page->next_page();
+    std::memset(page->data(), 0, kPageSize);
+    page->set_type(type);
+    MarkDirty(page_id);
+  } else {
+    page_id = page_count_;
+    ++page_count_;
+    Page fresh;
+    fresh.set_type(type);
+    VR_RETURN_NOT_OK(WritePageToDisk(page_id, fresh));
+    // Bring it into the cache.
+    auto page = std::make_shared<Page>();
+    std::memcpy(page->data(), fresh.data(), kPageSize);
+    lru_.push_front(page_id);
+    CacheEntry entry;
+    entry.page = page;
+    entry.dirty = false;
+    entry.lru_it = lru_.begin();
+    cache_.emplace(page_id, std::move(entry));
+    VR_RETURN_NOT_OK(EvictIfNeeded());
+  }
+  meta_dirty_ = true;
+  return page_id;
+}
+
+Status Pager::Free(uint32_t page_id) {
+  if (page_id == 0 || page_id >= page_count_) {
+    return Status::InvalidArgument("cannot free page " +
+                                   std::to_string(page_id));
+  }
+  VR_ASSIGN_OR_RETURN(std::shared_ptr<Page> page, Fetch(page_id));
+  std::memset(page->data(), 0, kPageSize);
+  page->set_type(PageType::kFree);
+  page->set_next_page(free_head_);
+  free_head_ = page_id;
+  MarkDirty(page_id);
+  meta_dirty_ = true;
+  return Status::OK();
+}
+
+void Pager::set_user_root(uint32_t root) {
+  user_root_ = root;
+  meta_dirty_ = true;
+}
+
+void Pager::set_user_counter(uint64_t v) {
+  user_counter_ = v;
+  meta_dirty_ = true;
+}
+
+Status Pager::Flush() {
+  for (auto& [page_id, entry] : cache_) {
+    if (entry.dirty) {
+      VR_RETURN_NOT_OK(WritePageToDisk(page_id, *entry.page));
+      entry.dirty = false;
+    }
+  }
+  if (meta_dirty_) {
+    VR_RETURN_NOT_OK(StoreMeta());
+  }
+  if (std::fflush(file_) != 0) return Status::IOError("fflush failed");
+  return Status::OK();
+}
+
+Status Pager::Sync() {
+  VR_RETURN_NOT_OK(Flush());
+  if (fsync(fileno(file_)) != 0) return Status::IOError("fsync failed");
+  return Status::OK();
+}
+
+}  // namespace vr

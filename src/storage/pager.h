@@ -1,0 +1,99 @@
+/// \file pager.h
+/// \brief File-backed page store with an LRU buffer pool.
+///
+/// One Pager manages one storage file (heap, B+tree or blob file).
+/// Page 0 is the file's meta page: magic, page count, free-list head,
+/// and two user fields (root page and a monotonic counter) that the
+/// structures above store their anchors in.
+
+#pragma once
+
+#include <cstdio>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "storage/page.h"
+#include "util/status.h"
+
+namespace vr {
+
+/// \brief Owns a page file: allocation, caching, write-back.
+class Pager {
+ public:
+  ~Pager();
+  Pager(const Pager&) = delete;
+  Pager& operator=(const Pager&) = delete;
+
+  /// Opens (or, with \p create_if_missing, creates) a page file.
+  static Result<std::unique_ptr<Pager>> Open(const std::string& path,
+                                             bool create_if_missing,
+                                             size_t cache_pages = 256);
+
+  /// Fetches a page through the buffer pool. The returned pointer stays
+  /// valid while the shared_ptr is held, even across eviction.
+  Result<std::shared_ptr<Page>> Fetch(uint32_t page_id);
+
+  /// Marks a cached page dirty so Flush() writes it back.
+  void MarkDirty(uint32_t page_id);
+
+  /// Allocates a page (reusing the free list when possible); the page is
+  /// fetched, zeroed, typed and marked dirty.
+  Result<uint32_t> Allocate(PageType type);
+
+  /// Returns a page to the free list.
+  Status Free(uint32_t page_id);
+
+  /// Writes all dirty pages and the meta page to disk.
+  Status Flush();
+
+  /// Flush + fsync.
+  Status Sync();
+
+  uint32_t page_count() const { return page_count_; }
+  const std::string& path() const { return path_; }
+
+  /// \name User anchors persisted in the meta page.
+  /// @{
+  uint32_t user_root() const { return user_root_; }
+  void set_user_root(uint32_t root);
+  uint64_t user_counter() const { return user_counter_; }
+  void set_user_counter(uint64_t v);
+  /// @}
+
+  /// Cache statistics (for the storage microbenches).
+  uint64_t cache_hits() const { return cache_hits_; }
+  uint64_t cache_misses() const { return cache_misses_; }
+
+ private:
+  Pager() = default;
+
+  struct CacheEntry {
+    std::shared_ptr<Page> page;
+    bool dirty = false;
+    std::list<uint32_t>::iterator lru_it;
+  };
+
+  Status ReadPageFromDisk(uint32_t page_id, Page* out);
+  Status WritePageToDisk(uint32_t page_id, const Page& page);
+  Status LoadMeta();
+  Status StoreMeta();
+  void Touch(uint32_t page_id, CacheEntry* entry);
+  Status EvictIfNeeded();
+
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  uint32_t page_count_ = 1;  // meta page
+  uint32_t free_head_ = kInvalidPageId;
+  uint32_t user_root_ = kInvalidPageId;
+  uint64_t user_counter_ = 0;
+  bool meta_dirty_ = false;
+  size_t cache_capacity_ = 256;
+  std::unordered_map<uint32_t, CacheEntry> cache_;
+  std::list<uint32_t> lru_;  // front = most recent
+  uint64_t cache_hits_ = 0;
+  uint64_t cache_misses_ = 0;
+};
+
+}  // namespace vr

@@ -1,0 +1,239 @@
+#include "storage/query.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace vr {
+
+std::shared_ptr<Predicate> Compare(const std::string& column, CompareOp op,
+                                   Value literal) {
+  auto p = std::make_shared<Predicate>();
+  p->kind = Predicate::Kind::kCompare;
+  p->column = column;
+  p->op = op;
+  p->literal = std::move(literal);
+  return p;
+}
+
+std::shared_ptr<Predicate> And(std::shared_ptr<Predicate> a,
+                               std::shared_ptr<Predicate> b) {
+  auto p = std::make_shared<Predicate>();
+  p->kind = Predicate::Kind::kAnd;
+  p->children = {std::move(a), std::move(b)};
+  return p;
+}
+
+std::shared_ptr<Predicate> Or(std::shared_ptr<Predicate> a,
+                              std::shared_ptr<Predicate> b) {
+  auto p = std::make_shared<Predicate>();
+  p->kind = Predicate::Kind::kOr;
+  p->children = {std::move(a), std::move(b)};
+  return p;
+}
+
+std::shared_ptr<Predicate> Not(std::shared_ptr<Predicate> a) {
+  auto p = std::make_shared<Predicate>();
+  p->kind = Predicate::Kind::kNot;
+  p->children = {std::move(a)};
+  return p;
+}
+
+std::shared_ptr<Predicate> IsNull(const std::string& column) {
+  auto p = std::make_shared<Predicate>();
+  p->kind = Predicate::Kind::kIsNull;
+  p->column = column;
+  return p;
+}
+
+namespace {
+
+/// Three-valued comparison of two non-null values of the same type
+/// family; InvalidArgument on type mismatch.
+Result<int> CompareValues(const Value& a, const Value& b) {
+  if (a.is_int64() && b.is_int64()) {
+    if (a.AsInt64() < b.AsInt64()) return -1;
+    return a.AsInt64() > b.AsInt64() ? 1 : 0;
+  }
+  // INT64 and DOUBLE compare numerically, as SQL would.
+  if ((a.is_int64() || a.is_double()) && (b.is_int64() || b.is_double())) {
+    const double x = a.is_int64() ? static_cast<double>(a.AsInt64())
+                                  : a.AsDouble();
+    const double y = b.is_int64() ? static_cast<double>(b.AsInt64())
+                                  : b.AsDouble();
+    if (x < y) return -1;
+    return x > y ? 1 : 0;
+  }
+  if (a.is_text() && b.is_text()) {
+    return a.AsText().compare(b.AsText()) < 0
+               ? -1
+               : (a.AsText() == b.AsText() ? 0 : 1);
+  }
+  if (a.is_blob() && b.is_blob()) {
+    if (a.AsBlob() == b.AsBlob()) return 0;
+    return a.AsBlob() < b.AsBlob() ? -1 : 1;
+  }
+  return Status::InvalidArgument("type mismatch in comparison");
+}
+
+}  // namespace
+
+Result<bool> EvaluatePredicate(const Schema& schema, const Predicate& pred,
+                               const Row& row) {
+  switch (pred.kind) {
+    case Predicate::Kind::kCompare: {
+      VR_ASSIGN_OR_RETURN(size_t col, schema.ColumnIndex(pred.column));
+      const Value& cell = row[col];
+      // SQL semantics: comparisons against NULL are never true.
+      if (cell.is_null() || pred.literal.is_null()) return false;
+      if (pred.op == CompareOp::kContains) {
+        if (!cell.is_text() || !pred.literal.is_text()) {
+          return Status::InvalidArgument("CONTAINS needs TEXT operands");
+        }
+        return cell.AsText().find(pred.literal.AsText()) !=
+               std::string::npos;
+      }
+      VR_ASSIGN_OR_RETURN(int cmp, CompareValues(cell, pred.literal));
+      switch (pred.op) {
+        case CompareOp::kEq:
+          return cmp == 0;
+        case CompareOp::kNe:
+          return cmp != 0;
+        case CompareOp::kLt:
+          return cmp < 0;
+        case CompareOp::kLe:
+          return cmp <= 0;
+        case CompareOp::kGt:
+          return cmp > 0;
+        case CompareOp::kGe:
+          return cmp >= 0;
+        case CompareOp::kContains:
+          break;  // handled above
+      }
+      return Status::Internal("unhandled compare op");
+    }
+    case Predicate::Kind::kAnd: {
+      for (const auto& child : pred.children) {
+        VR_ASSIGN_OR_RETURN(bool v, EvaluatePredicate(schema, *child, row));
+        if (!v) return false;
+      }
+      return true;
+    }
+    case Predicate::Kind::kOr: {
+      for (const auto& child : pred.children) {
+        VR_ASSIGN_OR_RETURN(bool v, EvaluatePredicate(schema, *child, row));
+        if (v) return true;
+      }
+      return false;
+    }
+    case Predicate::Kind::kNot: {
+      if (pred.children.empty()) {
+        return Status::InvalidArgument("NOT needs a child");
+      }
+      VR_ASSIGN_OR_RETURN(bool v,
+                          EvaluatePredicate(schema, *pred.children[0], row));
+      return !v;
+    }
+    case Predicate::Kind::kIsNull: {
+      VR_ASSIGN_OR_RETURN(size_t col, schema.ColumnIndex(pred.column));
+      return row[col].is_null();
+    }
+  }
+  return Status::Internal("unhandled predicate kind");
+}
+
+Result<std::vector<Row>> ExecuteSelect(const Table& table,
+                                       const SelectQuery& query) {
+  const Schema& schema = table.schema();
+  // Resolve projection indices up front.
+  std::vector<size_t> projection;
+  for (const std::string& name : query.columns) {
+    VR_ASSIGN_OR_RETURN(size_t idx, schema.ColumnIndex(name));
+    projection.push_back(idx);
+  }
+  std::optional<size_t> order_col;
+  if (!query.order_by.empty()) {
+    VR_ASSIGN_OR_RETURN(size_t idx, schema.ColumnIndex(query.order_by));
+    order_col = idx;
+  }
+
+  std::vector<Row> matched;
+  Status inner = Status::OK();
+  VR_RETURN_NOT_OK(table.Scan(
+      [&](const Row& row) {
+        if (query.where != nullptr) {
+          Result<bool> keep = EvaluatePredicate(schema, *query.where, row);
+          if (!keep.ok()) {
+            inner = keep.status();
+            return false;
+          }
+          if (!*keep) return true;
+        }
+        matched.push_back(row);
+        // Without ordering, the limit can stop the scan early.
+        if (!order_col.has_value() && query.limit > 0 &&
+            matched.size() >= query.limit) {
+          return false;
+        }
+        return true;
+      },
+      query.resolve_blobs));
+  VR_RETURN_NOT_OK(inner);
+
+  if (order_col.has_value()) {
+    Status sort_status = Status::OK();
+    std::stable_sort(matched.begin(), matched.end(),
+                     [&](const Row& a, const Row& b) {
+                       const Value& va = a[*order_col];
+                       const Value& vb = b[*order_col];
+                       if (va.is_null() || vb.is_null()) {
+                         // NULLs first (before any non-null).
+                         return va.is_null() && !vb.is_null();
+                       }
+                       Result<int> cmp = CompareValues(va, vb);
+                       if (!cmp.ok()) {
+                         sort_status = cmp.status();
+                         return false;
+                       }
+                       return *cmp < 0;
+                     });
+    VR_RETURN_NOT_OK(sort_status);
+    if (query.descending) std::reverse(matched.begin(), matched.end());
+    if (query.limit > 0 && matched.size() > query.limit) {
+      matched.resize(query.limit);
+    }
+  }
+
+  if (projection.empty()) return matched;
+  std::vector<Row> projected;
+  projected.reserve(matched.size());
+  for (Row& row : matched) {
+    Row out;
+    out.reserve(projection.size());
+    for (size_t idx : projection) out.push_back(std::move(row[idx]));
+    projected.push_back(std::move(out));
+  }
+  return projected;
+}
+
+Result<uint64_t> ExecuteCount(const Table& table,
+                              const std::shared_ptr<Predicate>& where) {
+  if (where == nullptr) return table.Count();
+  uint64_t count = 0;
+  Status inner = Status::OK();
+  VR_RETURN_NOT_OK(table.Scan(
+      [&](const Row& row) {
+        Result<bool> keep = EvaluatePredicate(table.schema(), *where, row);
+        if (!keep.ok()) {
+          inner = keep.status();
+          return false;
+        }
+        if (*keep) ++count;
+        return true;
+      },
+      /*resolve_blobs=*/false));
+  VR_RETURN_NOT_OK(inner);
+  return count;
+}
+
+}  // namespace vr

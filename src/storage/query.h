@@ -1,0 +1,88 @@
+/// \file query.h
+/// \brief A small declarative query layer over Table: typed predicates,
+/// projection and ordering — the "queries can be performed" surface the
+/// paper's §3.4 describes for its Oracle tables, without SQL parsing.
+///
+/// Example:
+///
+///   SelectQuery q;
+///   q.where = And(Compare("MIN", CompareOp::kGe, Value(int64_t{128})),
+///                 Compare("MAX", CompareOp::kLe, Value(int64_t{255})));
+///   q.order_by = "I_ID";
+///   q.limit = 10;
+///   auto rows = ExecuteSelect(*table, q);
+
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "storage/table.h"
+
+namespace vr {
+
+/// Comparison operators for predicates.
+enum class CompareOp {
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  /// Substring match (TEXT columns only).
+  kContains,
+};
+
+/// \brief Predicate tree node.
+struct Predicate {
+  enum class Kind { kCompare, kAnd, kOr, kNot, kIsNull } kind = Kind::kCompare;
+  // kCompare:
+  std::string column;
+  CompareOp op = CompareOp::kEq;
+  Value literal;
+  // kAnd / kOr / kNot (kNot uses children[0]):
+  std::vector<std::shared_ptr<Predicate>> children;
+};
+
+/// \name Predicate constructors.
+/// @{
+std::shared_ptr<Predicate> Compare(const std::string& column, CompareOp op,
+                                   Value literal);
+std::shared_ptr<Predicate> And(std::shared_ptr<Predicate> a,
+                               std::shared_ptr<Predicate> b);
+std::shared_ptr<Predicate> Or(std::shared_ptr<Predicate> a,
+                              std::shared_ptr<Predicate> b);
+std::shared_ptr<Predicate> Not(std::shared_ptr<Predicate> a);
+std::shared_ptr<Predicate> IsNull(const std::string& column);
+/// @}
+
+/// \brief A SELECT over one table.
+struct SelectQuery {
+  /// Columns to project; empty = all columns in schema order.
+  std::vector<std::string> columns;
+  /// Filter; null = all rows.
+  std::shared_ptr<Predicate> where;
+  /// Column to order by ascending; empty = heap order. NULLs sort first.
+  std::string order_by;
+  bool descending = false;
+  /// Maximum rows returned; 0 = unlimited.
+  size_t limit = 0;
+  /// Materialize blob columns (off keeps video scans cheap).
+  bool resolve_blobs = false;
+};
+
+/// Evaluates a predicate against a row (exposed for tests).
+Result<bool> EvaluatePredicate(const Schema& schema, const Predicate& pred,
+                               const Row& row);
+
+/// Runs the query; returns projected rows.
+Result<std::vector<Row>> ExecuteSelect(const Table& table,
+                                       const SelectQuery& query);
+
+/// Count of rows matching \p where (null = all rows).
+Result<uint64_t> ExecuteCount(const Table& table,
+                              const std::shared_ptr<Predicate>& where);
+
+}  // namespace vr

@@ -1,0 +1,59 @@
+/// \file row.h
+/// \brief Row (de)serialization against a schema.
+///
+/// Wire format per row: for each column, a 1-byte tag (0 = NULL,
+/// otherwise ColumnType + 1) followed by the payload: 8 bytes for
+/// int64/double, u32 length + bytes for text/blob. Blob columns may
+/// instead carry tag 0xFE (blob reference: u32 first page + u64 size),
+/// which the Table layer resolves through the blob store.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "storage/schema.h"
+#include "storage/value.h"
+#include "util/status.h"
+
+namespace vr {
+
+/// \brief Reference to an out-of-row blob (overflow chain head + size).
+struct BlobRef {
+  uint32_t first_page = 0;
+  uint64_t size = 0;
+
+  bool operator==(const BlobRef&) const = default;
+};
+
+/// Tag marking an out-of-row blob in a serialized row.
+inline constexpr uint8_t kBlobRefTag = 0xFE;
+
+/// A row is an ordered vector of Values.
+using Row = std::vector<Value>;
+
+/// Serializes \p row (must validate against \p schema). Blob values are
+/// stored inline; the Table layer swaps them for BlobRefs before calling
+/// this when they exceed its inline threshold.
+Result<std::vector<uint8_t>> SerializeRow(const Schema& schema,
+                                          const Row& row);
+
+/// Deserialized row where blob columns may be references.
+struct DecodedRow {
+  Row values;
+  /// For each column: the BlobRef if the serialized form held one.
+  std::vector<std::optional<BlobRef>> blob_refs;
+};
+
+/// Parses a serialized row.
+Result<DecodedRow> DeserializeRow(const Schema& schema,
+                                  const std::vector<uint8_t>& bytes);
+
+/// Serializes a row whose blob columns are replaced by refs where
+/// \p refs[i] is set (the value at those positions is ignored).
+Result<std::vector<uint8_t>> SerializeRowWithRefs(
+    const Schema& schema, const Row& row,
+    const std::vector<std::optional<BlobRef>>& refs);
+
+}  // namespace vr

@@ -1,0 +1,98 @@
+#include "storage/schema.h"
+
+#include "util/string_util.h"
+
+namespace vr {
+
+Result<Schema> Schema::Create(std::vector<Column> columns,
+                              const std::string& primary_key) {
+  if (columns.empty()) {
+    return Status::InvalidArgument("schema needs at least one column");
+  }
+  Schema s;
+  s.columns_ = std::move(columns);
+  bool found = false;
+  for (size_t i = 0; i < s.columns_.size(); ++i) {
+    for (size_t j = i + 1; j < s.columns_.size(); ++j) {
+      if (s.columns_[i].name == s.columns_[j].name) {
+        return Status::InvalidArgument("duplicate column name: " +
+                                       s.columns_[i].name);
+      }
+    }
+    if (s.columns_[i].name == primary_key) {
+      if (s.columns_[i].type != ColumnType::kInt64) {
+        return Status::InvalidArgument("primary key must be INT64");
+      }
+      s.pk_index_ = i;
+      s.columns_[i].nullable = false;
+      found = true;
+    }
+  }
+  if (!found) {
+    return Status::InvalidArgument("primary key column not found: " +
+                                   primary_key);
+  }
+  return s;
+}
+
+Result<size_t> Schema::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return Status::NotFound("no such column: " + name);
+}
+
+Status Schema::ValidateRow(const std::vector<Value>& row) const {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        StringPrintf("row has %zu values, schema has %zu columns", row.size(),
+                     columns_.size()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (row[i].is_null() && !columns_[i].nullable) {
+      return Status::InvalidArgument("NULL in non-nullable column " +
+                                     columns_[i].name);
+    }
+    if (!row[i].Matches(columns_[i].type)) {
+      return Status::InvalidArgument(
+          StringPrintf("value %s does not match column %s (%s)",
+                       row[i].ToString().c_str(), columns_[i].name.c_str(),
+                       ColumnTypeName(columns_[i].type)));
+    }
+  }
+  return Status::OK();
+}
+
+std::string Schema::Serialize() const {
+  // name:TYPE:nullable,... |pk_index
+  std::vector<std::string> parts;
+  parts.reserve(columns_.size());
+  for (const Column& c : columns_) {
+    parts.push_back(c.name + ":" + ColumnTypeName(c.type) + ":" +
+                    (c.nullable ? "1" : "0"));
+  }
+  return Join(parts, ",") + "|" + std::to_string(pk_index_);
+}
+
+Result<Schema> Schema::Parse(const std::string& text) {
+  const std::vector<std::string> halves = Split(text, '|');
+  if (halves.size() != 2) return Status::Corruption("bad schema text");
+  VR_ASSIGN_OR_RETURN(int64_t pk, ParseInt64(halves[1]));
+  std::vector<Column> columns;
+  for (const std::string& part : Split(halves[0], ',', /*skip_empty=*/true)) {
+    const std::vector<std::string> fields = Split(part, ':');
+    if (fields.size() != 3) return Status::Corruption("bad column text");
+    Column c;
+    c.name = fields[0];
+    VR_ASSIGN_OR_RETURN(c.type, ColumnTypeFromName(fields[1]));
+    c.nullable = fields[2] == "1";
+    columns.push_back(std::move(c));
+  }
+  if (pk < 0 || static_cast<size_t>(pk) >= columns.size()) {
+    return Status::Corruption("bad schema pk index");
+  }
+  const std::string pk_name = columns[static_cast<size_t>(pk)].name;
+  return Schema::Create(std::move(columns), pk_name);
+}
+
+}  // namespace vr

@@ -1,0 +1,54 @@
+/// \file schema.h
+/// \brief Table schemas for the embedded store.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "storage/value.h"
+#include "util/status.h"
+
+namespace vr {
+
+/// \brief One column definition.
+struct Column {
+  std::string name;
+  ColumnType type = ColumnType::kInt64;
+  bool nullable = true;
+
+  bool operator==(const Column&) const = default;
+};
+
+/// \brief Ordered column list with an int64 primary key column.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Builds a schema; \p primary_key names the INT64 key column.
+  static Result<Schema> Create(std::vector<Column> columns,
+                               const std::string& primary_key);
+
+  const std::vector<Column>& columns() const { return columns_; }
+  size_t num_columns() const { return columns_.size(); }
+  size_t primary_key_index() const { return pk_index_; }
+  const Column& primary_key() const { return columns_[pk_index_]; }
+
+  /// Index of a column by name, or NotFound.
+  Result<size_t> ColumnIndex(const std::string& name) const;
+
+  /// Validates a row's arity, types and pk/nullability constraints.
+  Status ValidateRow(const std::vector<Value>& row) const;
+
+  /// One-line text form used by the catalog file; round-trips via Parse.
+  std::string Serialize() const;
+  static Result<Schema> Parse(const std::string& text);
+
+  bool operator==(const Schema&) const = default;
+
+ private:
+  std::vector<Column> columns_;
+  size_t pk_index_ = 0;
+};
+
+}  // namespace vr

@@ -1,0 +1,52 @@
+#include "storage/value.h"
+
+#include "util/string_util.h"
+
+namespace vr {
+
+const char* ColumnTypeName(ColumnType type) {
+  switch (type) {
+    case ColumnType::kInt64:
+      return "INT64";
+    case ColumnType::kDouble:
+      return "DOUBLE";
+    case ColumnType::kText:
+      return "TEXT";
+    case ColumnType::kBlob:
+      return "BLOB";
+  }
+  return "UNKNOWN";
+}
+
+Result<ColumnType> ColumnTypeFromName(const std::string& name) {
+  for (ColumnType t : {ColumnType::kInt64, ColumnType::kDouble,
+                       ColumnType::kText, ColumnType::kBlob}) {
+    if (name == ColumnTypeName(t)) return t;
+  }
+  return Status::InvalidArgument("unknown column type: " + name);
+}
+
+bool Value::Matches(ColumnType type) const {
+  if (is_null()) return true;
+  switch (type) {
+    case ColumnType::kInt64:
+      return is_int64();
+    case ColumnType::kDouble:
+      return is_double();
+    case ColumnType::kText:
+      return is_text();
+    case ColumnType::kBlob:
+      return is_blob();
+  }
+  return false;
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "NULL";
+  if (is_int64()) return std::to_string(AsInt64());
+  if (is_double()) return FormatDouble(AsDouble());
+  if (is_text()) return "'" + AsText() + "'";
+  return StringPrintf("<blob %zu bytes>", AsBlob().size());
+}
+
+}  // namespace vr

@@ -1,0 +1,80 @@
+/// \file value.h
+/// \brief Typed column values for the embedded relational store.
+///
+/// The paper's schema needs NUMBER (int64/double), VARCHAR2 (text) and
+/// BLOB / ORDImage / ORDVideo (bytes) columns; Value covers exactly
+/// those plus NULL.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "util/status.h"
+
+namespace vr {
+
+/// Column types supported by the store.
+enum class ColumnType : uint8_t {
+  kInt64 = 0,
+  kDouble = 1,
+  kText = 2,
+  kBlob = 3,
+};
+
+/// Human-readable type name ("INT64", ...).
+const char* ColumnTypeName(ColumnType type);
+
+/// Parses a ColumnTypeName.
+Result<ColumnType> ColumnTypeFromName(const std::string& name);
+
+/// \brief A dynamically typed cell: NULL, int64, double, text or blob.
+class Value {
+ public:
+  /// NULL value.
+  Value() : payload_(std::monostate{}) {}
+  Value(int64_t v) : payload_(v) {}             // NOLINT(runtime/explicit)
+  Value(double v) : payload_(v) {}              // NOLINT(runtime/explicit)
+  Value(std::string v) : payload_(std::move(v)) {}  // NOLINT
+  Value(const char* v) : payload_(std::string(v)) {}  // NOLINT
+  Value(std::vector<uint8_t> v) : payload_(std::move(v)) {}  // NOLINT
+
+  static Value Null() { return Value(); }
+  static Value Blob(std::vector<uint8_t> bytes) {
+    return Value(std::move(bytes));
+  }
+
+  bool is_null() const {
+    return std::holds_alternative<std::monostate>(payload_);
+  }
+  bool is_int64() const { return std::holds_alternative<int64_t>(payload_); }
+  bool is_double() const { return std::holds_alternative<double>(payload_); }
+  bool is_text() const { return std::holds_alternative<std::string>(payload_); }
+  bool is_blob() const {
+    return std::holds_alternative<std::vector<uint8_t>>(payload_);
+  }
+
+  /// True when the value's dynamic type matches \p type (NULL matches any).
+  bool Matches(ColumnType type) const;
+
+  int64_t AsInt64() const { return std::get<int64_t>(payload_); }
+  double AsDouble() const { return std::get<double>(payload_); }
+  const std::string& AsText() const { return std::get<std::string>(payload_); }
+  const std::vector<uint8_t>& AsBlob() const {
+    return std::get<std::vector<uint8_t>>(payload_);
+  }
+
+  /// Debug rendering; blobs show as "<blob N bytes>".
+  std::string ToString() const;
+
+  bool operator==(const Value&) const = default;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string,
+               std::vector<uint8_t>>
+      payload_;
+};
+
+}  // namespace vr

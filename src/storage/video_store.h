@@ -1,0 +1,113 @@
+/// \file video_store.h
+/// \brief The paper's VIDEO_STORE / KEY_FRAMES schema over the embedded
+/// database (§3.4 "Database Design").
+///
+/// Columns mirror the paper's Oracle DDL: VIDEO_STORE(V_ID, V_NAME,
+/// VIDEO ORDVideo -> BLOB, STREAM BLOB, DOSTORE DATE -> TEXT) and
+/// KEY_FRAMES(I_ID, I_NAME, IMAGE ORDImage -> BLOB, MIN, MAX,
+/// SCH/GLCM/GABOR/TAMURA VARCHAR -> TEXT, MAJORREGIONS, V_ID), extended
+/// with TEXT columns for the remaining extractors (ACC, NAIVE, REGIONS)
+/// so every Table-1 feature persists.
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "features/feature_vector.h"
+#include "storage/database.h"
+
+namespace vr {
+
+/// \brief One VIDEO_STORE row.
+struct VideoRecord {
+  int64_t v_id = 0;
+  std::string v_name;
+  std::vector<uint8_t> video;   ///< .vsv container bytes (ORDVideo)
+  std::vector<uint8_t> stream;  ///< serialized key-frame id list (STREAM)
+  std::string dostore;          ///< ingestion date (DOSTORE)
+};
+
+/// \brief One KEY_FRAMES row.
+struct KeyFrameRecord {
+  int64_t i_id = 0;
+  std::string i_name;
+  std::vector<uint8_t> image;  ///< PNM-encoded key frame (ORDImage)
+  int64_t min = 0;             ///< range-finder bucket lower bound
+  int64_t max = 255;           ///< range-finder bucket upper bound
+  int64_t major_regions = 0;   ///< MAJORREGIONS column
+  int64_t v_id = 0;            ///< owning video
+  /// Feature strings keyed by extractor; stored in the TEXT columns.
+  std::map<FeatureKind, FeatureVector> features;
+};
+
+/// \brief Typed facade over the two tables, with the paper's indexes.
+class VideoStore {
+ public:
+  /// Opens/creates the store inside a database directory. Creates the
+  /// (MIN, MAX) range index and the V_ID foreign-key index.
+  static Result<std::unique_ptr<VideoStore>> Open(const std::string& dir);
+
+  /// \name VIDEO_STORE operations (the Administrator role of Figure 2).
+  /// @{
+  Result<int64_t> PutVideo(const VideoRecord& record);
+  Result<VideoRecord> GetVideo(int64_t v_id) const;
+  Status DeleteVideo(int64_t v_id);  ///< cascades to key frames
+  /// Lists v_id/v_name/dostore without materializing video blobs.
+  Result<std::vector<VideoRecord>> ListVideos() const;
+  /// Metadata search (the paper's "query ... as well on metadata"):
+  /// case-sensitive substring match over V_NAME, blobs not materialized.
+  Result<std::vector<VideoRecord>> FindVideosByName(
+      const std::string& substring) const;
+  /// @}
+
+  /// \name KEY_FRAMES operations.
+  /// @{
+  Result<int64_t> PutKeyFrame(const KeyFrameRecord& record);
+  Result<KeyFrameRecord> GetKeyFrame(int64_t i_id) const;
+  Status DeleteKeyFrame(int64_t i_id);
+  /// Key-frame ids belonging to a video (via the V_ID index).
+  Result<std::vector<int64_t>> KeyFrameIdsOfVideo(int64_t v_id) const;
+  /// Key-frame ids whose (MIN, MAX) bucket equals the given range
+  /// (via the composite index).
+  Result<std::vector<int64_t>> KeyFrameIdsInRange(int64_t min,
+                                                  int64_t max) const;
+  /// Scans all key frames without materializing image blobs; the
+  /// callback returns false to stop.
+  Status ScanKeyFrames(
+      const std::function<bool(const KeyFrameRecord&)>& cb) const;
+  /// @}
+
+  /// Next unused ids (maintained from the max at open).
+  int64_t NextVideoId();
+  int64_t NextKeyFrameId();
+
+  Result<uint64_t> VideoCount() const;
+  Result<uint64_t> KeyFrameCount() const;
+
+  /// Flushes everything and truncates the journal.
+  Status Checkpoint() { return db_->Checkpoint(); }
+
+  Database* database() { return db_.get(); }
+
+  static constexpr const char* kVideoTable = "VIDEO_STORE";
+  static constexpr const char* kKeyFrameTable = "KEY_FRAMES";
+  static constexpr const char* kRangeIndex = "idx_min_max";
+  static constexpr const char* kVideoIdIndex = "idx_v_id";
+
+ private:
+  VideoStore() = default;
+
+  Result<KeyFrameRecord> RowToKeyFrame(const Row& row) const;
+
+  std::unique_ptr<Database> db_;
+  Table* videos_ = nullptr;
+  Table* key_frames_ = nullptr;
+  int64_t next_video_id_ = 1;
+  int64_t next_key_frame_id_ = 1;
+};
+
+}  // namespace vr

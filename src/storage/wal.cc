@@ -1,0 +1,168 @@
+#include "storage/wal.h"
+
+#include <unistd.h>
+
+#include <cstring>
+
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace vr {
+
+Wal::~Wal() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Result<std::unique_ptr<Wal>> Wal::Open(const std::string& path) {
+  auto wal = std::unique_ptr<Wal>(new Wal());
+  wal->path_ = path;
+  wal->file_ = std::fopen(path.c_str(), "a+b");
+  if (wal->file_ == nullptr) {
+    return Status::IOError("cannot open journal: " + path);
+  }
+  return wal;
+}
+
+namespace {
+
+void PutU16(std::vector<uint8_t>* out, uint16_t v) {
+  out->push_back(static_cast<uint8_t>(v));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+}
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+}  // namespace
+
+Status Wal::Append(WalOp op, const std::string& table, int64_t pk,
+                   const std::vector<uint8_t>& payload) {
+  if (table.size() > UINT16_MAX) {
+    return Status::InvalidArgument("table name too long for journal");
+  }
+  std::vector<uint8_t> record;
+  record.reserve(payload.size() + table.size() + 32);
+  record.push_back(static_cast<uint8_t>(op));
+  PutU16(&record, static_cast<uint16_t>(table.size()));
+  record.insert(record.end(), table.begin(), table.end());
+  PutU64(&record, static_cast<uint64_t>(pk));
+  PutU32(&record, static_cast<uint32_t>(payload.size()));
+  record.insert(record.end(), payload.begin(), payload.end());
+  PutU64(&record, Fnv1a64(record.data(), record.size()));
+  if (std::fwrite(record.data(), 1, record.size(), file_) != record.size()) {
+    return Status::IOError("short journal write");
+  }
+  return Status::OK();
+}
+
+Status Wal::AppendInsert(const std::string& table, int64_t pk,
+                         const std::vector<uint8_t>& payload) {
+  return Append(WalOp::kInsert, table, pk, payload);
+}
+
+Status Wal::AppendDelete(const std::string& table, int64_t pk) {
+  return Append(WalOp::kDelete, table, pk, {});
+}
+
+Status Wal::Sync() {
+  if (std::fflush(file_) != 0) return Status::IOError("journal flush failed");
+  if (fsync(fileno(file_)) != 0) return Status::IOError("journal fsync failed");
+  return Status::OK();
+}
+
+Status Wal::Replay(const std::function<Status(const WalRecord&)>& cb) {
+  std::FILE* f = std::fopen(path_.c_str(), "rb");
+  if (f == nullptr) return Status::OK();  // no journal yet
+  auto read_exact = [&](void* dst, size_t n) {
+    return std::fread(dst, 1, n, f) == n;
+  };
+  size_t replayed = 0;
+  while (true) {
+    std::vector<uint8_t> head;
+    uint8_t op_raw = 0;
+    if (!read_exact(&op_raw, 1)) break;
+    uint8_t len_raw[2];
+    if (!read_exact(len_raw, 2)) break;
+    const uint16_t name_len =
+        static_cast<uint16_t>(len_raw[0] | (len_raw[1] << 8));
+    std::string table(name_len, '\0');
+    if (name_len > 0 && !read_exact(table.data(), name_len)) break;
+    uint8_t pk_raw[8];
+    if (!read_exact(pk_raw, 8)) break;
+    uint8_t plen_raw[4];
+    if (!read_exact(plen_raw, 4)) break;
+    uint32_t payload_len = 0;
+    for (int i = 0; i < 4; ++i) {
+      payload_len |= static_cast<uint32_t>(plen_raw[i]) << (8 * i);
+    }
+    std::vector<uint8_t> payload(payload_len);
+    if (payload_len > 0 && !read_exact(payload.data(), payload_len)) break;
+    uint8_t sum_raw[8];
+    if (!read_exact(sum_raw, 8)) break;
+
+    // Recompute the checksum over the serialized prefix.
+    std::vector<uint8_t> prefix;
+    prefix.reserve(15 + name_len + payload_len);
+    prefix.push_back(op_raw);
+    prefix.push_back(len_raw[0]);
+    prefix.push_back(len_raw[1]);
+    prefix.insert(prefix.end(), table.begin(), table.end());
+    prefix.insert(prefix.end(), pk_raw, pk_raw + 8);
+    prefix.insert(prefix.end(), plen_raw, plen_raw + 4);
+    prefix.insert(prefix.end(), payload.begin(), payload.end());
+    uint64_t expect = 0;
+    for (int i = 0; i < 8; ++i) {
+      expect |= static_cast<uint64_t>(sum_raw[i]) << (8 * i);
+    }
+    if (Fnv1a64(prefix.data(), prefix.size()) != expect) {
+      VR_LOG(Warn) << "journal: checksum mismatch after " << replayed
+                   << " records; discarding tail";
+      break;
+    }
+    if (op_raw != static_cast<uint8_t>(WalOp::kInsert) &&
+        op_raw != static_cast<uint8_t>(WalOp::kDelete)) {
+      VR_LOG(Warn) << "journal: unknown op " << int{op_raw}
+                   << "; discarding tail";
+      break;
+    }
+    WalRecord record;
+    record.op = static_cast<WalOp>(op_raw);
+    record.table = std::move(table);
+    uint64_t pk_bits = 0;
+    for (int i = 0; i < 8; ++i) {
+      pk_bits |= static_cast<uint64_t>(pk_raw[i]) << (8 * i);
+    }
+    record.pk = static_cast<int64_t>(pk_bits);
+    record.payload = std::move(payload);
+    const Status st = cb(record);
+    if (!st.ok()) {
+      std::fclose(f);
+      return st;
+    }
+    ++replayed;
+  }
+  std::fclose(f);
+  return Status::OK();
+}
+
+Status Wal::Truncate() {
+  if (file_ != nullptr) std::fclose(file_);
+  file_ = std::fopen(path_.c_str(), "w+b");
+  if (file_ == nullptr) {
+    return Status::IOError("cannot truncate journal: " + path_);
+  }
+  return Sync();
+}
+
+Result<uint64_t> Wal::SizeBytes() const {
+  if (std::fflush(file_) != 0) return Status::IOError("flush failed");
+  if (std::fseek(file_, 0, SEEK_END) != 0) {
+    return Status::IOError("seek failed");
+  }
+  return static_cast<uint64_t>(std::ftell(file_));
+}
+
+}  // namespace vr

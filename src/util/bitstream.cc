@@ -1,0 +1,82 @@
+#include "util/bitstream.h"
+
+namespace vr {
+
+void BitWriter::WriteBits(uint32_t value, int count) {
+  if (count <= 0) return;
+  if (count < 32) value &= (uint32_t{1} << count) - 1;
+  for (int i = count - 1; i >= 0; --i) {
+    accumulator_ = (accumulator_ << 1) | ((value >> i) & 1u);
+    if (++accumulator_bits_ == 8) {
+      bytes_.push_back(static_cast<uint8_t>(accumulator_));
+      accumulator_ = 0;
+      accumulator_bits_ = 0;
+    }
+  }
+  bit_count_ += static_cast<size_t>(count);
+}
+
+void BitWriter::WriteUe(uint32_t value) {
+  // code = value + 1, written as (leading zeros) + code.
+  const uint64_t code = static_cast<uint64_t>(value) + 1;
+  int bits = 0;
+  while ((code >> bits) != 0) ++bits;
+  WriteBits(0, bits - 1);
+  // The code itself fits in `bits` bits with a leading 1.
+  WriteBits(static_cast<uint32_t>(code), bits);
+}
+
+void BitWriter::WriteSe(int32_t value) {
+  // 0 -> 0, 1 -> 1, -1 -> 2, 2 -> 3, -2 -> 4, ...
+  const uint32_t mapped =
+      value > 0 ? static_cast<uint32_t>(value) * 2 - 1
+                : static_cast<uint32_t>(-static_cast<int64_t>(value)) * 2;
+  WriteUe(mapped);
+}
+
+std::vector<uint8_t> BitWriter::Finish() {
+  if (accumulator_bits_ > 0) {
+    bytes_.push_back(
+        static_cast<uint8_t>(accumulator_ << (8 - accumulator_bits_)));
+    accumulator_ = 0;
+    accumulator_bits_ = 0;
+  }
+  return std::move(bytes_);
+}
+
+Result<uint32_t> BitReader::ReadBits(int count) {
+  if (count <= 0) return uint32_t{0};
+  if (position_ + static_cast<size_t>(count) > bytes_.size() * 8) {
+    return Status::Corruption("bitstream exhausted");
+  }
+  uint32_t value = 0;
+  for (int i = 0; i < count; ++i) {
+    const size_t byte = position_ >> 3;
+    const int bit = 7 - static_cast<int>(position_ & 7);
+    value = (value << 1) | ((bytes_[byte] >> bit) & 1u);
+    ++position_;
+  }
+  return value;
+}
+
+Result<uint32_t> BitReader::ReadUe() {
+  int zeros = 0;
+  while (true) {
+    VR_ASSIGN_OR_RETURN(uint32_t bit, ReadBits(1));
+    if (bit != 0) break;
+    if (++zeros > 31) return Status::Corruption("Exp-Golomb code too long");
+  }
+  VR_ASSIGN_OR_RETURN(uint32_t suffix, ReadBits(zeros));
+  return ((uint32_t{1} << zeros) | suffix) - 1;
+}
+
+Result<int32_t> BitReader::ReadSe() {
+  VR_ASSIGN_OR_RETURN(uint32_t mapped, ReadUe());
+  if (mapped == 0) return int32_t{0};
+  if (mapped % 2 == 1) {
+    return static_cast<int32_t>((mapped + 1) / 2);
+  }
+  return -static_cast<int32_t>(mapped / 2);
+}
+
+}  // namespace vr

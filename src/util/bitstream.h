@@ -1,0 +1,63 @@
+/// \file bitstream.h
+/// \brief Bit-level writer/reader with Exp-Golomb codes.
+///
+/// Used by the DCT key-frame codec's entropy coder. Bits are packed
+/// MSB-first into bytes, H.26x style; ue(v)/se(v) are the usual
+/// unsigned/signed Exp-Golomb codes.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace vr {
+
+/// \brief Appends bits MSB-first into a byte vector.
+class BitWriter {
+ public:
+  /// Writes the low \p count bits of \p value (count in [0, 32]).
+  void WriteBits(uint32_t value, int count);
+
+  /// Unsigned Exp-Golomb.
+  void WriteUe(uint32_t value);
+
+  /// Signed Exp-Golomb (0, 1, -1, 2, -2, ... mapping).
+  void WriteSe(int32_t value);
+
+  /// Pads the final partial byte with zero bits and returns the buffer.
+  std::vector<uint8_t> Finish();
+
+  size_t bit_count() const { return bit_count_; }
+
+ private:
+  std::vector<uint8_t> bytes_;
+  uint32_t accumulator_ = 0;
+  int accumulator_bits_ = 0;
+  size_t bit_count_ = 0;
+};
+
+/// \brief Reads bits MSB-first from a byte buffer.
+class BitReader {
+ public:
+  explicit BitReader(const std::vector<uint8_t>& bytes) : bytes_(bytes) {}
+
+  /// Reads \p count bits (count in [0, 32]); Corruption past the end.
+  Result<uint32_t> ReadBits(int count);
+
+  /// Unsigned Exp-Golomb.
+  Result<uint32_t> ReadUe();
+
+  /// Signed Exp-Golomb.
+  Result<int32_t> ReadSe();
+
+  /// Bits consumed so far.
+  size_t position() const { return position_; }
+
+ private:
+  const std::vector<uint8_t>& bytes_;
+  size_t position_ = 0;  // in bits
+};
+
+}  // namespace vr

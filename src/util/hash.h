@@ -1,0 +1,21 @@
+/// \file hash.h
+/// \brief FNV-1a hashing, used for frame and journal checksums.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace vr {
+
+/// FNV-1a 64-bit hash of a byte buffer.
+inline uint64_t Fnv1a64(const uint8_t* data, size_t size) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (size_t i = 0; i < size; ++i) {
+    h ^= data[i];
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+}  // namespace vr

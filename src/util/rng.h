@@ -1,0 +1,62 @@
+/// \file rng.h
+/// \brief Deterministic random number generation (xoshiro256**).
+///
+/// Every randomized component in the library (synthetic video, corpus
+/// builders, user-study sampling) takes an explicit seed so experiments
+/// reproduce bit-for-bit.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace vr {
+
+/// \brief xoshiro256** PRNG with convenience draws.
+class Rng {
+ public:
+  /// Seeds the generator; the same seed yields the same sequence.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Next raw 64-bit draw.
+  uint64_t Next();
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// Standard normal draw (Box-Muller).
+  double Gaussian();
+
+  /// Gaussian with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev);
+
+  /// Bernoulli draw with probability \p p of true.
+  bool Bernoulli(double p);
+
+  /// Fisher-Yates shuffle of \p items.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    for (size_t i = items->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      std::swap((*items)[i - 1], (*items)[j]);
+    }
+  }
+
+  /// Derives an independent child generator (for per-item determinism).
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace vr

@@ -1,0 +1,40 @@
+/// \file table_printer.h
+/// \brief ASCII table rendering for the table/figure benchmark harnesses.
+
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace vr {
+
+/// \brief Accumulates rows of cells and renders an aligned ASCII table.
+///
+/// Used by the bench executables to print paper-style tables
+/// (e.g. Table 1: precision at 20/30/50/100 documents).
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; missing cells render empty, extra cells are dropped.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: appends a row whose first cell is a label and the rest
+  /// are doubles formatted with \p precision decimal places.
+  void AddRow(const std::string& label, const std::vector<double>& values,
+              int precision = 3);
+
+  /// Renders the table to \p os.
+  void Print(std::ostream& os) const;
+
+  /// Renders the table to a string.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace vr

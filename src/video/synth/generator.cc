@@ -1,0 +1,45 @@
+#include "video/synth/generator.h"
+
+#include "video/video_writer.h"
+
+namespace vr {
+
+Result<std::vector<Image>> GenerateVideoFrames(const SyntheticVideoSpec& spec) {
+  if (spec.width <= 0 || spec.height <= 0 || spec.num_scenes <= 0 ||
+      spec.frames_per_scene <= 0) {
+    return Status::InvalidArgument("bad synthetic video spec");
+  }
+  Rng rng(spec.seed);
+  std::vector<Image> frames;
+  frames.reserve(static_cast<size_t>(spec.num_scenes) *
+                 static_cast<size_t>(spec.frames_per_scene));
+  for (int s = 0; s < spec.num_scenes; ++s) {
+    Rng scene_rng = rng.Fork();
+    std::unique_ptr<Scene> scene =
+        MakeScene(spec.category, spec.width, spec.height, &scene_rng);
+    if (scene == nullptr) {
+      return Status::Internal("MakeScene returned null");
+    }
+    for (int t = 0; t < spec.frames_per_scene; ++t) {
+      Image frame(spec.width, spec.height, 3);
+      scene->Render(t, &frame);
+      frames.push_back(std::move(frame));
+    }
+  }
+  return frames;
+}
+
+Result<uint64_t> GenerateVideoFile(const SyntheticVideoSpec& spec,
+                                   const std::string& path) {
+  VR_ASSIGN_OR_RETURN(std::vector<Image> frames, GenerateVideoFrames(spec));
+  VideoWriter writer;
+  VR_RETURN_NOT_OK(
+      writer.Open(path, spec.width, spec.height, 3, spec.fps));
+  for (const Image& frame : frames) {
+    VR_RETURN_NOT_OK(writer.Append(frame));
+  }
+  VR_RETURN_NOT_OK(writer.Finish());
+  return static_cast<uint64_t>(frames.size());
+}
+
+}  // namespace vr

@@ -1,0 +1,36 @@
+/// \file generator.h
+/// \brief Deterministic synthetic video generation across categories.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "imaging/image.h"
+#include "util/status.h"
+#include "video/synth/scene.h"
+
+namespace vr {
+
+/// \brief Parameters for one synthetic video.
+struct SyntheticVideoSpec {
+  VideoCategory category = VideoCategory::kCartoon;
+  int width = 160;
+  int height = 120;
+  int fps = 12;
+  /// Number of shots (scenes separated by hard cuts).
+  int num_scenes = 4;
+  /// Frames per shot (scene content drifts slowly within a shot).
+  int frames_per_scene = 20;
+  /// Master seed; same spec + seed => identical video.
+  uint64_t seed = 1;
+};
+
+/// Generates all frames of a synthetic video in memory.
+Result<std::vector<Image>> GenerateVideoFrames(const SyntheticVideoSpec& spec);
+
+/// Generates and writes a .vsv file; returns frame count.
+Result<uint64_t> GenerateVideoFile(const SyntheticVideoSpec& spec,
+                                   const std::string& path);
+
+}  // namespace vr

@@ -1,0 +1,90 @@
+#include "video/video_format.h"
+
+namespace vr {
+
+std::vector<uint8_t> PackBitsEncode(const std::vector<uint8_t>& input) {
+  std::vector<uint8_t> out;
+  out.reserve(input.size() / 2 + 16);
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    // Find run length of identical bytes starting at i.
+    size_t run = 1;
+    while (i + run < n && input[i + run] == input[i] && run < 130) ++run;
+    if (run >= 3) {
+      // Encoded as control byte [128..255] => repeat count run = c - 125.
+      out.push_back(static_cast<uint8_t>(125 + run));
+      out.push_back(input[i]);
+      i += run;
+    } else {
+      // Literal segment: scan forward until a >=3 run begins or 128 bytes.
+      size_t lit_start = i;
+      size_t lit_len = 0;
+      while (i < n && lit_len < 128) {
+        size_t r = 1;
+        while (i + r < n && input[i + r] == input[i] && r < 3) ++r;
+        if (r >= 3) break;
+        i += 1;
+        lit_len += 1;
+      }
+      out.push_back(static_cast<uint8_t>(lit_len - 1));  // [0..127]
+      out.insert(out.end(), input.begin() + static_cast<ptrdiff_t>(lit_start),
+                 input.begin() + static_cast<ptrdiff_t>(lit_start + lit_len));
+    }
+  }
+  return out;
+}
+
+Result<std::vector<uint8_t>> PackBitsDecode(const std::vector<uint8_t>& input,
+                                            size_t expected_size) {
+  std::vector<uint8_t> out;
+  out.reserve(expected_size);
+  size_t i = 0;
+  while (i < input.size()) {
+    const uint8_t c = input[i++];
+    if (c < 128) {
+      const size_t lit_len = static_cast<size_t>(c) + 1;
+      if (i + lit_len > input.size()) {
+        return Status::Corruption("PackBits literal overruns stream");
+      }
+      out.insert(out.end(), input.begin() + static_cast<ptrdiff_t>(i),
+                 input.begin() + static_cast<ptrdiff_t>(i + lit_len));
+      i += lit_len;
+    } else {
+      if (i >= input.size()) {
+        return Status::Corruption("PackBits run missing value byte");
+      }
+      const size_t run = static_cast<size_t>(c) - 125;
+      out.insert(out.end(), run, input[i++]);
+    }
+    if (out.size() > expected_size) {
+      return Status::Corruption("PackBits output exceeds expected size");
+    }
+  }
+  if (out.size() != expected_size) {
+    return Status::Corruption("PackBits output shorter than expected");
+  }
+  return out;
+}
+
+std::vector<uint8_t> DeltaEncode(const std::vector<uint8_t>& current,
+                                 const std::vector<uint8_t>& previous) {
+  std::vector<uint8_t> out(current.size());
+  for (size_t i = 0; i < current.size(); ++i) {
+    const uint8_t prev = i < previous.size() ? previous[i] : 0;
+    out[i] = static_cast<uint8_t>(current[i] - prev);
+  }
+  return out;
+}
+
+std::vector<uint8_t> DeltaDecode(const std::vector<uint8_t>& delta,
+                                 const std::vector<uint8_t>& previous) {
+  std::vector<uint8_t> out(delta.size());
+  for (size_t i = 0; i < delta.size(); ++i) {
+    const uint8_t prev = i < previous.size() ? previous[i] : 0;
+    out[i] = static_cast<uint8_t>(delta[i] + prev);
+  }
+  return out;
+}
+
+}  // namespace vr

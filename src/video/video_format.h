@@ -1,0 +1,66 @@
+/// \file video_format.h
+/// \brief The .vsv container format and its frame codecs.
+///
+/// The paper stores videos as Oracle `ORDVideo` BLOBs and decodes them
+/// with an external video-to-JPEG converter. This module provides the
+/// equivalent substrate natively: a small seekable container with
+/// per-frame compression.
+///
+/// Layout (little-endian):
+///
+///   header:  magic "VSV1" | u32 width | u32 height | u32 channels |
+///            u32 fps | u64 frame_count
+///   frames:  frame_count x { u8 encoding | u32 payload_size |
+///            u64 checksum | payload }
+///   footer:  frame_count x u64 frame_offset | u64 footer_start |
+///            magic "VSVX"
+///
+/// Encodings: 0 = raw bytes, 1 = PackBits RLE, 2 = delta vs. previous
+/// frame then PackBits. The writer picks the smallest per frame.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/hash.h"
+#include "util/status.h"
+
+namespace vr {
+
+/// Frame payload encodings.
+enum class FrameEncoding : uint8_t {
+  kRaw = 0,
+  kRle = 1,
+  kDeltaRle = 2,
+};
+
+/// Container metadata from the .vsv header.
+struct VideoHeader {
+  int width = 0;
+  int height = 0;
+  int channels = 0;
+  int fps = 0;
+  uint64_t frame_count = 0;
+};
+
+inline constexpr char kVsvMagic[4] = {'V', 'S', 'V', '1'};
+inline constexpr char kVsvFooterMagic[4] = {'V', 'S', 'V', 'X'};
+
+/// PackBits run-length encoding of \p input.
+std::vector<uint8_t> PackBitsEncode(const std::vector<uint8_t>& input);
+
+/// PackBits decoding; fails on truncated or oversized streams.
+Result<std::vector<uint8_t>> PackBitsDecode(const std::vector<uint8_t>& input,
+                                            size_t expected_size);
+
+/// Byte-wise difference current - previous (mod 256).
+std::vector<uint8_t> DeltaEncode(const std::vector<uint8_t>& current,
+                                 const std::vector<uint8_t>& previous);
+
+/// Inverse of DeltaEncode.
+std::vector<uint8_t> DeltaDecode(const std::vector<uint8_t>& delta,
+                                 const std::vector<uint8_t>& previous);
+
+}  // namespace vr

@@ -1,0 +1,196 @@
+#include "video/video_reader.h"
+
+#include <cstring>
+
+#include "util/string_util.h"
+
+namespace vr {
+
+namespace {
+
+Status ReadBytes(std::FILE* f, void* data, size_t size) {
+  if (std::fread(data, 1, size, f) != size) {
+    return Status::Corruption("unexpected end of video file");
+  }
+  return Status::OK();
+}
+
+template <typename T>
+Result<T> ReadScalar(std::FILE* f) {
+  T v{};
+  VR_RETURN_NOT_OK(ReadBytes(f, &v, sizeof(v)));
+  return v;
+}
+
+}  // namespace
+
+VideoReader::~VideoReader() { Close(); }
+
+void VideoReader::Close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+Status VideoReader::Open(const std::string& path) {
+  Close();
+  file_ = std::fopen(path.c_str(), "rb");
+  if (file_ == nullptr) {
+    return Status::IOError("cannot open video file: " + path);
+  }
+  char magic[4];
+  VR_RETURN_NOT_OK(ReadBytes(file_, magic, 4));
+  if (std::memcmp(magic, kVsvMagic, 4) != 0) {
+    return Status::Corruption("not a .vsv file: " + path);
+  }
+  VR_ASSIGN_OR_RETURN(uint32_t w, ReadScalar<uint32_t>(file_));
+  VR_ASSIGN_OR_RETURN(uint32_t h, ReadScalar<uint32_t>(file_));
+  VR_ASSIGN_OR_RETURN(uint32_t c, ReadScalar<uint32_t>(file_));
+  VR_ASSIGN_OR_RETURN(uint32_t fps, ReadScalar<uint32_t>(file_));
+  VR_ASSIGN_OR_RETURN(uint64_t count, ReadScalar<uint64_t>(file_));
+  if (w == 0 || h == 0 || (c != 1 && c != 3)) {
+    return Status::Corruption("bad video header");
+  }
+  header_.width = static_cast<int>(w);
+  header_.height = static_cast<int>(h);
+  header_.channels = static_cast<int>(c);
+  header_.fps = static_cast<int>(fps);
+  header_.frame_count = count;
+
+  // Load the footer offset table.
+  if (std::fseek(file_, -static_cast<long>(sizeof(uint64_t) + 4), SEEK_END) !=
+      0) {
+    return Status::Corruption("video file too short for footer");
+  }
+  VR_ASSIGN_OR_RETURN(uint64_t footer_start, ReadScalar<uint64_t>(file_));
+  char footer_magic[4];
+  VR_RETURN_NOT_OK(ReadBytes(file_, footer_magic, 4));
+  if (std::memcmp(footer_magic, kVsvFooterMagic, 4) != 0) {
+    return Status::Corruption("missing video footer (unfinished write?)");
+  }
+  if (std::fseek(file_, static_cast<long>(footer_start), SEEK_SET) != 0) {
+    return Status::Corruption("bad footer offset");
+  }
+  offsets_.resize(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    VR_ASSIGN_OR_RETURN(offsets_[i], ReadScalar<uint64_t>(file_));
+  }
+  return Rewind();
+}
+
+Status VideoReader::Rewind() {
+  next_index_ = 0;
+  prev_frame_.clear();
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> VideoReader::DecodeFrameAt(
+    uint64_t offset, const std::vector<uint8_t>& prev, FrameEncoding* enc_out) {
+  if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
+    return Status::Corruption("bad frame offset");
+  }
+  VR_ASSIGN_OR_RETURN(uint8_t enc_raw, ReadScalar<uint8_t>(file_));
+  if (enc_raw > 2) return Status::Corruption("unknown frame encoding");
+  const FrameEncoding enc = static_cast<FrameEncoding>(enc_raw);
+  VR_ASSIGN_OR_RETURN(uint32_t payload_size, ReadScalar<uint32_t>(file_));
+  VR_ASSIGN_OR_RETURN(uint64_t checksum, ReadScalar<uint64_t>(file_));
+  const size_t frame_bytes = static_cast<size_t>(header_.width) *
+                             header_.height * header_.channels;
+  if (payload_size > frame_bytes + frame_bytes / 64 + 1024) {
+    return Status::Corruption("frame payload implausibly large");
+  }
+  std::vector<uint8_t> payload(payload_size);
+  VR_RETURN_NOT_OK(ReadBytes(file_, payload.data(), payload.size()));
+
+  std::vector<uint8_t> raw;
+  switch (enc) {
+    case FrameEncoding::kRaw:
+      if (payload.size() != frame_bytes) {
+        return Status::Corruption("raw frame has wrong size");
+      }
+      raw = std::move(payload);
+      break;
+    case FrameEncoding::kRle: {
+      VR_ASSIGN_OR_RETURN(raw, PackBitsDecode(payload, frame_bytes));
+      break;
+    }
+    case FrameEncoding::kDeltaRle: {
+      if (prev.empty()) {
+        return Status::Corruption("delta frame without predecessor");
+      }
+      VR_ASSIGN_OR_RETURN(std::vector<uint8_t> delta,
+                          PackBitsDecode(payload, frame_bytes));
+      raw = DeltaDecode(delta, prev);
+      break;
+    }
+  }
+  if (Fnv1a64(raw.data(), raw.size()) != checksum) {
+    return Status::Corruption("frame checksum mismatch");
+  }
+  if (enc_out != nullptr) *enc_out = enc;
+  return raw;
+}
+
+Result<Image> VideoReader::Next() {
+  if (file_ == nullptr) return Status::Internal("reader not open");
+  if (next_index_ >= header_.frame_count) {
+    return Status::OutOfRange("end of video");
+  }
+  VR_ASSIGN_OR_RETURN(
+      std::vector<uint8_t> raw,
+      DecodeFrameAt(offsets_[next_index_], prev_frame_, nullptr));
+  prev_frame_ = raw;
+  ++next_index_;
+  return Image::FromData(header_.width, header_.height, header_.channels,
+                         std::move(raw));
+}
+
+Result<Image> VideoReader::ReadFrame(uint64_t index) {
+  if (file_ == nullptr) return Status::Internal("reader not open");
+  if (index >= header_.frame_count) {
+    return Status::OutOfRange(
+        StringPrintf("frame %llu out of range (count %llu)",
+                     static_cast<unsigned long long>(index),
+                     static_cast<unsigned long long>(header_.frame_count)));
+  }
+  // Walk back to the nearest frame that starts a delta chain. Frame 0 is
+  // always non-delta; in practice chains are short because the writer only
+  // emits delta frames when they help.
+  uint64_t start = index;
+  std::vector<FrameEncoding> encs;
+  // Peek encodings going backwards.
+  while (true) {
+    if (std::fseek(file_, static_cast<long>(offsets_[start]), SEEK_SET) != 0) {
+      return Status::Corruption("bad frame offset");
+    }
+    VR_ASSIGN_OR_RETURN(uint8_t enc_raw, ReadScalar<uint8_t>(file_));
+    if (enc_raw > 2) return Status::Corruption("unknown frame encoding");
+    if (static_cast<FrameEncoding>(enc_raw) != FrameEncoding::kDeltaRle ||
+        start == 0) {
+      break;
+    }
+    --start;
+  }
+  std::vector<uint8_t> prev;
+  std::vector<uint8_t> raw;
+  for (uint64_t i = start; i <= index; ++i) {
+    VR_ASSIGN_OR_RETURN(raw, DecodeFrameAt(offsets_[i], prev, nullptr));
+    prev = raw;
+  }
+  return Image::FromData(header_.width, header_.height, header_.channels,
+                         std::move(raw));
+}
+
+Result<std::vector<Image>> VideoReader::ReadAll() {
+  VR_RETURN_NOT_OK(Rewind());
+  std::vector<Image> frames;
+  frames.reserve(header_.frame_count);
+  for (uint64_t i = 0; i < header_.frame_count; ++i) {
+    VR_ASSIGN_OR_RETURN(Image frame, Next());
+    frames.push_back(std::move(frame));
+  }
+  return frames;
+}
+
+}  // namespace vr

@@ -1,0 +1,60 @@
+/// \file video_reader.h
+/// \brief Reader for the .vsv container with sequential and random access.
+
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "imaging/image.h"
+#include "util/status.h"
+#include "video/video_format.h"
+
+namespace vr {
+
+/// \brief Decodes frames from a .vsv file.
+///
+/// Sequential decoding (`Next`) is always available; `ReadFrame(i)` uses
+/// the footer's offset table and decodes the delta chain from the nearest
+/// non-delta frame.
+class VideoReader {
+ public:
+  VideoReader() = default;
+  ~VideoReader();
+  VideoReader(const VideoReader&) = delete;
+  VideoReader& operator=(const VideoReader&) = delete;
+
+  /// Opens \p path, validating header and footer.
+  Status Open(const std::string& path);
+
+  const VideoHeader& header() const { return header_; }
+  uint64_t frame_count() const { return header_.frame_count; }
+
+  /// Decodes the next frame in sequence; returns OutOfRange at EOF.
+  Result<Image> Next();
+
+  /// Random access to frame \p index.
+  Result<Image> ReadFrame(uint64_t index);
+
+  /// Decodes every frame into a vector.
+  Result<std::vector<Image>> ReadAll();
+
+  /// Rewinds sequential decoding to frame 0.
+  Status Rewind();
+
+  void Close();
+
+ private:
+  Result<std::vector<uint8_t>> DecodeFrameAt(uint64_t offset,
+                                             const std::vector<uint8_t>& prev,
+                                             FrameEncoding* enc_out);
+
+  std::FILE* file_ = nullptr;
+  VideoHeader header_;
+  std::vector<uint64_t> offsets_;
+  uint64_t next_index_ = 0;
+  std::vector<uint8_t> prev_frame_;
+};
+
+}  // namespace vr

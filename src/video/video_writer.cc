@@ -1,0 +1,124 @@
+#include "video/video_writer.h"
+
+#include <cstring>
+
+#include "util/string_util.h"
+
+namespace vr {
+
+namespace {
+
+Status WriteBytes(std::FILE* f, const void* data, size_t size) {
+  if (std::fwrite(data, 1, size, f) != size) {
+    return Status::IOError("short write to video file");
+  }
+  return Status::OK();
+}
+
+template <typename T>
+Status WriteScalar(std::FILE* f, T v) {
+  return WriteBytes(f, &v, sizeof(v));
+}
+
+}  // namespace
+
+VideoWriter::~VideoWriter() {
+  if (file_ != nullptr) {
+    // Best-effort finish on destruction.
+    (void)Finish();
+  }
+}
+
+Status VideoWriter::Open(const std::string& path, int width, int height,
+                         int channels, int fps) {
+  if (file_ != nullptr) return Status::Internal("writer already open");
+  if (width <= 0 || height <= 0 || (channels != 1 && channels != 3) ||
+      fps <= 0) {
+    return Status::InvalidArgument("bad video parameters");
+  }
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    return Status::IOError("cannot create video file: " + path);
+  }
+  header_.width = width;
+  header_.height = height;
+  header_.channels = channels;
+  header_.fps = fps;
+  header_.frame_count = 0;
+
+  VR_RETURN_NOT_OK(WriteBytes(file_, kVsvMagic, 4));
+  VR_RETURN_NOT_OK(WriteScalar<uint32_t>(file_, static_cast<uint32_t>(width)));
+  VR_RETURN_NOT_OK(
+      WriteScalar<uint32_t>(file_, static_cast<uint32_t>(height)));
+  VR_RETURN_NOT_OK(
+      WriteScalar<uint32_t>(file_, static_cast<uint32_t>(channels)));
+  VR_RETURN_NOT_OK(WriteScalar<uint32_t>(file_, static_cast<uint32_t>(fps)));
+  VR_RETURN_NOT_OK(WriteScalar<uint64_t>(file_, 0));  // patched by Finish()
+  return Status::OK();
+}
+
+Status VideoWriter::Append(const Image& frame) {
+  if (file_ == nullptr || finished_) {
+    return Status::Internal("writer not open");
+  }
+  if (frame.width() != header_.width || frame.height() != header_.height ||
+      frame.channels() != header_.channels) {
+    return Status::InvalidArgument(StringPrintf(
+        "frame %dx%dx%d does not match video %dx%dx%d", frame.width(),
+        frame.height(), frame.channels(), header_.width, header_.height,
+        header_.channels));
+  }
+
+  const std::vector<uint8_t>& raw = frame.buffer();
+  const std::vector<uint8_t> rle = PackBitsEncode(raw);
+
+  FrameEncoding enc = FrameEncoding::kRaw;
+  const std::vector<uint8_t>* payload = &raw;
+  std::vector<uint8_t> delta_rle;
+  if (rle.size() < payload->size()) {
+    enc = FrameEncoding::kRle;
+    payload = &rle;
+  }
+  if (!prev_frame_.empty()) {
+    delta_rle = PackBitsEncode(DeltaEncode(raw, prev_frame_));
+    if (delta_rle.size() < payload->size()) {
+      enc = FrameEncoding::kDeltaRle;
+      payload = &delta_rle;
+    }
+  }
+
+  frame_offsets_.push_back(static_cast<uint64_t>(std::ftell(file_)));
+  VR_RETURN_NOT_OK(WriteScalar<uint8_t>(file_, static_cast<uint8_t>(enc)));
+  VR_RETURN_NOT_OK(
+      WriteScalar<uint32_t>(file_, static_cast<uint32_t>(payload->size())));
+  VR_RETURN_NOT_OK(
+      WriteScalar<uint64_t>(file_, Fnv1a64(raw.data(), raw.size())));
+  VR_RETURN_NOT_OK(WriteBytes(file_, payload->data(), payload->size()));
+  payload_bytes_ += payload->size();
+  prev_frame_ = raw;
+  return Status::OK();
+}
+
+Status VideoWriter::Finish() {
+  if (file_ == nullptr) return Status::OK();
+  if (!finished_) {
+    const uint64_t footer_start = static_cast<uint64_t>(std::ftell(file_));
+    for (uint64_t off : frame_offsets_) {
+      VR_RETURN_NOT_OK(WriteScalar<uint64_t>(file_, off));
+    }
+    VR_RETURN_NOT_OK(WriteScalar<uint64_t>(file_, footer_start));
+    VR_RETURN_NOT_OK(WriteBytes(file_, kVsvFooterMagic, 4));
+    // Patch the frame count in the header (offset 4 + 4*4 = 20).
+    if (std::fseek(file_, 20, SEEK_SET) != 0) {
+      return Status::IOError("seek failed while finalizing video");
+    }
+    VR_RETURN_NOT_OK(WriteScalar<uint64_t>(
+        file_, static_cast<uint64_t>(frame_offsets_.size())));
+    finished_ = true;
+  }
+  std::fclose(file_);
+  file_ = nullptr;
+  return Status::OK();
+}
+
+}  // namespace vr

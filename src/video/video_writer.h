@@ -1,0 +1,50 @@
+/// \file video_writer.h
+/// \brief Streaming writer for the .vsv container.
+
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "imaging/image.h"
+#include "util/status.h"
+#include "video/video_format.h"
+
+namespace vr {
+
+/// \brief Appends frames to a .vsv file; Finish() writes the seek footer.
+///
+/// All frames must match the dimensions/channels fixed at Open time.
+/// The writer picks the smallest of raw / RLE / delta+RLE per frame.
+class VideoWriter {
+ public:
+  VideoWriter() = default;
+  ~VideoWriter();
+  VideoWriter(const VideoWriter&) = delete;
+  VideoWriter& operator=(const VideoWriter&) = delete;
+
+  /// Creates/truncates \p path and writes the header.
+  Status Open(const std::string& path, int width, int height, int channels,
+              int fps);
+
+  /// Appends one frame.
+  Status Append(const Image& frame);
+
+  /// Writes the footer and closes the file. Idempotent.
+  Status Finish();
+
+  uint64_t frames_written() const { return frame_offsets_.size(); }
+  /// Compressed bytes written so far (payloads only).
+  uint64_t payload_bytes() const { return payload_bytes_; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  VideoHeader header_;
+  std::vector<uint8_t> prev_frame_;
+  std::vector<uint64_t> frame_offsets_;
+  uint64_t payload_bytes_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace vr

@@ -1,0 +1,117 @@
+#include "storage/blob_store.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "util/rng.h"
+
+namespace vr {
+namespace {
+
+std::string TempPath(const char* name) {
+  const std::string path = testing::TempDir() + "/" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+std::vector<uint8_t> RandomBytes(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint8_t> out(n);
+  for (auto& b : out) b = static_cast<uint8_t>(rng.UniformInt(0, 255));
+  return out;
+}
+
+TEST(BlobStoreTest, SmallBlobRoundTrip) {
+  auto pager = Pager::Open(TempPath("blob_small.vpg"), true).value();
+  BlobStore store(pager.get());
+  const auto data = RandomBytes(100, 1);
+  const BlobRef ref = store.Put(data).value();
+  EXPECT_EQ(ref.size, 100u);
+  EXPECT_EQ(store.Get(ref).value(), data);
+}
+
+TEST(BlobStoreTest, MultiPageBlobRoundTrip) {
+  auto pager = Pager::Open(TempPath("blob_big.vpg"), true).value();
+  BlobStore store(pager.get());
+  // ~100 KiB spans ~13 pages.
+  const auto data = RandomBytes(100000, 2);
+  const BlobRef ref = store.Put(data).value();
+  EXPECT_EQ(store.Get(ref).value(), data);
+  EXPECT_GT(pager->page_count(), 12u);
+}
+
+TEST(BlobStoreTest, ExactPageBoundary) {
+  auto pager = Pager::Open(TempPath("blob_edge.vpg"), true).value();
+  BlobStore store(pager.get());
+  const size_t page = BlobStore::PayloadPerPage();
+  for (size_t n : {page - 1, page, page + 1, 2 * page}) {
+    const auto data = RandomBytes(n, n);
+    const BlobRef ref = store.Put(data).value();
+    EXPECT_EQ(store.Get(ref).value(), data) << n;
+  }
+}
+
+TEST(BlobStoreTest, EmptyBlob) {
+  auto pager = Pager::Open(TempPath("blob_empty.vpg"), true).value();
+  BlobStore store(pager.get());
+  const BlobRef ref = store.Put({}).value();
+  EXPECT_EQ(ref.size, 0u);
+  EXPECT_TRUE(store.Get(ref).value().empty());
+  EXPECT_TRUE(store.Delete(ref).ok());
+}
+
+TEST(BlobStoreTest, DeleteFreesPagesForReuse) {
+  auto pager = Pager::Open(TempPath("blob_free.vpg"), true).value();
+  BlobStore store(pager.get());
+  const auto data = RandomBytes(50000, 3);
+  const BlobRef ref = store.Put(data).value();
+  const uint32_t pages_after_put = pager->page_count();
+  ASSERT_TRUE(store.Delete(ref).ok());
+  // A second blob of the same size reuses the freed chain.
+  const BlobRef ref2 = store.Put(data).value();
+  EXPECT_EQ(pager->page_count(), pages_after_put);
+  EXPECT_EQ(store.Get(ref2).value(), data);
+}
+
+TEST(BlobStoreTest, MultipleBlobsIndependent) {
+  auto pager = Pager::Open(TempPath("blob_multi.vpg"), true).value();
+  BlobStore store(pager.get());
+  std::vector<std::pair<BlobRef, std::vector<uint8_t>>> blobs;
+  for (int i = 0; i < 10; ++i) {
+    const auto data = RandomBytes(5000 + static_cast<size_t>(i) * 3000,
+                                  static_cast<uint64_t>(i));
+    blobs.emplace_back(store.Put(data).value(), data);
+  }
+  for (const auto& [ref, data] : blobs) {
+    EXPECT_EQ(store.Get(ref).value(), data);
+  }
+}
+
+TEST(BlobStoreTest, PersistsAcrossReopen) {
+  const std::string path = TempPath("blob_persist.vpg");
+  BlobRef ref;
+  std::vector<uint8_t> data = RandomBytes(30000, 9);
+  {
+    auto pager = Pager::Open(path, true).value();
+    BlobStore store(pager.get());
+    ref = store.Put(data).value();
+    ASSERT_TRUE(pager->Flush().ok());
+  }
+  {
+    auto pager = Pager::Open(path, false).value();
+    BlobStore store(pager.get());
+    EXPECT_EQ(store.Get(ref).value(), data);
+  }
+}
+
+TEST(BlobStoreTest, GetWithWrongSizeDetected) {
+  auto pager = Pager::Open(TempPath("blob_bad.vpg"), true).value();
+  BlobStore store(pager.get());
+  BlobRef ref = store.Put(RandomBytes(100, 4)).value();
+  ref.size = 200;  // lie about the size
+  EXPECT_TRUE(store.Get(ref).status().IsCorruption());
+}
+
+}  // namespace
+}  // namespace vr

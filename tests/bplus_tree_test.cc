@@ -1,0 +1,224 @@
+#include "storage/bplus_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+
+#include "util/rng.h"
+
+namespace vr {
+namespace {
+
+std::string TempPath(const char* name) {
+  const std::string path = testing::TempDir() + "/" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+Rid MakeRid(int64_t key) {
+  return Rid{static_cast<uint32_t>(key % 1000 + 1),
+             static_cast<uint16_t>(key % 7)};
+}
+
+TEST(BPlusTreeTest, InsertGetSingle) {
+  auto pager = Pager::Open(TempPath("bt_single.vpg"), true).value();
+  auto tree = BPlusTree::Open(pager.get()).value();
+  ASSERT_TRUE(tree->Insert(5, Rid{10, 3}).ok());
+  const Rid rid = tree->Get(5).value();
+  EXPECT_EQ(rid.page_id, 10u);
+  EXPECT_EQ(rid.slot, 3);
+  EXPECT_TRUE(tree->Get(6).status().IsNotFound());
+}
+
+TEST(BPlusTreeTest, DuplicateInsertRejected) {
+  auto pager = Pager::Open(TempPath("bt_dup.vpg"), true).value();
+  auto tree = BPlusTree::Open(pager.get()).value();
+  ASSERT_TRUE(tree->Insert(1, Rid{1, 0}).ok());
+  EXPECT_TRUE(tree->Insert(1, Rid{2, 0}).IsAlreadyExists());
+  // Upsert overwrites.
+  ASSERT_TRUE(tree->Upsert(1, Rid{2, 0}).ok());
+  EXPECT_EQ(tree->Get(1).value().page_id, 2u);
+}
+
+TEST(BPlusTreeTest, ManyKeysSequential) {
+  auto pager = Pager::Open(TempPath("bt_seq.vpg"), true).value();
+  auto tree = BPlusTree::Open(pager.get()).value();
+  const int n = 5000;  // forces multiple leaf and internal splits
+  for (int64_t k = 0; k < n; ++k) {
+    ASSERT_TRUE(tree->Insert(k, MakeRid(k)).ok()) << k;
+  }
+  EXPECT_EQ(tree->Count().value(), static_cast<uint64_t>(n));
+  EXPECT_GE(tree->Height().value(), 2);
+  for (int64_t k = 0; k < n; k += 97) {
+    const Rid rid = tree->Get(k).value();
+    EXPECT_EQ(rid.page_id, MakeRid(k).page_id) << k;
+  }
+}
+
+TEST(BPlusTreeTest, ManyKeysRandomOrder) {
+  auto pager = Pager::Open(TempPath("bt_rand.vpg"), true).value();
+  auto tree = BPlusTree::Open(pager.get()).value();
+  Rng rng(17);
+  std::vector<int64_t> keys;
+  for (int i = 0; i < 4000; ++i) keys.push_back(i * 3 + 1);
+  rng.Shuffle(&keys);
+  for (int64_t k : keys) {
+    ASSERT_TRUE(tree->Insert(k, MakeRid(k)).ok()) << k;
+  }
+  // In-order scan yields sorted keys.
+  int64_t prev = INT64_MIN;
+  uint64_t count = 0;
+  ASSERT_TRUE(tree->ScanAll([&](int64_t key, const Rid&) {
+                    EXPECT_GT(key, prev);
+                    prev = key;
+                    ++count;
+                    return true;
+                  })
+                  .ok());
+  EXPECT_EQ(count, keys.size());
+}
+
+TEST(BPlusTreeTest, RangeScan) {
+  auto pager = Pager::Open(TempPath("bt_range.vpg"), true).value();
+  auto tree = BPlusTree::Open(pager.get()).value();
+  for (int64_t k = 0; k < 1000; ++k) {
+    ASSERT_TRUE(tree->Insert(k * 2, MakeRid(k)).ok());  // even keys
+  }
+  std::vector<int64_t> seen;
+  ASSERT_TRUE(tree->ScanRange(100, 120, [&](int64_t key, const Rid&) {
+                    seen.push_back(key);
+                    return true;
+                  })
+                  .ok());
+  EXPECT_EQ(seen, (std::vector<int64_t>{100, 102, 104, 106, 108, 110, 112,
+                                        114, 116, 118, 120}));
+}
+
+TEST(BPlusTreeTest, RangeScanEmptyAndInverted) {
+  auto pager = Pager::Open(TempPath("bt_range2.vpg"), true).value();
+  auto tree = BPlusTree::Open(pager.get()).value();
+  ASSERT_TRUE(tree->Insert(10, MakeRid(10)).ok());
+  int visits = 0;
+  ASSERT_TRUE(tree->ScanRange(20, 30, [&](int64_t, const Rid&) {
+                    ++visits;
+                    return true;
+                  })
+                  .ok());
+  EXPECT_EQ(visits, 0);
+  ASSERT_TRUE(tree->ScanRange(30, 20, [&](int64_t, const Rid&) {
+                    ++visits;
+                    return true;
+                  })
+                  .ok());
+  EXPECT_EQ(visits, 0);
+}
+
+TEST(BPlusTreeTest, DeleteRemovesKeys) {
+  auto pager = Pager::Open(TempPath("bt_del.vpg"), true).value();
+  auto tree = BPlusTree::Open(pager.get()).value();
+  for (int64_t k = 0; k < 2000; ++k) {
+    ASSERT_TRUE(tree->Insert(k, MakeRid(k)).ok());
+  }
+  for (int64_t k = 0; k < 2000; k += 2) {
+    ASSERT_TRUE(tree->Delete(k).ok()) << k;
+  }
+  EXPECT_EQ(tree->Count().value(), 1000u);
+  EXPECT_TRUE(tree->Get(100).status().IsNotFound());
+  EXPECT_TRUE(tree->Get(101).ok());
+  EXPECT_TRUE(tree->Delete(100).IsNotFound());
+}
+
+TEST(BPlusTreeTest, NegativeKeysSupported) {
+  auto pager = Pager::Open(TempPath("bt_neg.vpg"), true).value();
+  auto tree = BPlusTree::Open(pager.get()).value();
+  for (int64_t k = -100; k <= 100; ++k) {
+    ASSERT_TRUE(tree->Insert(k, MakeRid(k + 200)).ok());
+  }
+  int64_t prev = INT64_MIN;
+  ASSERT_TRUE(tree->ScanAll([&](int64_t key, const Rid&) {
+                    EXPECT_GT(key, prev);
+                    prev = key;
+                    return true;
+                  })
+                  .ok());
+  EXPECT_TRUE(tree->Get(-100).ok());
+}
+
+TEST(BPlusTreeTest, PersistsAcrossReopen) {
+  const std::string path = TempPath("bt_persist.vpg");
+  {
+    auto pager = Pager::Open(path, true).value();
+    auto tree = BPlusTree::Open(pager.get()).value();
+    for (int64_t k = 0; k < 3000; ++k) {
+      ASSERT_TRUE(tree->Insert(k, MakeRid(k)).ok());
+    }
+    ASSERT_TRUE(pager->Flush().ok());
+  }
+  {
+    auto pager = Pager::Open(path, false).value();
+    auto tree = BPlusTree::Open(pager.get()).value();
+    EXPECT_EQ(tree->Count().value(), 3000u);
+    EXPECT_TRUE(tree->Get(2999).ok());
+    // And the tree keeps accepting inserts.
+    ASSERT_TRUE(tree->Insert(99999, MakeRid(1)).ok());
+  }
+}
+
+TEST(BPlusTreeTest, ScanEarlyStop) {
+  auto pager = Pager::Open(TempPath("bt_stop.vpg"), true).value();
+  auto tree = BPlusTree::Open(pager.get()).value();
+  for (int64_t k = 0; k < 100; ++k) {
+    ASSERT_TRUE(tree->Insert(k, MakeRid(k)).ok());
+  }
+  int visits = 0;
+  ASSERT_TRUE(tree->ScanAll([&](int64_t, const Rid&) {
+                    return ++visits < 10;
+                  })
+                  .ok());
+  EXPECT_EQ(visits, 10);
+}
+
+TEST(BPlusTreeTest, CompositeKeyEncoding) {
+  const int64_t key = BPlusTree::EncodeComposite(300, 42);
+  EXPECT_EQ(key >> 32, 300);
+  EXPECT_EQ(key & 0xFFFFFFFF, 42);
+  // Ordering by high part first.
+  EXPECT_LT(BPlusTree::EncodeComposite(1, 999),
+            BPlusTree::EncodeComposite(2, 0));
+}
+
+TEST(BPlusTreeTest, InterleavedInsertDelete) {
+  auto pager = Pager::Open(TempPath("bt_mix.vpg"), true).value();
+  auto tree = BPlusTree::Open(pager.get()).value();
+  Rng rng(23);
+  std::map<int64_t, Rid> model;
+  for (int op = 0; op < 5000; ++op) {
+    const int64_t key = rng.UniformInt(0, 500);
+    if (rng.Bernoulli(0.6)) {
+      const Rid rid = MakeRid(key);
+      const Status st = tree->Insert(key, rid);
+      if (model.count(key)) {
+        EXPECT_TRUE(st.IsAlreadyExists());
+      } else {
+        EXPECT_TRUE(st.ok());
+        model[key] = rid;
+      }
+    } else {
+      const Status st = tree->Delete(key);
+      if (model.count(key)) {
+        EXPECT_TRUE(st.ok());
+        model.erase(key);
+      } else {
+        EXPECT_TRUE(st.IsNotFound());
+      }
+    }
+  }
+  EXPECT_EQ(tree->Count().value(), model.size());
+  for (const auto& [key, rid] : model) {
+    EXPECT_EQ(tree->Get(key).value(), rid);
+  }
+}
+
+}  // namespace
+}  // namespace vr

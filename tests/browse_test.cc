@@ -1,0 +1,149 @@
+#include "retrieval/browse.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/table1_runner.h"  // RemoveDirRecursive
+#include "imaging/dct_codec.h"
+#include "video/synth/generator.h"
+
+namespace vr {
+namespace {
+
+std::string FreshDir(const char* name) {
+  const std::string dir = testing::TempDir() + "/" + name;
+  RemoveDirRecursive(dir);
+  return dir;
+}
+
+TEST(ContactSheetTest, LayoutDimensions) {
+  std::vector<Image> thumbs(7, Image(30, 20, 3));
+  ContactSheetOptions options;
+  options.columns = 3;
+  options.thumb_width = 40;
+  options.thumb_height = 30;
+  options.padding = 5;
+  const Image sheet = RenderContactSheet(thumbs, options).value();
+  // 3 columns x 3 rows (7 thumbs).
+  EXPECT_EQ(sheet.width(), 5 + 3 * (40 + 5));
+  EXPECT_EQ(sheet.height(), 5 + 3 * (30 + 5));
+}
+
+TEST(ContactSheetTest, FewerThumbsThanColumns) {
+  std::vector<Image> thumbs(2, Image(10, 10, 3));
+  ContactSheetOptions options;
+  options.columns = 5;
+  const Image sheet = RenderContactSheet(thumbs, options).value();
+  // Grid shrinks to the actual count.
+  EXPECT_EQ(sheet.width(),
+            options.padding + 2 * (options.thumb_width + options.padding));
+}
+
+TEST(ContactSheetTest, ThumbnailContentPlaced) {
+  Image red(10, 10, 3);
+  red.Fill({250, 10, 10});
+  Image blue(10, 10, 3);
+  blue.Fill({10, 10, 250});
+  ContactSheetOptions options;
+  options.columns = 2;
+  options.thumb_width = 20;
+  options.thumb_height = 20;
+  options.padding = 4;
+  const Image sheet = RenderContactSheet({red, blue}, options).value();
+  // Center of the first cell is red, second is blue.
+  const Rgb first = sheet.PixelRgb(4 + 10, 4 + 10);
+  const Rgb second = sheet.PixelRgb(4 + 24 + 10, 4 + 10);
+  EXPECT_GT(first.r, 200);
+  EXPECT_GT(second.b, 200);
+  // Background outside cells.
+  const Rgb corner = sheet.PixelRgb(0, 0);
+  EXPECT_EQ(corner, options.background);
+}
+
+TEST(ContactSheetTest, RejectsDegenerateInput) {
+  EXPECT_FALSE(RenderContactSheet({}).ok());
+  ContactSheetOptions bad;
+  bad.columns = 0;
+  EXPECT_FALSE(RenderContactSheet({Image(4, 4, 3)}, bad).ok());
+}
+
+TEST(ResultSheetTest, EndToEndWithVjfKeyFrames) {
+  EngineOptions options;
+  options.enabled_features = {FeatureKind::kColorHistogram};
+  options.store_video_blob = false;
+  options.key_frame_format = EngineOptions::KeyFrameFormat::kVjf;
+  options.key_frame_quality = 80;
+  auto engine =
+      RetrievalEngine::Open(FreshDir("sheet_e2e"), options).value();
+
+  SyntheticVideoSpec spec;
+  spec.category = VideoCategory::kCartoon;
+  spec.width = 64;
+  spec.height = 48;
+  spec.num_scenes = 3;
+  spec.frames_per_scene = 5;
+  spec.seed = 8;
+  const auto frames = GenerateVideoFrames(spec).value();
+  ASSERT_TRUE(engine->IngestFrames(frames, "toon").ok());
+
+  // Stored images are VJF and decode through the sniffing decoder.
+  const auto ids = engine->store()->KeyFrameIdsOfVideo(1).value();
+  ASSERT_FALSE(ids.empty());
+  const KeyFrameRecord record =
+      engine->store()->GetKeyFrame(ids[0]).value();
+  EXPECT_TRUE(LooksLikeVjf(record.image));
+  const Image decoded = DecodeKeyFrameImage(record.image).value();
+  EXPECT_EQ(decoded.width(), 64);
+
+  const auto results = engine->QueryByImage(frames[0], 4).value();
+  ASSERT_FALSE(results.empty());
+  Result<Image> sheet = RenderResultSheet(engine.get(), results);
+  ASSERT_TRUE(sheet.ok()) << sheet.status();
+  EXPECT_GT(sheet->width(), 100);
+  EXPECT_EQ(sheet->channels(), 3);
+}
+
+TEST(ResultSheetTest, VjfStorageIsSmallerThanPnm) {
+  SyntheticVideoSpec spec;
+  spec.category = VideoCategory::kMovie;
+  spec.width = 96;
+  spec.height = 72;
+  spec.num_scenes = 2;
+  spec.frames_per_scene = 5;
+  spec.seed = 9;
+  const auto frames = GenerateVideoFrames(spec).value();
+
+  size_t pnm_bytes = 0;
+  size_t vjf_bytes = 0;
+  for (auto format : {EngineOptions::KeyFrameFormat::kPnm,
+                      EngineOptions::KeyFrameFormat::kVjf}) {
+    EngineOptions options;
+    options.enabled_features = {FeatureKind::kColorHistogram};
+    options.store_video_blob = false;
+    options.key_frame_format = format;
+    auto engine = RetrievalEngine::Open(
+                      FreshDir(format == EngineOptions::KeyFrameFormat::kPnm
+                                   ? "sheet_pnm"
+                                   : "sheet_vjf"),
+                      options)
+                      .value();
+    ASSERT_TRUE(engine->IngestFrames(frames, "m").ok());
+    size_t total = 0;
+    ASSERT_TRUE(engine->store()
+                    ->ScanKeyFrames([&](const KeyFrameRecord& rec) {
+                      // image blob sizes live behind blob refs; fetch.
+                      auto full = engine->store()->GetKeyFrame(rec.i_id);
+                      if (full.ok()) total += full->image.size();
+                      return true;
+                    })
+                    .ok());
+    if (format == EngineOptions::KeyFrameFormat::kPnm) {
+      pnm_bytes = total;
+    } else {
+      vjf_bytes = total;
+    }
+  }
+  EXPECT_LT(vjf_bytes, pnm_bytes / 2);
+}
+
+}  // namespace
+}  // namespace vr

@@ -1,0 +1,96 @@
+#include "features/color_signature.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/table1_runner.h"  // RemoveDirRecursive
+#include "imaging/draw.h"
+#include "retrieval/engine.h"
+#include "util/rng.h"
+#include "video/synth/generator.h"
+
+namespace vr {
+namespace {
+
+TEST(ColorSignatureFeatureTest, ExtractsFlattenedSignature) {
+  Image img(32, 32, 3);
+  FillRect(&img, 0, 0, 16, 32, {255, 0, 0});
+  FillRect(&img, 16, 0, 16, 32, {0, 0, 255});
+  ColorSignatureFeature extractor(4);
+  const FeatureVector fv = extractor.Extract(img).value();
+  ASSERT_EQ(fv.size() % 4, 0u);
+  // Weights (every 4th value starting at 0) sum to 1.
+  double weight_total = 0;
+  for (size_t i = 0; i < fv.size(); i += 4) weight_total += fv[i];
+  EXPECT_NEAR(weight_total, 1.0, 1e-9);
+}
+
+TEST(ColorSignatureFeatureTest, FlattenUnflattenRoundTrip) {
+  Signature s = {{0.25, {0.1, 0.2, 0.3}}, {0.75, {0.9, 0.8, 0.7}}};
+  const FeatureVector fv = ColorSignatureFeature::Flatten(s);
+  const Signature back = ColorSignatureFeature::Unflatten(fv).value();
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_DOUBLE_EQ(back[0].weight, 0.25);
+  EXPECT_DOUBLE_EQ(back[1].position[2], 0.7);
+  EXPECT_FALSE(
+      ColorSignatureFeature::Unflatten(FeatureVector("x", {1, 2, 3})).ok());
+}
+
+TEST(ColorSignatureFeatureTest, DistanceIsEmd) {
+  ColorSignatureFeature extractor;
+  // Single-cluster signatures: EMD = Euclidean ground distance.
+  const FeatureVector a =
+      ColorSignatureFeature::Flatten({{1.0, {0.0, 0.0, 0.0}}});
+  const FeatureVector b =
+      ColorSignatureFeature::Flatten({{1.0, {0.3, 0.4, 0.0}}});
+  EXPECT_NEAR(extractor.Distance(a, b), 0.5, 1e-9);
+  EXPECT_NEAR(extractor.Distance(a, a), 0.0, 1e-9);
+}
+
+TEST(ColorSignatureFeatureTest, SeparatesPalettesDespiteLayout) {
+  // Same two colors, different layout: color-signature EMD is small
+  // (it is layout-blind), but different palettes are far apart.
+  Image blocks(32, 32, 3);
+  FillRect(&blocks, 0, 0, 16, 32, {255, 0, 0});
+  FillRect(&blocks, 16, 0, 16, 32, {0, 0, 255});
+  Image checker(32, 32, 3);
+  DrawCheckerboard(&checker, 2, {255, 0, 0}, {0, 0, 255});
+  Image green(32, 32, 3);
+  green.Fill({20, 210, 20});
+  ColorSignatureFeature extractor(4);
+  const FeatureVector fa = extractor.Extract(blocks).value();
+  const FeatureVector fb = extractor.Extract(checker).value();
+  const FeatureVector fc = extractor.Extract(green).value();
+  EXPECT_LT(extractor.Distance(fa, fb), extractor.Distance(fa, fc));
+}
+
+TEST(ColorSignatureFeatureTest, MalformedVectorFallsBack) {
+  ColorSignatureFeature extractor;
+  const FeatureVector bad_a("colorsig", {1.0, 2.0, 3.0});
+  const FeatureVector bad_b("colorsig", {1.0, 2.0, 4.0});
+  // No crash, sane L2 fallback.
+  EXPECT_NEAR(extractor.Distance(bad_a, bad_b), 1.0, 1e-9);
+}
+
+TEST(ColorSignatureFeatureTest, WorksInsideTheEngine) {
+  const std::string dir = testing::TempDir() + "/colorsig_engine";
+  RemoveDirRecursive(dir);
+  EngineOptions options;
+  options.enabled_features = {FeatureKind::kColorSignature};
+  options.store_video_blob = false;
+  auto engine = RetrievalEngine::Open(dir, options).value();
+  SyntheticVideoSpec spec;
+  spec.category = VideoCategory::kCartoon;
+  spec.width = 64;
+  spec.height = 48;
+  spec.num_scenes = 2;
+  spec.frames_per_scene = 5;
+  spec.seed = 12;
+  const auto frames = GenerateVideoFrames(spec).value();
+  ASSERT_TRUE(engine->IngestFrames(frames, "toon").ok());
+  const auto results = engine->QueryByImage(frames[0], 3).value();
+  ASSERT_FALSE(results.empty());
+  EXPECT_NEAR(results[0].score, 0.0, 1e-6);  // its own key frame wins
+}
+
+}  // namespace
+}  // namespace vr

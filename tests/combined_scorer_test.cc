@@ -1,0 +1,96 @@
+#include "similarity/combined_scorer.h"
+
+#include <gtest/gtest.h>
+
+namespace vr {
+namespace {
+
+TEST(CombinedScorerTest, CombinesTwoFeatures) {
+  CombinedScorer scorer;
+  std::map<FeatureKind, std::vector<double>> distances;
+  distances[FeatureKind::kColorHistogram] = {0.0, 1.0, 2.0};
+  distances[FeatureKind::kGlcm] = {4.0, 2.0, 0.0};
+  Result<std::vector<double>> combined = scorer.Combine(distances);
+  ASSERT_TRUE(combined.ok());
+  ASSERT_EQ(combined->size(), 3u);
+  // After min-max normalization both features map to {0,.5,1}/{1,.5,0},
+  // so every candidate ties at 0.5.
+  for (double v : *combined) EXPECT_DOUBLE_EQ(v, 0.5);
+}
+
+TEST(CombinedScorerTest, WeightsShiftRanking) {
+  CombinedScorer scorer;
+  scorer.SetWeight(FeatureKind::kColorHistogram, 3.0);
+  scorer.SetWeight(FeatureKind::kGlcm, 1.0);
+  std::map<FeatureKind, std::vector<double>> distances;
+  distances[FeatureKind::kColorHistogram] = {0.0, 1.0};
+  distances[FeatureKind::kGlcm] = {1.0, 0.0};
+  const std::vector<double> combined = scorer.Combine(distances).value();
+  EXPECT_LT(combined[0], combined[1]);  // histogram dominates
+}
+
+TEST(CombinedScorerTest, ZeroWeightFeatureIgnored) {
+  CombinedScorer scorer;
+  scorer.SetWeight(FeatureKind::kGlcm, 0.0);
+  std::map<FeatureKind, std::vector<double>> distances;
+  distances[FeatureKind::kColorHistogram] = {0.0, 1.0};
+  distances[FeatureKind::kGlcm] = {100.0, 0.0};
+  const std::vector<double> combined = scorer.Combine(distances).value();
+  EXPECT_DOUBLE_EQ(combined[0], 0.0);
+  EXPECT_DOUBLE_EQ(combined[1], 1.0);
+}
+
+TEST(CombinedScorerTest, RejectsMismatchedColumns) {
+  CombinedScorer scorer;
+  std::map<FeatureKind, std::vector<double>> distances;
+  distances[FeatureKind::kColorHistogram] = {0.0, 1.0};
+  distances[FeatureKind::kGlcm] = {0.0};
+  EXPECT_FALSE(scorer.Combine(distances).ok());
+}
+
+TEST(CombinedScorerTest, RejectsEmptyInput) {
+  CombinedScorer scorer;
+  EXPECT_FALSE(scorer.Combine({}).ok());
+}
+
+TEST(CombinedScorerTest, RejectsAllZeroWeights) {
+  CombinedScorer scorer;
+  for (int i = 0; i < kNumFeatureKinds; ++i) {
+    scorer.SetWeight(static_cast<FeatureKind>(i), 0.0);
+  }
+  std::map<FeatureKind, std::vector<double>> distances;
+  distances[FeatureKind::kGabor] = {1.0};
+  EXPECT_FALSE(scorer.Combine(distances).ok());
+}
+
+TEST(CombinedScorerTest, OutputInUnitInterval) {
+  CombinedScorer scorer;
+  std::map<FeatureKind, std::vector<double>> distances;
+  distances[FeatureKind::kGabor] = {0.1, 99.0, 5.0, 2.0};
+  distances[FeatureKind::kTamura] = {7.0, 0.0, 3.0, 1.0};
+  distances[FeatureKind::kNaiveSignature] = {1000.0, 2000.0, 0.0, 1500.0};
+  const std::vector<double> combined = scorer.Combine(distances).value();
+  for (double v : combined) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(CombinedScorerTest, NegativeWeightClampedToZero) {
+  CombinedScorer scorer;
+  scorer.SetWeight(FeatureKind::kGabor, -5.0);
+  EXPECT_DOUBLE_EQ(scorer.GetWeight(FeatureKind::kGabor), 0.0);
+}
+
+TEST(CombinedScorerTest, GaussianNormalizationAlsoWorks) {
+  CombinedScorer scorer;
+  scorer.SetNormalization(NormalizationKind::kGaussian);
+  std::map<FeatureKind, std::vector<double>> distances;
+  distances[FeatureKind::kGabor] = {1.0, 2.0, 3.0};
+  const std::vector<double> combined = scorer.Combine(distances).value();
+  EXPECT_LT(combined[0], combined[1]);
+  EXPECT_LT(combined[1], combined[2]);
+}
+
+}  // namespace
+}  // namespace vr

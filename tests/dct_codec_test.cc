@@ -1,0 +1,181 @@
+#include "imaging/dct_codec.h"
+
+#include <gtest/gtest.h>
+
+#include "imaging/draw.h"
+#include "imaging/ppm.h"
+#include "util/bitstream.h"
+#include "util/rng.h"
+
+namespace vr {
+namespace {
+
+Image TestImage(int w, int h, uint64_t seed) {
+  Rng rng(seed);
+  Image img(w, h, 3);
+  FillVerticalGradient(&img, {30, 60, 120}, {200, 170, 80});
+  FillCircle(&img, w / 2, h / 2, std::min(w, h) / 3, {220, 60, 50});
+  DrawTextBlock(&img, 4, 4, w / 2, h / 3, 6, {20, 20, 30}, &rng);
+  AddGaussianNoise(&img, 2.0, &rng);
+  return img;
+}
+
+// --- BitWriter/BitReader -------------------------------------------------
+
+TEST(BitstreamTest, BitsRoundTrip) {
+  BitWriter writer;
+  writer.WriteBits(0b101, 3);
+  writer.WriteBits(0xFFFF, 16);
+  writer.WriteBits(0, 5);
+  writer.WriteBits(1, 1);
+  const auto bytes = writer.Finish();
+  BitReader reader(bytes);
+  EXPECT_EQ(reader.ReadBits(3).value(), 0b101u);
+  EXPECT_EQ(reader.ReadBits(16).value(), 0xFFFFu);
+  EXPECT_EQ(reader.ReadBits(5).value(), 0u);
+  EXPECT_EQ(reader.ReadBits(1).value(), 1u);
+}
+
+TEST(BitstreamTest, ExpGolombRoundTrip) {
+  BitWriter writer;
+  const std::vector<uint32_t> ue_values = {0, 1, 2, 3, 7, 8, 100, 65535};
+  const std::vector<int32_t> se_values = {0, 1, -1, 2, -2, 17, -1000};
+  for (uint32_t v : ue_values) writer.WriteUe(v);
+  for (int32_t v : se_values) writer.WriteSe(v);
+  const auto bytes = writer.Finish();
+  BitReader reader(bytes);
+  for (uint32_t v : ue_values) {
+    EXPECT_EQ(reader.ReadUe().value(), v);
+  }
+  for (int32_t v : se_values) {
+    EXPECT_EQ(reader.ReadSe().value(), v);
+  }
+}
+
+TEST(BitstreamTest, ReadPastEndFails) {
+  BitWriter writer;
+  writer.WriteBits(1, 1);
+  const auto bytes = writer.Finish();
+  BitReader reader(bytes);
+  ASSERT_TRUE(reader.ReadBits(8).ok());  // padded byte
+  EXPECT_TRUE(reader.ReadBits(1).status().IsCorruption());
+}
+
+TEST(BitstreamTest, FuzzRoundTrip) {
+  Rng rng(9);
+  for (int trial = 0; trial < 20; ++trial) {
+    BitWriter writer;
+    std::vector<int32_t> values;
+    for (int i = 0; i < 200; ++i) {
+      values.push_back(static_cast<int32_t>(rng.UniformInt(-5000, 5000)));
+      writer.WriteSe(values.back());
+    }
+    const auto bytes = writer.Finish();
+    BitReader reader(bytes);
+    for (int32_t v : values) {
+      EXPECT_EQ(reader.ReadSe().value(), v);
+    }
+  }
+}
+
+// --- VJF codec -----------------------------------------------------------
+
+TEST(DctCodecTest, HighQualityIsNearLossless) {
+  const Image img = TestImage(96, 64, 1);
+  const auto bytes = EncodeVjf(img, 95).value();
+  const Image back = DecodeVjf(bytes).value();
+  EXPECT_EQ(back.width(), img.width());
+  EXPECT_EQ(back.height(), img.height());
+  EXPECT_GT(Psnr(img, back).value(), 35.0);
+}
+
+TEST(DctCodecTest, QualityTradesSizeForFidelity) {
+  const Image img = TestImage(96, 64, 2);
+  const auto high = EncodeVjf(img, 90).value();
+  const auto low = EncodeVjf(img, 10).value();
+  EXPECT_LT(low.size(), high.size());
+  const double psnr_high = Psnr(img, DecodeVjf(high).value()).value();
+  const double psnr_low = Psnr(img, DecodeVjf(low).value()).value();
+  EXPECT_GT(psnr_high, psnr_low);
+  EXPECT_GT(psnr_low, 18.0);  // still recognizable
+}
+
+TEST(DctCodecTest, BeatsPnmOnSize) {
+  const Image img = TestImage(128, 96, 3);
+  const auto vjf = EncodeVjf(img, 85).value();
+  const std::string pnm = EncodePnm(img);
+  EXPECT_LT(vjf.size(), pnm.size() / 2);
+}
+
+TEST(DctCodecTest, NonMultipleOf8Dimensions) {
+  for (auto [w, h] : {std::pair{13, 9}, {8, 8}, {65, 33}, {7, 100}}) {
+    const Image img = TestImage(w, h, 4);
+    const auto bytes = EncodeVjf(img, 90).value();
+    const Image back = DecodeVjf(bytes).value();
+    EXPECT_EQ(back.width(), w);
+    EXPECT_EQ(back.height(), h);
+    EXPECT_GT(Psnr(img, back).value(), 25.0) << w << "x" << h;
+  }
+}
+
+TEST(DctCodecTest, GrayImagesSupported) {
+  Image img(40, 40, 1);
+  DrawCheckerboard(&img, 5, {40, 40, 40}, {210, 210, 210});
+  const auto bytes = EncodeVjf(img, 90).value();
+  const Image back = DecodeVjf(bytes).value();
+  EXPECT_EQ(back.channels(), 1);
+  EXPECT_GT(Psnr(img, back).value(), 25.0);
+}
+
+TEST(DctCodecTest, FlatImageCompressesExtremely) {
+  Image img(64, 64, 3);
+  img.Fill({120, 140, 160});
+  const auto bytes = EncodeVjf(img, 85).value();
+  // 64 blocks x 3 planes at ~2 bits each + header: a tiny fraction of
+  // the 12 KiB raw size.
+  EXPECT_LT(bytes.size(), 500u);
+  const Image back = DecodeVjf(bytes).value();
+  EXPECT_GT(Psnr(img, back).value(), 40.0);
+}
+
+TEST(DctCodecTest, RejectsGarbage) {
+  EXPECT_FALSE(DecodeVjf({}).ok());
+  EXPECT_FALSE(DecodeVjf({'V', 'J', 'F', '1'}).ok());
+  EXPECT_FALSE(DecodeVjf({1, 2, 3, 4, 5, 6, 7, 8, 9, 10}).ok());
+  EXPECT_FALSE(EncodeVjf(Image()).ok());
+}
+
+TEST(DctCodecTest, TruncationDetected) {
+  const Image img = TestImage(48, 48, 5);
+  auto bytes = EncodeVjf(img, 80).value();
+  bytes.resize(bytes.size() / 2);
+  EXPECT_FALSE(DecodeVjf(bytes).ok());
+}
+
+TEST(DctCodecTest, SniffingDecoderHandlesBothFormats) {
+  const Image img = TestImage(32, 32, 6);
+  const auto vjf = EncodeVjf(img, 90).value();
+  const std::string pnm_str = EncodePnm(img);
+  const std::vector<uint8_t> pnm(pnm_str.begin(), pnm_str.end());
+  ASSERT_TRUE(LooksLikeVjf(vjf));
+  ASSERT_FALSE(LooksLikeVjf(pnm));
+  EXPECT_GT(Psnr(img, DecodeKeyFrameImage(vjf).value()).value(), 25.0);
+  EXPECT_EQ(DecodeKeyFrameImage(pnm).value(), img);
+}
+
+TEST(DctCodecTest, PsnrHelper) {
+  Image a(8, 8, 1);
+  Image b(8, 8, 1);
+  EXPECT_DOUBLE_EQ(Psnr(a, b).value(), 99.0);
+  b.At(0, 0) = 255;
+  EXPECT_LT(Psnr(a, b).value(), 99.0);
+  EXPECT_FALSE(Psnr(a, Image(4, 4, 1)).ok());
+}
+
+TEST(DctCodecTest, DeterministicEncoding) {
+  const Image img = TestImage(64, 48, 7);
+  EXPECT_EQ(EncodeVjf(img, 75).value(), EncodeVjf(img, 75).value());
+}
+
+}  // namespace
+}  // namespace vr

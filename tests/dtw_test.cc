@@ -1,0 +1,106 @@
+#include "similarity/dtw.h"
+
+#include <gtest/gtest.h>
+
+namespace vr {
+namespace {
+
+TEST(DtwTest, IdenticalSequencesHaveZeroDistance) {
+  const std::vector<double> a = {1, 2, 3, 4, 5};
+  Result<double> d = DtwDistanceScalar(a, a);
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ(*d, 0.0);
+}
+
+TEST(DtwTest, TimeWarpedSequencesMatchCheaply) {
+  // Same shape, one stretched: DTW should be near zero while a
+  // pointwise comparison would not be.
+  const std::vector<double> a = {0, 1, 2, 3, 4};
+  const std::vector<double> b = {0, 0, 1, 1, 2, 2, 3, 3, 4, 4};
+  Result<double> d = DtwDistanceScalar(a, b);
+  ASSERT_TRUE(d.ok());
+  EXPECT_NEAR(*d, 0.0, 1e-12);
+}
+
+TEST(DtwTest, DifferentSequencesHavePositiveDistance) {
+  const std::vector<double> a = {0, 0, 0, 0};
+  const std::vector<double> b = {5, 5, 5, 5};
+  Result<double> d = DtwDistanceScalar(a, b);
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ(*d, 5.0);  // normalized by path length
+}
+
+TEST(DtwTest, UnnormalizedSumsPathCost) {
+  const std::vector<double> a = {0, 0};
+  const std::vector<double> b = {1, 1};
+  DtwOptions options;
+  options.normalize_by_path = false;
+  Result<double> d = DtwDistanceScalar(a, b, options);
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ(*d, 2.0);
+}
+
+TEST(DtwTest, RejectsEmptySequences) {
+  EXPECT_FALSE(DtwDistanceScalar({}, {1.0}).ok());
+  EXPECT_FALSE(DtwDistanceScalar({1.0}, {}).ok());
+}
+
+TEST(DtwTest, SymmetricForScalarSequences) {
+  // Unnormalized DTW cost is exactly symmetric; the path-normalized
+  // variant is symmetric too thanks to diagonal-preferring tie-breaks.
+  const std::vector<double> a = {1, 3, 2, 5, 4};
+  const std::vector<double> b = {2, 2, 4, 1};
+  DtwOptions raw;
+  raw.normalize_by_path = false;
+  EXPECT_DOUBLE_EQ(DtwDistanceScalar(a, b, raw).value(),
+                   DtwDistanceScalar(b, a, raw).value());
+  EXPECT_DOUBLE_EQ(DtwDistanceScalar(a, b).value(),
+                   DtwDistanceScalar(b, a).value());
+}
+
+TEST(DtwTest, WindowConstraintStillAligns) {
+  const std::vector<double> a = {0, 1, 2, 3, 4, 5};
+  const std::vector<double> b = {0, 1, 2, 3, 4, 5};
+  DtwOptions options;
+  options.window = 1;
+  Result<double> d = DtwDistanceScalar(a, b, options);
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ(*d, 0.0);
+}
+
+TEST(DtwTest, FeatureVectorSequences) {
+  std::vector<FeatureVector> a = {FeatureVector("x", {0, 0}),
+                                  FeatureVector("x", {1, 1}),
+                                  FeatureVector("x", {2, 2})};
+  std::vector<FeatureVector> b = {FeatureVector("x", {0, 0}),
+                                  FeatureVector("x", {2, 2})};
+  auto l1 = [](const FeatureVector& p, const FeatureVector& q) {
+    double acc = 0;
+    for (size_t i = 0; i < p.size(); ++i) acc += std::abs(p[i] - q[i]);
+    return acc;
+  };
+  Result<double> d = DtwDistance(a, b, l1);
+  ASSERT_TRUE(d.ok());
+  // Optimal alignment: (0,0)=0, (1,0) or (1,1)=2, (2,1)=0 -> mean 2/3.
+  EXPECT_NEAR(*d, 2.0 / 3.0, 1e-9);
+}
+
+TEST(DtwTest, CostCallbackVariant) {
+  // Cost matrix where the diagonal is free.
+  Result<double> d = DtwDistanceCost(
+      4, 4, [](size_t i, size_t j) { return i == j ? 0.0 : 1.0; });
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ(*d, 0.0);
+}
+
+TEST(DtwTest, SubsequenceCheaperThanReversal) {
+  const std::vector<double> ramp = {0, 1, 2, 3, 4, 5, 6, 7};
+  const std::vector<double> ramp_part = {2, 3, 4, 5};
+  std::vector<double> reversed(ramp.rbegin(), ramp.rend());
+  const double d_part = DtwDistanceScalar(ramp, ramp_part).value();
+  const double d_rev = DtwDistanceScalar(ramp, reversed).value();
+  EXPECT_LT(d_part, d_rev);
+}
+
+}  // namespace
+}  // namespace vr

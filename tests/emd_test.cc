@@ -1,0 +1,154 @@
+#include "similarity/emd.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace vr {
+namespace {
+
+std::vector<double> RandomHistogram(Rng* rng, size_t n) {
+  std::vector<double> h(n);
+  for (auto& v : h) v = rng->UniformDouble(0, 10);
+  return h;
+}
+
+TEST(EmdTest, LinearBasics) {
+  EXPECT_DOUBLE_EQ(EmdLinear({1, 0, 0}, {1, 0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(EmdLinear({1, 0, 0}, {0, 1, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(EmdLinear({1, 0, 0}, {0, 0, 1}), 2.0);
+  // Split mass: half moves 1 bin, half moves 2 bins.
+  EXPECT_DOUBLE_EQ(EmdLinear({1, 0, 0}, {0, 0.5, 0.5}), 1.5);
+}
+
+TEST(EmdTest, LinearMassNormalized) {
+  EXPECT_DOUBLE_EQ(EmdLinear({2, 0}, {0, 6}), 1.0);
+  EXPECT_DOUBLE_EQ(EmdLinear({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(EmdLinear({0, 0}, {0, 0}), 0.0);
+}
+
+TEST(EmdTest, CircularWrapsAround) {
+  // On a circle of 8 bins, bin 0 -> bin 7 costs 1 (the short way), not 7.
+  std::vector<double> a(8, 0.0);
+  std::vector<double> b(8, 0.0);
+  a[0] = 1.0;
+  b[7] = 1.0;
+  EXPECT_DOUBLE_EQ(EmdLinear(a, b), 7.0);
+  EXPECT_DOUBLE_EQ(EmdCircular(a, b), 1.0);
+}
+
+TEST(EmdTest, CircularMatchesLinearForCentralMass) {
+  // When no mass benefits from wrapping, the two agree.
+  const std::vector<double> a = {0, 0, 1, 0, 0, 0, 0, 0};
+  const std::vector<double> b = {0, 0, 0, 1, 0, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(EmdCircular(a, b), EmdLinear(a, b));
+}
+
+TEST(EmdTest, CircularNeverExceedsLinear) {
+  Rng rng(1);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto a = RandomHistogram(&rng, 16);
+    const auto b = RandomHistogram(&rng, 16);
+    EXPECT_LE(EmdCircular(a, b), EmdLinear(a, b) + 1e-9);
+  }
+}
+
+TEST(EmdTest, LowerBoundIsALowerBound) {
+  Rng rng(2);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto a = RandomHistogram(&rng, 32);
+    const auto b = RandomHistogram(&rng, 32);
+    EXPECT_LE(EmdCentroidLowerBound(a, b), EmdLinear(a, b) + 1e-9);
+  }
+}
+
+TEST(EmdTest, LowerBoundTightForSingleSpikes) {
+  // For unit spikes the centroid bound equals the exact distance.
+  std::vector<double> a(10, 0.0);
+  std::vector<double> b(10, 0.0);
+  a[2] = 1.0;
+  b[7] = 1.0;
+  EXPECT_DOUBLE_EQ(EmdCentroidLowerBound(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(EmdLinear(a, b), 5.0);
+}
+
+TEST(EmdTest, MetricAxiomsLinear) {
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto a = RandomHistogram(&rng, 12);
+    const auto b = RandomHistogram(&rng, 12);
+    const auto c = RandomHistogram(&rng, 12);
+    EXPECT_NEAR(EmdLinear(a, a), 0.0, 1e-9);
+    EXPECT_NEAR(EmdLinear(a, b), EmdLinear(b, a), 1e-9);
+    EXPECT_LE(EmdLinear(a, c), EmdLinear(a, b) + EmdLinear(b, c) + 1e-9);
+  }
+}
+
+TEST(EmdScannerTest, MatchesBruteForce) {
+  Rng rng(4);
+  std::vector<double> query = RandomHistogram(&rng, 24);
+  std::vector<std::pair<int64_t, std::vector<double>>> candidates;
+  for (int64_t id = 0; id < 200; ++id) {
+    candidates.emplace_back(id, RandomHistogram(&rng, 24));
+  }
+
+  EmdTopKScanner scanner(10);
+  Result<std::vector<EmdMatch>> pruned = scanner.Scan(query, candidates);
+  ASSERT_TRUE(pruned.ok());
+  ASSERT_EQ(pruned->size(), 10u);
+
+  // Brute force reference.
+  std::vector<EmdMatch> brute;
+  for (const auto& [id, hist] : candidates) {
+    brute.push_back({id, EmdLinear(query, hist)});
+  }
+  std::sort(brute.begin(), brute.end(), [](const EmdMatch& x, const EmdMatch& y) {
+    if (x.distance != y.distance) return x.distance < y.distance;
+    return x.id < y.id;
+  });
+  brute.resize(10);
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ((*pruned)[i].id, brute[i].id) << i;
+    EXPECT_DOUBLE_EQ((*pruned)[i].distance, brute[i].distance);
+  }
+}
+
+TEST(EmdScannerTest, ActuallySkips) {
+  // Candidates with widely spread centroids: most should be pruned.
+  Rng rng(5);
+  std::vector<double> query(64, 0.0);
+  query[10] = 1.0;
+  std::vector<std::pair<int64_t, std::vector<double>>> candidates;
+  for (int64_t id = 0; id < 300; ++id) {
+    std::vector<double> h(64, 0.0);
+    h[static_cast<size_t>(rng.UniformInt(0, 63))] = 1.0;
+    candidates.emplace_back(id, std::move(h));
+  }
+  EmdTopKScanner scanner(5);
+  ASSERT_TRUE(scanner.Scan(query, candidates).ok());
+  EXPECT_GT(scanner.stats().skipped, 100u);
+  EXPECT_EQ(scanner.stats().exact_computed + scanner.stats().skipped,
+            scanner.stats().candidates);
+}
+
+TEST(EmdScannerTest, FewerCandidatesThanK) {
+  Rng rng(6);
+  std::vector<std::pair<int64_t, std::vector<double>>> candidates;
+  candidates.emplace_back(1, RandomHistogram(&rng, 8));
+  candidates.emplace_back(2, RandomHistogram(&rng, 8));
+  EmdTopKScanner scanner(10);
+  Result<std::vector<EmdMatch>> out =
+      scanner.Scan(RandomHistogram(&rng, 8), candidates);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 2u);
+}
+
+TEST(EmdScannerTest, RejectsZeroK) {
+  EmdTopKScanner scanner(0);
+  EXPECT_FALSE(scanner.Scan({1.0}, {}).ok());
+}
+
+}  // namespace
+}  // namespace vr

@@ -1,0 +1,249 @@
+#include "retrieval/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "eval/table1_runner.h"  // RemoveDirRecursive
+#include "video/synth/generator.h"
+
+namespace vr {
+namespace {
+
+std::string FreshDir(const char* name) {
+  const std::string dir = testing::TempDir() + "/" + name;
+  RemoveDirRecursive(dir);
+  return dir;
+}
+
+/// Small fast engine config: three cheap features, tiny videos.
+EngineOptions FastOptions() {
+  EngineOptions options;
+  options.enabled_features = {FeatureKind::kColorHistogram,
+                              FeatureKind::kGlcm,
+                              FeatureKind::kNaiveSignature};
+  options.store_video_blob = false;
+  return options;
+}
+
+std::vector<Image> SmallVideo(VideoCategory category, uint64_t seed) {
+  SyntheticVideoSpec spec;
+  spec.category = category;
+  spec.width = 64;
+  spec.height = 48;
+  spec.num_scenes = 2;
+  spec.frames_per_scene = 6;
+  spec.seed = seed;
+  return GenerateVideoFrames(spec).value();
+}
+
+TEST(EngineTest, IngestPopulatesStoreAndCache) {
+  auto engine = RetrievalEngine::Open(FreshDir("eng_ingest"),
+                                      FastOptions())
+                    .value();
+  const auto frames = SmallVideo(VideoCategory::kCartoon, 1);
+  Result<int64_t> v_id = engine->IngestFrames(frames, "toon");
+  ASSERT_TRUE(v_id.ok()) << v_id.status();
+  EXPECT_GT(engine->indexed_key_frames(), 0u);
+  EXPECT_EQ(engine->store()->VideoCount().value(), 1u);
+  EXPECT_EQ(engine->store()->KeyFrameCount().value(),
+            engine->indexed_key_frames());
+  // Every stored key frame carries the enabled features.
+  ASSERT_TRUE(engine->store()
+                  ->ScanKeyFrames([&](const KeyFrameRecord& rec) {
+                    EXPECT_EQ(rec.features.size(), 3u);
+                    EXPECT_EQ(rec.v_id, *v_id);
+                    return true;
+                  })
+                  .ok());
+}
+
+TEST(EngineTest, QueryReturnsRankedResults) {
+  auto engine =
+      RetrievalEngine::Open(FreshDir("eng_query"), FastOptions()).value();
+  ASSERT_TRUE(
+      engine->IngestFrames(SmallVideo(VideoCategory::kCartoon, 1), "a").ok());
+  ASSERT_TRUE(
+      engine->IngestFrames(SmallVideo(VideoCategory::kMovie, 2), "b").ok());
+  const auto query_frames = SmallVideo(VideoCategory::kCartoon, 3);
+  Result<std::vector<QueryResult>> results =
+      engine->QueryByImage(query_frames[0], 5);
+  ASSERT_TRUE(results.ok()) << results.status();
+  ASSERT_FALSE(results->empty());
+  // Scores ascend.
+  for (size_t i = 1; i < results->size(); ++i) {
+    EXPECT_LE((*results)[i - 1].score, (*results)[i].score);
+  }
+  // Per-feature distances populated.
+  EXPECT_EQ((*results)[0].feature_distances.size(), 3u);
+}
+
+TEST(EngineTest, QueryWithExactFrameFindsItself) {
+  auto engine =
+      RetrievalEngine::Open(FreshDir("eng_self"), FastOptions()).value();
+  const auto frames = SmallVideo(VideoCategory::kNews, 4);
+  const int64_t v_id = engine->IngestFrames(frames, "news").value();
+  // Query with the first frame (which is a key frame by construction).
+  const auto results = engine->QueryByImage(frames[0], 1).value();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].v_id, v_id);
+  EXPECT_NEAR(results[0].score, 0.0, 1e-6);
+}
+
+TEST(EngineTest, SingleFeatureQueryUsesOnlyThatFeature) {
+  auto engine =
+      RetrievalEngine::Open(FreshDir("eng_single"), FastOptions()).value();
+  ASSERT_TRUE(
+      engine->IngestFrames(SmallVideo(VideoCategory::kSports, 5), "s").ok());
+  const auto query = SmallVideo(VideoCategory::kSports, 6)[0];
+  const auto results =
+      engine->QueryByImageSingleFeature(query, FeatureKind::kGlcm, 3).value();
+  ASSERT_FALSE(results.empty());
+  EXPECT_EQ(results[0].feature_distances.size(), 1u);
+  EXPECT_TRUE(results[0].feature_distances.count(FeatureKind::kGlcm));
+  // Asking for a disabled feature fails.
+  EXPECT_FALSE(
+      engine->QueryByImageSingleFeature(query, FeatureKind::kGabor, 3).ok());
+}
+
+TEST(EngineTest, IndexPrunesCandidates) {
+  EngineOptions options = FastOptions();
+  options.use_index = true;
+  options.lookup_mode = RangeLookupMode::kLineage;
+  auto engine =
+      RetrievalEngine::Open(FreshDir("eng_prune"), options).value();
+  // Movie frames are dark, e-learning bright: they land in different
+  // branches of the range tree.
+  ASSERT_TRUE(
+      engine->IngestFrames(SmallVideo(VideoCategory::kMovie, 7), "m").ok());
+  ASSERT_TRUE(
+      engine->IngestFrames(SmallVideo(VideoCategory::kELearning, 8), "e").ok());
+  const auto query = SmallVideo(VideoCategory::kMovie, 9)[0];
+  ASSERT_TRUE(engine->QueryByImage(query, 10).ok());
+  const CandidateStats stats = engine->last_candidate_stats();
+  EXPECT_GT(stats.total, 0u);
+  EXPECT_LT(stats.candidates, stats.total);  // something was pruned
+}
+
+TEST(EngineTest, NoIndexScansEverything) {
+  EngineOptions options = FastOptions();
+  options.use_index = false;
+  auto engine = RetrievalEngine::Open(FreshDir("eng_noindex"), options).value();
+  ASSERT_TRUE(
+      engine->IngestFrames(SmallVideo(VideoCategory::kMovie, 7), "m").ok());
+  ASSERT_TRUE(
+      engine->IngestFrames(SmallVideo(VideoCategory::kELearning, 8), "e").ok());
+  const auto query = SmallVideo(VideoCategory::kMovie, 9)[0];
+  ASSERT_TRUE(engine->QueryByImage(query, 10).ok());
+  EXPECT_EQ(engine->last_candidate_stats().candidates,
+            engine->last_candidate_stats().total);
+}
+
+TEST(EngineTest, RemoveVideoDropsItsFrames) {
+  auto engine =
+      RetrievalEngine::Open(FreshDir("eng_remove"), FastOptions()).value();
+  const int64_t keep =
+      engine->IngestFrames(SmallVideo(VideoCategory::kCartoon, 10), "keep")
+          .value();
+  const int64_t drop =
+      engine->IngestFrames(SmallVideo(VideoCategory::kCartoon, 11), "drop")
+          .value();
+  ASSERT_TRUE(engine->RemoveVideo(drop).ok());
+  const auto query = SmallVideo(VideoCategory::kCartoon, 12)[0];
+  const auto results = engine->QueryByImage(query, 100).value();
+  for (const QueryResult& r : results) {
+    EXPECT_EQ(r.v_id, keep);
+  }
+}
+
+TEST(EngineTest, WarmCacheRestoresStateAcrossReopen) {
+  const std::string dir = FreshDir("eng_warm");
+  size_t key_frames = 0;
+  {
+    auto engine = RetrievalEngine::Open(dir, FastOptions()).value();
+    ASSERT_TRUE(
+        engine->IngestFrames(SmallVideo(VideoCategory::kSports, 13), "s").ok());
+    key_frames = engine->indexed_key_frames();
+    ASSERT_TRUE(engine->store()->Checkpoint().ok());
+  }
+  {
+    auto engine = RetrievalEngine::Open(dir, FastOptions()).value();
+    EXPECT_EQ(engine->indexed_key_frames(), key_frames);
+    const auto query = SmallVideo(VideoCategory::kSports, 14)[0];
+    EXPECT_TRUE(engine->QueryByImage(query, 3).ok());
+  }
+}
+
+TEST(EngineTest, QueryByVideoRanksOwnVideoFirst) {
+  auto engine =
+      RetrievalEngine::Open(FreshDir("eng_video"), FastOptions()).value();
+  const auto video_a = SmallVideo(VideoCategory::kCartoon, 15);
+  const auto video_b = SmallVideo(VideoCategory::kMovie, 16);
+  const int64_t a = engine->IngestFrames(video_a, "a").value();
+  ASSERT_TRUE(engine->IngestFrames(video_b, "b").ok());
+  const auto results = engine->QueryByVideo(video_a, 2).value();
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].v_id, a);
+  EXPECT_LT(results[0].score, results[1].score);
+}
+
+TEST(EngineTest, RejectsDegenerateInputs) {
+  auto engine =
+      RetrievalEngine::Open(FreshDir("eng_bad"), FastOptions()).value();
+  EXPECT_FALSE(engine->IngestFrames({}, "empty").ok());
+  EXPECT_FALSE(engine->QueryByImage(Image(), 5).ok());
+  EXPECT_FALSE(engine->QueryByVideo({}, 5).ok());
+  EngineOptions no_features;
+  no_features.enabled_features.clear();
+  EXPECT_FALSE(RetrievalEngine::Open(FreshDir("eng_bad2"), no_features).ok());
+}
+
+TEST(EngineTest, AllTenFeaturesEndToEnd) {
+  // Paper's seven plus the three extension features in one engine.
+  EngineOptions options;
+  options.enabled_features.clear();
+  for (int i = 0; i < kNumFeatureKinds; ++i) {
+    options.enabled_features.push_back(static_cast<FeatureKind>(i));
+  }
+  options.store_video_blob = false;
+  auto engine =
+      RetrievalEngine::Open(FreshDir("eng_all10"), options).value();
+  const auto frames = SmallVideo(VideoCategory::kNews, 20);
+  ASSERT_TRUE(engine->IngestFrames(frames, "n").ok());
+  ASSERT_TRUE(engine->store()
+                  ->ScanKeyFrames([&](const KeyFrameRecord& rec) {
+                    EXPECT_EQ(rec.features.size(),
+                              static_cast<size_t>(kNumFeatureKinds));
+                    return true;
+                  })
+                  .ok());
+  const auto results = engine->QueryByImage(frames[0], 3).value();
+  ASSERT_FALSE(results.empty());
+  EXPECT_EQ(results[0].feature_distances.size(),
+            static_cast<size_t>(kNumFeatureKinds));
+  EXPECT_NEAR(results[0].score, 0.0, 1e-6);
+}
+
+TEST(EngineTest, QueryOnEmptyStoreReturnsNothing) {
+  auto engine =
+      RetrievalEngine::Open(FreshDir("eng_empty"), FastOptions()).value();
+  Image query(32, 32, 3);
+  query.Fill({10, 20, 30});
+  const auto results = engine->QueryByImage(query, 5).value();
+  EXPECT_TRUE(results.empty());
+}
+
+TEST(EngineTest, VideoBlobStoredWhenEnabled) {
+  EngineOptions options = FastOptions();
+  options.store_video_blob = true;
+  auto engine =
+      RetrievalEngine::Open(FreshDir("eng_blob"), options).value();
+  const auto frames = SmallVideo(VideoCategory::kNews, 17);
+  const int64_t v_id = engine->IngestFrames(frames, "n").value();
+  const VideoRecord rec = engine->store()->GetVideo(v_id).value();
+  EXPECT_GT(rec.video.size(), 1000u);  // .vsv bytes present
+  EXPECT_FALSE(rec.stream.empty());    // key-frame id list present
+}
+
+}  // namespace
+}  // namespace vr

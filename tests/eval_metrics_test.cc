@@ -1,0 +1,60 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace vr {
+namespace {
+
+RelevanceFn FromVector(const std::vector<bool>& rel) {
+  return [rel](size_t rank) { return rank < rel.size() && rel[rank]; };
+}
+
+TEST(EvalMetricsTest, PrecisionAtKBasics) {
+  const auto rel = FromVector({true, false, true, true});
+  EXPECT_DOUBLE_EQ(PrecisionAtK(4, rel, 1), 1.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(4, rel, 2), 0.5);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(4, rel, 4), 0.75);
+}
+
+TEST(EvalMetricsTest, PrecisionWithFewerResultsThanK) {
+  // 4 results, k = 10: missing results count as misses (fixed recall
+  // point, as in the paper's table).
+  const auto rel = FromVector({true, true, true, true});
+  EXPECT_DOUBLE_EQ(PrecisionAtK(4, rel, 10), 0.4);
+}
+
+TEST(EvalMetricsTest, PrecisionAtZeroK) {
+  EXPECT_DOUBLE_EQ(PrecisionAtK(5, FromVector({true}), 0), 0.0);
+}
+
+TEST(EvalMetricsTest, RecallAtK) {
+  const auto rel = FromVector({true, false, true, false});
+  EXPECT_DOUBLE_EQ(RecallAtK(4, rel, 4, 4), 0.5);
+  EXPECT_DOUBLE_EQ(RecallAtK(4, rel, 1, 4), 0.25);
+  EXPECT_DOUBLE_EQ(RecallAtK(4, rel, 4, 0), 0.0);
+}
+
+TEST(EvalMetricsTest, AveragePrecisionPerfectRanking) {
+  const auto rel = FromVector({true, true, false, false});
+  EXPECT_DOUBLE_EQ(AveragePrecision(4, rel, 2), 1.0);
+}
+
+TEST(EvalMetricsTest, AveragePrecisionWorstRanking) {
+  const auto rel = FromVector({false, false, true, true});
+  // Hits at ranks 3, 4: (1/3 + 2/4) / 2.
+  EXPECT_DOUBLE_EQ(AveragePrecision(4, rel, 2), (1.0 / 3.0 + 0.5) / 2.0);
+}
+
+TEST(EvalMetricsTest, AveragePrecisionMissingRelevantPenalized) {
+  const auto rel = FromVector({true});
+  // 1 of 2 relevant retrieved.
+  EXPECT_DOUBLE_EQ(AveragePrecision(1, rel, 2), 0.5);
+}
+
+TEST(EvalMetricsTest, MeanHelper) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({2.0, 4.0}), 3.0);
+}
+
+}  // namespace
+}  // namespace vr

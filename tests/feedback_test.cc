@@ -1,0 +1,174 @@
+#include "retrieval/feedback.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/table1_runner.h"  // RemoveDirRecursive
+#include "video/synth/generator.h"
+
+namespace vr {
+namespace {
+
+std::string FreshDir(const char* name) {
+  const std::string dir = testing::TempDir() + "/" + name;
+  RemoveDirRecursive(dir);
+  return dir;
+}
+
+/// Builds synthetic QueryResults where feature A separates the relevant
+/// set (small distances) from the non-relevant set and feature B is
+/// anti-correlated.
+std::vector<QueryResult> SyntheticResults() {
+  std::vector<QueryResult> results;
+  for (int64_t i = 0; i < 10; ++i) {
+    QueryResult r;
+    r.i_id = i;
+    r.v_id = i;
+    const bool relevant = i < 5;
+    r.feature_distances[FeatureKind::kColorHistogram] =
+        relevant ? 0.1 : 0.9;  // discriminative
+    r.feature_distances[FeatureKind::kGlcm] =
+        relevant ? 0.9 : 0.1;  // inverted
+    r.feature_distances[FeatureKind::kNaiveSignature] = 0.5;  // useless
+    results.push_back(std::move(r));
+  }
+  return results;
+}
+
+std::unique_ptr<RetrievalEngine> SmallEngine(const char* name) {
+  EngineOptions options;
+  options.enabled_features = {FeatureKind::kColorHistogram,
+                              FeatureKind::kGlcm,
+                              FeatureKind::kNaiveSignature};
+  options.store_video_blob = false;
+  return RetrievalEngine::Open(FreshDir(name), options).value();
+}
+
+TEST(FeedbackTest, BoostsDiscriminativeFeature) {
+  auto engine = SmallEngine("fb_boost");
+  const auto results = SyntheticResults();
+  FeedbackJudgments judgments;
+  judgments.relevant = {0, 1, 2};
+  judgments.non_relevant = {7, 8, 9};
+  Result<std::map<FeatureKind, double>> weights =
+      ApplyRelevanceFeedback(engine.get(), results, judgments);
+  ASSERT_TRUE(weights.ok()) << weights.status();
+  const double w_hist = weights->at(FeatureKind::kColorHistogram);
+  const double w_glcm = weights->at(FeatureKind::kGlcm);
+  const double w_naive = weights->at(FeatureKind::kNaiveSignature);
+  EXPECT_GT(w_hist, w_naive);  // discriminative beats uninformative
+  EXPECT_GT(w_naive, w_glcm);  // uninformative beats inverted
+  // The scorer was actually updated.
+  EXPECT_DOUBLE_EQ(engine->scorer()->GetWeight(FeatureKind::kColorHistogram),
+                   w_hist);
+}
+
+TEST(FeedbackTest, WeightsStayBounded) {
+  auto engine = SmallEngine("fb_bounds");
+  std::vector<QueryResult> results;
+  for (int64_t i = 0; i < 4; ++i) {
+    QueryResult r;
+    r.i_id = i;
+    // Extreme separation: relevant distance ~0.
+    r.feature_distances[FeatureKind::kColorHistogram] = i < 2 ? 1e-15 : 1e6;
+    r.feature_distances[FeatureKind::kGlcm] = 0.5;
+    r.feature_distances[FeatureKind::kNaiveSignature] = 0.5;
+    results.push_back(std::move(r));
+  }
+  FeedbackJudgments judgments;
+  judgments.relevant = {0, 1};
+  judgments.non_relevant = {2, 3};
+  FeedbackOptions options;
+  options.learning_rate = 1.0;
+  const auto weights =
+      ApplyRelevanceFeedback(engine.get(), results, judgments, options)
+          .value();
+  for (const auto& [kind, w] : weights) {
+    EXPECT_GE(w, options.min_weight);
+    EXPECT_LE(w, options.max_weight);
+  }
+  EXPECT_DOUBLE_EQ(weights.at(FeatureKind::kColorHistogram),
+                   options.max_weight);
+}
+
+TEST(FeedbackTest, LearningRateBlends) {
+  auto engine = SmallEngine("fb_blend");
+  const auto results = SyntheticResults();
+  FeedbackJudgments judgments;
+  judgments.relevant = {0};
+  judgments.non_relevant = {9};
+  FeedbackOptions gentle;
+  gentle.learning_rate = 0.1;
+  const auto weights =
+      ApplyRelevanceFeedback(engine.get(), results, judgments, gentle)
+          .value();
+  // With a small learning rate, weights stay near the initial 1.0.
+  for (const auto& [kind, w] : weights) {
+    EXPECT_GT(w, 0.5);
+    EXPECT_LT(w, 2.0);
+  }
+}
+
+TEST(FeedbackTest, RejectsDegenerateJudgments) {
+  auto engine = SmallEngine("fb_bad");
+  const auto results = SyntheticResults();
+  FeedbackJudgments no_rel;
+  no_rel.non_relevant = {9};
+  EXPECT_FALSE(
+      ApplyRelevanceFeedback(engine.get(), results, no_rel).ok());
+  FeedbackJudgments unknown;
+  unknown.relevant = {999};  // not in the result list
+  unknown.non_relevant = {9};
+  EXPECT_FALSE(
+      ApplyRelevanceFeedback(engine.get(), results, unknown).ok());
+}
+
+TEST(FeedbackTest, EndToEndImprovesRankingForBiasedQuery) {
+  // Real engine round: ingest two categories, query, mark the query's
+  // category relevant, expect the re-query to do at least as well.
+  auto engine = SmallEngine("fb_e2e");
+  SyntheticVideoSpec spec;
+  spec.width = 64;
+  spec.height = 48;
+  spec.num_scenes = 2;
+  spec.frames_per_scene = 6;
+  spec.category = VideoCategory::kCartoon;
+  spec.seed = 1;
+  const int64_t cartoon =
+      engine->IngestFrames(GenerateVideoFrames(spec).value(), "c").value();
+  spec.category = VideoCategory::kMovie;
+  spec.seed = 2;
+  ASSERT_TRUE(
+      engine->IngestFrames(GenerateVideoFrames(spec).value(), "m").ok());
+
+  spec.category = VideoCategory::kCartoon;
+  spec.seed = 3;
+  const Image query = GenerateVideoFrames(spec).value()[3];
+  const auto before = engine->QueryByImage(query, 20).value();
+  ASSERT_GE(before.size(), 4u);
+
+  FeedbackJudgments judgments;
+  for (const QueryResult& r : before) {
+    if (r.v_id == cartoon && judgments.relevant.size() < 3) {
+      judgments.relevant.push_back(r.i_id);
+    } else if (r.v_id != cartoon && judgments.non_relevant.size() < 3) {
+      judgments.non_relevant.push_back(r.i_id);
+    }
+  }
+  ASSERT_FALSE(judgments.relevant.empty());
+  ASSERT_FALSE(judgments.non_relevant.empty());
+  ASSERT_TRUE(
+      ApplyRelevanceFeedback(engine.get(), before, judgments).ok());
+
+  const auto after = engine->QueryByImage(query, 20).value();
+  auto hits_at = [&](const std::vector<QueryResult>& results, size_t k) {
+    size_t hits = 0;
+    for (size_t i = 0; i < std::min(k, results.size()); ++i) {
+      if (results[i].v_id == cartoon) ++hits;
+    }
+    return hits;
+  };
+  EXPECT_GE(hits_at(after, 5), hits_at(before, 5));
+}
+
+}  // namespace
+}  // namespace vr

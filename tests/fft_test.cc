@@ -1,0 +1,116 @@
+#include "imaging/fft.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace vr {
+namespace {
+
+TEST(FftTest, PowerOfTwoHelpers) {
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(64));
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_FALSE(IsPowerOfTwo(12));
+  EXPECT_EQ(NextPowerOfTwo(1), 1u);
+  EXPECT_EQ(NextPowerOfTwo(65), 128u);
+  EXPECT_EQ(NextPowerOfTwo(128), 128u);
+}
+
+TEST(FftTest, RejectsNonPowerOfTwo) {
+  std::vector<Complex> data(12);
+  EXPECT_FALSE(Fft1D(&data, false).ok());
+}
+
+TEST(FftTest, ForwardInverseRoundTrip1D) {
+  Rng rng(11);
+  std::vector<Complex> data(256);
+  std::vector<Complex> orig(256);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = Complex(static_cast<float>(rng.UniformDouble(-1, 1)),
+                      static_cast<float>(rng.UniformDouble(-1, 1)));
+    orig[i] = data[i];
+  }
+  ASSERT_TRUE(Fft1D(&data, false).ok());
+  ASSERT_TRUE(Fft1D(&data, true).ok());
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(data[i].real(), orig[i].real(), 1e-4);
+    EXPECT_NEAR(data[i].imag(), orig[i].imag(), 1e-4);
+  }
+}
+
+TEST(FftTest, DcComponentIsSum) {
+  std::vector<Complex> data(8, Complex(1.f, 0.f));
+  ASSERT_TRUE(Fft1D(&data, false).ok());
+  EXPECT_NEAR(data[0].real(), 8.f, 1e-5);
+  for (size_t i = 1; i < 8; ++i) {
+    EXPECT_NEAR(std::abs(data[i]), 0.f, 1e-5);
+  }
+}
+
+TEST(FftTest, SinusoidPeaksAtItsFrequency) {
+  const size_t n = 64;
+  std::vector<Complex> data(n);
+  const int freq = 5;
+  for (size_t i = 0; i < n; ++i) {
+    data[i] = Complex(
+        std::cos(2.0 * M_PI * freq * static_cast<double>(i) / n), 0.f);
+  }
+  ASSERT_TRUE(Fft1D(&data, false).ok());
+  // Peak magnitude at bins freq and n - freq.
+  size_t argmax = 0;
+  for (size_t i = 1; i < n; ++i) {
+    if (std::abs(data[i]) > std::abs(data[argmax])) argmax = i;
+  }
+  EXPECT_TRUE(argmax == freq || argmax == n - freq);
+}
+
+TEST(FftTest, ForwardInverseRoundTrip2D) {
+  Rng rng(12);
+  ComplexImage img(32, 16);
+  ComplexImage orig(32, 16);
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 0; x < 32; ++x) {
+      img.At(x, y) = Complex(static_cast<float>(rng.UniformDouble(0, 255)), 0);
+      orig.At(x, y) = img.At(x, y);
+    }
+  }
+  ASSERT_TRUE(Fft2D(&img, false).ok());
+  ASSERT_TRUE(Fft2D(&img, true).ok());
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 0; x < 32; ++x) {
+      EXPECT_NEAR(img.At(x, y).real(), orig.At(x, y).real(), 1e-2);
+      EXPECT_NEAR(img.At(x, y).imag(), 0.f, 1e-2);
+    }
+  }
+}
+
+TEST(FftTest, ParsevalHolds2D) {
+  Rng rng(13);
+  ComplexImage img(16, 16);
+  double spatial_energy = 0.0;
+  for (auto& c : img.data) {
+    c = Complex(static_cast<float>(rng.UniformDouble(-1, 1)), 0);
+    spatial_energy += std::norm(c);
+  }
+  ASSERT_TRUE(Fft2D(&img, false).ok());
+  double freq_energy = 0.0;
+  for (const auto& c : img.data) freq_energy += std::norm(c);
+  EXPECT_NEAR(freq_energy / (16.0 * 16.0), spatial_energy,
+              spatial_energy * 1e-4);
+}
+
+TEST(FftTest, ToComplexPaddedZeroPads) {
+  FloatImage f(20, 10);
+  f.At(3, 3) = 5.f;
+  const ComplexImage c = ToComplexPadded(f, 1, 1);
+  EXPECT_EQ(c.width, 32);
+  EXPECT_EQ(c.height, 16);
+  EXPECT_FLOAT_EQ(c.At(3, 3).real(), 5.f);
+  EXPECT_FLOAT_EQ(c.At(25, 12).real(), 0.f);
+}
+
+}  // namespace
+}  // namespace vr

@@ -1,0 +1,131 @@
+#include "features/glcm_texture.h"
+
+#include <gtest/gtest.h>
+
+#include "imaging/draw.h"
+#include "util/rng.h"
+
+namespace vr {
+namespace {
+
+TEST(GlcmTest, ProducesSixValues) {
+  Image img(32, 32, 1);
+  Rng rng(1);
+  AddGaussianNoise(&img, 50.0, &rng);
+  GlcmTexture extractor;
+  Result<FeatureVector> fv = extractor.Extract(img);
+  ASSERT_TRUE(fv.ok());
+  EXPECT_EQ(fv->size(), GlcmTexture::kStatCount);
+  EXPECT_EQ(fv->type(), "glcm");
+}
+
+TEST(GlcmTest, UniformImageHasMaxHomogeneityZeroContrast) {
+  Image img(32, 32, 1);
+  img.Fill({128, 128, 128});
+  GlcmTexture extractor;
+  const FeatureVector fv = extractor.Extract(img).value();
+  EXPECT_DOUBLE_EQ(fv[GlcmTexture::kContrast], 0.0);
+  EXPECT_NEAR(fv[GlcmTexture::kIdm], 1.0, 1e-9);
+  EXPECT_NEAR(fv[GlcmTexture::kAsm], 1.0, 1e-9);  // single cell holds all mass
+  EXPECT_NEAR(fv[GlcmTexture::kEntropy], 0.0, 1e-9);
+}
+
+TEST(GlcmTest, CheckerboardHasHighContrast) {
+  Image flat(32, 32, 1);
+  flat.Fill({128, 128, 128});
+  Image checker(32, 32, 1);
+  DrawCheckerboard(&checker, 1, {0, 0, 0}, {255, 255, 255});
+  GlcmTexture extractor;
+  const double c_checker =
+      extractor.Extract(checker).value()[GlcmTexture::kContrast];
+  const double c_flat = extractor.Extract(flat).value()[GlcmTexture::kContrast];
+  EXPECT_GT(c_checker, 10000.0);  // alternating 0/255 at step 1
+  EXPECT_EQ(c_flat, 0.0);
+}
+
+TEST(GlcmTest, NoiseIncreasesEntropy) {
+  Image flat(32, 32, 1);
+  flat.Fill({128, 128, 128});
+  Image noisy = flat;
+  Rng rng(2);
+  AddGaussianNoise(&noisy, 40.0, &rng);
+  GlcmTexture extractor;
+  EXPECT_GT(extractor.Extract(noisy).value()[GlcmTexture::kEntropy],
+            extractor.Extract(flat).value()[GlcmTexture::kEntropy]);
+}
+
+TEST(GlcmTest, CorrelationInUnitRange) {
+  Rng rng(3);
+  GlcmTexture extractor;
+  for (int trial = 0; trial < 5; ++trial) {
+    Image img(24, 24, 1);
+    AddGaussianNoise(&img, 70.0, &rng);
+    const double corr = extractor.Extract(img).value()[GlcmTexture::kCorrelation];
+    EXPECT_GE(corr, -1.0 - 1e-9);
+    EXPECT_LE(corr, 1.0 + 1e-9);
+  }
+}
+
+TEST(GlcmTest, SmoothGradientHasHighCorrelation) {
+  Image img(64, 64, 3);
+  FillHorizontalGradient(&img, {0, 0, 0}, {255, 255, 255});
+  GlcmTexture extractor;
+  EXPECT_GT(extractor.Extract(img).value()[GlcmTexture::kCorrelation], 0.9);
+}
+
+TEST(GlcmTest, PixelCounterMatchesTabulation) {
+  Image img(10, 8, 1);
+  GlcmTexture extractor(/*step=*/1);
+  const FeatureVector fv = extractor.Extract(img).value();
+  // (width - step) * height symmetric pairs, counted twice.
+  EXPECT_DOUBLE_EQ(fv[GlcmTexture::kPixelCounter], 2.0 * 9 * 8);
+}
+
+TEST(GlcmTest, RejectsDegenerateInputs) {
+  GlcmTexture extractor(/*step=*/4);
+  EXPECT_FALSE(extractor.Extract(Image()).ok());
+  Image narrow(3, 10, 1);
+  EXPECT_FALSE(extractor.Extract(narrow).ok());
+}
+
+TEST(GlcmTest, DistanceZeroForSameTexture) {
+  Image img(32, 32, 1);
+  Rng rng(4);
+  AddGaussianNoise(&img, 30.0, &rng);
+  GlcmTexture extractor;
+  const FeatureVector fv = extractor.Extract(img).value();
+  EXPECT_DOUBLE_EQ(extractor.Distance(fv, fv), 0.0);
+}
+
+TEST(GlcmTest, DistanceSeparatesTextures) {
+  // Two draws of the same noise texture are closer to each other than
+  // either is to a hard checkerboard.
+  Rng rng(5);
+  Image noisy_a(32, 32, 1);
+  noisy_a.Fill({100, 100, 100});
+  AddGaussianNoise(&noisy_a, 15.0, &rng);
+  Image noisy_b(32, 32, 1);
+  noisy_b.Fill({100, 100, 100});
+  AddGaussianNoise(&noisy_b, 15.0, &rng);
+  Image checker(32, 32, 1);
+  DrawCheckerboard(&checker, 1, {20, 20, 20}, {230, 230, 230});
+  GlcmTexture extractor;
+  const FeatureVector fa = extractor.Extract(noisy_a).value();
+  const FeatureVector fb = extractor.Extract(noisy_b).value();
+  const FeatureVector fc = extractor.Extract(checker).value();
+  EXPECT_LT(extractor.Distance(fa, fb), extractor.Distance(fa, fc));
+  EXPECT_LT(extractor.Distance(fa, fb), extractor.Distance(fb, fc));
+}
+
+TEST(GlcmTest, ReducedLevelsStillWork) {
+  Image img(32, 32, 1);
+  Rng rng(6);
+  AddGaussianNoise(&img, 60.0, &rng);
+  GlcmTexture extractor(/*step=*/1, /*levels=*/16);
+  Result<FeatureVector> fv = extractor.Extract(img);
+  ASSERT_TRUE(fv.ok());
+  EXPECT_EQ(fv->size(), GlcmTexture::kStatCount);
+}
+
+}  // namespace
+}  // namespace vr

@@ -1,0 +1,273 @@
+#include <gtest/gtest.h>
+
+#include "imaging/draw.h"
+#include "imaging/filter.h"
+#include "imaging/histogram.h"
+#include "imaging/morphology.h"
+#include "imaging/resize.h"
+#include "imaging/threshold.h"
+
+namespace vr {
+namespace {
+
+TEST(ResizeTest, PreservesSolidColor) {
+  Image img(10, 10, 3);
+  img.Fill({40, 80, 120});
+  for (ResizeFilter f : {ResizeFilter::kNearest, ResizeFilter::kBilinear}) {
+    const Image out = Resize(img, 23, 17, f);
+    EXPECT_EQ(out.width(), 23);
+    EXPECT_EQ(out.height(), 17);
+    EXPECT_EQ(out.PixelRgb(11, 8), (Rgb{40, 80, 120}));
+    EXPECT_EQ(out.PixelRgb(0, 0), (Rgb{40, 80, 120}));
+  }
+}
+
+TEST(ResizeTest, IdentityWhenSameSize) {
+  Image img(5, 5, 1);
+  img.At(2, 2) = 77;
+  EXPECT_EQ(Resize(img, 5, 5), img);
+}
+
+TEST(ResizeTest, EmptyInputsYieldEmpty) {
+  EXPECT_TRUE(Resize(Image(), 10, 10).empty());
+  Image img(5, 5, 1);
+  EXPECT_TRUE(Resize(img, 0, 10).empty());
+}
+
+TEST(ResizeTest, DownscaleAveragesBilinear) {
+  // Left half black, right half white; downscaled center pixel must be
+  // intermediate under bilinear.
+  Image img(100, 10, 1);
+  for (int y = 0; y < 10; ++y) {
+    for (int x = 50; x < 100; ++x) img.At(x, y) = 255;
+  }
+  const Image out = Resize(img, 10, 10, ResizeFilter::kBilinear);
+  EXPECT_EQ(out.At(0, 5), 0);
+  EXPECT_EQ(out.At(9, 5), 255);
+}
+
+TEST(HistogramTest, CountsAllPixels) {
+  Image img(8, 8, 1);
+  img.Fill({100, 100, 100});
+  const GrayHistogram h = ComputeGrayHistogram(img);
+  EXPECT_EQ(h.Total(), 64u);
+  EXPECT_EQ(h.bins[100], 64u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 100.0);
+  EXPECT_DOUBLE_EQ(h.Variance(), 0.0);
+}
+
+TEST(HistogramTest, MassInRangeClampsAndSums) {
+  Image img(4, 1, 1);
+  img.At(0, 0) = 0;
+  img.At(1, 0) = 10;
+  img.At(2, 0) = 200;
+  img.At(3, 0) = 255;
+  const GrayHistogram h = ComputeGrayHistogram(img);
+  EXPECT_EQ(h.MassInRange(0, 255), 4u);
+  EXPECT_EQ(h.MassInRange(0, 10), 2u);
+  EXPECT_EQ(h.MassInRange(-5, 300), 4u);
+  EXPECT_EQ(h.MassInRange(11, 199), 0u);
+}
+
+TEST(HistogramTest, RgbHistogramPerChannel) {
+  Image img(2, 1, 3);
+  img.SetPixel(0, 0, {5, 6, 7});
+  img.SetPixel(1, 0, {5, 9, 7});
+  const RgbHistogram h = ComputeRgbHistogram(img);
+  EXPECT_EQ(h.r[5], 2u);
+  EXPECT_EQ(h.g[6], 1u);
+  EXPECT_EQ(h.g[9], 1u);
+  EXPECT_EQ(h.b[7], 2u);
+}
+
+TEST(FilterTest, GaussianKernelNormalized) {
+  const Kernel k = MakeGaussianKernel(1.5);
+  double total = 0.0;
+  for (float w : k.weights) total += w;
+  EXPECT_NEAR(total, 1.0, 1e-5);
+  EXPECT_EQ(k.width % 2, 1);
+}
+
+TEST(FilterTest, ConvolutionIdentity) {
+  FloatImage img(5, 5);
+  img.At(2, 2) = 10.f;
+  Kernel identity;
+  identity.width = 1;
+  identity.height = 1;
+  identity.weights = {1.f};
+  const FloatImage out = Convolve(img, identity);
+  EXPECT_FLOAT_EQ(out.At(2, 2), 10.f);
+  EXPECT_FLOAT_EQ(out.At(0, 0), 0.f);
+}
+
+TEST(FilterTest, GaussianBlurPreservesMassOfConstant) {
+  FloatImage img(16, 16);
+  for (auto& v : img.data()) v = 50.f;
+  const FloatImage out = GaussianBlur(img, 2.0);
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 0; x < 16; ++x) {
+      EXPECT_NEAR(out.At(x, y), 50.f, 1e-3);
+    }
+  }
+}
+
+TEST(FilterTest, SobelDetectsVerticalEdge) {
+  FloatImage img(10, 10);
+  for (int y = 0; y < 10; ++y) {
+    for (int x = 5; x < 10; ++x) img.At(x, y) = 255.f;
+  }
+  const GradientField g = Sobel(img);
+  EXPECT_GT(std::abs(g.dx.At(5, 5)), 100.f);
+  EXPECT_NEAR(g.dy.At(5, 5), 0.f, 1e-3);
+  EXPECT_GT(g.magnitude.At(5, 5), 100.f);
+  EXPECT_NEAR(g.magnitude.At(2, 5), 0.f, 1e-3);
+}
+
+TEST(FilterTest, NeighborhoodAverageOfConstant) {
+  FloatImage img(12, 12);
+  for (auto& v : img.data()) v = 7.f;
+  for (int k = 1; k <= 3; ++k) {
+    const FloatImage avg = NeighborhoodAverage(img, k);
+    EXPECT_NEAR(avg.At(6, 6), 7.f, 1e-4);
+    EXPECT_NEAR(avg.At(0, 0), 7.f, 1e-4);
+  }
+}
+
+TEST(MorphologyTest, DilateGrowsErodeShrinks) {
+  Image img(9, 9, 1);
+  img.At(4, 4) = 255;
+  const StructuringElement box = Box3x3();
+  const Image dilated = Dilate(img, box);
+  int on = 0;
+  for (int y = 0; y < 9; ++y) {
+    for (int x = 0; x < 9; ++x) {
+      if (dilated.At(x, y) != 0) ++on;
+    }
+  }
+  EXPECT_EQ(on, 9);  // 3x3 block
+  const Image eroded = Erode(dilated, box);
+  int on2 = 0;
+  for (int y = 0; y < 9; ++y) {
+    for (int x = 0; x < 9; ++x) {
+      if (eroded.At(x, y) != 0) ++on2;
+    }
+  }
+  EXPECT_EQ(on2, 1);
+  EXPECT_NE(eroded.At(4, 4), 0);
+}
+
+TEST(MorphologyTest, OpenRemovesSpeckles) {
+  Image img(20, 20, 1);
+  // One isolated pixel and one 5x5 block.
+  img.At(2, 2) = 255;
+  for (int y = 10; y < 15; ++y) {
+    for (int x = 10; x < 15; ++x) img.At(x, y) = 255;
+  }
+  const Image opened = Open(img, Box3x3());
+  EXPECT_EQ(opened.At(2, 2), 0);       // speckle gone
+  EXPECT_NE(opened.At(12, 12), 0);     // block core survives
+}
+
+TEST(MorphologyTest, PaperKernelShape) {
+  const StructuringElement k = PaperKernel5x5();
+  EXPECT_EQ(k.width, 5);
+  EXPECT_EQ(k.height, 5);
+  EXPECT_FALSE(k.At(0, 0));
+  EXPECT_TRUE(k.At(2, 2));
+  EXPECT_TRUE(k.At(1, 1));
+  EXPECT_FALSE(k.At(4, 2));
+}
+
+TEST(ThresholdTest, OtsuSeparatesBimodal) {
+  Image img(10, 10, 1);
+  for (int y = 0; y < 10; ++y) {
+    for (int x = 0; x < 10; ++x) {
+      img.At(x, y) = (x < 5) ? 30 : 220;
+    }
+  }
+  const int t = OtsuThreshold(ComputeGrayHistogram(img));
+  EXPECT_GE(t, 30);
+  EXPECT_LT(t, 220);
+}
+
+TEST(ThresholdTest, HuangSeparatesBimodal) {
+  Image img(10, 10, 1);
+  for (int y = 0; y < 10; ++y) {
+    for (int x = 0; x < 10; ++x) {
+      img.At(x, y) = (y < 4) ? 40 : 200;
+    }
+  }
+  const int t = MinFuzzinessThreshold(ComputeGrayHistogram(img));
+  EXPECT_GE(t, 40);
+  EXPECT_LT(t, 200);
+}
+
+TEST(ThresholdTest, BinarizeSplitsAtThreshold) {
+  Image img(3, 1, 1);
+  img.At(0, 0) = 10;
+  img.At(1, 0) = 100;
+  img.At(2, 0) = 200;
+  const Image bin = Binarize(img, 100);
+  EXPECT_EQ(bin.At(0, 0), 0);
+  EXPECT_EQ(bin.At(1, 0), 0);  // strictly greater
+  EXPECT_EQ(bin.At(2, 0), 255);
+}
+
+TEST(DrawTest, FillRectClips) {
+  Image img(10, 10, 3);
+  FillRect(&img, 8, 8, 5, 5, {255, 0, 0});
+  EXPECT_EQ(img.PixelRgb(9, 9), (Rgb{255, 0, 0}));
+  EXPECT_EQ(img.PixelRgb(7, 7), (Rgb{0, 0, 0}));
+}
+
+TEST(DrawTest, FillCircleRadius) {
+  Image img(21, 21, 1);
+  FillCircle(&img, 10, 10, 5, {255, 255, 255});
+  EXPECT_NE(img.At(10, 10), 0);
+  EXPECT_NE(img.At(10, 15), 0);
+  EXPECT_EQ(img.At(10, 16), 0);
+  EXPECT_EQ(img.At(0, 0), 0);
+}
+
+TEST(DrawTest, DrawLineEndpoints) {
+  Image img(10, 10, 1);
+  DrawLine(&img, 0, 0, 9, 9, {255, 255, 255});
+  EXPECT_NE(img.At(0, 0), 0);
+  EXPECT_NE(img.At(9, 9), 0);
+  EXPECT_NE(img.At(5, 5), 0);
+}
+
+TEST(DrawTest, GradientEndsMatch) {
+  Image img(4, 16, 3);
+  FillVerticalGradient(&img, {0, 0, 0}, {200, 100, 50});
+  EXPECT_EQ(img.PixelRgb(0, 0), (Rgb{0, 0, 0}));
+  EXPECT_EQ(img.PixelRgb(0, 15), (Rgb{200, 100, 50}));
+  const Rgb mid = img.PixelRgb(0, 8);
+  EXPECT_GT(mid.r, 50);
+  EXPECT_LT(mid.r, 150);
+}
+
+TEST(DrawTest, CheckerboardAlternates) {
+  Image img(8, 8, 1);
+  DrawCheckerboard(&img, 2, {0, 0, 0}, {255, 255, 255});
+  EXPECT_EQ(img.At(0, 0), 0);
+  EXPECT_EQ(img.At(2, 0), 255);
+  EXPECT_EQ(img.At(2, 2), 0);
+}
+
+TEST(DrawTest, NoiseChangesPixelsDeterministically) {
+  Image a(16, 16, 3);
+  a.Fill({128, 128, 128});
+  Image b = a;
+  Rng r1(42);
+  Rng r2(42);
+  AddGaussianNoise(&a, 10.0, &r1);
+  AddGaussianNoise(&b, 10.0, &r2);
+  EXPECT_EQ(a, b);
+  Image c(16, 16, 3);
+  c.Fill({128, 128, 128});
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace vr

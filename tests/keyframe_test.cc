@@ -1,0 +1,138 @@
+#include "keyframe/keyframe_extractor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "imaging/draw.h"
+#include "util/rng.h"
+#include "video/synth/generator.h"
+
+namespace vr {
+namespace {
+
+/// Builds a 3-scene video with obvious cuts: solid colors far apart.
+std::vector<Image> ThreeSceneVideo(int frames_per_scene) {
+  std::vector<Image> frames;
+  const Rgb colors[3] = {{20, 20, 20}, {230, 230, 230}, {200, 30, 30}};
+  Rng rng(1);
+  for (int s = 0; s < 3; ++s) {
+    for (int f = 0; f < frames_per_scene; ++f) {
+      Image img(64, 48, 3);
+      img.Fill(colors[s]);
+      AddGaussianNoise(&img, 2.0, &rng);  // within-scene jitter
+      frames.push_back(std::move(img));
+    }
+  }
+  return frames;
+}
+
+TEST(KeyFrameTest, OneKeyFramePerScene) {
+  const auto frames = ThreeSceneVideo(6);
+  KeyFrameExtractor extractor;
+  Result<std::vector<KeyFrame>> keys = extractor.Extract(frames);
+  ASSERT_TRUE(keys.ok());
+  ASSERT_EQ(keys->size(), 3u);
+  EXPECT_EQ((*keys)[0].frame_index, 0u);
+  EXPECT_EQ((*keys)[1].frame_index, 6u);
+  EXPECT_EQ((*keys)[2].frame_index, 12u);
+  for (const KeyFrame& kf : *keys) {
+    EXPECT_EQ(kf.run_length, 6u);
+  }
+}
+
+TEST(KeyFrameTest, SingleFrameVideo) {
+  std::vector<Image> frames = {Image(32, 32, 3)};
+  KeyFrameExtractor extractor;
+  Result<std::vector<KeyFrame>> keys = extractor.Extract(frames);
+  ASSERT_TRUE(keys.ok());
+  ASSERT_EQ(keys->size(), 1u);
+  EXPECT_EQ((*keys)[0].frame_index, 0u);
+  EXPECT_EQ((*keys)[0].run_length, 1u);
+}
+
+TEST(KeyFrameTest, EmptyInputRejected) {
+  KeyFrameExtractor extractor;
+  EXPECT_FALSE(extractor.Extract({}).ok());
+}
+
+TEST(KeyFrameTest, AllIdenticalFramesCollapseToOne) {
+  std::vector<Image> frames(10, Image(32, 32, 3));
+  for (auto& f : frames) f.Fill({100, 150, 200});
+  KeyFrameExtractor extractor;
+  const auto keys = extractor.Extract(frames).value();
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_EQ(keys[0].run_length, 10u);
+}
+
+TEST(KeyFrameTest, ThresholdControlsSensitivity) {
+  const auto frames = ThreeSceneVideo(4);
+  KeyFrameOptions strict;
+  strict.threshold = 1.0;  // almost everything is a key frame
+  KeyFrameOptions loose;
+  loose.threshold = 1e9;  // nothing is different
+  const auto many = KeyFrameExtractor(strict).Extract(frames).value();
+  const auto one = KeyFrameExtractor(loose).Extract(frames).value();
+  EXPECT_GT(many.size(), 3u);
+  EXPECT_EQ(one.size(), 1u);
+}
+
+TEST(KeyFrameTest, FrameDistanceMatchesNaiveSignature) {
+  Image a(32, 32, 3);
+  a.Fill({0, 0, 0});
+  Image b(32, 32, 3);
+  b.Fill({255, 255, 255});
+  KeyFrameExtractor extractor;
+  Result<double> d = extractor.FrameDistance(a, b);
+  ASSERT_TRUE(d.ok());
+  // 25 points x Euclidean RGB distance of (255,255,255).
+  EXPECT_NEAR(*d, 25.0 * std::sqrt(3.0 * 255 * 255), 1.0);
+  EXPECT_NEAR(extractor.FrameDistance(a, a).value(), 0.0, 1e-9);
+}
+
+TEST(KeyFrameTest, SyntheticVideoYieldsFewKeyFrames) {
+  SyntheticVideoSpec spec;
+  spec.category = VideoCategory::kCartoon;
+  spec.width = 80;
+  spec.height = 60;
+  spec.num_scenes = 4;
+  spec.frames_per_scene = 10;
+  spec.seed = 5;
+  const auto frames = GenerateVideoFrames(spec).value();
+  KeyFrameExtractor extractor;
+  const auto keys = extractor.Extract(frames).value();
+  // Many fewer key frames than frames, at least one per scene-ish.
+  EXPECT_LT(keys.size(), frames.size() / 2);
+  EXPECT_GE(keys.size(), 1u);
+}
+
+TEST(KeyFrameTest, RunLengthsCoverAllFrames) {
+  const auto frames = ThreeSceneVideo(5);
+  KeyFrameExtractor extractor;
+  const auto keys = extractor.Extract(frames).value();
+  size_t covered = 0;
+  for (const KeyFrame& kf : keys) covered += kf.run_length;
+  EXPECT_EQ(covered, frames.size());
+}
+
+TEST(UniformSampleTest, StrideSampling) {
+  std::vector<Image> frames(10, Image(8, 8, 3));
+  const auto keys = UniformSampleKeyFrames(frames, 4);
+  ASSERT_EQ(keys.size(), 3u);
+  EXPECT_EQ(keys[0].frame_index, 0u);
+  EXPECT_EQ(keys[1].frame_index, 4u);
+  EXPECT_EQ(keys[2].frame_index, 8u);
+  EXPECT_EQ(keys[2].run_length, 2u);
+}
+
+TEST(UniformSampleTest, ZeroStrideTreatedAsOne) {
+  std::vector<Image> frames(3, Image(8, 8, 3));
+  EXPECT_EQ(UniformSampleKeyFrames(frames, 0).size(), 3u);
+}
+
+TEST(UniformSampleTest, EmptyInput) {
+  EXPECT_TRUE(UniformSampleKeyFrames({}, 3).empty());
+}
+
+}  // namespace
+}  // namespace vr

@@ -1,0 +1,133 @@
+#include "similarity/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace vr {
+namespace {
+
+using Vec = std::vector<double>;
+
+TEST(MetricsTest, L1L2LInfBasics) {
+  const Vec a = {1, 2, 3};
+  const Vec b = {2, 0, 3};
+  EXPECT_DOUBLE_EQ(L1Distance(a, b), 3.0);
+  EXPECT_DOUBLE_EQ(L2Distance(a, b), std::sqrt(5.0));
+  EXPECT_DOUBLE_EQ(LInfDistance(a, b), 2.0);
+}
+
+TEST(MetricsTest, CosineBasics) {
+  EXPECT_NEAR(CosineDistance({1, 0}, {2, 0}), 0.0, 1e-12);
+  EXPECT_NEAR(CosineDistance({1, 0}, {0, 1}), 1.0, 1e-12);
+  EXPECT_NEAR(CosineDistance({1, 0}, {-1, 0}), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(CosineDistance({0, 0}, {0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(CosineDistance({0, 0}, {1, 0}), 1.0);
+}
+
+TEST(MetricsTest, ChiSquareIgnoresEmptyBins) {
+  EXPECT_DOUBLE_EQ(ChiSquareDistance({0, 1}, {0, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(ChiSquareDistance({2, 0}, {0, 2}), 4.0);
+}
+
+TEST(MetricsTest, HistogramIntersectionBounds) {
+  EXPECT_DOUBLE_EQ(HistogramIntersectionDistance({1, 2}, {1, 2}), 0.0);
+  EXPECT_DOUBLE_EQ(HistogramIntersectionDistance({1, 0}, {0, 1}), 1.0);
+  const double d = HistogramIntersectionDistance({3, 1}, {1, 3});
+  EXPECT_GT(d, 0.0);
+  EXPECT_LT(d, 1.0);
+}
+
+TEST(MetricsTest, JensenShannonProperties) {
+  EXPECT_NEAR(JensenShannonDivergence({1, 0}, {1, 0}), 0.0, 1e-12);
+  EXPECT_NEAR(JensenShannonDivergence({1, 0}, {0, 1}), std::log(2.0), 1e-12);
+  // Symmetry.
+  const Vec p = {0.2, 0.5, 0.3};
+  const Vec q = {0.6, 0.1, 0.3};
+  EXPECT_DOUBLE_EQ(JensenShannonDivergence(p, q),
+                   JensenShannonDivergence(q, p));
+}
+
+TEST(MetricsTest, EmdShiftSensitivity) {
+  // Mass one bin apart costs less than mass far apart.
+  const Vec base = {1, 0, 0, 0};
+  const Vec near = {0, 1, 0, 0};
+  const Vec far = {0, 0, 0, 1};
+  EXPECT_LT(EmdL1Distance(base, near), EmdL1Distance(base, far));
+  EXPECT_DOUBLE_EQ(EmdL1Distance(base, base), 0.0);
+}
+
+TEST(MetricsTest, EmdNormalizesMass) {
+  // Scaled histograms are the same distribution.
+  EXPECT_NEAR(EmdL1Distance({2, 2}, {5, 5}), 0.0, 1e-12);
+}
+
+TEST(MetricsTest, CanberraBasics) {
+  EXPECT_DOUBLE_EQ(CanberraDistance({1, 1}, {1, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(CanberraDistance({1, 0}, {0, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(CanberraDistance({1, 2}, {3, 2}), 0.5);
+}
+
+class MetricAxiomsTest
+    : public testing::TestWithParam<
+          std::pair<const char*, double (*)(const Vec&, const Vec&)>> {};
+
+TEST_P(MetricAxiomsTest, NonNegativeSymmetricZeroOnSelf) {
+  auto [name, metric] = GetParam();
+  Rng rng(42);
+  for (int trial = 0; trial < 20; ++trial) {
+    Vec a(16);
+    Vec b(16);
+    for (auto& v : a) v = rng.UniformDouble(0, 10);
+    for (auto& v : b) v = rng.UniformDouble(0, 10);
+    const double dab = metric(a, b);
+    const double dba = metric(b, a);
+    EXPECT_GE(dab, 0.0) << name;
+    EXPECT_NEAR(dab, dba, 1e-9) << name;
+    EXPECT_NEAR(metric(a, a), 0.0, 1e-9) << name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMetrics, MetricAxiomsTest,
+    testing::Values(
+        std::make_pair("L1", &L1Distance), std::make_pair("L2", &L2Distance),
+        std::make_pair("LInf", &LInfDistance),
+        std::make_pair("Cosine", &CosineDistance),
+        std::make_pair("ChiSquare", &ChiSquareDistance),
+        std::make_pair("Intersection", &HistogramIntersectionDistance),
+        std::make_pair("JensenShannon", &JensenShannonDivergence),
+        std::make_pair("EMD", &EmdL1Distance),
+        std::make_pair("Canberra", &CanberraDistance)),
+    [](const auto& info) { return info.param.first; });
+
+class TriangleInequalityTest
+    : public testing::TestWithParam<
+          std::pair<const char*, double (*)(const Vec&, const Vec&)>> {};
+
+TEST_P(TriangleInequalityTest, Holds) {
+  auto [name, metric] = GetParam();
+  Rng rng(7);
+  for (int trial = 0; trial < 30; ++trial) {
+    Vec a(8);
+    Vec b(8);
+    Vec c(8);
+    for (auto& v : a) v = rng.UniformDouble(0, 5);
+    for (auto& v : b) v = rng.UniformDouble(0, 5);
+    for (auto& v : c) v = rng.UniformDouble(0, 5);
+    EXPECT_LE(metric(a, c), metric(a, b) + metric(b, c) + 1e-9) << name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TrueMetrics, TriangleInequalityTest,
+    testing::Values(std::make_pair("L1", &L1Distance),
+                    std::make_pair("L2", &L2Distance),
+                    std::make_pair("LInf", &LInfDistance),
+                    std::make_pair("Canberra", &CanberraDistance)),
+    [](const auto& info) { return info.param.first; });
+
+}  // namespace
+}  // namespace vr

@@ -1,0 +1,79 @@
+#include "similarity/normalizer.h"
+
+#include <gtest/gtest.h>
+
+namespace vr {
+namespace {
+
+TEST(NormalizerTest, MinMaxMapsToUnitInterval) {
+  ScoreNormalizer norm(NormalizationKind::kMinMax);
+  norm.Fit({10, 20, 30});
+  EXPECT_DOUBLE_EQ(norm.Apply(10), 0.0);
+  EXPECT_DOUBLE_EQ(norm.Apply(30), 1.0);
+  EXPECT_DOUBLE_EQ(norm.Apply(20), 0.5);
+  // Clamps outside the fitted range.
+  EXPECT_DOUBLE_EQ(norm.Apply(0), 0.0);
+  EXPECT_DOUBLE_EQ(norm.Apply(100), 1.0);
+}
+
+TEST(NormalizerTest, MinMaxDegenerateBatch) {
+  ScoreNormalizer norm(NormalizationKind::kMinMax);
+  norm.Fit({5, 5, 5});
+  EXPECT_DOUBLE_EQ(norm.Apply(5), 0.0);
+}
+
+TEST(NormalizerTest, UnfittedReturnsHalf) {
+  ScoreNormalizer norm(NormalizationKind::kMinMax);
+  EXPECT_DOUBLE_EQ(norm.Apply(123), 0.5);
+}
+
+TEST(NormalizerTest, GaussianCentersMean) {
+  ScoreNormalizer norm(NormalizationKind::kGaussian);
+  norm.Fit({0, 10, 20});  // mean 10
+  EXPECT_DOUBLE_EQ(norm.Apply(10), 0.5);
+  EXPECT_LT(norm.Apply(0), 0.5);
+  EXPECT_GT(norm.Apply(20), 0.5);
+  EXPECT_GE(norm.Apply(-1000), 0.0);
+  EXPECT_LE(norm.Apply(1000), 1.0);
+}
+
+TEST(NormalizerTest, GaussianZeroVariance) {
+  ScoreNormalizer norm(NormalizationKind::kGaussian);
+  norm.Fit({7, 7});
+  EXPECT_DOUBLE_EQ(norm.Apply(7), 0.5);
+}
+
+TEST(NormalizerTest, RankGivesFractionBelow) {
+  ScoreNormalizer norm(NormalizationKind::kRank);
+  norm.Fit({1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(norm.Apply(1), 0.0);
+  EXPECT_DOUBLE_EQ(norm.Apply(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(norm.Apply(100), 1.0);
+}
+
+TEST(NormalizerTest, FitTransformPreservesOrder) {
+  for (NormalizationKind kind :
+       {NormalizationKind::kMinMax, NormalizationKind::kGaussian,
+        NormalizationKind::kRank}) {
+    ScoreNormalizer norm(kind);
+    const std::vector<double> scores = {5, 1, 3, 2, 4};
+    const std::vector<double> out = norm.FitTransform(scores);
+    ASSERT_EQ(out.size(), scores.size());
+    for (size_t i = 0; i < scores.size(); ++i) {
+      for (size_t j = 0; j < scores.size(); ++j) {
+        if (scores[i] < scores[j]) {
+          EXPECT_LE(out[i], out[j]) << static_cast<int>(kind);
+        }
+      }
+    }
+  }
+}
+
+TEST(NormalizerTest, EmptyFitKeepsDegenerate) {
+  ScoreNormalizer norm(NormalizationKind::kRank);
+  norm.Fit({});
+  EXPECT_DOUBLE_EQ(norm.Apply(3), 0.5);
+}
+
+}  // namespace
+}  // namespace vr

@@ -1,0 +1,243 @@
+/// Property-style sweeps over randomized inputs, parameterized with
+/// TEST_P: invariants that must hold for every extractor, codec and
+/// storage structure regardless of input.
+
+#include <gtest/gtest.h>
+#include <sys/stat.h>
+
+#include <cmath>
+
+#include "eval/table1_runner.h"
+#include "features/extractor_registry.h"
+#include "imaging/draw.h"
+#include "imaging/histogram.h"
+#include "index/range_finder.h"
+#include "storage/table.h"
+#include "util/rng.h"
+#include "video/video_format.h"
+
+namespace vr {
+namespace {
+
+// ---------------------------------------------------------------------
+// Every feature extractor: determinism, self-distance zero, symmetry,
+// finite values, string round-trip.
+// ---------------------------------------------------------------------
+
+class ExtractorPropertyTest : public testing::TestWithParam<int> {
+ protected:
+  FeatureKind kind() const { return static_cast<FeatureKind>(GetParam()); }
+
+  static Image RandomImage(Rng* rng) {
+    Image img(48 + static_cast<int>(rng->UniformInt(0, 32)),
+              36 + static_cast<int>(rng->UniformInt(0, 24)), 3);
+    // Mix structured content and noise so every extractor sees signal.
+    FillVerticalGradient(&img,
+                         {static_cast<uint8_t>(rng->UniformInt(0, 255)),
+                          static_cast<uint8_t>(rng->UniformInt(0, 255)),
+                          static_cast<uint8_t>(rng->UniformInt(0, 255))},
+                         {static_cast<uint8_t>(rng->UniformInt(0, 255)),
+                          static_cast<uint8_t>(rng->UniformInt(0, 255)),
+                          static_cast<uint8_t>(rng->UniformInt(0, 255))});
+    for (int i = 0; i < 3; ++i) {
+      FillRect(&img, static_cast<int>(rng->UniformInt(0, img.width() - 8)),
+               static_cast<int>(rng->UniformInt(0, img.height() - 8)), 8, 8,
+               {static_cast<uint8_t>(rng->UniformInt(0, 255)),
+                static_cast<uint8_t>(rng->UniformInt(0, 255)),
+                static_cast<uint8_t>(rng->UniformInt(0, 255))});
+    }
+    AddGaussianNoise(&img, rng->UniformDouble(0.0, 10.0), rng);
+    return img;
+  }
+};
+
+TEST_P(ExtractorPropertyTest, DeterministicAndFinite) {
+  auto extractor = MakeExtractor(kind());
+  ASSERT_NE(extractor, nullptr);
+  Rng rng(1000 + GetParam());
+  for (int trial = 0; trial < 3; ++trial) {
+    const Image img = RandomImage(&rng);
+    const FeatureVector a = extractor->Extract(img).value();
+    const FeatureVector b = extractor->Extract(img).value();
+    EXPECT_EQ(a, b);
+    for (double v : a.values()) {
+      EXPECT_TRUE(std::isfinite(v));
+    }
+  }
+}
+
+TEST_P(ExtractorPropertyTest, DistanceAxioms) {
+  auto extractor = MakeExtractor(kind());
+  Rng rng(2000 + GetParam());
+  for (int trial = 0; trial < 3; ++trial) {
+    const FeatureVector a = extractor->Extract(RandomImage(&rng)).value();
+    const FeatureVector b = extractor->Extract(RandomImage(&rng)).value();
+    EXPECT_NEAR(extractor->Distance(a, a), 0.0, 1e-9);
+    EXPECT_GE(extractor->Distance(a, b), 0.0);
+    EXPECT_NEAR(extractor->Distance(a, b), extractor->Distance(b, a), 1e-9);
+  }
+}
+
+TEST_P(ExtractorPropertyTest, StringSerializationRoundTrips) {
+  auto extractor = MakeExtractor(kind());
+  Rng rng(3000 + GetParam());
+  const FeatureVector fv = extractor->Extract(RandomImage(&rng)).value();
+  Result<FeatureVector> back = FeatureVector::FromString(fv.ToString());
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(*back, fv);
+  // The distance computed on the round-tripped vector is identical.
+  EXPECT_DOUBLE_EQ(extractor->Distance(fv, *back), 0.0);
+}
+
+TEST_P(ExtractorPropertyTest, NameMatchesKind) {
+  auto extractor = MakeExtractor(kind());
+  EXPECT_EQ(extractor->kind(), kind());
+  EXPECT_STREQ(extractor->name(), FeatureKindName(kind()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllExtractors, ExtractorPropertyTest,
+    testing::Range(0, kNumFeatureKinds),
+    [](const testing::TestParamInfo<int>& info) {
+      return FeatureKindName(static_cast<FeatureKind>(info.param));
+    });
+
+// ---------------------------------------------------------------------
+// PackBits: round-trip over adversarial run structures.
+// ---------------------------------------------------------------------
+
+class PackBitsPropertyTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(PackBitsPropertyTest, RoundTripsArbitraryRunStructure) {
+  Rng rng(GetParam());
+  std::vector<uint8_t> input;
+  const int segments = static_cast<int>(rng.UniformInt(0, 40));
+  for (int s = 0; s < segments; ++s) {
+    const uint8_t value = static_cast<uint8_t>(rng.UniformInt(0, 255));
+    const size_t run = static_cast<size_t>(
+        rng.Bernoulli(0.3) ? rng.UniformInt(120, 400) : rng.UniformInt(1, 5));
+    input.insert(input.end(), run, value);
+  }
+  const auto decoded = PackBitsDecode(PackBitsEncode(input), input.size());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, input);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PackBitsPropertyTest,
+                         testing::Range<uint64_t>(1, 16));
+
+// ---------------------------------------------------------------------
+// Range finder: the chosen bucket always contains a majority-ish of
+// pixel mass, and deeper buckets nest inside shallower ones.
+// ---------------------------------------------------------------------
+
+class RangeFinderPropertyTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(RangeFinderPropertyTest, BucketHoldsMajorityOfMass) {
+  Rng rng(GetParam());
+  Image img(40, 40, 1);
+  // Random bimodal-ish content.
+  const uint8_t a = static_cast<uint8_t>(rng.UniformInt(0, 255));
+  const uint8_t b = static_cast<uint8_t>(rng.UniformInt(0, 255));
+  const double mix = rng.UniformDouble(0.0, 1.0);
+  for (int y = 0; y < 40; ++y) {
+    for (int x = 0; x < 40; ++x) {
+      img.At(x, y) = rng.Bernoulli(mix) ? a : b;
+    }
+  }
+  const GrayHistogram hist = ComputeGrayHistogram(img);
+  const GrayRange range = FindRange(hist);
+  if (range.depth > 0) {
+    const double in_bucket =
+        static_cast<double>(hist.MassInRange(range.min, range.max)) /
+        static_cast<double>(hist.Total());
+    // Level 1 is an unconditional binary choice; deeper levels require
+    // >60%. Either way the bucket holds at least 45% of the mass
+    // (level-1 right branch can hold just under half).
+    EXPECT_GE(in_bucket, 0.44);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RangeFinderPropertyTest,
+                         testing::Range<uint64_t>(100, 120));
+
+// ---------------------------------------------------------------------
+// Table: randomized workload against an in-memory model.
+// ---------------------------------------------------------------------
+
+class TableFuzzTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(TableFuzzTest, MatchesModelUnderRandomOps) {
+  const std::string dir =
+      testing::TempDir() + "/table_fuzz_" + std::to_string(GetParam());
+  RemoveDirRecursive(dir);
+  mkdir(dir.c_str(), 0755);
+  Schema schema =
+      Schema::Create(
+          {
+              {"ID", ColumnType::kInt64, false},
+              {"TAG", ColumnType::kInt64, false},
+              {"BODY", ColumnType::kText, true},
+          },
+          "ID")
+          .value();
+  auto table = Table::Open(dir, "fuzz", schema, true).value();
+  IndexSpec spec;
+  spec.name = "by_tag";
+  spec.columns = {"TAG"};
+  spec.bits = {4};
+  ASSERT_TRUE(table->CreateIndex(spec).ok());
+
+  Rng rng(GetParam());
+  std::map<int64_t, std::pair<int64_t, std::string>> model;
+  for (int op = 0; op < 400; ++op) {
+    const int64_t id = rng.UniformInt(0, 60);
+    if (rng.Bernoulli(0.65)) {
+      const int64_t tag = rng.UniformInt(0, 15);
+      const std::string body(static_cast<size_t>(rng.UniformInt(0, 64)), 'b');
+      const Status st =
+          table->Insert({Value(id), Value(tag), Value(body)}).status();
+      if (model.count(id)) {
+        EXPECT_TRUE(st.IsAlreadyExists());
+      } else {
+        ASSERT_TRUE(st.ok()) << st;
+        model[id] = {tag, body};
+      }
+    } else {
+      const Status st = table->Delete(id);
+      if (model.count(id)) {
+        ASSERT_TRUE(st.ok()) << st;
+        model.erase(id);
+      } else {
+        EXPECT_TRUE(st.IsNotFound());
+      }
+    }
+  }
+  // Final state matches the model exactly.
+  EXPECT_EQ(table->Count().value(), model.size());
+  for (const auto& [id, expected] : model) {
+    const Row row = table->Get(id).value();
+    EXPECT_EQ(row[1].AsInt64(), expected.first);
+    EXPECT_EQ(row[2].AsText(), expected.second);
+  }
+  // Index agrees per tag.
+  for (int64_t tag = 0; tag < 16; ++tag) {
+    size_t expected = 0;
+    for (const auto& [id, v] : model) {
+      if (v.first == tag) ++expected;
+    }
+    size_t got = 0;
+    ASSERT_TRUE(table->ScanIndexRange("by_tag", tag, tag, [&](int64_t) {
+                      ++got;
+                      return true;
+                    })
+                    .ok());
+    EXPECT_EQ(got, expected) << "tag " << tag;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TableFuzzTest,
+                         testing::Range<uint64_t>(1, 6));
+
+}  // namespace
+}  // namespace vr

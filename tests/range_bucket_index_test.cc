@@ -1,0 +1,80 @@
+#include "index/range_bucket_index.h"
+
+#include <gtest/gtest.h>
+
+namespace vr {
+namespace {
+
+Image SolidGray(uint8_t level) {
+  Image img(30, 30, 1);
+  img.Fill({level, level, level});
+  return img;
+}
+
+TEST(RangeBucketIndexTest, InsertAndExactLookup) {
+  RangeBucketIndex index;
+  index.Insert(1, ComputeGrayHistogram(SolidGray(10)));
+  index.Insert(2, ComputeGrayHistogram(SolidGray(12)));
+  index.Insert(3, ComputeGrayHistogram(SolidGray(250)));
+  EXPECT_EQ(index.size(), 3u);
+  EXPECT_EQ(index.bucket_count(), 2u);
+
+  const std::vector<int64_t> dark =
+      index.Lookup(SolidGray(11), RangeLookupMode::kExact);
+  EXPECT_EQ(dark, (std::vector<int64_t>{1, 2}));
+  const std::vector<int64_t> bright =
+      index.Lookup(SolidGray(251), RangeLookupMode::kExact);
+  EXPECT_EQ(bright, (std::vector<int64_t>{3}));
+}
+
+TEST(RangeBucketIndexTest, LineageIncludesAncestors) {
+  RangeBucketIndex index;
+  // One frame grouped at a shallow bucket, one at a deep bucket on the
+  // same branch.
+  index.InsertAt(1, GrayRange{0, 127, 1});
+  index.InsertAt(2, GrayRange{0, 31, 3});
+  index.InsertAt(3, GrayRange{128, 255, 1});
+
+  const std::vector<int64_t> hits =
+      index.Lookup(GrayRange{0, 63, 2}, RangeLookupMode::kLineage);
+  EXPECT_EQ(hits, (std::vector<int64_t>{1, 2}));
+}
+
+TEST(RangeBucketIndexTest, OverlapModeSpansSiblings) {
+  RangeBucketIndex index;
+  index.InsertAt(1, GrayRange{0, 127, 1});
+  index.InsertAt(2, GrayRange{128, 255, 1});
+  const std::vector<int64_t> hits =
+      index.Lookup(GrayRange{0, 255, 0}, RangeLookupMode::kOverlapping);
+  EXPECT_EQ(hits, (std::vector<int64_t>{1, 2}));
+}
+
+TEST(RangeBucketIndexTest, EraseRemovesAndPrunesBucket) {
+  RangeBucketIndex index;
+  index.InsertAt(7, GrayRange{0, 31, 3});
+  EXPECT_TRUE(index.Erase(7, GrayRange{0, 31, 3}));
+  EXPECT_EQ(index.size(), 0u);
+  EXPECT_EQ(index.bucket_count(), 0u);
+  EXPECT_FALSE(index.Erase(7, GrayRange{0, 31, 3}));
+}
+
+TEST(RangeBucketIndexTest, PruningBeatsFullScan) {
+  RangeBucketIndex index;
+  // 100 dark frames, 100 bright frames.
+  for (int i = 0; i < 100; ++i) {
+    index.InsertAt(i, GrayRange{0, 31, 3});
+    index.InsertAt(100 + i, GrayRange{224, 255, 3});
+  }
+  const std::vector<int64_t> hits =
+      index.Lookup(GrayRange{0, 31, 3}, RangeLookupMode::kLineage);
+  EXPECT_EQ(hits.size(), 100u);  // half the corpus pruned away
+}
+
+TEST(RangeBucketIndexTest, LookupOnEmptyIndex) {
+  RangeBucketIndex index;
+  EXPECT_TRUE(
+      index.Lookup(GrayRange{0, 255, 0}, RangeLookupMode::kLineage).empty());
+}
+
+}  // namespace
+}  // namespace vr

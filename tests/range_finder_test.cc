@@ -1,0 +1,153 @@
+#include "index/range_finder.h"
+
+#include <gtest/gtest.h>
+
+#include "imaging/draw.h"
+#include "util/rng.h"
+
+namespace vr {
+namespace {
+
+Image SolidGray(uint8_t level) {
+  Image img(30, 30, 1);
+  img.Fill({level, level, level});
+  return img;
+}
+
+TEST(RangeFinderTest, DarkImageDescendsToDeepestDarkBucket) {
+  // All mass at gray 10: every level test passes on the low half.
+  const GrayRange r = FindRange(SolidGray(10));
+  EXPECT_EQ(r.min, 0);
+  EXPECT_EQ(r.max, 31);
+  EXPECT_EQ(r.depth, 3);
+}
+
+TEST(RangeFinderTest, BrightImageDescendsToBrightBucket) {
+  const GrayRange r = FindRange(SolidGray(250));
+  EXPECT_EQ(r.min, 224);
+  EXPECT_EQ(r.max, 255);
+  EXPECT_EQ(r.depth, 3);
+}
+
+TEST(RangeFinderTest, MidGrayGoesToThirdQuarterish) {
+  const GrayRange r = FindRange(SolidGray(130));
+  EXPECT_EQ(r.min, 128);
+  EXPECT_EQ(r.max, 159);
+}
+
+TEST(RangeFinderTest, Level1AlwaysDescends) {
+  // Exactly half the mass in each half: left fails 55%, so level 1 goes
+  // right; neither 64-wide half of [128,255] reaches 60%, so it stays
+  // at depth 1 per the paper.
+  Image img(32, 32, 1);
+  for (int y = 0; y < 32; ++y) {
+    for (int x = 0; x < 32; ++x) {
+      // Left half of pixels at 10, right half split between 150 and 230.
+      if (x < 16) {
+        img.At(x, y) = 10;
+      } else {
+        img.At(x, y) = (y < 16) ? 150 : 230;
+      }
+    }
+  }
+  const GrayRange r = FindRange(img);
+  EXPECT_EQ(r.min, 128);
+  EXPECT_EQ(r.max, 255);
+  EXPECT_EQ(r.depth, 1);
+}
+
+TEST(RangeFinderTest, SpreadMassStopsEarly) {
+  // Mass split between 140 (60%) and 200 (40%): level 1 -> [128,255];
+  // level 2: [128,191] holds 60% which is not > 60, stays at level 1.
+  Image img(10, 10, 1);
+  for (int i = 0; i < 100; ++i) {
+    img.At(i % 10, i / 10) = (i < 60) ? 140 : 200;
+  }
+  const GrayRange r = FindRange(img);
+  EXPECT_EQ(r.min, 128);
+  EXPECT_EQ(r.max, 255);
+  EXPECT_EQ(r.depth, 1);
+}
+
+TEST(RangeFinderTest, SixtyOnePercentDescends) {
+  Image img(10, 10, 1);
+  for (int i = 0; i < 100; ++i) {
+    img.At(i % 10, i / 10) = (i < 61) ? 140 : 200;
+  }
+  // 61% at gray 140 clears the 60% bar at level 2 ([128, 191]) and again
+  // at level 3 ([128, 159]).
+  const GrayRange r = FindRange(img);
+  EXPECT_EQ(r.min, 128);
+  EXPECT_EQ(r.max, 159);
+  EXPECT_EQ(r.depth, 3);
+}
+
+TEST(RangeFinderTest, EmptyHistogramStaysAtRoot) {
+  GrayHistogram empty;
+  const GrayRange r = FindRange(empty);
+  EXPECT_EQ(r.min, 0);
+  EXPECT_EQ(r.max, 255);
+  EXPECT_EQ(r.depth, 0);
+}
+
+TEST(RangeFinderTest, DepthLimitRespected) {
+  RangeFinderOptions options;
+  options.max_depth = 1;
+  const GrayRange r = FindRange(SolidGray(10), options);
+  EXPECT_EQ(r.min, 0);
+  EXPECT_EQ(r.max, 127);
+  EXPECT_EQ(r.depth, 1);
+}
+
+TEST(RangeFinderTest, DeeperTreesSupported) {
+  RangeFinderOptions options;
+  options.max_depth = 5;
+  const GrayRange r = FindRange(SolidGray(10), options);
+  EXPECT_EQ(r.max - r.min + 1, 8);  // 256 >> 5
+}
+
+TEST(RangeFinderTest, RangeAlwaysContainsDominantMass) {
+  Rng rng(4);
+  for (int trial = 0; trial < 20; ++trial) {
+    const uint8_t level = static_cast<uint8_t>(rng.UniformInt(0, 255));
+    Image img(20, 20, 1);
+    img.Fill({level, level, level});
+    AddGaussianNoise(&img, 3.0, &rng);
+    const GrayRange r = FindRange(img);
+    EXPECT_LE(r.min, level + 8);
+    EXPECT_GE(r.max, level - 8);
+  }
+}
+
+TEST(RangeFinderTest, ContainsAndOverlaps) {
+  const GrayRange root{0, 255, 0};
+  const GrayRange left{0, 127, 1};
+  const GrayRange right{128, 255, 1};
+  const GrayRange deep{32, 63, 3};
+  EXPECT_TRUE(root.Contains(left));
+  EXPECT_TRUE(left.Contains(deep));
+  EXPECT_FALSE(deep.Contains(left));
+  EXPECT_FALSE(left.Contains(right));
+  EXPECT_TRUE(left.Overlaps(root));
+  EXPECT_FALSE(left.Overlaps(right));
+}
+
+TEST(RangeFinderTest, AllTreeRangesEnumeratesFigure7) {
+  const std::vector<GrayRange> ranges = AllTreeRanges(3);
+  // 1 + 2 + 4 + 8 = 15 nodes.
+  EXPECT_EQ(ranges.size(), 15u);
+  EXPECT_EQ(ranges[0], (GrayRange{0, 255, 0}));
+  // The paper's leaves: width-32 ranges.
+  int width32 = 0;
+  for (const GrayRange& r : ranges) {
+    if (r.max - r.min + 1 == 32) ++width32;
+  }
+  EXPECT_EQ(width32, 8);
+}
+
+TEST(RangeFinderTest, ToStringFormat) {
+  EXPECT_EQ((GrayRange{0, 127, 1}).ToString(), "[0, 127]");
+}
+
+}  // namespace
+}  // namespace vr

@@ -1,0 +1,117 @@
+#include "features/region_growing.h"
+
+#include <gtest/gtest.h>
+
+#include "imaging/draw.h"
+
+namespace vr {
+namespace {
+
+TEST(RegionGrowingTest, ProducesThreeValues) {
+  Image img(40, 40, 1);
+  FillRect(&img, 5, 5, 15, 15, {255, 255, 255});
+  SimpleRegionGrowing extractor;
+  Result<FeatureVector> fv = extractor.Extract(img);
+  ASSERT_TRUE(fv.ok());
+  EXPECT_EQ(fv->size(), 3u);
+}
+
+TEST(RegionGrowingTest, CountsForegroundAndBackground) {
+  // One bright blob on a dark background: after binarization there are
+  // exactly 2 components (blob + background), one of which is a hole.
+  Image img(60, 60, 1);
+  img.Fill({20, 20, 20});
+  FillRect(&img, 20, 20, 20, 20, {240, 240, 240});
+  SimpleRegionGrowing extractor;
+  Result<RegionStats> stats = extractor.Analyze(img);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->num_regions, 2);
+  EXPECT_EQ(stats->num_holes, 1);
+  EXPECT_EQ(stats->num_major_regions, 2);
+}
+
+TEST(RegionGrowingTest, MoreBlobsMoreRegions) {
+  Image one(80, 80, 1);
+  one.Fill({15, 15, 15});
+  FillCircle(&one, 40, 40, 12, {240, 240, 240});
+  Image three(80, 80, 1);
+  three.Fill({15, 15, 15});
+  FillCircle(&three, 20, 20, 9, {240, 240, 240});
+  FillCircle(&three, 60, 20, 9, {240, 240, 240});
+  FillCircle(&three, 40, 60, 9, {240, 240, 240});
+  SimpleRegionGrowing extractor;
+  const RegionStats s1 = extractor.Analyze(one).value();
+  const RegionStats s3 = extractor.Analyze(three).value();
+  EXPECT_GT(s3.num_regions, s1.num_regions);
+}
+
+TEST(RegionGrowingTest, MorphologyRemovesSpeckleRegions) {
+  // Isolated single pixels must not create regions after the paper's
+  // dilate/erode/erode/dilate preprocessing.
+  Image img(60, 60, 1);
+  img.Fill({20, 20, 20});
+  FillRect(&img, 20, 20, 18, 18, {240, 240, 240});
+  img.At(5, 5) = 250;  // speckle
+  img.At(50, 7) = 250;  // speckle
+  SimpleRegionGrowing extractor;
+  const RegionStats stats = extractor.Analyze(img).value();
+  EXPECT_EQ(stats.num_regions, 2);  // background + block only
+}
+
+TEST(RegionGrowingTest, MajorRegionsRespectsFraction) {
+  Image img(100, 100, 1);
+  img.Fill({20, 20, 20});
+  FillRect(&img, 10, 10, 40, 40, {240, 240, 240});  // 16% of frame
+  FillRect(&img, 70, 70, 8, 8, {240, 240, 240});    // 0.64% of frame
+  // Default threshold (1%): background + big block are major.
+  SimpleRegionGrowing extractor(0.01);
+  const RegionStats stats = extractor.Analyze(img).value();
+  EXPECT_EQ(stats.num_regions, 3);
+  EXPECT_EQ(stats.num_major_regions, 2);
+  // A permissive threshold counts all three.
+  SimpleRegionGrowing loose(0.0001);
+  EXPECT_EQ(loose.Analyze(img).value().num_major_regions, 3);
+}
+
+TEST(RegionGrowingTest, PreprocessProducesBinaryImage) {
+  Image img(32, 32, 3);
+  FillVerticalGradient(&img, {0, 0, 0}, {255, 255, 255});
+  SimpleRegionGrowing extractor;
+  Result<Image> binary = extractor.Preprocess(img);
+  ASSERT_TRUE(binary.ok());
+  EXPECT_EQ(binary->channels(), 1);
+  for (int y = 0; y < binary->height(); ++y) {
+    for (int x = 0; x < binary->width(); ++x) {
+      const uint8_t v = binary->At(x, y);
+      EXPECT_TRUE(v == 0 || v == 255);
+    }
+  }
+}
+
+TEST(RegionGrowingTest, DiagonalBlobsConnect) {
+  // 8-connectivity merges diagonal neighbors into one region.
+  Image img(40, 40, 1);
+  img.Fill({10, 10, 10});
+  // Two squares touching at one corner.
+  FillRect(&img, 10, 10, 10, 10, {250, 250, 250});
+  FillRect(&img, 20, 20, 10, 10, {250, 250, 250});
+  SimpleRegionGrowing extractor;
+  const RegionStats stats = extractor.Analyze(img).value();
+  EXPECT_EQ(stats.num_regions, 2);  // merged blob + background
+}
+
+TEST(RegionGrowingTest, DistanceZeroOnSelf) {
+  Image img(40, 40, 1);
+  FillCircle(&img, 20, 20, 10, {255, 255, 255});
+  SimpleRegionGrowing extractor;
+  const FeatureVector fv = extractor.Extract(img).value();
+  EXPECT_DOUBLE_EQ(extractor.Distance(fv, fv), 0.0);
+}
+
+TEST(RegionGrowingTest, RejectsEmptyImage) {
+  SimpleRegionGrowing extractor;
+  EXPECT_FALSE(extractor.Extract(Image()).ok());
+}
+
+}  // namespace
+}  // namespace vr

@@ -1,0 +1,85 @@
+#include "keyframe/shot_detector.h"
+
+#include <gtest/gtest.h>
+
+#include "imaging/draw.h"
+#include "util/rng.h"
+
+namespace vr {
+namespace {
+
+std::vector<Image> CutVideo(const std::vector<int>& scene_lengths) {
+  std::vector<Image> frames;
+  Rng rng(3);
+  uint8_t base = 20;
+  for (int len : scene_lengths) {
+    for (int f = 0; f < len; ++f) {
+      Image img(48, 32, 3);
+      img.Fill({base, static_cast<uint8_t>(255 - base), base});
+      AddGaussianNoise(&img, 2.0, &rng);
+      frames.push_back(std::move(img));
+    }
+    base = static_cast<uint8_t>(base + 90);
+  }
+  return frames;
+}
+
+TEST(ShotDetectorTest, FindsCutsAtSceneBoundaries) {
+  const auto frames = CutVideo({8, 8, 8});
+  ShotDetector detector;
+  Result<std::vector<size_t>> starts = detector.DetectShotStarts(frames);
+  ASSERT_TRUE(starts.ok());
+  EXPECT_EQ(*starts, (std::vector<size_t>{0, 8, 16}));
+}
+
+TEST(ShotDetectorTest, NoCutsInStaticVideo) {
+  const auto frames = CutVideo({12});
+  ShotDetector detector;
+  const auto starts = detector.DetectShotStarts(frames).value();
+  EXPECT_EQ(starts, (std::vector<size_t>{0}));
+}
+
+TEST(ShotDetectorTest, MinShotLengthSuppressesFlicker) {
+  // Alternate every frame between two scenes; with min_shot_length 3
+  // only sparse cuts are allowed.
+  std::vector<Image> frames;
+  for (int i = 0; i < 10; ++i) {
+    Image img(32, 32, 3);
+    img.Fill(i % 2 == 0 ? Rgb{10, 10, 10} : Rgb{240, 240, 240});
+    frames.push_back(std::move(img));
+  }
+  ShotDetectorOptions options;
+  options.min_shot_length = 3;
+  ShotDetector detector(options);
+  const auto starts = detector.DetectShotStarts(frames).value();
+  for (size_t i = 1; i < starts.size(); ++i) {
+    EXPECT_GE(starts[i] - starts[i - 1], 3u);
+  }
+}
+
+TEST(ShotDetectorTest, KeyFramesAreShotMidpoints) {
+  const auto frames = CutVideo({10, 10});
+  ShotDetector detector;
+  const auto keys = detector.SelectKeyFrameIndices(frames).value();
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], 5u);
+  EXPECT_EQ(keys[1], 15u);
+}
+
+TEST(ShotDetectorTest, EmptyInputRejected) {
+  ShotDetector detector;
+  EXPECT_FALSE(detector.DetectShotStarts({}).ok());
+  EXPECT_FALSE(detector.SelectKeyFrameIndices({}).ok());
+}
+
+TEST(ShotDetectorTest, ThresholdControlsSensitivity) {
+  const auto frames = CutVideo({6, 6});
+  ShotDetectorOptions insensitive;
+  insensitive.cut_threshold = 3.0;  // above the max possible L1 of 2
+  const auto starts =
+      ShotDetector(insensitive).DetectShotStarts(frames).value();
+  EXPECT_EQ(starts.size(), 1u);
+}
+
+}  // namespace
+}  // namespace vr

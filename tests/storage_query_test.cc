@@ -1,0 +1,158 @@
+#include "storage/query.h"
+
+#include <gtest/gtest.h>
+#include <sys/stat.h>
+
+#include "eval/table1_runner.h"  // RemoveDirRecursive
+
+namespace vr {
+namespace {
+
+class StorageQueryTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = testing::TempDir() + "/storage_query";
+    RemoveDirRecursive(dir_);
+    mkdir(dir_.c_str(), 0755);
+    schema_ = Schema::Create(
+                  {
+                      {"ID", ColumnType::kInt64, false},
+                      {"NAME", ColumnType::kText, true},
+                      {"SCORE", ColumnType::kDouble, true},
+                  },
+                  "ID")
+                  .value();
+    table_ = Table::Open(dir_, "t", schema_, true).value();
+    // Rows: id 0..9, names "item_<i>", score = 10 - i; NAME null for id 7.
+    for (int64_t i = 0; i < 10; ++i) {
+      Row row = {Value(i),
+                 i == 7 ? Value::Null() : Value("item_" + std::to_string(i)),
+                 Value(10.0 - static_cast<double>(i))};
+      ASSERT_TRUE(table_->Insert(row).ok());
+    }
+  }
+
+  std::string dir_;
+  Schema schema_;
+  std::unique_ptr<Table> table_;
+};
+
+TEST_F(StorageQueryTest, SelectAllNoPredicate) {
+  SelectQuery q;
+  const auto rows = ExecuteSelect(*table_, q).value();
+  EXPECT_EQ(rows.size(), 10u);
+  EXPECT_EQ(rows[0].size(), 3u);
+}
+
+TEST_F(StorageQueryTest, ComparePredicates) {
+  SelectQuery q;
+  q.where = Compare("ID", CompareOp::kGe, Value(int64_t{7}));
+  EXPECT_EQ(ExecuteSelect(*table_, q).value().size(), 3u);
+  q.where = Compare("ID", CompareOp::kLt, Value(int64_t{3}));
+  EXPECT_EQ(ExecuteSelect(*table_, q).value().size(), 3u);
+  q.where = Compare("ID", CompareOp::kEq, Value(int64_t{5}));
+  EXPECT_EQ(ExecuteSelect(*table_, q).value().size(), 1u);
+  q.where = Compare("ID", CompareOp::kNe, Value(int64_t{5}));
+  EXPECT_EQ(ExecuteSelect(*table_, q).value().size(), 9u);
+}
+
+TEST_F(StorageQueryTest, NumericCrossTypeComparison) {
+  SelectQuery q;
+  q.where = Compare("SCORE", CompareOp::kGt, Value(int64_t{7}));  // int vs dbl
+  // score > 7: ids 0,1,2 (scores 10, 9, 8).
+  EXPECT_EQ(ExecuteSelect(*table_, q).value().size(), 3u);
+}
+
+TEST_F(StorageQueryTest, AndOrNot) {
+  SelectQuery q;
+  q.where = And(Compare("ID", CompareOp::kGe, Value(int64_t{2})),
+                Compare("ID", CompareOp::kLe, Value(int64_t{4})));
+  EXPECT_EQ(ExecuteSelect(*table_, q).value().size(), 3u);
+  q.where = Or(Compare("ID", CompareOp::kEq, Value(int64_t{0})),
+               Compare("ID", CompareOp::kEq, Value(int64_t{9})));
+  EXPECT_EQ(ExecuteSelect(*table_, q).value().size(), 2u);
+  q.where = Not(Compare("ID", CompareOp::kLt, Value(int64_t{8})));
+  EXPECT_EQ(ExecuteSelect(*table_, q).value().size(), 2u);
+}
+
+TEST_F(StorageQueryTest, ContainsAndIsNull) {
+  SelectQuery q;
+  q.where = Compare("NAME", CompareOp::kContains, Value("item_3"));
+  const auto rows = ExecuteSelect(*table_, q).value();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0].AsInt64(), 3);
+  // NULL name never matches CONTAINS...
+  q.where = Compare("NAME", CompareOp::kContains, Value("item"));
+  EXPECT_EQ(ExecuteSelect(*table_, q).value().size(), 9u);
+  // ...but IS NULL finds it.
+  q.where = IsNull("NAME");
+  const auto nulls = ExecuteSelect(*table_, q).value();
+  ASSERT_EQ(nulls.size(), 1u);
+  EXPECT_EQ(nulls[0][0].AsInt64(), 7);
+}
+
+TEST_F(StorageQueryTest, ProjectionAndOrder) {
+  SelectQuery q;
+  q.columns = {"NAME", "ID"};
+  q.order_by = "SCORE";  // ascending score = descending id
+  const auto rows = ExecuteSelect(*table_, q).value();
+  ASSERT_EQ(rows.size(), 10u);
+  ASSERT_EQ(rows[0].size(), 2u);
+  EXPECT_EQ(rows[0][1].AsInt64(), 9);  // lowest score first
+  EXPECT_EQ(rows[9][1].AsInt64(), 0);
+}
+
+TEST_F(StorageQueryTest, OrderDescendingWithLimit) {
+  SelectQuery q;
+  q.order_by = "ID";
+  q.descending = true;
+  q.limit = 3;
+  const auto rows = ExecuteSelect(*table_, q).value();
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0][0].AsInt64(), 9);
+  EXPECT_EQ(rows[2][0].AsInt64(), 7);
+}
+
+TEST_F(StorageQueryTest, LimitWithoutOrderStopsEarly) {
+  SelectQuery q;
+  q.limit = 4;
+  EXPECT_EQ(ExecuteSelect(*table_, q).value().size(), 4u);
+}
+
+TEST_F(StorageQueryTest, NullsSortFirst) {
+  SelectQuery q;
+  q.order_by = "NAME";
+  const auto rows = ExecuteSelect(*table_, q).value();
+  EXPECT_TRUE(rows[0][1].is_null());
+}
+
+TEST_F(StorageQueryTest, CountWithPredicate) {
+  EXPECT_EQ(ExecuteCount(*table_, nullptr).value(), 10u);
+  EXPECT_EQ(ExecuteCount(*table_,
+                         Compare("ID", CompareOp::kLt, Value(int64_t{5})))
+                .value(),
+            5u);
+}
+
+TEST_F(StorageQueryTest, ErrorsSurface) {
+  SelectQuery q;
+  q.where = Compare("NO_SUCH", CompareOp::kEq, Value(int64_t{1}));
+  EXPECT_TRUE(ExecuteSelect(*table_, q).status().IsNotFound());
+  q.where = Compare("ID", CompareOp::kContains, Value("x"));
+  EXPECT_TRUE(ExecuteSelect(*table_, q).status().IsInvalidArgument());
+  q.where = nullptr;
+  q.columns = {"MISSING"};
+  EXPECT_TRUE(ExecuteSelect(*table_, q).status().IsNotFound());
+  q.columns.clear();
+  q.order_by = "MISSING";
+  EXPECT_TRUE(ExecuteSelect(*table_, q).status().IsNotFound());
+}
+
+TEST_F(StorageQueryTest, CompareAgainstNullLiteralNeverMatches) {
+  SelectQuery q;
+  q.where = Compare("ID", CompareOp::kEq, Value::Null());
+  EXPECT_EQ(ExecuteSelect(*table_, q).value().size(), 0u);
+}
+
+}  // namespace
+}  // namespace vr

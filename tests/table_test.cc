@@ -1,0 +1,249 @@
+#include "storage/table.h"
+
+#include <gtest/gtest.h>
+#include <sys/stat.h>
+
+#include <cstdio>
+
+#include "eval/table1_runner.h"  // RemoveDirRecursive
+#include "util/rng.h"
+
+namespace vr {
+namespace {
+
+std::string TempDirFor(const char* name) {
+  const std::string dir = testing::TempDir() + "/" + name;
+  RemoveDirRecursive(dir);
+  mkdir(dir.c_str(), 0755);
+  return dir;
+}
+
+Schema TestSchema() {
+  return Schema::Create(
+             {
+                 {"ID", ColumnType::kInt64, false},
+                 {"NAME", ColumnType::kText, true},
+                 {"KIND", ColumnType::kInt64, false},
+                 {"PAYLOAD", ColumnType::kBlob, true},
+             },
+             "ID")
+      .value();
+}
+
+Row MakeRow(int64_t id, const std::string& name, int64_t kind,
+            std::vector<uint8_t> blob) {
+  return {Value(id), Value(name), Value(kind), Value::Blob(std::move(blob))};
+}
+
+TEST(TableTest, InsertGetRoundTrip) {
+  const std::string dir = TempDirFor("table_rt");
+  auto table = Table::Open(dir, "t", TestSchema(), true).value();
+  ASSERT_TRUE(table->Insert(MakeRow(1, "a", 3, {1, 2})).ok());
+  const Row row = table->Get(1).value();
+  EXPECT_EQ(row[1].AsText(), "a");
+  EXPECT_EQ(row[3].AsBlob(), (std::vector<uint8_t>{1, 2}));
+}
+
+TEST(TableTest, DuplicatePkRejected) {
+  const std::string dir = TempDirFor("table_dup");
+  auto table = Table::Open(dir, "t", TestSchema(), true).value();
+  ASSERT_TRUE(table->Insert(MakeRow(1, "a", 0, {})).ok());
+  EXPECT_TRUE(table->Insert(MakeRow(1, "b", 0, {})).status().IsAlreadyExists());
+  // Upsert replaces.
+  ASSERT_TRUE(table->Upsert(MakeRow(1, "c", 0, {})).ok());
+  EXPECT_EQ(table->Get(1).value()[1].AsText(), "c");
+  EXPECT_EQ(table->Count().value(), 1u);
+}
+
+TEST(TableTest, LargeBlobExternalizedAndResolved) {
+  const std::string dir = TempDirFor("table_blob");
+  auto table = Table::Open(dir, "t", TestSchema(), true).value();
+  Rng rng(1);
+  std::vector<uint8_t> big(200000);
+  for (auto& b : big) b = static_cast<uint8_t>(rng.UniformInt(0, 255));
+  ASSERT_TRUE(table->Insert(MakeRow(7, "video", 0, big)).ok());
+  EXPECT_EQ(table->Get(7).value()[3].AsBlob(), big);
+}
+
+TEST(TableTest, ScanWithoutBlobResolution) {
+  const std::string dir = TempDirFor("table_scan_fast");
+  auto table = Table::Open(dir, "t", TestSchema(), true).value();
+  std::vector<uint8_t> big(100000, 0xAA);
+  ASSERT_TRUE(table->Insert(MakeRow(1, "x", 0, big)).ok());
+  int rows = 0;
+  ASSERT_TRUE(table->Scan(
+                      [&](const Row& row) {
+                        EXPECT_TRUE(row[3].is_null());  // unresolved ref
+                        ++rows;
+                        return true;
+                      },
+                      /*resolve_blobs=*/false)
+                  .ok());
+  EXPECT_EQ(rows, 1);
+}
+
+TEST(TableTest, DeleteRemovesRowAndBlobs) {
+  const std::string dir = TempDirFor("table_del");
+  auto table = Table::Open(dir, "t", TestSchema(), true).value();
+  std::vector<uint8_t> big(50000, 0x11);
+  ASSERT_TRUE(table->Insert(MakeRow(1, "x", 0, big)).ok());
+  ASSERT_TRUE(table->Delete(1).ok());
+  EXPECT_TRUE(table->Get(1).status().IsNotFound());
+  EXPECT_FALSE(table->Exists(1));
+  EXPECT_EQ(table->Count().value(), 0u);
+  EXPECT_TRUE(table->Delete(1).IsNotFound());
+}
+
+TEST(TableTest, SecondaryIndexLookup) {
+  const std::string dir = TempDirFor("table_idx");
+  auto table = Table::Open(dir, "t", TestSchema(), true).value();
+  IndexSpec spec;
+  spec.name = "by_kind";
+  spec.columns = {"KIND"};
+  spec.bits = {8};
+  ASSERT_TRUE(table->CreateIndex(spec).ok());
+  for (int64_t i = 0; i < 30; ++i) {
+    ASSERT_TRUE(table->Insert(MakeRow(i, "r", i % 3, {})).ok());
+  }
+  std::vector<int64_t> kind1;
+  ASSERT_TRUE(table->ScanIndexRange("by_kind", 1, 1, [&](int64_t pk) {
+                    kind1.push_back(pk);
+                    return true;
+                  })
+                  .ok());
+  EXPECT_EQ(kind1.size(), 10u);
+  for (int64_t pk : kind1) {
+    EXPECT_EQ(pk % 3, 1);
+  }
+  // Range covering two kinds.
+  std::vector<int64_t> both;
+  ASSERT_TRUE(table->ScanIndexRange("by_kind", 0, 1, [&](int64_t pk) {
+                    both.push_back(pk);
+                    return true;
+                  })
+                  .ok());
+  EXPECT_EQ(both.size(), 20u);
+}
+
+TEST(TableTest, IndexBackfillsExistingRows) {
+  const std::string dir = TempDirFor("table_backfill");
+  auto table = Table::Open(dir, "t", TestSchema(), true).value();
+  for (int64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(table->Insert(MakeRow(i, "r", i % 2, {})).ok());
+  }
+  IndexSpec spec;
+  spec.name = "by_kind";
+  spec.columns = {"KIND"};
+  spec.bits = {4};
+  ASSERT_TRUE(table->CreateIndex(spec).ok());
+  int hits = 0;
+  ASSERT_TRUE(table->ScanIndexRange("by_kind", 0, 0, [&](int64_t) {
+                    ++hits;
+                    return true;
+                  })
+                  .ok());
+  EXPECT_EQ(hits, 5);
+}
+
+TEST(TableTest, IndexMaintainedOnDelete) {
+  const std::string dir = TempDirFor("table_idx_del");
+  auto table = Table::Open(dir, "t", TestSchema(), true).value();
+  IndexSpec spec;
+  spec.name = "by_kind";
+  spec.columns = {"KIND"};
+  spec.bits = {8};
+  ASSERT_TRUE(table->CreateIndex(spec).ok());
+  ASSERT_TRUE(table->Insert(MakeRow(1, "a", 5, {})).ok());
+  ASSERT_TRUE(table->Insert(MakeRow(2, "b", 5, {})).ok());
+  ASSERT_TRUE(table->Delete(1).ok());
+  std::vector<int64_t> hits;
+  ASSERT_TRUE(table->ScanIndexRange("by_kind", 5, 5, [&](int64_t pk) {
+                    hits.push_back(pk);
+                    return true;
+                  })
+                  .ok());
+  EXPECT_EQ(hits, (std::vector<int64_t>{2}));
+}
+
+TEST(TableTest, CompositeIndexOrdersByPackedValue) {
+  const std::string dir = TempDirFor("table_cidx");
+  Schema schema =
+      Schema::Create(
+          {
+              {"ID", ColumnType::kInt64, false},
+              {"MIN", ColumnType::kInt64, false},
+              {"MAX", ColumnType::kInt64, false},
+          },
+          "ID")
+          .value();
+  auto table = Table::Open(dir, "kf", schema, true).value();
+  IndexSpec spec;
+  spec.name = "range";
+  spec.columns = {"MIN", "MAX"};
+  spec.bits = {8, 8};
+  ASSERT_TRUE(table->CreateIndex(spec).ok());
+  ASSERT_TRUE(
+      table->Insert({Value(int64_t{1}), Value(int64_t{0}), Value(int64_t{127})})
+          .ok());
+  ASSERT_TRUE(
+      table->Insert({Value(int64_t{2}), Value(int64_t{0}), Value(int64_t{31})})
+          .ok());
+  ASSERT_TRUE(table->Insert({Value(int64_t{3}), Value(int64_t{128}),
+                             Value(int64_t{255})})
+                  .ok());
+  // Exact (0, 31) lookup.
+  std::vector<int64_t> hits;
+  const int64_t packed = (0 << 8) | 31;
+  ASSERT_TRUE(table->ScanIndexRange("range", packed, packed, [&](int64_t pk) {
+                    hits.push_back(pk);
+                    return true;
+                  })
+                  .ok());
+  EXPECT_EQ(hits, (std::vector<int64_t>{2}));
+}
+
+TEST(TableTest, IndexRejectsOutOfRangeValues) {
+  const std::string dir = TempDirFor("table_idx_oor");
+  auto table = Table::Open(dir, "t", TestSchema(), true).value();
+  IndexSpec spec;
+  spec.name = "by_kind";
+  spec.columns = {"KIND"};
+  spec.bits = {2};  // values must be < 4
+  ASSERT_TRUE(table->CreateIndex(spec).ok());
+  EXPECT_TRUE(table->Insert(MakeRow(1, "a", 9, {})).status().IsOutOfRange());
+}
+
+TEST(TableTest, PersistsAcrossReopen) {
+  const std::string dir = TempDirFor("table_persist");
+  {
+    auto table = Table::Open(dir, "t", TestSchema(), true).value();
+    for (int64_t i = 0; i < 50; ++i) {
+      ASSERT_TRUE(table->Insert(MakeRow(i, "row", i % 4, {9})).ok());
+    }
+    ASSERT_TRUE(table->Flush().ok());
+  }
+  {
+    auto table = Table::Open(dir, "t", TestSchema(), true).value();
+    EXPECT_EQ(table->Count().value(), 50u);
+    EXPECT_EQ(table->Get(49).value()[1].AsText(), "row");
+  }
+}
+
+TEST(TableTest, PackIndexValueValidation) {
+  const Schema schema = TestSchema();
+  IndexSpec too_wide;
+  too_wide.name = "x";
+  too_wide.columns = {"ID", "KIND"};
+  too_wide.bits = {30, 30};
+  EXPECT_FALSE(
+      Table::PackIndexValue(schema, too_wide, MakeRow(1, "", 1, {})).ok());
+  IndexSpec text_col;
+  text_col.name = "x";
+  text_col.columns = {"NAME"};
+  text_col.bits = {8};
+  EXPECT_FALSE(
+      Table::PackIndexValue(schema, text_col, MakeRow(1, "", 1, {})).ok());
+}
+
+}  // namespace
+}  // namespace vr

@@ -1,0 +1,125 @@
+#include "features/tamura_texture.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "imaging/draw.h"
+#include "util/rng.h"
+
+namespace vr {
+namespace {
+
+TEST(TamuraTest, Produces18Values) {
+  Image img(64, 64, 1);
+  Rng rng(1);
+  AddGaussianNoise(&img, 40.0, &rng);
+  TamuraTexture extractor;  // coarseness + contrast + 16 direction bins
+  Result<FeatureVector> fv = extractor.Extract(img);
+  ASSERT_TRUE(fv.ok());
+  EXPECT_EQ(fv->size(), 18u);
+  EXPECT_EQ(fv->type(), "tamura");
+}
+
+TEST(TamuraTest, CoarseTextureScoresCoarser) {
+  Image fine(64, 64, 1);
+  DrawCheckerboard(&fine, 2, {0, 0, 0}, {255, 255, 255});
+  Image coarse(64, 64, 1);
+  DrawCheckerboard(&coarse, 16, {0, 0, 0}, {255, 255, 255});
+  TamuraTexture extractor;
+  const double c_fine =
+      extractor.Extract(fine).value()[TamuraTexture::kCoarseness];
+  const double c_coarse =
+      extractor.Extract(coarse).value()[TamuraTexture::kCoarseness];
+  EXPECT_GT(c_coarse, c_fine);
+}
+
+TEST(TamuraTest, HighContrastImageScoresHigher) {
+  Image low(64, 64, 1);
+  DrawCheckerboard(&low, 8, {110, 110, 110}, {140, 140, 140});
+  Image high(64, 64, 1);
+  DrawCheckerboard(&high, 8, {10, 10, 10}, {245, 245, 245});
+  TamuraTexture extractor;
+  EXPECT_GT(extractor.Extract(high).value()[TamuraTexture::kContrast],
+            extractor.Extract(low).value()[TamuraTexture::kContrast]);
+}
+
+TEST(TamuraTest, FlatImageHasZeroContrast) {
+  Image img(32, 32, 1);
+  img.Fill({77, 77, 77});
+  TamuraTexture extractor;
+  EXPECT_DOUBLE_EQ(extractor.Extract(img).value()[TamuraTexture::kContrast],
+                   0.0);
+}
+
+TEST(TamuraTest, DirectionalityHistogramNormalized) {
+  Image img(64, 64, 1);
+  DrawStripes(&img, 6, 45.0, {0, 0, 0}, {255, 255, 255});
+  TamuraTexture extractor;
+  const FeatureVector fv = extractor.Extract(img).value();
+  double total = 0;
+  for (size_t i = TamuraTexture::kDirStart; i < fv.size(); ++i) {
+    EXPECT_GE(fv[i], 0.0);
+    total += fv[i];
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(TamuraTest, StripesConcentrateDirectionality) {
+  // Oriented stripes put most gradient mass in few bins; noise spreads it.
+  Image stripes(64, 64, 1);
+  DrawStripes(&stripes, 6, 0.0, {0, 0, 0}, {255, 255, 255});
+  Image noise(64, 64, 1);
+  Rng rng(2);
+  AddGaussianNoise(&noise, 70.0, &rng);
+  TamuraTexture extractor;
+  auto peak = [](const FeatureVector& fv) {
+    double mx = 0;
+    for (size_t i = TamuraTexture::kDirStart; i < fv.size(); ++i) {
+      mx = std::max(mx, fv[i]);
+    }
+    return mx;
+  };
+  EXPECT_GT(peak(extractor.Extract(stripes).value()),
+            peak(extractor.Extract(noise).value()));
+}
+
+TEST(TamuraTest, DistanceZeroOnSelf) {
+  Image img(48, 48, 1);
+  Rng rng(3);
+  AddGaussianNoise(&img, 30.0, &rng);
+  TamuraTexture extractor;
+  const FeatureVector fv = extractor.Extract(img).value();
+  EXPECT_DOUBLE_EQ(extractor.Distance(fv, fv), 0.0);
+}
+
+TEST(TamuraTest, DistanceSeparatesCoarseness) {
+  Image fine(64, 64, 1);
+  DrawCheckerboard(&fine, 2, {0, 0, 0}, {255, 255, 255});
+  Image fine2(64, 64, 1);
+  DrawCheckerboard(&fine2, 3, {10, 10, 10}, {245, 245, 245});
+  Image coarse(64, 64, 1);
+  DrawCheckerboard(&coarse, 20, {0, 0, 0}, {255, 255, 255});
+  TamuraTexture extractor;
+  const FeatureVector f1 = extractor.Extract(fine).value();
+  const FeatureVector f2 = extractor.Extract(fine2).value();
+  const FeatureVector f3 = extractor.Extract(coarse).value();
+  EXPECT_LT(extractor.Distance(f1, f2), extractor.Distance(f1, f3));
+}
+
+TEST(TamuraTest, LargeImagesAreDownscaled) {
+  Image img(600, 400, 3);
+  FillVerticalGradient(&img, {0, 0, 0}, {255, 255, 255});
+  TamuraTexture extractor;
+  Result<FeatureVector> fv = extractor.Extract(img);
+  ASSERT_TRUE(fv.ok());
+  for (double v : fv->values()) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(TamuraTest, RejectsEmptyImage) {
+  TamuraTexture extractor;
+  EXPECT_FALSE(extractor.Extract(Image()).ok());
+}
+
+}  // namespace
+}  // namespace vr

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "storage/schema.h"
+#include "storage/value.h"
+
+namespace vr {
+namespace {
+
+TEST(ValueTest, TypePredicates) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_TRUE(Value(int64_t{5}).is_int64());
+  EXPECT_TRUE(Value(2.5).is_double());
+  EXPECT_TRUE(Value("hi").is_text());
+  EXPECT_TRUE(Value::Blob({1, 2}).is_blob());
+}
+
+TEST(ValueTest, Accessors) {
+  EXPECT_EQ(Value(int64_t{-9}).AsInt64(), -9);
+  EXPECT_DOUBLE_EQ(Value(1.25).AsDouble(), 1.25);
+  EXPECT_EQ(Value("abc").AsText(), "abc");
+  EXPECT_EQ(Value::Blob({7, 8}).AsBlob(), (std::vector<uint8_t>{7, 8}));
+}
+
+TEST(ValueTest, MatchesAllowsNullAnywhere) {
+  EXPECT_TRUE(Value().Matches(ColumnType::kInt64));
+  EXPECT_TRUE(Value().Matches(ColumnType::kBlob));
+  EXPECT_TRUE(Value(int64_t{1}).Matches(ColumnType::kInt64));
+  EXPECT_FALSE(Value(int64_t{1}).Matches(ColumnType::kText));
+  EXPECT_FALSE(Value("x").Matches(ColumnType::kBlob));
+}
+
+TEST(ValueTest, ToStringForms) {
+  EXPECT_EQ(Value().ToString(), "NULL");
+  EXPECT_EQ(Value(int64_t{3}).ToString(), "3");
+  EXPECT_EQ(Value("t").ToString(), "'t'");
+  EXPECT_EQ(Value::Blob({1, 2, 3}).ToString(), "<blob 3 bytes>");
+}
+
+TEST(ValueTest, ColumnTypeNamesRoundTrip) {
+  for (ColumnType t : {ColumnType::kInt64, ColumnType::kDouble,
+                       ColumnType::kText, ColumnType::kBlob}) {
+    Result<ColumnType> back = ColumnTypeFromName(ColumnTypeName(t));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, t);
+  }
+  EXPECT_FALSE(ColumnTypeFromName("VARCHAR2").ok());
+}
+
+Schema TestSchema() {
+  return Schema::Create(
+             {
+                 {"ID", ColumnType::kInt64, false},
+                 {"NAME", ColumnType::kText, true},
+                 {"SCORE", ColumnType::kDouble, true},
+                 {"DATA", ColumnType::kBlob, true},
+             },
+             "ID")
+      .value();
+}
+
+TEST(SchemaTest, CreateSetsPrimaryKey) {
+  const Schema s = TestSchema();
+  EXPECT_EQ(s.num_columns(), 4u);
+  EXPECT_EQ(s.primary_key_index(), 0u);
+  EXPECT_EQ(s.primary_key().name, "ID");
+  EXPECT_FALSE(s.primary_key().nullable);  // forced non-null
+}
+
+TEST(SchemaTest, CreateRejectsBadSpecs) {
+  EXPECT_FALSE(Schema::Create({}, "ID").ok());
+  EXPECT_FALSE(
+      Schema::Create({{"A", ColumnType::kInt64, false}}, "MISSING").ok());
+  EXPECT_FALSE(
+      Schema::Create({{"A", ColumnType::kText, false}}, "A").ok());  // non-int pk
+  EXPECT_FALSE(Schema::Create({{"A", ColumnType::kInt64, false},
+                               {"A", ColumnType::kInt64, false}},
+                              "A")
+                   .ok());  // duplicate names
+}
+
+TEST(SchemaTest, ColumnIndexLookup) {
+  const Schema s = TestSchema();
+  EXPECT_EQ(s.ColumnIndex("SCORE").value(), 2u);
+  EXPECT_TRUE(s.ColumnIndex("NOPE").status().IsNotFound());
+}
+
+TEST(SchemaTest, ValidateRowChecksArityTypesNulls) {
+  const Schema s = TestSchema();
+  EXPECT_TRUE(s.ValidateRow({Value(int64_t{1}), Value("a"), Value(0.5),
+                             Value::Blob({1})})
+                  .ok());
+  // Wrong arity.
+  EXPECT_FALSE(s.ValidateRow({Value(int64_t{1})}).ok());
+  // Wrong type.
+  EXPECT_FALSE(s.ValidateRow({Value("one"), Value("a"), Value(0.5),
+                              Value::Blob({})})
+                   .ok());
+  // NULL pk.
+  EXPECT_FALSE(
+      s.ValidateRow({Value(), Value("a"), Value(0.5), Value::Blob({})}).ok());
+  // NULLs allowed elsewhere.
+  EXPECT_TRUE(
+      s.ValidateRow({Value(int64_t{1}), Value(), Value(), Value()}).ok());
+}
+
+TEST(SchemaTest, SerializeParseRoundTrip) {
+  const Schema s = TestSchema();
+  Result<Schema> back = Schema::Parse(s.Serialize());
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(*back, s);
+}
+
+TEST(SchemaTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(Schema::Parse("").ok());
+  EXPECT_FALSE(Schema::Parse("A:INT64:1").ok());          // no pk part
+  EXPECT_FALSE(Schema::Parse("A:WHAT:1|0").ok());          // bad type
+  EXPECT_FALSE(Schema::Parse("A:INT64:1|5").ok());         // pk out of range
+}
+
+}  // namespace
+}  // namespace vr

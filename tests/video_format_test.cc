@@ -1,0 +1,99 @@
+#include "video/video_format.h"
+
+#include <gtest/gtest.h>
+
+#include "util/hash.h"
+#include "util/rng.h"
+
+namespace vr {
+namespace {
+
+std::vector<uint8_t> RandomBytes(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint8_t> out(n);
+  for (auto& b : out) b = static_cast<uint8_t>(rng.UniformInt(0, 255));
+  return out;
+}
+
+TEST(PackBitsTest, RoundTripRuns) {
+  std::vector<uint8_t> input(1000, 42);
+  const auto encoded = PackBitsEncode(input);
+  EXPECT_LT(encoded.size(), input.size() / 10);
+  const auto decoded = PackBitsDecode(encoded, input.size());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, input);
+}
+
+TEST(PackBitsTest, RoundTripRandom) {
+  const auto input = RandomBytes(4096, 77);
+  const auto encoded = PackBitsEncode(input);
+  const auto decoded = PackBitsDecode(encoded, input.size());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, input);
+}
+
+TEST(PackBitsTest, RoundTripMixed) {
+  std::vector<uint8_t> input;
+  Rng rng(5);
+  for (int block = 0; block < 50; ++block) {
+    if (rng.Bernoulli(0.5)) {
+      input.insert(input.end(), static_cast<size_t>(rng.UniformInt(1, 300)),
+                   static_cast<uint8_t>(rng.UniformInt(0, 255)));
+    } else {
+      const auto rnd =
+          RandomBytes(static_cast<size_t>(rng.UniformInt(1, 100)), rng.Next());
+      input.insert(input.end(), rnd.begin(), rnd.end());
+    }
+  }
+  const auto decoded = PackBitsDecode(PackBitsEncode(input), input.size());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, input);
+}
+
+TEST(PackBitsTest, EmptyInput) {
+  const auto encoded = PackBitsEncode({});
+  EXPECT_TRUE(encoded.empty());
+  const auto decoded = PackBitsDecode(encoded, 0);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(PackBitsTest, DetectsTruncation) {
+  std::vector<uint8_t> input(100, 9);
+  auto encoded = PackBitsEncode(input);
+  encoded.pop_back();
+  EXPECT_FALSE(PackBitsDecode(encoded, input.size()).ok());
+}
+
+TEST(PackBitsTest, DetectsWrongExpectedSize) {
+  std::vector<uint8_t> input(100, 9);
+  const auto encoded = PackBitsEncode(input);
+  EXPECT_FALSE(PackBitsDecode(encoded, 99).ok());
+  EXPECT_FALSE(PackBitsDecode(encoded, 101).ok());
+}
+
+TEST(DeltaTest, RoundTrip) {
+  const auto prev = RandomBytes(512, 1);
+  const auto cur = RandomBytes(512, 2);
+  const auto delta = DeltaEncode(cur, prev);
+  EXPECT_EQ(DeltaDecode(delta, prev), cur);
+}
+
+TEST(DeltaTest, IdenticalFramesGiveZeroDelta) {
+  const auto frame = RandomBytes(256, 3);
+  const auto delta = DeltaEncode(frame, frame);
+  for (uint8_t b : delta) EXPECT_EQ(b, 0);
+  // And zero deltas compress extremely well.
+  EXPECT_LT(PackBitsEncode(delta).size(), 8u);
+}
+
+TEST(Fnv1aTest, KnownProperties) {
+  const uint8_t data[] = {1, 2, 3};
+  EXPECT_EQ(Fnv1a64(data, 3), Fnv1a64(data, 3));
+  const uint8_t data2[] = {1, 2, 4};
+  EXPECT_NE(Fnv1a64(data, 3), Fnv1a64(data2, 3));
+  EXPECT_EQ(Fnv1a64(nullptr, 0), 0xCBF29CE484222325ULL);
+}
+
+}  // namespace
+}  // namespace vr

@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+
+#include "imaging/draw.h"
+#include "util/rng.h"
+#include "video/video_reader.h"
+#include "video/video_writer.h"
+
+namespace vr {
+namespace {
+
+std::vector<Image> MakeFrames(int n, int w, int h, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Image> frames;
+  Image frame(w, h, 3);
+  frame.Fill({30, 60, 90});
+  for (int i = 0; i < n; ++i) {
+    // Small incremental changes so delta coding gets exercised.
+    FillRect(&frame, static_cast<int>(rng.UniformInt(0, w - 4)),
+             static_cast<int>(rng.UniformInt(0, h - 4)), 4, 4,
+             {static_cast<uint8_t>(rng.UniformInt(0, 255)),
+              static_cast<uint8_t>(rng.UniformInt(0, 255)),
+              static_cast<uint8_t>(rng.UniformInt(0, 255))});
+    frames.push_back(frame);
+  }
+  return frames;
+}
+
+std::string TempVideoPath(const char* name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(VideoIoTest, WriteReadRoundTrip) {
+  const auto frames = MakeFrames(12, 32, 24, 9);
+  const std::string path = TempVideoPath("roundtrip.vsv");
+  VideoWriter writer;
+  ASSERT_TRUE(writer.Open(path, 32, 24, 3, 10).ok());
+  for (const Image& f : frames) {
+    ASSERT_TRUE(writer.Append(f).ok());
+  }
+  ASSERT_TRUE(writer.Finish().ok());
+  EXPECT_EQ(writer.frames_written(), 12u);
+
+  VideoReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+  EXPECT_EQ(reader.header().width, 32);
+  EXPECT_EQ(reader.header().height, 24);
+  EXPECT_EQ(reader.header().fps, 10);
+  EXPECT_EQ(reader.frame_count(), 12u);
+  Result<std::vector<Image>> all = reader.ReadAll();
+  ASSERT_TRUE(all.ok()) << all.status();
+  ASSERT_EQ(all->size(), frames.size());
+  for (size_t i = 0; i < frames.size(); ++i) {
+    EXPECT_EQ((*all)[i], frames[i]) << "frame " << i;
+  }
+}
+
+TEST(VideoIoTest, RandomAccessMatchesSequential) {
+  const auto frames = MakeFrames(20, 16, 16, 10);
+  const std::string path = TempVideoPath("random_access.vsv");
+  VideoWriter writer;
+  ASSERT_TRUE(writer.Open(path, 16, 16, 3, 5).ok());
+  for (const Image& f : frames) ASSERT_TRUE(writer.Append(f).ok());
+  ASSERT_TRUE(writer.Finish().ok());
+
+  VideoReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+  for (uint64_t i : {0ull, 5ull, 19ull, 7ull, 0ull, 12ull}) {
+    Result<Image> frame = reader.ReadFrame(i);
+    ASSERT_TRUE(frame.ok()) << frame.status() << " at " << i;
+    EXPECT_EQ(*frame, frames[i]) << "frame " << i;
+  }
+}
+
+TEST(VideoIoTest, NextReturnsOutOfRangeAtEnd) {
+  const auto frames = MakeFrames(3, 8, 8, 11);
+  const std::string path = TempVideoPath("eof.vsv");
+  VideoWriter writer;
+  ASSERT_TRUE(writer.Open(path, 8, 8, 3, 5).ok());
+  for (const Image& f : frames) ASSERT_TRUE(writer.Append(f).ok());
+  ASSERT_TRUE(writer.Finish().ok());
+
+  VideoReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(reader.Next().ok());
+  }
+  EXPECT_TRUE(reader.Next().status().IsOutOfRange());
+  ASSERT_TRUE(reader.Rewind().ok());
+  EXPECT_TRUE(reader.Next().ok());
+}
+
+TEST(VideoIoTest, RejectsWrongFrameSize) {
+  const std::string path = TempVideoPath("wrong_size.vsv");
+  VideoWriter writer;
+  ASSERT_TRUE(writer.Open(path, 16, 16, 3, 5).ok());
+  Image wrong(8, 8, 3);
+  EXPECT_TRUE(writer.Append(wrong).IsInvalidArgument());
+}
+
+TEST(VideoIoTest, RejectsBadParameters) {
+  VideoWriter writer;
+  EXPECT_FALSE(writer.Open(TempVideoPath("bad.vsv"), 0, 16, 3, 5).ok());
+  VideoWriter writer2;
+  EXPECT_FALSE(writer2.Open(TempVideoPath("bad.vsv"), 16, 16, 2, 5).ok());
+}
+
+TEST(VideoIoTest, DetectsMissingFooter) {
+  const std::string path = TempVideoPath("nofooter.vsv");
+  {
+    VideoWriter writer;
+    ASSERT_TRUE(writer.Open(path, 8, 8, 3, 5).ok());
+    Image f(8, 8, 3);
+    ASSERT_TRUE(writer.Append(f).ok());
+    // Destructor calls Finish(); simulate a crash by truncating after.
+  }
+  // Truncate the footer off.
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  ASSERT_EQ(ftruncate(fileno(f), size - 6), 0);
+  std::fclose(f);
+
+  VideoReader reader;
+  EXPECT_TRUE(reader.Open(path).IsCorruption());
+}
+
+TEST(VideoIoTest, DetectsCorruptedFrame) {
+  const auto frames = MakeFrames(4, 16, 16, 12);
+  const std::string path = TempVideoPath("corrupt.vsv");
+  VideoWriter writer;
+  ASSERT_TRUE(writer.Open(path, 16, 16, 3, 5).ok());
+  for (const Image& fr : frames) ASSERT_TRUE(writer.Append(fr).ok());
+  ASSERT_TRUE(writer.Finish().ok());
+
+  // Flip bytes in the middle of the file (frame payload area).
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 200, SEEK_SET);
+  const uint8_t garbage[16] = {0xFF, 0xAA, 0x55, 0x00, 0xFF, 0xAA, 0x55, 0x00,
+                               0xFF, 0xAA, 0x55, 0x00, 0xFF, 0xAA, 0x55, 0x00};
+  std::fwrite(garbage, 1, sizeof(garbage), f);
+  std::fclose(f);
+
+  VideoReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+  bool failed = false;
+  for (uint64_t i = 0; i < reader.frame_count(); ++i) {
+    if (!reader.Next().ok()) {
+      failed = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(failed);
+}
+
+TEST(VideoIoTest, CompressionBeatsRawOnRedundantVideo) {
+  // Static scene: delta frames should compress to almost nothing.
+  std::vector<Image> frames(10, Image(64, 64, 3));
+  frames[0].Fill({100, 100, 100});
+  for (size_t i = 1; i < frames.size(); ++i) frames[i] = frames[0];
+  const std::string path = TempVideoPath("static.vsv");
+  VideoWriter writer;
+  ASSERT_TRUE(writer.Open(path, 64, 64, 3, 5).ok());
+  for (const Image& f : frames) ASSERT_TRUE(writer.Append(f).ok());
+  ASSERT_TRUE(writer.Finish().ok());
+  const uint64_t raw_bytes = 10ull * 64 * 64 * 3;
+  EXPECT_LT(writer.payload_bytes(), raw_bytes / 20);
+}
+
+TEST(VideoIoTest, ReadFrameOutOfRange) {
+  const auto frames = MakeFrames(2, 8, 8, 13);
+  const std::string path = TempVideoPath("range.vsv");
+  VideoWriter writer;
+  ASSERT_TRUE(writer.Open(path, 8, 8, 3, 5).ok());
+  for (const Image& f : frames) ASSERT_TRUE(writer.Append(f).ok());
+  ASSERT_TRUE(writer.Finish().ok());
+  VideoReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+  EXPECT_TRUE(reader.ReadFrame(2).status().IsOutOfRange());
+}
+
+}  // namespace
+}  // namespace vr

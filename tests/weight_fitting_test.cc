@@ -1,0 +1,120 @@
+#include "eval/weight_fitting.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/table1_runner.h"
+
+namespace vr {
+namespace {
+
+std::string FreshDir(const char* name) {
+  const std::string dir = testing::TempDir() + "/" + name;
+  RemoveDirRecursive(dir);
+  return dir;
+}
+
+struct Fixture {
+  std::unique_ptr<RetrievalEngine> engine;
+  CorpusInfo corpus;
+};
+
+Fixture BuildSmallFixture(const char* name) {
+  EngineOptions options;
+  options.enabled_features = {FeatureKind::kColorHistogram,
+                              FeatureKind::kGlcm,
+                              FeatureKind::kNaiveSignature};
+  options.store_video_blob = false;
+  Fixture f;
+  f.engine = RetrievalEngine::Open(FreshDir(name), options).value();
+  CorpusSpec spec;
+  spec.videos_per_category = 2;
+  spec.width = 64;
+  spec.height = 48;
+  spec.scenes_per_video = 2;
+  spec.frames_per_scene = 6;
+  spec.seed = 11;
+  f.corpus = BuildCorpus(f.engine.get(), spec).value();
+  return f;
+}
+
+TEST(WeightFittingTest, ProducesWeightsForEnabledFeatures) {
+  Fixture f = BuildSmallFixture("wf_basic");
+  WeightFitOptions options;
+  options.train_queries_per_category = 1;
+  options.iterations = 1;
+  options.candidate_weights = {0.0, 1.0, 2.0};
+  options.cutoff = 10;
+  Result<FittedWeights> fitted =
+      FitWeights(f.engine.get(), f.corpus, options);
+  ASSERT_TRUE(fitted.ok()) << fitted.status();
+  EXPECT_EQ(fitted->weights.size(), 3u);
+  for (const auto& [kind, w] : fitted->weights) {
+    EXPECT_GE(w, 0.0);
+  }
+  EXPECT_GE(fitted->train_precision, 0.0);
+  EXPECT_LE(fitted->train_precision, 1.0);
+}
+
+TEST(WeightFittingTest, FittingNeverHurtsTrainingPrecision) {
+  Fixture f = BuildSmallFixture("wf_monotone");
+  WeightFitOptions options;
+  options.train_queries_per_category = 2;
+  options.iterations = 1;
+  options.cutoff = 10;
+  // Baseline: equal weights (the starting point of the ascent).
+  WeightFitOptions no_ascent = options;
+  no_ascent.iterations = 0;
+  const double baseline =
+      FitWeights(f.engine.get(), f.corpus, no_ascent).value().train_precision;
+  const double fitted =
+      FitWeights(f.engine.get(), f.corpus, options).value().train_precision;
+  EXPECT_GE(fitted, baseline - 1e-12);
+}
+
+TEST(WeightFittingTest, ApplyWeightsInstallsIntoScorer) {
+  Fixture f = BuildSmallFixture("wf_apply");
+  FittedWeights fitted;
+  fitted.weights[FeatureKind::kColorHistogram] = 3.5;
+  fitted.weights[FeatureKind::kGlcm] = 0.25;
+  ApplyWeights(f.engine.get(), fitted);
+  EXPECT_DOUBLE_EQ(
+      f.engine->scorer()->GetWeight(FeatureKind::kColorHistogram), 3.5);
+  EXPECT_DOUBLE_EQ(f.engine->scorer()->GetWeight(FeatureKind::kGlcm), 0.25);
+}
+
+TEST(WeightFittingTest, DeterministicForSameSeed) {
+  Fixture f = BuildSmallFixture("wf_det");
+  WeightFitOptions options;
+  options.train_queries_per_category = 1;
+  options.iterations = 1;
+  options.candidate_weights = {0.0, 0.5, 1.0, 2.0};
+  options.cutoff = 10;
+  options.seed = 99;
+  const FittedWeights a = FitWeights(f.engine.get(), f.corpus, options).value();
+  const FittedWeights b = FitWeights(f.engine.get(), f.corpus, options).value();
+  EXPECT_EQ(a.weights, b.weights);
+  EXPECT_DOUBLE_EQ(a.train_precision, b.train_precision);
+}
+
+TEST(WeightFittingTest, Table1RunnerIntegratesFitting) {
+  Table1Options options;
+  options.db_dir = FreshDir("wf_table1");
+  options.corpus.videos_per_category = 1;
+  options.corpus.width = 64;
+  options.corpus.height = 48;
+  options.corpus.scenes_per_video = 2;
+  options.corpus.frames_per_scene = 5;
+  options.study.queries_per_category = 1;
+  options.study.cutoffs = {5};
+  options.fit_weights = true;
+  options.fit.train_queries_per_category = 1;
+  options.fit.iterations = 1;
+  options.fit.candidate_weights = {0.5, 1.0, 2.0};
+  options.fit.cutoff = 5;
+  Result<Table1Result> result = RunTable1(options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_FALSE(result->fitted_weights.empty());
+}
+
+}  // namespace
+}  // namespace vr
