@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Builds the tree with AddressSanitizer + UBSan and runs the full test
+# suite under them. Any sanitizer report fails the run.
+#
+# Usage: scripts/check_sanitizers.sh [build-dir] [ctest-args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-asan}"
+shift || true
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DVR_SANITIZE=address,undefined
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+# halt_on_error turns every UBSan diagnostic into a test failure instead
+# of a log line; detect_leaks covers the Env/pager ownership paths.
+export ASAN_OPTIONS="detect_leaks=1:abort_on_error=1"
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+
+ctest --test-dir "$BUILD_DIR" --output-on-failure "$@"
+echo "sanitizer run clean"

@@ -18,7 +18,11 @@ Result<std::unique_ptr<RetrievalEngine>> RetrievalEngine::Open(
   for (FeatureKind kind : options.enabled_features) {
     engine->extractors_[static_cast<size_t>(kind)] = MakeExtractor(kind);
   }
-  VR_ASSIGN_OR_RETURN(engine->store_, VideoStore::Open(dir));
+  DatabaseOptions db_options;
+  db_options.create_if_missing = true;
+  db_options.paranoid = options.paranoid;
+  db_options.env = options.env;
+  VR_ASSIGN_OR_RETURN(engine->store_, VideoStore::Open(dir, db_options));
   VR_RETURN_NOT_OK(engine->WarmCache());
   return engine;
 }
@@ -27,7 +31,8 @@ Status RetrievalEngine::WarmCache() {
   cache_.clear();
   cache_by_id_.clear();
   Status inner = Status::OK();
-  VR_RETURN_NOT_OK(store_->ScanKeyFrames([&](const KeyFrameRecord& record) {
+  const Status scanned =
+      store_->ScanKeyFrames([&](const KeyFrameRecord& record) {
     CachedKeyFrame cached;
     cached.i_id = record.i_id;
     cached.v_id = record.v_id;
@@ -38,7 +43,17 @@ Status RetrievalEngine::WarmCache() {
     cache_by_id_.emplace(record.i_id, cache_.size());
     cache_.push_back(std::move(cached));
     return true;
-  }));
+  });
+  if (!scanned.ok()) {
+    // A quarantined KEY_FRAMES table (degraded open) leaves the cache
+    // cold but the engine alive: metadata queries against VIDEO_STORE
+    // still work, and DamageReport() explains the rest.
+    if (scanned.IsCorruption() && !options_.paranoid) {
+      VR_LOG(Warn) << "retrieval cache not warmed: " << scanned.ToString();
+      return Status::OK();
+    }
+    return scanned;
+  }
   VR_RETURN_NOT_OK(inner);
   if (!cache_.empty()) {
     VR_LOG(Info) << "warmed retrieval cache with " << cache_.size()

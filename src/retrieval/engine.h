@@ -51,6 +51,12 @@ struct EngineOptions {
   enum class KeyFrameFormat { kPnm, kVjf } key_frame_format = KeyFrameFormat::kPnm;
   /// Quality for KeyFrameFormat::kVjf.
   int key_frame_quality = 85;
+  /// When false, a damaged table is quarantined at open instead of
+  /// failing it; the engine serves whatever is healthy (see
+  /// DamageReport()). Mirrors DatabaseOptions::paranoid.
+  bool paranoid = true;
+  /// Filesystem abstraction for all storage I/O (Env::Default() if null).
+  Env* env = nullptr;
 };
 
 /// Extracted features keyed by family.
@@ -118,6 +124,11 @@ class RetrievalEngine {
 
   VideoStore* store() { return store_.get(); }
   const EngineOptions& options() const { return options_; }
+
+  /// Tables quarantined by a degraded (paranoid = false) open.
+  const std::vector<TableDamage>& DamageReport() const {
+    return store_->DamageReport();
+  }
 
   /// Number of key frames currently indexed.
   size_t indexed_key_frames() const { return cache_.size(); }

@@ -25,7 +25,7 @@ Result<BlobRef> BlobStore::Put(const std::vector<uint8_t>& bytes) {
                         pager_->Fetch(ref.first_page));
     page->set_next_page(kInvalidPageId);
     page->WriteAt<uint32_t>(8, 0);
-    pager_->MarkDirty(ref.first_page);
+    VR_RETURN_NOT_OK(pager_->MarkDirty(ref.first_page));
     return ref;
   }
 
@@ -39,13 +39,13 @@ Result<BlobRef> BlobStore::Put(const std::vector<uint8_t>& bytes) {
     page->set_next_page(kInvalidPageId);
     page->WriteAt<uint32_t>(8, chunk);
     std::memcpy(page->data() + kBlobHeader, bytes.data() + offset, chunk);
-    pager_->MarkDirty(page_id);
+    VR_RETURN_NOT_OK(pager_->MarkDirty(page_id));
     if (prev_id == kInvalidPageId) {
       ref.first_page = page_id;
     } else {
       VR_ASSIGN_OR_RETURN(std::shared_ptr<Page> prev, pager_->Fetch(prev_id));
       prev->set_next_page(page_id);
-      pager_->MarkDirty(prev_id);
+      VR_RETURN_NOT_OK(pager_->MarkDirty(prev_id));
     }
     prev_id = page_id;
     offset += chunk;

@@ -111,7 +111,7 @@ Result<std::unique_ptr<BPlusTree>> BPlusTree::Open(Pager* pager) {
                         pager->Fetch(tree->root_));
     page->set_next_page(kInvalidPageId);
     SetNodeCount(page.get(), 0);
-    pager->MarkDirty(tree->root_);
+    VR_RETURN_NOT_OK(pager->MarkDirty(tree->root_));
     pager->set_user_root(tree->root_);
   }
   return tree;
@@ -154,14 +154,14 @@ Status BPlusTree::InsertIntoLeaf(uint32_t leaf_id, int64_t key, const Rid& rid,
           "duplicate key %lld", static_cast<long long>(key)));
     }
     SetLeafEntry(leaf.get(), pos, key, rid);
-    pager_->MarkDirty(leaf_id);
+    VR_RETURN_NOT_OK(pager_->MarkDirty(leaf_id));
     return Status::OK();
   }
   if (n < kLeafCapacity) {
     MoveLeafEntries(leaf.get(), pos + 1, *leaf, pos, n - pos);
     SetLeafEntry(leaf.get(), pos, key, rid);
     SetNodeCount(leaf.get(), static_cast<uint16_t>(n + 1));
-    pager_->MarkDirty(leaf_id);
+    VR_RETURN_NOT_OK(pager_->MarkDirty(leaf_id));
     return Status::OK();
   }
 
@@ -191,8 +191,8 @@ Status BPlusTree::InsertIntoLeaf(uint32_t leaf_id, int64_t key, const Rid& rid,
     SetLeafEntry(right.get(), p, key, rid);
     SetNodeCount(right.get(), static_cast<uint16_t>(rn + 1));
   }
-  pager_->MarkDirty(leaf_id);
-  pager_->MarkDirty(new_id);
+  VR_RETURN_NOT_OK(pager_->MarkDirty(leaf_id));
+  VR_RETURN_NOT_OK(pager_->MarkDirty(new_id));
   *split = SplitResult{LeafKey(*right, 0), new_id};
   return Status::OK();
 }
@@ -210,7 +210,7 @@ Status BPlusTree::InsertIntoParents(std::vector<uint32_t>* path,
       SetInternalChild(root_page.get(), 0, root_);
       SetInternalKey(root_page.get(), 0, split.separator);
       SetInternalChild(root_page.get(), 1, split.new_page);
-      pager_->MarkDirty(new_root);
+      VR_RETURN_NOT_OK(pager_->MarkDirty(new_root));
       root_ = new_root;
       pager_->set_user_root(root_);
       return Status::OK();
@@ -230,7 +230,7 @@ Status BPlusTree::InsertIntoParents(std::vector<uint32_t>* path,
       SetInternalKey(parent.get(), pos, split.separator);
       SetInternalChild(parent.get(), pos + 1, split.new_page);
       SetNodeCount(parent.get(), static_cast<uint16_t>(n + 1));
-      pager_->MarkDirty(parent_id);
+      VR_RETURN_NOT_OK(pager_->MarkDirty(parent_id));
       return Status::OK();
     }
 
@@ -271,8 +271,8 @@ Status BPlusTree::InsertIntoParents(std::vector<uint32_t>* path,
     for (uint32_t i = 0; i <= right_n; ++i) {
       SetInternalChild(right.get(), i, children[mid + 1 + i]);
     }
-    pager_->MarkDirty(parent_id);
-    pager_->MarkDirty(new_id);
+    VR_RETURN_NOT_OK(pager_->MarkDirty(parent_id));
+    VR_RETURN_NOT_OK(pager_->MarkDirty(new_id));
     split = SplitResult{up_key, new_id};
   }
 }
@@ -312,7 +312,7 @@ Status BPlusTree::Delete(int64_t key) {
   }
   MoveLeafEntries(leaf.get(), pos, *leaf, pos + 1, n - pos - 1);
   SetNodeCount(leaf.get(), static_cast<uint16_t>(n - 1));
-  pager_->MarkDirty(leaf_id);
+  VR_RETURN_NOT_OK(pager_->MarkDirty(leaf_id));
   return Status::OK();
 }
 

@@ -1,17 +1,17 @@
 #include "storage/catalog.h"
 
-#include <cstdio>
-#include <fstream>
 #include <sstream>
 
 #include "util/string_util.h"
 
 namespace vr {
 
-Result<Catalog> Catalog::Load(const std::string& path) {
+Result<Catalog> Catalog::Load(const std::string& path, Env* env) {
+  if (env == nullptr) env = Env::Default();
   Catalog catalog;
-  std::ifstream f(path);
-  if (!f) return catalog;  // fresh database
+  if (!env->FileExists(path)) return catalog;  // fresh database
+  VR_ASSIGN_OR_RETURN(std::string contents, env->ReadFileToString(path));
+  std::istringstream f(contents);
   std::string line;
   while (std::getline(f, line)) {
     const std::string_view trimmed = Trim(line);
@@ -40,24 +40,17 @@ Result<Catalog> Catalog::Load(const std::string& path) {
   return catalog;
 }
 
-Status Catalog::Save(const std::string& path) const {
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream f(tmp, std::ios::trunc);
-    if (!f) return Status::IOError("cannot write catalog: " + tmp);
-    f << "# vretrieve catalog\n";
-    for (const TableDef& t : tables_) {
-      f << "TABLE " << t.name << " " << t.schema.Serialize() << "\n";
-      for (const IndexSpec& idx : t.indexes) {
-        f << "INDEX " << t.name << " " << idx.Serialize() << "\n";
-      }
+Status Catalog::Save(const std::string& path, Env* env) const {
+  if (env == nullptr) env = Env::Default();
+  std::ostringstream f;
+  f << "# vretrieve catalog\n";
+  for (const TableDef& t : tables_) {
+    f << "TABLE " << t.name << " " << t.schema.Serialize() << "\n";
+    for (const IndexSpec& idx : t.indexes) {
+      f << "INDEX " << t.name << " " << idx.Serialize() << "\n";
     }
-    if (!f) return Status::IOError("short catalog write");
   }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    return Status::IOError("cannot rename catalog into place");
-  }
-  return Status::OK();
+  return env->WriteFileAtomic(path, f.str());
 }
 
 Status Catalog::AddTable(const std::string& name, const Schema& schema) {

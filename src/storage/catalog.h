@@ -12,6 +12,7 @@
 
 #include "storage/schema.h"
 #include "storage/table.h"
+#include "util/env.h"
 
 namespace vr {
 
@@ -24,11 +25,12 @@ class Catalog {
     std::vector<IndexSpec> indexes;
   };
 
-  /// Loads the catalog file; a missing file yields an empty catalog.
-  static Result<Catalog> Load(const std::string& path);
+  /// Loads the catalog file via \p env (Env::Default() when null); a
+  /// missing file yields an empty catalog.
+  static Result<Catalog> Load(const std::string& path, Env* env = nullptr);
 
-  /// Writes the catalog file atomically (write temp + rename).
-  Status Save(const std::string& path) const;
+  /// Writes the catalog file atomically (write temp + sync + rename).
+  Status Save(const std::string& path, Env* env = nullptr) const;
 
   /// Registers a table; AlreadyExists when the name is taken.
   Status AddTable(const std::string& name, const Schema& schema);

@@ -1,30 +1,8 @@
 #include "storage/database.h"
 
-#include <sys/stat.h>
-#include <sys/types.h>
-
 #include "util/logging.h"
 
 namespace vr {
-
-namespace {
-
-Status EnsureDirectory(const std::string& dir, bool create) {
-  struct stat st {};
-  if (stat(dir.c_str(), &st) == 0) {
-    if (!S_ISDIR(st.st_mode)) {
-      return Status::InvalidArgument(dir + " exists and is not a directory");
-    }
-    return Status::OK();
-  }
-  if (!create) return Status::NotFound("no such database: " + dir);
-  if (mkdir(dir.c_str(), 0755) != 0) {
-    return Status::IOError("cannot create database directory: " + dir);
-  }
-  return Status::OK();
-}
-
-}  // namespace
 
 Database::~Database() {
   if (!closed_) {
@@ -38,28 +16,87 @@ Database::~Database() {
 
 Result<std::unique_ptr<Database>> Database::Open(const std::string& dir,
                                                  bool create_if_missing) {
-  VR_RETURN_NOT_OK(EnsureDirectory(dir, create_if_missing));
+  DatabaseOptions options;
+  options.create_if_missing = create_if_missing;
+  return Open(dir, options);
+}
+
+Result<std::unique_ptr<Database>> Database::Open(
+    const std::string& dir, const DatabaseOptions& options) {
+  Env* env = options.env != nullptr ? options.env : Env::Default();
+  if (!env->FileExists(dir)) {
+    if (!options.create_if_missing) {
+      return Status::NotFound("no such database: " + dir);
+    }
+    VR_RETURN_NOT_OK(env->CreateDirIfMissing(dir));
+  }
   auto db = std::unique_ptr<Database>(new Database(dir));
-  VR_ASSIGN_OR_RETURN(db->catalog_, Catalog::Load(dir + "/catalog.vcat"));
-  VR_ASSIGN_OR_RETURN(db->wal_, Wal::Open(dir + "/journal.wal"));
+  db->env_ = env;
+  db->paranoid_ = options.paranoid;
+  VR_ASSIGN_OR_RETURN(db->catalog_, Catalog::Load(dir + "/catalog.vcat", env));
+  VR_ASSIGN_OR_RETURN(db->wal_, Wal::Open(dir + "/journal.wal", env));
 
   for (const Catalog::TableDef& def : db->catalog_.tables()) {
-    VR_ASSIGN_OR_RETURN(std::unique_ptr<Table> table,
-                        Table::Open(dir, def.name, def.schema, true));
-    for (const IndexSpec& spec : def.indexes) {
-      VR_RETURN_NOT_OK(table->CreateIndex(spec));
+    Result<std::unique_ptr<Table>> table =
+        Table::Open(dir, def.name, def.schema, true, env);
+    Status verdict = table.status();
+    if (verdict.ok()) {
+      for (const IndexSpec& spec : def.indexes) {
+        verdict = table.value()->CreateIndex(spec);
+        if (!verdict.ok()) break;
+      }
     }
-    db->tables_.emplace(def.name, std::move(table));
+    // A degraded open proactively verifies every page so damage shows
+    // up here, as a quarantined table, instead of later as a failing
+    // query; a paranoid open leaves verification to Fetch.
+    if (verdict.ok() && !options.paranoid) {
+      verdict = table.value()->VerifyIntegrity();
+    }
+    if (!verdict.ok()) {
+      if (options.paranoid) return verdict;
+      VR_LOG(Warn) << "quarantining table " << def.name << ": "
+                   << verdict.ToString();
+      db->damage_.push_back(TableDamage{def.name, verdict});
+      continue;
+    }
+    db->tables_.emplace(def.name, std::move(table).value());
   }
   VR_RETURN_NOT_OK(db->ReplayJournal());
   return db;
 }
 
+bool Database::IsQuarantined(const std::string& table) const {
+  for (const TableDamage& d : damage_) {
+    if (d.table == table) return true;
+  }
+  return false;
+}
+
 Status Database::ReplayJournal() {
+  VR_ASSIGN_OR_RETURN(uint64_t journal_bytes, wal_->SizeBytes());
+  if (journal_bytes == 0) return Status::OK();
+
+  // The journal is non-empty, so the last shutdown was not a clean
+  // checkpoint: table files may hold partially applied mutations.
+  // First drop heap records the pk index does not vouch for (heap
+  // synced before the index), then replay.
+  size_t scrubbed = 0;
+  for (auto& [name, table] : tables_) {
+    VR_ASSIGN_OR_RETURN(uint64_t n, table->ScrubOrphans());
+    scrubbed += n;
+  }
+
   size_t applied = 0;
   VR_RETURN_NOT_OK(wal_->Replay([&](const WalRecord& record) -> Status {
     auto it = tables_.find(record.table);
     if (it == tables_.end()) {
+      if (IsQuarantined(record.table)) {
+        // The table is damaged beyond this journal's help; keep the
+        // record (Checkpoint will not truncate) and move on.
+        VR_LOG(Warn) << "journal: skipping record for quarantined table "
+                     << record.table;
+        return Status::OK();
+      }
       // A journal record for a table the catalog does not know means the
       // catalog write raced the crash; surface it rather than guess.
       return Status::Corruption("journal references unknown table " +
@@ -67,24 +104,40 @@ Status Database::ReplayJournal() {
     }
     Table* table = it->second.get();
     if (record.op == WalOp::kInsert) {
+      if (table->Exists(record.pk)) {
+        // Present is not enough: the crash may have landed after the
+        // pk-index sync but before the heap or blob sync, leaving a
+        // row that reads back wrong. Trust it only if it matches the
+        // journaled bytes exactly.
+        if (table->MatchesPayload(record.pk, record.payload)) {
+          return Status::OK();
+        }
+        VR_LOG(Warn) << "journal: row " << record.pk << " of "
+                     << record.table
+                     << " does not match its journal payload; re-applying";
+        VR_RETURN_NOT_OK(table->ForceRemove(record.pk));
+      }
       VR_ASSIGN_OR_RETURN(DecodedRow decoded,
                           DeserializeRow(table->schema(), record.payload));
-      // Idempotent: a row already present was applied before the crash.
-      if (!table->Exists(record.pk)) {
-        VR_RETURN_NOT_OK(table->Insert(decoded.values).status());
-        ++applied;
-      }
+      VR_RETURN_NOT_OK(table->Insert(decoded.values).status());
+      ++applied;
     } else {
-      const Status st = table->Delete(record.pk);
+      Status st = table->Delete(record.pk);
       if (st.ok()) {
         ++applied;
       } else if (!st.IsNotFound()) {
-        return st;
+        // The row is half-gone (e.g. its blob chain was already freed
+        // before the crash); finish the job tolerantly.
+        VR_LOG(Warn) << "journal: delete of " << record.pk << " from "
+                     << record.table << " failed (" << st.ToString()
+                     << "); force-removing";
+        VR_RETURN_NOT_OK(table->ForceRemove(record.pk));
+        ++applied;
       }
     }
     return Status::OK();
   }));
-  if (applied > 0) {
+  if (applied > 0 || scrubbed > 0) {
     VR_LOG(Info) << "journal replay applied " << applied << " records";
     return Checkpoint();
   }
@@ -95,16 +148,24 @@ Result<Table*> Database::CreateTable(const std::string& name,
                                      const Schema& schema) {
   VR_RETURN_NOT_OK(catalog_.AddTable(name, schema));
   VR_ASSIGN_OR_RETURN(std::unique_ptr<Table> table,
-                      Table::Open(dir_, name, schema, true));
+                      Table::Open(dir_, name, schema, true, env_));
   Table* raw = table.get();
   tables_.emplace(name, std::move(table));
-  VR_RETURN_NOT_OK(catalog_.Save(dir_ + "/catalog.vcat"));
+  VR_RETURN_NOT_OK(catalog_.Save(dir_ + "/catalog.vcat", env_));
   return raw;
 }
 
 Result<Table*> Database::GetTable(const std::string& name) {
   auto it = tables_.find(name);
-  if (it == tables_.end()) return Status::NotFound("no such table: " + name);
+  if (it == tables_.end()) {
+    for (const TableDamage& d : damage_) {
+      if (d.table == name) {
+        return Status::Corruption("table " + name + " is quarantined: " +
+                                  d.reason.ToString());
+      }
+    }
+    return Status::NotFound("no such table: " + name);
+  }
   return it->second.get();
 }
 
@@ -112,7 +173,7 @@ Status Database::CreateIndex(const std::string& table, const IndexSpec& spec) {
   VR_ASSIGN_OR_RETURN(Table * t, GetTable(table));
   VR_RETURN_NOT_OK(t->CreateIndex(spec));
   VR_RETURN_NOT_OK(catalog_.AddIndex(table, spec));
-  return catalog_.Save(dir_ + "/catalog.vcat");
+  return catalog_.Save(dir_ + "/catalog.vcat", env_);
 }
 
 Result<int64_t> Database::Insert(const std::string& table, const Row& row) {
@@ -155,6 +216,13 @@ Status Database::Checkpoint() {
   if (wal_ == nullptr) return Status::OK();
   for (auto& [name, table] : tables_) {
     VR_RETURN_NOT_OK(table->Sync());
+  }
+  if (!damage_.empty()) {
+    // Quarantined tables could not apply their journal records;
+    // truncating would erase the only surviving copy of those rows.
+    VR_LOG(Warn) << "checkpoint: keeping journal (" << damage_.size()
+                 << " quarantined table(s))";
+    return Status::OK();
   }
   return wal_->Truncate();
 }

@@ -3,20 +3,50 @@
 ///
 /// A database is a directory. Mutations routed through the Database are
 /// journaled (journal-first, fsync, then apply), so a crash between
-/// commit and page flush is recovered by idempotent replay on the next
-/// Open. Checkpoint() flushes every table and truncates the journal.
+/// commit and page flush is recovered by replay on the next Open.
+/// Replay is hardened against partially applied mutations: orphan heap
+/// records (heap synced, pk index not) are scrubbed, and a journaled
+/// row whose on-disk bytes do not match the journal payload is removed
+/// and re-applied. Checkpoint() flushes every table and truncates the
+/// journal.
+///
+/// With DatabaseOptions::paranoid = false, Open verifies every page of
+/// every table and quarantines damaged tables instead of failing: the
+/// database serves the healthy majority, quarantined tables report
+/// Corruption from GetTable, and DamageReport() lists the casualties.
+/// Journal records for quarantined tables are preserved (the journal
+/// is not truncated) so a repaired table can still be recovered.
 
 #pragma once
 
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "storage/catalog.h"
 #include "storage/table.h"
 #include "storage/wal.h"
+#include "util/env.h"
 
 namespace vr {
+
+/// \brief Knobs for Database::Open.
+struct DatabaseOptions {
+  bool create_if_missing = false;
+  /// When true (default), any table that fails to open or verify fails
+  /// the whole Open. When false, such tables are quarantined and the
+  /// rest of the database stays usable.
+  bool paranoid = true;
+  /// All filesystem I/O goes through this Env (Env::Default() if null).
+  Env* env = nullptr;
+};
+
+/// \brief One table Open quarantined instead of serving.
+struct TableDamage {
+  std::string table;
+  Status reason;
+};
 
 /// \brief Directory-backed database with WAL-based crash recovery.
 class Database {
@@ -25,15 +55,20 @@ class Database {
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
 
-  /// Opens a database directory (creating it when \p create_if_missing),
-  /// loads the catalog, opens every table and replays the journal.
+  /// Opens a database directory, loads the catalog, opens every table
+  /// and replays the journal.
+  static Result<std::unique_ptr<Database>> Open(const std::string& dir,
+                                                const DatabaseOptions& options);
+
+  /// Back-compat shorthand for Open with default (paranoid) options.
   static Result<std::unique_ptr<Database>> Open(const std::string& dir,
                                                 bool create_if_missing);
 
   /// Creates a table and persists the catalog.
   Result<Table*> CreateTable(const std::string& name, const Schema& schema);
 
-  /// Looks up an open table; NotFound when absent.
+  /// Looks up an open table; NotFound when absent, Corruption when the
+  /// table was quarantined by a degraded open.
   Result<Table*> GetTable(const std::string& name);
 
   /// Creates a secondary index and persists the catalog.
@@ -48,13 +83,17 @@ class Database {
   /// Journaled update (delete + insert under the same pk).
   Status Update(const std::string& table, const Row& row);
 
-  /// Flushes all tables and truncates the journal.
+  /// Flushes all tables and truncates the journal. With quarantined
+  /// tables present the journal is preserved instead of truncated.
   Status Checkpoint();
 
   /// Checkpoint + close. Called by the destructor if needed.
   Status Close();
 
   const std::string& dir() const { return dir_; }
+
+  /// Tables a degraded open quarantined; empty after a paranoid open.
+  const std::vector<TableDamage>& DamageReport() const { return damage_; }
 
   /// Bytes currently pending in the journal.
   Result<uint64_t> JournalBytes() const { return wal_->SizeBytes(); }
@@ -63,11 +102,15 @@ class Database {
   explicit Database(std::string dir) : dir_(std::move(dir)) {}
 
   Status ReplayJournal();
+  bool IsQuarantined(const std::string& table) const;
 
   std::string dir_;
+  Env* env_ = nullptr;
+  bool paranoid_ = true;
   Catalog catalog_;
   std::unique_ptr<Wal> wal_;
   std::map<std::string, std::unique_ptr<Table>> tables_;
+  std::vector<TableDamage> damage_;
   bool closed_ = false;
 };
 

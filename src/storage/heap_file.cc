@@ -11,7 +11,7 @@ Result<std::unique_ptr<HeapFile>> HeapFile::Open(Pager* pager) {
     VR_ASSIGN_OR_RETURN(std::shared_ptr<Page> page,
                         pager->Fetch(heap->first_page_));
     SlottedPage(page.get()).Init();
-    pager->MarkDirty(heap->first_page_);
+    VR_RETURN_NOT_OK(pager->MarkDirty(heap->first_page_));
     pager->set_user_root(heap->first_page_);
     heap->tail_page_ = heap->first_page_;
   } else {
@@ -34,7 +34,7 @@ Result<Rid> HeapFile::Insert(const std::vector<uint8_t>& record) {
   SlottedPage slotted(page.get());
   Result<uint16_t> slot = slotted.Insert(record);
   if (slot.ok()) {
-    pager_->MarkDirty(tail_page_);
+    VR_RETURN_NOT_OK(pager_->MarkDirty(tail_page_));
     return Rid{tail_page_, slot.value()};
   }
   if (!slot.status().IsOutOfRange() && !slot.status().IsInvalidArgument()) {
@@ -51,9 +51,9 @@ Result<Rid> HeapFile::Insert(const std::vector<uint8_t>& record) {
   SlottedPage new_slotted(new_page.get());
   new_slotted.Init();
   VR_ASSIGN_OR_RETURN(uint16_t new_slot, new_slotted.Insert(record));
-  pager_->MarkDirty(new_page_id);
+  VR_RETURN_NOT_OK(pager_->MarkDirty(new_page_id));
   page->set_next_page(new_page_id);
-  pager_->MarkDirty(tail_page_);
+  VR_RETURN_NOT_OK(pager_->MarkDirty(tail_page_));
   tail_page_ = new_page_id;
   return Rid{new_page_id, new_slot};
 }
@@ -72,7 +72,7 @@ Status HeapFile::Delete(const Rid& rid) {
     return Status::InvalidArgument("rid does not point at a record page");
   }
   VR_RETURN_NOT_OK(SlottedPage(page.get()).Delete(rid.slot));
-  pager_->MarkDirty(rid.page_id);
+  VR_RETURN_NOT_OK(pager_->MarkDirty(rid.page_id));
   return Status::OK();
 }
 
@@ -81,7 +81,7 @@ Result<Rid> HeapFile::Update(const Rid& rid,
   VR_ASSIGN_OR_RETURN(std::shared_ptr<Page> page, pager_->Fetch(rid.page_id));
   SlottedPage slotted(page.get());
   VR_RETURN_NOT_OK(slotted.Delete(rid.slot));
-  pager_->MarkDirty(rid.page_id);
+  VR_RETURN_NOT_OK(pager_->MarkDirty(rid.page_id));
   // Re-insert, preferring the same page.
   Result<uint16_t> slot = slotted.Insert(record);
   if (slot.ok()) {

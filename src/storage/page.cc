@@ -39,7 +39,9 @@ Result<uint16_t> SlottedPage::Insert(const std::vector<uint8_t>& record) {
   const uint16_t slot = slot_count();
   const uint16_t rec_off =
       static_cast<uint16_t>(free_end() - static_cast<uint32_t>(record.size()));
-  std::memcpy(page_->data() + rec_off, record.data(), record.size());
+  if (!record.empty()) {
+    std::memcpy(page_->data() + rec_off, record.data(), record.size());
+  }
   page_->WriteAt<uint16_t>(SlotOffset(slot), rec_off);
   page_->WriteAt<uint16_t>(SlotOffset(slot) + 2,
                            static_cast<uint16_t>(record.size()));

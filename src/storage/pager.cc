@@ -1,58 +1,89 @@
 #include "storage/pager.h"
 
-#include <unistd.h>
-
+#include <algorithm>
 #include <cstring>
+#include <vector>
 
+#include "util/hash.h"
+#include "util/logging.h"
 #include "util/string_util.h"
 
 namespace vr {
 
 namespace {
 constexpr uint32_t kMetaMagic = 0x56504746;  // "VPGF"
+// Meta-page offset of the format version. Reads as 0 in v1 files,
+// which never wrote this field.
+constexpr size_t kVersionOffset = 32;
 }  // namespace
 
 Pager::~Pager() {
   if (file_ != nullptr) {
-    (void)Flush();
-    std::fclose(file_);
+    Status s = Flush();
+    if (!s.ok()) {
+      VR_LOG(Error) << "final flush of " << path_ << " failed: "
+                    << s.ToString();
+    }
   }
 }
 
 Result<std::unique_ptr<Pager>> Pager::Open(const std::string& path,
                                            bool create_if_missing,
-                                           size_t cache_pages) {
+                                           size_t cache_pages, Env* env) {
+  if (env == nullptr) env = Env::Default();
   auto pager = std::unique_ptr<Pager>(new Pager());
   pager->path_ = path;
   pager->cache_capacity_ = std::max<size_t>(8, cache_pages);
 
-  pager->file_ = std::fopen(path.c_str(), "r+b");
-  if (pager->file_ == nullptr) {
-    if (!create_if_missing) {
-      return Status::IOError("cannot open page file: " + path);
-    }
-    pager->file_ = std::fopen(path.c_str(), "w+b");
-    if (pager->file_ == nullptr) {
-      return Status::IOError("cannot create page file: " + path);
-    }
+  const bool exists = env->FileExists(path);
+  if (!exists && !create_if_missing) {
+    return Status::IOError("cannot open page file: " + path);
+  }
+  VR_ASSIGN_OR_RETURN(
+      pager->file_,
+      env->Open(path, exists ? Env::OpenMode::kMustExist
+                             : Env::OpenMode::kCreateIfMissing));
+  if (exists) {
+    VR_RETURN_NOT_OK(pager->LoadMeta());
+  } else {
+    pager->format_version_ = kPagerFormatCurrent;
     pager->meta_dirty_ = true;
     VR_RETURN_NOT_OK(pager->StoreMeta());
-    // A fresh file must be recoverable immediately: push the meta page
-    // through to the kernel before anyone can journal against it.
-    if (std::fflush(pager->file_) != 0) {
-      return Status::IOError("flush of fresh page file failed");
-    }
-  } else {
-    VR_RETURN_NOT_OK(pager->LoadMeta());
+    // A fresh file must be recoverable immediately: make the meta page
+    // durable before anyone can journal against it.
+    VR_RETURN_NOT_OK(pager->file_->Sync());
   }
   return pager;
 }
 
 Status Pager::LoadMeta() {
+  // Manual read: the slot size depends on the version field inside the
+  // very page being read, so bootstrap from the bare page bytes first.
   Page meta;
-  VR_RETURN_NOT_OK(ReadPageFromDisk(0, &meta));
+  VR_ASSIGN_OR_RETURN(size_t got, file_->ReadAt(0, meta.data(), kPageSize));
+  if (got != kPageSize) {
+    return Status::Corruption("short meta page read from " + path_);
+  }
   if (meta.ReadAt<uint32_t>(8) != kMetaMagic) {
     return Status::Corruption("bad page-file magic: " + path_);
+  }
+  const uint32_t version = meta.ReadAt<uint32_t>(kVersionOffset);
+  format_version_ = version == 0 ? kPagerFormatLegacy : version;
+  if (format_version_ > kPagerFormatCurrent) {
+    return Status::Corruption(StringPrintf(
+        "unsupported page-file format v%u in %s", format_version_,
+        path_.c_str()));
+  }
+  if (format_version_ >= 2) {
+    uint64_t stored = 0;
+    VR_ASSIGN_OR_RETURN(size_t cs_got,
+                        file_->ReadAt(kPageSize, &stored, kChecksumSize));
+    if (cs_got != kChecksumSize) {
+      return Status::Corruption("short meta checksum read from " + path_);
+    }
+    if (stored != Fnv1a64(meta.data(), kPageSize)) {
+      return Status::Corruption("meta page checksum mismatch in " + path_);
+    }
   }
   page_count_ = meta.ReadAt<uint32_t>(12);
   free_head_ = meta.ReadAt<uint32_t>(16);
@@ -70,31 +101,52 @@ Status Pager::StoreMeta() {
   meta.WriteAt<uint32_t>(16, free_head_);
   meta.WriteAt<uint32_t>(20, user_root_);
   meta.WriteAt<uint64_t>(24, user_counter_);
+  if (format_version_ >= 2) {
+    meta.WriteAt<uint32_t>(kVersionOffset, format_version_);
+  }
   VR_RETURN_NOT_OK(WritePageToDisk(0, meta));
   meta_dirty_ = false;
   return Status::OK();
 }
 
 Status Pager::ReadPageFromDisk(uint32_t page_id, Page* out) {
-  if (std::fseek(file_, static_cast<long>(page_id) * kPageSize, SEEK_SET) !=
-      0) {
-    return Status::IOError("seek failed");
-  }
-  const size_t n = std::fread(out->data(), 1, kPageSize, file_);
-  if (n != kPageSize) {
+  const size_t slot = SlotSize();
+  std::vector<uint8_t> buf(slot);
+  VR_ASSIGN_OR_RETURN(
+      size_t got,
+      file_->ReadAt(static_cast<uint64_t>(page_id) * slot, buf.data(), slot));
+  if (got != slot) {
     return Status::Corruption(StringPrintf(
         "short page read (page %u) from %s", page_id, path_.c_str()));
   }
+  if (format_version_ >= 2) {
+    uint64_t stored = 0;
+    std::memcpy(&stored, buf.data() + kPageSize, kChecksumSize);
+    if (stored != Fnv1a64(buf.data(), kPageSize)) {
+      return Status::Corruption(StringPrintf(
+          "page checksum mismatch (page %u) in %s", page_id, path_.c_str()));
+    }
+  }
+  std::memcpy(out->data(), buf.data(), kPageSize);
   return Status::OK();
 }
 
 Status Pager::WritePageToDisk(uint32_t page_id, const Page& page) {
-  if (std::fseek(file_, static_cast<long>(page_id) * kPageSize, SEEK_SET) !=
-      0) {
-    return Status::IOError("seek failed");
+  const size_t slot = SlotSize();
+  std::vector<uint8_t> buf(slot);
+  std::memcpy(buf.data(), page.data(), kPageSize);
+  if (format_version_ >= 2) {
+    const uint64_t checksum = Fnv1a64(page.data(), kPageSize);
+    std::memcpy(buf.data() + kPageSize, &checksum, kChecksumSize);
   }
-  if (std::fwrite(page.data(), 1, kPageSize, file_) != kPageSize) {
-    return Status::IOError("short page write to " + path_);
+  return file_->WriteAt(static_cast<uint64_t>(page_id) * slot, buf.data(),
+                        slot);
+}
+
+Status Pager::VerifyAllPages() {
+  Page scratch;
+  for (uint32_t page_id = 0; page_id < page_count_; ++page_id) {
+    VR_RETURN_NOT_OK(ReadPageFromDisk(page_id, &scratch));
   }
   return Status::OK();
 }
@@ -149,9 +201,16 @@ Result<std::shared_ptr<Page>> Pager::Fetch(uint32_t page_id) {
   return page;
 }
 
-void Pager::MarkDirty(uint32_t page_id) {
+Status Pager::MarkDirty(uint32_t page_id) {
   auto it = cache_.find(page_id);
-  if (it != cache_.end()) it->second.dirty = true;
+  if (it == cache_.end()) {
+    VR_LOG(Warn) << "MarkDirty on non-resident page " << page_id << " of "
+                 << path_ << "; write would be lost";
+    return Status::NotFound(StringPrintf(
+        "page %u not resident in %s", page_id, path_.c_str()));
+  }
+  it->second.dirty = true;
+  return Status::OK();
 }
 
 Result<uint32_t> Pager::Allocate(PageType type) {
@@ -162,7 +221,7 @@ Result<uint32_t> Pager::Allocate(PageType type) {
     free_head_ = page->next_page();
     std::memset(page->data(), 0, kPageSize);
     page->set_type(type);
-    MarkDirty(page_id);
+    VR_RETURN_NOT_OK(MarkDirty(page_id));
   } else {
     page_id = page_count_;
     ++page_count_;
@@ -194,7 +253,7 @@ Status Pager::Free(uint32_t page_id) {
   page->set_type(PageType::kFree);
   page->set_next_page(free_head_);
   free_head_ = page_id;
-  MarkDirty(page_id);
+  VR_RETURN_NOT_OK(MarkDirty(page_id));
   meta_dirty_ = true;
   return Status::OK();
 }
@@ -219,14 +278,12 @@ Status Pager::Flush() {
   if (meta_dirty_) {
     VR_RETURN_NOT_OK(StoreMeta());
   }
-  if (std::fflush(file_) != 0) return Status::IOError("fflush failed");
-  return Status::OK();
+  return file_->Flush();
 }
 
 Status Pager::Sync() {
   VR_RETURN_NOT_OK(Flush());
-  if (fsync(fileno(file_)) != 0) return Status::IOError("fsync failed");
-  return Status::OK();
+  return file_->Sync();
 }
 
 }  // namespace vr

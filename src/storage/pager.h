@@ -2,22 +2,35 @@
 /// \brief File-backed page store with an LRU buffer pool.
 ///
 /// One Pager manages one storage file (heap, B+tree or blob file).
-/// Page 0 is the file's meta page: magic, page count, free-list head,
-/// and two user fields (root page and a monotonic counter) that the
-/// structures above store their anchors in.
+/// Page 0 is the file's meta page: magic, format version, page count,
+/// free-list head, and two user fields (root page and a monotonic
+/// counter) that the structures above store their anchors in.
+///
+/// On-disk format v2 appends a 64-bit FNV-1a checksum to every page,
+/// so each on-disk slot is kPageSize + 8 bytes. The checksum covers
+/// the kPageSize in-memory page bytes and is verified on every read,
+/// turning silent media corruption into a Corruption status at Fetch
+/// time. v1 files (no version field, no trailers) are still readable;
+/// new files are always created as v2.
 
 #pragma once
 
-#include <cstdio>
 #include <list>
 #include <memory>
 #include <string>
 #include <unordered_map>
 
 #include "storage/page.h"
+#include "util/env.h"
 #include "util/status.h"
 
 namespace vr {
+
+/// Page-file format versions. v1 (the legacy format, identified by a
+/// zero version field in the meta page) has bare kPageSize slots; v2
+/// adds a u64 FNV-1a checksum trailer to every slot.
+constexpr uint32_t kPagerFormatLegacy = 1;
+constexpr uint32_t kPagerFormatCurrent = 2;
 
 /// \brief Owns a page file: allocation, caching, write-back.
 class Pager {
@@ -26,17 +39,22 @@ class Pager {
   Pager(const Pager&) = delete;
   Pager& operator=(const Pager&) = delete;
 
-  /// Opens (or, with \p create_if_missing, creates) a page file.
+  /// Opens (or, with \p create_if_missing, creates) a page file. All
+  /// I/O goes through \p env (Env::Default() when null).
   static Result<std::unique_ptr<Pager>> Open(const std::string& path,
                                              bool create_if_missing,
-                                             size_t cache_pages = 256);
+                                             size_t cache_pages = 256,
+                                             Env* env = nullptr);
 
-  /// Fetches a page through the buffer pool. The returned pointer stays
-  /// valid while the shared_ptr is held, even across eviction.
+  /// Fetches a page through the buffer pool, verifying its checksum on
+  /// the way in (v2 files). The returned pointer stays valid while the
+  /// shared_ptr is held, even across eviction.
   Result<std::shared_ptr<Page>> Fetch(uint32_t page_id);
 
-  /// Marks a cached page dirty so Flush() writes it back.
-  void MarkDirty(uint32_t page_id);
+  /// Marks a cached page dirty so Flush() writes it back. Returns
+  /// NotFound (and logs) for ids that are not resident — a caller bug
+  /// that previously went unnoticed and dropped the write.
+  Status MarkDirty(uint32_t page_id);
 
   /// Allocates a page (reusing the free list when possible); the page is
   /// fetched, zeroed, typed and marked dirty.
@@ -45,14 +63,26 @@ class Pager {
   /// Returns a page to the free list.
   Status Free(uint32_t page_id);
 
-  /// Writes all dirty pages and the meta page to disk.
+  /// Writes all dirty pages and the meta page to the file.
   Status Flush();
 
-  /// Flush + fsync.
+  /// Flush + make the file durable.
   Status Sync();
+
+  /// Re-reads every page (including the meta page) from the file and
+  /// verifies its checksum; first failure wins. Reads the on-disk
+  /// state, so call it on a freshly opened or flushed pager. On v1
+  /// files only page readability is checked.
+  Status VerifyAllPages();
 
   uint32_t page_count() const { return page_count_; }
   const std::string& path() const { return path_; }
+  uint32_t format_version() const { return format_version_; }
+
+  /// On-disk bytes per page slot for this file's format version.
+  size_t SlotSize() const {
+    return format_version_ >= 2 ? kPageSize + kChecksumSize : kPageSize;
+  }
 
   /// \name User anchors persisted in the meta page.
   /// @{
@@ -65,6 +95,8 @@ class Pager {
   /// Cache statistics (for the storage microbenches).
   uint64_t cache_hits() const { return cache_hits_; }
   uint64_t cache_misses() const { return cache_misses_; }
+
+  static constexpr size_t kChecksumSize = 8;
 
  private:
   Pager() = default;
@@ -83,7 +115,8 @@ class Pager {
   Status EvictIfNeeded();
 
   std::string path_;
-  std::FILE* file_ = nullptr;
+  std::unique_ptr<EnvFile> file_;
+  uint32_t format_version_ = kPagerFormatCurrent;
   uint32_t page_count_ = 1;  // meta page
   uint32_t free_head_ = kInvalidPageId;
   uint32_t user_root_ = kInvalidPageId;

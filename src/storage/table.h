@@ -15,6 +15,7 @@
 #include "storage/heap_file.h"
 #include "storage/row.h"
 #include "storage/schema.h"
+#include "util/env.h"
 
 namespace vr {
 
@@ -41,11 +42,13 @@ inline constexpr size_t kInlineBlobLimit = 512;
 /// \brief Heap-backed table with pk and secondary indexes.
 class Table {
  public:
-  /// Opens/creates the table's files under \p dir.
+  /// Opens/creates the table's files under \p dir, doing all I/O
+  /// through \p env (Env::Default() when null).
   static Result<std::unique_ptr<Table>> Open(const std::string& dir,
                                              const std::string& name,
                                              const Schema& schema,
-                                             bool create_if_missing);
+                                             bool create_if_missing,
+                                             Env* env = nullptr);
 
   const std::string& name() const { return name_; }
   const Schema& schema() const { return schema_; }
@@ -97,6 +100,30 @@ class Table {
   /// Flush + fsync all page files.
   Status Sync();
 
+  /// \name Crash-recovery support (used by Database).
+  /// @{
+  /// Re-reads every page of every file, verifying checksums; first
+  /// failure wins. Used by degraded open to quarantine damaged tables.
+  Status VerifyIntegrity();
+
+  /// Deletes heap records whose primary-key index entry is missing or
+  /// points at a different rid — the fallout of a crash after the heap
+  /// file was synced but before the pk index was. Returns the number of
+  /// records removed.
+  Result<uint64_t> ScrubOrphans();
+
+  /// Best-effort removal of a possibly half-written row: every step
+  /// (blob chain free, index entries, heap slot, pk entry) proceeds
+  /// even when earlier ones fail. Used by replay before re-applying a
+  /// journal record whose on-disk application is suspect.
+  Status ForceRemove(int64_t pk);
+
+  /// True when the stored row with \p pk materializes (blobs included)
+  /// and re-serializes to exactly \p payload (a journal payload, blobs
+  /// inline). Any read or decode failure counts as a mismatch.
+  bool MatchesPayload(int64_t pk, const std::vector<uint8_t>& payload) const;
+  /// @}
+
   /// Height of the pk index (storage microbench statistic).
   Result<int> PkIndexHeight() const { return pk_index_->Height(); }
 
@@ -119,6 +146,7 @@ class Table {
   std::string dir_;
   std::string name_;
   Schema schema_;
+  Env* env_ = nullptr;
   std::unique_ptr<Pager> heap_pager_;
   std::unique_ptr<Pager> pk_pager_;
   std::unique_ptr<Pager> blob_pager_;

@@ -66,22 +66,33 @@ Result<Schema> KeyFrameSchema() {
 }  // namespace
 
 Result<std::unique_ptr<VideoStore>> VideoStore::Open(const std::string& dir) {
+  DatabaseOptions options;
+  options.create_if_missing = true;
+  return Open(dir, options);
+}
+
+Result<std::unique_ptr<VideoStore>> VideoStore::Open(
+    const std::string& dir, const DatabaseOptions& options) {
   auto store = std::unique_ptr<VideoStore>(new VideoStore());
-  VR_ASSIGN_OR_RETURN(store->db_, Database::Open(dir, true));
+  VR_ASSIGN_OR_RETURN(store->db_, Database::Open(dir, options));
 
   Result<Table*> videos = store->db_->GetTable(kVideoTable);
   if (videos.ok()) {
     store->videos_ = videos.value();
-  } else {
+  } else if (videos.status().IsNotFound()) {
     VR_ASSIGN_OR_RETURN(Schema schema, VideoSchema());
     VR_ASSIGN_OR_RETURN(store->videos_,
                         store->db_->CreateTable(kVideoTable, schema));
+  } else if (!videos.status().IsCorruption()) {
+    return videos.status();
   }
+  // Corruption = quarantined by a degraded open: leave the pointer
+  // null; accessors report it, the other table keeps serving.
 
   Result<Table*> frames = store->db_->GetTable(kKeyFrameTable);
   if (frames.ok()) {
     store->key_frames_ = frames.value();
-  } else {
+  } else if (frames.status().IsNotFound()) {
     VR_ASSIGN_OR_RETURN(Schema schema, KeyFrameSchema());
     VR_ASSIGN_OR_RETURN(store->key_frames_,
                         store->db_->CreateTable(kKeyFrameTable, schema));
@@ -95,24 +106,39 @@ Result<std::unique_ptr<VideoStore>> VideoStore::Open(const std::string& dir) {
     vid_index.columns = {"V_ID"};
     vid_index.bits = {32};
     VR_RETURN_NOT_OK(store->db_->CreateIndex(kKeyFrameTable, vid_index));
+  } else if (!frames.status().IsCorruption()) {
+    return frames.status();
   }
 
-  // Recover id counters.
-  VR_RETURN_NOT_OK(store->videos_->Scan(
-      [&](const Row& row) {
-        store->next_video_id_ =
-            std::max(store->next_video_id_, row[kVIdCol].AsInt64() + 1);
-        return true;
-      },
-      /*resolve_blobs=*/false));
-  VR_RETURN_NOT_OK(store->key_frames_->Scan(
-      [&](const Row& row) {
-        store->next_key_frame_id_ =
-            std::max(store->next_key_frame_id_, row[kIId].AsInt64() + 1);
-        return true;
-      },
-      /*resolve_blobs=*/false));
+  // Recover id counters (from whichever tables are healthy).
+  if (store->videos_ != nullptr) {
+    VR_RETURN_NOT_OK(store->videos_->Scan(
+        [&](const Row& row) {
+          store->next_video_id_ =
+              std::max(store->next_video_id_, row[kVIdCol].AsInt64() + 1);
+          return true;
+        },
+        /*resolve_blobs=*/false));
+  }
+  if (store->key_frames_ != nullptr) {
+    VR_RETURN_NOT_OK(store->key_frames_->Scan(
+        [&](const Row& row) {
+          store->next_key_frame_id_ =
+              std::max(store->next_key_frame_id_, row[kIId].AsInt64() + 1);
+          return true;
+        },
+        /*resolve_blobs=*/false));
+  }
   return store;
+}
+
+Status VideoStore::RequireHealthy(const Table* table,
+                                  const char* name) const {
+  if (table == nullptr) {
+    return Status::Corruption(std::string(name) +
+                              " is quarantined; see DamageReport()");
+  }
+  return Status::OK();
 }
 
 int64_t VideoStore::NextVideoId() { return next_video_id_++; }
@@ -132,6 +158,7 @@ Result<int64_t> VideoStore::PutVideo(const VideoRecord& record) {
 }
 
 Result<VideoRecord> VideoStore::GetVideo(int64_t v_id) const {
+  VR_RETURN_NOT_OK(RequireHealthy(videos_, kVideoTable));
   VR_ASSIGN_OR_RETURN(Row row, videos_->Get(v_id));
   VideoRecord out;
   out.v_id = row[kVIdCol].AsInt64();
@@ -152,6 +179,7 @@ Status VideoStore::DeleteVideo(int64_t v_id) {
 }
 
 Result<std::vector<VideoRecord>> VideoStore::ListVideos() const {
+  VR_RETURN_NOT_OK(RequireHealthy(videos_, kVideoTable));
   std::vector<VideoRecord> out;
   VR_RETURN_NOT_OK(videos_->Scan(
       [&](const Row& row) {
@@ -172,6 +200,7 @@ Result<std::vector<VideoRecord>> VideoStore::ListVideos() const {
 
 Result<std::vector<VideoRecord>> VideoStore::FindVideosByName(
     const std::string& substring) const {
+  VR_RETURN_NOT_OK(RequireHealthy(videos_, kVideoTable));
   SelectQuery query;
   query.columns = {"V_ID", "V_NAME", "DOSTORE"};
   query.where = Compare("V_NAME", CompareOp::kContains, Value(substring));
@@ -237,6 +266,7 @@ Result<KeyFrameRecord> VideoStore::RowToKeyFrame(const Row& row) const {
 }
 
 Result<KeyFrameRecord> VideoStore::GetKeyFrame(int64_t i_id) const {
+  VR_RETURN_NOT_OK(RequireHealthy(key_frames_, kKeyFrameTable));
   VR_ASSIGN_OR_RETURN(Row row, key_frames_->Get(i_id));
   return RowToKeyFrame(row);
 }
@@ -247,6 +277,7 @@ Status VideoStore::DeleteKeyFrame(int64_t i_id) {
 
 Result<std::vector<int64_t>> VideoStore::KeyFrameIdsOfVideo(
     int64_t v_id) const {
+  VR_RETURN_NOT_OK(RequireHealthy(key_frames_, kKeyFrameTable));
   std::vector<int64_t> out;
   VR_RETURN_NOT_OK(key_frames_->ScanIndexRange(
       kVideoIdIndex, v_id, v_id, [&](int64_t pk) {
@@ -258,6 +289,7 @@ Result<std::vector<int64_t>> VideoStore::KeyFrameIdsOfVideo(
 
 Result<std::vector<int64_t>> VideoStore::KeyFrameIdsInRange(
     int64_t min, int64_t max) const {
+  VR_RETURN_NOT_OK(RequireHealthy(key_frames_, kKeyFrameTable));
   const int64_t packed = (min << 8) | max;
   std::vector<int64_t> out;
   VR_RETURN_NOT_OK(key_frames_->ScanIndexRange(
@@ -270,6 +302,7 @@ Result<std::vector<int64_t>> VideoStore::KeyFrameIdsInRange(
 
 Status VideoStore::ScanKeyFrames(
     const std::function<bool(const KeyFrameRecord&)>& cb) const {
+  VR_RETURN_NOT_OK(RequireHealthy(key_frames_, kKeyFrameTable));
   Status inner = Status::OK();
   VR_RETURN_NOT_OK(key_frames_->Scan(
       [&](const Row& row) {
@@ -284,9 +317,13 @@ Status VideoStore::ScanKeyFrames(
   return inner;
 }
 
-Result<uint64_t> VideoStore::VideoCount() const { return videos_->Count(); }
+Result<uint64_t> VideoStore::VideoCount() const {
+  VR_RETURN_NOT_OK(RequireHealthy(videos_, kVideoTable));
+  return videos_->Count();
+}
 
 Result<uint64_t> VideoStore::KeyFrameCount() const {
+  VR_RETURN_NOT_OK(RequireHealthy(key_frames_, kKeyFrameTable));
   return key_frames_->Count();
 }
 

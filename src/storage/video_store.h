@@ -51,6 +51,13 @@ class VideoStore {
   /// (MIN, MAX) range index and the V_ID foreign-key index.
   static Result<std::unique_ptr<VideoStore>> Open(const std::string& dir);
 
+  /// Same, with explicit database options (degraded open, custom Env).
+  /// With options.paranoid = false a damaged table is quarantined: its
+  /// accessors return Corruption while the other table keeps serving,
+  /// and DamageReport() lists the casualties.
+  static Result<std::unique_ptr<VideoStore>> Open(
+      const std::string& dir, const DatabaseOptions& options);
+
   /// \name VIDEO_STORE operations (the Administrator role of Figure 2).
   /// @{
   Result<int64_t> PutVideo(const VideoRecord& record);
@@ -93,6 +100,11 @@ class VideoStore {
 
   Database* database() { return db_.get(); }
 
+  /// Tables quarantined by a degraded open (empty when healthy).
+  const std::vector<TableDamage>& DamageReport() const {
+    return db_->DamageReport();
+  }
+
   static constexpr const char* kVideoTable = "VIDEO_STORE";
   static constexpr const char* kKeyFrameTable = "KEY_FRAMES";
   static constexpr const char* kRangeIndex = "idx_min_max";
@@ -102,6 +114,8 @@ class VideoStore {
   VideoStore() = default;
 
   Result<KeyFrameRecord> RowToKeyFrame(const Row& row) const;
+  /// Corruption when \p table (quarantined by a degraded open) is null.
+  Status RequireHealthy(const Table* table, const char* name) const;
 
   std::unique_ptr<Database> db_;
   Table* videos_ = nullptr;

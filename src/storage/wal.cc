@@ -1,7 +1,5 @@
 #include "storage/wal.h"
 
-#include <unistd.h>
-
 #include <cstring>
 
 #include "util/hash.h"
@@ -9,17 +7,15 @@
 
 namespace vr {
 
-Wal::~Wal() {
-  if (file_ != nullptr) std::fclose(file_);
-}
+Wal::~Wal() = default;
 
-Result<std::unique_ptr<Wal>> Wal::Open(const std::string& path) {
+Result<std::unique_ptr<Wal>> Wal::Open(const std::string& path, Env* env) {
+  if (env == nullptr) env = Env::Default();
   auto wal = std::unique_ptr<Wal>(new Wal());
   wal->path_ = path;
-  wal->file_ = std::fopen(path.c_str(), "a+b");
-  if (wal->file_ == nullptr) {
-    return Status::IOError("cannot open journal: " + path);
-  }
+  wal->env_ = env;
+  VR_ASSIGN_OR_RETURN(wal->file_,
+                      env->Open(path, Env::OpenMode::kCreateIfMissing));
   return wal;
 }
 
@@ -34,6 +30,12 @@ void PutU32(std::vector<uint8_t>* out, uint32_t v) {
 }
 void PutU64(std::vector<uint8_t>* out, uint64_t v) {
   for (int i = 0; i < 8; ++i) out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+uint64_t GetU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  return v;
 }
 
 }  // namespace
@@ -52,10 +54,7 @@ Status Wal::Append(WalOp op, const std::string& table, int64_t pk,
   PutU32(&record, static_cast<uint32_t>(payload.size()));
   record.insert(record.end(), payload.begin(), payload.end());
   PutU64(&record, Fnv1a64(record.data(), record.size()));
-  if (std::fwrite(record.data(), 1, record.size(), file_) != record.size()) {
-    return Status::IOError("short journal write");
-  }
-  return Status::OK();
+  return file_->Append(record.data(), record.size());
 }
 
 Status Wal::AppendInsert(const std::string& table, int64_t pk,
@@ -67,57 +66,43 @@ Status Wal::AppendDelete(const std::string& table, int64_t pk) {
   return Append(WalOp::kDelete, table, pk, {});
 }
 
-Status Wal::Sync() {
-  if (std::fflush(file_) != 0) return Status::IOError("journal flush failed");
-  if (fsync(fileno(file_)) != 0) return Status::IOError("journal fsync failed");
-  return Status::OK();
-}
+Status Wal::Sync() { return file_->Sync(); }
 
 Status Wal::Replay(const std::function<Status(const WalRecord&)>& cb) {
-  std::FILE* f = std::fopen(path_.c_str(), "rb");
-  if (f == nullptr) return Status::OK();  // no journal yet
-  auto read_exact = [&](void* dst, size_t n) {
-    return std::fread(dst, 1, n, f) == n;
-  };
+  // Make in-process appends visible to the fresh read below.
+  VR_RETURN_NOT_OK(file_->Flush());
+  Result<std::string> contents = env_->ReadFileToString(path_);
+  if (!contents.ok()) return Status::OK();  // no journal yet
+  const uint8_t* data =
+      reinterpret_cast<const uint8_t*>(contents.value().data());
+  const size_t size = contents.value().size();
+  size_t pos = 0;
   size_t replayed = 0;
   while (true) {
-    std::vector<uint8_t> head;
-    uint8_t op_raw = 0;
-    if (!read_exact(&op_raw, 1)) break;
-    uint8_t len_raw[2];
-    if (!read_exact(len_raw, 2)) break;
+    const size_t start = pos;
+    // Fixed-size prefix: op(1) + name_len(2).
+    if (size - pos < 3) break;
+    const uint8_t op_raw = data[pos];
     const uint16_t name_len =
-        static_cast<uint16_t>(len_raw[0] | (len_raw[1] << 8));
-    std::string table(name_len, '\0');
-    if (name_len > 0 && !read_exact(table.data(), name_len)) break;
-    uint8_t pk_raw[8];
-    if (!read_exact(pk_raw, 8)) break;
-    uint8_t plen_raw[4];
-    if (!read_exact(plen_raw, 4)) break;
+        static_cast<uint16_t>(data[pos + 1] | (data[pos + 2] << 8));
+    pos += 3;
+    if (size - pos < static_cast<size_t>(name_len) + 12) break;
+    std::string table(reinterpret_cast<const char*>(data + pos), name_len);
+    pos += name_len;
+    const uint64_t pk_bits = GetU64(data + pos);
+    pos += 8;
     uint32_t payload_len = 0;
     for (int i = 0; i < 4; ++i) {
-      payload_len |= static_cast<uint32_t>(plen_raw[i]) << (8 * i);
+      payload_len |= static_cast<uint32_t>(data[pos + i]) << (8 * i);
     }
-    std::vector<uint8_t> payload(payload_len);
-    if (payload_len > 0 && !read_exact(payload.data(), payload_len)) break;
-    uint8_t sum_raw[8];
-    if (!read_exact(sum_raw, 8)) break;
+    pos += 4;
+    if (size - pos < static_cast<size_t>(payload_len) + 8) break;
+    const uint8_t* payload_begin = data + pos;
+    pos += payload_len;
+    const uint64_t expect = GetU64(data + pos);
+    pos += 8;
 
-    // Recompute the checksum over the serialized prefix.
-    std::vector<uint8_t> prefix;
-    prefix.reserve(15 + name_len + payload_len);
-    prefix.push_back(op_raw);
-    prefix.push_back(len_raw[0]);
-    prefix.push_back(len_raw[1]);
-    prefix.insert(prefix.end(), table.begin(), table.end());
-    prefix.insert(prefix.end(), pk_raw, pk_raw + 8);
-    prefix.insert(prefix.end(), plen_raw, plen_raw + 4);
-    prefix.insert(prefix.end(), payload.begin(), payload.end());
-    uint64_t expect = 0;
-    for (int i = 0; i < 8; ++i) {
-      expect |= static_cast<uint64_t>(sum_raw[i]) << (8 * i);
-    }
-    if (Fnv1a64(prefix.data(), prefix.size()) != expect) {
+    if (Fnv1a64(data + start, pos - start - 8) != expect) {
       VR_LOG(Warn) << "journal: checksum mismatch after " << replayed
                    << " records; discarding tail";
       break;
@@ -131,38 +116,19 @@ Status Wal::Replay(const std::function<Status(const WalRecord&)>& cb) {
     WalRecord record;
     record.op = static_cast<WalOp>(op_raw);
     record.table = std::move(table);
-    uint64_t pk_bits = 0;
-    for (int i = 0; i < 8; ++i) {
-      pk_bits |= static_cast<uint64_t>(pk_raw[i]) << (8 * i);
-    }
     record.pk = static_cast<int64_t>(pk_bits);
-    record.payload = std::move(payload);
-    const Status st = cb(record);
-    if (!st.ok()) {
-      std::fclose(f);
-      return st;
-    }
+    record.payload.assign(payload_begin, payload_begin + payload_len);
+    VR_RETURN_NOT_OK(cb(record));
     ++replayed;
   }
-  std::fclose(f);
   return Status::OK();
 }
 
 Status Wal::Truncate() {
-  if (file_ != nullptr) std::fclose(file_);
-  file_ = std::fopen(path_.c_str(), "w+b");
-  if (file_ == nullptr) {
-    return Status::IOError("cannot truncate journal: " + path_);
-  }
+  VR_RETURN_NOT_OK(file_->Truncate(0));
   return Sync();
 }
 
-Result<uint64_t> Wal::SizeBytes() const {
-  if (std::fflush(file_) != 0) return Status::IOError("flush failed");
-  if (std::fseek(file_, 0, SEEK_END) != 0) {
-    return Status::IOError("seek failed");
-  }
-  return static_cast<uint64_t>(std::ftell(file_));
-}
+Result<uint64_t> Wal::SizeBytes() const { return file_->Size(); }
 
 }  // namespace vr

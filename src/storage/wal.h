@@ -14,12 +14,12 @@
 
 #pragma once
 
-#include <cstdio>
 #include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "util/env.h"
 #include "util/status.h"
 
 namespace vr {
@@ -45,8 +45,10 @@ class Wal {
   Wal(const Wal&) = delete;
   Wal& operator=(const Wal&) = delete;
 
-  /// Opens (creating if needed) the journal at \p path.
-  static Result<std::unique_ptr<Wal>> Open(const std::string& path);
+  /// Opens (creating if needed) the journal at \p path. All I/O goes
+  /// through \p env (Env::Default() when null).
+  static Result<std::unique_ptr<Wal>> Open(const std::string& path,
+                                           Env* env = nullptr);
 
   /// Appends an insert record (payload = serialized row, blobs inline).
   Status AppendInsert(const std::string& table, int64_t pk,
@@ -73,7 +75,8 @@ class Wal {
                 const std::vector<uint8_t>& payload);
 
   std::string path_;
-  std::FILE* file_ = nullptr;
+  Env* env_ = nullptr;
+  std::unique_ptr<EnvFile> file_;
 };
 
 }  // namespace vr

@@ -1,0 +1,196 @@
+#include "util/env.h"
+
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace vr {
+
+namespace {
+
+/// EnvFile over std::FILE*. One handle serves positional reads and
+/// writes plus appends, mirroring how the storage engine used stdio
+/// before the Env abstraction existed.
+class PosixFile : public EnvFile {
+ public:
+  PosixFile(std::FILE* file, std::string path)
+      : file_(file), path_(std::move(path)) {}
+
+  ~PosixFile() override {
+    if (file_ != nullptr && std::fclose(file_) != 0) {
+      VR_LOG(Error) << "close failed for " << path_ << ": "
+                    << std::strerror(errno);
+    }
+  }
+
+  Result<size_t> ReadAt(uint64_t offset, void* out, size_t n) override {
+    if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
+      return Status::IOError("seek failed in " + path_);
+    }
+    const size_t got = std::fread(out, 1, n, file_);
+    if (got < n && std::ferror(file_)) {
+      std::clearerr(file_);
+      return Status::IOError("read failed in " + path_);
+    }
+    return got;
+  }
+
+  Status WriteAt(uint64_t offset, const void* data, size_t n) override {
+    if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
+      return Status::IOError("seek failed in " + path_);
+    }
+    if (std::fwrite(data, 1, n, file_) != n) {
+      return Status::IOError("short write to " + path_);
+    }
+    return Status::OK();
+  }
+
+  Status Append(const void* data, size_t n) override {
+    if (std::fseek(file_, 0, SEEK_END) != 0) {
+      return Status::IOError("seek failed in " + path_);
+    }
+    if (std::fwrite(data, 1, n, file_) != n) {
+      return Status::IOError("short append to " + path_);
+    }
+    return Status::OK();
+  }
+
+  Status Flush() override {
+    if (std::fflush(file_) != 0) {
+      return Status::IOError("flush failed for " + path_);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    VR_RETURN_NOT_OK(Flush());
+    if (fsync(fileno(file_)) != 0) {
+      return Status::IOError("fsync failed for " + path_);
+    }
+    return Status::OK();
+  }
+
+  Result<uint64_t> Size() override {
+    VR_RETURN_NOT_OK(Flush());
+    if (std::fseek(file_, 0, SEEK_END) != 0) {
+      return Status::IOError("seek failed in " + path_);
+    }
+    const long size = std::ftell(file_);
+    if (size < 0) return Status::IOError("ftell failed in " + path_);
+    return static_cast<uint64_t>(size);
+  }
+
+  Status Truncate(uint64_t size) override {
+    VR_RETURN_NOT_OK(Flush());
+    if (ftruncate(fileno(file_), static_cast<off_t>(size)) != 0) {
+      return Status::IOError("truncate failed for " + path_);
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::FILE* file_;
+  std::string path_;
+};
+
+class PosixEnv : public Env {
+ public:
+  Result<std::unique_ptr<EnvFile>> Open(const std::string& path,
+                                        OpenMode mode) override {
+    std::FILE* file = nullptr;
+    switch (mode) {
+      case OpenMode::kMustExist:
+        file = std::fopen(path.c_str(), "r+b");
+        break;
+      case OpenMode::kCreateIfMissing:
+        file = std::fopen(path.c_str(), "r+b");
+        if (file == nullptr) file = std::fopen(path.c_str(), "w+b");
+        break;
+      case OpenMode::kTruncate:
+        file = std::fopen(path.c_str(), "w+b");
+        break;
+    }
+    if (file == nullptr) {
+      return Status::IOError("cannot open " + path + ": " +
+                             std::strerror(errno));
+    }
+    return std::unique_ptr<EnvFile>(new PosixFile(file, path));
+  }
+
+  bool FileExists(const std::string& path) override {
+    struct stat st {};
+    return stat(path.c_str(), &st) == 0;
+  }
+
+  Status DeleteFile(const std::string& path) override {
+    if (std::remove(path.c_str()) != 0) {
+      return Status::IOError("cannot delete " + path + ": " +
+                             std::strerror(errno));
+    }
+    return Status::OK();
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (std::rename(from.c_str(), to.c_str()) != 0) {
+      return Status::IOError("cannot rename " + from + " to " + to + ": " +
+                             std::strerror(errno));
+    }
+    return Status::OK();
+  }
+
+  Status CreateDirIfMissing(const std::string& path) override {
+    struct stat st {};
+    if (stat(path.c_str(), &st) == 0) {
+      if (!S_ISDIR(st.st_mode)) {
+        return Status::InvalidArgument(path + " exists and is not a directory");
+      }
+      return Status::OK();
+    }
+    if (mkdir(path.c_str(), 0755) != 0) {
+      return Status::IOError("cannot create directory " + path + ": " +
+                             std::strerror(errno));
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+Result<std::string> Env::ReadFileToString(const std::string& path) {
+  VR_ASSIGN_OR_RETURN(std::unique_ptr<EnvFile> file,
+                      Open(path, OpenMode::kMustExist));
+  VR_ASSIGN_OR_RETURN(uint64_t size, file->Size());
+  std::string out(static_cast<size_t>(size), '\0');
+  if (size > 0) {
+    VR_ASSIGN_OR_RETURN(size_t got,
+                        file->ReadAt(0, out.data(), out.size()));
+    if (got != out.size()) {
+      return Status::IOError("short read of " + path);
+    }
+  }
+  return out;
+}
+
+Status Env::WriteFileAtomic(const std::string& path, const std::string& data) {
+  const std::string tmp = path + ".tmp";
+  {
+    VR_ASSIGN_OR_RETURN(std::unique_ptr<EnvFile> file,
+                        Open(tmp, OpenMode::kTruncate));
+    VR_RETURN_NOT_OK(file->Append(data.data(), data.size()));
+    VR_RETURN_NOT_OK(file->Sync());
+  }
+  return RenameFile(tmp, path);
+}
+
+Env* Env::Default() {
+  static PosixEnv* env = new PosixEnv();
+  return env;
+}
+
+}  // namespace vr

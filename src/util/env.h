@@ -1,0 +1,89 @@
+/// \file env.h
+/// \brief Filesystem abstraction (LevelDB/RocksDB idiom).
+///
+/// Every file open/read/write/sync/rename/delete the storage engine
+/// performs goes through a vr::Env, so tests can substitute a
+/// FaultInjectionEnv that fails the Nth write, drops un-synced data to
+/// simulate a power cut, or flips bits in written buffers — making
+/// crash and corruption behavior provable instead of assumed.
+///
+/// Durability model: Flush() pushes data to the "kernel" (it survives a
+/// process crash but not a power cut); Sync() makes it durable. A
+/// power cut reverts each file to its state at that file's last Sync,
+/// atomically per file. Directory metadata (create/delete/rename) is
+/// treated as journaled, i.e. durable once the call returns.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/status.h"
+
+namespace vr {
+
+/// \brief A single open file: positional reads/writes plus append.
+class EnvFile {
+ public:
+  virtual ~EnvFile() = default;
+
+  /// Reads up to \p n bytes at \p offset; returns the count actually
+  /// read (short only at end-of-file).
+  virtual Result<size_t> ReadAt(uint64_t offset, void* out, size_t n) = 0;
+
+  /// Writes exactly \p n bytes at \p offset (extending the file as
+  /// needed); a short write is an error.
+  virtual Status WriteAt(uint64_t offset, const void* data, size_t n) = 0;
+
+  /// Appends exactly \p n bytes at the current end of file.
+  virtual Status Append(const void* data, size_t n) = 0;
+
+  /// Pushes buffered writes to the kernel (survives a process crash).
+  virtual Status Flush() = 0;
+
+  /// Flush + make all written data durable (survives a power cut).
+  virtual Status Sync() = 0;
+
+  /// Current file size in bytes (after flushing buffered writes).
+  virtual Result<uint64_t> Size() = 0;
+
+  /// Truncates (or extends with zeros) to \p size bytes.
+  virtual Status Truncate(uint64_t size) = 0;
+};
+
+/// \brief Factory for files plus directory-level operations.
+class Env {
+ public:
+  enum class OpenMode {
+    kMustExist,        ///< read/write; fails when the file is absent
+    kCreateIfMissing,  ///< read/write; creates an empty file when absent
+    kTruncate,         ///< read/write; always starts from an empty file
+  };
+
+  virtual ~Env() = default;
+
+  virtual Result<std::unique_ptr<EnvFile>> Open(const std::string& path,
+                                                OpenMode mode) = 0;
+  /// True when \p path names an existing file or directory.
+  virtual bool FileExists(const std::string& path) = 0;
+  virtual Status DeleteFile(const std::string& path) = 0;
+  /// Atomically replaces \p to with \p from.
+  virtual Status RenameFile(const std::string& from,
+                            const std::string& to) = 0;
+  /// Creates a directory; OK when it already exists as a directory.
+  virtual Status CreateDirIfMissing(const std::string& path) = 0;
+
+  /// \name Convenience helpers built on the virtual interface.
+  /// @{
+  /// Reads a whole file into a string.
+  Result<std::string> ReadFileToString(const std::string& path);
+  /// Writes \p data to \p path atomically: temp file + sync + rename.
+  Status WriteFileAtomic(const std::string& path, const std::string& data);
+  /// @}
+
+  /// The process-wide POSIX environment.
+  static Env* Default();
+};
+
+}  // namespace vr

@@ -151,6 +151,64 @@ TEST(PagerTest, RejectsCorruptMeta) {
   EXPECT_TRUE(Pager::Open(path, false).status().IsCorruption());
 }
 
+TEST(PagerTest, NewFilesUseChecksummedFormat) {
+  const std::string path = TempPath("pager_v2.vpg");
+  auto pager = Pager::Open(path, true).value();
+  EXPECT_EQ(pager->format_version(), kPagerFormatCurrent);
+  ASSERT_TRUE(pager->VerifyAllPages().ok());
+}
+
+TEST(PagerTest, ReadsLegacyV1FilesWithoutChecksums) {
+  // Hand-craft a version-1 file: bare 8192-byte slots, no version field
+  // in the meta page (reads as zero) and no checksum trailers.
+  const std::string path = TempPath("pager_v1.vpg");
+  {
+    Page meta;
+    meta.set_type(PageType::kMeta);
+    meta.WriteAt<uint32_t>(8, 0x56504746);  // "FGPV"
+    meta.WriteAt<uint32_t>(12, 2);          // page_count
+    meta.WriteAt<uint32_t>(16, 0);          // free list head
+    meta.WriteAt<uint32_t>(20, 1);          // user_root
+    meta.WriteAt<uint64_t>(24, 99);         // user_counter
+    Page data;
+    data.set_type(PageType::kSlotted);
+    data.WriteAt<uint64_t>(64, 0xABCDEF01ULL);
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(meta.data(), 1, kPageSize, f), kPageSize);
+    ASSERT_EQ(std::fwrite(data.data(), 1, kPageSize, f), kPageSize);
+    std::fclose(f);
+  }
+  {
+    auto pager = Pager::Open(path, false).value();
+    EXPECT_EQ(pager->format_version(), kPagerFormatLegacy);
+    EXPECT_EQ(pager->user_root(), 1u);
+    EXPECT_EQ(pager->user_counter(), 99u);
+    auto page = pager->Fetch(1).value();
+    EXPECT_EQ(page->ReadAt<uint64_t>(64), 0xABCDEF01ULL);
+    // Legacy files stay writable — in their own format.
+    page->WriteAt<uint64_t>(64, 0x11223344ULL);
+    ASSERT_TRUE(pager->MarkDirty(1).ok());
+    ASSERT_TRUE(pager->Flush().ok());
+    ASSERT_TRUE(pager->VerifyAllPages().ok());
+  }
+  {
+    auto pager = Pager::Open(path, false).value();
+    EXPECT_EQ(pager->format_version(), kPagerFormatLegacy);
+    EXPECT_EQ(pager->Fetch(1).value()->ReadAt<uint64_t>(64), 0x11223344ULL);
+  }
+  // The file kept its v1 geometry: bare pages, no trailers.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  std::fseek(f, 0, SEEK_END);
+  EXPECT_EQ(std::ftell(f), 2L * kPageSize);
+  std::fclose(f);
+}
+
+TEST(PagerTest, MarkDirtyOnUnknownPageFails) {
+  auto pager = Pager::Open(TempPath("pager_dirty.vpg"), true).value();
+  EXPECT_TRUE(pager->MarkDirty(77).IsNotFound());
+}
+
 TEST(PagerTest, CacheHitsTracked) {
   auto pager = Pager::Open(TempPath("pager_stats.vpg"), true).value();
   const uint32_t id = pager->Allocate(PageType::kSlotted).value();

@@ -75,6 +75,67 @@ TEST(WalTest, TornTailDiscarded) {
   EXPECT_EQ(pks, (std::vector<int64_t>{1}));
 }
 
+TEST(WalTest, TornTailSweepAtEveryByteOffset) {
+  // Truncate the journal at EVERY byte offset inside the final record:
+  // replay must always terminate cleanly with exactly the fully
+  // written records recovered, never an error, hang, or phantom.
+  const std::string golden_path = TempPath("wal_sweep_golden.wal");
+  {
+    auto wal = Wal::Open(golden_path).value();
+    ASSERT_TRUE(wal->AppendInsert("T", 1, {10, 11, 12}).ok());
+    ASSERT_TRUE(wal->AppendDelete("T", 2).ok());
+    ASSERT_TRUE(
+        wal->AppendInsert("TBL_LONG_NAME", 3, std::vector<uint8_t>(300, 9))
+            .ok());
+    ASSERT_TRUE(wal->Sync().ok());
+  }
+  std::vector<uint8_t> golden;
+  {
+    std::FILE* f = std::fopen(golden_path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    golden.resize(static_cast<size_t>(std::ftell(f)));
+    std::fseek(f, 0, SEEK_SET);
+    ASSERT_EQ(std::fread(golden.data(), 1, golden.size(), f), golden.size());
+    std::fclose(f);
+  }
+  // Record layout is deterministic: op(1) + len(2) + name + pk(8) +
+  // plen(4) + payload + sum(8).
+  const size_t record1_size = 1 + 2 + 1 + 8 + 4 + 3 + 8;
+  const size_t two_records_size = record1_size + (1 + 2 + 1 + 8 + 4 + 0 + 8);
+  ASSERT_LT(two_records_size, golden.size());
+
+  const std::string path = TempPath("wal_sweep.wal");
+  for (size_t cut = 0; cut <= golden.size(); ++cut) {
+    {
+      std::FILE* f = std::fopen(path.c_str(), "wb");
+      ASSERT_NE(f, nullptr);
+      ASSERT_EQ(std::fwrite(golden.data(), 1, cut, f), cut);
+      std::fclose(f);
+    }
+    auto wal = Wal::Open(path).value();
+    std::vector<int64_t> pks;
+    const Status replay = wal->Replay([&](const WalRecord& r) {
+      pks.push_back(r.pk);
+      return Status::OK();
+    });
+    ASSERT_TRUE(replay.ok()) << "cut at " << cut << ": " << replay;
+    // Every record wholly inside the cut is recovered; nothing else.
+    size_t expect = 0;
+    if (cut >= golden.size()) {
+      expect = 3;
+    } else if (cut >= two_records_size) {
+      expect = 2;
+    } else if (cut >= record1_size) {
+      expect = 1;
+    }
+    ASSERT_EQ(pks.size(), expect) << "cut at " << cut;
+    if (expect >= 1) EXPECT_EQ(pks[0], 1);
+    if (expect >= 2) EXPECT_EQ(pks[1], 2);
+    if (expect >= 3) EXPECT_EQ(pks[2], 3);
+  }
+}
+
 TEST(WalTest, CorruptChecksumStopsReplay) {
   const std::string path = TempPath("wal_sum.wal");
   {
