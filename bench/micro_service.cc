@@ -1,0 +1,131 @@
+/// \file micro_service.cc
+/// \brief Microbenchmarks for the concurrent retrieval service: query
+/// throughput versus worker count on a Table-1 style corpus, and the
+/// admission-control fast path under overload.
+///
+/// Throughput should scale with workers on multi-core hardware because
+/// query execution (feature extraction + ranking) is CPU-bound and runs
+/// under the engine's shared lock.
+
+#include <benchmark/benchmark.h>
+
+#include <future>
+#include <vector>
+
+#include "eval/corpus.h"
+#include "eval/table1_runner.h"  // RemoveDirRecursive
+#include "service/service.h"
+
+namespace {
+
+/// One engine + small Table-1 corpus, built once per binary run.
+vr::RetrievalEngine* SharedEngine() {
+  static std::unique_ptr<vr::RetrievalEngine> engine;
+  if (!engine) {
+    const std::string dir = "/tmp/vretrieve_bench_service";
+    vr::RemoveDirRecursive(dir);
+    vr::EngineOptions options;
+    options.store_video_blob = false;
+    engine = vr::RetrievalEngine::Open(dir, options).value();
+    vr::CorpusSpec spec;
+    spec.videos_per_category = 2;
+    spec.width = 128;
+    spec.height = 96;
+    spec.scenes_per_video = 2;
+    spec.frames_per_scene = 10;
+    (void)vr::BuildCorpus(engine.get(), spec).value();
+  }
+  return engine.get();
+}
+
+std::vector<vr::Image> QueryFrames() {
+  vr::CorpusSpec spec;
+  spec.width = 128;
+  spec.height = 96;
+  std::vector<vr::Image> queries;
+  for (int c = 0; c < vr::kNumCategories; ++c) {
+    queries.push_back(vr::MakeQueryFrame(spec,
+                                         static_cast<vr::VideoCategory>(c),
+                                         7000 + static_cast<uint64_t>(c))
+                          .value());
+  }
+  return queries;
+}
+
+/// End-to-end throughput: a batch of queries submitted together and
+/// drained, executed by `workers` pool threads sharing the engine's
+/// read lock. items_per_second is the figure of merit.
+void BM_ServiceThroughput(benchmark::State& state) {
+  vr::RetrievalEngine* engine = SharedEngine();
+  const auto queries = QueryFrames();
+  vr::ServiceOptions options;
+  options.num_workers = static_cast<size_t>(state.range(0));
+  options.max_backlog = 256;
+  vr::RetrievalService service(engine, options);
+
+  constexpr size_t kBatch = 16;
+  uint64_t failures = 0;
+  for (auto _ : state) {
+    std::vector<std::future<vr::ServiceResponse>> futures;
+    futures.reserve(kBatch);
+    for (size_t i = 0; i < kBatch; ++i) {
+      vr::ServiceRequest request;
+      request.image = queries[i % queries.size()];
+      request.k = 10;
+      futures.push_back(service.Submit(std::move(request)));
+    }
+    for (auto& f : futures) {
+      if (!f.get().status.ok()) ++failures;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kBatch));
+  const vr::ServiceStatsSnapshot stats = service.GetStats();
+  state.counters["workers"] =
+      static_cast<double>(options.num_workers);
+  state.counters["p50_ms"] = stats.p50_ms;
+  state.counters["p95_ms"] = stats.p95_ms;
+  state.counters["failures"] = static_cast<double>(failures);
+}
+BENCHMARK(BM_ServiceThroughput)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/// Cost of a deterministic kUnavailable rejection: the overload path
+/// must stay cheap (no engine work, no blocking).
+void BM_ServiceRejection(benchmark::State& state) {
+  vr::RetrievalEngine* engine = SharedEngine();
+  const auto queries = QueryFrames();
+  vr::ServiceOptions options;
+  options.num_workers = 1;
+  options.max_backlog = 0;
+  // Hold the single worker hostage so every submission after the first
+  // is refused at admission.
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  options.worker_hook = [gate] { gate.wait(); };
+  vr::RetrievalService service(engine, options);
+  vr::ServiceRequest blocker;
+  blocker.image = queries[0];
+  auto blocked = service.Submit(blocker);
+
+  for (auto _ : state) {
+    vr::ServiceRequest request;
+    request.image = queries[0];
+    vr::ServiceResponse response = service.Query(request);
+    if (!response.status.IsUnavailable()) {
+      state.SkipWithError("expected kUnavailable under overload");
+      break;
+    }
+  }
+  release.set_value();
+  blocked.get();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServiceRejection)->Unit(benchmark::kMicrosecond);
+
+}  // namespace

@@ -45,6 +45,11 @@ void BM_BPlusTreeLookup(benchmark::State& state) {
     benchmark::DoNotOptimize(tree->Get(rng.UniformInt(0, n - 1)));
   }
   state.SetItemsProcessed(state.iterations());
+  const vr::PagerStats ps = pager->GetStats();
+  state.counters["pager_fetches"] = static_cast<double>(ps.fetches);
+  state.counters["pager_hit_rate"] =
+      ps.fetches ? static_cast<double>(ps.hits) / ps.fetches : 0.0;
+  state.counters["pager_evictions"] = static_cast<double>(ps.evictions);
 }
 BENCHMARK(BM_BPlusTreeLookup)->Arg(1000)->Arg(100000);
 
@@ -118,6 +123,11 @@ void BM_TableGet(benchmark::State& state) {
     benchmark::DoNotOptimize(table->Get(rng.UniformInt(0, n - 1)));
   }
   state.SetItemsProcessed(state.iterations());
+  const vr::PagerStats ps = table->GetPagerStats();
+  state.counters["pager_fetches"] = static_cast<double>(ps.fetches);
+  state.counters["pager_hit_rate"] =
+      ps.fetches ? static_cast<double>(ps.hits) / ps.fetches : 0.0;
+  state.counters["pager_evictions"] = static_cast<double>(ps.evictions);
 }
 BENCHMARK(BM_TableGet);
 

@@ -3,7 +3,14 @@
 /// role of the paper's Figure 2 use-case diagram and the search screen
 /// of its Figures 9-10, as a terminal UI.
 ///
-///   ./search_cli [db_dir]
+///   ./search_cli [db_dir] [--create]
+///   ./search_cli --connect <host> <port>
+///
+/// In the default local mode the database directory must already exist
+/// (pass --create to start a fresh one). With --connect the console
+/// speaks the binary wire protocol to a running serve_cli instead of
+/// opening a database; query/queryfile/single/stats/shutdown work
+/// remotely.
 ///
 /// Commands:
 ///   seed                      build a small demo corpus (if empty)
@@ -18,6 +25,7 @@
 ///   quit
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <sstream>
 
@@ -26,6 +34,8 @@
 #include "retrieval/browse.h"
 #include "retrieval/engine.h"
 #include "retrieval/feedback.h"
+#include "service/client.h"
+#include "util/env.h"
 #include "util/string_util.h"
 #include "video/synth/generator.h"
 
@@ -51,23 +61,189 @@ vr::Image FreshFrame(vr::VideoCategory category, uint64_t seed) {
   return vr::GenerateVideoFrames(spec).value()[1];
 }
 
-void PrintResults(const std::vector<vr::QueryResult>& results,
-                  vr::RetrievalEngine* engine) {
+void PrintResultRows(const std::vector<vr::QueryResult>& results,
+                     const vr::CandidateStats& stats) {
   std::printf("%-5s %-8s %-8s %-10s\n", "rank", "i_id", "v_id", "score");
   for (size_t i = 0; i < results.size(); ++i) {
     std::printf("%-5zu %-8lld %-8lld %-10.4f\n", i + 1,
                 static_cast<long long>(results[i].i_id),
                 static_cast<long long>(results[i].v_id), results[i].score);
   }
-  const vr::CandidateStats stats = engine->last_candidate_stats();
   std::printf("(scored %zu of %zu key frames)\n", stats.candidates,
               stats.total);
+}
+
+void PrintResults(const std::vector<vr::QueryResult>& results,
+                  vr::RetrievalEngine* engine) {
+  PrintResultRows(results, engine->last_candidate_stats());
+}
+
+void PrintRemoteResponse(const vr::ServiceResponse& response) {
+  if (!response.status.ok()) {
+    std::printf("%s\n", response.status.ToString().c_str());
+    return;
+  }
+  PrintResultRows(response.results, response.stats);
+}
+
+/// Remote console: the same query commands, served over the wire.
+int RunClientMode(const std::string& host, uint16_t port) {
+  auto client_result = vr::VrClient::Connect(host, port);
+  if (!client_result.ok()) {
+    std::fprintf(stderr,
+                 "error: cannot connect to %s:%u — %s\n"
+                 "(is serve_cli running there?)\n",
+                 host.c_str(), static_cast<unsigned>(port),
+                 client_result.status().ToString().c_str());
+    return 1;
+  }
+  auto client = std::move(client_result).value();
+  std::printf("connected to vretrieve server at %s:%u\n", host.c_str(),
+              static_cast<unsigned>(port));
+  std::printf("type 'help' for commands\n");
+
+  uint64_t query_counter = 0;
+  std::string line;
+  while (std::printf("> "), std::fflush(stdout),
+         std::getline(std::cin, line)) {
+    const std::vector<std::string> args = vr::SplitWhitespace(line);
+    if (args.empty()) continue;
+    const std::string& cmd = args[0];
+    if (cmd == "quit" || cmd == "exit") break;
+    if (cmd == "help") {
+      std::printf(
+          "  query <category> [k] | queryfile <ppm> [k]\n"
+          "  single <feature> <category> [k] | stats | shutdown | quit\n");
+    } else if (cmd == "stats") {
+      auto stats = client->GetStats();
+      if (!stats.ok()) {
+        std::printf("%s\n", stats.status().ToString().c_str());
+        continue;
+      }
+      std::printf("received=%llu served=%llu rejected=%llu expired=%llu "
+                  "failed=%llu in_flight=%llu\n",
+                  static_cast<unsigned long long>(stats->received),
+                  static_cast<unsigned long long>(stats->served),
+                  static_cast<unsigned long long>(stats->rejected),
+                  static_cast<unsigned long long>(stats->expired),
+                  static_cast<unsigned long long>(stats->failed),
+                  static_cast<unsigned long long>(stats->in_flight));
+      std::printf("latency: n=%llu p50=%.2fms p95=%.2fms p99=%.2fms\n",
+                  static_cast<unsigned long long>(stats->latency_count),
+                  stats->p50_ms, stats->p95_ms, stats->p99_ms);
+      std::printf("pager: fetches=%llu hits=%llu misses=%llu evictions=%llu "
+                  "checksum_failures=%llu\n",
+                  static_cast<unsigned long long>(stats->pager.fetches),
+                  static_cast<unsigned long long>(stats->pager.hits),
+                  static_cast<unsigned long long>(stats->pager.misses),
+                  static_cast<unsigned long long>(stats->pager.evictions),
+                  static_cast<unsigned long long>(
+                      stats->pager.checksum_failures));
+    } else if (cmd == "shutdown") {
+      const vr::Status st = client->Shutdown();
+      if (!st.ok()) {
+        std::printf("%s\n", st.ToString().c_str());
+        continue;
+      }
+      std::printf("server acknowledged shutdown\n");
+      break;
+    } else if (cmd == "query" && args.size() >= 2) {
+      auto category = ParseCategory(args[1]);
+      if (!category.ok()) {
+        std::printf("%s\n", category.status().ToString().c_str());
+        continue;
+      }
+      const size_t k = args.size() > 2
+                           ? static_cast<size_t>(
+                                 vr::ParseInt64(args[2]).ValueOr(10))
+                           : 10;
+      const vr::Image query = FreshFrame(*category, ++query_counter);
+      auto response = client->Query(query, k);
+      if (!response.ok()) {
+        std::printf("%s\n", response.status().ToString().c_str());
+        continue;
+      }
+      PrintRemoteResponse(*response);
+    } else if (cmd == "queryfile" && args.size() >= 2) {
+      auto img = vr::ReadPnm(args[1]);
+      if (!img.ok()) {
+        std::printf("%s\n", img.status().ToString().c_str());
+        continue;
+      }
+      const size_t k = args.size() > 2
+                           ? static_cast<size_t>(
+                                 vr::ParseInt64(args[2]).ValueOr(10))
+                           : 10;
+      auto response = client->Query(*img, k);
+      if (!response.ok()) {
+        std::printf("%s\n", response.status().ToString().c_str());
+        continue;
+      }
+      PrintRemoteResponse(*response);
+    } else if (cmd == "single" && args.size() >= 3) {
+      auto kind = vr::FeatureKindFromName(args[1]);
+      auto category = ParseCategory(args[2]);
+      if (!kind.ok() || !category.ok()) {
+        std::printf("usage: single <feature> <category> [k]\n");
+        continue;
+      }
+      const size_t k = args.size() > 3
+                           ? static_cast<size_t>(
+                                 vr::ParseInt64(args[3]).ValueOr(10))
+                           : 10;
+      const vr::Image query = FreshFrame(*category, ++query_counter);
+      auto response = client->Query(query, k, vr::QueryMode::kSingleFeature,
+                                    *kind);
+      if (!response.ok()) {
+        std::printf("%s\n", response.status().ToString().c_str());
+        continue;
+      }
+      PrintRemoteResponse(*response);
+    } else {
+      std::printf("unknown command; type 'help'\n");
+    }
+  }
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string dir = argc > 1 ? argv[1] : "/tmp/vretrieve_search";
+  std::string dir = "/tmp/vretrieve_search";
+  bool create = false;
+  bool dir_given = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--connect") {
+      if (i + 2 >= argc) {
+        std::fprintf(stderr, "usage: %s --connect <host> <port>\n", argv[0]);
+        return 2;
+      }
+      return RunClientMode(argv[i + 1],
+                           static_cast<uint16_t>(std::atoi(argv[i + 2])));
+    } else if (arg == "--create") {
+      create = true;
+    } else if (!dir_given) {
+      dir = arg;
+      dir_given = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [db_dir] [--create] | %s --connect <host> "
+                   "<port>\n",
+                   argv[0], argv[0]);
+      return 2;
+    }
+  }
+
+  if (!vr::Env::Default()->FileExists(dir) && !create) {
+    std::fprintf(stderr,
+                 "error: database directory '%s' does not exist\n"
+                 "(pass --create to start a fresh one, or point at an "
+                 "ingested corpus)\n",
+                 dir.c_str());
+    return 1;
+  }
+
   vr::EngineOptions options;
   auto engine_result = vr::RetrievalEngine::Open(dir, options);
   if (!engine_result.ok()) {

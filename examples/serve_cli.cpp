@@ -1,0 +1,140 @@
+/// \file serve_cli.cpp
+/// \brief Stand up a VrServer over an ingested corpus.
+///
+///   ./serve_cli <db_dir> [--port N] [--workers N] [--backlog N]
+///               [--deadline-ms N] [--create] [--seed]
+///
+/// Opens the database at <db_dir> (refusing to invent one unless
+/// --create is given), wraps the engine in a RetrievalService and
+/// serves the binary query protocol until a client sends the shutdown
+/// RPC (e.g. `search_cli --connect 127.0.0.1 <port>` then `shutdown`)
+/// or the process receives SIGINT-less termination via that RPC.
+/// --seed ingests one synthetic video per category so a fresh database
+/// has something to answer with.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "retrieval/engine.h"
+#include "service/server.h"
+#include "service/service.h"
+#include "util/env.h"
+#include "util/string_util.h"
+#include "video/synth/generator.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <db_dir> [--port N] [--workers N] [--backlog N]\n"
+               "          [--deadline-ms N] [--create] [--seed]\n",
+               argv0);
+  return 2;
+}
+
+bool SeedCorpus(vr::RetrievalEngine* engine) {
+  for (int c = 0; c < vr::kNumCategories; ++c) {
+    vr::SyntheticVideoSpec spec;
+    spec.category = static_cast<vr::VideoCategory>(c);
+    spec.width = 120;
+    spec.height = 90;
+    spec.num_scenes = 3;
+    spec.frames_per_scene = 10;
+    spec.seed = 500 + static_cast<uint64_t>(c);
+    const auto frames = vr::GenerateVideoFrames(spec).value();
+    auto v_id = engine->IngestFrames(
+        frames, std::string("seed_") + vr::CategoryName(spec.category));
+    if (!v_id.ok()) {
+      std::fprintf(stderr, "seed ingest failed: %s\n",
+                   v_id.status().ToString().c_str());
+      return false;
+    }
+    std::printf("seeded %s as video %lld\n", vr::CategoryName(spec.category),
+                static_cast<long long>(*v_id));
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage(argv[0]);
+  const std::string dir = argv[1];
+  uint16_t port = 0;
+  bool create = false;
+  bool seed = false;
+  vr::ServiceOptions service_options;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--create") {
+      create = true;
+    } else if (arg == "--seed") {
+      seed = true;
+    } else if (arg == "--port" && i + 1 < argc) {
+      port = static_cast<uint16_t>(std::atoi(argv[++i]));
+    } else if (arg == "--workers" && i + 1 < argc) {
+      service_options.num_workers =
+          static_cast<size_t>(std::atoi(argv[++i]));
+    } else if (arg == "--backlog" && i + 1 < argc) {
+      service_options.max_backlog =
+          static_cast<size_t>(std::atoi(argv[++i]));
+    } else if (arg == "--deadline-ms" && i + 1 < argc) {
+      service_options.default_deadline_ms =
+          static_cast<uint64_t>(std::atoll(argv[++i]));
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  if (!vr::Env::Default()->FileExists(dir) && !create && !seed) {
+    std::fprintf(stderr,
+                 "error: database directory '%s' does not exist\n"
+                 "(pass --create to start an empty one, or --seed to also "
+                 "ingest a demo corpus)\n",
+                 dir.c_str());
+    return 1;
+  }
+
+  auto engine_result = vr::RetrievalEngine::Open(dir);
+  if (!engine_result.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 engine_result.status().ToString().c_str());
+    return 1;
+  }
+  auto engine = std::move(engine_result).value();
+  if (seed && engine->indexed_key_frames() == 0) {
+    if (!SeedCorpus(engine.get())) return 1;
+  }
+
+  vr::RetrievalService service(engine.get(), service_options);
+  vr::ServerOptions server_options;
+  server_options.port = port;
+  auto server = vr::VrServer::Start(&service, server_options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n",
+                 server.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("serving %zu key frames on 127.0.0.1:%u "
+              "(%zu workers, backlog %zu)\n",
+              engine->indexed_key_frames(),
+              static_cast<unsigned>((*server)->port()),
+              service.options().num_workers, service.options().max_backlog);
+  std::printf("connect with: search_cli --connect 127.0.0.1 %u\n",
+              static_cast<unsigned>((*server)->port()));
+  std::fflush(stdout);
+
+  (*server)->Wait();
+  (*server)->Stop();
+  const vr::ServiceStatsSnapshot stats = service.GetStats();
+  std::printf("final stats: received=%llu served=%llu rejected=%llu "
+              "expired=%llu failed=%llu p50=%.2fms p95=%.2fms p99=%.2fms\n",
+              static_cast<unsigned long long>(stats.received),
+              static_cast<unsigned long long>(stats.served),
+              static_cast<unsigned long long>(stats.rejected),
+              static_cast<unsigned long long>(stats.expired),
+              static_cast<unsigned long long>(stats.failed), stats.p50_ms,
+              stats.p95_ms, stats.p99_ms);
+  return 0;
+}

@@ -21,3 +21,8 @@ export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
 
 ctest --test-dir "$BUILD_DIR" --output-on-failure "$@"
 echo "sanitizer run clean"
+
+# ThreadSanitizer cannot be combined with ASan in one build, so the
+# concurrency suites get their own pass.
+scripts/check_tsan.sh
+

@@ -24,6 +24,12 @@ enum class RangeLookupMode {
 };
 
 /// \brief In-memory bucket -> frame-id index.
+///
+/// Thread-safety: externally synchronized. The const members (Lookup,
+/// size, bucket_count, buckets) are safe to call concurrently with each
+/// other; Insert/InsertAt/Erase require exclusive access. The
+/// RetrievalEngine enforces this with its reader/writer lock — lookups
+/// run under the shared side, mutation under the exclusive side.
 class RangeBucketIndex {
  public:
   explicit RangeBucketIndex(RangeFinderOptions options = {})

@@ -1,6 +1,7 @@
 #include "retrieval/engine.h"
 
 #include <algorithm>
+#include <mutex>
 
 #include "util/logging.h"
 
@@ -75,6 +76,7 @@ Result<FeatureMap> RetrievalEngine::ExtractEnabled(
 }
 
 Status RetrievalEngine::RemoveVideo(int64_t v_id) {
+  std::unique_lock<SharedMutex> lock(mutex_);
   VR_ASSIGN_OR_RETURN(std::vector<int64_t> ids,
                       store_->KeyFrameIdsOfVideo(v_id));
   VR_RETURN_NOT_OK(store_->DeleteVideo(v_id));

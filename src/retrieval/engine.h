@@ -11,8 +11,11 @@
 
 #pragma once
 
+#include <atomic>
+#include <functional>
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -22,6 +25,7 @@
 #include "keyframe/keyframe_extractor.h"
 #include "similarity/combined_scorer.h"
 #include "storage/video_store.h"
+#include "util/shared_mutex.h"
 #include "util/status.h"
 
 namespace vr {
@@ -83,7 +87,28 @@ struct CandidateStats {
   size_t total = 0;       ///< key frames in the store
 };
 
+/// Hook invoked by the query methods between pipeline stages (feature
+/// extraction -> candidate selection -> ranking). Returning a non-OK
+/// status aborts the query with that status before the next stage runs;
+/// RetrievalService uses this for per-request deadlines/cancellation.
+using QueryCheckpoint = std::function<Status()>;
+
 /// \brief The CBVR system facade.
+///
+/// Thread-safety: the engine uses a reader/writer discipline over one
+/// writer-preferring vr::SharedMutex. The query methods (QueryByImage,
+/// QueryByImageSingleFeature, QueryByVideo, last_candidate_stats,
+/// indexed_key_frames) take the lock shared and may run concurrently
+/// with each other from any number of threads. The mutating methods
+/// (IngestFrames, IngestVideoFile, RemoveVideo — and
+/// ApplyRelevanceFeedback, which rewrites the scorer weights) take it
+/// exclusive. Callers never lock for those; they only need rw_lock()
+/// when touching engine internals directly: scorer() mutation and all
+/// VideoStore access through store() require the exclusive lock when
+/// queries may be in flight. The range index and the per-key-frame
+/// cache are plain data guarded entirely by this lock; the pager layer
+/// below is additionally self-serializing (see pager.h) so stats
+/// snapshots never race ingest I/O.
 class RetrievalEngine {
  public:
   /// Opens (or creates) the engine over a database directory and warms
@@ -103,24 +128,49 @@ class RetrievalEngine {
   Status RemoveVideo(int64_t v_id);
   /// @}
 
-  /// \name Querying (the User role).
+  /// \name Querying (the User role). Safe to call concurrently from
+  /// many threads, including concurrently with ingest.
   /// @{
-  /// Combined multi-feature ranking of the top \p k key frames.
-  Result<std::vector<QueryResult>> QueryByImage(const Image& query, size_t k);
+  /// Combined multi-feature ranking of the top \p k key frames. The
+  /// optional \p checkpoint runs between pipeline stages; a non-OK
+  /// return (e.g. DeadlineExceeded) aborts the query before the next
+  /// stage — in particular, ranking never runs after an expired
+  /// deadline.
+  Result<std::vector<QueryResult>> QueryByImage(
+      const Image& query, size_t k, const QueryCheckpoint& checkpoint = {});
   /// Ranking by a single feature (the per-feature columns of Table 1).
   Result<std::vector<QueryResult>> QueryByImageSingleFeature(
-      const Image& query, FeatureKind kind, size_t k);
+      const Image& query, FeatureKind kind, size_t k,
+      const QueryCheckpoint& checkpoint = {});
   /// Video-to-video search: DTW over key-frame sequences with fused
-  /// per-pair feature costs.
+  /// per-pair feature costs. The checkpoint additionally runs between
+  /// per-video DTW alignments.
   Result<std::vector<VideoQueryResult>> QueryByVideo(
-      const std::vector<Image>& query_frames, size_t k);
+      const std::vector<Image>& query_frames, size_t k,
+      const QueryCheckpoint& checkpoint = {});
   /// @}
 
-  /// Pruning statistics of the most recent image query.
-  const CandidateStats& last_candidate_stats() const { return last_stats_; }
+  /// Pruning statistics of the most recent image query (a snapshot;
+  /// under concurrent queries it reflects whichever finished selection
+  /// last).
+  CandidateStats last_candidate_stats() const {
+    CandidateStats stats;
+    stats.candidates = last_candidates_.load(std::memory_order_relaxed);
+    stats.total = last_total_.load(std::memory_order_relaxed);
+    return stats;
+  }
 
-  /// Mutable fusion weights (defaults: all 1).
+  /// Mutable fusion weights (defaults: all 1). Mutation requires
+  /// holding rw_lock() exclusive when queries may be in flight
+  /// (ApplyRelevanceFeedback does this for you).
   CombinedScorer* scorer() { return &scorer_; }
+
+  /// The engine-wide reader/writer lock. Public API methods lock it
+  /// internally; it is exposed for helpers that mutate engine-owned
+  /// state from outside (scorer re-weighting, direct store() access).
+  /// Lock hierarchy: always acquire this before any pager mutex, never
+  /// after (see DESIGN.md "Service layer & threading model").
+  SharedMutex& rw_lock() const { return mutex_; }
 
   VideoStore* store() { return store_.get(); }
   const EngineOptions& options() const { return options_; }
@@ -131,7 +181,10 @@ class RetrievalEngine {
   }
 
   /// Number of key frames currently indexed.
-  size_t indexed_key_frames() const { return cache_.size(); }
+  size_t indexed_key_frames() const {
+    std::shared_lock<SharedMutex> lock(mutex_);
+    return cache_.size();
+  }
 
  private:
   explicit RetrievalEngine(EngineOptions options)
@@ -150,22 +203,28 @@ class RetrievalEngine {
   Status WarmCache();
   Result<FeatureMap> ExtractEnabled(
       const Image& img) const;
+  /// Requires mutex_ held (shared suffices).
   Result<std::vector<const CachedKeyFrame*>> SelectCandidates(
       const Image& query);
+  /// Requires mutex_ held (shared suffices).
   Result<std::vector<QueryResult>> Rank(
       const FeatureMap& query_features,
       const std::vector<const CachedKeyFrame*>& candidates,
       const std::vector<FeatureKind>& kinds, size_t k) const;
 
   EngineOptions options_;
-  KeyFrameExtractor key_frames_;
+  KeyFrameExtractor key_frames_;  ///< stateless after construction
+  /// Guards index_, cache_, cache_by_id_, scorer_ and store_ mutation:
+  /// shared for queries, exclusive for ingest/remove/feedback.
+  mutable SharedMutex mutex_;
   RangeBucketIndex index_;
   CombinedScorer scorer_;
   std::unique_ptr<VideoStore> store_;
-  std::vector<std::unique_ptr<FeatureExtractor>> extractors_;
+  std::vector<std::unique_ptr<FeatureExtractor>> extractors_;  ///< immutable after Open
   std::vector<CachedKeyFrame> cache_;
   std::map<int64_t, size_t> cache_by_id_;
-  CandidateStats last_stats_;
+  std::atomic<size_t> last_candidates_{0};
+  std::atomic<size_t> last_total_{0};
 };
 
 }  // namespace vr

@@ -2,12 +2,17 @@
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
+#include <shared_mutex>
 
 namespace vr {
 
 Result<std::map<FeatureKind, double>> ApplyRelevanceFeedback(
     RetrievalEngine* engine, const std::vector<QueryResult>& results,
     const FeedbackJudgments& judgments, const FeedbackOptions& options) {
+  // Rewrites the scorer weights, which concurrent queries read during
+  // ranking: take the engine lock exclusive for the read-blend-write.
+  std::unique_lock<vr::SharedMutex> lock(engine->rw_lock());
   if (judgments.relevant.empty() || judgments.non_relevant.empty()) {
     return Status::InvalidArgument(
         "feedback needs at least one relevant and one non-relevant item");

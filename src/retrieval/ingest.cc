@@ -1,4 +1,5 @@
 #include <ctime>
+#include <mutex>
 
 #include "features/region_growing.h"
 #include "imaging/dct_codec.h"
@@ -30,6 +31,10 @@ Result<int64_t> RetrievalEngine::IngestFrames(const std::vector<Image>& frames,
   if (frames.empty()) {
     return Status::InvalidArgument("cannot ingest an empty video");
   }
+  // Writer side of the engine's reader/writer discipline: ingest holds
+  // the lock exclusive for the whole persist + publish sequence, so
+  // concurrent queries see either none or all of this video's frames.
+  std::unique_lock<SharedMutex> lock(mutex_);
   VR_ASSIGN_OR_RETURN(std::vector<KeyFrame> keys, key_frames_.Extract(frames));
 
   const int64_t v_id = store_->NextVideoId();

@@ -1,5 +1,6 @@
 #include <algorithm>
 #include <limits>
+#include <mutex>
 
 #include "retrieval/engine.h"
 #include "similarity/dtw.h"
@@ -7,14 +8,23 @@
 
 namespace vr {
 
+namespace {
+
+/// Runs the between-stage hook; an unset hook never aborts.
+Status RunCheckpoint(const QueryCheckpoint& checkpoint) {
+  return checkpoint ? checkpoint() : Status::OK();
+}
+
+}  // namespace
+
 Result<std::vector<const RetrievalEngine::CachedKeyFrame*>>
 RetrievalEngine::SelectCandidates(const Image& query) {
   std::vector<const CachedKeyFrame*> out;
-  last_stats_.total = cache_.size();
+  last_total_.store(cache_.size(), std::memory_order_relaxed);
   if (!options_.use_index) {
     out.reserve(cache_.size());
     for (const CachedKeyFrame& kf : cache_) out.push_back(&kf);
-    last_stats_.candidates = out.size();
+    last_candidates_.store(out.size(), std::memory_order_relaxed);
     return out;
   }
   const GrayRange query_range = FindRange(query, options_.range);
@@ -35,7 +45,7 @@ RetrievalEngine::SelectCandidates(const Image& query) {
     }
     if (match) out.push_back(&kf);
   }
-  last_stats_.candidates = out.size();
+  last_candidates_.store(out.size(), std::memory_order_relaxed);
   return out;
 }
 
@@ -107,17 +117,22 @@ Result<std::vector<QueryResult>> RetrievalEngine::Rank(
 }
 
 Result<std::vector<QueryResult>> RetrievalEngine::QueryByImage(
-    const Image& query, size_t k) {
+    const Image& query, size_t k, const QueryCheckpoint& checkpoint) {
   if (query.empty()) return Status::InvalidArgument("empty query image");
+  std::shared_lock<SharedMutex> lock(mutex_);
+  VR_RETURN_NOT_OK(RunCheckpoint(checkpoint));
   VR_ASSIGN_OR_RETURN(FeatureMap features,
                       ExtractEnabled(query));
+  VR_RETURN_NOT_OK(RunCheckpoint(checkpoint));
   VR_ASSIGN_OR_RETURN(std::vector<const CachedKeyFrame*> candidates,
                       SelectCandidates(query));
+  VR_RETURN_NOT_OK(RunCheckpoint(checkpoint));
   return Rank(features, candidates, options_.enabled_features, k);
 }
 
 Result<std::vector<QueryResult>> RetrievalEngine::QueryByImageSingleFeature(
-    const Image& query, FeatureKind kind, size_t k) {
+    const Image& query, FeatureKind kind, size_t k,
+    const QueryCheckpoint& checkpoint) {
   if (query.empty()) return Status::InvalidArgument("empty query image");
   const FeatureExtractor* extractor =
       extractors_[static_cast<size_t>(kind)].get();
@@ -125,19 +140,26 @@ Result<std::vector<QueryResult>> RetrievalEngine::QueryByImageSingleFeature(
     return Status::InvalidArgument(std::string("feature not enabled: ") +
                                    FeatureKindName(kind));
   }
+  std::shared_lock<SharedMutex> lock(mutex_);
+  VR_RETURN_NOT_OK(RunCheckpoint(checkpoint));
   VR_ASSIGN_OR_RETURN(FeatureVector fv, extractor->Extract(query));
   FeatureMap features;
   features.emplace(kind, std::move(fv));
+  VR_RETURN_NOT_OK(RunCheckpoint(checkpoint));
   VR_ASSIGN_OR_RETURN(std::vector<const CachedKeyFrame*> candidates,
                       SelectCandidates(query));
+  VR_RETURN_NOT_OK(RunCheckpoint(checkpoint));
   return Rank(features, candidates, {kind}, k);
 }
 
 Result<std::vector<VideoQueryResult>> RetrievalEngine::QueryByVideo(
-    const std::vector<Image>& query_frames, size_t k) {
+    const std::vector<Image>& query_frames, size_t k,
+    const QueryCheckpoint& checkpoint) {
   if (query_frames.empty()) {
     return Status::InvalidArgument("empty query video");
   }
+  std::shared_lock<SharedMutex> lock(mutex_);
+  VR_RETURN_NOT_OK(RunCheckpoint(checkpoint));
   // Key frames + features of the query sequence.
   VR_ASSIGN_OR_RETURN(std::vector<KeyFrame> query_keys,
                       key_frames_.Extract(query_frames));
@@ -148,6 +170,7 @@ Result<std::vector<VideoQueryResult>> RetrievalEngine::QueryByVideo(
                         ExtractEnabled(kf.image));
     query_features.push_back(std::move(f));
   }
+  VR_RETURN_NOT_OK(RunCheckpoint(checkpoint));
 
   // Group stored key frames per video, in id (i.e. temporal) order.
   std::map<int64_t, std::vector<const CachedKeyFrame*>> by_video;
@@ -182,6 +205,7 @@ Result<std::vector<VideoQueryResult>> RetrievalEngine::QueryByVideo(
 
   std::vector<VideoQueryResult> results;
   for (const auto& [v_id, frames] : by_video) {
+    VR_RETURN_NOT_OK(RunCheckpoint(checkpoint));
     VR_ASSIGN_OR_RETURN(
         double score,
         DtwDistanceCost(query_features.size(), frames.size(),

@@ -1,0 +1,93 @@
+#include "service/client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "service/wire.h"
+#include "util/string_util.h"
+
+namespace vr {
+
+Result<std::unique_ptr<VrClient>> VrClient::Connect(const std::string& host,
+                                                    uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("client host must be an IPv4 address: " +
+                                   host);
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(StringPrintf("socket failed: %s",
+                                        std::strerror(errno)));
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IOError(StringPrintf("connect to %s:%u failed: %s",
+                                        host.c_str(), port,
+                                        std::strerror(err)));
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::unique_ptr<VrClient>(new VrClient(fd));
+}
+
+VrClient::~VrClient() { Close(); }
+
+void VrClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<ServiceResponse> VrClient::Query(const Image& image, size_t k,
+                                        QueryMode mode, FeatureKind feature,
+                                        uint64_t deadline_ms) {
+  if (fd_ < 0) return Status::IOError("client connection is closed");
+  ServiceRequest request;
+  request.image = image;
+  request.k = k;
+  request.mode = mode;
+  request.feature = feature;
+  request.deadline_ms = deadline_ms;
+  VR_RETURN_NOT_OK(SendFrame(fd_, MessageType::kQueryRequest,
+                             EncodeQueryRequest(request)));
+  VR_ASSIGN_OR_RETURN(Frame frame, RecvFrame(fd_));
+  if (frame.type != MessageType::kQueryResponse) {
+    return Status::Corruption("unexpected reply to query request");
+  }
+  return DecodeQueryResponse(frame.payload);
+}
+
+Result<ServiceStatsSnapshot> VrClient::GetStats() {
+  if (fd_ < 0) return Status::IOError("client connection is closed");
+  VR_RETURN_NOT_OK(SendFrame(fd_, MessageType::kStatsRequest, {}));
+  VR_ASSIGN_OR_RETURN(Frame frame, RecvFrame(fd_));
+  if (frame.type != MessageType::kStatsResponse) {
+    return Status::Corruption("unexpected reply to stats request");
+  }
+  return DecodeStatsResponse(frame.payload);
+}
+
+Status VrClient::Shutdown() {
+  if (fd_ < 0) return Status::IOError("client connection is closed");
+  VR_RETURN_NOT_OK(SendFrame(fd_, MessageType::kShutdownRequest, {}));
+  VR_ASSIGN_OR_RETURN(Frame frame, RecvFrame(fd_));
+  if (frame.type != MessageType::kShutdownResponse) {
+    return Status::Corruption("unexpected reply to shutdown request");
+  }
+  Close();
+  return Status::OK();
+}
+
+}  // namespace vr

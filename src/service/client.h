@@ -1,0 +1,57 @@
+/// \file client.h
+/// \brief VrClient: blocking TCP client for the VrServer wire protocol.
+///
+/// Usage:
+///   VR_ASSIGN_OR_RETURN(auto client, VrClient::Connect("127.0.0.1", port));
+///   VR_ASSIGN_OR_RETURN(ServiceResponse r, client->Query(image, 10));
+///
+/// Thread-safety: a VrClient is a single connection with blocking
+/// request/response framing — use one instance per thread (or guard it
+/// externally). Connect/Close are safe to pair from one owner thread.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "service/service.h"
+#include "service/stats.h"
+
+namespace vr {
+
+/// \brief One blocking connection speaking the wire.h protocol.
+class VrClient {
+ public:
+  /// Connects to an IPv4 \p host and \p port.
+  static Result<std::unique_ptr<VrClient>> Connect(const std::string& host,
+                                                   uint16_t port);
+  ~VrClient();
+  VrClient(const VrClient&) = delete;
+  VrClient& operator=(const VrClient&) = delete;
+
+  /// Round-trips one query-by-frame RPC. The returned ServiceResponse
+  /// carries the server-side status (e.g. kUnavailable on overload,
+  /// kDeadlineExceeded on expiry); a non-OK Result means the transport
+  /// itself failed.
+  Result<ServiceResponse> Query(const Image& image, size_t k,
+                                QueryMode mode = QueryMode::kCombined,
+                                FeatureKind feature = FeatureKind::kColorHistogram,
+                                uint64_t deadline_ms = 0);
+
+  /// Fetches the service stats snapshot.
+  Result<ServiceStatsSnapshot> GetStats();
+
+  /// Asks the server to shut down cleanly; returns once acknowledged.
+  Status Shutdown();
+
+  /// Closes the connection; further RPCs fail. Idempotent.
+  void Close();
+
+ private:
+  explicit VrClient(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+};
+
+}  // namespace vr

@@ -1,0 +1,175 @@
+#include "service/server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "service/wire.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace vr {
+
+Result<std::unique_ptr<VrServer>> VrServer::Start(RetrievalService* service,
+                                                  ServerOptions options) {
+  auto server =
+      std::unique_ptr<VrServer>(new VrServer(service, std::move(options)));
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(StringPrintf("socket failed: %s",
+                                        std::strerror(errno)));
+  }
+  server->listen_fd_ = fd;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server->options_.port);
+  if (::inet_pton(AF_INET, server->options_.host.c_str(), &addr.sin_addr) !=
+      1) {
+    return Status::InvalidArgument("server host must be an IPv4 address: " +
+                                   server->options_.host);
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return Status::IOError(StringPrintf("bind to %s:%u failed: %s",
+                                        server->options_.host.c_str(),
+                                        server->options_.port,
+                                        std::strerror(errno)));
+  }
+  if (::listen(fd, server->options_.backlog) != 0) {
+    return Status::IOError(StringPrintf("listen failed: %s",
+                                        std::strerror(errno)));
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
+      0) {
+    return Status::IOError("getsockname failed");
+  }
+  server->port_ = ntohs(bound.sin_port);
+
+  server->acceptor_ = std::thread([raw = server.get()] { raw->AcceptLoop(); });
+  VR_LOG(Info) << "VrServer listening on " << server->options_.host << ":"
+               << server->port_;
+  return server;
+}
+
+VrServer::~VrServer() { Stop(); }
+
+void VrServer::AcceptLoop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // Stop() shut the listener down (or it failed fatally): exit.
+      return;
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      return;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    std::lock_guard<std::mutex> lock(mutex_);
+    connections_.push_back(fd);
+    handlers_.emplace_back([this, fd] { HandleConnection(fd); });
+  }
+}
+
+void VrServer::HandleConnection(int fd) {
+  bool request_stop = false;
+  for (;;) {
+    Result<Frame> frame = RecvFrame(fd);
+    if (!frame.ok()) break;  // peer closed or malformed framing
+    Status sent = Status::OK();
+    switch (frame->type) {
+      case MessageType::kQueryRequest: {
+        ServiceResponse response;
+        Result<ServiceRequest> request = DecodeQueryRequest(frame->payload);
+        if (request.ok()) {
+          response = service_->Query(std::move(request).value());
+        } else {
+          response.status = request.status();
+        }
+        sent = SendFrame(fd, MessageType::kQueryResponse,
+                         EncodeQueryResponse(response));
+        break;
+      }
+      case MessageType::kStatsRequest:
+        sent = SendFrame(fd, MessageType::kStatsResponse,
+                         EncodeStatsResponse(service_->GetStats()));
+        break;
+      case MessageType::kShutdownRequest:
+        (void)SendFrame(fd, MessageType::kShutdownResponse, {0});
+        request_stop = true;
+        break;
+      default:
+        VR_LOG(Warn) << "dropping connection after unknown message type "
+                     << static_cast<int>(frame->type);
+        sent = Status::IOError("unknown message type");
+        break;
+    }
+    if (request_stop || !sent.ok()) break;
+  }
+  // Deregister before closing so Stop() never shutdown(2)s a recycled
+  // fd number belonging to someone else.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    connections_.erase(
+        std::remove(connections_.begin(), connections_.end(), fd),
+        connections_.end());
+    if (request_stop) stop_requested_ = true;
+  }
+  ::close(fd);
+  if (request_stop) {
+    // Wake Wait(); the waiter (serve_cli / tests) performs the actual
+    // Stop so no handler ever joins itself.
+    stopped_cv_.notify_all();
+  }
+}
+
+void VrServer::Stop() {
+  if (stopping_.exchange(true, std::memory_order_acq_rel)) {
+    // Another caller is stopping; wait for it to finish.
+    std::unique_lock<std::mutex> lock(mutex_);
+    stopped_cv_.wait(lock, [this] { return stopped_; });
+    return;
+  }
+  // Unblock accept(2).
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (acceptor_.joinable()) acceptor_.join();
+  ::close(listen_fd_);
+
+  // Unblock in-flight recv(2) calls and join the handlers.
+  std::vector<std::thread> handlers;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (int fd : connections_) ::shutdown(fd, SHUT_RDWR);
+    handlers.swap(handlers_);
+  }
+  for (std::thread& t : handlers) {
+    if (t.joinable()) t.join();
+  }
+  VR_LOG(Info) << "VrServer stopped";
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopped_ = true;
+    stop_requested_ = true;
+  }
+  stopped_cv_.notify_all();
+}
+
+void VrServer::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  stopped_cv_.wait(lock, [this] { return stop_requested_ || stopped_; });
+}
+
+}  // namespace vr

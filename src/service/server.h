@@ -1,0 +1,82 @@
+/// \file server.h
+/// \brief VrServer: blocking TCP front-end for a RetrievalService.
+///
+/// Serves the wire protocol of wire.h: query-by-frame (combined or
+/// single-feature scoring, top-k), a stats RPC, and a clean shutdown
+/// RPC. One acceptor thread plus one handler thread per connection;
+/// concurrency of query execution itself is governed by the service's
+/// worker pool (connection handlers block on the service future).
+///
+/// Thread-safety: Start/Stop/Wait/port are safe from any thread.
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/service.h"
+
+namespace vr {
+
+/// Listener configuration.
+struct ServerOptions {
+  /// Listen address; the default only accepts local clients.
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 picks an ephemeral port (read it back via port()).
+  uint16_t port = 0;
+  /// listen(2) backlog.
+  int backlog = 16;
+};
+
+/// \brief Accepts connections and speaks the binary query protocol.
+class VrServer {
+ public:
+  /// Binds and starts the acceptor thread. \p service must outlive the
+  /// server.
+  static Result<std::unique_ptr<VrServer>> Start(RetrievalService* service,
+                                                 ServerOptions options = {});
+  ~VrServer();
+  VrServer(const VrServer&) = delete;
+  VrServer& operator=(const VrServer&) = delete;
+
+  /// The bound port (resolves ephemeral port 0).
+  uint16_t port() const { return port_; }
+
+  /// Stops accepting, unblocks in-flight connection reads, joins all
+  /// threads. Idempotent; also run by the destructor.
+  void Stop();
+
+  /// Blocks until Stop() runs or a client issues the shutdown RPC.
+  /// After a shutdown RPC the caller still owns the teardown: call
+  /// Stop() (or let the destructor do it) once Wait returns.
+  void Wait();
+
+ private:
+  VrServer(RetrievalService* service, ServerOptions options)
+      : service_(service), options_(std::move(options)) {}
+
+  void AcceptLoop();
+  void HandleConnection(int fd);
+
+  RetrievalService* service_;
+  ServerOptions options_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+
+  std::atomic<bool> stopping_{false};
+  std::mutex mutex_;  ///< guards connections_, handlers_, stop flags
+  std::condition_variable stopped_cv_;
+  bool stop_requested_ = false;  ///< a client asked for shutdown
+  bool stopped_ = false;         ///< Stop() completed
+  std::vector<int> connections_;  ///< open connection fds (for Stop)
+  std::vector<std::thread> handlers_;
+  std::thread acceptor_;
+};
+
+}  // namespace vr

@@ -1,0 +1,63 @@
+#include "service/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace vr {
+
+LatencyHistogram::LatencyHistogram() {
+  // Geometric bucket bounds: 0.001 ms * 1.4^i. 1.4^63 ~= 1.6e9, so the
+  // second-to-last bound sits near 1.6e6 ms (~27 minutes).
+  double bound = 0.001;
+  for (size_t i = 0; i + 1 < kNumBuckets; ++i) {
+    bounds_[i] = bound;
+    bound *= 1.4;
+  }
+  bounds_[kNumBuckets - 1] = std::numeric_limits<double>::infinity();
+}
+
+void LatencyHistogram::Record(double ms) {
+  if (ms < 0) ms = 0;
+  const auto it = std::upper_bound(bounds_.begin(), bounds_.end() - 1, ms);
+  const size_t bucket = static_cast<size_t>(it - bounds_.begin());
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++counts_[bucket];
+  ++total_;
+}
+
+double LatencyHistogram::Percentile(double p) const {
+  p = std::clamp(p, 0.0, 100.0);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (total_ == 0) return 0.0;
+  const double target = p / 100.0 * static_cast<double>(total_);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    if (counts_[i] == 0) continue;
+    const uint64_t next = seen + counts_[i];
+    if (static_cast<double>(next) >= target) {
+      const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+      double hi = bounds_[i];
+      if (!std::isfinite(hi)) hi = lo * 2;  // overflow bucket: coarse guess
+      const double frac =
+          (target - static_cast<double>(seen)) /
+          static_cast<double>(counts_[i]);
+      return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+    }
+    seen = next;
+  }
+  return bounds_[kNumBuckets - 2];
+}
+
+uint64_t LatencyHistogram::Count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+void LatencyHistogram::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counts_.fill(0);
+  total_ = 0;
+}
+
+}  // namespace vr

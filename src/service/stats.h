@@ -1,0 +1,63 @@
+/// \file stats.h
+/// \brief Service-side observability: latency histogram + stats snapshot.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+
+#include "storage/pager.h"
+
+namespace vr {
+
+/// \brief Log-bucketed latency histogram with percentile estimation.
+///
+/// Buckets grow geometrically from 1 microsecond, covering roughly
+/// 1 us .. 20 minutes; the last bucket absorbs everything above.
+/// Thread-safety: fully thread-safe (one internal mutex).
+class LatencyHistogram {
+ public:
+  static constexpr size_t kNumBuckets = 64;
+
+  LatencyHistogram();
+
+  /// Records one latency observation (milliseconds, must be >= 0).
+  void Record(double ms);
+
+  /// Percentile estimate in milliseconds for \p p in [0, 100];
+  /// 0 when no observations were recorded. Linear interpolation within
+  /// the winning bucket.
+  double Percentile(double p) const;
+
+  uint64_t Count() const;
+
+  void Reset();
+
+ private:
+  /// Upper bound (exclusive) of bucket \p i in milliseconds.
+  std::array<double, kNumBuckets> bounds_;
+  mutable std::mutex mutex_;
+  std::array<uint64_t, kNumBuckets> counts_{};
+  uint64_t total_ = 0;
+};
+
+/// \brief Point-in-time counters of a RetrievalService (the stats RPC
+/// payload).
+struct ServiceStatsSnapshot {
+  uint64_t received = 0;   ///< Submit calls, admitted or not
+  uint64_t served = 0;     ///< completed with an OK status
+  uint64_t rejected = 0;   ///< refused admission (kUnavailable)
+  uint64_t expired = 0;    ///< aborted by their deadline (kDeadlineExceeded)
+  uint64_t failed = 0;     ///< completed with any other error
+  uint64_t in_flight = 0;  ///< admitted, not yet completed
+  /// Completed-request latency distribution (admission to completion).
+  uint64_t latency_count = 0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  /// Storage buffer-pool counters aggregated over the engine's tables.
+  PagerStats pager;
+};
+
+}  // namespace vr

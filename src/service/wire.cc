@@ -1,0 +1,308 @@
+#include "service/wire.h"
+
+#include <errno.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "util/string_util.h"
+
+namespace vr {
+
+namespace {
+
+void PutU8(std::vector<uint8_t>* out, uint8_t v) { out->push_back(v); }
+
+template <typename T>
+void PutLe(std::vector<uint8_t>* out, T v) {
+  for (size_t i = 0; i < sizeof(T); ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void PutF64(std::vector<uint8_t>* out, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutLe<uint64_t>(out, bits);
+}
+
+/// Bounds-checked little-endian cursor over a payload.
+class Reader {
+ public:
+  explicit Reader(const std::vector<uint8_t>& buf) : buf_(buf) {}
+
+  bool ReadU8(uint8_t* v) { return ReadRaw(v, 1); }
+  bool ReadU16(uint16_t* v) { return ReadLe(v); }
+  bool ReadU32(uint32_t* v) { return ReadLe(v); }
+  bool ReadU64(uint64_t* v) { return ReadLe(v); }
+  bool ReadI64(int64_t* v) {
+    uint64_t raw;
+    if (!ReadLe(&raw)) return false;
+    std::memcpy(v, &raw, sizeof(raw));
+    return true;
+  }
+  bool ReadF64(double* v) {
+    uint64_t bits;
+    if (!ReadLe(&bits)) return false;
+    std::memcpy(v, &bits, sizeof(bits));
+    return true;
+  }
+  bool ReadBytes(std::vector<uint8_t>* out, size_t n) {
+    if (buf_.size() - pos_ < n) return false;
+    out->assign(buf_.begin() + static_cast<ptrdiff_t>(pos_),
+                buf_.begin() + static_cast<ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return true;
+  }
+  bool AtEnd() const { return pos_ == buf_.size(); }
+
+ private:
+  bool ReadRaw(void* out, size_t n) {
+    if (buf_.size() - pos_ < n) return false;
+    std::memcpy(out, buf_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  template <typename T>
+  bool ReadLe(T* v) {
+    if (buf_.size() - pos_ < sizeof(T)) return false;
+    T out = 0;
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      out |= static_cast<T>(buf_[pos_ + i]) << (8 * i);
+    }
+    pos_ += sizeof(T);
+    *v = out;
+    return true;
+  }
+
+  const std::vector<uint8_t>& buf_;
+  size_t pos_ = 0;
+};
+
+Status Truncated(const char* what) {
+  return Status::Corruption(std::string("truncated wire message: ") + what);
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeQueryRequest(const ServiceRequest& request) {
+  std::vector<uint8_t> out;
+  out.reserve(32 + request.image.SizeBytes());
+  PutU8(&out, static_cast<uint8_t>(request.mode));
+  PutU8(&out, static_cast<uint8_t>(request.feature));
+  PutLe<uint32_t>(&out, static_cast<uint32_t>(request.k));
+  PutLe<uint64_t>(&out, request.deadline_ms);
+  PutLe<uint16_t>(&out, static_cast<uint16_t>(request.image.width()));
+  PutLe<uint16_t>(&out, static_cast<uint16_t>(request.image.height()));
+  PutU8(&out, static_cast<uint8_t>(request.image.channels()));
+  const std::vector<uint8_t>& pixels = request.image.buffer();
+  out.insert(out.end(), pixels.begin(), pixels.end());
+  return out;
+}
+
+Result<ServiceRequest> DecodeQueryRequest(
+    const std::vector<uint8_t>& payload) {
+  Reader reader(payload);
+  ServiceRequest request;
+  uint8_t mode = 0;
+  uint8_t feature = 0;
+  uint32_t k = 0;
+  uint16_t width = 0;
+  uint16_t height = 0;
+  uint8_t channels = 0;
+  if (!reader.ReadU8(&mode) || !reader.ReadU8(&feature) ||
+      !reader.ReadU32(&k) || !reader.ReadU64(&request.deadline_ms) ||
+      !reader.ReadU16(&width) || !reader.ReadU16(&height) ||
+      !reader.ReadU8(&channels)) {
+    return Truncated("query request header");
+  }
+  if (mode > static_cast<uint8_t>(QueryMode::kSingleFeature)) {
+    return Status::InvalidArgument("unknown query mode on wire");
+  }
+  if (feature >= kNumFeatureKinds) {
+    return Status::InvalidArgument("unknown feature kind on wire");
+  }
+  if (channels != 1 && channels != 3) {
+    return Status::InvalidArgument("wire image must have 1 or 3 channels");
+  }
+  request.mode = static_cast<QueryMode>(mode);
+  request.feature = static_cast<FeatureKind>(feature);
+  request.k = k;
+  const size_t pixel_bytes = static_cast<size_t>(width) * height * channels;
+  std::vector<uint8_t> pixels;
+  if (!reader.ReadBytes(&pixels, pixel_bytes) || !reader.AtEnd()) {
+    return Truncated("query request pixels");
+  }
+  VR_ASSIGN_OR_RETURN(request.image,
+                      Image::FromData(width, height, channels,
+                                      std::move(pixels)));
+  return request;
+}
+
+std::vector<uint8_t> EncodeQueryResponse(const ServiceResponse& response) {
+  std::vector<uint8_t> out;
+  PutU8(&out, static_cast<uint8_t>(response.status.code()));
+  const std::string& msg = response.status.message();
+  PutLe<uint32_t>(&out, static_cast<uint32_t>(msg.size()));
+  out.insert(out.end(), msg.begin(), msg.end());
+  PutLe<uint64_t>(&out, response.stats.candidates);
+  PutLe<uint64_t>(&out, response.stats.total);
+  PutLe<uint32_t>(&out, static_cast<uint32_t>(response.results.size()));
+  for (const QueryResult& r : response.results) {
+    PutLe<uint64_t>(&out, static_cast<uint64_t>(r.i_id));
+    PutLe<uint64_t>(&out, static_cast<uint64_t>(r.v_id));
+    PutF64(&out, r.score);
+  }
+  return out;
+}
+
+Result<ServiceResponse> DecodeQueryResponse(
+    const std::vector<uint8_t>& payload) {
+  Reader reader(payload);
+  ServiceResponse response;
+  uint8_t code = 0;
+  uint32_t msg_len = 0;
+  if (!reader.ReadU8(&code) || !reader.ReadU32(&msg_len)) {
+    return Truncated("query response header");
+  }
+  std::vector<uint8_t> msg;
+  if (!reader.ReadBytes(&msg, msg_len)) {
+    return Truncated("query response status message");
+  }
+  response.status = Status(static_cast<StatusCode>(code),
+                           std::string(msg.begin(), msg.end()));
+  uint64_t candidates = 0;
+  uint64_t total = 0;
+  uint32_t n_results = 0;
+  if (!reader.ReadU64(&candidates) || !reader.ReadU64(&total) ||
+      !reader.ReadU32(&n_results)) {
+    return Truncated("query response stats");
+  }
+  response.stats.candidates = candidates;
+  response.stats.total = total;
+  response.results.reserve(n_results);
+  for (uint32_t i = 0; i < n_results; ++i) {
+    QueryResult r;
+    if (!reader.ReadI64(&r.i_id) || !reader.ReadI64(&r.v_id) ||
+        !reader.ReadF64(&r.score)) {
+      return Truncated("query response result row");
+    }
+    response.results.push_back(std::move(r));
+  }
+  if (!reader.AtEnd()) {
+    return Status::Corruption("trailing bytes after query response");
+  }
+  return response;
+}
+
+std::vector<uint8_t> EncodeStatsResponse(const ServiceStatsSnapshot& stats) {
+  std::vector<uint8_t> out;
+  PutU8(&out, 0);  // status code: stats snapshots always succeed
+  PutLe<uint64_t>(&out, stats.received);
+  PutLe<uint64_t>(&out, stats.served);
+  PutLe<uint64_t>(&out, stats.rejected);
+  PutLe<uint64_t>(&out, stats.expired);
+  PutLe<uint64_t>(&out, stats.failed);
+  PutLe<uint64_t>(&out, stats.in_flight);
+  PutLe<uint64_t>(&out, stats.latency_count);
+  PutF64(&out, stats.p50_ms);
+  PutF64(&out, stats.p95_ms);
+  PutF64(&out, stats.p99_ms);
+  PutLe<uint64_t>(&out, stats.pager.fetches);
+  PutLe<uint64_t>(&out, stats.pager.hits);
+  PutLe<uint64_t>(&out, stats.pager.misses);
+  PutLe<uint64_t>(&out, stats.pager.evictions);
+  PutLe<uint64_t>(&out, stats.pager.checksum_failures);
+  return out;
+}
+
+Result<ServiceStatsSnapshot> DecodeStatsResponse(
+    const std::vector<uint8_t>& payload) {
+  Reader reader(payload);
+  ServiceStatsSnapshot stats;
+  uint8_t code = 0;
+  if (!reader.ReadU8(&code) || !reader.ReadU64(&stats.received) ||
+      !reader.ReadU64(&stats.served) || !reader.ReadU64(&stats.rejected) ||
+      !reader.ReadU64(&stats.expired) || !reader.ReadU64(&stats.failed) ||
+      !reader.ReadU64(&stats.in_flight) ||
+      !reader.ReadU64(&stats.latency_count) || !reader.ReadF64(&stats.p50_ms) ||
+      !reader.ReadF64(&stats.p95_ms) || !reader.ReadF64(&stats.p99_ms) ||
+      !reader.ReadU64(&stats.pager.fetches) ||
+      !reader.ReadU64(&stats.pager.hits) ||
+      !reader.ReadU64(&stats.pager.misses) ||
+      !reader.ReadU64(&stats.pager.evictions) ||
+      !reader.ReadU64(&stats.pager.checksum_failures) ||
+      !reader.AtEnd()) {
+    return Truncated("stats response");
+  }
+  return stats;
+}
+
+Status SendFrame(int fd, MessageType type,
+                 const std::vector<uint8_t>& payload) {
+  if (payload.size() > kMaxFramePayload) {
+    return Status::InvalidArgument("frame payload too large");
+  }
+  std::vector<uint8_t> frame;
+  frame.reserve(5 + payload.size());
+  PutLe<uint32_t>(&frame, static_cast<uint32_t>(payload.size()));
+  PutU8(&frame, static_cast<uint8_t>(type));
+  frame.insert(frame.end(), payload.begin(), payload.end());
+
+  size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t n = ::send(fd, frame.data() + sent, frame.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(StringPrintf("send failed: %s",
+                                          std::strerror(errno)));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+namespace {
+
+Status RecvAll(int fd, void* buf, size_t n) {
+  size_t got = 0;
+  while (got < n) {
+    const ssize_t r =
+        ::recv(fd, static_cast<uint8_t*>(buf) + got, n - got, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(StringPrintf("recv failed: %s",
+                                          std::strerror(errno)));
+    }
+    if (r == 0) {
+      return Status::IOError("connection closed mid-frame");
+    }
+    got += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Frame> RecvFrame(int fd) {
+  uint8_t header[5];
+  VR_RETURN_NOT_OK(RecvAll(fd, header, sizeof(header)));
+  uint32_t len = 0;
+  for (size_t i = 0; i < 4; ++i) {
+    len |= static_cast<uint32_t>(header[i]) << (8 * i);
+  }
+  if (len > kMaxFramePayload) {
+    return Status::Corruption("oversized wire frame");
+  }
+  Frame frame;
+  frame.type = static_cast<MessageType>(header[4]);
+  frame.payload.resize(len);
+  if (len > 0) {
+    VR_RETURN_NOT_OK(RecvAll(fd, frame.payload.data(), len));
+  }
+  return frame;
+}
+
+}  // namespace vr

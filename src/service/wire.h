@@ -1,0 +1,79 @@
+/// \file wire.h
+/// \brief Length-prefixed binary wire protocol for VrServer/VrClient.
+///
+/// Frame layout (all integers little-endian):
+///
+///   u32 payload_length | u8 message_type | payload bytes
+///
+/// Message payloads:
+///   kQueryRequest:   u8 mode | u8 feature | u32 k | u64 deadline_ms |
+///                    u16 width | u16 height | u8 channels |
+///                    width*height*channels pixel bytes
+///   kQueryResponse:  u8 status_code | u32 msg_len | msg bytes |
+///                    u64 candidates | u64 total | u32 n_results |
+///                    n * (i64 i_id | i64 v_id | f64 score)
+///   kStatsRequest:   (empty)
+///   kStatsResponse:  u8 status_code=0 | 6 * u64 counters (received,
+///                    served, rejected, expired, failed, in_flight) |
+///                    u64 latency_count | 3 * f64 (p50, p95, p99 ms) |
+///                    5 * u64 pager stats (fetches, hits, misses,
+///                    evictions, checksum_failures)
+///   kShutdownRequest: (empty)
+///   kShutdownResponse: u8 status_code=0
+///
+/// Per-feature distances of QueryResult are not shipped — the wire
+/// carries (i_id, v_id, score) triples, which is what remote ranking
+/// consumers need. Frames above kMaxFramePayload are rejected.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "service/service.h"
+#include "service/stats.h"
+
+namespace vr {
+
+enum class MessageType : uint8_t {
+  kQueryRequest = 1,
+  kQueryResponse = 2,
+  kStatsRequest = 3,
+  kStatsResponse = 4,
+  kShutdownRequest = 5,
+  kShutdownResponse = 6,
+};
+
+/// Largest accepted frame payload (a query image plus headroom).
+inline constexpr size_t kMaxFramePayload = 64u << 20;
+
+/// \name Message payload codecs.
+/// @{
+std::vector<uint8_t> EncodeQueryRequest(const ServiceRequest& request);
+Result<ServiceRequest> DecodeQueryRequest(const std::vector<uint8_t>& payload);
+
+std::vector<uint8_t> EncodeQueryResponse(const ServiceResponse& response);
+Result<ServiceResponse> DecodeQueryResponse(
+    const std::vector<uint8_t>& payload);
+
+std::vector<uint8_t> EncodeStatsResponse(const ServiceStatsSnapshot& stats);
+Result<ServiceStatsSnapshot> DecodeStatsResponse(
+    const std::vector<uint8_t>& payload);
+/// @}
+
+/// One decoded frame.
+struct Frame {
+  MessageType type;
+  std::vector<uint8_t> payload;
+};
+
+/// \name Blocking frame I/O over a connected socket fd.
+/// Full-message semantics: partial sends/reads are retried until the
+/// frame completes; a peer close mid-frame is an IOError.
+/// @{
+Status SendFrame(int fd, MessageType type,
+                 const std::vector<uint8_t>& payload);
+Result<Frame> RecvFrame(int fd);
+/// @}
+
+}  // namespace vr

@@ -210,6 +210,14 @@ Status Database::Update(const std::string& table, const Row& row) {
   return Insert(table, row).status();
 }
 
+PagerStats Database::GetPagerStats() const {
+  PagerStats total;
+  for (const auto& [name, table] : tables_) {
+    if (table != nullptr) total += table->GetPagerStats();
+  }
+  return total;
+}
+
 Status Database::Checkpoint() {
   // A partially constructed Database (Open failed mid-way) has no
   // journal; there is nothing to checkpoint.

@@ -98,6 +98,12 @@ class Database {
   /// Bytes currently pending in the journal.
   Result<uint64_t> JournalBytes() const { return wal_->SizeBytes(); }
 
+  /// Aggregated buffer-pool statistics over every open table.
+  /// Thread-safe once Open has returned (the table set is immutable
+  /// afterwards unless CreateTable is called, which this codebase only
+  /// does during open).
+  PagerStats GetPagerStats() const;
+
  private:
   explicit Database(std::string dir) : dir_(std::move(dir)) {}
 

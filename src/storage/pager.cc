@@ -123,6 +123,7 @@ Status Pager::ReadPageFromDisk(uint32_t page_id, Page* out) {
     uint64_t stored = 0;
     std::memcpy(&stored, buf.data() + kPageSize, kChecksumSize);
     if (stored != Fnv1a64(buf.data(), kPageSize)) {
+      ++stats_.checksum_failures;
       return Status::Corruption(StringPrintf(
           "page checksum mismatch (page %u) in %s", page_id, path_.c_str()));
     }
@@ -144,11 +145,17 @@ Status Pager::WritePageToDisk(uint32_t page_id, const Page& page) {
 }
 
 Status Pager::VerifyAllPages() {
+  std::lock_guard<std::mutex> lock(mutex_);
   Page scratch;
   for (uint32_t page_id = 0; page_id < page_count_; ++page_id) {
     VR_RETURN_NOT_OK(ReadPageFromDisk(page_id, &scratch));
   }
   return Status::OK();
+}
+
+PagerStats Pager::GetStats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
 }
 
 void Pager::Touch(uint32_t page_id, CacheEntry* entry) {
@@ -170,6 +177,7 @@ Status Pager::EvictIfNeeded() {
       }
       lru_.erase(std::next(it).base());
       cache_.erase(centry);
+      ++stats_.evictions;
       evicted = true;
       break;
     }
@@ -179,17 +187,23 @@ Status Pager::EvictIfNeeded() {
 }
 
 Result<std::shared_ptr<Page>> Pager::Fetch(uint32_t page_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return FetchLocked(page_id);
+}
+
+Result<std::shared_ptr<Page>> Pager::FetchLocked(uint32_t page_id) {
   if (page_id >= page_count_) {
     return Status::InvalidArgument(
         StringPrintf("page %u beyond end (%u pages)", page_id, page_count_));
   }
+  ++stats_.fetches;
   auto it = cache_.find(page_id);
   if (it != cache_.end()) {
-    ++cache_hits_;
+    ++stats_.hits;
     Touch(page_id, &it->second);
     return it->second.page;
   }
-  ++cache_misses_;
+  ++stats_.misses;
   auto page = std::make_shared<Page>();
   VR_RETURN_NOT_OK(ReadPageFromDisk(page_id, page.get()));
   lru_.push_front(page_id);
@@ -202,6 +216,11 @@ Result<std::shared_ptr<Page>> Pager::Fetch(uint32_t page_id) {
 }
 
 Status Pager::MarkDirty(uint32_t page_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return MarkDirtyLocked(page_id);
+}
+
+Status Pager::MarkDirtyLocked(uint32_t page_id) {
   auto it = cache_.find(page_id);
   if (it == cache_.end()) {
     VR_LOG(Warn) << "MarkDirty on non-resident page " << page_id << " of "
@@ -214,14 +233,15 @@ Status Pager::MarkDirty(uint32_t page_id) {
 }
 
 Result<uint32_t> Pager::Allocate(PageType type) {
+  std::lock_guard<std::mutex> lock(mutex_);
   uint32_t page_id;
   if (free_head_ != kInvalidPageId) {
     page_id = free_head_;
-    VR_ASSIGN_OR_RETURN(std::shared_ptr<Page> page, Fetch(page_id));
+    VR_ASSIGN_OR_RETURN(std::shared_ptr<Page> page, FetchLocked(page_id));
     free_head_ = page->next_page();
     std::memset(page->data(), 0, kPageSize);
     page->set_type(type);
-    VR_RETURN_NOT_OK(MarkDirty(page_id));
+    VR_RETURN_NOT_OK(MarkDirtyLocked(page_id));
   } else {
     page_id = page_count_;
     ++page_count_;
@@ -244,16 +264,17 @@ Result<uint32_t> Pager::Allocate(PageType type) {
 }
 
 Status Pager::Free(uint32_t page_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
   if (page_id == 0 || page_id >= page_count_) {
     return Status::InvalidArgument("cannot free page " +
                                    std::to_string(page_id));
   }
-  VR_ASSIGN_OR_RETURN(std::shared_ptr<Page> page, Fetch(page_id));
+  VR_ASSIGN_OR_RETURN(std::shared_ptr<Page> page, FetchLocked(page_id));
   std::memset(page->data(), 0, kPageSize);
   page->set_type(PageType::kFree);
   page->set_next_page(free_head_);
   free_head_ = page_id;
-  VR_RETURN_NOT_OK(MarkDirty(page_id));
+  VR_RETURN_NOT_OK(MarkDirtyLocked(page_id));
   meta_dirty_ = true;
   return Status::OK();
 }
@@ -269,6 +290,11 @@ void Pager::set_user_counter(uint64_t v) {
 }
 
 Status Pager::Flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return FlushLocked();
+}
+
+Status Pager::FlushLocked() {
   for (auto& [page_id, entry] : cache_) {
     if (entry.dirty) {
       VR_RETURN_NOT_OK(WritePageToDisk(page_id, *entry.page));
@@ -282,7 +308,8 @@ Status Pager::Flush() {
 }
 
 Status Pager::Sync() {
-  VR_RETURN_NOT_OK(Flush());
+  std::lock_guard<std::mutex> lock(mutex_);
+  VR_RETURN_NOT_OK(FlushLocked());
   return file_->Sync();
 }
 

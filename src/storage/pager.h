@@ -17,6 +17,7 @@
 
 #include <list>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 
@@ -26,6 +27,24 @@
 
 namespace vr {
 
+/// Cumulative buffer-pool statistics of one Pager (see Pager::GetStats).
+struct PagerStats {
+  uint64_t fetches = 0;            ///< Fetch calls (hits + misses)
+  uint64_t hits = 0;               ///< served from the buffer pool
+  uint64_t misses = 0;             ///< required a disk read
+  uint64_t evictions = 0;          ///< pages written out of / dropped from the pool
+  uint64_t checksum_failures = 0;  ///< v2 page reads that failed verification
+
+  PagerStats& operator+=(const PagerStats& other) {
+    fetches += other.fetches;
+    hits += other.hits;
+    misses += other.misses;
+    evictions += other.evictions;
+    checksum_failures += other.checksum_failures;
+    return *this;
+  }
+};
+
 /// Page-file format versions. v1 (the legacy format, identified by a
 /// zero version field in the meta page) has bare kPageSize slots; v2
 /// adds a u64 FNV-1a checksum trailer to every slot.
@@ -33,6 +52,15 @@ constexpr uint32_t kPagerFormatLegacy = 1;
 constexpr uint32_t kPagerFormatCurrent = 2;
 
 /// \brief Owns a page file: allocation, caching, write-back.
+///
+/// Thread-safety: the buffer pool (Fetch, MarkDirty, Allocate, Free,
+/// Flush, Sync, VerifyAllPages, GetStats) is internally serialized by a
+/// mutex, so concurrent calls never corrupt pager state. The *contents*
+/// of fetched pages are NOT synchronized — callers that mutate page
+/// bytes must hold an exclusive lock above the pager (in this codebase
+/// the RetrievalEngine's writer lock; see DESIGN.md "Service layer &
+/// threading model"). The meta accessors (page_count, user_root,
+/// user_counter) follow the same external-exclusion rule.
 class Pager {
  public:
   ~Pager();
@@ -92,9 +120,14 @@ class Pager {
   void set_user_counter(uint64_t v);
   /// @}
 
-  /// Cache statistics (for the storage microbenches).
-  uint64_t cache_hits() const { return cache_hits_; }
-  uint64_t cache_misses() const { return cache_misses_; }
+  /// Snapshot of the cumulative buffer-pool statistics. Thread-safe.
+  PagerStats GetStats() const;
+
+  /// \name Legacy stat accessors (storage microbenches). Thread-safe.
+  /// @{
+  uint64_t cache_hits() const { return GetStats().hits; }
+  uint64_t cache_misses() const { return GetStats().misses; }
+  /// @}
 
   static constexpr size_t kChecksumSize = 8;
 
@@ -107,13 +140,21 @@ class Pager {
     std::list<uint32_t>::iterator lru_it;
   };
 
+  /// \name Unlocked implementations; callers hold mutex_.
+  /// @{
+  Result<std::shared_ptr<Page>> FetchLocked(uint32_t page_id);
+  Status MarkDirtyLocked(uint32_t page_id);
+  Status FlushLocked();
   Status ReadPageFromDisk(uint32_t page_id, Page* out);
   Status WritePageToDisk(uint32_t page_id, const Page& page);
   Status LoadMeta();
   Status StoreMeta();
   void Touch(uint32_t page_id, CacheEntry* entry);
   Status EvictIfNeeded();
+  /// @}
 
+  /// Serializes the buffer pool, the LRU list and the counters.
+  mutable std::mutex mutex_;
   std::string path_;
   std::unique_ptr<EnvFile> file_;
   uint32_t format_version_ = kPagerFormatCurrent;
@@ -125,8 +166,7 @@ class Pager {
   size_t cache_capacity_ = 256;
   std::unordered_map<uint32_t, CacheEntry> cache_;
   std::list<uint32_t> lru_;  // front = most recent
-  uint64_t cache_hits_ = 0;
-  uint64_t cache_misses_ = 0;
+  PagerStats stats_;
 };
 
 }  // namespace vr

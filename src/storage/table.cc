@@ -279,6 +279,17 @@ Status Table::ScanIndexRange(const std::string& index_name, int64_t lo,
 
 Result<uint64_t> Table::Count() const { return pk_index_->Count(); }
 
+PagerStats Table::GetPagerStats() const {
+  PagerStats total;
+  total += heap_pager_->GetStats();
+  total += pk_pager_->GetStats();
+  total += blob_pager_->GetStats();
+  for (const auto& idx : secondary_) {
+    total += idx->pager->GetStats();
+  }
+  return total;
+}
+
 Status Table::Flush() {
   VR_RETURN_NOT_OK(heap_pager_->Flush());
   VR_RETURN_NOT_OK(pk_pager_->Flush());

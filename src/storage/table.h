@@ -127,6 +127,10 @@ class Table {
   /// Height of the pk index (storage microbench statistic).
   Result<int> PkIndexHeight() const { return pk_index_->Height(); }
 
+  /// Aggregated buffer-pool statistics over every page file of this
+  /// table (heap, pk index, blobs, secondary indexes). Thread-safe.
+  PagerStats GetPagerStats() const;
+
  private:
   Table(std::string dir, std::string name, Schema schema)
       : dir_(std::move(dir)), name_(std::move(name)),

@@ -100,6 +100,10 @@ class VideoStore {
 
   Database* database() { return db_.get(); }
 
+  /// Aggregated buffer-pool statistics over both tables' page files
+  /// (surfaced by the service stats RPC). Thread-safe.
+  PagerStats GetPagerStats() const { return db_->GetPagerStats(); }
+
   /// Tables quarantined by a degraded open (empty when healthy).
   const std::vector<TableDamage>& DamageReport() const {
     return db_->DamageReport();

@@ -53,7 +53,12 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   if (enabled_) {
-    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+    // One fwrite of the fully assembled line: POSIX stdio locks the
+    // stream per call, so concurrent workers cannot interleave partial
+    // lines (a multi-call fprintf could tear between segments).
+    std::string line = stream_.str();
+    line.push_back('\n');
+    std::fwrite(line.data(), 1, line.size(), stderr);
   }
 }
 

@@ -1,5 +1,9 @@
 /// \file logging.h
 /// \brief Minimal leveled logger with a process-global threshold.
+///
+/// Thread-safety: fully thread-safe. The level threshold is an atomic,
+/// and each message is emitted as a single fwrite of the assembled
+/// line, so concurrent threads never interleave partial lines.
 
 #pragma once
 

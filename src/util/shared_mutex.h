@@ -1,0 +1,59 @@
+/// \file shared_mutex.h
+/// \brief Writer-preferring shared mutex.
+///
+/// std::shared_mutex on glibc maps to a reader-preferring pthread
+/// rwlock: a steady stream of readers (e.g. query threads hammering the
+/// engine) starves a waiting writer (ingest) indefinitely. This wrapper
+/// gates new shared acquisitions while a writer is queued, so writers
+/// make progress in bounded time while readers still share freely the
+/// rest of the time.
+///
+/// Satisfies the SharedLockable requirements — usable with
+/// std::shared_lock / std::unique_lock / std::lock_guard.
+
+#pragma once
+
+#include <atomic>
+#include <shared_mutex>
+#include <thread>
+
+namespace vr {
+
+/// \brief std::shared_mutex with writer preference.
+class SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() {
+    writers_waiting_.fetch_add(1, std::memory_order_acq_rel);
+    inner_.lock();
+    writers_waiting_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  bool try_lock() {
+    return inner_.try_lock();
+  }
+  void unlock() { inner_.unlock(); }
+
+  void lock_shared() {
+    // Back off while a writer is queued; the race where a writer
+    // arrives just after the check only delays it by the readers
+    // already admitted, never unboundedly.
+    while (writers_waiting_.load(std::memory_order_acquire) > 0) {
+      std::this_thread::yield();
+    }
+    inner_.lock_shared();
+  }
+  bool try_lock_shared() {
+    if (writers_waiting_.load(std::memory_order_acquire) > 0) return false;
+    return inner_.try_lock_shared();
+  }
+  void unlock_shared() { inner_.unlock_shared(); }
+
+ private:
+  std::shared_mutex inner_;
+  std::atomic<int> writers_waiting_{0};
+};
+
+}  // namespace vr

@@ -27,6 +27,8 @@ enum class StatusCode : uint8_t {
   kCorruption = 6,
   kNotImplemented = 7,
   kInternal = 8,
+  kUnavailable = 9,
+  kDeadlineExceeded = 10,
 };
 
 /// \brief Returns a human-readable name for a StatusCode ("OK", "IOError", ...).
@@ -71,6 +73,12 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
   /// @}
 
   /// True iff the status is OK.
@@ -90,6 +98,10 @@ class Status {
     return code_ == StatusCode::kNotImplemented;
   }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

@@ -1,0 +1,77 @@
+/// \file thread_pool.h
+/// \brief Fixed-size worker pool with a bounded task queue.
+///
+/// General-purpose building block for the service layer: a fixed number
+/// of worker threads drain a bounded FIFO of std::function tasks.
+/// Admission is explicit — TrySubmit never blocks and reports a full
+/// queue to the caller, which is how RetrievalService turns overload
+/// into kUnavailable instead of unbounded queueing.
+///
+/// Thread-safety: every public member is safe to call from any thread.
+/// Destruction performs a graceful Shutdown() — queued tasks still run.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vr {
+
+/// Tuning for a ThreadPool.
+struct ThreadPoolOptions {
+  /// Worker count; 0 means one per hardware thread (at least 1).
+  size_t num_threads = 0;
+  /// Maximum tasks waiting in the queue (not counting executing ones).
+  size_t queue_capacity = 64;
+};
+
+/// \brief Fixed pool of workers over a bounded FIFO task queue.
+class ThreadPool {
+ public:
+  explicit ThreadPool(ThreadPoolOptions options = {});
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues \p task without blocking. Returns false when the queue is
+  /// at capacity or the pool has been shut down; the task is dropped.
+  bool TrySubmit(std::function<void()> task);
+
+  /// Enqueues \p task, blocking while the queue is full. Returns false
+  /// only when the pool has been shut down (the task is dropped).
+  bool Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and every in-flight task finished.
+  /// Tasks submitted concurrently with Drain may or may not be waited
+  /// for; quiesce submitters first for a strict barrier.
+  void Drain();
+
+  /// Graceful stop: rejects new submissions, runs all queued tasks,
+  /// joins the workers. Idempotent.
+  void Shutdown();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Tasks currently waiting (excludes executing ones). Advisory only.
+  size_t QueueDepth() const;
+
+ private:
+  void WorkerLoop();
+
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;   ///< signals workers
+  std::condition_variable not_full_;    ///< signals blocked Submit calls
+  std::condition_variable idle_;        ///< signals Drain
+  std::deque<std::function<void()>> queue_;
+  size_t active_ = 0;  ///< tasks currently executing
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace vr

@@ -1,0 +1,205 @@
+/// \file engine_concurrency_test.cc
+/// \brief Stress test of the engine's reader/writer discipline: query
+/// threads race ingest/remove/feedback, then a quiesced engine answers
+/// concurrent queries identically to a serial replay.
+///
+/// Kept small (tiny frames, two cheap features) so it stays fast under
+/// ThreadSanitizer — scripts/check_tsan.sh runs this suite.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "eval/table1_runner.h"  // RemoveDirRecursive
+#include "retrieval/engine.h"
+#include "retrieval/feedback.h"
+#include "video/synth/generator.h"
+
+namespace vr {
+namespace {
+
+std::vector<Image> TinyVideo(VideoCategory category, uint64_t seed) {
+  SyntheticVideoSpec spec;
+  spec.category = category;
+  spec.width = 64;
+  spec.height = 48;
+  spec.num_scenes = 2;
+  spec.frames_per_scene = 6;
+  spec.seed = seed;
+  return GenerateVideoFrames(spec).value();
+}
+
+class EngineConcurrencyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::string("/tmp/vretrieve_concurrency_test_") +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    RemoveDirRecursive(dir_);
+    EngineOptions options;
+    options.enabled_features = {FeatureKind::kColorHistogram,
+                                FeatureKind::kGlcm};
+    options.store_video_blob = false;
+    // Full scan keeps result sets non-empty on this tiny corpus, so the
+    // feedback stage always has judgments to work with.
+    options.use_index = false;
+    engine_ = RetrievalEngine::Open(dir_, options).value();
+    for (int c = 0; c < 2; ++c) {
+      ASSERT_TRUE(engine_
+                      ->IngestFrames(TinyVideo(static_cast<VideoCategory>(c),
+                                               10 + static_cast<uint64_t>(c)),
+                                     "base")
+                      .ok());
+    }
+  }
+
+  void TearDown() override {
+    engine_.reset();
+    RemoveDirRecursive(dir_);
+  }
+
+  std::string dir_;
+  std::unique_ptr<RetrievalEngine> engine_;
+};
+
+TEST_F(EngineConcurrencyTest, QueriesRaceIngestAndFeedback) {
+  const Image query = TinyVideo(VideoCategory::kSports, 99)[2];
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> queries_ok{0};
+  std::atomic<uint64_t> failures{0};
+
+  constexpr int kQueryThreads = 4;
+  std::vector<std::thread> readers;
+  readers.reserve(kQueryThreads);
+  for (int t = 0; t < kQueryThreads; ++t) {
+    readers.emplace_back([&, t] {
+      const Image my_query =
+          TinyVideo(VideoCategory::kCartoon, 200 + static_cast<uint64_t>(t))
+              [1];
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto results =
+            engine_->QueryByImage(t % 2 == 0 ? query : my_query, 5);
+        if (results.ok()) {
+          queries_ok.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  // Writers: ingest new videos, remove one, apply relevance feedback —
+  // all while the readers hammer the query path. Outcomes are recorded
+  // and asserted only after the readers are joined, so a failure never
+  // destroys a joinable std::thread.
+  Status writer_status = Status::OK();
+  size_t seed_count = 0;
+  std::vector<int64_t> ingested;
+  for (int i = 0; i < 3 && writer_status.ok(); ++i) {
+    auto v_id = engine_->IngestFrames(
+        TinyVideo(static_cast<VideoCategory>(i % kNumCategories),
+                  50 + static_cast<uint64_t>(i)),
+        "racer");
+    if (v_id.ok()) {
+      ingested.push_back(*v_id);
+    } else {
+      writer_status = v_id.status();
+    }
+  }
+  if (writer_status.ok()) {
+    writer_status = engine_->RemoveVideo(ingested[0]);
+  }
+  if (writer_status.ok()) {
+    auto seed_results = engine_->QueryByImage(query, 5);
+    if (seed_results.ok()) {
+      seed_count = seed_results->size();
+      if (seed_count >= 2) {
+        FeedbackJudgments judgments;
+        judgments.relevant.push_back((*seed_results)[0].i_id);
+        for (size_t i = 1; i < seed_results->size(); ++i) {
+          judgments.non_relevant.push_back((*seed_results)[i].i_id);
+        }
+        writer_status = ApplyRelevanceFeedback(engine_.get(), *seed_results,
+                                               judgments)
+                            .status();
+      }
+    } else {
+      writer_status = seed_results.status();
+    }
+  }
+  // Let the readers observe the final state for a little while.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  stop.store(true);
+  for (std::thread& t : readers) t.join();
+
+  ASSERT_TRUE(writer_status.ok()) << writer_status.ToString();
+  ASSERT_GE(seed_count, 2u);
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_GT(queries_ok.load(), 0u);
+
+  // Quiesced: concurrent queries must equal a serial replay bit for bit.
+  const auto reference = engine_->QueryByImage(query, 10);
+  ASSERT_TRUE(reference.ok());
+  std::vector<std::vector<QueryResult>> concurrent(kQueryThreads);
+  std::vector<std::thread> verifiers;
+  for (int t = 0; t < kQueryThreads; ++t) {
+    verifiers.emplace_back([&, t] {
+      auto results = engine_->QueryByImage(query, 10);
+      if (results.ok()) concurrent[static_cast<size_t>(t)] = *results;
+    });
+  }
+  for (std::thread& t : verifiers) t.join();
+  for (const auto& results : concurrent) {
+    ASSERT_EQ(results.size(), reference->size());
+    for (size_t i = 0; i < results.size(); ++i) {
+      EXPECT_EQ(results[i].i_id, (*reference)[i].i_id);
+      EXPECT_EQ(results[i].v_id, (*reference)[i].v_id);
+      EXPECT_DOUBLE_EQ(results[i].score, (*reference)[i].score);
+    }
+  }
+
+  // Reopen: the state the writers built is durable and consistent.
+  const size_t indexed = engine_->indexed_key_frames();
+  engine_.reset();
+  EngineOptions options;
+  options.enabled_features = {FeatureKind::kColorHistogram,
+                              FeatureKind::kGlcm};
+  options.store_video_blob = false;
+  engine_ = RetrievalEngine::Open(dir_, options).value();
+  EXPECT_EQ(engine_->indexed_key_frames(), indexed);
+}
+
+TEST_F(EngineConcurrencyTest, ConcurrentQueriesMatchSerialResults) {
+  const Image query = TinyVideo(VideoCategory::kMovie, 123)[4];
+  const auto serial = engine_->QueryByImage(query, 8);
+  ASSERT_TRUE(serial.ok());
+
+  constexpr int kThreads = 8;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 20; ++i) {
+        auto results = engine_->QueryByImage(query, 8);
+        if (!results.ok() || results->size() != serial->size()) {
+          mismatches.fetch_add(1);
+          continue;
+        }
+        for (size_t j = 0; j < results->size(); ++j) {
+          if ((*results)[j].i_id != (*serial)[j].i_id ||
+              (*results)[j].score != (*serial)[j].score) {
+            mismatches.fetch_add(1);
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+}  // namespace
+}  // namespace vr

@@ -1,0 +1,301 @@
+/// \file service_test.cc
+/// \brief RetrievalService + VrServer/VrClient: correctness vs the bare
+/// engine, admission control, deadlines, stats, and the wire round trip.
+
+#include "service/service.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "eval/table1_runner.h"  // RemoveDirRecursive
+#include "service/client.h"
+#include "service/server.h"
+#include "video/synth/generator.h"
+
+namespace vr {
+namespace {
+
+std::vector<Image> TestVideo(VideoCategory category, uint64_t seed) {
+  SyntheticVideoSpec spec;
+  spec.category = category;
+  spec.width = 96;
+  spec.height = 72;
+  spec.num_scenes = 2;
+  spec.frames_per_scene = 8;
+  spec.seed = seed;
+  return GenerateVideoFrames(spec).value();
+}
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::string("/tmp/vretrieve_service_test_") +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    RemoveDirRecursive(dir_);
+    EngineOptions options;
+    options.enabled_features = {FeatureKind::kColorHistogram,
+                                FeatureKind::kGlcm};
+    options.store_video_blob = false;
+    engine_ = RetrievalEngine::Open(dir_, options).value();
+    for (int c = 0; c < 3; ++c) {
+      ASSERT_TRUE(engine_
+                      ->IngestFrames(TestVideo(static_cast<VideoCategory>(c),
+                                               40 + static_cast<uint64_t>(c)),
+                                     "svc_test")
+                      .ok());
+    }
+    query_ = TestVideo(VideoCategory::kSports, 77)[3];
+  }
+
+  void TearDown() override {
+    engine_.reset();
+    RemoveDirRecursive(dir_);
+  }
+
+  std::string dir_;
+  std::unique_ptr<RetrievalEngine> engine_;
+  Image query_;
+};
+
+TEST_F(ServiceTest, QueryMatchesDirectEngine) {
+  const auto direct = engine_->QueryByImage(query_, 5);
+  ASSERT_TRUE(direct.ok());
+
+  ServiceOptions options;
+  options.num_workers = 2;
+  RetrievalService service(engine_.get(), options);
+  ServiceRequest request;
+  request.image = query_;
+  request.k = 5;
+  const ServiceResponse response = service.Query(std::move(request));
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  ASSERT_EQ(response.results.size(), direct->size());
+  for (size_t i = 0; i < direct->size(); ++i) {
+    EXPECT_EQ(response.results[i].i_id, (*direct)[i].i_id);
+    EXPECT_DOUBLE_EQ(response.results[i].score, (*direct)[i].score);
+  }
+  EXPECT_GT(response.stats.total, 0u);
+}
+
+TEST_F(ServiceTest, SingleFeatureModeMatchesDirectEngine) {
+  const auto direct = engine_->QueryByImageSingleFeature(
+      query_, FeatureKind::kColorHistogram, 4);
+  ASSERT_TRUE(direct.ok());
+
+  RetrievalService service(engine_.get());
+  ServiceRequest request;
+  request.image = query_;
+  request.k = 4;
+  request.mode = QueryMode::kSingleFeature;
+  request.feature = FeatureKind::kColorHistogram;
+  const ServiceResponse response = service.Query(std::move(request));
+  ASSERT_TRUE(response.status.ok());
+  ASSERT_EQ(response.results.size(), direct->size());
+  for (size_t i = 0; i < direct->size(); ++i) {
+    EXPECT_EQ(response.results[i].i_id, (*direct)[i].i_id);
+  }
+}
+
+TEST_F(ServiceTest, OverloadRejectsDeterministically) {
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.max_backlog = 1;  // admission capacity: 2
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  std::atomic<int> entered{0};
+  options.worker_hook = [gate, &entered] {
+    entered.fetch_add(1);
+    gate.wait();
+  };
+  RetrievalService service(engine_.get(), options);
+
+  auto make_request = [this] {
+    ServiceRequest request;
+    request.image = query_;
+    request.k = 3;
+    return request;
+  };
+  auto first = service.Submit(make_request());
+  auto second = service.Submit(make_request());
+  while (entered.load() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // Capacity (1 worker + 1 backlog) is claimed: further submissions
+  // complete immediately with kUnavailable instead of hanging.
+  for (int i = 0; i < 4; ++i) {
+    auto rejected = service.Submit(make_request());
+    ASSERT_EQ(rejected.wait_for(std::chrono::seconds(5)),
+              std::future_status::ready);
+    EXPECT_TRUE(rejected.get().status.IsUnavailable());
+  }
+  const ServiceStatsSnapshot mid = service.GetStats();
+  EXPECT_EQ(mid.rejected, 4u);
+  EXPECT_EQ(mid.in_flight, 2u);
+
+  release.set_value();
+  EXPECT_TRUE(first.get().status.ok());
+  EXPECT_TRUE(second.get().status.ok());
+  const ServiceStatsSnapshot done = service.GetStats();
+  EXPECT_EQ(done.served, 2u);
+  EXPECT_EQ(done.received, 6u);
+  EXPECT_EQ(done.in_flight, 0u);
+}
+
+TEST_F(ServiceTest, ExpiredDeadlineSkipsExecution) {
+  ServiceOptions options;
+  options.num_workers = 1;
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  std::atomic<bool> gated{true};
+  options.worker_hook = [gate, &gated] {
+    if (gated.exchange(false)) gate.wait();
+  };
+  RetrievalService service(engine_.get(), options);
+
+  ServiceRequest request;
+  request.image = query_;
+  request.deadline_ms = 1;
+  auto future = service.Submit(std::move(request));
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  release.set_value();
+
+  const ServiceResponse response = future.get();
+  EXPECT_TRUE(response.status.IsDeadlineExceeded())
+      << response.status.ToString();
+  EXPECT_TRUE(response.results.empty());
+  const ServiceStatsSnapshot stats = service.GetStats();
+  EXPECT_EQ(stats.expired, 1u);
+  EXPECT_EQ(stats.served, 0u);
+}
+
+TEST_F(ServiceTest, GenerousDeadlineStillServes) {
+  ServiceOptions options;
+  options.default_deadline_ms = 60000;
+  RetrievalService service(engine_.get(), options);
+  ServiceRequest request;
+  request.image = query_;
+  const ServiceResponse response = service.Query(std::move(request));
+  EXPECT_TRUE(response.status.ok()) << response.status.ToString();
+  EXPECT_FALSE(response.results.empty());
+}
+
+TEST_F(ServiceTest, EngineCheckpointAbortsBeforeRanking) {
+  // The engine honors a failing checkpoint between pipeline stages:
+  // the query aborts with that status instead of ranking.
+  int calls = 0;
+  auto result = engine_->QueryByImage(query_, 5, [&calls]() -> Status {
+    if (++calls >= 2) return Status::DeadlineExceeded("checkpoint fired");
+    return Status::OK();
+  });
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsDeadlineExceeded());
+  EXPECT_GE(calls, 2);
+}
+
+TEST_F(ServiceTest, StatsSnapshotIncludesPagerCounters) {
+  RetrievalService service(engine_.get());
+  ServiceRequest request;
+  request.image = query_;
+  ASSERT_TRUE(service.Query(std::move(request)).status.ok());
+  const ServiceStatsSnapshot stats = service.GetStats();
+  EXPECT_EQ(stats.received, 1u);
+  EXPECT_EQ(stats.served, 1u);
+  EXPECT_EQ(stats.latency_count, 1u);
+  EXPECT_GT(stats.p50_ms, 0.0);
+  // Ingest in SetUp went through the pager.
+  EXPECT_GT(stats.pager.fetches, 0u);
+  EXPECT_EQ(stats.pager.fetches, stats.pager.hits + stats.pager.misses);
+}
+
+TEST_F(ServiceTest, ShutdownCompletesOutstandingFutures) {
+  ServiceOptions options;
+  options.num_workers = 1;
+  RetrievalService service(engine_.get(), options);
+  std::vector<std::future<ServiceResponse>> futures;
+  for (int i = 0; i < 6; ++i) {
+    ServiceRequest request;
+    request.image = query_;
+    request.k = 2;
+    futures.push_back(service.Submit(std::move(request)));
+  }
+  service.Shutdown();
+  for (auto& f : futures) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(30)),
+              std::future_status::ready);
+    const ServiceResponse response = f.get();
+    EXPECT_TRUE(response.status.ok() || response.status.IsUnavailable());
+  }
+  // After shutdown, everything is refused without hanging.
+  ServiceRequest request;
+  request.image = query_;
+  EXPECT_TRUE(service.Query(std::move(request)).status.IsUnavailable());
+}
+
+TEST_F(ServiceTest, ServerClientRoundTrip) {
+  const auto direct = engine_->QueryByImage(query_, 5);
+  ASSERT_TRUE(direct.ok());
+
+  RetrievalService service(engine_.get());
+  auto server = VrServer::Start(&service);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  ASSERT_NE((*server)->port(), 0);
+
+  auto client = VrClient::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  auto response = (*client)->Query(query_, 5);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  ASSERT_TRUE(response->status.ok()) << response->status.ToString();
+  ASSERT_EQ(response->results.size(), direct->size());
+  for (size_t i = 0; i < direct->size(); ++i) {
+    EXPECT_EQ(response->results[i].i_id, (*direct)[i].i_id);
+    EXPECT_NEAR(response->results[i].score, (*direct)[i].score, 1e-12);
+  }
+
+  auto stats = (*client)->GetStats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->served, 1u);
+  EXPECT_GT(stats->pager.fetches, 0u);
+
+  // A second client works concurrently with the first.
+  auto client2 = VrClient::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(client2.ok());
+  auto response2 = (*client2)->Query(query_, 2, QueryMode::kSingleFeature,
+                                     FeatureKind::kGlcm);
+  ASSERT_TRUE(response2.ok());
+  EXPECT_TRUE(response2->status.ok());
+
+  (*server)->Stop();
+}
+
+TEST_F(ServiceTest, ShutdownRpcStopsServer) {
+  RetrievalService service(engine_.get());
+  auto server = VrServer::Start(&service);
+  ASSERT_TRUE(server.ok());
+
+  auto client = VrClient::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE((*client)->Shutdown().ok());
+
+  (*server)->Wait();  // woken by the RPC
+  (*server)->Stop();
+  // The listener is gone: new connections are refused.
+  EXPECT_FALSE(VrClient::Connect("127.0.0.1", (*server)->port()).ok());
+}
+
+TEST_F(ServiceTest, ClientConnectFailsCleanly) {
+  // Port 1 is privileged and unbound: connect must fail with a
+  // diagnosable status, not hang.
+  auto client = VrClient::Connect("127.0.0.1", 1);
+  ASSERT_FALSE(client.ok());
+  EXPECT_TRUE(client.status().IsIOError());
+}
+
+}  // namespace
+}  // namespace vr

@@ -21,12 +21,18 @@ TEST(StatusTest, FactoriesSetCodeAndMessage) {
   EXPECT_TRUE(Status::Corruption("x").IsCorruption());
   EXPECT_TRUE(Status::NotImplemented("x").IsNotImplemented());
   EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::Unavailable("x").IsUnavailable());
+  EXPECT_TRUE(Status::DeadlineExceeded("x").IsDeadlineExceeded());
   EXPECT_EQ(Status::NotFound("missing thing").message(), "missing thing");
 }
 
 TEST(StatusTest, ToStringIncludesCodeName) {
   EXPECT_EQ(Status::Corruption("bad page").ToString(),
             "Corruption: bad page");
+  EXPECT_EQ(Status::Unavailable("overloaded").ToString(),
+            "Unavailable: overloaded");
+  EXPECT_EQ(Status::DeadlineExceeded("too slow").ToString(),
+            "DeadlineExceeded: too slow");
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {

@@ -1,0 +1,142 @@
+/// \file thread_pool_test.cc
+/// \brief ThreadPool: execution, bounded-queue rejection, Drain and
+/// graceful Shutdown semantics.
+
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+
+namespace vr {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPoolOptions options;
+  options.num_threads = 4;
+  ThreadPool pool(options);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(pool.Submit([&count] { count.fetch_add(1); }));
+  }
+  pool.Drain();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, DefaultsToHardwareThreads) {
+  ThreadPool pool;
+  EXPECT_GE(pool.num_threads(), 1u);
+}
+
+TEST(ThreadPoolTest, TrySubmitRejectsWhenQueueFull) {
+  ThreadPoolOptions options;
+  options.num_threads = 1;
+  options.queue_capacity = 2;
+  ThreadPool pool(options);
+
+  // Park the single worker so queued tasks cannot drain.
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  std::promise<void> started;
+  ASSERT_TRUE(pool.TrySubmit([&started, gate] {
+    started.set_value();
+    gate.wait();
+  }));
+  started.get_future().wait();
+
+  // The queue (capacity 2) fills; the third TrySubmit must refuse.
+  EXPECT_TRUE(pool.TrySubmit([] {}));
+  EXPECT_TRUE(pool.TrySubmit([] {}));
+  EXPECT_FALSE(pool.TrySubmit([] {}));
+  EXPECT_EQ(pool.QueueDepth(), 2u);
+
+  release.set_value();
+  pool.Drain();
+  EXPECT_EQ(pool.QueueDepth(), 0u);
+  // Capacity is available again after draining.
+  EXPECT_TRUE(pool.TrySubmit([] {}));
+  pool.Drain();
+}
+
+TEST(ThreadPoolTest, SubmitBlocksUntilSpaceThenSucceeds) {
+  ThreadPoolOptions options;
+  options.num_threads = 1;
+  options.queue_capacity = 1;
+  ThreadPool pool(options);
+
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  std::promise<void> started;
+  ASSERT_TRUE(pool.TrySubmit([&started, gate] {
+    started.set_value();
+    gate.wait();
+  }));
+  started.get_future().wait();
+  ASSERT_TRUE(pool.TrySubmit([] {}));  // fills the queue
+
+  // Blocking Submit parks until the worker is released.
+  std::atomic<bool> submitted{false};
+  std::thread submitter([&pool, &submitted] {
+    EXPECT_TRUE(pool.Submit([] {}));
+    submitted.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(submitted.load());
+
+  release.set_value();
+  submitter.join();
+  EXPECT_TRUE(submitted.load());
+  pool.Drain();
+}
+
+TEST(ThreadPoolTest, DrainWaitsForInFlightTasks) {
+  ThreadPoolOptions options;
+  options.num_threads = 2;
+  ThreadPool pool(options);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_TRUE(pool.Submit([&done] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      done.fetch_add(1);
+    }));
+  }
+  pool.Drain();
+  EXPECT_EQ(done.load(), 16);
+}
+
+TEST(ThreadPoolTest, ShutdownRunsQueuedTasksAndRejectsNewOnes) {
+  ThreadPoolOptions options;
+  options.num_threads = 1;
+  options.queue_capacity = 32;
+  ThreadPool pool(options);
+
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  std::promise<void> started;
+  ASSERT_TRUE(pool.TrySubmit([&started, gate] {
+    started.set_value();
+    gate.wait();
+  }));
+  started.get_future().wait();
+  std::atomic<int> count{0};
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(pool.TrySubmit([&count] { count.fetch_add(1); }));
+  }
+
+  std::thread stopper([&pool] { pool.Shutdown(); });
+  release.set_value();
+  stopper.join();
+
+  // Graceful: everything queued before Shutdown ran.
+  EXPECT_EQ(count.load(), 8);
+  // New work is refused on both paths.
+  EXPECT_FALSE(pool.TrySubmit([] {}));
+  EXPECT_FALSE(pool.Submit([] {}));
+  pool.Shutdown();  // idempotent
+}
+
+}  // namespace
+}  // namespace vr

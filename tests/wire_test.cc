@@ -1,0 +1,159 @@
+/// \file wire_test.cc
+/// \brief Wire-protocol codecs: round trips, validation, truncation.
+
+#include "service/wire.h"
+
+#include <gtest/gtest.h>
+
+namespace vr {
+namespace {
+
+Image TestImage(int width, int height, int channels) {
+  std::vector<uint8_t> pixels(
+      static_cast<size_t>(width) * height * channels);
+  for (size_t i = 0; i < pixels.size(); ++i) {
+    pixels[i] = static_cast<uint8_t>(i * 31 + 7);
+  }
+  return Image::FromData(width, height, channels, std::move(pixels)).value();
+}
+
+TEST(WireTest, QueryRequestRoundTrip) {
+  ServiceRequest request;
+  request.image = TestImage(17, 9, 3);
+  request.k = 25;
+  request.mode = QueryMode::kSingleFeature;
+  request.feature = FeatureKind::kGlcm;
+  request.deadline_ms = 1500;
+
+  const std::vector<uint8_t> payload = EncodeQueryRequest(request);
+  auto decoded = DecodeQueryRequest(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->k, 25u);
+  EXPECT_EQ(decoded->mode, QueryMode::kSingleFeature);
+  EXPECT_EQ(decoded->feature, FeatureKind::kGlcm);
+  EXPECT_EQ(decoded->deadline_ms, 1500u);
+  EXPECT_EQ(decoded->image.width(), 17);
+  EXPECT_EQ(decoded->image.height(), 9);
+  EXPECT_EQ(decoded->image.channels(), 3);
+  EXPECT_EQ(decoded->image.buffer(), request.image.buffer());
+}
+
+TEST(WireTest, QueryRequestGrayscaleRoundTrip) {
+  ServiceRequest request;
+  request.image = TestImage(4, 4, 1);
+  const std::vector<uint8_t> payload = EncodeQueryRequest(request);
+  auto decoded = DecodeQueryRequest(payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->image.channels(), 1);
+}
+
+TEST(WireTest, QueryRequestRejectsTruncation) {
+  ServiceRequest request;
+  request.image = TestImage(8, 8, 3);
+  std::vector<uint8_t> payload = EncodeQueryRequest(request);
+  // Chop bytes at several depths: header, pixels, everything.
+  for (const size_t keep : {size_t{0}, size_t{3}, size_t{18},
+                            payload.size() - 1}) {
+    std::vector<uint8_t> cut(payload.begin(),
+                             payload.begin() + static_cast<ptrdiff_t>(keep));
+    EXPECT_FALSE(DecodeQueryRequest(cut).ok()) << "keep=" << keep;
+  }
+  // Trailing garbage is rejected too.
+  payload.push_back(0xEE);
+  EXPECT_FALSE(DecodeQueryRequest(payload).ok());
+}
+
+TEST(WireTest, QueryRequestRejectsBadEnums) {
+  ServiceRequest request;
+  request.image = TestImage(4, 4, 3);
+  std::vector<uint8_t> payload = EncodeQueryRequest(request);
+  std::vector<uint8_t> bad_mode = payload;
+  bad_mode[0] = 0x7F;
+  EXPECT_FALSE(DecodeQueryRequest(bad_mode).ok());
+  std::vector<uint8_t> bad_feature = payload;
+  bad_feature[1] = static_cast<uint8_t>(kNumFeatureKinds);
+  EXPECT_FALSE(DecodeQueryRequest(bad_feature).ok());
+}
+
+TEST(WireTest, QueryResponseRoundTrip) {
+  ServiceResponse response;
+  response.status = Status::OK();
+  response.stats.candidates = 42;
+  response.stats.total = 117;
+  for (int i = 0; i < 3; ++i) {
+    QueryResult r;
+    r.i_id = 100 + i;
+    r.v_id = 10 + i;
+    r.score = 0.25 * i;
+    response.results.push_back(r);
+  }
+
+  auto decoded = DecodeQueryResponse(EncodeQueryResponse(response));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(decoded->status.ok());
+  EXPECT_EQ(decoded->stats.candidates, 42u);
+  EXPECT_EQ(decoded->stats.total, 117u);
+  ASSERT_EQ(decoded->results.size(), 3u);
+  EXPECT_EQ(decoded->results[2].i_id, 102);
+  EXPECT_EQ(decoded->results[2].v_id, 12);
+  EXPECT_DOUBLE_EQ(decoded->results[2].score, 0.5);
+}
+
+TEST(WireTest, QueryResponseCarriesErrorStatus) {
+  ServiceResponse response;
+  response.status = Status::DeadlineExceeded("too slow");
+  auto decoded = DecodeQueryResponse(EncodeQueryResponse(response));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->status.IsDeadlineExceeded());
+  EXPECT_EQ(decoded->status.message(), "too slow");
+  EXPECT_TRUE(decoded->results.empty());
+}
+
+TEST(WireTest, QueryResponseRejectsTruncation) {
+  ServiceResponse response;
+  QueryResult r;
+  r.i_id = 1;
+  response.results.push_back(r);
+  std::vector<uint8_t> payload = EncodeQueryResponse(response);
+  payload.pop_back();
+  EXPECT_FALSE(DecodeQueryResponse(payload).ok());
+}
+
+TEST(WireTest, StatsResponseRoundTrip) {
+  ServiceStatsSnapshot stats;
+  stats.received = 10;
+  stats.served = 7;
+  stats.rejected = 2;
+  stats.expired = 1;
+  stats.failed = 0;
+  stats.in_flight = 3;
+  stats.latency_count = 7;
+  stats.p50_ms = 1.5;
+  stats.p95_ms = 9.0;
+  stats.p99_ms = 20.25;
+  stats.pager.fetches = 1000;
+  stats.pager.hits = 900;
+  stats.pager.misses = 100;
+  stats.pager.evictions = 5;
+  stats.pager.checksum_failures = 0;
+
+  auto decoded = DecodeStatsResponse(EncodeStatsResponse(stats));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->received, 10u);
+  EXPECT_EQ(decoded->served, 7u);
+  EXPECT_EQ(decoded->rejected, 2u);
+  EXPECT_EQ(decoded->expired, 1u);
+  EXPECT_EQ(decoded->in_flight, 3u);
+  EXPECT_DOUBLE_EQ(decoded->p99_ms, 20.25);
+  EXPECT_EQ(decoded->pager.hits, 900u);
+  EXPECT_EQ(decoded->pager.evictions, 5u);
+}
+
+TEST(WireTest, StatsResponseRejectsTruncation) {
+  std::vector<uint8_t> payload = EncodeStatsResponse(ServiceStatsSnapshot{});
+  payload.pop_back();
+  EXPECT_FALSE(DecodeStatsResponse(payload).ok());
+}
+
+}  // namespace
+}  // namespace vr
