@@ -1,38 +1,136 @@
 /// \file ingest_admin.cpp
 /// \brief The Administrator role of the paper's use-case diagram:
-/// add, list and delete videos in the store from the command line.
-///
-///   ./ingest_admin <db_dir> add <video.vsv> <name>
-///   ./ingest_admin <db_dir> gen <category> <seed> <name>
-///   ./ingest_admin <db_dir> list
-///   ./ingest_admin <db_dir> del <v_id>
-///   ./ingest_admin <db_dir> stats
+/// add, bulk-load, list and delete videos in the store from the
+/// command line. Run with --help for the full command table (generated
+/// from the same CliSpec the parser uses, so it cannot drift).
 
 #include <cstdio>
 #include <cstring>
 
 #include "retrieval/engine.h"
+#include "retrieval/ingest_pipeline.h"
+#include "util/cli_flags.h"
 #include "util/string_util.h"
 #include "video/synth/generator.h"
 
 namespace {
 
-int Usage() {
-  std::fprintf(stderr,
-               "usage: ingest_admin <db_dir> add <video.vsv> <name>\n"
-               "       ingest_admin <db_dir> gen <category> <seed> <name>\n"
-               "       ingest_admin <db_dir> list\n"
-               "       ingest_admin <db_dir> del <v_id>\n"
-               "       ingest_admin <db_dir> stats\n");
-  return 2;
+const vr::CliSpec& Spec() {
+  static const vr::CliSpec spec{
+      "ingest_admin",
+      "<db_dir>",
+      {
+          {"add", "<video.vsv> <name>", "ingest one .vsv video file"},
+          {"gen", "<category> <seed> <name>",
+           "generate and ingest one synthetic video"},
+          {"bulk", "<count>", "parallel-ingest <count> synthetic videos"},
+          {"list", "", "list stored videos and their key-frame counts"},
+          {"del", "<v_id>", "delete a video and its key frames"},
+          {"stats", "", "print store and ingest counters"},
+      },
+      {
+          {"--workers", "N", "bulk: worker threads (default: hw threads)"},
+          {"--seed", "N", "bulk/gen: base RNG seed (default 1)"},
+          {"--help", nullptr, "show this help and exit"},
+      },
+  };
+  return spec;
+}
+
+/// Synthetic spec for `bulk` job \p i: categories round-robin, seeds
+/// increase from the base so every video differs deterministically.
+vr::SyntheticVideoSpec BulkSpec(uint64_t base_seed, int i) {
+  vr::SyntheticVideoSpec spec;
+  spec.category = static_cast<vr::VideoCategory>(i % vr::kNumCategories);
+  spec.width = 160;
+  spec.height = 120;
+  spec.num_scenes = 3;
+  spec.frames_per_scene = 10;
+  spec.seed = base_seed + static_cast<uint64_t>(i);
+  return spec;
+}
+
+int RunBulk(vr::RetrievalEngine* engine, int count, size_t workers,
+            uint64_t base_seed) {
+  vr::IngestPipelineOptions options;
+  options.workers = workers;
+  vr::IngestPipeline pipeline(engine, options);
+  for (int i = 0; i < count; ++i) {
+    vr::IngestJob job;
+    job.name = vr::StringPrintf("bulk_%04d", i);
+    auto frames = vr::GenerateVideoFrames(BulkSpec(base_seed, i));
+    if (!frames.ok()) {
+      std::fprintf(stderr, "generate failed: %s\n",
+                   frames.status().ToString().c_str());
+      return 1;
+    }
+    job.frames = std::move(frames).value();
+    pipeline.Submit(std::move(job));
+  }
+  const auto& results = pipeline.Finish();
+  int rc = 0;
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (!results[i].ok()) {
+      std::fprintf(stderr, "job %zu failed: %s\n", i,
+                   results[i].status().ToString().c_str());
+      rc = 1;
+    }
+  }
+
+  const vr::IngestPipelineStats stats = pipeline.GetStats();
+  std::printf("bulk ingest: %llu committed, %llu failed "
+              "(%zu workers, %.1f ms, %.2f videos/s)\n",
+              static_cast<unsigned long long>(stats.committed),
+              static_cast<unsigned long long>(stats.failed),
+              pipeline.options().workers, stats.elapsed_ms,
+              stats.videos_per_sec);
+  std::printf("  frames decoded: %llu   keyframes kept: %llu\n",
+              static_cast<unsigned long long>(stats.engine.frames_decoded),
+              static_cast<unsigned long long>(stats.engine.keyframes_kept));
+  std::printf("  decode %.1f ms   extract %.1f ms   commit %.1f ms "
+              "(summed across workers)\n",
+              stats.engine.decode_ms, stats.engine.extract_ms,
+              stats.engine.commit_ms);
+  for (int k = 0; k < vr::kNumFeatureKinds; ++k) {
+    const double ms = stats.engine.extractor_ms[static_cast<size_t>(k)];
+    if (ms > 0.0) {
+      std::printf("  extractor %-16s %10.1f ms\n",
+                  vr::FeatureKindName(static_cast<vr::FeatureKind>(k)), ms);
+    }
+  }
+  return rc;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) return Usage();
+  if (vr::WantsHelp(argc, argv)) return vr::PrintHelp(Spec());
+  if (argc < 3) return vr::PrintUsageError(Spec());
   const std::string dir = argv[1];
   const std::string cmd = argv[2];
+
+  // Flags may follow the positional arguments of any command.
+  size_t workers = 0;
+  uint64_t base_seed = 1;
+  std::vector<const char*> args;  // non-flag arguments after the command
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      args.push_back(argv[i]);
+      continue;
+    }
+    if (vr::FindFlag(Spec(), arg) == nullptr) {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+      return vr::PrintUsageError(Spec());
+    }
+    if (arg == "--workers" && i + 1 < argc) {
+      workers = static_cast<size_t>(vr::ParseInt64(argv[++i]).ValueOr(0));
+    } else if (arg == "--seed" && i + 1 < argc) {
+      base_seed = static_cast<uint64_t>(vr::ParseInt64(argv[++i]).ValueOr(1));
+    } else {
+      return vr::PrintUsageError(Spec());
+    }
+  }
 
   auto engine_result = vr::RetrievalEngine::Open(dir, vr::EngineOptions{});
   if (!engine_result.ok()) {
@@ -42,20 +140,20 @@ int main(int argc, char** argv) {
   }
   auto engine = std::move(engine_result).value();
 
-  if (cmd == "add" && argc == 5) {
-    auto v_id = engine->IngestVideoFile(argv[3], argv[4]);
+  if (cmd == "add" && args.size() == 2) {
+    auto v_id = engine->IngestVideoFile(args[0], args[1]);
     if (!v_id.ok()) {
       std::fprintf(stderr, "ingest failed: %s\n",
                    v_id.status().ToString().c_str());
       return 1;
     }
-    std::printf("ingested '%s' as video %lld\n", argv[4],
+    std::printf("ingested '%s' as video %lld\n", args[1],
                 static_cast<long long>(*v_id));
-  } else if (cmd == "gen" && argc == 6) {
+  } else if (cmd == "gen" && args.size() == 3) {
     vr::SyntheticVideoSpec spec;
     bool found = false;
     for (int c = 0; c < vr::kNumCategories; ++c) {
-      if (std::strcmp(argv[3],
+      if (std::strcmp(args[0],
                       vr::CategoryName(static_cast<vr::VideoCategory>(c))) ==
           0) {
         spec.category = static_cast<vr::VideoCategory>(c);
@@ -63,24 +161,30 @@ int main(int argc, char** argv) {
       }
     }
     if (!found) {
-      std::fprintf(stderr, "unknown category '%s'\n", argv[3]);
+      std::fprintf(stderr, "unknown category '%s'\n", args[0]);
       return 1;
     }
     spec.width = 160;
     spec.height = 120;
     spec.num_scenes = 4;
     spec.frames_per_scene = 12;
-    spec.seed = static_cast<uint64_t>(vr::ParseInt64(argv[4]).ValueOr(1));
+    spec.seed = static_cast<uint64_t>(vr::ParseInt64(args[1]).ValueOr(1));
     const auto frames = vr::GenerateVideoFrames(spec).value();
-    auto v_id = engine->IngestFrames(frames, argv[5]);
+    auto v_id = engine->IngestFrames(frames, args[2]);
     if (!v_id.ok()) {
       std::fprintf(stderr, "ingest failed: %s\n",
                    v_id.status().ToString().c_str());
       return 1;
     }
-    std::printf("generated and ingested '%s' (%s) as video %lld\n", argv[5],
-                argv[3], static_cast<long long>(*v_id));
-  } else if (cmd == "list" && argc == 3) {
+    std::printf("generated and ingested '%s' (%s) as video %lld\n", args[2],
+                args[0], static_cast<long long>(*v_id));
+  } else if (cmd == "bulk" && args.size() == 1) {
+    auto count = vr::ParseInt64(args[0]);
+    if (!count.ok() || *count <= 0) return vr::PrintUsageError(Spec());
+    const int rc =
+        RunBulk(engine.get(), static_cast<int>(*count), workers, base_seed);
+    if (rc != 0) return rc;
+  } else if (cmd == "list" && args.empty()) {
     const auto videos = engine->store()->ListVideos().value();
     std::printf("%-6s %-28s %-12s %-10s\n", "v_id", "name", "stored",
                 "keyframes");
@@ -90,9 +194,9 @@ int main(int argc, char** argv) {
                   static_cast<long long>(v.v_id), v.v_name.c_str(),
                   v.dostore.c_str(), ids.size());
     }
-  } else if (cmd == "del" && argc == 4) {
-    auto v_id = vr::ParseInt64(argv[3]);
-    if (!v_id.ok()) return Usage();
+  } else if (cmd == "del" && args.size() == 1) {
+    auto v_id = vr::ParseInt64(args[0]);
+    if (!v_id.ok()) return vr::PrintUsageError(Spec());
     const vr::Status st = engine->RemoveVideo(*v_id);
     if (!st.ok()) {
       std::fprintf(stderr, "delete failed: %s\n", st.ToString().c_str());
@@ -100,7 +204,7 @@ int main(int argc, char** argv) {
     }
     std::printf("deleted video %lld and its key frames\n",
                 static_cast<long long>(*v_id));
-  } else if (cmd == "stats" && argc == 3) {
+  } else if (cmd == "stats" && args.empty()) {
     std::printf("videos:        %llu\n",
                 static_cast<unsigned long long>(
                     engine->store()->VideoCount().value()));
@@ -110,8 +214,14 @@ int main(int argc, char** argv) {
     std::printf("journal bytes: %llu\n",
                 static_cast<unsigned long long>(
                     engine->store()->database()->JournalBytes().value()));
+    const vr::IngestStats ingest = engine->ingest_stats();
+    std::printf("ingested this process: %llu videos, %llu frames decoded, "
+                "%llu keyframes kept\n",
+                static_cast<unsigned long long>(ingest.videos_ingested),
+                static_cast<unsigned long long>(ingest.frames_decoded),
+                static_cast<unsigned long long>(ingest.keyframes_kept));
   } else {
-    return Usage();
+    return vr::PrintUsageError(Spec());
   }
 
   const vr::Status st = engine->store()->Checkpoint();

@@ -35,6 +35,7 @@
 #include "retrieval/engine.h"
 #include "retrieval/feedback.h"
 #include "service/client.h"
+#include "util/cli_flags.h"
 #include "util/env.h"
 #include "util/string_util.h"
 #include "video/synth/generator.h"
@@ -209,6 +210,17 @@ int RunClientMode(const std::string& host, uint16_t port) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  static const vr::CliSpec kSpec{
+      "search_cli",
+      "[db_dir]",
+      {},
+      {
+          {"--connect", "<host> <port>", "query a remote serve_cli instead"},
+          {"--create", nullptr, "create the database if missing"},
+          {"--help", nullptr, "show this help and exit"},
+      },
+  };
+  if (vr::WantsHelp(argc, argv)) return vr::PrintHelp(kSpec);
   std::string dir = "/tmp/vretrieve_search";
   bool create = false;
   bool dir_given = false;
@@ -223,15 +235,11 @@ int main(int argc, char** argv) {
                            static_cast<uint16_t>(std::atoi(argv[i + 2])));
     } else if (arg == "--create") {
       create = true;
-    } else if (!dir_given) {
+    } else if (!dir_given && arg.rfind("--", 0) != 0) {
       dir = arg;
       dir_given = true;
     } else {
-      std::fprintf(stderr,
-                   "usage: %s [db_dir] [--create] | %s --connect <host> "
-                   "<port>\n",
-                   argv[0], argv[0]);
-      return 2;
+      return vr::PrintUsageError(kSpec);
     }
   }
 

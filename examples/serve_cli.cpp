@@ -19,18 +19,29 @@
 #include "retrieval/engine.h"
 #include "service/server.h"
 #include "service/service.h"
+#include "util/cli_flags.h"
 #include "util/env.h"
 #include "util/string_util.h"
 #include "video/synth/generator.h"
 
 namespace {
 
-int Usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s <db_dir> [--port N] [--workers N] [--backlog N]\n"
-               "          [--deadline-ms N] [--create] [--seed]\n",
-               argv0);
-  return 2;
+const vr::CliSpec& Spec() {
+  static const vr::CliSpec spec{
+      "serve_cli",
+      "<db_dir>",
+      {},
+      {
+          {"--port", "N", "TCP port to listen on (default: ephemeral)"},
+          {"--workers", "N", "service worker threads"},
+          {"--backlog", "N", "max queued requests before rejecting"},
+          {"--deadline-ms", "N", "default per-request deadline"},
+          {"--create", nullptr, "create the database if missing"},
+          {"--seed", nullptr, "ingest a demo corpus into an empty store"},
+          {"--help", nullptr, "show this help and exit"},
+      },
+  };
+  return spec;
 }
 
 bool SeedCorpus(vr::RetrievalEngine* engine) {
@@ -59,7 +70,8 @@ bool SeedCorpus(vr::RetrievalEngine* engine) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return Usage(argv[0]);
+  if (vr::WantsHelp(argc, argv)) return vr::PrintHelp(Spec());
+  if (argc < 2) return vr::PrintUsageError(Spec());
   const std::string dir = argv[1];
   uint16_t port = 0;
   bool create = false;
@@ -67,6 +79,10 @@ int main(int argc, char** argv) {
   vr::ServiceOptions service_options;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
+    if (vr::FindFlag(Spec(), arg) == nullptr) {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+      return vr::PrintUsageError(Spec());
+    }
     if (arg == "--create") {
       create = true;
     } else if (arg == "--seed") {
@@ -83,7 +99,7 @@ int main(int argc, char** argv) {
       service_options.default_deadline_ms =
           static_cast<uint64_t>(std::atoll(argv[++i]));
     } else {
-      return Usage(argv[0]);
+      return vr::PrintUsageError(Spec());
     }
   }
 

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# The whole gate, in dependency order: docs consistency (no build),
+# the plain build + full test suite, then the sanitizer passes
+# (ASan/UBSan over everything, TSan over the concurrency suites —
+# check_sanitizers.sh chains into check_tsan.sh itself).
+#
+# Usage: scripts/check_all.sh [build-dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+scripts/check_docs.sh
+
+cmake -B "$BUILD_DIR" -S . -G Ninja
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure
+
+scripts/check_sanitizers.sh
+
+echo "all checks clean"

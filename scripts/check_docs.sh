@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Documentation consistency check: every repo-relative path mentioned in
+# the top-level docs must exist, the README must link the architecture
+# document, and the symbols the docs lean on must still be defined in
+# the headers. Grep-based on purpose — no build needed, so it runs in
+# CI before anything compiles.
+#
+# Usage: scripts/check_docs.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+fail=0
+err() { echo "check_docs: $*" >&2; fail=1; }
+
+DOCS=(README.md DESIGN.md EXPERIMENTS.md docs/ARCHITECTURE.md)
+
+for doc in "${DOCS[@]}"; do
+  [[ -f "$doc" ]] || err "missing document: $doc"
+done
+
+# 1. Every backticked or markdown-linked repo path in the docs exists.
+#    Matches src/..., tests/..., bench/..., examples/..., scripts/...,
+#    docs/... plus top-level *.md; tolerates `path` and [txt](path).
+for doc in "${DOCS[@]}"; do
+  [[ -f "$doc" ]] || continue
+  while IFS= read -r path; do
+    # Globs like micro_* or <table>.heap placeholders are prose, not paths.
+    [[ "$path" == *'*'* || "$path" == *'<'* ]] && continue
+    # An extensionless path is a build target (./build/bench/foo); its
+    # source must exist instead.
+    if [[ ! -e "$path" && ! -e "$path.cc" && ! -e "$path.cpp" ]]; then
+      err "$doc references missing path: $path"
+    fi
+  done < <(grep -oE '(src|tests|bench|examples|scripts|docs)/[A-Za-z0-9_./*<>-]+' "$doc" \
+           | sed 's/[.,;:)]*$//' | sort -u)
+done
+
+# 2. README links the architecture document.
+grep -q 'docs/ARCHITECTURE.md' README.md \
+  || err "README.md does not link docs/ARCHITECTURE.md"
+
+# 3. Symbols the docs hang their explanations on still exist in code.
+declare -A SYMBOLS=(
+  [IngestPipeline]=src/retrieval/ingest_pipeline.h
+  [CommitPrepared]=src/retrieval/engine.h
+  [PrepareKeyFrame]=src/retrieval/engine.h
+  [IngestStats]=src/retrieval/ingest_stats.h
+  [RetrievalService]=src/service/service.h
+  [SharedMutex]=src/util/shared_mutex.h
+  [ThreadPool]=src/util/thread_pool.h
+  [CliSpec]=src/util/cli_flags.h
+  [VideoStore]=src/storage/video_store.h
+)
+for sym in "${!SYMBOLS[@]}"; do
+  hdr="${SYMBOLS[$sym]}"
+  if [[ ! -f "$hdr" ]]; then
+    err "header for documented symbol $sym missing: $hdr"
+  elif ! grep -q "$sym" "$hdr"; then
+    err "documented symbol $sym not found in $hdr"
+  fi
+done
+
+# 4. The CLIs the docs describe ship a --help handled by the shared
+#    flags table (the anti-drift mechanism README/DESIGN point at).
+for cli in examples/serve_cli.cpp examples/ingest_admin.cpp \
+           examples/search_cli.cpp; do
+  grep -q 'cli_flags.h' "$cli" || err "$cli does not use util/cli_flags.h"
+done
+
+# 5. The bench recipe in EXPERIMENTS.md matches an actual target.
+grep -q 'micro_ingest' bench/CMakeLists.txt \
+  || err "EXPERIMENTS.md recipe target micro_ingest not in bench/CMakeLists.txt"
+
+if [[ "$fail" -ne 0 ]]; then
+  echo "check_docs: FAILED" >&2
+  exit 1
+fi
+echo "docs check clean"

@@ -18,5 +18,5 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
 
 ctest --test-dir "$BUILD_DIR" --output-on-failure \
-  -R 'ThreadPool|Service|Wire|Concurrency' "$@"
+  -R 'ThreadPool|Service|Wire|Concurrency|IngestPipeline' "$@"
 echo "tsan run clean"

@@ -23,6 +23,7 @@
 #include "imaging/image.h"
 #include "index/range_bucket_index.h"
 #include "keyframe/keyframe_extractor.h"
+#include "retrieval/ingest_stats.h"
 #include "similarity/combined_scorer.h"
 #include "storage/video_store.h"
 #include "util/shared_mutex.h"
@@ -87,6 +88,34 @@ struct CandidateStats {
   size_t total = 0;       ///< key frames in the store
 };
 
+/// \brief One key frame after the lock-free preparation stage: encoded
+/// image bytes, range bucket and extracted features, but no ids yet
+/// (ids are assigned at commit time so parallel preparation cannot
+/// perturb them).
+struct PreparedKeyFrame {
+  /// Index of this key frame in the source frame sequence.
+  size_t frame_index = 0;
+  /// KEY_FRAMES.I_NAME ("<video name>#<frame index>").
+  std::string i_name;
+  /// Encoded image bytes (PNM or VJF per EngineOptions).
+  std::vector<uint8_t> image;
+  /// Range-finder bucket (§4.2).
+  GrayRange range;
+  /// MAJORREGIONS column value (0 when region growing is disabled).
+  int64_t major_regions = 0;
+  /// Extracted features for every enabled extractor.
+  FeatureMap features;
+};
+
+/// \brief One video after preparation, ready for an atomic commit.
+struct PreparedVideo {
+  std::string name;
+  std::vector<PreparedKeyFrame> keys;
+  /// Re-encoded .vsv container bytes for the VIDEO column; empty when
+  /// EngineOptions::store_video_blob is false.
+  std::vector<uint8_t> video_blob;
+};
+
 /// Hook invoked by the query methods between pipeline stages (feature
 /// extraction -> candidate selection -> ranking). Returning a non-OK
 /// status aborts the query with that status before the next stage runs;
@@ -100,9 +129,11 @@ using QueryCheckpoint = std::function<Status()>;
 /// QueryByImageSingleFeature, QueryByVideo, last_candidate_stats,
 /// indexed_key_frames) take the lock shared and may run concurrently
 /// with each other from any number of threads. The mutating methods
-/// (IngestFrames, IngestVideoFile, RemoveVideo — and
+/// (IngestFrames, IngestVideoFile, RemoveVideo, CommitPrepared — and
 /// ApplyRelevanceFeedback, which rewrites the scorer weights) take it
-/// exclusive. Callers never lock for those; they only need rw_lock()
+/// exclusive, while the ingest *preparation* methods (ExtractKeyFrames,
+/// PrepareKeyFrame, EncodeVideoBlob) are lock-free and safe from any
+/// thread. Callers never lock for those; they only need rw_lock()
 /// when touching engine internals directly: scorer() mutation and all
 /// VideoStore access through store() require the exclusive lock when
 /// queries may be in flight. The range index and the per-key-frame
@@ -118,7 +149,10 @@ class RetrievalEngine {
 
   /// \name Ingestion (the Administrator role).
   /// @{
-  /// Ingests decoded frames as one video; returns its v_id.
+  /// Ingests decoded frames as one video; returns its v_id. Composes
+  /// the staged ingest methods below: preparation runs lock-free, only
+  /// CommitPrepared takes the writer-exclusive lock, so a long feature
+  /// extraction never blocks concurrent queries.
   Result<int64_t> IngestFrames(const std::vector<Image>& frames,
                                const std::string& name);
   /// Ingests a .vsv file.
@@ -127,6 +161,49 @@ class RetrievalEngine {
   /// Removes a video and all of its key frames.
   Status RemoveVideo(int64_t v_id);
   /// @}
+
+  /// \name Staged ingest (the building blocks of IngestPipeline).
+  ///
+  /// The three preparation methods are const, take no lock and touch
+  /// only state that is immutable after Open (options, extractors, the
+  /// key-frame detector) — they are safe to call concurrently from any
+  /// number of threads, including while queries and commits run.
+  /// CommitPrepared is the only mutating step; it takes the engine
+  /// lock exclusive, assigns v_id/i_id in call order and publishes the
+  /// video all-or-nothing. Feeding prepared videos to CommitPrepared
+  /// in submission order therefore yields rows byte-identical to a
+  /// serial IngestFrames loop (the determinism contract that
+  /// tests/ingest_pipeline_test.cc enforces).
+  /// @{
+  /// Stage 1: key-frame detection (§4.1) over an ordered frame list.
+  /// Counts the frames and detection time in ingest_stats().
+  Result<std::vector<KeyFrame>> ExtractKeyFrames(
+      const std::vector<Image>& frames) const;
+  /// Stage 2: per-key-frame feature extraction, range bucketing and
+  /// image encoding. Independent per key frame — fan this out.
+  Result<PreparedKeyFrame> PrepareKeyFrame(const std::string& video_name,
+                                           const KeyFrame& key) const;
+  /// Stage 1b: re-encode the frames into the .vsv blob stored in the
+  /// VIDEO column. Returns an empty blob when store_video_blob is off.
+  Result<std::vector<uint8_t>> EncodeVideoBlob(
+      const std::vector<Image>& frames) const;
+  /// Stage 3: assign ids, persist the KEY_FRAMES rows (one batched
+  /// journal sync) and the VIDEO_STORE row, and publish to the range
+  /// index and feature cache. Holds the writer-exclusive lock for the
+  /// whole persist + publish sequence; returns the new v_id.
+  Result<int64_t> CommitPrepared(PreparedVideo video);
+  /// @}
+
+  /// Cumulative ingest counters (see ingest_stats.h). Thread-safe; the
+  /// snapshot is internally consistent only when no ingest is racing.
+  IngestStats ingest_stats() const;
+
+  /// Folds decode work performed outside the engine (IngestPipeline
+  /// decodes .vsv files on its own workers) into ingest_stats().
+  /// Thread-safe (lock-free).
+  void AddDecodeWork(uint64_t ns) {
+    ingest_counters_.decode_ns.fetch_add(ns, std::memory_order_relaxed);
+  }
 
   /// \name Querying (the User role). Safe to call concurrently from
   /// many threads, including concurrently with ingest.
@@ -200,6 +277,18 @@ class RetrievalEngine {
     FeatureMap features;
   };
 
+  /// Lock-free ingest counters behind ingest_stats(). Mutated from the
+  /// const preparation methods, hence mutable atomics; times in ns.
+  struct IngestCounters {
+    std::atomic<uint64_t> videos_ingested{0};
+    std::atomic<uint64_t> frames_decoded{0};
+    std::atomic<uint64_t> keyframes_kept{0};
+    std::atomic<uint64_t> decode_ns{0};
+    std::atomic<uint64_t> extract_ns{0};
+    std::atomic<uint64_t> commit_ns{0};
+    std::array<std::atomic<uint64_t>, kNumFeatureKinds> extractor_ns{};
+  };
+
   Status WarmCache();
   Result<FeatureMap> ExtractEnabled(
       const Image& img) const;
@@ -225,6 +314,7 @@ class RetrievalEngine {
   std::map<int64_t, size_t> cache_by_id_;
   std::atomic<size_t> last_candidates_{0};
   std::atomic<size_t> last_total_{0};
+  mutable IngestCounters ingest_counters_;
 };
 
 }  // namespace vr

@@ -5,6 +5,7 @@
 #include "imaging/dct_codec.h"
 #include "imaging/ppm.h"
 #include "retrieval/engine.h"
+#include "util/stopwatch.h"
 #include "util/string_util.h"
 #include "video/video_reader.h"
 #include "video/video_writer.h"
@@ -24,105 +25,185 @@ std::vector<uint8_t> EncodeStream(const std::vector<int64_t>& ids) {
   return std::vector<uint8_t>(text.begin(), text.end());
 }
 
+uint64_t ToNanos(double ms) { return static_cast<uint64_t>(ms * 1e6); }
+
 }  // namespace
 
-Result<int64_t> RetrievalEngine::IngestFrames(const std::vector<Image>& frames,
-                                              const std::string& name) {
+Result<std::vector<KeyFrame>> RetrievalEngine::ExtractKeyFrames(
+    const std::vector<Image>& frames) const {
   if (frames.empty()) {
     return Status::InvalidArgument("cannot ingest an empty video");
   }
-  // Writer side of the engine's reader/writer discipline: ingest holds
-  // the lock exclusive for the whole persist + publish sequence, so
-  // concurrent queries see either none or all of this video's frames.
-  std::unique_lock<SharedMutex> lock(mutex_);
+  Stopwatch timer;
   VR_ASSIGN_OR_RETURN(std::vector<KeyFrame> keys, key_frames_.Extract(frames));
+  ingest_counters_.frames_decoded.fetch_add(frames.size(),
+                                            std::memory_order_relaxed);
+  ingest_counters_.decode_ns.fetch_add(ToNanos(timer.ElapsedMillis()),
+                                       std::memory_order_relaxed);
+  return keys;
+}
 
+Result<PreparedKeyFrame> RetrievalEngine::PrepareKeyFrame(
+    const std::string& video_name, const KeyFrame& key) const {
+  Stopwatch stage_timer;
+  PreparedKeyFrame out;
+  out.frame_index = key.frame_index;
+  out.i_name = StringPrintf("%s#%zu", video_name.c_str(), key.frame_index);
+  if (options_.key_frame_format == EngineOptions::KeyFrameFormat::kVjf) {
+    VR_ASSIGN_OR_RETURN(out.image,
+                        EncodeVjf(key.image, options_.key_frame_quality));
+  } else {
+    const std::string pnm = EncodePnm(key.image);
+    out.image.assign(pnm.begin(), pnm.end());
+  }
+  out.range = FindRange(key.image, options_.range);
+  for (FeatureKind kind : options_.enabled_features) {
+    const FeatureExtractor* extractor =
+        extractors_[static_cast<size_t>(kind)].get();
+    Stopwatch extractor_timer;
+    VR_ASSIGN_OR_RETURN(FeatureVector fv, extractor->Extract(key.image));
+    ingest_counters_.extractor_ns[static_cast<size_t>(kind)].fetch_add(
+        ToNanos(extractor_timer.ElapsedMillis()), std::memory_order_relaxed);
+    out.features.emplace(kind, std::move(fv));
+  }
+  auto regions = out.features.find(FeatureKind::kRegionGrowing);
+  if (regions != out.features.end() &&
+      regions->second.size() > SimpleRegionGrowing::kMajorRegions) {
+    out.major_regions = static_cast<int64_t>(
+        regions->second[SimpleRegionGrowing::kMajorRegions]);
+  }
+  ingest_counters_.extract_ns.fetch_add(ToNanos(stage_timer.ElapsedMillis()),
+                                        std::memory_order_relaxed);
+  return out;
+}
+
+Result<std::vector<uint8_t>> RetrievalEngine::EncodeVideoBlob(
+    const std::vector<Image>& frames) const {
+  if (!options_.store_video_blob) return std::vector<uint8_t>{};
+  if (frames.empty()) {
+    return Status::InvalidArgument("cannot encode an empty video");
+  }
+  Stopwatch timer;
+  VideoWriter writer;
+  VR_RETURN_NOT_OK(writer.OpenMemory(frames[0].width(), frames[0].height(),
+                                     frames[0].channels(), 12));
+  for (const Image& f : frames) {
+    VR_RETURN_NOT_OK(writer.Append(f));
+  }
+  VR_ASSIGN_OR_RETURN(std::vector<uint8_t> blob, writer.FinishToMemory());
+  ingest_counters_.decode_ns.fetch_add(ToNanos(timer.ElapsedMillis()),
+                                       std::memory_order_relaxed);
+  return blob;
+}
+
+Result<int64_t> RetrievalEngine::CommitPrepared(PreparedVideo video) {
+  if (video.keys.empty()) {
+    return Status::InvalidArgument("prepared video has no key frames");
+  }
+  Stopwatch timer;
+  // Writer side of the engine's reader/writer discipline: the commit
+  // holds the lock exclusive for the whole persist + publish sequence,
+  // so concurrent queries see either none or all of this video's
+  // frames. Ids are assigned here, in commit order, which is what makes
+  // parallel preparation reproduce serial ingest bit-for-bit.
+  std::unique_lock<SharedMutex> lock(mutex_);
   const int64_t v_id = store_->NextVideoId();
-  std::vector<int64_t> key_ids;
-  std::vector<CachedKeyFrame> new_cache_entries;
-  key_ids.reserve(keys.size());
 
-  for (const KeyFrame& kf : keys) {
+  std::vector<KeyFrameRecord> records;
+  std::vector<int64_t> key_ids;
+  records.reserve(video.keys.size());
+  key_ids.reserve(video.keys.size());
+  for (PreparedKeyFrame& key : video.keys) {
     KeyFrameRecord record;
     record.i_id = store_->NextKeyFrameId();
-    record.i_name = StringPrintf("%s#%zu", name.c_str(), kf.frame_index);
-    if (options_.key_frame_format == EngineOptions::KeyFrameFormat::kVjf) {
-      VR_ASSIGN_OR_RETURN(record.image,
-                          EncodeVjf(kf.image, options_.key_frame_quality));
-    } else {
-      const std::string pnm = EncodePnm(kf.image);
-      record.image.assign(pnm.begin(), pnm.end());
-    }
-    const GrayRange range = FindRange(kf.image, options_.range);
-    record.min = range.min;
-    record.max = range.max;
+    record.i_name = std::move(key.i_name);
+    record.image = std::move(key.image);
+    record.min = key.range.min;
+    record.max = key.range.max;
+    record.major_regions = key.major_regions;
     record.v_id = v_id;
-    VR_ASSIGN_OR_RETURN(record.features, ExtractEnabled(kf.image));
-    auto regions = record.features.find(FeatureKind::kRegionGrowing);
-    if (regions != record.features.end() &&
-        regions->second.size() > SimpleRegionGrowing::kMajorRegions) {
-      record.major_regions = static_cast<int64_t>(
-          regions->second[SimpleRegionGrowing::kMajorRegions]);
-    }
-    VR_ASSIGN_OR_RETURN(int64_t i_id, store_->PutKeyFrame(record));
-    key_ids.push_back(i_id);
-
-    CachedKeyFrame cached;
-    cached.i_id = i_id;
-    cached.v_id = v_id;
-    cached.range = range;
-    cached.features = std::move(record.features);
-    new_cache_entries.push_back(std::move(cached));
+    record.features = std::move(key.features);
+    key_ids.push_back(record.i_id);
+    records.push_back(std::move(record));
   }
+  // One journal sync for the whole batch instead of one per key frame.
+  VR_RETURN_NOT_OK(store_->PutKeyFrames(records));
 
-  VideoRecord video;
-  video.v_id = v_id;
-  video.v_name = name;
-  video.stream = EncodeStream(key_ids);
+  VideoRecord video_row;
+  video_row.v_id = v_id;
+  video_row.v_name = video.name;
+  video_row.stream = EncodeStream(key_ids);
   const std::time_t now = std::time(nullptr);
   char date[32];
   std::strftime(date, sizeof(date), "%Y-%m-%d", std::gmtime(&now));
-  video.dostore = date;
-  if (options_.store_video_blob) {
-    // Re-encode the frames into a .vsv blob for the VIDEO column.
-    const std::string tmp = store_->database()->dir() + "/.ingest.vsv.tmp";
-    VideoWriter writer;
-    VR_RETURN_NOT_OK(writer.Open(tmp, frames[0].width(), frames[0].height(),
-                                 frames[0].channels(), 12));
-    for (const Image& f : frames) {
-      VR_RETURN_NOT_OK(writer.Append(f));
-    }
-    VR_RETURN_NOT_OK(writer.Finish());
-    std::FILE* f = std::fopen(tmp.c_str(), "rb");
-    if (f == nullptr) return Status::IOError("cannot reopen temp video");
-    std::fseek(f, 0, SEEK_END);
-    const long size = std::ftell(f);
-    std::fseek(f, 0, SEEK_SET);
-    video.video.resize(static_cast<size_t>(size));
-    const size_t got = std::fread(video.video.data(), 1, video.video.size(), f);
-    std::fclose(f);
-    std::remove(tmp.c_str());
-    if (got != video.video.size()) {
-      return Status::IOError("short read of temp video");
-    }
-  }
-  VR_RETURN_NOT_OK(store_->PutVideo(video).status());
+  video_row.dostore = date;
+  video_row.video = std::move(video.video_blob);
+  VR_RETURN_NOT_OK(store_->PutVideo(video_row).status());
 
   // Publish to the in-memory structures only after everything persisted.
-  for (CachedKeyFrame& cached : new_cache_entries) {
+  for (KeyFrameRecord& record : records) {
+    CachedKeyFrame cached;
+    cached.i_id = record.i_id;
+    cached.v_id = v_id;
+    cached.range = GrayRange{static_cast<int>(record.min),
+                             static_cast<int>(record.max), 0};
+    cached.features = std::move(record.features);
     index_.InsertAt(cached.i_id, cached.range);
     cache_by_id_.emplace(cached.i_id, cache_.size());
     cache_.push_back(std::move(cached));
   }
+  ingest_counters_.videos_ingested.fetch_add(1, std::memory_order_relaxed);
+  ingest_counters_.keyframes_kept.fetch_add(records.size(),
+                                            std::memory_order_relaxed);
+  ingest_counters_.commit_ns.fetch_add(ToNanos(timer.ElapsedMillis()),
+                                       std::memory_order_relaxed);
   return v_id;
+}
+
+Result<int64_t> RetrievalEngine::IngestFrames(const std::vector<Image>& frames,
+                                              const std::string& name) {
+  VR_ASSIGN_OR_RETURN(std::vector<KeyFrame> keys, ExtractKeyFrames(frames));
+  PreparedVideo video;
+  video.name = name;
+  video.keys.reserve(keys.size());
+  for (const KeyFrame& key : keys) {
+    VR_ASSIGN_OR_RETURN(PreparedKeyFrame prepared, PrepareKeyFrame(name, key));
+    video.keys.push_back(std::move(prepared));
+  }
+  VR_ASSIGN_OR_RETURN(video.video_blob, EncodeVideoBlob(frames));
+  return CommitPrepared(std::move(video));
 }
 
 Result<int64_t> RetrievalEngine::IngestVideoFile(const std::string& path,
                                                  const std::string& name) {
+  Stopwatch timer;
   VideoReader reader;
   VR_RETURN_NOT_OK(reader.Open(path));
   VR_ASSIGN_OR_RETURN(std::vector<Image> frames, reader.ReadAll());
+  ingest_counters_.decode_ns.fetch_add(ToNanos(timer.ElapsedMillis()),
+                                       std::memory_order_relaxed);
   return IngestFrames(frames, name);
+}
+
+IngestStats RetrievalEngine::ingest_stats() const {
+  IngestStats stats;
+  stats.videos_ingested =
+      ingest_counters_.videos_ingested.load(std::memory_order_relaxed);
+  stats.frames_decoded =
+      ingest_counters_.frames_decoded.load(std::memory_order_relaxed);
+  stats.keyframes_kept =
+      ingest_counters_.keyframes_kept.load(std::memory_order_relaxed);
+  stats.decode_ms =
+      ingest_counters_.decode_ns.load(std::memory_order_relaxed) / 1e6;
+  stats.extract_ms =
+      ingest_counters_.extract_ns.load(std::memory_order_relaxed) / 1e6;
+  stats.commit_ms =
+      ingest_counters_.commit_ns.load(std::memory_order_relaxed) / 1e6;
+  for (int i = 0; i < kNumFeatureKinds; ++i) {
+    stats.extractor_ms[i] =
+        ingest_counters_.extractor_ns[i].load(std::memory_order_relaxed) / 1e6;
+  }
+  return stats;
 }
 
 }  // namespace vr

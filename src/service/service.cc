@@ -132,6 +132,7 @@ ServiceStatsSnapshot RetrievalService::GetStats() const {
   snapshot.p95_ms = latency_.Percentile(95);
   snapshot.p99_ms = latency_.Percentile(99);
   snapshot.pager = engine_->store()->GetPagerStats();
+  snapshot.ingest = engine_->ingest_stats();
   return snapshot;
 }
 

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <mutex>
 
+#include "retrieval/ingest_stats.h"
 #include "storage/pager.h"
 
 namespace vr {
@@ -58,6 +59,10 @@ struct ServiceStatsSnapshot {
   double p99_ms = 0.0;
   /// Storage buffer-pool counters aggregated over the engine's tables.
   PagerStats pager;
+  /// Cumulative engine ingest counters (see ingest_stats.h) — lets an
+  /// operator watch a bulk load's progress through the same stats RPC
+  /// that reports query health.
+  IngestStats ingest;
 };
 
 }  // namespace vr

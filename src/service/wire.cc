@@ -214,6 +214,15 @@ std::vector<uint8_t> EncodeStatsResponse(const ServiceStatsSnapshot& stats) {
   PutLe<uint64_t>(&out, stats.pager.misses);
   PutLe<uint64_t>(&out, stats.pager.evictions);
   PutLe<uint64_t>(&out, stats.pager.checksum_failures);
+  PutLe<uint64_t>(&out, stats.ingest.videos_ingested);
+  PutLe<uint64_t>(&out, stats.ingest.frames_decoded);
+  PutLe<uint64_t>(&out, stats.ingest.keyframes_kept);
+  PutF64(&out, stats.ingest.decode_ms);
+  PutF64(&out, stats.ingest.extract_ms);
+  PutF64(&out, stats.ingest.commit_ms);
+  // Count-prefixed so the wire stays decodable if extractors are added.
+  PutLe<uint32_t>(&out, static_cast<uint32_t>(stats.ingest.extractor_ms.size()));
+  for (double ms : stats.ingest.extractor_ms) PutF64(&out, ms);
   return out;
 }
 
@@ -233,8 +242,24 @@ Result<ServiceStatsSnapshot> DecodeStatsResponse(
       !reader.ReadU64(&stats.pager.misses) ||
       !reader.ReadU64(&stats.pager.evictions) ||
       !reader.ReadU64(&stats.pager.checksum_failures) ||
-      !reader.AtEnd()) {
+      !reader.ReadU64(&stats.ingest.videos_ingested) ||
+      !reader.ReadU64(&stats.ingest.frames_decoded) ||
+      !reader.ReadU64(&stats.ingest.keyframes_kept) ||
+      !reader.ReadF64(&stats.ingest.decode_ms) ||
+      !reader.ReadF64(&stats.ingest.extract_ms) ||
+      !reader.ReadF64(&stats.ingest.commit_ms)) {
     return Truncated("stats response");
+  }
+  uint32_t n_extractors = 0;
+  if (!reader.ReadU32(&n_extractors)) return Truncated("stats response");
+  for (uint32_t i = 0; i < n_extractors; ++i) {
+    double ms = 0.0;
+    if (!reader.ReadF64(&ms)) return Truncated("stats response");
+    // Unknown trailing extractors (newer peer) are read and dropped.
+    if (i < stats.ingest.extractor_ms.size()) stats.ingest.extractor_ms[i] = ms;
+  }
+  if (!reader.AtEnd()) {
+    return Status::Corruption("trailing bytes after stats response");
   }
   return stats;
 }

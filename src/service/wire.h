@@ -17,7 +17,12 @@
 ///                    served, rejected, expired, failed, in_flight) |
 ///                    u64 latency_count | 3 * f64 (p50, p95, p99 ms) |
 ///                    5 * u64 pager stats (fetches, hits, misses,
-///                    evictions, checksum_failures)
+///                    evictions, checksum_failures) |
+///                    3 * u64 ingest counters (videos_ingested,
+///                    frames_decoded, keyframes_kept) |
+///                    3 * f64 ingest times (decode, extract, commit ms) |
+///                    u32 n_extractors | n * f64 per-extractor ms
+///                    (FeatureKind enum order)
 ///   kShutdownRequest: (empty)
 ///   kShutdownResponse: u8 status_code=0
 ///

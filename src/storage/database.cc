@@ -1,5 +1,7 @@
 #include "storage/database.h"
 
+#include <algorithm>
+
 #include "util/logging.h"
 
 namespace vr {
@@ -190,6 +192,44 @@ Result<int64_t> Database::Insert(const std::string& table, const Row& row) {
   VR_RETURN_NOT_OK(wal_->AppendInsert(table, pk, payload));
   VR_RETURN_NOT_OK(wal_->Sync());
   return t->Insert(row);
+}
+
+Status Database::InsertBatch(const std::string& table,
+                             const std::vector<Row>& rows) {
+  if (rows.empty()) return Status::OK();
+  VR_ASSIGN_OR_RETURN(Table * t, GetTable(table));
+  const size_t pk_index = t->schema().primary_key_index();
+
+  // Validate and serialize everything before journaling anything, so a
+  // bad row cannot leave a half-journaled batch.
+  std::vector<int64_t> pks;
+  std::vector<std::vector<uint8_t>> payloads;
+  pks.reserve(rows.size());
+  payloads.reserve(rows.size());
+  for (const Row& row : rows) {
+    VR_RETURN_NOT_OK(t->schema().ValidateRow(row));
+    const int64_t pk = row[pk_index].AsInt64();
+    if (t->Exists(pk) ||
+        std::find(pks.begin(), pks.end(), pk) != pks.end()) {
+      return Status::AlreadyExists(table + ": duplicate pk " +
+                                   std::to_string(pk));
+    }
+    VR_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
+                        SerializeRow(t->schema(), row));
+    pks.push_back(pk);
+    payloads.push_back(std::move(payload));
+  }
+
+  // Journal the whole batch, then one sync covers every row.
+  for (size_t i = 0; i < rows.size(); ++i) {
+    VR_RETURN_NOT_OK(wal_->AppendInsert(table, pks[i], payloads[i]));
+  }
+  VR_RETURN_NOT_OK(wal_->Sync());
+
+  for (const Row& row : rows) {
+    VR_RETURN_NOT_OK(t->Insert(row).status());
+  }
+  return Status::OK();
 }
 
 Status Database::Delete(const std::string& table, int64_t pk) {

@@ -218,7 +218,7 @@ Result<std::vector<VideoRecord>> VideoStore::FindVideosByName(
   return out;
 }
 
-Result<int64_t> VideoStore::PutKeyFrame(const KeyFrameRecord& record) {
+Result<Row> VideoStore::KeyFrameToRow(const KeyFrameRecord& record) {
   if (record.min < 0 || record.min > 255 || record.max < 0 ||
       record.max > 255) {
     return Status::InvalidArgument("MIN/MAX must lie in [0, 255]");
@@ -240,9 +240,29 @@ Result<int64_t> VideoStore::PutKeyFrame(const KeyFrameRecord& record) {
       row.push_back(Value(it->second.ToString()));
     }
   }
+  return row;
+}
+
+Result<int64_t> VideoStore::PutKeyFrame(const KeyFrameRecord& record) {
+  VR_ASSIGN_OR_RETURN(Row row, KeyFrameToRow(record));
   VR_ASSIGN_OR_RETURN(int64_t pk, db_->Insert(kKeyFrameTable, row));
   next_key_frame_id_ = std::max(next_key_frame_id_, pk + 1);
   return pk;
+}
+
+Status VideoStore::PutKeyFrames(const std::vector<KeyFrameRecord>& records) {
+  if (records.empty()) return Status::OK();
+  std::vector<Row> rows;
+  rows.reserve(records.size());
+  for (const KeyFrameRecord& record : records) {
+    VR_ASSIGN_OR_RETURN(Row row, KeyFrameToRow(record));
+    rows.push_back(std::move(row));
+  }
+  VR_RETURN_NOT_OK(db_->InsertBatch(kKeyFrameTable, rows));
+  for (const KeyFrameRecord& record : records) {
+    next_key_frame_id_ = std::max(next_key_frame_id_, record.i_id + 1);
+  }
+  return Status::OK();
 }
 
 Result<KeyFrameRecord> VideoStore::RowToKeyFrame(const Row& row) const {

@@ -74,6 +74,11 @@ class VideoStore {
   /// \name KEY_FRAMES operations.
   /// @{
   Result<int64_t> PutKeyFrame(const KeyFrameRecord& record);
+  /// Batch append: every record (with its i_id preassigned, like
+  /// PutKeyFrame's caller does) is journaled under a single fsync and
+  /// applied in order — the bulk-ingest commit path. All-or-nothing on
+  /// journaling errors; see Database::InsertBatch for the contract.
+  Status PutKeyFrames(const std::vector<KeyFrameRecord>& records);
   Result<KeyFrameRecord> GetKeyFrame(int64_t i_id) const;
   Status DeleteKeyFrame(int64_t i_id);
   /// Key-frame ids belonging to a video (via the V_ID index).
@@ -118,6 +123,7 @@ class VideoStore {
   VideoStore() = default;
 
   Result<KeyFrameRecord> RowToKeyFrame(const Row& row) const;
+  static Result<Row> KeyFrameToRow(const KeyFrameRecord& record);
   /// Corruption when \p table (quarantined by a degraded open) is null.
   Status RequireHealthy(const Table* table, const char* name) const;
 

@@ -1,0 +1,99 @@
+#include "util/cli_flags.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+namespace vr {
+
+namespace {
+
+/// Left column of one flag row, e.g. "--port N".
+std::string FlagLabel(const CliFlag& flag) {
+  std::string label = flag.name;
+  if (flag.arg != nullptr) {
+    label += ' ';
+    label += flag.arg;
+  }
+  return label;
+}
+
+/// Left column of one command row, e.g. "add <video.vsv> <name>".
+std::string CommandLabel(const CliCommand& command) {
+  std::string label = command.name;
+  if (command.args != nullptr && command.args[0] != '\0') {
+    label += ' ';
+    label += command.args;
+  }
+  return label;
+}
+
+}  // namespace
+
+std::string BuildUsage(const CliSpec& spec) {
+  std::string out = "usage: ";
+  out += spec.prog;
+  if (spec.positional != nullptr && spec.positional[0] != '\0') {
+    out += ' ';
+    out += spec.positional;
+  }
+  if (!spec.commands.empty()) out += " <command>";
+  if (!spec.flags.empty()) out += " [flags]";
+  out += '\n';
+
+  // Align both sections on the widest left-hand label.
+  size_t width = 0;
+  for (const CliCommand& c : spec.commands) {
+    width = std::max(width, CommandLabel(c).size());
+  }
+  for (const CliFlag& f : spec.flags) {
+    width = std::max(width, FlagLabel(f).size());
+  }
+
+  if (!spec.commands.empty()) {
+    out += "\ncommands:\n";
+    for (const CliCommand& c : spec.commands) {
+      const std::string label = CommandLabel(c);
+      out += "  " + label + std::string(width - label.size() + 2, ' ') +
+             c.help + '\n';
+    }
+  }
+  if (!spec.flags.empty()) {
+    out += "\nflags:\n";
+    for (const CliFlag& f : spec.flags) {
+      const std::string label = FlagLabel(f);
+      out += "  " + label + std::string(width - label.size() + 2, ' ') +
+             f.help + '\n';
+    }
+  }
+  return out;
+}
+
+bool WantsHelp(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0 ||
+        std::strcmp(argv[i], "-h") == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+const CliFlag* FindFlag(const CliSpec& spec, const std::string& name) {
+  for (const CliFlag& f : spec.flags) {
+    if (name == f.name) return &f;
+  }
+  return nullptr;
+}
+
+int PrintHelp(const CliSpec& spec) {
+  std::fputs(BuildUsage(spec).c_str(), stdout);
+  return 0;
+}
+
+int PrintUsageError(const CliSpec& spec) {
+  std::fputs(BuildUsage(spec).c_str(), stderr);
+  return 2;
+}
+
+}  // namespace vr

@@ -1,0 +1,59 @@
+/// \file cli_flags.h
+/// \brief Table-driven command-line help for the example binaries.
+///
+/// Each tool declares one table of flags (and optionally commands); the
+/// same table renders `--help` output and drives unknown-flag
+/// validation, so the help text can never drift from what the parser
+/// accepts — the failure mode this replaces was serve_cli and
+/// ingest_admin documenting different flags than they parsed.
+///
+/// Thread-safety: all functions are pure/stateless and safe from any
+/// thread (the examples are single-threaded anyway).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace vr {
+
+/// One documented command-line flag.
+struct CliFlag {
+  const char* name;  ///< e.g. "--port"
+  const char* arg;   ///< value placeholder ("N"); nullptr for booleans
+  const char* help;  ///< one-line description
+};
+
+/// One documented subcommand (ingest_admin-style tools).
+struct CliCommand {
+  const char* name;  ///< e.g. "add"
+  const char* args;  ///< positional placeholder, e.g. "<video.vsv> <name>"
+  const char* help;  ///< one-line description
+};
+
+/// \brief One tool's complete command-line surface.
+struct CliSpec {
+  const char* prog;        ///< program name for the usage line
+  const char* positional;  ///< leading positionals, e.g. "<db_dir>"
+  std::vector<CliCommand> commands;  ///< empty for flag-only tools
+  std::vector<CliFlag> flags;
+};
+
+/// Renders the full help text (usage line + aligned flag/command
+/// descriptions) from the spec. The single source of truth for --help.
+std::string BuildUsage(const CliSpec& spec);
+
+/// True when any argument is exactly "--help" or "-h".
+bool WantsHelp(int argc, char** argv);
+
+/// The flag entry for \p name, or nullptr when the spec does not list
+/// it — callers reject unknown flags with the generated usage text.
+const CliFlag* FindFlag(const CliSpec& spec, const std::string& name);
+
+/// Prints BuildUsage to stdout and returns 0 (the --help exit code).
+int PrintHelp(const CliSpec& spec);
+
+/// Prints BuildUsage to stderr and returns 2 (the bad-usage exit code).
+int PrintUsageError(const CliSpec& spec);
+
+}  // namespace vr

@@ -1,5 +1,8 @@
 #include "video/video_writer.h"
 
+#include <stdio.h>  // open_memstream (POSIX, not in <cstdio>)
+
+#include <cstdlib>
 #include <cstring>
 
 #include "util/string_util.h"
@@ -25,21 +28,17 @@ Status WriteScalar(std::FILE* f, T v) {
 VideoWriter::~VideoWriter() {
   if (file_ != nullptr) {
     // Best-effort finish on destruction.
-    (void)Finish();
+    if (in_memory_) {
+      (void)FinishToMemory();
+    } else {
+      (void)Finish();
+    }
   }
+  std::free(mem_buf_);
 }
 
-Status VideoWriter::Open(const std::string& path, int width, int height,
-                         int channels, int fps) {
-  if (file_ != nullptr) return Status::Internal("writer already open");
-  if (width <= 0 || height <= 0 || (channels != 1 && channels != 3) ||
-      fps <= 0) {
-    return Status::InvalidArgument("bad video parameters");
-  }
-  file_ = std::fopen(path.c_str(), "wb");
-  if (file_ == nullptr) {
-    return Status::IOError("cannot create video file: " + path);
-  }
+Status VideoWriter::WriteHeader(int width, int height, int channels,
+                                int fps) {
   header_.width = width;
   header_.height = height;
   header_.channels = channels;
@@ -55,6 +54,34 @@ Status VideoWriter::Open(const std::string& path, int width, int height,
   VR_RETURN_NOT_OK(WriteScalar<uint32_t>(file_, static_cast<uint32_t>(fps)));
   VR_RETURN_NOT_OK(WriteScalar<uint64_t>(file_, 0));  // patched by Finish()
   return Status::OK();
+}
+
+Status VideoWriter::Open(const std::string& path, int width, int height,
+                         int channels, int fps) {
+  if (file_ != nullptr) return Status::Internal("writer already open");
+  if (width <= 0 || height <= 0 || (channels != 1 && channels != 3) ||
+      fps <= 0) {
+    return Status::InvalidArgument("bad video parameters");
+  }
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    return Status::IOError("cannot create video file: " + path);
+  }
+  return WriteHeader(width, height, channels, fps);
+}
+
+Status VideoWriter::OpenMemory(int width, int height, int channels, int fps) {
+  if (file_ != nullptr) return Status::Internal("writer already open");
+  if (width <= 0 || height <= 0 || (channels != 1 && channels != 3) ||
+      fps <= 0) {
+    return Status::InvalidArgument("bad video parameters");
+  }
+  file_ = open_memstream(&mem_buf_, &mem_size_);
+  if (file_ == nullptr) {
+    return Status::IOError("cannot open in-memory video stream");
+  }
+  in_memory_ = true;
+  return WriteHeader(width, height, channels, fps);
 }
 
 Status VideoWriter::Append(const Image& frame) {
@@ -108,17 +135,38 @@ Status VideoWriter::Finish() {
     }
     VR_RETURN_NOT_OK(WriteScalar<uint64_t>(file_, footer_start));
     VR_RETURN_NOT_OK(WriteBytes(file_, kVsvFooterMagic, 4));
+    const long end = std::ftell(file_);
     // Patch the frame count in the header (offset 4 + 4*4 = 20).
     if (std::fseek(file_, 20, SEEK_SET) != 0) {
       return Status::IOError("seek failed while finalizing video");
     }
     VR_RETURN_NOT_OK(WriteScalar<uint64_t>(
         file_, static_cast<uint64_t>(frame_offsets_.size())));
+    // Return to the end before closing: open_memstream reports the
+    // position at fclose as the buffer size (and its SEEK_END forgets
+    // bytes past the last write position), so an absolute seek to the
+    // remembered end is the only way the in-memory blob keeps its
+    // full length.
+    if (std::fseek(file_, end, SEEK_SET) != 0) {
+      return Status::IOError("seek failed while finalizing video");
+    }
     finished_ = true;
   }
   std::fclose(file_);
   file_ = nullptr;
   return Status::OK();
+}
+
+Result<std::vector<uint8_t>> VideoWriter::FinishToMemory() {
+  if (!in_memory_) {
+    return Status::Internal("writer was not opened with OpenMemory");
+  }
+  VR_RETURN_NOT_OK(Finish());  // closes the memstream, finalizing mem_buf_
+  std::vector<uint8_t> out(mem_buf_, mem_buf_ + mem_size_);
+  std::free(mem_buf_);
+  mem_buf_ = nullptr;
+  mem_size_ = 0;
+  return out;
 }
 
 }  // namespace vr

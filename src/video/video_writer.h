@@ -17,6 +17,12 @@ namespace vr {
 ///
 /// All frames must match the dimensions/channels fixed at Open time.
 /// The writer picks the smallest of raw / RLE / delta+RLE per frame.
+/// A writer targets either a file (Open/Finish) or an in-memory buffer
+/// (OpenMemory/FinishToMemory) — the encoded bytes are identical, which
+/// is what lets parallel ingest prepare video blobs without temp files.
+///
+/// Thread-safety: a VideoWriter instance is single-threaded; use one
+/// writer per thread.
 class VideoWriter {
  public:
   VideoWriter() = default;
@@ -28,23 +34,37 @@ class VideoWriter {
   Status Open(const std::string& path, int width, int height, int channels,
               int fps);
 
+  /// Opens an in-memory stream instead of a file; retrieve the encoded
+  /// container with FinishToMemory().
+  Status OpenMemory(int width, int height, int channels, int fps);
+
   /// Appends one frame.
   Status Append(const Image& frame);
 
   /// Writes the footer and closes the file. Idempotent.
   Status Finish();
 
+  /// Writes the footer, closes the in-memory stream and returns the
+  /// encoded container bytes. Only valid after OpenMemory.
+  Result<std::vector<uint8_t>> FinishToMemory();
+
   uint64_t frames_written() const { return frame_offsets_.size(); }
   /// Compressed bytes written so far (payloads only).
   uint64_t payload_bytes() const { return payload_bytes_; }
 
  private:
+  Status WriteHeader(int width, int height, int channels, int fps);
+
   std::FILE* file_ = nullptr;
   VideoHeader header_;
   std::vector<uint8_t> prev_frame_;
   std::vector<uint64_t> frame_offsets_;
   uint64_t payload_bytes_ = 0;
   bool finished_ = false;
+  /// open_memstream(3) buffer backing an OpenMemory writer.
+  char* mem_buf_ = nullptr;
+  size_t mem_size_ = 0;
+  bool in_memory_ = false;
 };
 
 }  // namespace vr

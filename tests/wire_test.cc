@@ -136,6 +136,14 @@ TEST(WireTest, StatsResponseRoundTrip) {
   stats.pager.misses = 100;
   stats.pager.evictions = 5;
   stats.pager.checksum_failures = 0;
+  stats.ingest.videos_ingested = 4;
+  stats.ingest.frames_decoded = 480;
+  stats.ingest.keyframes_kept = 36;
+  stats.ingest.decode_ms = 120.5;
+  stats.ingest.extract_ms = 900.25;
+  stats.ingest.commit_ms = 14.0;
+  stats.ingest.extractor_ms[0] = 33.5;
+  stats.ingest.extractor_ms[kNumFeatureKinds - 1] = 7.75;
 
   auto decoded = DecodeStatsResponse(EncodeStatsResponse(stats));
   ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
@@ -147,6 +155,14 @@ TEST(WireTest, StatsResponseRoundTrip) {
   EXPECT_DOUBLE_EQ(decoded->p99_ms, 20.25);
   EXPECT_EQ(decoded->pager.hits, 900u);
   EXPECT_EQ(decoded->pager.evictions, 5u);
+  EXPECT_EQ(decoded->ingest.videos_ingested, 4u);
+  EXPECT_EQ(decoded->ingest.frames_decoded, 480u);
+  EXPECT_EQ(decoded->ingest.keyframes_kept, 36u);
+  EXPECT_DOUBLE_EQ(decoded->ingest.decode_ms, 120.5);
+  EXPECT_DOUBLE_EQ(decoded->ingest.extract_ms, 900.25);
+  EXPECT_DOUBLE_EQ(decoded->ingest.commit_ms, 14.0);
+  EXPECT_DOUBLE_EQ(decoded->ingest.extractor_ms[0], 33.5);
+  EXPECT_DOUBLE_EQ(decoded->ingest.extractor_ms[kNumFeatureKinds - 1], 7.75);
 }
 
 TEST(WireTest, StatsResponseRejectsTruncation) {
