@@ -152,5 +152,15 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(stats.expired),
               static_cast<unsigned long long>(stats.failed), stats.p50_ms,
               stats.p95_ms, stats.p99_ms);
+  std::printf("query stages: image=%llu video=%llu sharded=%llu "
+              "candidates=%llu/%llu extract=%.2fms select=%.2fms "
+              "rank=%.2fms\n",
+              static_cast<unsigned long long>(stats.query.image_queries),
+              static_cast<unsigned long long>(stats.query.video_queries),
+              static_cast<unsigned long long>(stats.query.sharded_ranks),
+              static_cast<unsigned long long>(stats.query.candidates_scored),
+              static_cast<unsigned long long>(stats.query.candidates_total),
+              stats.query.extract_ms, stats.query.select_ms,
+              stats.query.rank_ms);
   return 0;
 }

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # The whole gate, in dependency order: docs consistency (no build),
-# the plain build + full test suite, then the sanitizer passes
+# the plain build + full test suite, the query-bench smoke run (its
+# built-in serial-vs-sharded parity assert), then the sanitizer passes
 # (ASan/UBSan over everything, TSan over the concurrency suites —
 # check_sanitizers.sh chains into check_tsan.sh itself).
 #
@@ -15,6 +16,8 @@ scripts/check_docs.sh
 cmake -B "$BUILD_DIR" -S . -G Ninja
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure
+
+"$BUILD_DIR"/bench/micro_query --smoke
 
 scripts/check_sanitizers.sh
 

@@ -72,10 +72,10 @@ Result<FeatureVector> AutoColorCorrelogram::Extract(const Image& img) const {
   return FeatureVector(name(), std::move(feature));
 }
 
-double AutoColorCorrelogram::Distance(const FeatureVector& a,
-                                      const FeatureVector& b) const {
+double AutoColorCorrelogram::DistanceSpan(const double* a, size_t na,
+                                          const double* b, size_t nb) const {
   // The d1 measure of Huang et al.: sum |a-b| / (1 + a + b).
-  const size_t n = std::min(a.size(), b.size());
+  const size_t n = std::min(na, nb);
   double acc = 0.0;
   for (size_t i = 0; i < n; ++i) {
     acc += std::fabs(a[i] - b[i]) / (1.0 + a[i] + b[i]);

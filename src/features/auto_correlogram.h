@@ -20,8 +20,8 @@ class AutoColorCorrelogram : public FeatureExtractor {
 
   FeatureKind kind() const override { return FeatureKind::kAutoCorrelogram; }
   Result<FeatureVector> Extract(const Image& img) const override;
-  double Distance(const FeatureVector& a,
-                  const FeatureVector& b) const override;
+  double DistanceSpan(const double* a, size_t na, const double* b,
+                      size_t nb) const override;
 
   int max_distance() const { return max_distance_; }
 

@@ -30,13 +30,15 @@ Result<FeatureVector> SimpleColorHistogram::Extract(const Image& img) const {
   return FeatureVector(name(), std::move(bins));
 }
 
-double SimpleColorHistogram::Distance(const FeatureVector& a,
-                                      const FeatureVector& b) const {
+double SimpleColorHistogram::DistanceSpan(const double* a, size_t na,
+                                          const double* b, size_t nb) const {
   // L1 over L1-normalized histograms, in [0, 2].
-  const double sa = a.Sum();
-  const double sb = b.Sum();
+  double sa = 0.0;
+  double sb = 0.0;
+  for (size_t i = 0; i < na; ++i) sa += a[i];
+  for (size_t i = 0; i < nb; ++i) sb += b[i];
   if (sa == 0.0 || sb == 0.0) return sa == sb ? 0.0 : 2.0;
-  const size_t n = std::min(a.size(), b.size());
+  const size_t n = std::min(na, nb);
   double acc = 0.0;
   for (size_t i = 0; i < n; ++i) {
     acc += std::fabs(a[i] / sa - b[i] / sb);

@@ -31,8 +31,8 @@ class SimpleColorHistogram : public FeatureExtractor {
 
   FeatureKind kind() const override { return FeatureKind::kColorHistogram; }
   Result<FeatureVector> Extract(const Image& img) const override;
-  double Distance(const FeatureVector& a,
-                  const FeatureVector& b) const override;
+  double DistanceSpan(const double* a, size_t na, const double* b,
+                      size_t nb) const override;
 
   HistogramSpace space() const { return space_; }
 

@@ -69,10 +69,10 @@ Result<FeatureVector> ColorMoments::Extract(const Image& img) const {
   return FeatureVector(name(), std::move(feature));
 }
 
-double ColorMoments::Distance(const FeatureVector& a,
-                              const FeatureVector& b) const {
+double ColorMoments::DistanceSpan(const double* a, size_t na, const double* b,
+                                  size_t nb) const {
   // L1 with circular wrap on the hue-mean dimension.
-  const size_t n = std::min(a.size(), b.size());
+  const size_t n = std::min(na, nb);
   double acc = 0.0;
   for (size_t i = 0; i < n; ++i) {
     double d = std::fabs(a[i] - b[i]);

@@ -18,8 +18,8 @@ class ColorMoments : public FeatureExtractor {
 
   FeatureKind kind() const override { return FeatureKind::kColorMoments; }
   Result<FeatureVector> Extract(const Image& img) const override;
-  double Distance(const FeatureVector& a,
-                  const FeatureVector& b) const override;
+  double DistanceSpan(const double* a, size_t na, const double* b,
+                      size_t nb) const override;
 
   /// Layout: [mean_h, std_h, skew_h, mean_s, ..., skew_v].
   static constexpr size_t kDims = 9;

@@ -43,17 +43,21 @@ Result<FeatureVector> ColorSignatureFeature::Extract(const Image& img) const {
   return Flatten(signature);
 }
 
-double ColorSignatureFeature::Distance(const FeatureVector& a,
-                                       const FeatureVector& b) const {
-  Result<Signature> sa = Unflatten(a);
-  Result<Signature> sb = Unflatten(b);
+double ColorSignatureFeature::DistanceSpan(const double* a, size_t na,
+                                           const double* b, size_t nb) const {
+  // Unflatten wants FeatureVectors; materialize them from the spans. The
+  // EMD solver dominates the cost, so the copies don't matter.
+  const FeatureVector fa(name(), std::vector<double>(a, a + na));
+  const FeatureVector fb(name(), std::vector<double>(b, b + nb));
+  Result<Signature> sa = Unflatten(fa);
+  Result<Signature> sb = Unflatten(fb);
   if (sa.ok() && sb.ok()) {
     Result<double> emd = EmdSignatureDistance(*sa, *sb);
     if (emd.ok()) return std::max(0.0, *emd);
   }
   // Malformed vectors fall back to a plain vector distance so ranking
   // still degrades gracefully instead of erroring mid-query.
-  return L2Distance(a.values(), b.values());
+  return L2Distance(a, na, b, nb);
 }
 
 }  // namespace vr

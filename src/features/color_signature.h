@@ -21,8 +21,8 @@ class ColorSignatureFeature : public FeatureExtractor {
 
   FeatureKind kind() const override { return FeatureKind::kColorSignature; }
   Result<FeatureVector> Extract(const Image& img) const override;
-  double Distance(const FeatureVector& a,
-                  const FeatureVector& b) const override;
+  double DistanceSpan(const double* a, size_t na, const double* b,
+                      size_t nb) const override;
 
   /// Flattens a signature into the vector layout.
   static FeatureVector Flatten(const Signature& signature);

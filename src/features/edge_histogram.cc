@@ -5,6 +5,7 @@
 
 #include "imaging/color.h"
 #include "imaging/float_image.h"
+#include "similarity/metrics.h"
 
 namespace vr {
 
@@ -64,13 +65,18 @@ Result<FeatureVector> EdgeHistogram::Extract(const Image& img) const {
   return FeatureVector(name(), std::move(feature));
 }
 
-double EdgeHistogram::Distance(const FeatureVector& a,
-                               const FeatureVector& b) const {
+double EdgeHistogram::DistanceSpan(const double* a, size_t na, const double* b,
+                                   size_t nb) const {
   // L1, the MPEG-7 matching measure for EHD.
-  const size_t n = std::min(a.size(), b.size());
-  double acc = 0.0;
-  for (size_t i = 0; i < n; ++i) acc += std::fabs(a[i] - b[i]);
-  return acc;
+  return L1Distance(a, na, b, nb);
+}
+
+void EdgeHistogram::BatchDistance(const double* query, size_t qn,
+                                  const double* rows, size_t stride,
+                                  const uint32_t* lengths,
+                                  const uint32_t* indices, size_t count,
+                                  double* out) const {
+  BatchL1Distance(query, qn, rows, stride, lengths, indices, count, out);
 }
 
 }  // namespace vr

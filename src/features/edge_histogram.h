@@ -25,8 +25,13 @@ class EdgeHistogram : public FeatureExtractor {
 
   FeatureKind kind() const override { return FeatureKind::kEdgeHistogram; }
   Result<FeatureVector> Extract(const Image& img) const override;
-  double Distance(const FeatureVector& a,
-                  const FeatureVector& b) const override;
+  double DistanceSpan(const double* a, size_t na, const double* b,
+                      size_t nb) const override;
+  /// L1 is covered by a batch kernel; dispatch the whole column there.
+  void BatchDistance(const double* query, size_t qn, const double* rows,
+                     size_t stride, const uint32_t* lengths,
+                     const uint32_t* indices, size_t count,
+                     double* out) const override;
 
   static constexpr int kEdgeTypes = 5;
   size_t dimensions() const {

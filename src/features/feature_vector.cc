@@ -1,5 +1,6 @@
 #include "features/feature_vector.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/string_util.h"
@@ -87,19 +88,31 @@ void FeatureVector::NormalizeL1() {
   for (double& v : values_) v /= s;
 }
 
-double FeatureExtractor::Distance(const FeatureVector& a,
-                                  const FeatureVector& b) const {
+double FeatureExtractor::DistanceSpan(const double* a, size_t na,
+                                      const double* b, size_t nb) const {
   // Default: L2 over the common prefix; dimension mismatch contributes
   // the missing mass.
-  const size_t n = std::min(a.size(), b.size());
+  const size_t n = std::min(na, nb);
   double acc = 0.0;
   for (size_t i = 0; i < n; ++i) {
     const double d = a[i] - b[i];
     acc += d * d;
   }
-  for (size_t i = n; i < a.size(); ++i) acc += a[i] * a[i];
-  for (size_t i = n; i < b.size(); ++i) acc += b[i] * b[i];
+  for (size_t i = n; i < na; ++i) acc += a[i] * a[i];
+  for (size_t i = n; i < nb; ++i) acc += b[i] * b[i];
   return std::sqrt(acc);
+}
+
+void FeatureExtractor::BatchDistance(const double* query, size_t qn,
+                                     const double* rows, size_t stride,
+                                     const uint32_t* lengths,
+                                     const uint32_t* indices, size_t count,
+                                     double* out) const {
+  for (size_t i = 0; i < count; ++i) {
+    const uint32_t r = indices[i];
+    out[i] = DistanceSpan(query, qn, rows + static_cast<size_t>(r) * stride,
+                          lengths[r]);
+  }
 }
 
 }  // namespace vr

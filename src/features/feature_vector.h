@@ -7,6 +7,7 @@
 
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -96,8 +97,29 @@ class FeatureExtractor {
 
   /// Dissimilarity between two vectors produced by this extractor.
   /// Smaller is more similar; must be >= 0 and 0 for identical inputs.
-  virtual double Distance(const FeatureVector& a,
-                          const FeatureVector& b) const;
+  /// Delegates to DistanceSpan — the two are always bit-identical.
+  double Distance(const FeatureVector& a, const FeatureVector& b) const {
+    return DistanceSpan(a.values().data(), a.size(), b.values().data(),
+                        b.size());
+  }
+
+  /// The same dissimilarity over raw value arrays — the columnar fast
+  /// path used when candidate features live in a FeatureMatrix column
+  /// instead of per-frame FeatureVectors. Extractors override this (not
+  /// Distance) so both entry points share one implementation.
+  virtual double DistanceSpan(const double* a, size_t na, const double* b,
+                              size_t nb) const;
+
+  /// Batch form over a strided column: for each i in [0, count),
+  /// out[i] = DistanceSpan(query, row indices[i]) where row j starts at
+  /// rows + j * stride and holds lengths[j] values. The default loops
+  /// DistanceSpan; extractors whose metric matches a batch kernel in
+  /// similarity/metrics.h override this to dispatch there. Must stay
+  /// bit-identical to the per-candidate loop.
+  virtual void BatchDistance(const double* query, size_t qn,
+                             const double* rows, size_t stride,
+                             const uint32_t* lengths, const uint32_t* indices,
+                             size_t count, double* out) const;
 };
 
 }  // namespace vr

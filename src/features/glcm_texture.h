@@ -23,8 +23,8 @@ class GlcmTexture : public FeatureExtractor {
 
   FeatureKind kind() const override { return FeatureKind::kGlcm; }
   Result<FeatureVector> Extract(const Image& img) const override;
-  double Distance(const FeatureVector& a,
-                  const FeatureVector& b) const override;
+  double DistanceSpan(const double* a, size_t na, const double* b,
+                      size_t nb) const override;
 
   /// Positions of the stats within the feature vector.
   enum : size_t {

@@ -45,9 +45,9 @@ Result<FeatureVector> NaiveSignature::Extract(const Image& img) const {
   return FeatureVector(name(), std::move(feature));
 }
 
-double NaiveSignature::Distance(const FeatureVector& a,
-                                const FeatureVector& b) const {
-  const size_t n = std::min(a.size(), b.size()) / 3;
+double NaiveSignature::DistanceSpan(const double* a, size_t na,
+                                    const double* b, size_t nb) const {
+  const size_t n = std::min(na, nb) / 3;
   double acc = 0.0;
   for (size_t p = 0; p < n; ++p) {
     const double dr = a[3 * p] - b[3 * p];

@@ -25,8 +25,8 @@ class NaiveSignature : public FeatureExtractor {
 
   /// Sum over the 25 points of the Euclidean RGB distance between the
   /// two signatures — the quantity the paper compares against 800.
-  double Distance(const FeatureVector& a,
-                  const FeatureVector& b) const override;
+  double DistanceSpan(const double* a, size_t na, const double* b,
+                      size_t nb) const override;
 
   static constexpr int kGrid = 5;
   static constexpr int kPoints = kGrid * kGrid;

@@ -83,11 +83,11 @@ Result<FeatureVector> SimpleRegionGrowing::Extract(const Image& img) const {
                static_cast<double>(stats.num_major_regions)});
 }
 
-double SimpleRegionGrowing::Distance(const FeatureVector& a,
-                                     const FeatureVector& b) const {
+double SimpleRegionGrowing::DistanceSpan(const double* a, size_t na,
+                                         const double* b, size_t nb) const {
   // Canberra: counts live on very different scales (regions can reach
   // hundreds while major regions stay in single digits).
-  const size_t n = std::min(a.size(), b.size());
+  const size_t n = std::min(na, nb);
   double acc = 0.0;
   for (size_t i = 0; i < n; ++i) {
     const double den = std::fabs(a[i]) + std::fabs(b[i]);

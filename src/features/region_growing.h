@@ -30,8 +30,8 @@ class SimpleRegionGrowing : public FeatureExtractor {
 
   FeatureKind kind() const override { return FeatureKind::kRegionGrowing; }
   Result<FeatureVector> Extract(const Image& img) const override;
-  double Distance(const FeatureVector& a,
-                  const FeatureVector& b) const override;
+  double DistanceSpan(const double* a, size_t na, const double* b,
+                      size_t nb) const override;
 
   /// Runs preprocessing + labeling and returns the raw statistics.
   Result<RegionStats> Analyze(const Image& img) const;

@@ -112,10 +112,10 @@ Result<FeatureVector> TamuraTexture::Extract(const Image& img) const {
   return FeatureVector(name(), std::move(feature));
 }
 
-double TamuraTexture::Distance(const FeatureVector& a,
-                               const FeatureVector& b) const {
-  if (a.size() < kDirStart || b.size() < kDirStart) {
-    return FeatureExtractor::Distance(a, b);
+double TamuraTexture::DistanceSpan(const double* a, size_t na, const double* b,
+                                   size_t nb) const {
+  if (na < kDirStart || nb < kDirStart) {
+    return FeatureExtractor::DistanceSpan(a, na, b, nb);
   }
   // Canberra over coarseness & contrast (scale-free), plus L1 over the
   // normalized directionality histogram. Each component is in [0, 1]-ish,
@@ -125,7 +125,7 @@ double TamuraTexture::Distance(const FeatureVector& a,
     const double den = std::fabs(a[i]) + std::fabs(b[i]);
     if (den > 0) acc += std::fabs(a[i] - b[i]) / den;
   }
-  const size_t n = std::min(a.size(), b.size());
+  const size_t n = std::min(na, nb);
   double dir_l1 = 0.0;
   for (size_t i = kDirStart; i < n; ++i) dir_l1 += std::fabs(a[i] - b[i]);
   return acc + dir_l1;

@@ -21,8 +21,8 @@ class TamuraTexture : public FeatureExtractor {
 
   FeatureKind kind() const override { return FeatureKind::kTamura; }
   Result<FeatureVector> Extract(const Image& img) const override;
-  double Distance(const FeatureVector& a,
-                  const FeatureVector& b) const override;
+  double DistanceSpan(const double* a, size_t na, const double* b,
+                      size_t nb) const override;
 
   enum : size_t {
     kCoarseness = 0,

@@ -28,12 +28,25 @@ bool RangeBucketIndex::Erase(int64_t id, const GrayRange& range) {
 std::vector<int64_t> RangeBucketIndex::Lookup(const GrayRange& query,
                                               RangeLookupMode mode) const {
   std::vector<int64_t> out;
+  if (mode == RangeLookupMode::kExact) {
+    // O(log B) map lookup under the bucket comparator, which orders by
+    // (min, max) and ignores depth — deliberately, because stored
+    // frames re-enter the index at depth 0 on warm-up while query
+    // ranges carry their true recursion depth. Matching on the gray
+    // interval alone is what the engine's candidate scan always did.
+    const auto it = buckets_.find(query);
+    if (it != buckets_.end()) out = it->second;
+    std::sort(out.begin(), out.end());
+    return out;
+  }
   for (const auto& [range, ids] : buckets_) {
+    // Buckets are ordered by (min, max); once a bucket starts past the
+    // query's max gray level, no later bucket can contain or overlap.
+    if (range.min > query.max) break;
     bool match = false;
     switch (mode) {
       case RangeLookupMode::kExact:
-        match = range == query;
-        break;
+        break;  // handled above
       case RangeLookupMode::kLineage:
         match = range.Contains(query) || query.Contains(range);
         break;

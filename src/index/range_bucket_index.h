@@ -46,7 +46,12 @@ class RangeBucketIndex {
   /// Removes one id from its bucket; true when found.
   bool Erase(int64_t id, const GrayRange& range);
 
-  /// Candidate ids for a query bucket, per the lookup mode.
+  /// Candidate ids for a query bucket, per the lookup mode, sorted
+  /// ascending. kExact matches on the (min, max) interval only (the
+  /// bucket-map comparator ignores depth, matching the engine's
+  /// candidate predicate for frames re-indexed at depth 0 on warm-up);
+  /// it is an O(log B) map lookup, the other modes walk the bucket
+  /// list with an early exit past the query's max gray level.
   std::vector<int64_t> Lookup(const GrayRange& query,
                               RangeLookupMode mode) const;
 

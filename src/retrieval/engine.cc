@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <mutex>
+#include <thread>
 
 #include "util/logging.h"
 
@@ -25,24 +26,31 @@ Result<std::unique_ptr<RetrievalEngine>> RetrievalEngine::Open(
   db_options.env = options.env;
   VR_ASSIGN_OR_RETURN(engine->store_, VideoStore::Open(dir, db_options));
   VR_RETURN_NOT_OK(engine->WarmCache());
+  // Rank pool: only worth spinning up when sharding can actually kick
+  // in (threshold > 0) and more than one worker would run.
+  size_t rank_workers = options.rank_workers != 0
+                            ? options.rank_workers
+                            : std::max(1u, std::thread::hardware_concurrency());
+  if (options.parallel_rank_threshold > 0 && rank_workers > 1) {
+    ThreadPoolOptions pool_options;
+    pool_options.num_threads = rank_workers;
+    pool_options.queue_capacity = rank_workers * 2;
+    engine->rank_pool_ = std::make_unique<ThreadPool>(pool_options);
+  }
   return engine;
 }
 
 Status RetrievalEngine::WarmCache() {
-  cache_.clear();
+  matrix_.Clear();
   cache_by_id_.clear();
   Status inner = Status::OK();
   const Status scanned =
       store_->ScanKeyFrames([&](const KeyFrameRecord& record) {
-    CachedKeyFrame cached;
-    cached.i_id = record.i_id;
-    cached.v_id = record.v_id;
-    cached.range = GrayRange{static_cast<int>(record.min),
-                             static_cast<int>(record.max), 0};
-    cached.features = record.features;
-    index_.InsertAt(record.i_id, cached.range);
-    cache_by_id_.emplace(record.i_id, cache_.size());
-    cache_.push_back(std::move(cached));
+    const GrayRange range{static_cast<int>(record.min),
+                          static_cast<int>(record.max), 0};
+    index_.InsertAt(record.i_id, range);
+    cache_by_id_.emplace(record.i_id, matrix_.rows());
+    matrix_.Append(record.i_id, record.v_id, range, record.features);
     return true;
   });
   if (!scanned.ok()) {
@@ -56,8 +64,8 @@ Status RetrievalEngine::WarmCache() {
     return scanned;
   }
   VR_RETURN_NOT_OK(inner);
-  if (!cache_.empty()) {
-    VR_LOG(Info) << "warmed retrieval cache with " << cache_.size()
+  if (!matrix_.empty()) {
+    VR_LOG(Info) << "warmed retrieval cache with " << matrix_.rows()
                  << " key frames";
   }
   return Status::OK();
@@ -83,15 +91,14 @@ Status RetrievalEngine::RemoveVideo(int64_t v_id) {
   for (int64_t i_id : ids) {
     auto it = cache_by_id_.find(i_id);
     if (it == cache_by_id_.end()) continue;
-    index_.Erase(i_id, cache_[it->second].range);
-    // Swap-erase from the cache, fixing the moved entry's index.
     const size_t pos = it->second;
+    index_.Erase(i_id, matrix_.row(pos).range);
+    // Swap-erase from the matrix, fixing the moved row's index.
     cache_by_id_.erase(it);
-    if (pos != cache_.size() - 1) {
-      cache_[pos] = std::move(cache_.back());
-      cache_by_id_[cache_[pos].i_id] = pos;
+    matrix_.SwapRemove(pos);
+    if (pos != matrix_.rows()) {
+      cache_by_id_[matrix_.row(pos).i_id] = pos;
     }
-    cache_.pop_back();
   }
   return Status::OK();
 }

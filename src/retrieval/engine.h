@@ -23,11 +23,14 @@
 #include "imaging/image.h"
 #include "index/range_bucket_index.h"
 #include "keyframe/keyframe_extractor.h"
+#include "retrieval/feature_matrix.h"
 #include "retrieval/ingest_stats.h"
+#include "retrieval/query_stats.h"
 #include "similarity/combined_scorer.h"
 #include "storage/video_store.h"
 #include "util/shared_mutex.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace vr {
 
@@ -62,10 +65,16 @@ struct EngineOptions {
   bool paranoid = true;
   /// Filesystem abstraction for all storage I/O (Env::Default() if null).
   Env* env = nullptr;
+  /// Candidate count at which ranking shards distance columns across
+  /// the rank pool; below it (or at 0) ranking stays serial. Sharded
+  /// and serial ranking return byte-identical results, so this is a
+  /// pure performance knob.
+  size_t parallel_rank_threshold = 512;
+  /// Rank-pool worker count; 0 means one per hardware thread. The pool
+  /// is only created when the resolved count exceeds 1 and
+  /// parallel_rank_threshold is non-zero.
+  size_t rank_workers = 0;
 };
-
-/// Extracted features keyed by family.
-using FeatureMap = std::map<FeatureKind, FeatureVector>;
 
 /// One ranked retrieval hit.
 struct QueryResult {
@@ -136,10 +145,12 @@ using QueryCheckpoint = std::function<Status()>;
 /// thread. Callers never lock for those; they only need rw_lock()
 /// when touching engine internals directly: scorer() mutation and all
 /// VideoStore access through store() require the exclusive lock when
-/// queries may be in flight. The range index and the per-key-frame
-/// cache are plain data guarded entirely by this lock; the pager layer
-/// below is additionally self-serializing (see pager.h) so stats
-/// snapshots never race ingest I/O.
+/// queries may be in flight. The range index and the columnar feature
+/// cache (FeatureMatrix) are plain data guarded entirely by this lock —
+/// ranking shards fanned out to the internal rank pool only read them
+/// under the calling query's shared hold; the pager layer below is
+/// additionally self-serializing (see pager.h) so stats snapshots never
+/// race ingest I/O.
 class RetrievalEngine {
  public:
   /// Opens (or creates) the engine over a database directory and warms
@@ -198,6 +209,10 @@ class RetrievalEngine {
   /// snapshot is internally consistent only when no ingest is racing.
   IngestStats ingest_stats() const;
 
+  /// Cumulative query counters (see query_stats.h). Thread-safe; the
+  /// snapshot is internally consistent only when no query is racing.
+  QueryStats query_stats() const;
+
   /// Folds decode work performed outside the engine (IngestPipeline
   /// decodes .vsv files on its own workers) into ingest_stats().
   /// Thread-safe (lock-free).
@@ -227,9 +242,11 @@ class RetrievalEngine {
       const QueryCheckpoint& checkpoint = {});
   /// @}
 
-  /// Pruning statistics of the most recent image query (a snapshot;
-  /// under concurrent queries it reflects whichever finished selection
-  /// last).
+  /// Pruning statistics of the most recent query (a snapshot; under
+  /// concurrent queries it reflects whichever query finished last).
+  /// For a video query the counts accumulate across the whole clip —
+  /// every (query key frame x stored frame) scoring counts — so
+  /// service metrics stay honest for multi-frame queries.
   CandidateStats last_candidate_stats() const {
     CandidateStats stats;
     stats.candidates = last_candidates_.load(std::memory_order_relaxed);
@@ -260,7 +277,7 @@ class RetrievalEngine {
   /// Number of key frames currently indexed.
   size_t indexed_key_frames() const {
     std::shared_lock<SharedMutex> lock(mutex_);
-    return cache_.size();
+    return matrix_.rows();
   }
 
  private:
@@ -268,14 +285,6 @@ class RetrievalEngine {
       : options_(std::move(options)),
         key_frames_(options_.keyframe),
         index_(options_.range) {}
-
-  /// Cached per-key-frame state for in-memory ranking.
-  struct CachedKeyFrame {
-    int64_t i_id = 0;
-    int64_t v_id = 0;
-    GrayRange range;
-    FeatureMap features;
-  };
 
   /// Lock-free ingest counters behind ingest_stats(). Mutated from the
   /// const preparation methods, hence mutable atomics; times in ns.
@@ -289,32 +298,59 @@ class RetrievalEngine {
     std::array<std::atomic<uint64_t>, kNumFeatureKinds> extractor_ns{};
   };
 
+  /// Lock-free query counters behind query_stats(); times in ns.
+  struct QueryCounters {
+    std::atomic<uint64_t> image_queries{0};
+    std::atomic<uint64_t> video_queries{0};
+    std::atomic<uint64_t> sharded_ranks{0};
+    std::atomic<uint64_t> candidates_scored{0};
+    std::atomic<uint64_t> candidates_total{0};
+    std::atomic<uint64_t> extract_ns{0};
+    std::atomic<uint64_t> select_ns{0};
+    std::atomic<uint64_t> rank_ns{0};
+  };
+
   Status WarmCache();
   Result<FeatureMap> ExtractEnabled(
       const Image& img) const;
-  /// Requires mutex_ held (shared suffices).
-  Result<std::vector<const CachedKeyFrame*>> SelectCandidates(
-      const Image& query);
-  /// Requires mutex_ held (shared suffices).
+  /// Bucket-pruned candidate rows of matrix_ for a query image; updates
+  /// the last-query pruning stats. Requires mutex_ held (shared
+  /// suffices).
+  Result<std::vector<uint32_t>> SelectCandidates(const Image& query);
+  /// Shard count for ranking \p candidates rows (1 = serial).
+  size_t NumRankShards(size_t candidates) const;
+  /// Runs fn(shard) for every shard in [0, shards): shard 0 inline on
+  /// the caller, the rest on rank_pool_ (TrySubmit with inline
+  /// fallback), and waits for all of them. fn must not throw and must
+  /// only read state guarded by the caller's shared lock.
+  void RunSharded(size_t shards, const std::function<void(size_t)>& fn) const;
+  /// Ranks candidate rows of matrix_. Requires mutex_ held (shared
+  /// suffices).
   Result<std::vector<QueryResult>> Rank(
-      const FeatureMap& query_features,
-      const std::vector<const CachedKeyFrame*>& candidates,
+      const FeatureMap& query_features, const std::vector<uint32_t>& candidates,
       const std::vector<FeatureKind>& kinds, size_t k) const;
 
   EngineOptions options_;
   KeyFrameExtractor key_frames_;  ///< stateless after construction
-  /// Guards index_, cache_, cache_by_id_, scorer_ and store_ mutation:
+  /// Guards index_, matrix_, cache_by_id_, scorer_ and store_ mutation:
   /// shared for queries, exclusive for ingest/remove/feedback.
   mutable SharedMutex mutex_;
   RangeBucketIndex index_;
   CombinedScorer scorer_;
   std::unique_ptr<VideoStore> store_;
   std::vector<std::unique_ptr<FeatureExtractor>> extractors_;  ///< immutable after Open
-  std::vector<CachedKeyFrame> cache_;
+  /// Columnar feature cache; rows are matrix row indices, ids resolve
+  /// through cache_by_id_.
+  FeatureMatrix matrix_;
   std::map<int64_t, size_t> cache_by_id_;
+  /// Workers for sharded ranking; null when serial-only. Created at
+  /// Open, immutable after — shard tasks only ever read query-local
+  /// buffers plus matrix_ under the caller's shared lock.
+  std::unique_ptr<ThreadPool> rank_pool_;
   std::atomic<size_t> last_candidates_{0};
   std::atomic<size_t> last_total_{0};
   mutable IngestCounters ingest_counters_;
+  mutable QueryCounters query_counters_;
 };
 
 }  // namespace vr

@@ -1,0 +1,68 @@
+#include "retrieval/feature_matrix.h"
+
+#include <algorithm>
+
+namespace vr {
+
+void FeatureMatrix::Relayout(Column& col, size_t rows, size_t needed) {
+  size_t stride = col.stride == 0 ? needed : col.stride;
+  while (stride < needed) stride *= 2;  // geometric so re-layouts amortize
+  std::vector<double> values(rows * stride, 0.0);
+  for (size_t r = 0; r < rows; ++r) {
+    std::copy_n(col.values.data() + r * col.stride, col.lengths[r],
+                values.data() + r * stride);
+  }
+  col.values = std::move(values);
+  col.stride = stride;
+}
+
+void FeatureMatrix::Append(int64_t i_id, int64_t v_id, const GrayRange& range,
+                           const FeatureMap& features) {
+  const size_t pos = rows_.size();
+  rows_.push_back(Row{i_id, v_id, range});
+  for (int k = 0; k < kNumFeatureKinds; ++k) {
+    Column& col = columns_[static_cast<size_t>(k)];
+    const auto it = features.find(static_cast<FeatureKind>(k));
+    const size_t len = it == features.end() ? 0 : it->second.size();
+    if (len > col.stride) Relayout(col, pos, len);
+    col.values.resize((pos + 1) * col.stride, 0.0);
+    col.lengths.push_back(static_cast<uint32_t>(len));
+    col.present.push_back(it == features.end() ? 0 : 1);
+    if (len > 0) {
+      std::copy_n(it->second.values().data(), len,
+                  col.values.data() + pos * col.stride);
+    }
+  }
+}
+
+void FeatureMatrix::SwapRemove(size_t pos) {
+  const size_t last = rows_.size() - 1;
+  if (pos != last) {
+    rows_[pos] = rows_[last];
+    for (Column& col : columns_) {
+      if (col.stride > 0) {
+        std::copy_n(col.values.data() + last * col.stride, col.stride,
+                    col.values.data() + pos * col.stride);
+      }
+      col.lengths[pos] = col.lengths[last];
+      col.present[pos] = col.present[last];
+    }
+  }
+  rows_.pop_back();
+  for (Column& col : columns_) {
+    col.values.resize(last * col.stride);
+    col.lengths.pop_back();
+    col.present.pop_back();
+  }
+}
+
+void FeatureMatrix::Clear() {
+  rows_.clear();
+  for (Column& col : columns_) {
+    col.values.clear();
+    col.lengths.clear();
+    col.present.clear();
+  }
+}
+
+}  // namespace vr

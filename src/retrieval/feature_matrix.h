@@ -1,0 +1,100 @@
+/// \file feature_matrix.h
+/// \brief Structure-of-arrays feature cache for the ranking hot loop.
+///
+/// The engine used to keep one `std::map<FeatureKind, FeatureVector>`
+/// per cached key frame, so every distance in `Rank` paid a map lookup
+/// plus two pointer hops into scattered heap vectors. FeatureMatrix
+/// stores the same data columnar: one contiguous `double` block per
+/// FeatureKind holding every row's values at a fixed stride, plus a
+/// parallel row array with the (i_id, v_id, range) metadata. A distance
+/// column over N candidates is then a tight loop over flat memory that
+/// `FeatureExtractor::BatchDistance` (and the batch kernels in
+/// similarity/metrics.h) can chew through without chasing pointers.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "features/feature_vector.h"
+#include "index/range_finder.h"
+
+namespace vr {
+
+/// Extracted features keyed by family (the row-oriented form used at
+/// ingest; FeatureMatrix is its columnar transpose).
+using FeatureMap = std::map<FeatureKind, FeatureVector>;
+
+/// \brief Columnar store of per-key-frame features.
+///
+/// Thread-safety: externally synchronized, exactly like
+/// RangeBucketIndex. The const accessors are safe to call concurrently
+/// with each other (including from ranking shards on pool threads);
+/// Append/SwapRemove/Clear require exclusive access. The
+/// RetrievalEngine enforces this with its reader/writer lock — queries
+/// (and the shard tasks they fan out) run under the shared side,
+/// ingest/remove under the exclusive side, so a shard never observes a
+/// column mid-relayout.
+class FeatureMatrix {
+ public:
+  /// Per-row metadata, parallel to every column.
+  struct Row {
+    int64_t i_id = 0;   ///< key-frame id
+    int64_t v_id = 0;   ///< owning video
+    GrayRange range;    ///< range-finder bucket
+  };
+
+  /// One FeatureKind's values for every row.
+  struct Column {
+    /// Doubles reserved per row; row r starts at values[r * stride].
+    /// Grows (with a re-layout) when a longer vector arrives.
+    size_t stride = 0;
+    /// rows() * stride doubles; the tail of each row beyond its length
+    /// is zero-filled.
+    std::vector<double> values;
+    /// Actual value count of each row (0 when the feature is absent).
+    std::vector<uint32_t> lengths;
+    /// 1 when the row was ingested with this feature, else 0. A row can
+    /// be present with length 0 (a legitimately empty vector) — rank
+    /// penalties key off present, not lengths.
+    std::vector<uint8_t> present;
+
+    /// Start of row \p r's values.
+    const double* row(size_t r) const { return values.data() + r * stride; }
+  };
+
+  size_t rows() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+  const Row& row(size_t r) const { return rows_[r]; }
+  const std::vector<Row>& row_meta() const { return rows_; }
+  const Column& column(FeatureKind kind) const {
+    return columns_[static_cast<size_t>(kind)];
+  }
+
+  /// Appends one key frame's features as the new last row. Kinds absent
+  /// from \p features get a zero-length, not-present row in their
+  /// column; every column always holds exactly rows() entries.
+  void Append(int64_t i_id, int64_t v_id, const GrayRange& range,
+              const FeatureMap& features);
+
+  /// Removes row \p pos by moving the last row into its slot (the same
+  /// swap-erase the engine uses for cache_by_id_; callers re-point the
+  /// moved row's id mapping). \p pos must be < rows().
+  void SwapRemove(size_t pos);
+
+  /// Drops every row; column strides are kept so a rebuild does not
+  /// re-layout.
+  void Clear();
+
+ private:
+  /// Widens \p col's stride to hold \p needed values per row, moving
+  /// the existing rows to the new layout.
+  static void Relayout(Column& col, size_t rows, size_t needed);
+
+  std::vector<Row> rows_;
+  std::array<Column, kNumFeatureKinds> columns_;
+};
+
+}  // namespace vr

@@ -142,15 +142,11 @@ Result<int64_t> RetrievalEngine::CommitPrepared(PreparedVideo video) {
 
   // Publish to the in-memory structures only after everything persisted.
   for (KeyFrameRecord& record : records) {
-    CachedKeyFrame cached;
-    cached.i_id = record.i_id;
-    cached.v_id = v_id;
-    cached.range = GrayRange{static_cast<int>(record.min),
-                             static_cast<int>(record.max), 0};
-    cached.features = std::move(record.features);
-    index_.InsertAt(cached.i_id, cached.range);
-    cache_by_id_.emplace(cached.i_id, cache_.size());
-    cache_.push_back(std::move(cached));
+    const GrayRange range{static_cast<int>(record.min),
+                          static_cast<int>(record.max), 0};
+    index_.InsertAt(record.i_id, range);
+    cache_by_id_.emplace(record.i_id, matrix_.rows());
+    matrix_.Append(record.i_id, v_id, range, record.features);
   }
   ingest_counters_.videos_ingested.fetch_add(1, std::memory_order_relaxed);
   ingest_counters_.keyframes_kept.fetch_add(records.size(),

@@ -1,10 +1,14 @@
 #include <algorithm>
+#include <cmath>
+#include <condition_variable>
 #include <limits>
 #include <mutex>
+#include <numeric>
 
 #include "retrieval/engine.h"
 #include "similarity/dtw.h"
 #include "similarity/normalizer.h"
+#include "util/stopwatch.h"
 
 namespace vr {
 
@@ -15,47 +19,104 @@ Status RunCheckpoint(const QueryCheckpoint& checkpoint) {
   return checkpoint ? checkpoint() : Status::OK();
 }
 
+uint64_t ToNanos(double ms) { return static_cast<uint64_t>(ms * 1e6); }
+
+/// An all-missing column has an empty values block whose data() may be
+/// null; hand BatchDistance/DistanceSpan a dereferenceable dummy
+/// instead (every such row has length 0, so it is never read).
+constexpr double kEmptyColumn = 0.0;
+
+const double* ColumnBase(const FeatureMatrix::Column& col) {
+  return col.values.empty() ? &kEmptyColumn : col.values.data();
+}
+
 }  // namespace
 
-Result<std::vector<const RetrievalEngine::CachedKeyFrame*>>
-RetrievalEngine::SelectCandidates(const Image& query) {
-  std::vector<const CachedKeyFrame*> out;
-  last_total_.store(cache_.size(), std::memory_order_relaxed);
+Result<std::vector<uint32_t>> RetrievalEngine::SelectCandidates(
+    const Image& query) {
+  std::vector<uint32_t> out;
+  const size_t total = matrix_.rows();
+  last_total_.store(total, std::memory_order_relaxed);
   if (!options_.use_index) {
-    out.reserve(cache_.size());
-    for (const CachedKeyFrame& kf : cache_) out.push_back(&kf);
-    last_candidates_.store(out.size(), std::memory_order_relaxed);
-    return out;
-  }
-  const GrayRange query_range = FindRange(query, options_.range);
-  for (const CachedKeyFrame& kf : cache_) {
-    bool match = false;
-    switch (options_.lookup_mode) {
-      case RangeLookupMode::kExact:
-        match = kf.range.min == query_range.min &&
-                kf.range.max == query_range.max;
-        break;
-      case RangeLookupMode::kLineage:
-        match = kf.range.Contains(query_range) ||
-                query_range.Contains(kf.range);
-        break;
-      case RangeLookupMode::kOverlapping:
-        match = kf.range.Overlaps(query_range);
-        break;
+    out.resize(total);
+    std::iota(out.begin(), out.end(), 0u);
+  } else {
+    // Bucket lookup instead of the historical O(N) cache scan: the
+    // index maps the query's bucket (plus lineage/overlap per the
+    // mode) to frame ids, which resolve to matrix rows through
+    // cache_by_id_. The parity suite pins this to the scan's result.
+    const GrayRange query_range = FindRange(query, options_.range);
+    const std::vector<int64_t> ids =
+        index_.Lookup(query_range, options_.lookup_mode);
+    out.reserve(ids.size());
+    for (int64_t id : ids) {
+      const auto it = cache_by_id_.find(id);
+      if (it != cache_by_id_.end()) {
+        out.push_back(static_cast<uint32_t>(it->second));
+      }
     }
-    if (match) out.push_back(&kf);
   }
   last_candidates_.store(out.size(), std::memory_order_relaxed);
+  query_counters_.candidates_scored.fetch_add(out.size(),
+                                              std::memory_order_relaxed);
+  query_counters_.candidates_total.fetch_add(total, std::memory_order_relaxed);
   return out;
 }
 
+size_t RetrievalEngine::NumRankShards(size_t candidates) const {
+  if (rank_pool_ == nullptr || options_.parallel_rank_threshold == 0 ||
+      candidates < options_.parallel_rank_threshold) {
+    return 1;
+  }
+  const size_t by_work = (candidates + options_.parallel_rank_threshold - 1) /
+                         options_.parallel_rank_threshold;
+  return std::min(rank_pool_->num_threads(), by_work);
+}
+
+void RetrievalEngine::RunSharded(
+    size_t shards, const std::function<void(size_t)>& fn) const {
+  if (shards <= 1) {
+    fn(0);
+    return;
+  }
+  // Fan out shards 1..N-1 (TrySubmit with inline fallback, the same
+  // admission pattern as IngestPipeline), run shard 0 on the caller,
+  // then wait. The pool mutex gives TSan the happens-before edges; the
+  // tasks themselves only read state under the caller's shared lock.
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  size_t done = 0;
+  for (size_t shard = 1; shard < shards; ++shard) {
+    auto task = [&, shard] {
+      fn(shard);
+      std::lock_guard<std::mutex> lock(done_mutex);
+      ++done;
+      done_cv.notify_one();
+    };
+    if (!rank_pool_->TrySubmit(task)) task();
+  }
+  fn(0);
+  std::unique_lock<std::mutex> lock(done_mutex);
+  done_cv.wait(lock, [&] { return done == shards - 1; });
+}
+
 Result<std::vector<QueryResult>> RetrievalEngine::Rank(
-    const FeatureMap& query_features,
-    const std::vector<const CachedKeyFrame*>& candidates,
+    const FeatureMap& query_features, const std::vector<uint32_t>& candidates,
     const std::vector<FeatureKind>& kinds, size_t k) const {
   if (candidates.empty()) return std::vector<QueryResult>{};
 
-  // One raw-distance column per feature.
+  // Resolve every requested feature up front so shard tasks are
+  // infallible pure compute.
+  struct KindState {
+    FeatureKind kind;
+    const FeatureExtractor* extractor;
+    const FeatureVector* query;
+    const FeatureMatrix::Column* column;
+    double* out;  ///< this kind's distance column, length candidates.size()
+  };
+  std::vector<KindState> states;
+  states.reserve(kinds.size());
+  const size_t n = candidates.size();
   std::map<FeatureKind, std::vector<double>> columns;
   for (FeatureKind kind : kinds) {
     const auto q_it = query_features.find(kind);
@@ -70,20 +131,40 @@ Result<std::vector<QueryResult>> RetrievalEngine::Rank(
       return Status::InvalidArgument(
           std::string("feature not enabled: ") + FeatureKindName(kind));
     }
-    std::vector<double> column;
-    column.reserve(candidates.size());
-    for (const CachedKeyFrame* kf : candidates) {
-      const auto f_it = kf->features.find(kind);
-      if (f_it == kf->features.end()) {
-        // A key frame ingested without this feature ranks last for it.
-        column.push_back(std::numeric_limits<double>::max());
-      } else {
-        column.push_back(extractor->Distance(q_it->second, f_it->second));
-      }
-    }
-    columns.emplace(kind, std::move(column));
+    const auto col_it = columns.emplace(kind, std::vector<double>(n)).first;
+    states.push_back(KindState{kind, extractor, &q_it->second,
+                               &matrix_.column(kind), col_it->second.data()});
   }
 
+  const size_t shards = NumRankShards(n);
+  if (shards > 1) {
+    query_counters_.sharded_ranks.fetch_add(1, std::memory_order_relaxed);
+  }
+  const size_t chunk = (n + shards - 1) / shards;
+
+  // Stage 1: raw per-feature distance columns over the candidate rows,
+  // sharded by candidate range. Each shard writes a disjoint slice of
+  // each column, so no two shards touch the same byte.
+  RunSharded(shards, [&](size_t shard) {
+    const size_t begin = shard * chunk;
+    const size_t end = std::min(n, begin + chunk);
+    if (begin >= end) return;
+    for (const KindState& st : states) {
+      st.extractor->BatchDistance(
+          st.query->values().data(), st.query->size(), ColumnBase(*st.column),
+          st.column->stride, st.column->lengths.data(),
+          candidates.data() + begin, end - begin, st.out + begin);
+      for (size_t i = begin; i < end; ++i) {
+        // A key frame ingested without this feature ranks last for it.
+        if (!st.column->present[candidates[i]]) {
+          st.out[i] = std::numeric_limits<double>::max();
+        }
+      }
+    }
+  });
+
+  // Stage 2: fusion. Normalization needs whole columns, so this stays
+  // serial (it is O(kinds * N) flat-array work).
   std::vector<double> scores;
   if (kinds.size() == 1) {
     scores = columns.begin()->second;
@@ -91,22 +172,58 @@ Result<std::vector<QueryResult>> RetrievalEngine::Rank(
     VR_ASSIGN_OR_RETURN(scores, scorer_.Combine(columns));
   }
 
-  std::vector<size_t> order(candidates.size());
-  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
-  const size_t top = std::min(k, order.size());
-  std::partial_sort(order.begin(), order.begin() + static_cast<ptrdiff_t>(top),
-                    order.end(), [&](size_t a, size_t b) {
-                      if (scores[a] != scores[b]) return scores[a] < scores[b];
-                      return candidates[a]->i_id < candidates[b]->i_id;
-                    });
-  order.resize(top);
+  // NaN-guarded strict total order: a NaN score would break
+  // partial_sort's strict-weak-ordering contract (UB), so NaN ranks
+  // explicitly worst and ties (including NaN-vs-NaN) fall to i_id.
+  const auto better = [&](size_t a, size_t b) {
+    const bool a_nan = std::isnan(scores[a]);
+    const bool b_nan = std::isnan(scores[b]);
+    if (a_nan != b_nan) return b_nan;
+    if (!a_nan && scores[a] != scores[b]) return scores[a] < scores[b];
+    return matrix_.row(candidates[a]).i_id < matrix_.row(candidates[b]).i_id;
+  };
+
+  // Stage 3: top-k selection. Sharded mode partial-sorts each slice
+  // and merges the per-shard winners; because `better` is a strict
+  // total order, the merged top-k is byte-identical to one global
+  // partial_sort (the parity tests pin this).
+  const size_t top = std::min(k, n);
+  std::vector<size_t> order;
+  if (shards <= 1) {
+    order.resize(n);
+    std::iota(order.begin(), order.end(), size_t{0});
+    std::partial_sort(order.begin(),
+                      order.begin() + static_cast<ptrdiff_t>(top), order.end(),
+                      better);
+    order.resize(top);
+  } else {
+    std::vector<std::vector<size_t>> shard_top(shards);
+    RunSharded(shards, [&](size_t shard) {
+      const size_t begin = shard * chunk;
+      const size_t end = std::min(n, begin + chunk);
+      if (begin >= end) return;
+      std::vector<size_t>& local = shard_top[shard];
+      local.resize(end - begin);
+      std::iota(local.begin(), local.end(), begin);
+      const size_t local_top = std::min(top, local.size());
+      std::partial_sort(local.begin(),
+                        local.begin() + static_cast<ptrdiff_t>(local_top),
+                        local.end(), better);
+      local.resize(local_top);
+    });
+    for (const std::vector<size_t>& local : shard_top) {
+      order.insert(order.end(), local.begin(), local.end());
+    }
+    std::sort(order.begin(), order.end(), better);
+    order.resize(std::min(top, order.size()));
+  }
 
   std::vector<QueryResult> results;
-  results.reserve(top);
+  results.reserve(order.size());
   for (size_t idx : order) {
     QueryResult r;
-    r.i_id = candidates[idx]->i_id;
-    r.v_id = candidates[idx]->v_id;
+    r.i_id = matrix_.row(candidates[idx]).i_id;
+    r.v_id = matrix_.row(candidates[idx]).v_id;
     r.score = scores[idx];
     for (const auto& [kind, column] : columns) {
       r.feature_distances[kind] = column[idx];
@@ -121,13 +238,25 @@ Result<std::vector<QueryResult>> RetrievalEngine::QueryByImage(
   if (query.empty()) return Status::InvalidArgument("empty query image");
   std::shared_lock<SharedMutex> lock(mutex_);
   VR_RETURN_NOT_OK(RunCheckpoint(checkpoint));
+  Stopwatch extract_timer;
   VR_ASSIGN_OR_RETURN(FeatureMap features,
                       ExtractEnabled(query));
+  query_counters_.extract_ns.fetch_add(ToNanos(extract_timer.ElapsedMillis()),
+                                       std::memory_order_relaxed);
   VR_RETURN_NOT_OK(RunCheckpoint(checkpoint));
-  VR_ASSIGN_OR_RETURN(std::vector<const CachedKeyFrame*> candidates,
+  Stopwatch select_timer;
+  VR_ASSIGN_OR_RETURN(std::vector<uint32_t> candidates,
                       SelectCandidates(query));
+  query_counters_.select_ns.fetch_add(ToNanos(select_timer.ElapsedMillis()),
+                                      std::memory_order_relaxed);
   VR_RETURN_NOT_OK(RunCheckpoint(checkpoint));
-  return Rank(features, candidates, options_.enabled_features, k);
+  Stopwatch rank_timer;
+  Result<std::vector<QueryResult>> ranked =
+      Rank(features, candidates, options_.enabled_features, k);
+  query_counters_.rank_ns.fetch_add(ToNanos(rank_timer.ElapsedMillis()),
+                                    std::memory_order_relaxed);
+  query_counters_.image_queries.fetch_add(1, std::memory_order_relaxed);
+  return ranked;
 }
 
 Result<std::vector<QueryResult>> RetrievalEngine::QueryByImageSingleFeature(
@@ -142,14 +271,25 @@ Result<std::vector<QueryResult>> RetrievalEngine::QueryByImageSingleFeature(
   }
   std::shared_lock<SharedMutex> lock(mutex_);
   VR_RETURN_NOT_OK(RunCheckpoint(checkpoint));
+  Stopwatch extract_timer;
   VR_ASSIGN_OR_RETURN(FeatureVector fv, extractor->Extract(query));
   FeatureMap features;
   features.emplace(kind, std::move(fv));
+  query_counters_.extract_ns.fetch_add(ToNanos(extract_timer.ElapsedMillis()),
+                                       std::memory_order_relaxed);
   VR_RETURN_NOT_OK(RunCheckpoint(checkpoint));
-  VR_ASSIGN_OR_RETURN(std::vector<const CachedKeyFrame*> candidates,
+  Stopwatch select_timer;
+  VR_ASSIGN_OR_RETURN(std::vector<uint32_t> candidates,
                       SelectCandidates(query));
+  query_counters_.select_ns.fetch_add(ToNanos(select_timer.ElapsedMillis()),
+                                      std::memory_order_relaxed);
   VR_RETURN_NOT_OK(RunCheckpoint(checkpoint));
-  return Rank(features, candidates, {kind}, k);
+  Stopwatch rank_timer;
+  Result<std::vector<QueryResult>> ranked = Rank(features, candidates, {kind}, k);
+  query_counters_.rank_ns.fetch_add(ToNanos(rank_timer.ElapsedMillis()),
+                                    std::memory_order_relaxed);
+  query_counters_.image_queries.fetch_add(1, std::memory_order_relaxed);
+  return ranked;
 }
 
 Result<std::vector<VideoQueryResult>> RetrievalEngine::QueryByVideo(
@@ -161,6 +301,7 @@ Result<std::vector<VideoQueryResult>> RetrievalEngine::QueryByVideo(
   std::shared_lock<SharedMutex> lock(mutex_);
   VR_RETURN_NOT_OK(RunCheckpoint(checkpoint));
   // Key frames + features of the query sequence.
+  Stopwatch extract_timer;
   VR_ASSIGN_OR_RETURN(std::vector<KeyFrame> query_keys,
                       key_frames_.Extract(query_frames));
   std::vector<FeatureMap> query_features;
@@ -170,47 +311,51 @@ Result<std::vector<VideoQueryResult>> RetrievalEngine::QueryByVideo(
                         ExtractEnabled(kf.image));
     query_features.push_back(std::move(f));
   }
+  query_counters_.extract_ns.fetch_add(ToNanos(extract_timer.ElapsedMillis()),
+                                       std::memory_order_relaxed);
   VR_RETURN_NOT_OK(RunCheckpoint(checkpoint));
 
   // Group stored key frames per video, in id (i.e. temporal) order.
-  std::map<int64_t, std::vector<const CachedKeyFrame*>> by_video;
-  for (const CachedKeyFrame& kf : cache_) {
-    by_video[kf.v_id].push_back(&kf);
+  std::map<int64_t, std::vector<uint32_t>> by_video;
+  for (size_t r = 0; r < matrix_.rows(); ++r) {
+    by_video[matrix_.row(r).v_id].push_back(static_cast<uint32_t>(r));
   }
-  for (auto& [v_id, frames] : by_video) {
-    std::sort(frames.begin(), frames.end(),
-              [](const CachedKeyFrame* a, const CachedKeyFrame* b) {
-                return a->i_id < b->i_id;
-              });
+  for (auto& [v_id, rows] : by_video) {
+    std::sort(rows.begin(), rows.end(), [&](uint32_t a, uint32_t b) {
+      return matrix_.row(a).i_id < matrix_.row(b).i_id;
+    });
   }
 
   // Pair cost: mean of per-feature distances, each squashed to [0, 1]
   // with x / (1 + x) so no single feature's scale dominates.
-  auto pair_cost = [&](const FeatureMap& qf,
-                       const CachedKeyFrame& kf) {
+  const auto pair_cost = [&](const FeatureMap& qf, uint32_t row) {
     double acc = 0.0;
-    int n = 0;
+    int count = 0;
     for (FeatureKind kind : options_.enabled_features) {
       const auto a = qf.find(kind);
-      const auto b = kf.features.find(kind);
-      if (a == qf.end() || b == kf.features.end()) continue;
+      if (a == qf.end()) continue;
+      const FeatureMatrix::Column& column = matrix_.column(kind);
+      if (!column.present[row]) continue;
       const double d =
-          extractors_[static_cast<size_t>(kind)]->Distance(a->second,
-                                                           b->second);
+          extractors_[static_cast<size_t>(kind)]->DistanceSpan(
+              a->second.values().data(), a->second.size(),
+              ColumnBase(column) + static_cast<size_t>(row) * column.stride,
+              column.lengths[row]);
       acc += d / (1.0 + d);
-      ++n;
+      ++count;
     }
-    return n > 0 ? acc / n : 1.0;
+    return count > 0 ? acc / count : 1.0;
   };
 
+  Stopwatch rank_timer;
   std::vector<VideoQueryResult> results;
-  for (const auto& [v_id, frames] : by_video) {
+  for (const auto& [v_id, rows] : by_video) {
     VR_RETURN_NOT_OK(RunCheckpoint(checkpoint));
     VR_ASSIGN_OR_RETURN(
         double score,
-        DtwDistanceCost(query_features.size(), frames.size(),
+        DtwDistanceCost(query_features.size(), rows.size(),
                         [&](size_t i, size_t j) {
-                          return pair_cost(query_features[i], *frames[j]);
+                          return pair_cost(query_features[i], rows[j]);
                         }));
     results.push_back(VideoQueryResult{v_id, score});
   }
@@ -220,7 +365,43 @@ Result<std::vector<VideoQueryResult>> RetrievalEngine::QueryByVideo(
               return a.v_id < b.v_id;
             });
   if (results.size() > k) results.resize(k);
+  query_counters_.rank_ns.fetch_add(ToNanos(rank_timer.ElapsedMillis()),
+                                    std::memory_order_relaxed);
+
+  // Honest clip-level pruning stats: video search scores every stored
+  // frame once per query key frame (no bucket pruning applies), so the
+  // counts accumulate across the clip instead of reflecting whatever
+  // image query ran last.
+  const size_t scored = query_features.size() * matrix_.rows();
+  last_candidates_.store(scored, std::memory_order_relaxed);
+  last_total_.store(scored, std::memory_order_relaxed);
+  query_counters_.candidates_scored.fetch_add(scored,
+                                              std::memory_order_relaxed);
+  query_counters_.candidates_total.fetch_add(scored,
+                                             std::memory_order_relaxed);
+  query_counters_.video_queries.fetch_add(1, std::memory_order_relaxed);
   return results;
+}
+
+QueryStats RetrievalEngine::query_stats() const {
+  QueryStats stats;
+  stats.image_queries =
+      query_counters_.image_queries.load(std::memory_order_relaxed);
+  stats.video_queries =
+      query_counters_.video_queries.load(std::memory_order_relaxed);
+  stats.sharded_ranks =
+      query_counters_.sharded_ranks.load(std::memory_order_relaxed);
+  stats.candidates_scored =
+      query_counters_.candidates_scored.load(std::memory_order_relaxed);
+  stats.candidates_total =
+      query_counters_.candidates_total.load(std::memory_order_relaxed);
+  stats.extract_ms =
+      query_counters_.extract_ns.load(std::memory_order_relaxed) / 1e6;
+  stats.select_ms =
+      query_counters_.select_ns.load(std::memory_order_relaxed) / 1e6;
+  stats.rank_ms =
+      query_counters_.rank_ns.load(std::memory_order_relaxed) / 1e6;
+  return stats;
 }
 
 }  // namespace vr

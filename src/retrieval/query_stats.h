@@ -1,0 +1,43 @@
+/// \file query_stats.h
+/// \brief Cumulative query-side observability counters.
+///
+/// `QueryStats` mirrors `IngestStats` for the read path: it aggregates
+/// every query served by a `RetrievalEngine` since open, broken down by
+/// pipeline stage (feature extraction -> candidate selection ->
+/// ranking), and is what the service stats RPC ships to remote clients
+/// alongside the ingest counters.
+
+#pragma once
+
+#include <cstdint>
+
+namespace vr {
+
+/// \brief Point-in-time query counters of a RetrievalEngine.
+///
+/// All fields are cumulative since the engine was opened. Stage wall
+/// times are summed across queries (and, for sharded ranking, measured
+/// on the coordinating thread — shard compute overlaps inside rank_ms,
+/// it is not summed per worker).
+struct QueryStats {
+  /// Image queries served (combined + single-feature).
+  uint64_t image_queries = 0;
+  /// Video (DTW) queries served.
+  uint64_t video_queries = 0;
+  /// Ranking passes that used more than one shard.
+  uint64_t sharded_ranks = 0;
+  /// Key frames actually scored, summed over queries. For a video query
+  /// every stored frame is scored once per query key frame.
+  uint64_t candidates_scored = 0;
+  /// Key frames indexed at selection time, summed over queries — the
+  /// denominator of the bucket-pruning ratio.
+  uint64_t candidates_total = 0;
+  /// Wall time extracting features from query frames.
+  double extract_ms = 0.0;
+  /// Wall time selecting candidates through the range index.
+  double select_ms = 0.0;
+  /// Wall time ranking (distance columns + fusion + top-k).
+  double rank_ms = 0.0;
+};
+
+}  // namespace vr

@@ -133,6 +133,7 @@ ServiceStatsSnapshot RetrievalService::GetStats() const {
   snapshot.p99_ms = latency_.Percentile(99);
   snapshot.pager = engine_->store()->GetPagerStats();
   snapshot.ingest = engine_->ingest_stats();
+  snapshot.query = engine_->query_stats();
   return snapshot;
 }
 

@@ -8,6 +8,7 @@
 #include <mutex>
 
 #include "retrieval/ingest_stats.h"
+#include "retrieval/query_stats.h"
 #include "storage/pager.h"
 
 namespace vr {
@@ -63,6 +64,10 @@ struct ServiceStatsSnapshot {
   /// operator watch a bulk load's progress through the same stats RPC
   /// that reports query health.
   IngestStats ingest;
+  /// Cumulative engine query counters (see query_stats.h): per-stage
+  /// wall times plus the bucket-pruning ratio
+  /// (candidates_scored / candidates_total).
+  QueryStats query;
 };
 
 }  // namespace vr

@@ -223,6 +223,14 @@ std::vector<uint8_t> EncodeStatsResponse(const ServiceStatsSnapshot& stats) {
   // Count-prefixed so the wire stays decodable if extractors are added.
   PutLe<uint32_t>(&out, static_cast<uint32_t>(stats.ingest.extractor_ms.size()));
   for (double ms : stats.ingest.extractor_ms) PutF64(&out, ms);
+  PutLe<uint64_t>(&out, stats.query.image_queries);
+  PutLe<uint64_t>(&out, stats.query.video_queries);
+  PutLe<uint64_t>(&out, stats.query.sharded_ranks);
+  PutLe<uint64_t>(&out, stats.query.candidates_scored);
+  PutLe<uint64_t>(&out, stats.query.candidates_total);
+  PutF64(&out, stats.query.extract_ms);
+  PutF64(&out, stats.query.select_ms);
+  PutF64(&out, stats.query.rank_ms);
   return out;
 }
 
@@ -257,6 +265,16 @@ Result<ServiceStatsSnapshot> DecodeStatsResponse(
     if (!reader.ReadF64(&ms)) return Truncated("stats response");
     // Unknown trailing extractors (newer peer) are read and dropped.
     if (i < stats.ingest.extractor_ms.size()) stats.ingest.extractor_ms[i] = ms;
+  }
+  if (!reader.ReadU64(&stats.query.image_queries) ||
+      !reader.ReadU64(&stats.query.video_queries) ||
+      !reader.ReadU64(&stats.query.sharded_ranks) ||
+      !reader.ReadU64(&stats.query.candidates_scored) ||
+      !reader.ReadU64(&stats.query.candidates_total) ||
+      !reader.ReadF64(&stats.query.extract_ms) ||
+      !reader.ReadF64(&stats.query.select_ms) ||
+      !reader.ReadF64(&stats.query.rank_ms)) {
+    return Truncated("stats response");
   }
   if (!reader.AtEnd()) {
     return Status::Corruption("trailing bytes after stats response");

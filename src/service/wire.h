@@ -22,7 +22,11 @@
 ///                    frames_decoded, keyframes_kept) |
 ///                    3 * f64 ingest times (decode, extract, commit ms) |
 ///                    u32 n_extractors | n * f64 per-extractor ms
-///                    (FeatureKind enum order)
+///                    (FeatureKind enum order) |
+///                    5 * u64 query counters (image_queries,
+///                    video_queries, sharded_ranks, candidates_scored,
+///                    candidates_total) |
+///                    3 * f64 query times (extract, select, rank ms)
 ///   kShutdownRequest: (empty)
 ///   kShutdownResponse: u8 status_code=0
 ///

@@ -11,21 +11,29 @@ size_t CommonSize(const std::vector<double>& a, const std::vector<double>& b) {
 }
 }  // namespace
 
-double L1Distance(const std::vector<double>& a, const std::vector<double>& b) {
+double L1Distance(const double* a, size_t na, const double* b, size_t nb) {
   double acc = 0.0;
-  for (size_t i = 0, n = CommonSize(a, b); i < n; ++i) {
+  for (size_t i = 0, n = std::min(na, nb); i < n; ++i) {
     acc += std::fabs(a[i] - b[i]);
   }
   return acc;
 }
 
-double L2Distance(const std::vector<double>& a, const std::vector<double>& b) {
+double L1Distance(const std::vector<double>& a, const std::vector<double>& b) {
+  return L1Distance(a.data(), a.size(), b.data(), b.size());
+}
+
+double L2Distance(const double* a, size_t na, const double* b, size_t nb) {
   double acc = 0.0;
-  for (size_t i = 0, n = CommonSize(a, b); i < n; ++i) {
+  for (size_t i = 0, n = std::min(na, nb); i < n; ++i) {
     const double d = a[i] - b[i];
     acc += d * d;
   }
   return std::sqrt(acc);
+}
+
+double L2Distance(const std::vector<double>& a, const std::vector<double>& b) {
+  return L2Distance(a.data(), a.size(), b.data(), b.size());
 }
 
 double LInfDistance(const std::vector<double>& a,
@@ -65,19 +73,24 @@ double ChiSquareDistance(const std::vector<double>& a,
   return acc;
 }
 
-double HistogramIntersectionDistance(const std::vector<double>& a,
-                                     const std::vector<double>& b) {
+double HistogramIntersectionDistance(const double* a, size_t na,
+                                     const double* b, size_t nb) {
   double inter = 0.0;
   double sa = 0.0;
   double sb = 0.0;
-  for (size_t i = 0, n = CommonSize(a, b); i < n; ++i) {
+  for (size_t i = 0, n = std::min(na, nb); i < n; ++i) {
     inter += std::min(a[i], b[i]);
   }
-  for (double v : a) sa += v;
-  for (double v : b) sb += v;
+  for (size_t i = 0; i < na; ++i) sa += a[i];
+  for (size_t i = 0; i < nb; ++i) sb += b[i];
   const double denom = std::min(sa, sb);
   if (denom <= 0) return sa == sb ? 0.0 : 1.0;
   return 1.0 - inter / denom;
+}
+
+double HistogramIntersectionDistance(const std::vector<double>& a,
+                                     const std::vector<double>& b) {
+  return HistogramIntersectionDistance(a.data(), a.size(), b.data(), b.size());
 }
 
 double JensenShannonDivergence(const std::vector<double>& a,
@@ -128,6 +141,38 @@ double CanberraDistance(const std::vector<double>& a,
     if (den > 0) acc += std::fabs(a[i] - b[i]) / den;
   }
   return acc;
+}
+
+void BatchL1Distance(const double* query, size_t qn, const double* rows,
+                     size_t stride, const uint32_t* lengths,
+                     const uint32_t* indices, size_t count, double* out) {
+  for (size_t i = 0; i < count; ++i) {
+    const uint32_t r = indices[i];
+    out[i] = L1Distance(query, qn, rows + static_cast<size_t>(r) * stride,
+                        lengths[r]);
+  }
+}
+
+void BatchL2Distance(const double* query, size_t qn, const double* rows,
+                     size_t stride, const uint32_t* lengths,
+                     const uint32_t* indices, size_t count, double* out) {
+  for (size_t i = 0; i < count; ++i) {
+    const uint32_t r = indices[i];
+    out[i] = L2Distance(query, qn, rows + static_cast<size_t>(r) * stride,
+                        lengths[r]);
+  }
+}
+
+void BatchHistogramIntersectionDistance(const double* query, size_t qn,
+                                        const double* rows, size_t stride,
+                                        const uint32_t* lengths,
+                                        const uint32_t* indices, size_t count,
+                                        double* out) {
+  for (size_t i = 0; i < count; ++i) {
+    const uint32_t r = indices[i];
+    out[i] = HistogramIntersectionDistance(
+        query, qn, rows + static_cast<size_t>(r) * stride, lengths[r]);
+  }
 }
 
 }  // namespace vr

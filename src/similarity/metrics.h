@@ -7,6 +7,8 @@
 
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace vr {
@@ -47,5 +49,42 @@ double EmdL1Distance(const std::vector<double>& a,
 /// Canberra distance: sum |a-b| / (|a|+|b|).
 double CanberraDistance(const std::vector<double>& a,
                         const std::vector<double>& b);
+
+/// \name Span kernels.
+///
+/// Raw-pointer twins of the vector overloads above, for callers that
+/// keep feature values in flat columnar storage (FeatureMatrix). Each
+/// returns bit-identical results to its std::vector counterpart on the
+/// same values — the retrieval engine's serial-vs-columnar parity tests
+/// rely on that.
+/// @{
+double L1Distance(const double* a, size_t na, const double* b, size_t nb);
+double L2Distance(const double* a, size_t na, const double* b, size_t nb);
+double HistogramIntersectionDistance(const double* a, size_t na,
+                                     const double* b, size_t nb);
+/// @}
+
+/// \name Batch kernels over a strided column of rows.
+///
+/// The column stores one candidate row every \p stride doubles starting
+/// at \p rows; row j occupies its first lengths[j] values. For each
+/// i in [0, count), out[i] = distance(query, row indices[i]). The inner
+/// loops match the scalar kernels exactly (same accumulation order), so
+/// batch and scalar results are bit-identical. Extractors whose metric
+/// is one of these dispatch here from FeatureExtractor::BatchDistance;
+/// the gather-by-index layout is what candidate-pruned ranking produces.
+/// @{
+void BatchL1Distance(const double* query, size_t qn, const double* rows,
+                     size_t stride, const uint32_t* lengths,
+                     const uint32_t* indices, size_t count, double* out);
+void BatchL2Distance(const double* query, size_t qn, const double* rows,
+                     size_t stride, const uint32_t* lengths,
+                     const uint32_t* indices, size_t count, double* out);
+void BatchHistogramIntersectionDistance(const double* query, size_t qn,
+                                        const double* rows, size_t stride,
+                                        const uint32_t* lengths,
+                                        const uint32_t* indices, size_t count,
+                                        double* out);
+/// @}
 
 }  // namespace vr

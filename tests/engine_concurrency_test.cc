@@ -201,5 +201,76 @@ TEST_F(EngineConcurrencyTest, ConcurrentQueriesMatchSerialResults) {
   EXPECT_EQ(mismatches.load(), 0);
 }
 
+TEST_F(EngineConcurrencyTest, ShardedQueriesRaceIngest) {
+  // Rebuild the engine with the accelerated read path fully on:
+  // bucket-pruned selection plus sharded ranking (threshold 1 makes
+  // every multi-candidate ranking fan out to the rank pool). Queries
+  // race ingest so TSan sees shard tasks reading the FeatureMatrix
+  // while commits mutate it under the writer lock.
+  engine_.reset();
+  EngineOptions options;
+  options.enabled_features = {FeatureKind::kColorHistogram,
+                              FeatureKind::kGlcm};
+  options.store_video_blob = false;
+  options.use_index = true;
+  options.lookup_mode = RangeLookupMode::kLineage;
+  options.parallel_rank_threshold = 1;
+  options.rank_workers = 2;
+  engine_ = RetrievalEngine::Open(dir_, options).value();
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> failures{0};
+  constexpr int kQueryThreads = 3;
+  std::vector<std::thread> readers;
+  readers.reserve(kQueryThreads);
+  for (int t = 0; t < kQueryThreads; ++t) {
+    readers.emplace_back([&, t] {
+      const Image query =
+          TinyVideo(VideoCategory::kCartoon, 300 + static_cast<uint64_t>(t))
+              [1];
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto results = engine_->QueryByImage(query, 5);
+        if (!results.ok()) failures.fetch_add(1, std::memory_order_relaxed);
+        auto by_video = engine_->QueryByVideo({query}, 2);
+        if (!by_video.ok()) failures.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  Status writer_status = Status::OK();
+  std::vector<int64_t> ingested;
+  for (int i = 0; i < 3 && writer_status.ok(); ++i) {
+    auto v_id = engine_->IngestFrames(
+        TinyVideo(static_cast<VideoCategory>(i % kNumCategories),
+                  400 + static_cast<uint64_t>(i)),
+        "shard_racer");
+    if (v_id.ok()) {
+      ingested.push_back(*v_id);
+    } else {
+      writer_status = v_id.status();
+    }
+  }
+  if (writer_status.ok()) {
+    writer_status = engine_->RemoveVideo(ingested.back());
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  stop.store(true);
+  for (std::thread& t : readers) t.join();
+
+  ASSERT_TRUE(writer_status.ok()) << writer_status.ToString();
+  EXPECT_EQ(failures.load(), 0u);
+
+  // Quiesced, the sharded engine still answers deterministically.
+  const Image query = TinyVideo(VideoCategory::kMovie, 321)[2];
+  const auto a = engine_->QueryByImage(query, 10);
+  const auto b = engine_->QueryByImage(query, 10);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ((*a)[i].i_id, (*b)[i].i_id);
+    EXPECT_EQ((*a)[i].score, (*b)[i].score);
+  }
+}
+
 }  // namespace
 }  // namespace vr

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <set>
 
 #include "eval/table1_runner.h"  // RemoveDirRecursive
@@ -222,6 +224,82 @@ TEST(EngineTest, AllTenFeaturesEndToEnd) {
   EXPECT_EQ(results[0].feature_distances.size(),
             static_cast<size_t>(kNumFeatureKinds));
   EXPECT_NEAR(results[0].score, 0.0, 1e-6);
+}
+
+TEST(EngineTest, NaNFeatureDistanceRanksLast) {
+  // A stored vector full of NaN makes every distance against it NaN;
+  // before the comparator guard that broke partial_sort's strict weak
+  // ordering (UB). NaN must rank worst, never crash.
+  EngineOptions options = FastOptions();
+  options.use_index = false;  // the poisoned frame is always a candidate
+  auto engine = RetrievalEngine::Open(FreshDir("eng_nan"), options).value();
+  const auto frames = SmallVideo(VideoCategory::kCartoon, 40);
+  const int64_t good = engine->IngestFrames(frames, "good").value();
+
+  // Hand-build a prepared video whose lone key frame carries NaN
+  // feature values (a misbehaving extractor, persisted).
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  PreparedVideo poisoned;
+  poisoned.name = "poisoned";
+  PreparedKeyFrame key;
+  key.frame_index = 0;
+  key.i_name = "poisoned#0";
+  key.image = {'P', '5'};  // opaque bytes; never decoded by this test
+  key.range = GrayRange{0, 255, 0};
+  for (FeatureKind kind : options.enabled_features) {
+    key.features.emplace(kind,
+                         FeatureVector(FeatureKindName(kind),
+                                       std::vector<double>{nan, nan, nan}));
+  }
+  poisoned.keys.push_back(std::move(key));
+  const int64_t bad = engine->CommitPrepared(std::move(poisoned)).value();
+
+  // Single-feature ranking: scores are the raw distances, so the
+  // poisoned frame's score is literally NaN and must come last.
+  const auto single =
+      engine
+          ->QueryByImageSingleFeature(frames[0], FeatureKind::kColorHistogram,
+                                      100)
+          .value();
+  ASSERT_GE(single.size(), 2u);
+  EXPECT_EQ(single.back().v_id, bad);
+  EXPECT_TRUE(std::isnan(single.back().score));
+  for (size_t i = 0; i + 1 < single.size(); ++i) {
+    EXPECT_EQ(single[i].v_id, good);
+    EXPECT_FALSE(std::isnan(single[i].score));
+  }
+
+  // Combined ranking survives too (no UB, all candidates returned).
+  const auto combined = engine->QueryByImage(frames[0], 100).value();
+  EXPECT_EQ(combined.size(), single.size());
+}
+
+TEST(EngineTest, VideoQueryStatsCoverWholeClip) {
+  auto engine =
+      RetrievalEngine::Open(FreshDir("eng_vstats"), FastOptions()).value();
+  const auto video = SmallVideo(VideoCategory::kCartoon, 41);
+  ASSERT_TRUE(engine->IngestFrames(video, "a").ok());
+  ASSERT_TRUE(
+      engine->IngestFrames(SmallVideo(VideoCategory::kMovie, 42), "b").ok());
+  const size_t rows = engine->indexed_key_frames();
+
+  // Seed the stats with an image query, then check the video query
+  // overwrites them with its own clip-wide accumulation instead of
+  // leaving the stale image numbers behind.
+  ASSERT_TRUE(engine->QueryByImage(video[0], 5).ok());
+  const QueryStats before = engine->query_stats();
+  ASSERT_TRUE(engine->QueryByVideo(video, 2).ok());
+  const CandidateStats stats = engine->last_candidate_stats();
+  // Video search scores every stored frame once per query key frame:
+  // a whole multiple of the corpus, at least one clip's worth, and
+  // honest (nothing pruned).
+  EXPECT_GE(stats.candidates, rows);
+  EXPECT_EQ(stats.candidates % rows, 0u);
+  EXPECT_EQ(stats.candidates, stats.total);
+  const QueryStats after = engine->query_stats();
+  EXPECT_EQ(after.video_queries, before.video_queries + 1);
+  EXPECT_EQ(after.candidates_scored - before.candidates_scored,
+            stats.candidates);
 }
 
 TEST(EngineTest, QueryOnEmptyStoreReturnsNothing) {

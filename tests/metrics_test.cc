@@ -10,6 +10,8 @@ namespace vr {
 namespace {
 
 using Vec = std::vector<double>;
+/// Disambiguates the vector overload now that span kernels exist.
+using VecMetric = double (*)(const Vec&, const Vec&);
 
 TEST(MetricsTest, L1L2LInfBasics) {
   const Vec a = {1, 2, 3};
@@ -70,6 +72,52 @@ TEST(MetricsTest, CanberraBasics) {
   EXPECT_DOUBLE_EQ(CanberraDistance({1, 2}, {3, 2}), 0.5);
 }
 
+TEST(MetricsTest, BatchKernelsBitIdenticalToScalar) {
+  // Build a strided column: 12 rows, stride 16, ragged lengths, a
+  // gather index that skips and reorders rows — the layout the
+  // candidate-pruned ranking path hands to BatchDistance.
+  constexpr size_t kRows = 12;
+  constexpr size_t kStride = 16;
+  Rng rng(1234);
+  std::vector<double> rows(kRows * kStride, 0.0);
+  std::vector<uint32_t> lengths(kRows);
+  for (size_t r = 0; r < kRows; ++r) {
+    lengths[r] = static_cast<uint32_t>(r == 3 ? 0 : 4 + (r * 5) % (kStride - 3));
+    for (uint32_t j = 0; j < lengths[r]; ++j) {
+      rows[r * kStride + j] = rng.UniformDouble(0, 10);
+    }
+  }
+  std::vector<double> query(11);
+  for (auto& v : query) v = rng.UniformDouble(0, 10);
+  const std::vector<uint32_t> indices = {7, 0, 3, 11, 5, 5, 2};
+
+  struct Kernel {
+    const char* name;
+    void (*batch)(const double*, size_t, const double*, size_t,
+                  const uint32_t*, const uint32_t*, size_t, double*);
+    double (*scalar)(const double*, size_t, const double*, size_t);
+  };
+  const Kernel kernels[] = {
+      {"L1", &BatchL1Distance, &L1Distance},
+      {"L2", &BatchL2Distance, &L2Distance},
+      {"Intersection", &BatchHistogramIntersectionDistance,
+       &HistogramIntersectionDistance},
+  };
+  for (const Kernel& k : kernels) {
+    std::vector<double> out(indices.size(), -1.0);
+    k.batch(query.data(), query.size(), rows.data(), kStride, lengths.data(),
+            indices.data(), indices.size(), out.data());
+    for (size_t i = 0; i < indices.size(); ++i) {
+      const uint32_t r = indices[i];
+      const double expected = k.scalar(query.data(), query.size(),
+                                       rows.data() + r * kStride, lengths[r]);
+      // Bitwise: the batch loops must share the scalar accumulation
+      // order, or sharded ranking stops being byte-identical to serial.
+      EXPECT_EQ(out[i], expected) << k.name << " row " << r;
+    }
+  }
+}
+
 class MetricAxiomsTest
     : public testing::TestWithParam<
           std::pair<const char*, double (*)(const Vec&, const Vec&)>> {};
@@ -93,11 +141,11 @@ TEST_P(MetricAxiomsTest, NonNegativeSymmetricZeroOnSelf) {
 INSTANTIATE_TEST_SUITE_P(
     AllMetrics, MetricAxiomsTest,
     testing::Values(
-        std::make_pair("L1", &L1Distance), std::make_pair("L2", &L2Distance),
+        std::make_pair("L1", static_cast<VecMetric>(&L1Distance)), std::make_pair("L2", static_cast<VecMetric>(&L2Distance)),
         std::make_pair("LInf", &LInfDistance),
         std::make_pair("Cosine", &CosineDistance),
         std::make_pair("ChiSquare", &ChiSquareDistance),
-        std::make_pair("Intersection", &HistogramIntersectionDistance),
+        std::make_pair("Intersection", static_cast<VecMetric>(&HistogramIntersectionDistance)),
         std::make_pair("JensenShannon", &JensenShannonDivergence),
         std::make_pair("EMD", &EmdL1Distance),
         std::make_pair("Canberra", &CanberraDistance)),
@@ -123,8 +171,8 @@ TEST_P(TriangleInequalityTest, Holds) {
 
 INSTANTIATE_TEST_SUITE_P(
     TrueMetrics, TriangleInequalityTest,
-    testing::Values(std::make_pair("L1", &L1Distance),
-                    std::make_pair("L2", &L2Distance),
+    testing::Values(std::make_pair("L1", static_cast<VecMetric>(&L1Distance)),
+                    std::make_pair("L2", static_cast<VecMetric>(&L2Distance)),
                     std::make_pair("LInf", &LInfDistance),
                     std::make_pair("Canberra", &CanberraDistance)),
     [](const auto& info) { return info.param.first; });

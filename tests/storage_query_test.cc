@@ -11,7 +11,10 @@ namespace {
 class StorageQueryTest : public testing::Test {
  protected:
   void SetUp() override {
-    dir_ = testing::TempDir() + "/storage_query";
+    // Per-test dir: ctest runs each case as its own process, possibly
+    // in parallel, so a shared fixture dir would race.
+    dir_ = testing::TempDir() + "/storage_query_" +
+           testing::UnitTest::GetInstance()->current_test_info()->name();
     RemoveDirRecursive(dir_);
     mkdir(dir_.c_str(), 0755);
     schema_ = Schema::Create(

@@ -144,6 +144,14 @@ TEST(WireTest, StatsResponseRoundTrip) {
   stats.ingest.commit_ms = 14.0;
   stats.ingest.extractor_ms[0] = 33.5;
   stats.ingest.extractor_ms[kNumFeatureKinds - 1] = 7.75;
+  stats.query.image_queries = 42;
+  stats.query.video_queries = 6;
+  stats.query.sharded_ranks = 5;
+  stats.query.candidates_scored = 1200;
+  stats.query.candidates_total = 4800;
+  stats.query.extract_ms = 75.5;
+  stats.query.select_ms = 0.25;
+  stats.query.rank_ms = 31.0;
 
   auto decoded = DecodeStatsResponse(EncodeStatsResponse(stats));
   ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
@@ -163,6 +171,14 @@ TEST(WireTest, StatsResponseRoundTrip) {
   EXPECT_DOUBLE_EQ(decoded->ingest.commit_ms, 14.0);
   EXPECT_DOUBLE_EQ(decoded->ingest.extractor_ms[0], 33.5);
   EXPECT_DOUBLE_EQ(decoded->ingest.extractor_ms[kNumFeatureKinds - 1], 7.75);
+  EXPECT_EQ(decoded->query.image_queries, 42u);
+  EXPECT_EQ(decoded->query.video_queries, 6u);
+  EXPECT_EQ(decoded->query.sharded_ranks, 5u);
+  EXPECT_EQ(decoded->query.candidates_scored, 1200u);
+  EXPECT_EQ(decoded->query.candidates_total, 4800u);
+  EXPECT_DOUBLE_EQ(decoded->query.extract_ms, 75.5);
+  EXPECT_DOUBLE_EQ(decoded->query.select_ms, 0.25);
+  EXPECT_DOUBLE_EQ(decoded->query.rank_ms, 31.0);
 }
 
 TEST(WireTest, StatsResponseRejectsTruncation) {
