@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # The whole gate, in dependency order: docs consistency (no build),
-# the plain build + full test suite, the query-bench smoke run (its
-# built-in serial-vs-sharded parity assert), then the sanitizer passes
-# (ASan/UBSan over everything, TSan over the concurrency suites —
-# check_sanitizers.sh chains into check_tsan.sh itself).
+# static analysis (Clang thread-safety + clang-tidy; skips itself on
+# machines without clang), the plain build + full test suite, the
+# query-bench smoke run (its built-in serial-vs-sharded parity assert),
+# then the sanitizer passes (ASan/UBSan over everything, TSan over the
+# concurrency suites — check_sanitizers.sh chains into check_tsan.sh
+# itself).
 #
 # Usage: scripts/check_all.sh [build-dir]
 set -euo pipefail
@@ -12,8 +14,9 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 
 scripts/check_docs.sh
+scripts/check_static.sh
 
-cmake -B "$BUILD_DIR" -S . -G Ninja
+cmake -B "$BUILD_DIR" -S . -G Ninja -DVR_WERROR=ON
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure
 

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Static-analysis gate: Clang thread-safety analysis over the whole
+# tree, clang-tidy (profile in .clang-tidy), and a negative compile
+# probe that proves the thread-safety gate actually rejects an
+# unlocked GUARDED_BY access.
+#
+# Requires clang++ and (for the tidy pass) clang-tidy. On machines
+# without them — e.g. a GCC-only CI leg — the script prints a notice
+# and exits 0: the annotations compile to nothing under GCC, so there
+# is nothing this gate could check there.
+#
+# Usage: scripts/check_static.sh [build-dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-static}"
+
+if ! command -v clang++ >/dev/null 2>&1; then
+  echo "check_static: clang++ not found; skipping static analysis" >&2
+  exit 0
+fi
+
+# --- 1. Negative probe: the gate must reject an unlocked access. -----
+# Run first and without a configure step so a broken build setup can't
+# mask a dead gate.
+probe_err=$(mktemp)
+trap 'rm -f "$probe_err"' EXIT
+if clang++ -std=c++20 -fsyntax-only -Isrc \
+    -DVR_EXPECT_TS_ERROR \
+    -Wthread-safety -Wthread-safety-beta -Werror=thread-safety-analysis \
+    tests/thread_safety_negative.cc 2>"$probe_err"; then
+  echo "check_static: FAIL: thread_safety_negative.cc compiled cleanly;" >&2
+  echo "the thread-safety gate is not rejecting unlocked accesses" >&2
+  exit 1
+fi
+if ! grep -q "thread-safety" "$probe_err"; then
+  echo "check_static: FAIL: negative probe failed for the wrong reason:" >&2
+  cat "$probe_err" >&2
+  exit 1
+fi
+echo "check_static: negative probe OK (gate rejects unlocked access)"
+
+# --- 2. Full build under -Werror=thread-safety-analysis. -------------
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_CXX_COMPILER=clang++ \
+  -DVR_THREAD_SAFETY=ON \
+  -DVR_WERROR=ON
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+echo "check_static: thread-safety build OK"
+
+# --- 3. clang-tidy over the library sources. -------------------------
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "check_static: clang-tidy not found; skipping tidy pass" >&2
+  echo "check_static: thread-safety checks clean"
+  exit 0
+fi
+mapfile -t sources < <(find src -name '*.cc' | sort)
+clang-tidy -p "$BUILD_DIR" --quiet "${sources[@]}"
+echo "check_static: all static checks clean"

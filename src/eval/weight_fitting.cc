@@ -139,6 +139,9 @@ Result<FittedWeights> FitWeights(RetrievalEngine* engine,
 }
 
 void ApplyWeights(RetrievalEngine* engine, const FittedWeights& fitted) {
+  // Concurrent queries read these weights while ranking; writing them
+  // needs the engine lock exclusive (scorer() requires it held).
+  WriterMutexLock lock(engine->rw_lock());
   for (const auto& [kind, weight] : fitted.weights) {
     engine->scorer()->SetWeight(kind, weight);
   }

@@ -1,7 +1,6 @@
 #include "retrieval/engine.h"
 
 #include <algorithm>
-#include <mutex>
 #include <thread>
 
 #include "util/logging.h"
@@ -25,7 +24,12 @@ Result<std::unique_ptr<RetrievalEngine>> RetrievalEngine::Open(
   db_options.paranoid = options.paranoid;
   db_options.env = options.env;
   VR_ASSIGN_OR_RETURN(engine->store_, VideoStore::Open(dir, db_options));
-  VR_RETURN_NOT_OK(engine->WarmCache());
+  {
+    // Open is single-threaded; the writer lock is taken to satisfy
+    // WarmCache's guarded-state contract, not for contention.
+    WriterMutexLock lock(engine->mutex_);
+    VR_RETURN_NOT_OK(engine->WarmCache());
+  }
   // Rank pool: only worth spinning up when sharding can actually kick
   // in (threshold > 0) and more than one worker would run.
   size_t rank_workers = options.rank_workers != 0
@@ -84,7 +88,7 @@ Result<FeatureMap> RetrievalEngine::ExtractEnabled(
 }
 
 Status RetrievalEngine::RemoveVideo(int64_t v_id) {
-  std::unique_lock<SharedMutex> lock(mutex_);
+  WriterMutexLock lock(mutex_);
   VR_ASSIGN_OR_RETURN(std::vector<int64_t> ids,
                       store_->KeyFrameIdsOfVideo(v_id));
   VR_RETURN_NOT_OK(store_->DeleteVideo(v_id));

@@ -15,7 +15,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -30,6 +29,7 @@
 #include "storage/video_store.h"
 #include "util/shared_mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace vr {
@@ -151,6 +151,11 @@ using QueryCheckpoint = std::function<Status()>;
 /// under the calling query's shared hold; the pager layer below is
 /// additionally self-serializing (see pager.h) so stats snapshots never
 /// race ingest I/O.
+///
+/// The lock→state relationships are annotated (GUARDED_BY(mutex_) on
+/// the index/matrix/scorer state, REQUIRES on the locked helpers) and
+/// verified by Clang's thread-safety analysis; the prose above is the
+/// narrative, the annotations are the contract.
 class RetrievalEngine {
  public:
   /// Opens (or creates) the engine over a database directory and warms
@@ -254,29 +259,35 @@ class RetrievalEngine {
     return stats;
   }
 
-  /// Mutable fusion weights (defaults: all 1). Mutation requires
-  /// holding rw_lock() exclusive when queries may be in flight
+  /// Mutable fusion weights (defaults: all 1). Requires holding
+  /// rw_lock() exclusive — take a WriterMutexLock on rw_lock() around
+  /// both reads and writes when queries may be in flight
   /// (ApplyRelevanceFeedback does this for you).
-  CombinedScorer* scorer() { return &scorer_; }
+  CombinedScorer* scorer() REQUIRES(mutex_) { return &scorer_; }
 
   /// The engine-wide reader/writer lock. Public API methods lock it
   /// internally; it is exposed for helpers that mutate engine-owned
   /// state from outside (scorer re-weighting, direct store() access).
   /// Lock hierarchy: always acquire this before any pager mutex, never
   /// after (see DESIGN.md "Service layer & threading model").
-  SharedMutex& rw_lock() const { return mutex_; }
+  SharedMutex& rw_lock() const RETURN_CAPABILITY(mutex_) { return mutex_; }
 
+  /// The persistent store. The returned pointer itself is stable for
+  /// the engine's lifetime; calls through it that may race queries
+  /// need rw_lock() held exclusive (the pager layer below is
+  /// self-serializing, so stats snapshots are always safe).
   VideoStore* store() { return store_.get(); }
   const EngineOptions& options() const { return options_; }
 
   /// Tables quarantined by a degraded (paranoid = false) open.
-  const std::vector<TableDamage>& DamageReport() const {
+  const std::vector<TableDamage>& DamageReport() const EXCLUDES(mutex_) {
+    ReaderMutexLock lock(mutex_);
     return store_->DamageReport();
   }
 
   /// Number of key frames currently indexed.
-  size_t indexed_key_frames() const {
-    std::shared_lock<SharedMutex> lock(mutex_);
+  size_t indexed_key_frames() const EXCLUDES(mutex_) {
+    ReaderMutexLock lock(mutex_);
     return matrix_.rows();
   }
 
@@ -310,39 +321,47 @@ class RetrievalEngine {
     std::atomic<uint64_t> rank_ns{0};
   };
 
-  Status WarmCache();
+  /// Rebuilds the feature cache and range index from the store; runs
+  /// under the exclusive lock purely to satisfy the guarded-state
+  /// contract (Open is single-threaded).
+  Status WarmCache() REQUIRES(mutex_);
   Result<FeatureMap> ExtractEnabled(
       const Image& img) const;
   /// Bucket-pruned candidate rows of matrix_ for a query image; updates
-  /// the last-query pruning stats. Requires mutex_ held (shared
-  /// suffices).
-  Result<std::vector<uint32_t>> SelectCandidates(const Image& query);
+  /// the last-query pruning stats.
+  Result<std::vector<uint32_t>> SelectCandidates(const Image& query)
+      REQUIRES_SHARED(mutex_);
   /// Shard count for ranking \p candidates rows (1 = serial).
   size_t NumRankShards(size_t candidates) const;
   /// Runs fn(shard) for every shard in [0, shards): shard 0 inline on
   /// the caller, the rest on rank_pool_ (TrySubmit with inline
   /// fallback), and waits for all of them. fn must not throw and must
-  /// only read state guarded by the caller's shared lock.
-  void RunSharded(size_t shards, const std::function<void(size_t)>& fn) const;
-  /// Ranks candidate rows of matrix_. Requires mutex_ held (shared
-  /// suffices).
+  /// only read state guarded by the caller's shared lock (the analysis
+  /// cannot follow the std::function hop, so fn must capture that
+  /// state through local aliases bound while the lock is held).
+  void RunSharded(size_t shards, const std::function<void(size_t)>& fn) const
+      REQUIRES_SHARED(mutex_);
+  /// Ranks candidate rows of matrix_.
   Result<std::vector<QueryResult>> Rank(
       const FeatureMap& query_features, const std::vector<uint32_t>& candidates,
-      const std::vector<FeatureKind>& kinds, size_t k) const;
+      const std::vector<FeatureKind>& kinds, size_t k) const
+      REQUIRES_SHARED(mutex_);
 
   EngineOptions options_;
   KeyFrameExtractor key_frames_;  ///< stateless after construction
   /// Guards index_, matrix_, cache_by_id_, scorer_ and store_ mutation:
   /// shared for queries, exclusive for ingest/remove/feedback.
   mutable SharedMutex mutex_;
-  RangeBucketIndex index_;
-  CombinedScorer scorer_;
-  std::unique_ptr<VideoStore> store_;
+  RangeBucketIndex index_ GUARDED_BY(mutex_);
+  CombinedScorer scorer_ GUARDED_BY(mutex_);
+  /// The unique_ptr is set once in Open; the *store* behind it is
+  /// externally synchronized by this lock (see class comment).
+  std::unique_ptr<VideoStore> store_ PT_GUARDED_BY(mutex_);
   std::vector<std::unique_ptr<FeatureExtractor>> extractors_;  ///< immutable after Open
   /// Columnar feature cache; rows are matrix row indices, ids resolve
   /// through cache_by_id_.
-  FeatureMatrix matrix_;
-  std::map<int64_t, size_t> cache_by_id_;
+  FeatureMatrix matrix_ GUARDED_BY(mutex_);
+  std::map<int64_t, size_t> cache_by_id_ GUARDED_BY(mutex_);
   /// Workers for sharded ranking; null when serial-only. Created at
   /// Open, immutable after — shard tasks only ever read query-local
   /// buffers plus matrix_ under the caller's shared lock.

@@ -2,8 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <mutex>
-#include <shared_mutex>
 
 namespace vr {
 
@@ -12,7 +10,7 @@ Result<std::map<FeatureKind, double>> ApplyRelevanceFeedback(
     const FeedbackJudgments& judgments, const FeedbackOptions& options) {
   // Rewrites the scorer weights, which concurrent queries read during
   // ranking: take the engine lock exclusive for the read-blend-write.
-  std::unique_lock<vr::SharedMutex> lock(engine->rw_lock());
+  vr::WriterMutexLock lock(engine->rw_lock());
   if (judgments.relevant.empty() || judgments.non_relevant.empty()) {
     return Status::InvalidArgument(
         "feedback needs at least one relevant and one non-relevant item");

@@ -1,5 +1,4 @@
 #include <ctime>
-#include <mutex>
 
 #include "features/region_growing.h"
 #include "imaging/dct_codec.h"
@@ -106,7 +105,7 @@ Result<int64_t> RetrievalEngine::CommitPrepared(PreparedVideo video) {
   // so concurrent queries see either none or all of this video's
   // frames. Ids are assigned here, in commit order, which is what makes
   // parallel preparation reproduce serial ingest bit-for-bit.
-  std::unique_lock<SharedMutex> lock(mutex_);
+  WriterMutexLock lock(mutex_);
   const int64_t v_id = store_->NextVideoId();
 
   std::vector<KeyFrameRecord> records;

@@ -46,11 +46,11 @@ IngestPipeline::~IngestPipeline() { Finish(); }
 uint64_t IngestPipeline::Submit(IngestJob job) {
   uint64_t ticket = 0;
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    capacity_cv_.wait(lock, [&] {
-      return finishing_ ||
-             submitted_ - (committed_ + failed_) < options_.max_in_flight;
-    });
+    MutexLock lock(mutex_);
+    while (!finishing_ &&
+           submitted_ - (committed_ + failed_) >= options_.max_in_flight) {
+      capacity_cv_.Wait(mutex_);
+    }
     ticket = submitted_++;
     if (finishing_) {
       // Single-producer contract: Finish already ran on this thread, so
@@ -161,10 +161,10 @@ void IngestPipeline::AssembleAndEnqueue(
 void IngestPipeline::EnqueueReady(uint64_t ticket,
                                   Result<PreparedVideo> video) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     ready_.emplace(ticket, std::move(video));
   }
-  ready_cv_.notify_all();
+  ready_cv_.NotifyAll();
 }
 
 void IngestPipeline::CommitterLoop() {
@@ -172,11 +172,11 @@ void IngestPipeline::CommitterLoop() {
     Result<PreparedVideo> prepared = Status::Internal("uninitialized");
     uint64_t ticket = 0;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      ready_cv_.wait(lock, [&] {
-        return ready_.count(next_commit_) > 0 ||
-               (finishing_ && next_commit_ >= submitted_);
-      });
+      MutexLock lock(mutex_);
+      while (ready_.count(next_commit_) == 0 &&
+             !(finishing_ && next_commit_ >= submitted_)) {
+        ready_cv_.Wait(mutex_);
+      }
       auto it = ready_.find(next_commit_);
       if (it == ready_.end()) return;  // finishing and fully drained
       ticket = it->first;
@@ -189,7 +189,7 @@ void IngestPipeline::CommitterLoop() {
         prepared.ok() ? engine_->CommitPrepared(std::move(prepared).value())
                       : Result<int64_t>(prepared.status());
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (outcome.ok()) {
         ++committed_;
       } else {
@@ -198,24 +198,24 @@ void IngestPipeline::CommitterLoop() {
       results_[ticket] = std::move(outcome);
       ++next_commit_;
     }
-    capacity_cv_.notify_all();
-    ready_cv_.notify_all();
+    capacity_cv_.NotifyAll();
+    ready_cv_.NotifyAll();
   }
 }
 
 const std::vector<Result<int64_t>>& IngestPipeline::Finish() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (finished_) return results_;
     finishing_ = true;
   }
-  ready_cv_.notify_all();
-  capacity_cv_.notify_all();
+  ready_cv_.NotifyAll();
+  capacity_cv_.NotifyAll();
   if (committer_.joinable()) committer_.join();
   // The committer saw every ticket, so all worker tasks have enqueued;
   // Shutdown just reaps the (now trivially idle) workers.
   pool_->Shutdown();
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   finished_ = true;
   return results_;
 }
@@ -223,7 +223,7 @@ const std::vector<Result<int64_t>>& IngestPipeline::Finish() {
 IngestPipelineStats IngestPipeline::GetStats() const {
   IngestPipelineStats stats;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stats.submitted = submitted_;
     stats.committed = committed_;
     stats.failed = failed_;

@@ -43,16 +43,16 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "retrieval/engine.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace vr {
@@ -107,15 +107,15 @@ class IngestPipeline {
   /// Blocks while max_in_flight videos are pending. Calling Submit
   /// after Finish is an error (the ticket is still consumed and its
   /// result is an error Status).
-  uint64_t Submit(IngestJob job);
+  uint64_t Submit(IngestJob job) EXCLUDES(mutex_);
 
   /// Waits for every submitted job to commit or fail, stops the
   /// committer and returns one Result per ticket: the assigned v_id, or
   /// the error of whichever stage failed that job. Idempotent.
-  const std::vector<Result<int64_t>>& Finish();
+  const std::vector<Result<int64_t>>& Finish() EXCLUDES(mutex_);
 
   /// Point-in-time pipeline counters. Thread-safe.
-  IngestPipelineStats GetStats() const;
+  IngestPipelineStats GetStats() const EXCLUDES(mutex_);
 
   const IngestPipelineOptions& options() const { return options_; }
 
@@ -139,26 +139,33 @@ class IngestPipeline {
   /// Called by whichever extraction task finishes last.
   void AssembleAndEnqueue(const std::shared_ptr<VideoTask>& task);
   /// Moves a finished (prepared or failed) video to the committer.
-  void EnqueueReady(uint64_t ticket, Result<PreparedVideo> video);
-  void CommitterLoop();
+  void EnqueueReady(uint64_t ticket, Result<PreparedVideo> video)
+      EXCLUDES(mutex_);
+  void CommitterLoop() EXCLUDES(mutex_);
 
+  // engine_, options_ and pool_ are set in the constructor and never
+  // reassigned; the objects they point at synchronize themselves.
   RetrievalEngine* engine_;
   IngestPipelineOptions options_;
   std::unique_ptr<ThreadPool> pool_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable ready_cv_;     ///< wakes the committer
-  std::condition_variable capacity_cv_;  ///< wakes blocked Submit calls
+  /// Serializes the reorder buffer, the per-ticket results and every
+  /// progress counter below. ready_cv_ signals "a ticket landed in
+  /// ready_ or finishing_ flipped"; capacity_cv_ signals "in-flight
+  /// count dropped or finishing_ flipped".
+  mutable Mutex mutex_;
+  CondVar ready_cv_;     ///< wakes the committer
+  CondVar capacity_cv_;  ///< wakes blocked Submit calls
   /// Reorder buffer: prepared/failed videos keyed by ticket; the
   /// committer only consumes the contiguous prefix at next_commit_.
-  std::map<uint64_t, Result<PreparedVideo>> ready_;
-  std::vector<Result<int64_t>> results_;  ///< indexed by ticket
-  uint64_t submitted_ = 0;
-  uint64_t next_commit_ = 0;
-  uint64_t committed_ = 0;
-  uint64_t failed_ = 0;
-  bool finishing_ = false;
-  bool finished_ = false;
+  std::map<uint64_t, Result<PreparedVideo>> ready_ GUARDED_BY(mutex_);
+  std::vector<Result<int64_t>> results_ GUARDED_BY(mutex_);  ///< by ticket
+  uint64_t submitted_ GUARDED_BY(mutex_) = 0;
+  uint64_t next_commit_ GUARDED_BY(mutex_) = 0;
+  uint64_t committed_ GUARDED_BY(mutex_) = 0;
+  uint64_t failed_ GUARDED_BY(mutex_) = 0;
+  bool finishing_ GUARDED_BY(mutex_) = false;
+  bool finished_ GUARDED_BY(mutex_) = false;
 
   std::chrono::steady_clock::time_point start_;
   std::thread committer_;

@@ -1,13 +1,12 @@
 #include <algorithm>
 #include <cmath>
-#include <condition_variable>
 #include <limits>
-#include <mutex>
 #include <numeric>
 
 #include "retrieval/engine.h"
 #include "similarity/dtw.h"
 #include "similarity/normalizer.h"
+#include "util/mutex.h"
 #include "util/stopwatch.h"
 
 namespace vr {
@@ -81,23 +80,25 @@ void RetrievalEngine::RunSharded(
   }
   // Fan out shards 1..N-1 (TrySubmit with inline fallback, the same
   // admission pattern as IngestPipeline), run shard 0 on the caller,
-  // then wait. The pool mutex gives TSan the happens-before edges; the
+  // then wait. The latch mutex gives TSan the happens-before edges; the
   // tasks themselves only read state under the caller's shared lock.
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
+  Mutex done_mutex;
+  CondVar done_cv;
   size_t done = 0;
   for (size_t shard = 1; shard < shards; ++shard) {
     auto task = [&, shard] {
       fn(shard);
-      std::lock_guard<std::mutex> lock(done_mutex);
+      MutexLock lock(done_mutex);
       ++done;
-      done_cv.notify_one();
+      done_cv.NotifyOne();
     };
     if (!rank_pool_->TrySubmit(task)) task();
   }
   fn(0);
-  std::unique_lock<std::mutex> lock(done_mutex);
-  done_cv.wait(lock, [&] { return done == shards - 1; });
+  MutexLock lock(done_mutex);
+  while (done != shards - 1) {
+    done_cv.Wait(done_mutex);
+  }
 }
 
 Result<std::vector<QueryResult>> RetrievalEngine::Rank(
@@ -175,12 +176,16 @@ Result<std::vector<QueryResult>> RetrievalEngine::Rank(
   // NaN-guarded strict total order: a NaN score would break
   // partial_sort's strict-weak-ordering contract (UB), so NaN ranks
   // explicitly worst and ties (including NaN-vs-NaN) fall to i_id.
+  // The local alias lets the lambda read rows without re-stating the
+  // caller's lock set (lambdas don't inherit REQUIRES); Rank itself
+  // holds mutex_ shared, which is what makes the alias safe.
+  const FeatureMatrix& matrix = matrix_;
   const auto better = [&](size_t a, size_t b) {
     const bool a_nan = std::isnan(scores[a]);
     const bool b_nan = std::isnan(scores[b]);
     if (a_nan != b_nan) return b_nan;
     if (!a_nan && scores[a] != scores[b]) return scores[a] < scores[b];
-    return matrix_.row(candidates[a]).i_id < matrix_.row(candidates[b]).i_id;
+    return matrix.row(candidates[a]).i_id < matrix.row(candidates[b]).i_id;
   };
 
   // Stage 3: top-k selection. Sharded mode partial-sorts each slice
@@ -236,7 +241,7 @@ Result<std::vector<QueryResult>> RetrievalEngine::Rank(
 Result<std::vector<QueryResult>> RetrievalEngine::QueryByImage(
     const Image& query, size_t k, const QueryCheckpoint& checkpoint) {
   if (query.empty()) return Status::InvalidArgument("empty query image");
-  std::shared_lock<SharedMutex> lock(mutex_);
+  ReaderMutexLock lock(mutex_);
   VR_RETURN_NOT_OK(RunCheckpoint(checkpoint));
   Stopwatch extract_timer;
   VR_ASSIGN_OR_RETURN(FeatureMap features,
@@ -269,7 +274,7 @@ Result<std::vector<QueryResult>> RetrievalEngine::QueryByImageSingleFeature(
     return Status::InvalidArgument(std::string("feature not enabled: ") +
                                    FeatureKindName(kind));
   }
-  std::shared_lock<SharedMutex> lock(mutex_);
+  ReaderMutexLock lock(mutex_);
   VR_RETURN_NOT_OK(RunCheckpoint(checkpoint));
   Stopwatch extract_timer;
   VR_ASSIGN_OR_RETURN(FeatureVector fv, extractor->Extract(query));
@@ -298,7 +303,7 @@ Result<std::vector<VideoQueryResult>> RetrievalEngine::QueryByVideo(
   if (query_frames.empty()) {
     return Status::InvalidArgument("empty query video");
   }
-  std::shared_lock<SharedMutex> lock(mutex_);
+  ReaderMutexLock lock(mutex_);
   VR_RETURN_NOT_OK(RunCheckpoint(checkpoint));
   // Key frames + features of the query sequence.
   Stopwatch extract_timer;
@@ -316,13 +321,16 @@ Result<std::vector<VideoQueryResult>> RetrievalEngine::QueryByVideo(
   VR_RETURN_NOT_OK(RunCheckpoint(checkpoint));
 
   // Group stored key frames per video, in id (i.e. temporal) order.
+  // The alias exists for the lambdas below, which don't inherit this
+  // function's lock set; the reader lock above is what makes it safe.
+  const FeatureMatrix& matrix = matrix_;
   std::map<int64_t, std::vector<uint32_t>> by_video;
-  for (size_t r = 0; r < matrix_.rows(); ++r) {
-    by_video[matrix_.row(r).v_id].push_back(static_cast<uint32_t>(r));
+  for (size_t r = 0; r < matrix.rows(); ++r) {
+    by_video[matrix.row(r).v_id].push_back(static_cast<uint32_t>(r));
   }
   for (auto& [v_id, rows] : by_video) {
     std::sort(rows.begin(), rows.end(), [&](uint32_t a, uint32_t b) {
-      return matrix_.row(a).i_id < matrix_.row(b).i_id;
+      return matrix.row(a).i_id < matrix.row(b).i_id;
     });
   }
 
@@ -334,7 +342,7 @@ Result<std::vector<VideoQueryResult>> RetrievalEngine::QueryByVideo(
     for (FeatureKind kind : options_.enabled_features) {
       const auto a = qf.find(kind);
       if (a == qf.end()) continue;
-      const FeatureMatrix::Column& column = matrix_.column(kind);
+      const FeatureMatrix::Column& column = matrix.column(kind);
       if (!column.present[row]) continue;
       const double d =
           extractors_[static_cast<size_t>(kind)]->DistanceSpan(

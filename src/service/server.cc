@@ -78,7 +78,7 @@ void VrServer::AcceptLoop() {
     }
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     connections_.push_back(fd);
     handlers_.emplace_back([this, fd] { HandleConnection(fd); });
   }
@@ -122,7 +122,7 @@ void VrServer::HandleConnection(int fd) {
   // Deregister before closing so Stop() never shutdown(2)s a recycled
   // fd number belonging to someone else.
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     connections_.erase(
         std::remove(connections_.begin(), connections_.end(), fd),
         connections_.end());
@@ -132,15 +132,17 @@ void VrServer::HandleConnection(int fd) {
   if (request_stop) {
     // Wake Wait(); the waiter (serve_cli / tests) performs the actual
     // Stop so no handler ever joins itself.
-    stopped_cv_.notify_all();
+    stopped_cv_.NotifyAll();
   }
 }
 
 void VrServer::Stop() {
   if (stopping_.exchange(true, std::memory_order_acq_rel)) {
     // Another caller is stopping; wait for it to finish.
-    std::unique_lock<std::mutex> lock(mutex_);
-    stopped_cv_.wait(lock, [this] { return stopped_; });
+    MutexLock lock(mutex_);
+    while (!stopped_) {
+      stopped_cv_.Wait(mutex_);
+    }
     return;
   }
   // Unblock accept(2).
@@ -151,7 +153,7 @@ void VrServer::Stop() {
   // Unblock in-flight recv(2) calls and join the handlers.
   std::vector<std::thread> handlers;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     for (int fd : connections_) ::shutdown(fd, SHUT_RDWR);
     handlers.swap(handlers_);
   }
@@ -160,16 +162,18 @@ void VrServer::Stop() {
   }
   VR_LOG(Info) << "VrServer stopped";
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopped_ = true;
     stop_requested_ = true;
   }
-  stopped_cv_.notify_all();
+  stopped_cv_.NotifyAll();
 }
 
 void VrServer::Wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  stopped_cv_.wait(lock, [this] { return stop_requested_ || stopped_; });
+  MutexLock lock(mutex_);
+  while (!stop_requested_ && !stopped_) {
+    stopped_cv_.Wait(mutex_);
+  }
 }
 
 }  // namespace vr

@@ -12,15 +12,15 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "service/service.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace vr {
 
@@ -50,32 +50,36 @@ class VrServer {
 
   /// Stops accepting, unblocks in-flight connection reads, joins all
   /// threads. Idempotent; also run by the destructor.
-  void Stop();
+  void Stop() EXCLUDES(mutex_);
 
   /// Blocks until Stop() runs or a client issues the shutdown RPC.
   /// After a shutdown RPC the caller still owns the teardown: call
   /// Stop() (or let the destructor do it) once Wait returns.
-  void Wait();
+  void Wait() EXCLUDES(mutex_);
 
  private:
   VrServer(RetrievalService* service, ServerOptions options)
       : service_(service), options_(std::move(options)) {}
 
-  void AcceptLoop();
-  void HandleConnection(int fd);
+  void AcceptLoop() EXCLUDES(mutex_);
+  void HandleConnection(int fd) EXCLUDES(mutex_);
 
+  // service_, options_, listen_fd_ and port_ are set before the
+  // acceptor thread starts and immutable afterwards.
   RetrievalService* service_;
   ServerOptions options_;
   int listen_fd_ = -1;
   uint16_t port_ = 0;
 
   std::atomic<bool> stopping_{false};
-  std::mutex mutex_;  ///< guards connections_, handlers_, stop flags
-  std::condition_variable stopped_cv_;
-  bool stop_requested_ = false;  ///< a client asked for shutdown
-  bool stopped_ = false;         ///< Stop() completed
-  std::vector<int> connections_;  ///< open connection fds (for Stop)
-  std::vector<std::thread> handlers_;
+  Mutex mutex_;
+  /// Signals "stop_requested_ or stopped_ flipped".
+  CondVar stopped_cv_;
+  bool stop_requested_ GUARDED_BY(mutex_) = false;  ///< client shutdown RPC
+  bool stopped_ GUARDED_BY(mutex_) = false;         ///< Stop() completed
+  /// Open connection fds, so Stop() can shutdown(2) blocked readers.
+  std::vector<int> connections_ GUARDED_BY(mutex_);
+  std::vector<std::thread> handlers_ GUARDED_BY(mutex_);
   std::thread acceptor_;
 };
 

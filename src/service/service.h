@@ -74,6 +74,12 @@ struct ServiceResponse {
 };
 
 /// \brief Concurrent, admission-controlled query service over one engine.
+///
+/// Thread-safety: lock-free by construction — admission and every
+/// counter below are plain atomics (no capability to annotate), the
+/// latency histogram locks internally, and query state is confined to
+/// the worker executing it. The engine's reader/writer lock provides
+/// the only cross-request synchronization.
 class RetrievalService {
  public:
   /// \p engine must outlive the service and stays owned by the caller

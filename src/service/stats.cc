@@ -21,14 +21,14 @@ void LatencyHistogram::Record(double ms) {
   if (ms < 0) ms = 0;
   const auto it = std::upper_bound(bounds_.begin(), bounds_.end() - 1, ms);
   const size_t bucket = static_cast<size_t>(it - bounds_.begin());
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ++counts_[bucket];
   ++total_;
 }
 
 double LatencyHistogram::Percentile(double p) const {
   p = std::clamp(p, 0.0, 100.0);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (total_ == 0) return 0.0;
   const double target = p / 100.0 * static_cast<double>(total_);
   uint64_t seen = 0;
@@ -50,12 +50,12 @@ double LatencyHistogram::Percentile(double p) const {
 }
 
 uint64_t LatencyHistogram::Count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return total_;
 }
 
 void LatencyHistogram::Reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   counts_.fill(0);
   total_ = 0;
 }

@@ -5,11 +5,12 @@
 
 #include <array>
 #include <cstdint>
-#include <mutex>
 
 #include "retrieval/ingest_stats.h"
 #include "retrieval/query_stats.h"
 #include "storage/pager.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace vr {
 
@@ -25,23 +26,24 @@ class LatencyHistogram {
   LatencyHistogram();
 
   /// Records one latency observation (milliseconds, must be >= 0).
-  void Record(double ms);
+  void Record(double ms) EXCLUDES(mutex_);
 
   /// Percentile estimate in milliseconds for \p p in [0, 100];
   /// 0 when no observations were recorded. Linear interpolation within
   /// the winning bucket.
-  double Percentile(double p) const;
+  double Percentile(double p) const EXCLUDES(mutex_);
 
-  uint64_t Count() const;
+  uint64_t Count() const EXCLUDES(mutex_);
 
-  void Reset();
+  void Reset() EXCLUDES(mutex_);
 
  private:
-  /// Upper bound (exclusive) of bucket \p i in milliseconds.
+  /// Upper bound (exclusive) of bucket \p i in milliseconds. Filled in
+  /// the constructor and immutable afterwards, hence unguarded.
   std::array<double, kNumBuckets> bounds_;
-  mutable std::mutex mutex_;
-  std::array<uint64_t, kNumBuckets> counts_{};
-  uint64_t total_ = 0;
+  mutable Mutex mutex_;
+  std::array<uint64_t, kNumBuckets> counts_ GUARDED_BY(mutex_){};
+  uint64_t total_ GUARDED_BY(mutex_) = 0;
 };
 
 /// \brief Point-in-time counters of a RetrievalService (the stats RPC

@@ -18,8 +18,9 @@ constexpr size_t kVersionOffset = 32;
 }  // namespace
 
 Pager::~Pager() {
+  MutexLock lock(mutex_);
   if (file_ != nullptr) {
-    Status s = Flush();
+    Status s = FlushLocked();
     if (!s.ok()) {
       VR_LOG(Error) << "final flush of " << path_ << " failed: "
                     << s.ToString();
@@ -39,6 +40,9 @@ Result<std::unique_ptr<Pager>> Pager::Open(const std::string& path,
   if (!exists && !create_if_missing) {
     return Status::IOError("cannot open page file: " + path);
   }
+  // Nobody else can reach this pager yet; the lock is taken purely to
+  // satisfy the REQUIRES contracts of the meta/file helpers.
+  MutexLock lock(pager->mutex_);
   VR_ASSIGN_OR_RETURN(
       pager->file_,
       env->Open(path, exists ? Env::OpenMode::kMustExist
@@ -145,7 +149,7 @@ Status Pager::WritePageToDisk(uint32_t page_id, const Page& page) {
 }
 
 Status Pager::VerifyAllPages() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   Page scratch;
   for (uint32_t page_id = 0; page_id < page_count_; ++page_id) {
     VR_RETURN_NOT_OK(ReadPageFromDisk(page_id, &scratch));
@@ -154,7 +158,7 @@ Status Pager::VerifyAllPages() {
 }
 
 PagerStats Pager::GetStats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return stats_;
 }
 
@@ -187,7 +191,7 @@ Status Pager::EvictIfNeeded() {
 }
 
 Result<std::shared_ptr<Page>> Pager::Fetch(uint32_t page_id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return FetchLocked(page_id);
 }
 
@@ -216,7 +220,7 @@ Result<std::shared_ptr<Page>> Pager::FetchLocked(uint32_t page_id) {
 }
 
 Status Pager::MarkDirty(uint32_t page_id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return MarkDirtyLocked(page_id);
 }
 
@@ -233,7 +237,7 @@ Status Pager::MarkDirtyLocked(uint32_t page_id) {
 }
 
 Result<uint32_t> Pager::Allocate(PageType type) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   uint32_t page_id;
   if (free_head_ != kInvalidPageId) {
     page_id = free_head_;
@@ -264,7 +268,7 @@ Result<uint32_t> Pager::Allocate(PageType type) {
 }
 
 Status Pager::Free(uint32_t page_id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (page_id == 0 || page_id >= page_count_) {
     return Status::InvalidArgument("cannot free page " +
                                    std::to_string(page_id));
@@ -280,17 +284,19 @@ Status Pager::Free(uint32_t page_id) {
 }
 
 void Pager::set_user_root(uint32_t root) {
+  MutexLock lock(mutex_);
   user_root_ = root;
   meta_dirty_ = true;
 }
 
 void Pager::set_user_counter(uint64_t v) {
+  MutexLock lock(mutex_);
   user_counter_ = v;
   meta_dirty_ = true;
 }
 
 Status Pager::Flush() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return FlushLocked();
 }
 
@@ -308,7 +314,7 @@ Status Pager::FlushLocked() {
 }
 
 Status Pager::Sync() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   VR_RETURN_NOT_OK(FlushLocked());
   return file_->Sync();
 }

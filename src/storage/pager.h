@@ -17,13 +17,14 @@
 
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "storage/page.h"
 #include "util/env.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace vr {
 
@@ -54,13 +55,14 @@ constexpr uint32_t kPagerFormatCurrent = 2;
 /// \brief Owns a page file: allocation, caching, write-back.
 ///
 /// Thread-safety: the buffer pool (Fetch, MarkDirty, Allocate, Free,
-/// Flush, Sync, VerifyAllPages, GetStats) is internally serialized by a
-/// mutex, so concurrent calls never corrupt pager state. The *contents*
-/// of fetched pages are NOT synchronized — callers that mutate page
-/// bytes must hold an exclusive lock above the pager (in this codebase
-/// the RetrievalEngine's writer lock; see DESIGN.md "Service layer &
-/// threading model"). The meta accessors (page_count, user_root,
-/// user_counter) follow the same external-exclusion rule.
+/// Flush, Sync, VerifyAllPages, GetStats) and the meta accessors
+/// (page_count, user_root, user_counter) are internally serialized by
+/// one mutex; the lock→state relationships are annotated (GUARDED_BY /
+/// REQUIRES) and verified by Clang's thread-safety analysis. The
+/// *contents* of fetched pages are NOT synchronized — callers that
+/// mutate page bytes must hold an exclusive lock above the pager (in
+/// this codebase the RetrievalEngine's writer lock; see DESIGN.md
+/// "Service layer & threading model").
 class Pager {
  public:
   ~Pager();
@@ -77,33 +79,36 @@ class Pager {
   /// Fetches a page through the buffer pool, verifying its checksum on
   /// the way in (v2 files). The returned pointer stays valid while the
   /// shared_ptr is held, even across eviction.
-  Result<std::shared_ptr<Page>> Fetch(uint32_t page_id);
+  Result<std::shared_ptr<Page>> Fetch(uint32_t page_id) EXCLUDES(mutex_);
 
   /// Marks a cached page dirty so Flush() writes it back. Returns
   /// NotFound (and logs) for ids that are not resident — a caller bug
   /// that previously went unnoticed and dropped the write.
-  Status MarkDirty(uint32_t page_id);
+  Status MarkDirty(uint32_t page_id) EXCLUDES(mutex_);
 
   /// Allocates a page (reusing the free list when possible); the page is
   /// fetched, zeroed, typed and marked dirty.
-  Result<uint32_t> Allocate(PageType type);
+  Result<uint32_t> Allocate(PageType type) EXCLUDES(mutex_);
 
   /// Returns a page to the free list.
-  Status Free(uint32_t page_id);
+  Status Free(uint32_t page_id) EXCLUDES(mutex_);
 
   /// Writes all dirty pages and the meta page to the file.
-  Status Flush();
+  Status Flush() EXCLUDES(mutex_);
 
   /// Flush + make the file durable.
-  Status Sync();
+  Status Sync() EXCLUDES(mutex_);
 
   /// Re-reads every page (including the meta page) from the file and
   /// verifies its checksum; first failure wins. Reads the on-disk
   /// state, so call it on a freshly opened or flushed pager. On v1
   /// files only page readability is checked.
-  Status VerifyAllPages();
+  Status VerifyAllPages() EXCLUDES(mutex_);
 
-  uint32_t page_count() const { return page_count_; }
+  uint32_t page_count() const EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    return page_count_;
+  }
   const std::string& path() const { return path_; }
   uint32_t format_version() const { return format_version_; }
 
@@ -114,14 +119,20 @@ class Pager {
 
   /// \name User anchors persisted in the meta page.
   /// @{
-  uint32_t user_root() const { return user_root_; }
-  void set_user_root(uint32_t root);
-  uint64_t user_counter() const { return user_counter_; }
-  void set_user_counter(uint64_t v);
+  uint32_t user_root() const EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    return user_root_;
+  }
+  void set_user_root(uint32_t root) EXCLUDES(mutex_);
+  uint64_t user_counter() const EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    return user_counter_;
+  }
+  void set_user_counter(uint64_t v) EXCLUDES(mutex_);
   /// @}
 
   /// Snapshot of the cumulative buffer-pool statistics. Thread-safe.
-  PagerStats GetStats() const;
+  PagerStats GetStats() const EXCLUDES(mutex_);
 
   /// \name Legacy stat accessors (storage microbenches). Thread-safe.
   /// @{
@@ -142,31 +153,36 @@ class Pager {
 
   /// \name Unlocked implementations; callers hold mutex_.
   /// @{
-  Result<std::shared_ptr<Page>> FetchLocked(uint32_t page_id);
-  Status MarkDirtyLocked(uint32_t page_id);
-  Status FlushLocked();
-  Status ReadPageFromDisk(uint32_t page_id, Page* out);
-  Status WritePageToDisk(uint32_t page_id, const Page& page);
-  Status LoadMeta();
-  Status StoreMeta();
-  void Touch(uint32_t page_id, CacheEntry* entry);
-  Status EvictIfNeeded();
+  Result<std::shared_ptr<Page>> FetchLocked(uint32_t page_id)
+      REQUIRES(mutex_);
+  Status MarkDirtyLocked(uint32_t page_id) REQUIRES(mutex_);
+  Status FlushLocked() REQUIRES(mutex_);
+  Status ReadPageFromDisk(uint32_t page_id, Page* out) REQUIRES(mutex_);
+  Status WritePageToDisk(uint32_t page_id, const Page& page)
+      REQUIRES(mutex_);
+  Status LoadMeta() REQUIRES(mutex_);
+  Status StoreMeta() REQUIRES(mutex_);
+  void Touch(uint32_t page_id, CacheEntry* entry) REQUIRES(mutex_);
+  Status EvictIfNeeded() REQUIRES(mutex_);
   /// @}
 
-  /// Serializes the buffer pool, the LRU list and the counters.
-  mutable std::mutex mutex_;
+  /// Serializes the buffer pool, the LRU list, the meta fields and the
+  /// counters. path_, cache_capacity_ and format_version_ are set once
+  /// in Open (before the pager is shared) and immutable afterwards, so
+  /// they stay unguarded.
+  mutable Mutex mutex_;
   std::string path_;
-  std::unique_ptr<EnvFile> file_;
+  std::unique_ptr<EnvFile> file_ GUARDED_BY(mutex_);
   uint32_t format_version_ = kPagerFormatCurrent;
-  uint32_t page_count_ = 1;  // meta page
-  uint32_t free_head_ = kInvalidPageId;
-  uint32_t user_root_ = kInvalidPageId;
-  uint64_t user_counter_ = 0;
-  bool meta_dirty_ = false;
+  uint32_t page_count_ GUARDED_BY(mutex_) = 1;  // meta page
+  uint32_t free_head_ GUARDED_BY(mutex_) = kInvalidPageId;
+  uint32_t user_root_ GUARDED_BY(mutex_) = kInvalidPageId;
+  uint64_t user_counter_ GUARDED_BY(mutex_) = 0;
+  bool meta_dirty_ GUARDED_BY(mutex_) = false;
   size_t cache_capacity_ = 256;
-  std::unordered_map<uint32_t, CacheEntry> cache_;
-  std::list<uint32_t> lru_;  // front = most recent
-  PagerStats stats_;
+  std::unordered_map<uint32_t, CacheEntry> cache_ GUARDED_BY(mutex_);
+  std::list<uint32_t> lru_ GUARDED_BY(mutex_);  // front = most recent
+  PagerStats stats_ GUARDED_BY(mutex_);
 };
 
 }  // namespace vr

@@ -3,7 +3,11 @@
 ///
 /// Thread-safety: fully thread-safe. The level threshold is an atomic,
 /// and each message is emitted as a single fwrite of the assembled
-/// line, so concurrent threads never interleave partial lines.
+/// line, so concurrent threads never interleave partial lines. There
+/// is deliberately no mutex here (and so nothing to annotate — see
+/// util/thread_annotations.h): the logger sits below every lock in the
+/// system and is called with arbitrary locks held, so taking one of
+/// its own could invert the lock hierarchy.
 
 #pragma once
 

@@ -1,5 +1,5 @@
 /// \file shared_mutex.h
-/// \brief Writer-preferring shared mutex.
+/// \brief Writer-preferring shared mutex (annotated shared capability).
 ///
 /// std::shared_mutex on glibc maps to a reader-preferring pthread
 /// rwlock: a steady stream of readers (e.g. query threads hammering the
@@ -9,7 +9,10 @@
 /// rest of the time.
 ///
 /// Satisfies the SharedLockable requirements — usable with
-/// std::shared_lock / std::unique_lock / std::lock_guard.
+/// std::shared_lock / std::unique_lock / std::lock_guard — but prefer
+/// ReaderMutexLock / WriterMutexLock below: the std guards carry no
+/// thread-safety attributes, so Clang's analysis cannot credit
+/// acquisitions made through them against `GUARDED_BY` members.
 
 #pragma once
 
@@ -17,26 +20,31 @@
 #include <shared_mutex>
 #include <thread>
 
+#include "util/thread_annotations.h"
+
 namespace vr {
 
 /// \brief std::shared_mutex with writer preference.
-class SharedMutex {
+class CAPABILITY("shared_mutex") SharedMutex {
  public:
   SharedMutex() = default;
   SharedMutex(const SharedMutex&) = delete;
   SharedMutex& operator=(const SharedMutex&) = delete;
 
-  void lock() {
+  void lock() ACQUIRE() {
     writers_waiting_.fetch_add(1, std::memory_order_acq_rel);
+    // Scope guard: the queued-writer count must come back down even if
+    // inner_.lock() throws (it may report resource/deadlock errors) —
+    // a leaked increment would gate readers out forever.
+    WritersWaitingGuard guard(writers_waiting_);
     inner_.lock();
-    writers_waiting_.fetch_sub(1, std::memory_order_acq_rel);
   }
-  bool try_lock() {
+  bool try_lock() TRY_ACQUIRE(true) {
     return inner_.try_lock();
   }
-  void unlock() { inner_.unlock(); }
+  void unlock() RELEASE() { inner_.unlock(); }
 
-  void lock_shared() {
+  void lock_shared() ACQUIRE_SHARED() {
     // Back off while a writer is queued; the race where a writer
     // arrives just after the check only delays it by the readers
     // already admitted, never unboundedly.
@@ -45,15 +53,52 @@ class SharedMutex {
     }
     inner_.lock_shared();
   }
-  bool try_lock_shared() {
+  bool try_lock_shared() TRY_ACQUIRE_SHARED(true) {
     if (writers_waiting_.load(std::memory_order_acquire) > 0) return false;
     return inner_.try_lock_shared();
   }
-  void unlock_shared() { inner_.unlock_shared(); }
+  void unlock_shared() RELEASE_SHARED() { inner_.unlock_shared(); }
 
  private:
+  struct WritersWaitingGuard {
+    explicit WritersWaitingGuard(std::atomic<int>& counter)
+        : counter(counter) {}
+    ~WritersWaitingGuard() {
+      counter.fetch_sub(1, std::memory_order_acq_rel);
+    }
+    std::atomic<int>& counter;
+  };
+
   std::shared_mutex inner_;
   std::atomic<int> writers_waiting_{0};
+};
+
+/// \brief RAII shared (reader) hold of a SharedMutex for one scope.
+class SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.lock_shared();
+  }
+  ~ReaderMutexLock() RELEASE_GENERIC() { mu_.unlock_shared(); }
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// \brief RAII exclusive (writer) hold of a SharedMutex for one scope.
+class SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) ACQUIRE(mu) : mu_(mu) {
+    mu_.lock();
+  }
+  ~WriterMutexLock() RELEASE() { mu_.unlock(); }
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
 };
 
 }  // namespace vr

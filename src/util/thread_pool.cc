@@ -21,34 +21,37 @@ ThreadPool::~ThreadPool() { Shutdown(); }
 
 bool ThreadPool::TrySubmit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (shutdown_ || queue_.size() >= capacity_) return false;
     queue_.push_back(std::move(task));
   }
-  not_empty_.notify_one();
+  not_empty_.NotifyOne();
   return true;
 }
 
 bool ThreadPool::Submit(std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_full_.wait(lock,
-                   [this] { return shutdown_ || queue_.size() < capacity_; });
+    MutexLock lock(mutex_);
+    while (!shutdown_ && queue_.size() >= capacity_) {
+      not_full_.Wait(mutex_);
+    }
     if (shutdown_) return false;
     queue_.push_back(std::move(task));
   }
-  not_empty_.notify_one();
+  not_empty_.NotifyOne();
   return true;
 }
 
 void ThreadPool::Drain() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  MutexLock lock(mutex_);
+  while (!queue_.empty() || active_ != 0) {
+    idle_.Wait(mutex_);
+  }
 }
 
 void ThreadPool::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (shutdown_) {
       // A concurrent or earlier Shutdown already stopped the pool; the
       // first caller joined (or is joining) the workers.
@@ -56,15 +59,15 @@ void ThreadPool::Shutdown() {
     }
     shutdown_ = true;
   }
-  not_empty_.notify_all();
-  not_full_.notify_all();
+  not_empty_.NotifyAll();
+  not_full_.NotifyAll();
   for (std::thread& w : workers_) {
     if (w.joinable()) w.join();
   }
 }
 
 size_t ThreadPool::QueueDepth() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return queue_.size();
 }
 
@@ -72,19 +75,21 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      not_empty_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!shutdown_ && queue_.empty()) {
+        not_empty_.Wait(mutex_);
+      }
       if (queue_.empty()) return;  // shutdown with a drained queue
       task = std::move(queue_.front());
       queue_.pop_front();
       ++active_;
     }
-    not_full_.notify_one();
+    not_full_.NotifyOne();
     task();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       --active_;
-      if (queue_.empty() && active_ == 0) idle_.notify_all();
+      if (queue_.empty() && active_ == 0) idle_.NotifyAll();
     }
   }
 }

@@ -9,16 +9,19 @@
 ///
 /// Thread-safety: every public member is safe to call from any thread.
 /// Destruction performs a graceful Shutdown() — queued tasks still run.
+/// The queue/state-under-mutex protocol is annotated (GUARDED_BY
+/// mutex_) and verified by Clang's thread-safety analysis.
 
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace vr {
 
@@ -58,19 +61,25 @@ class ThreadPool {
   size_t num_threads() const { return workers_.size(); }
 
   /// Tasks currently waiting (excludes executing ones). Advisory only.
-  size_t QueueDepth() const;
+  size_t QueueDepth() const EXCLUDES(mutex_);
 
  private:
   void WorkerLoop();
 
   const size_t capacity_;
-  mutable std::mutex mutex_;
-  std::condition_variable not_empty_;   ///< signals workers
-  std::condition_variable not_full_;    ///< signals blocked Submit calls
-  std::condition_variable idle_;        ///< signals Drain
-  std::deque<std::function<void()>> queue_;
-  size_t active_ = 0;  ///< tasks currently executing
-  bool shutdown_ = false;
+  /// Guards the queue and the lifecycle/idleness state below. Condvar
+  /// protocol: not_empty_ signals a queue push or shutdown to workers,
+  /// not_full_ signals a pop or shutdown to blocked Submit calls, and
+  /// idle_ signals the drained-and-quiescent condition to Drain.
+  mutable Mutex mutex_;
+  CondVar not_empty_;   ///< signals workers
+  CondVar not_full_;    ///< signals blocked Submit calls
+  CondVar idle_;        ///< signals Drain
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mutex_);
+  size_t active_ GUARDED_BY(mutex_) = 0;  ///< tasks currently executing
+  bool shutdown_ GUARDED_BY(mutex_) = false;
+  /// Populated by the constructor, joined by Shutdown; never resized
+  /// concurrently, so num_threads() is safe without the mutex.
   std::vector<std::thread> workers_;
 };
 

@@ -57,7 +57,9 @@ TEST(FeedbackTest, BoostsDiscriminativeFeature) {
   const double w_naive = weights->at(FeatureKind::kNaiveSignature);
   EXPECT_GT(w_hist, w_naive);  // discriminative beats uninformative
   EXPECT_GT(w_naive, w_glcm);  // uninformative beats inverted
-  // The scorer was actually updated.
+  // The scorer was actually updated (reading it requires the engine
+  // lock, like any caller outside the query path).
+  WriterMutexLock lock(engine->rw_lock());
   EXPECT_DOUBLE_EQ(engine->scorer()->GetWeight(FeatureKind::kColorHistogram),
                    w_hist);
 }

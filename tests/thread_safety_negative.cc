@@ -1,0 +1,55 @@
+/// \file thread_safety_negative.cc
+/// \brief Compile-MUST-FAIL probe for the thread-safety gate.
+///
+/// This TU is NOT part of the test suite and is never linked into any
+/// target. scripts/check_static.sh compiles it with
+///
+///   clang++ -DVR_EXPECT_TS_ERROR -fsyntax-only \
+///           -Werror=thread-safety-analysis ...
+///
+/// and asserts that compilation FAILS with a thread-safety diagnostic.
+/// That proves the gate is live: if the annotation macros ever degrade
+/// to no-ops under Clang, or the warning flags are dropped, this file
+/// starts compiling cleanly and the gate reports the regression.
+///
+/// The guard below keeps a plain build from ever compiling it by
+/// accident (e.g. a glob in a future CMakeLists).
+
+#ifndef VR_EXPECT_TS_ERROR
+#error "thread_safety_negative.cc is a must-fail probe; compile it only \
+via scripts/check_static.sh with -DVR_EXPECT_TS_ERROR"
+#else
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace vr {
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    MutexLock lock(mu_);
+    ++value_;
+  }
+
+  // BUG (on purpose): reads value_ without mu_. Under
+  // -Werror=thread-safety-analysis Clang must reject this TU; the gate
+  // fails if it does not.
+  int UnsafeRead() const { return value_; }
+
+ private:
+  mutable Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+int Use() {
+  Counter c;
+  c.Increment();
+  return c.UnsafeRead();
+}
+
+}  // namespace
+}  // namespace vr
+
+#endif  // VR_EXPECT_TS_ERROR

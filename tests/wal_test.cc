@@ -130,9 +130,15 @@ TEST(WalTest, TornTailSweepAtEveryByteOffset) {
       expect = 1;
     }
     ASSERT_EQ(pks.size(), expect) << "cut at " << cut;
-    if (expect >= 1) EXPECT_EQ(pks[0], 1);
-    if (expect >= 2) EXPECT_EQ(pks[1], 2);
-    if (expect >= 3) EXPECT_EQ(pks[2], 3);
+    if (expect >= 1) {
+      EXPECT_EQ(pks[0], 1);
+    }
+    if (expect >= 2) {
+      EXPECT_EQ(pks[1], 2);
+    }
+    if (expect >= 3) {
+      EXPECT_EQ(pks[2], 3);
+    }
   }
 }
 

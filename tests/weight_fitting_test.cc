@@ -77,6 +77,7 @@ TEST(WeightFittingTest, ApplyWeightsInstallsIntoScorer) {
   fitted.weights[FeatureKind::kColorHistogram] = 3.5;
   fitted.weights[FeatureKind::kGlcm] = 0.25;
   ApplyWeights(f.engine.get(), fitted);
+  WriterMutexLock lock(f.engine->rw_lock());
   EXPECT_DOUBLE_EQ(
       f.engine->scorer()->GetWeight(FeatureKind::kColorHistogram), 3.5);
   EXPECT_DOUBLE_EQ(f.engine->scorer()->GetWeight(FeatureKind::kGlcm), 0.25);
