@@ -3,7 +3,7 @@
 /// role of the paper's Figure 2 use-case diagram and the search screen
 /// of its Figures 9-10, as a terminal UI.
 ///
-///   ./search_cli [db_dir] [--create]
+///   ./search_cli [db_dir] [--create] [--degraded]
 ///   ./search_cli --connect <host> <port>
 ///
 /// In the default local mode the database directory must already exist
@@ -80,7 +80,11 @@ void PrintResults(const std::vector<vr::QueryResult>& results,
 }
 
 void PrintRemoteResponse(const vr::ServiceResponse& response) {
-  if (!response.status.ok()) {
+  if (response.status.IsPartialResult()) {
+    // Degraded store: the ranked results are real, just incomplete —
+    // show them with the damage summary instead of hiding them.
+    std::printf("warning: %s\n", response.status.ToString().c_str());
+  } else if (!response.status.ok()) {
     std::printf("%s\n", response.status.ToString().c_str());
     return;
   }
@@ -122,12 +126,13 @@ int RunClientMode(const std::string& host, uint16_t port) {
         continue;
       }
       std::printf("received=%llu served=%llu rejected=%llu expired=%llu "
-                  "failed=%llu in_flight=%llu\n",
+                  "failed=%llu degraded=%llu in_flight=%llu\n",
                   static_cast<unsigned long long>(stats->received),
                   static_cast<unsigned long long>(stats->served),
                   static_cast<unsigned long long>(stats->rejected),
                   static_cast<unsigned long long>(stats->expired),
                   static_cast<unsigned long long>(stats->failed),
+                  static_cast<unsigned long long>(stats->degraded),
                   static_cast<unsigned long long>(stats->in_flight));
       std::printf("latency: n=%llu p50=%.2fms p95=%.2fms p99=%.2fms\n",
                   static_cast<unsigned long long>(stats->latency_count),
@@ -217,12 +222,15 @@ int main(int argc, char** argv) {
       {
           {"--connect", "<host> <port>", "query a remote serve_cli instead"},
           {"--create", nullptr, "create the database if missing"},
+          {"--degraded", nullptr,
+           "open a damaged store, quarantining broken tables"},
           {"--help", nullptr, "show this help and exit"},
       },
   };
   if (vr::WantsHelp(argc, argv)) return vr::PrintHelp(kSpec);
   std::string dir = "/tmp/vretrieve_search";
   bool create = false;
+  bool degraded = false;
   bool dir_given = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -235,6 +243,8 @@ int main(int argc, char** argv) {
                            static_cast<uint16_t>(std::atoi(argv[i + 2])));
     } else if (arg == "--create") {
       create = true;
+    } else if (arg == "--degraded") {
+      degraded = true;
     } else if (!dir_given && arg.rfind("--", 0) != 0) {
       dir = arg;
       dir_given = true;
@@ -253,13 +263,23 @@ int main(int argc, char** argv) {
   }
 
   vr::EngineOptions options;
+  options.paranoid = !degraded;
   auto engine_result = vr::RetrievalEngine::Open(dir, options);
   if (!engine_result.ok()) {
     std::fprintf(stderr, "open failed: %s\n",
                  engine_result.status().ToString().c_str());
+    if (!degraded && engine_result.status().IsCorruption()) {
+      std::fprintf(stderr,
+                   "(pass --degraded to quarantine the damaged tables and "
+                   "search the healthy remainder)\n");
+    }
     return 1;
   }
   auto engine = std::move(engine_result).value();
+  for (const vr::TableDamage& damage : engine->DamageReport()) {
+    std::fprintf(stderr, "warning: table %s quarantined: %s\n",
+                 damage.table.c_str(), damage.reason.ToString().c_str());
+  }
   std::printf("vretrieve search console — %zu key frames indexed in %s\n",
               engine->indexed_key_frames(), dir.c_str());
   std::printf("type 'help' for commands\n");

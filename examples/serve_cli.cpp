@@ -2,7 +2,8 @@
 /// \brief Stand up a VrServer over an ingested corpus.
 ///
 ///   ./serve_cli <db_dir> [--port N] [--workers N] [--backlog N]
-///               [--deadline-ms N] [--create] [--seed]
+///               [--deadline-ms N] [--max-conns N] [--create] [--seed]
+///               [--degraded]
 ///
 /// Opens the database at <db_dir> (refusing to invent one unless
 /// --create is given), wraps the engine in a RetrievalService and
@@ -10,7 +11,10 @@
 /// RPC (e.g. `search_cli --connect 127.0.0.1 <port>` then `shutdown`)
 /// or the process receives SIGINT-less termination via that RPC.
 /// --seed ingests one synthetic video per category so a fresh database
-/// has something to answer with.
+/// has something to answer with. --degraded opens the store with
+/// paranoid=false, quarantining damaged tables instead of refusing to
+/// start: queries over the healthy remainder are answered with a
+/// kPartialResult status plus a damage summary.
 
 #include <cstdio>
 #include <cstdlib>
@@ -36,8 +40,12 @@ const vr::CliSpec& Spec() {
           {"--workers", "N", "service worker threads"},
           {"--backlog", "N", "max queued requests before rejecting"},
           {"--deadline-ms", "N", "default per-request deadline"},
+          {"--max-conns", "N", "concurrent connection cap (0 = unlimited)"},
           {"--create", nullptr, "create the database if missing"},
           {"--seed", nullptr, "ingest a demo corpus into an empty store"},
+          {"--degraded", nullptr,
+           "serve a damaged store: quarantine broken tables and answer "
+           "with PartialResult"},
           {"--help", nullptr, "show this help and exit"},
       },
   };
@@ -76,7 +84,9 @@ int main(int argc, char** argv) {
   uint16_t port = 0;
   bool create = false;
   bool seed = false;
+  bool degraded = false;
   vr::ServiceOptions service_options;
+  vr::ServerOptions server_options;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (vr::FindFlag(Spec(), arg) == nullptr) {
@@ -87,6 +97,11 @@ int main(int argc, char** argv) {
       create = true;
     } else if (arg == "--seed") {
       seed = true;
+    } else if (arg == "--degraded") {
+      degraded = true;
+    } else if (arg == "--max-conns" && i + 1 < argc) {
+      server_options.max_connections =
+          static_cast<size_t>(std::atoi(argv[++i]));
     } else if (arg == "--port" && i + 1 < argc) {
       port = static_cast<uint16_t>(std::atoi(argv[++i]));
     } else if (arg == "--workers" && i + 1 < argc) {
@@ -112,19 +127,29 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  auto engine_result = vr::RetrievalEngine::Open(dir);
+  vr::EngineOptions engine_options;
+  engine_options.paranoid = !degraded;
+  auto engine_result = vr::RetrievalEngine::Open(dir, engine_options);
   if (!engine_result.ok()) {
     std::fprintf(stderr, "open failed: %s\n",
                  engine_result.status().ToString().c_str());
+    if (!degraded && engine_result.status().IsCorruption()) {
+      std::fprintf(stderr,
+                   "(pass --degraded to quarantine the damaged tables and "
+                   "serve the healthy remainder)\n");
+    }
     return 1;
   }
   auto engine = std::move(engine_result).value();
+  for (const vr::TableDamage& damage : engine->DamageReport()) {
+    std::fprintf(stderr, "warning: table %s quarantined: %s\n",
+                 damage.table.c_str(), damage.reason.ToString().c_str());
+  }
   if (seed && engine->indexed_key_frames() == 0) {
     if (!SeedCorpus(engine.get())) return 1;
   }
 
   vr::RetrievalService service(engine.get(), service_options);
-  vr::ServerOptions server_options;
   server_options.port = port;
   auto server = vr::VrServer::Start(&service, server_options);
   if (!server.ok()) {
@@ -145,12 +170,14 @@ int main(int argc, char** argv) {
   (*server)->Stop();
   const vr::ServiceStatsSnapshot stats = service.GetStats();
   std::printf("final stats: received=%llu served=%llu rejected=%llu "
-              "expired=%llu failed=%llu p50=%.2fms p95=%.2fms p99=%.2fms\n",
+              "expired=%llu failed=%llu degraded=%llu p50=%.2fms p95=%.2fms "
+              "p99=%.2fms\n",
               static_cast<unsigned long long>(stats.received),
               static_cast<unsigned long long>(stats.served),
               static_cast<unsigned long long>(stats.rejected),
               static_cast<unsigned long long>(stats.expired),
-              static_cast<unsigned long long>(stats.failed), stats.p50_ms,
+              static_cast<unsigned long long>(stats.failed),
+              static_cast<unsigned long long>(stats.degraded), stats.p50_ms,
               stats.p95_ms, stats.p99_ms);
   std::printf("query stages: image=%llu video=%llu sharded=%llu "
               "candidates=%llu/%llu extract=%.2fms select=%.2fms "

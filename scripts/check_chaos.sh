@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Network-resilience gate: the seeded chaos sweep (server + client with
+# fault-injecting transports on every connection) plus the wire fuzz
+# and client-retry suites. The sweep width is VR_CHAOS_SEEDS (>= 16 for
+# the gate); schedules are seed-deterministic, so a failure here replays
+# bit-for-bit.
+#
+# Usage: scripts/check_chaos.sh [build-dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target \
+  network_chaos_test wire_fuzz_test client_retry_test
+
+VR_CHAOS_SEEDS="${VR_CHAOS_SEEDS:-16}" "$BUILD_DIR"/tests/network_chaos_test
+"$BUILD_DIR"/tests/wire_fuzz_test
+"$BUILD_DIR"/tests/client_retry_test
+
+echo "chaos checks clean"

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Builds the tree with ThreadSanitizer and runs the concurrency-focused
 # suites (thread pool, service, wire/server, engine reader-writer
-# stress). Any data-race report fails the run.
+# stress, network chaos / fuzz / retry). Any data-race report fails
+# the run.
 #
 # Usage: scripts/check_tsan.sh [build-dir] [ctest-args...]
 set -euo pipefail
@@ -18,5 +19,5 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
 
 ctest --test-dir "$BUILD_DIR" --output-on-failure \
-  -R 'ThreadPool|Service|Wire|Concurrency|IngestPipeline' "$@"
+  -R 'ThreadPool|Service|Wire|Concurrency|IngestPipeline|Chaos|Fuzz|Retry' "$@"
 echo "tsan run clean"

@@ -1,91 +1,165 @@
 #include "service/client.h"
 
-#include <arpa/inet.h>
-#include <errno.h>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
-#include <cstring>
+#include <algorithm>
+#include <chrono>
+#include <thread>
 
 #include "service/wire.h"
 #include "util/string_util.h"
 
 namespace vr {
 
+namespace {
+
+/// Milliseconds left until \p deadline (rounded up); 0 when expired.
+uint64_t RemainingMs(TransportDeadline deadline) {
+  auto now = std::chrono::steady_clock::now();
+  if (deadline <= now) return 0;
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now)
+          .count()) +
+         1;
+}
+
+}  // namespace
+
 Result<std::unique_ptr<VrClient>> VrClient::Connect(const std::string& host,
                                                     uint16_t port) {
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    return Status::InvalidArgument("client host must be an IPv4 address: " +
-                                   host);
-  }
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    return Status::IOError(StringPrintf("socket failed: %s",
-                                        std::strerror(errno)));
-  }
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
-    const int err = errno;
-    ::close(fd);
-    return Status::IOError(StringPrintf("connect to %s:%u failed: %s",
-                                        host.c_str(), port,
-                                        std::strerror(err)));
-  }
-  const int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  return std::unique_ptr<VrClient>(new VrClient(fd));
+  return Connect(host, port, ClientOptions{});
+}
+
+Result<std::unique_ptr<VrClient>> VrClient::Connect(const std::string& host,
+                                                    uint16_t port,
+                                                    ClientOptions options) {
+  std::unique_ptr<VrClient> client(
+      new VrClient(host, port, std::move(options)));
+  // Eager connect so an unreachable server fails here, not on the
+  // first RPC.
+  VR_RETURN_NOT_OK(client->EnsureConnected(kNoDeadline));
+  return client;
 }
 
 VrClient::~VrClient() { Close(); }
 
-void VrClient::Close() {
-  if (fd_ >= 0) {
-    ::close(fd_);
-    fd_ = -1;
+void VrClient::Close() { transport_.reset(); }
+
+Status VrClient::EnsureConnected(TransportDeadline deadline) {
+  if (transport_) return Status::OK();
+  uint64_t timeout_ms = options_.connect_timeout_ms;
+  if (deadline != kNoDeadline) {
+    const uint64_t remaining = RemainingMs(deadline);
+    if (remaining == 0) {
+      return Status::DeadlineExceeded("rpc deadline expired before connect");
+    }
+    timeout_ms = timeout_ms == 0 ? remaining : std::min(timeout_ms, remaining);
+  }
+  VR_ASSIGN_OR_RETURN(std::unique_ptr<SocketTransport> socket,
+                      SocketTransport::Connect(host_, port_, timeout_ms));
+  std::unique_ptr<Transport> transport = std::move(socket);
+  if (options_.transport_hook) {
+    transport = options_.transport_hook(std::move(transport));
+  }
+  transport_ = std::move(transport);
+  return Status::OK();
+}
+
+Result<Frame> VrClient::AttemptRpc(MessageType type,
+                                   const std::vector<uint8_t>& payload,
+                                   MessageType want,
+                                   TransportDeadline deadline) {
+  VR_RETURN_NOT_OK(SendFrame(transport_.get(), type, payload, deadline));
+  VR_ASSIGN_OR_RETURN(Frame frame, RecvFrame(transport_.get(), deadline));
+  if (frame.type == MessageType::kErrorResponse) {
+    // A typed transport-level rejection; the server closes the
+    // connection after sending it.
+    Status rejection;
+    VR_RETURN_NOT_OK(DecodeErrorResponse(frame.payload, &rejection));
+    return rejection;
+  }
+  if (frame.type != want) {
+    return Status::Corruption("unexpected reply type on wire");
+  }
+  return frame;
+}
+
+Result<Frame> VrClient::DoRpc(MessageType type,
+                              const std::vector<uint8_t>& payload,
+                              MessageType want, bool idempotent) {
+  const TransportDeadline deadline = DeadlineAfterMs(options_.rpc_timeout_ms);
+  const int max_attempts = std::max(1, options_.retry.max_attempts);
+  for (int attempt = 1;; ++attempt) {
+    if (!breaker_.Allow(std::chrono::steady_clock::now())) {
+      return Status::Unavailable("circuit breaker open");
+    }
+    Status error = EnsureConnected(deadline);
+    if (error.ok()) {
+      Result<Frame> outcome = AttemptRpc(type, payload, want, deadline);
+      if (outcome.ok()) {
+        breaker_.RecordSuccess();
+        return outcome;
+      }
+      error = outcome.status();
+    }
+    // A failed attempt leaves the stream in an unknown position; only
+    // a fresh connection is safe to retry on.
+    Close();
+    breaker_.RecordFailure(std::chrono::steady_clock::now());
+    if (!idempotent || !IsRetryableStatus(error) ||
+        attempt >= max_attempts) {
+      return error;
+    }
+    const uint64_t backoff_ms =
+        BackoffForAttempt(options_.retry, attempt + 1, &rng_);
+    if (deadline != kNoDeadline && RemainingMs(deadline) <= backoff_ms) {
+      return Status::DeadlineExceeded(
+          "rpc deadline would expire during retry backoff; last error: " +
+          error.ToString());
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
   }
 }
 
 Result<ServiceResponse> VrClient::Query(const Image& image, size_t k,
                                         QueryMode mode, FeatureKind feature,
                                         uint64_t deadline_ms) {
-  if (fd_ < 0) return Status::IOError("client connection is closed");
   ServiceRequest request;
   request.image = image;
   request.k = k;
   request.mode = mode;
   request.feature = feature;
   request.deadline_ms = deadline_ms;
-  VR_RETURN_NOT_OK(SendFrame(fd_, MessageType::kQueryRequest,
-                             EncodeQueryRequest(request)));
-  VR_ASSIGN_OR_RETURN(Frame frame, RecvFrame(fd_));
-  if (frame.type != MessageType::kQueryResponse) {
-    return Status::Corruption("unexpected reply to query request");
+  // One id per logical RPC: every retry attempt resends the same id,
+  // so the server sees a repeat of an idempotent request, never a new
+  // effect.
+  request.request_id = next_request_id_++;
+  VR_ASSIGN_OR_RETURN(Frame frame,
+                      DoRpc(MessageType::kQueryRequest,
+                            EncodeQueryRequest(request),
+                            MessageType::kQueryResponse,
+                            /*idempotent=*/true));
+  VR_ASSIGN_OR_RETURN(ServiceResponse response,
+                      DecodeQueryResponse(frame.payload));
+  if (response.request_id != request.request_id) {
+    Close();
+    return Status::Corruption("query response id does not match request");
   }
-  return DecodeQueryResponse(frame.payload);
+  return response;
 }
 
 Result<ServiceStatsSnapshot> VrClient::GetStats() {
-  if (fd_ < 0) return Status::IOError("client connection is closed");
-  VR_RETURN_NOT_OK(SendFrame(fd_, MessageType::kStatsRequest, {}));
-  VR_ASSIGN_OR_RETURN(Frame frame, RecvFrame(fd_));
-  if (frame.type != MessageType::kStatsResponse) {
-    return Status::Corruption("unexpected reply to stats request");
-  }
+  VR_ASSIGN_OR_RETURN(Frame frame,
+                      DoRpc(MessageType::kStatsRequest, {},
+                            MessageType::kStatsResponse,
+                            /*idempotent=*/true));
   return DecodeStatsResponse(frame.payload);
 }
 
 Status VrClient::Shutdown() {
-  if (fd_ < 0) return Status::IOError("client connection is closed");
-  VR_RETURN_NOT_OK(SendFrame(fd_, MessageType::kShutdownRequest, {}));
-  VR_ASSIGN_OR_RETURN(Frame frame, RecvFrame(fd_));
-  if (frame.type != MessageType::kShutdownResponse) {
-    return Status::Corruption("unexpected reply to shutdown request");
-  }
+  VR_ASSIGN_OR_RETURN(Frame frame,
+                      DoRpc(MessageType::kShutdownRequest, {},
+                            MessageType::kShutdownResponse,
+                            /*idempotent=*/false));
+  (void)frame;
   Close();
   return Status::OK();
 }

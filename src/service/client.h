@@ -1,9 +1,18 @@
 /// \file client.h
-/// \brief VrClient: blocking TCP client for the VrServer wire protocol.
+/// \brief VrClient: resilient TCP client for the VrServer wire protocol.
 ///
 /// Usage:
 ///   VR_ASSIGN_OR_RETURN(auto client, VrClient::Connect("127.0.0.1", port));
 ///   VR_ASSIGN_OR_RETURN(ServiceResponse r, client->Query(image, 10));
+///
+/// Every RPC runs under a deadline (connect and overall per-attempt
+/// timeouts from ClientOptions) and, for idempotent RPCs (Query,
+/// GetStats), a RetryPolicy: on a retryable failure the client closes
+/// the broken connection, backs off with deterministic jitter,
+/// reconnects and retries — so a single connection reset is invisible
+/// to the caller. Shutdown is not idempotent and is never retried.
+/// A CircuitBreaker fails fast (kUnavailable) after a run of
+/// consecutive failures instead of hammering a dead server.
 ///
 /// Thread-safety: a VrClient is a single connection with blocking
 /// request/response framing — use one instance per thread (or guard it
@@ -12,46 +21,103 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 
+#include "service/retry.h"
 #include "service/service.h"
 #include "service/stats.h"
+#include "service/transport.h"
+#include "service/wire.h"
+#include "util/rng.h"
 
 namespace vr {
 
-/// \brief One blocking connection speaking the wire.h protocol.
+/// Timeouts, retry and breaker tuning for a VrClient.
+struct ClientOptions {
+  /// TCP connect timeout per attempt in ms; 0 = no limit.
+  uint64_t connect_timeout_ms = 2000;
+  /// Overall budget for one RPC attempt (send + receive) in ms;
+  /// 0 = no limit.
+  uint64_t rpc_timeout_ms = 10000;
+  RetryPolicy retry;
+  CircuitBreakerOptions breaker;
+  /// Seed of the jitter source; equal seeds give equal backoff
+  /// schedules.
+  uint64_t jitter_seed = 0x5EEDBACC;
+  /// Test hook wrapping every transport the client creates (e.g. in a
+  /// FaultInjectionTransport). Leave unset in production.
+  std::function<std::unique_ptr<Transport>(std::unique_ptr<Transport>)>
+      transport_hook;
+};
+
+/// \brief One logical connection speaking the wire.h protocol, with
+/// timeouts, idempotent-RPC retries and a circuit breaker.
 class VrClient {
  public:
-  /// Connects to an IPv4 \p host and \p port.
+  /// Connects to an IPv4 \p host and \p port with default options.
   static Result<std::unique_ptr<VrClient>> Connect(const std::string& host,
                                                    uint16_t port);
+  /// Connects with explicit \p options.
+  static Result<std::unique_ptr<VrClient>> Connect(const std::string& host,
+                                                   uint16_t port,
+                                                   ClientOptions options);
   ~VrClient();
   VrClient(const VrClient&) = delete;
   VrClient& operator=(const VrClient&) = delete;
 
   /// Round-trips one query-by-frame RPC. The returned ServiceResponse
   /// carries the server-side status (e.g. kUnavailable on overload,
-  /// kDeadlineExceeded on expiry); a non-OK Result means the transport
-  /// itself failed.
+  /// kDeadlineExceeded on expiry, kPartialResult over a degraded
+  /// store); a non-OK Result means the RPC itself failed after retries.
   Result<ServiceResponse> Query(const Image& image, size_t k,
                                 QueryMode mode = QueryMode::kCombined,
                                 FeatureKind feature = FeatureKind::kColorHistogram,
                                 uint64_t deadline_ms = 0);
 
-  /// Fetches the service stats snapshot.
+  /// Fetches the service stats snapshot (idempotent, retried).
   Result<ServiceStatsSnapshot> GetStats();
 
   /// Asks the server to shut down cleanly; returns once acknowledged.
+  /// Not idempotent: never retried (a lost ack must not stop the
+  /// server twice).
   Status Shutdown();
 
-  /// Closes the connection; further RPCs fail. Idempotent.
+  /// Closes the connection; the next RPC reconnects. Idempotent.
   void Close();
 
- private:
-  explicit VrClient(int fd) : fd_(fd) {}
+  CircuitBreaker::State breaker_state() const { return breaker_.state(); }
+  const ClientOptions& options() const { return options_; }
 
-  int fd_ = -1;
+ private:
+  VrClient(std::string host, uint16_t port, ClientOptions options)
+      : host_(std::move(host)),
+        port_(port),
+        options_(std::move(options)),
+        rng_(options_.jitter_seed),
+        breaker_(options_.breaker) {}
+
+  /// (Re)establishes transport_ if absent.
+  Status EnsureConnected(TransportDeadline deadline);
+
+  /// One send/receive attempt; no retries.
+  Result<Frame> AttemptRpc(MessageType type,
+                           const std::vector<uint8_t>& payload,
+                           MessageType want, TransportDeadline deadline);
+
+  /// Full RPC with breaker, per-attempt deadlines and (when
+  /// \p idempotent) the retry loop.
+  Result<Frame> DoRpc(MessageType type, const std::vector<uint8_t>& payload,
+                      MessageType want, bool idempotent);
+
+  std::string host_;
+  uint16_t port_ = 0;
+  ClientOptions options_;
+  Rng rng_;
+  CircuitBreaker breaker_;
+  std::unique_ptr<Transport> transport_;
+  uint64_t next_request_id_ = 1;
 };
 
 }  // namespace vr

@@ -1,0 +1,66 @@
+#include "service/retry.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vr {
+
+bool IsRetryableStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kIOError:
+    case StatusCode::kUnavailable:
+    case StatusCode::kCorruption:
+      return true;
+    default:
+      return false;
+  }
+}
+
+uint64_t BackoffForAttempt(const RetryPolicy& policy, int attempt, Rng* rng) {
+  if (attempt < 2) return 0;
+  double base = static_cast<double>(policy.initial_backoff_ms) *
+                std::pow(policy.multiplier, attempt - 2);
+  base = std::min(base, static_cast<double>(policy.max_backoff_ms));
+  if (policy.jitter > 0.0 && rng != nullptr) {
+    base *= rng->UniformDouble(1.0 - policy.jitter, 1.0 + policy.jitter);
+  }
+  return static_cast<uint64_t>(std::max(0.0, base));
+}
+
+bool CircuitBreaker::Allow(TimePoint now) {
+  if (options_.failure_threshold <= 0) return true;
+  switch (state_) {
+    case State::kClosed:
+    case State::kHalfOpen:
+      return true;
+    case State::kOpen:
+      if (now >= open_until_) {
+        state_ = State::kHalfOpen;
+        return true;
+      }
+      return false;
+  }
+  return true;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  consecutive_failures_ = 0;
+  state_ = State::kClosed;
+}
+
+void CircuitBreaker::RecordFailure(TimePoint now) {
+  if (options_.failure_threshold <= 0) return;
+  if (state_ == State::kHalfOpen) {
+    // The probe failed: reopen for a fresh interval.
+    state_ = State::kOpen;
+    open_until_ = now + std::chrono::milliseconds(options_.open_ms);
+    return;
+  }
+  ++consecutive_failures_;
+  if (consecutive_failures_ >= options_.failure_threshold) {
+    state_ = State::kOpen;
+    open_until_ = now + std::chrono::milliseconds(options_.open_ms);
+  }
+}
+
+}  // namespace vr

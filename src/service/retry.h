@@ -1,0 +1,97 @@
+/// \file retry.h
+/// \brief Client-side retry policy, deterministic backoff, and a
+/// circuit breaker.
+///
+/// The failure model (see DESIGN.md "Failure model & retry semantics"):
+///   - kIOError, kUnavailable and kCorruption are *retryable* — the RPC
+///     may never have reached the service, or reached it over a wire
+///     that mangled the reply, so repeating an idempotent request is
+///     safe and likely to help.
+///   - kDeadlineExceeded is NOT retryable: the caller's time budget is
+///     spent; retrying would only blow past it further.
+///   - Application errors (kInvalidArgument, kNotFound, ...) are not
+///     retryable: the same request will fail the same way.
+///
+/// Only idempotent RPCs are ever retried (queries and stats reads;
+/// never shutdown). Backoff is exponential with deterministic jitter
+/// drawn from the caller's seeded vr::Rng so tests replay schedules
+/// bit-for-bit.
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace vr {
+
+/// \brief Bounds on automatic retries of one logical RPC.
+struct RetryPolicy {
+  /// Total attempts including the first; 1 disables retries.
+  int max_attempts = 3;
+  /// Backoff before attempt 2.
+  uint64_t initial_backoff_ms = 10;
+  /// Multiplier applied per subsequent attempt.
+  double multiplier = 2.0;
+  /// Upper bound on any single backoff.
+  uint64_t max_backoff_ms = 500;
+  /// Fractional jitter: the backoff is scaled by a uniform draw from
+  /// [1 - jitter, 1 + jitter]. 0 disables jitter.
+  double jitter = 0.25;
+};
+
+/// \brief True when \p status may be cured by retrying an idempotent RPC.
+bool IsRetryableStatus(const Status& status);
+
+/// \brief Backoff in ms before attempt \p attempt (2-based: the wait
+/// preceding the second attempt is BackoffForAttempt(policy, 2, rng)).
+/// Draws exactly one uniform from \p rng when jitter is enabled.
+uint64_t BackoffForAttempt(const RetryPolicy& policy, int attempt, Rng* rng);
+
+/// \brief Circuit breaker tuning.
+struct CircuitBreakerOptions {
+  /// Consecutive failures that trip the breaker; <= 0 disables it.
+  int failure_threshold = 5;
+  /// How long the breaker stays open before allowing one probe.
+  uint64_t open_ms = 1000;
+};
+
+/// \brief Classic closed → open → half-open circuit breaker.
+///
+/// Time is passed in by the caller (steady_clock::time_point), so unit
+/// tests drive the open-interval transitions with fabricated clocks
+/// instead of sleeping. Not internally synchronized: VrClient instances
+/// are single-threaded, and each owns its breaker.
+class CircuitBreaker {
+ public:
+  using TimePoint = std::chrono::steady_clock::time_point;
+
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  explicit CircuitBreaker(const CircuitBreakerOptions& options)
+      : options_(options) {}
+
+  /// True when a request may proceed. While open, flips to half-open
+  /// (allowing exactly this one probe) once open_ms has elapsed.
+  bool Allow(TimePoint now);
+
+  /// Records a successful RPC: closes the breaker and resets the
+  /// consecutive-failure count.
+  void RecordSuccess();
+
+  /// Records a failed RPC. A half-open probe failure reopens the
+  /// breaker; in the closed state the threshold trips it.
+  void RecordFailure(TimePoint now);
+
+  State state() const { return state_; }
+
+ private:
+  CircuitBreakerOptions options_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  TimePoint open_until_{};
+};
+
+}  // namespace vr

@@ -8,6 +8,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 
 #include "service/wire.h"
@@ -15,6 +16,19 @@
 #include "util/string_util.h"
 
 namespace vr {
+
+namespace {
+
+/// Best-effort typed rejection; failure to deliver it is ignored (the
+/// connection is being dropped either way).
+void SendErrorFrame(Transport* transport, const Status& error,
+                    uint64_t write_deadline_ms) {
+  (void)SendFrame(transport, MessageType::kErrorResponse,
+                  EncodeErrorResponse(error),
+                  DeadlineAfterMs(write_deadline_ms));
+}
+
+}  // namespace
 
 Result<std::unique_ptr<VrServer>> VrServer::Start(RetrievalService* service,
                                                   ServerOptions options) {
@@ -64,6 +78,11 @@ Result<std::unique_ptr<VrServer>> VrServer::Start(RetrievalService* service,
 
 VrServer::~VrServer() { Stop(); }
 
+std::unique_ptr<Transport> VrServer::MakeTransport(int fd) const {
+  if (options_.transport_factory) return options_.transport_factory(fd);
+  return SocketTransport::Adopt(fd);
+}
+
 void VrServer::AcceptLoop() {
   for (;;) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
@@ -78,62 +97,131 @@ void VrServer::AcceptLoop() {
     }
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    std::vector<std::thread> reap;
+    bool at_capacity = false;
+    {
+      MutexLock lock(mutex_);
+      reap.swap(finished_);
+      at_capacity = options_.max_connections > 0 &&
+                    connections_.size() >= options_.max_connections;
+    }
+    for (std::thread& t : reap) {
+      if (t.joinable()) t.join();
+    }
+
+    if (at_capacity) {
+      // Reject with a typed error instead of spawning an unbounded
+      // handler thread; the client's breaker/backoff takes it from
+      // here.
+      auto transport = MakeTransport(fd);
+      SendErrorFrame(transport.get(),
+                     Status::Unavailable("connection limit reached"),
+                     options_.write_deadline_ms);
+      VR_LOG(Warn) << "VrServer rejecting connection: limit of "
+                   << options_.max_connections << " reached";
+      continue;
+    }
+
     MutexLock lock(mutex_);
     connections_.push_back(fd);
-    handlers_.emplace_back([this, fd] { HandleConnection(fd); });
+    const uint64_t id = next_conn_id_++;
+    handlers_.emplace(
+        id, std::thread([this, fd, id] { HandleConnection(fd, id); }));
   }
 }
 
-void VrServer::HandleConnection(int fd) {
+void VrServer::HandleConnection(int fd, uint64_t id) {
+  std::unique_ptr<Transport> transport = MakeTransport(fd);
+  const size_t max_payload = options_.max_frame_payload > 0
+                                 ? options_.max_frame_payload
+                                 : kMaxFramePayload;
   bool request_stop = false;
   for (;;) {
-    Result<Frame> frame = RecvFrame(fd);
-    if (!frame.ok()) break;  // peer closed or malformed framing
+    Result<Frame> frame =
+        RecvFrame(transport.get(), DeadlineAfterMs(options_.read_deadline_ms),
+                  max_payload);
+    if (!frame.ok()) {
+      const Status& error = frame.status();
+      if (error.IsCorruption()) {
+        // Malformed framing (oversized length, bad checksum, unknown
+        // type): tell the client why before dropping it.
+        SendErrorFrame(transport.get(), error, options_.write_deadline_ms);
+      } else if (error.IsDeadlineExceeded()) {
+        VR_LOG(Warn) << "VrServer evicting slow client (no complete frame "
+                     << "within " << options_.read_deadline_ms << " ms)";
+        SendErrorFrame(
+            transport.get(),
+            Status::Unavailable("read deadline exceeded; connection evicted"),
+            options_.write_deadline_ms);
+      }
+      break;  // peer closed, torn frame, or the eviction above
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      SendErrorFrame(transport.get(), Status::Unavailable("server draining"),
+                     options_.write_deadline_ms);
+      break;
+    }
+    const TransportDeadline write_deadline =
+        DeadlineAfterMs(options_.write_deadline_ms);
     Status sent = Status::OK();
+    bool drop = false;
     switch (frame->type) {
       case MessageType::kQueryRequest: {
         ServiceResponse response;
         Result<ServiceRequest> request = DecodeQueryRequest(frame->payload);
         if (request.ok()) {
+          const uint64_t request_id = request->request_id;
           response = service_->Query(std::move(request).value());
+          response.request_id = request_id;
         } else {
           response.status = request.status();
         }
-        sent = SendFrame(fd, MessageType::kQueryResponse,
-                         EncodeQueryResponse(response));
+        sent = SendFrame(transport.get(), MessageType::kQueryResponse,
+                         EncodeQueryResponse(response), write_deadline);
         break;
       }
       case MessageType::kStatsRequest:
-        sent = SendFrame(fd, MessageType::kStatsResponse,
-                         EncodeStatsResponse(service_->GetStats()));
+        sent = SendFrame(transport.get(), MessageType::kStatsResponse,
+                         EncodeStatsResponse(service_->GetStats()),
+                         write_deadline);
         break;
       case MessageType::kShutdownRequest:
-        (void)SendFrame(fd, MessageType::kShutdownResponse, {0});
+        (void)SendFrame(transport.get(), MessageType::kShutdownResponse, {0},
+                        write_deadline);
         request_stop = true;
         break;
       default:
-        VR_LOG(Warn) << "dropping connection after unknown message type "
+        VR_LOG(Warn) << "dropping connection after unexpected message type "
                      << static_cast<int>(frame->type);
-        sent = Status::IOError("unknown message type");
+        SendErrorFrame(transport.get(),
+                       Status::InvalidArgument("unexpected message type"),
+                       options_.write_deadline_ms);
+        drop = true;
         break;
     }
-    if (request_stop || !sent.ok()) break;
+    if (request_stop || drop || !sent.ok()) break;
   }
   // Deregister before closing so Stop() never shutdown(2)s a recycled
-  // fd number belonging to someone else.
+  // fd number belonging to someone else, and hand our own thread
+  // handle to the acceptor's reap list (Stop may already have taken
+  // it, hence the guarded find).
   {
     MutexLock lock(mutex_);
     connections_.erase(
         std::remove(connections_.begin(), connections_.end(), fd),
         connections_.end());
+    auto it = handlers_.find(id);
+    if (it != handlers_.end()) {
+      finished_.push_back(std::move(it->second));
+      handlers_.erase(it);
+    }
     if (request_stop) stop_requested_ = true;
   }
-  ::close(fd);
-  if (request_stop) {
-    // Wake Wait(); the waiter (serve_cli / tests) performs the actual
-    // Stop so no handler ever joins itself.
-    stopped_cv_.NotifyAll();
-  }
+  transport.reset();  // closes the fd
+  // Wake Wait() (shutdown RPC) and the drain wait in Stop(). The
+  // waiter performs the actual Stop so no handler ever joins itself.
+  stopped_cv_.NotifyAll();
 }
 
 void VrServer::Stop() {
@@ -150,14 +238,39 @@ void VrServer::Stop() {
   if (acceptor_.joinable()) acceptor_.join();
   ::close(listen_fd_);
 
-  // Unblock in-flight recv(2) calls and join the handlers.
-  std::vector<std::thread> handlers;
+  // Graceful drain: half-close the read side so idle connections see
+  // EOF and handlers mid-request still write their response; handlers
+  // refuse any further request (stopping_ is set). Then wait for the
+  // connections to finish, bounded by drain_timeout_ms.
+  std::map<uint64_t, std::thread> handlers;
+  std::vector<std::thread> finished;
   {
     MutexLock lock(mutex_);
+    for (int fd : connections_) ::shutdown(fd, SHUT_RD);
+    const auto drain_deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(options_.drain_timeout_ms);
+    while (!connections_.empty()) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= drain_deadline) {
+        VR_LOG(Warn) << "VrServer drain timed out with "
+                     << connections_.size()
+                     << " connection(s); force-closing";
+        break;
+      }
+      stopped_cv_.WaitFor(
+          mutex_, std::chrono::duration_cast<std::chrono::milliseconds>(
+                      drain_deadline - now));
+    }
+    // Stragglers (or drain_timeout_ms == 0): unblock both directions.
     for (int fd : connections_) ::shutdown(fd, SHUT_RDWR);
     handlers.swap(handlers_);
+    finished.swap(finished_);
   }
-  for (std::thread& t : handlers) {
+  for (auto& [id, t] : handlers) {
+    if (t.joinable()) t.join();
+  }
+  for (std::thread& t : finished) {
     if (t.joinable()) t.join();
   }
   VR_LOG(Info) << "VrServer stopped";

@@ -1,5 +1,5 @@
 /// \file server.h
-/// \brief VrServer: blocking TCP front-end for a RetrievalService.
+/// \brief VrServer: hardened TCP front-end for a RetrievalService.
 ///
 /// Serves the wire protocol of wire.h: query-by-frame (combined or
 /// single-feature scoring, top-k), a stats RPC, and a clean shutdown
@@ -7,18 +7,32 @@
 /// concurrency of query execution itself is governed by the service's
 /// worker pool (connection handlers block on the service future).
 ///
+/// Hardening (all tunable via ServerOptions):
+///  - concurrent connections are capped; excess clients get a typed
+///    kUnavailable error frame instead of an unbounded handler thread;
+///  - malformed or oversized frames get a typed kErrorResponse
+///    (kCorruption) before the connection is dropped — never a silent
+///    hang;
+///  - per-connection read deadlines evict clients that stall mid-frame,
+///    and write deadlines evict clients that stop reading responses;
+///  - Stop() drains gracefully: in-flight requests finish (bounded by
+///    drain_timeout_ms), new requests are refused with kUnavailable.
+///
 /// Thread-safety: Start/Stop/Wait/port are safe from any thread.
 
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "service/service.h"
+#include "service/transport.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 
@@ -32,6 +46,26 @@ struct ServerOptions {
   uint16_t port = 0;
   /// listen(2) backlog.
   int backlog = 16;
+  /// Concurrent connection cap; excess clients are rejected with a
+  /// typed kUnavailable error frame. 0 = unlimited.
+  size_t max_connections = 64;
+  /// A client that sends no complete frame within this window is
+  /// evicted (slow-loris defense). 0 = no deadline.
+  uint64_t read_deadline_ms = 30000;
+  /// A client that does not drain a response within this window is
+  /// evicted. 0 = no deadline.
+  uint64_t write_deadline_ms = 10000;
+  /// How long Stop() waits for in-flight connections to finish before
+  /// force-closing them. 0 = no grace period.
+  uint64_t drain_timeout_ms = 2000;
+  /// Per-frame payload cap; larger frames are rejected as kCorruption.
+  /// 0 = the wire default (kMaxFramePayload).
+  size_t max_frame_payload = 0;
+  /// Test hook building the per-connection transport from the accepted
+  /// fd (e.g. wrapping it in a FaultInjectionTransport). Takes
+  /// ownership of the fd. Leave unset in production
+  /// (SocketTransport::Adopt).
+  std::function<std::unique_ptr<Transport>(int fd)> transport_factory;
 };
 
 /// \brief Accepts connections and speaks the binary query protocol.
@@ -48,8 +82,9 @@ class VrServer {
   /// The bound port (resolves ephemeral port 0).
   uint16_t port() const { return port_; }
 
-  /// Stops accepting, unblocks in-flight connection reads, joins all
-  /// threads. Idempotent; also run by the destructor.
+  /// Stops accepting, drains in-flight connections (bounded by
+  /// drain_timeout_ms), unblocks stragglers, joins all threads.
+  /// Idempotent; also run by the destructor.
   void Stop() EXCLUDES(mutex_);
 
   /// Blocks until Stop() runs or a client issues the shutdown RPC.
@@ -62,7 +97,8 @@ class VrServer {
       : service_(service), options_(std::move(options)) {}
 
   void AcceptLoop() EXCLUDES(mutex_);
-  void HandleConnection(int fd) EXCLUDES(mutex_);
+  void HandleConnection(int fd, uint64_t id) EXCLUDES(mutex_);
+  std::unique_ptr<Transport> MakeTransport(int fd) const;
 
   // service_, options_, listen_fd_ and port_ are set before the
   // acceptor thread starts and immutable afterwards.
@@ -73,13 +109,19 @@ class VrServer {
 
   std::atomic<bool> stopping_{false};
   Mutex mutex_;
-  /// Signals "stop_requested_ or stopped_ flipped".
+  /// Signals "stop_requested_ or stopped_ flipped, or a connection
+  /// finished" (the drain wait in Stop watches the latter).
   CondVar stopped_cv_;
   bool stop_requested_ GUARDED_BY(mutex_) = false;  ///< client shutdown RPC
   bool stopped_ GUARDED_BY(mutex_) = false;         ///< Stop() completed
   /// Open connection fds, so Stop() can shutdown(2) blocked readers.
   std::vector<int> connections_ GUARDED_BY(mutex_);
-  std::vector<std::thread> handlers_ GUARDED_BY(mutex_);
+  /// Live handler threads keyed by connection serial. A handler moves
+  /// its own entry to finished_ on exit; the acceptor reaps finished_
+  /// so long-lived servers do not accumulate joined-out threads.
+  std::map<uint64_t, std::thread> handlers_ GUARDED_BY(mutex_);
+  std::vector<std::thread> finished_ GUARDED_BY(mutex_);
+  uint64_t next_conn_id_ GUARDED_BY(mutex_) = 0;
   std::thread acceptor_;
 };
 

@@ -8,6 +8,17 @@ namespace vr {
 RetrievalService::RetrievalService(RetrievalEngine* engine,
                                    ServiceOptions options)
     : engine_(engine), options_(std::move(options)) {
+  // Quarantined tables are fixed at engine-open time, so the damage
+  // summary attached to every degraded response is built once here.
+  const std::vector<TableDamage>& damage = engine_->DamageReport();
+  if (!damage.empty()) {
+    damage_summary_ = std::to_string(damage.size()) +
+                      " table(s) quarantined:";
+    for (const TableDamage& d : damage) {
+      damage_summary_ += " " + d.table + " (" + d.reason.ToString() + ");";
+    }
+    damage_summary_.pop_back();  // trailing ';'
+  }
   options_.num_workers = std::max<size_t>(1, options_.num_workers);
   capacity_ = options_.num_workers + options_.max_backlog;
   ThreadPoolOptions pool_options;
@@ -77,6 +88,7 @@ void RetrievalService::Execute(
   if (options_.worker_hook) options_.worker_hook();
 
   ServiceResponse response;
+  response.request_id = request.request_id;
   if (Clock::now() >= deadline) {
     // Expired while queued: never touches the engine.
     response.status =
@@ -100,6 +112,13 @@ void RetrievalService::Execute(
     if (ranked.ok()) {
       response.results = std::move(ranked).value();
       response.stats = engine_->last_candidate_stats();
+      if (!damage_summary_.empty()) {
+        // Degraded read: the ranking succeeded, but over a store with
+        // quarantined tables — surface that instead of implying a full
+        // answer.
+        response.status =
+            Status::PartialResult("degraded store: " + damage_summary_);
+      }
     } else {
       response.status = ranked.status();
     }
@@ -107,6 +126,9 @@ void RetrievalService::Execute(
 
   if (response.status.ok()) {
     served_.fetch_add(1, std::memory_order_relaxed);
+  } else if (response.status.IsPartialResult()) {
+    served_.fetch_add(1, std::memory_order_relaxed);
+    degraded_.fetch_add(1, std::memory_order_relaxed);
   } else if (response.status.IsDeadlineExceeded()) {
     expired_.fetch_add(1, std::memory_order_relaxed);
   } else {
@@ -126,6 +148,7 @@ ServiceStatsSnapshot RetrievalService::GetStats() const {
   snapshot.rejected = rejected_.load(std::memory_order_relaxed);
   snapshot.expired = expired_.load(std::memory_order_relaxed);
   snapshot.failed = failed_.load(std::memory_order_relaxed);
+  snapshot.degraded = degraded_.load(std::memory_order_relaxed);
   snapshot.in_flight = in_flight_.load(std::memory_order_relaxed);
   snapshot.latency_count = latency_.Count();
   snapshot.p50_ms = latency_.Percentile(50);

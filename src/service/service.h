@@ -64,13 +64,21 @@ struct ServiceRequest {
   FeatureKind feature = FeatureKind::kColorHistogram;
   /// Relative deadline budget in ms; 0 uses the service default.
   uint64_t deadline_ms = 0;
+  /// Client-assigned id echoed in the response. Lets a retrying client
+  /// match a response to its request; queries are idempotent, so a
+  /// retried id is safe on the server side.
+  uint64_t request_id = 0;
 };
 
 /// Outcome of one query.
 struct ServiceResponse {
-  Status status;  ///< OK, kUnavailable, kDeadlineExceeded, or engine error
+  /// kOK, kPartialResult (ranked results over a degraded store — see
+  /// the damage summary in the status message), kUnavailable,
+  /// kDeadlineExceeded, or an engine error.
+  Status status;
   std::vector<QueryResult> results;
   CandidateStats stats;  ///< pruning stats of this query's selection
+  uint64_t request_id = 0;  ///< echo of ServiceRequest::request_id
 };
 
 /// \brief Concurrent, admission-controlled query service over one engine.
@@ -125,8 +133,13 @@ class RetrievalService {
   std::atomic<uint64_t> rejected_{0};
   std::atomic<uint64_t> expired_{0};
   std::atomic<uint64_t> failed_{0};
+  std::atomic<uint64_t> degraded_{0};
   std::atomic<uint64_t> in_flight_{0};
   LatencyHistogram latency_;
+  /// Human-readable summary of the engine's quarantined tables,
+  /// captured at construction; empty on a healthy store. Attached to
+  /// every kPartialResult response.
+  std::string damage_summary_;
 };
 
 }  // namespace vr

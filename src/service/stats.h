@@ -54,6 +54,9 @@ struct ServiceStatsSnapshot {
   uint64_t rejected = 0;   ///< refused admission (kUnavailable)
   uint64_t expired = 0;    ///< aborted by their deadline (kDeadlineExceeded)
   uint64_t failed = 0;     ///< completed with any other error
+  /// Completed with kPartialResult: ranked results over a degraded
+  /// store. Counted under served as well (the request was answered).
+  uint64_t degraded = 0;
   uint64_t in_flight = 0;  ///< admitted, not yet completed
   /// Completed-request latency distribution (admission to completion).
   uint64_t latency_count = 0;

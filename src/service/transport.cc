@@ -1,0 +1,187 @@
+#include "service/transport.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+
+namespace vr {
+
+namespace {
+
+Status SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::IOError(std::string("fcntl(O_NONBLOCK): ") +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+/// Remaining wait in ms for poll(2): -1 = infinite, 0 = already expired.
+int PollTimeoutMs(TransportDeadline deadline) {
+  if (deadline == kNoDeadline) return -1;
+  auto now = std::chrono::steady_clock::now();
+  if (deadline <= now) return 0;
+  auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                deadline - now)
+                .count();
+  // Round up so a sub-millisecond remainder still waits one tick
+  // instead of busy-looping at timeout 0.
+  return static_cast<int>(std::min<long long>(ms + 1, 1 << 30));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<SocketTransport>> SocketTransport::Connect(
+    const std::string& host, uint16_t port, uint64_t timeout_ms) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("invalid IPv4 address: " + host);
+  }
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  Status nb = SetNonBlocking(fd);
+  if (!nb.ok()) {
+    ::close(fd);
+    return nb;
+  }
+
+  TransportDeadline deadline = DeadlineAfterMs(timeout_ms);
+  int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc < 0 && errno != EINPROGRESS && errno != EINTR) {
+    Status err = Status::IOError("connect to " + host + ": " +
+                                 std::strerror(errno));
+    ::close(fd);
+    return err;
+  }
+  if (rc < 0) {
+    // Handshake in flight: wait for writability, then read the result.
+    pollfd pfd{fd, POLLOUT, 0};
+    for (;;) {
+      int n = ::poll(&pfd, 1, PollTimeoutMs(deadline));
+      if (n < 0 && errno == EINTR) continue;
+      if (n == 0) {
+        ::close(fd);
+        return Status::DeadlineExceeded("connect to " + host + " timed out");
+      }
+      if (n < 0) {
+        Status err =
+            Status::IOError(std::string("poll: ") + std::strerror(errno));
+        ::close(fd);
+        return err;
+      }
+      break;
+    }
+    int so_error = 0;
+    socklen_t len = sizeof(so_error);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) < 0 ||
+        so_error != 0) {
+      Status err = Status::IOError(
+          "connect to " + host + ": " +
+          std::strerror(so_error != 0 ? so_error : errno));
+      ::close(fd);
+      return err;
+    }
+  }
+
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::unique_ptr<SocketTransport>(new SocketTransport(fd));
+}
+
+std::unique_ptr<SocketTransport> SocketTransport::Adopt(int fd) {
+  // Best effort: if the fcntl fails the socket stays blocking, which
+  // only weakens deadlines, not correctness.
+  SetNonBlocking(fd);
+  return std::unique_ptr<SocketTransport>(new SocketTransport(fd));
+}
+
+Status SocketTransport::PollWait(short events,
+                                 TransportDeadline deadline) const {
+  pollfd pfd{fd_, events, 0};
+  for (;;) {
+    int n = ::poll(&pfd, 1, PollTimeoutMs(deadline));
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0) {
+      return Status::IOError(std::string("poll: ") + std::strerror(errno));
+    }
+    if (n == 0) {
+      return Status::DeadlineExceeded("transport deadline exceeded");
+    }
+    return Status::OK();
+  }
+}
+
+Result<size_t> SocketTransport::Send(const uint8_t* data, size_t len,
+                                     TransportDeadline deadline) {
+  if (fd_ < 0) return Status::IOError("send on closed transport");
+  for (;;) {
+    ssize_t n = ::send(fd_, data, len, MSG_NOSIGNAL);
+    if (n > 0) return static_cast<size_t>(n);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      VR_RETURN_NOT_OK(PollWait(POLLOUT, deadline));
+      continue;
+    }
+    return Status::IOError(std::string("send: ") + std::strerror(errno));
+  }
+}
+
+Result<size_t> SocketTransport::Recv(uint8_t* buf, size_t len,
+                                     TransportDeadline deadline) {
+  if (fd_ < 0) return Status::IOError("recv on closed transport");
+  for (;;) {
+    ssize_t n = ::recv(fd_, buf, len, 0);
+    if (n >= 0) return static_cast<size_t>(n);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      VR_RETURN_NOT_OK(PollWait(POLLIN, deadline));
+      continue;
+    }
+    return Status::IOError(std::string("recv: ") + std::strerror(errno));
+  }
+}
+
+void SocketTransport::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<size_t> BufferTransport::Send(const uint8_t* data, size_t len,
+                                     TransportDeadline) {
+  if (closed_) return Status::IOError("send on closed transport");
+  if (len == 0) return static_cast<size_t>(0);
+  if (sent_.size() >= send_limit_) {
+    return Status::DeadlineExceeded("transport deadline exceeded");
+  }
+  size_t n = std::min(len, send_limit_ - sent_.size());
+  sent_.insert(sent_.end(), data, data + n);
+  return n;
+}
+
+Result<size_t> BufferTransport::Recv(uint8_t* buf, size_t len,
+                                     TransportDeadline) {
+  if (closed_) return Status::IOError("recv on closed transport");
+  if (read_pos_ >= inbound_.size()) return static_cast<size_t>(0);  // EOF
+  size_t n = std::min({len, recv_chunk_, inbound_.size() - read_pos_});
+  std::memcpy(buf, inbound_.data() + read_pos_, n);
+  read_pos_ += n;
+  return n;
+}
+
+}  // namespace vr

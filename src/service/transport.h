@@ -1,0 +1,140 @@
+/// \file transport.h
+/// \brief Byte transport under the wire protocol: deadline-aware socket
+/// I/O plus an in-memory double for tests and fuzzing.
+///
+/// The frame codecs in wire.h speak to a Transport instead of a raw fd,
+/// which buys three things at once:
+///   - every Send/Recv takes an absolute deadline (non-blocking sockets
+///     plus poll(2)), so the service layer can bound any network wait
+///     with kDeadlineExceeded instead of hanging;
+///   - short writes and EAGAIN/EWOULDBLOCK on non-blocking fds are
+///     handled in one place (the historical SendFrame treated them as
+///     hard errors);
+///   - fault injection (FaultInjectionTransport) and byte-level fuzzing
+///     (BufferTransport) wrap the same interface the production client
+///     and server use, mirroring how vr::Env hosts FaultInjectionEnv.
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace vr {
+
+/// Absolute deadline for one transport operation.
+using TransportDeadline = std::chrono::steady_clock::time_point;
+
+/// Sentinel "no deadline": the operation may block indefinitely.
+inline constexpr TransportDeadline kNoDeadline = TransportDeadline::max();
+
+/// Absolute deadline \p ms milliseconds from now; kNoDeadline when 0.
+inline TransportDeadline DeadlineAfterMs(uint64_t ms) {
+  return ms == 0 ? kNoDeadline
+                 : std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(ms);
+}
+
+/// \brief One bidirectional byte stream (the wire below frames).
+///
+/// Send/Recv move *up to* len bytes and return how many moved; callers
+/// that need full-message semantics loop (wire.h's frame I/O does).
+/// Thread-safety: a Transport is owned by one connection handler or
+/// client at a time; none of the implementations lock.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Sends up to \p len bytes before \p deadline. Returns the number of
+  /// bytes accepted (>= 1), kDeadlineExceeded when the deadline expires
+  /// with the stream unwritable, or IOError on connection failure.
+  virtual Result<size_t> Send(const uint8_t* data, size_t len,
+                              TransportDeadline deadline) = 0;
+
+  /// Receives up to \p len bytes before \p deadline. Returns the number
+  /// of bytes read, 0 on orderly peer close (EOF), kDeadlineExceeded
+  /// when the deadline expires with nothing readable, or IOError.
+  virtual Result<size_t> Recv(uint8_t* buf, size_t len,
+                              TransportDeadline deadline) = 0;
+
+  /// Releases the underlying stream; further I/O fails. Idempotent.
+  virtual void Close() = 0;
+};
+
+/// \brief Production transport: a connected TCP socket in non-blocking
+/// mode, with poll(2)-based deadline waits.
+class SocketTransport : public Transport {
+ public:
+  /// Connects to an IPv4 \p host and \p port, waiting at most
+  /// \p timeout_ms (0 = no limit) for the handshake.
+  static Result<std::unique_ptr<SocketTransport>> Connect(
+      const std::string& host, uint16_t port, uint64_t timeout_ms);
+
+  /// Wraps an already-connected fd (server side), taking ownership and
+  /// switching it to non-blocking mode.
+  static std::unique_ptr<SocketTransport> Adopt(int fd);
+
+  ~SocketTransport() override { Close(); }
+  SocketTransport(const SocketTransport&) = delete;
+  SocketTransport& operator=(const SocketTransport&) = delete;
+
+  Result<size_t> Send(const uint8_t* data, size_t len,
+                      TransportDeadline deadline) override;
+  Result<size_t> Recv(uint8_t* buf, size_t len,
+                      TransportDeadline deadline) override;
+  void Close() override;
+
+  int fd() const { return fd_; }
+
+ private:
+  explicit SocketTransport(int fd) : fd_(fd) {}
+
+  /// Waits for \p events (POLLIN/POLLOUT) until \p deadline.
+  Status PollWait(short events, TransportDeadline deadline) const;
+
+  int fd_ = -1;
+};
+
+/// \brief In-memory transport double for unit tests and the wire
+/// fuzzer: Recv consumes a scripted inbound buffer (EOF at its end),
+/// Send appends to an outbound buffer.
+///
+/// Two knobs shape adverse schedules deterministically:
+///   - set_recv_chunk(n): Recv returns at most n bytes per call,
+///     exercising short-read reassembly;
+///   - set_send_limit(n): once n total bytes are accepted, further
+///     Sends fail with kDeadlineExceeded — a stalled peer, letting
+///     tests drive FrameSender's resumable path.
+class BufferTransport : public Transport {
+ public:
+  BufferTransport() = default;
+  explicit BufferTransport(std::vector<uint8_t> inbound)
+      : inbound_(std::move(inbound)) {}
+
+  Result<size_t> Send(const uint8_t* data, size_t len,
+                      TransportDeadline deadline) override;
+  Result<size_t> Recv(uint8_t* buf, size_t len,
+                      TransportDeadline deadline) override;
+  void Close() override { closed_ = true; }
+
+  void set_recv_chunk(size_t n) { recv_chunk_ = n; }
+  /// Total sendable bytes before simulated stall; SIZE_MAX = unlimited.
+  void set_send_limit(size_t n) { send_limit_ = n; }
+
+  const std::vector<uint8_t>& sent() const { return sent_; }
+  bool closed() const { return closed_; }
+
+ private:
+  std::vector<uint8_t> inbound_;
+  size_t read_pos_ = 0;
+  size_t recv_chunk_ = SIZE_MAX;
+  std::vector<uint8_t> sent_;
+  size_t send_limit_ = SIZE_MAX;
+  bool closed_ = false;
+};
+
+}  // namespace vr

@@ -1,16 +1,17 @@
 #include "service/wire.h"
 
-#include <errno.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
+#include <algorithm>
 #include <cstring>
-
-#include "util/string_util.h"
 
 namespace vr {
 
 namespace {
+
+/// Checksummed-frame marker: both high bits of the type byte. Two bits
+/// (not one) so a single bit flip cannot turn a checksummed frame into
+/// a well-formed legacy frame — 0x80 or 0x40 alone is rejected as
+/// corruption. Legacy (pre-checksum) frames have both bits clear.
+constexpr uint8_t kChecksumMarker = 0xC0;
 
 void PutU8(std::vector<uint8_t>* out, uint8_t v) { out->push_back(v); }
 
@@ -84,11 +85,32 @@ Status Truncated(const char* what) {
   return Status::Corruption(std::string("truncated wire message: ") + what);
 }
 
+/// Decodes a transported status code, rejecting values this build does
+/// not know (a corrupt or incompatible frame, not a new error class).
+Status DecodeStatusField(uint8_t code, std::vector<uint8_t> msg) {
+  return Status(static_cast<StatusCode>(code),
+                std::string(msg.begin(), msg.end()));
+}
+
+bool ValidStatusCode(uint8_t code) { return code <= kMaxStatusCode; }
+
 }  // namespace
+
+uint32_t FrameChecksum(MessageType type, const uint8_t* payload, size_t len) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  h ^= static_cast<uint8_t>(type);
+  h *= 0x100000001B3ULL;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= payload[i];
+    h *= 0x100000001B3ULL;
+  }
+  return static_cast<uint32_t>(h ^ (h >> 32));
+}
 
 std::vector<uint8_t> EncodeQueryRequest(const ServiceRequest& request) {
   std::vector<uint8_t> out;
-  out.reserve(32 + request.image.SizeBytes());
+  out.reserve(40 + request.image.SizeBytes());
+  PutLe<uint64_t>(&out, request.request_id);
   PutU8(&out, static_cast<uint8_t>(request.mode));
   PutU8(&out, static_cast<uint8_t>(request.feature));
   PutLe<uint32_t>(&out, static_cast<uint32_t>(request.k));
@@ -111,10 +133,10 @@ Result<ServiceRequest> DecodeQueryRequest(
   uint16_t width = 0;
   uint16_t height = 0;
   uint8_t channels = 0;
-  if (!reader.ReadU8(&mode) || !reader.ReadU8(&feature) ||
-      !reader.ReadU32(&k) || !reader.ReadU64(&request.deadline_ms) ||
-      !reader.ReadU16(&width) || !reader.ReadU16(&height) ||
-      !reader.ReadU8(&channels)) {
+  if (!reader.ReadU64(&request.request_id) || !reader.ReadU8(&mode) ||
+      !reader.ReadU8(&feature) || !reader.ReadU32(&k) ||
+      !reader.ReadU64(&request.deadline_ms) || !reader.ReadU16(&width) ||
+      !reader.ReadU16(&height) || !reader.ReadU8(&channels)) {
     return Truncated("query request header");
   }
   if (mode > static_cast<uint8_t>(QueryMode::kSingleFeature)) {
@@ -142,6 +164,7 @@ Result<ServiceRequest> DecodeQueryRequest(
 
 std::vector<uint8_t> EncodeQueryResponse(const ServiceResponse& response) {
   std::vector<uint8_t> out;
+  PutLe<uint64_t>(&out, response.request_id);
   PutU8(&out, static_cast<uint8_t>(response.status.code()));
   const std::string& msg = response.status.message();
   PutLe<uint32_t>(&out, static_cast<uint32_t>(msg.size()));
@@ -163,15 +186,18 @@ Result<ServiceResponse> DecodeQueryResponse(
   ServiceResponse response;
   uint8_t code = 0;
   uint32_t msg_len = 0;
-  if (!reader.ReadU8(&code) || !reader.ReadU32(&msg_len)) {
+  if (!reader.ReadU64(&response.request_id) || !reader.ReadU8(&code) ||
+      !reader.ReadU32(&msg_len)) {
     return Truncated("query response header");
+  }
+  if (!ValidStatusCode(code)) {
+    return Status::Corruption("unknown status code on wire");
   }
   std::vector<uint8_t> msg;
   if (!reader.ReadBytes(&msg, msg_len)) {
     return Truncated("query response status message");
   }
-  response.status = Status(static_cast<StatusCode>(code),
-                           std::string(msg.begin(), msg.end()));
+  response.status = DecodeStatusField(code, std::move(msg));
   uint64_t candidates = 0;
   uint64_t total = 0;
   uint32_t n_results = 0;
@@ -181,7 +207,10 @@ Result<ServiceResponse> DecodeQueryResponse(
   }
   response.stats.candidates = candidates;
   response.stats.total = total;
-  response.results.reserve(n_results);
+  // Bound the reserve by what the payload can actually hold (24 bytes
+  // per row) so a forged count cannot force a huge allocation.
+  response.results.reserve(
+      std::min<size_t>(n_results, payload.size() / 24 + 1));
   for (uint32_t i = 0; i < n_results; ++i) {
     QueryResult r;
     if (!reader.ReadI64(&r.i_id) || !reader.ReadI64(&r.v_id) ||
@@ -204,6 +233,7 @@ std::vector<uint8_t> EncodeStatsResponse(const ServiceStatsSnapshot& stats) {
   PutLe<uint64_t>(&out, stats.rejected);
   PutLe<uint64_t>(&out, stats.expired);
   PutLe<uint64_t>(&out, stats.failed);
+  PutLe<uint64_t>(&out, stats.degraded);
   PutLe<uint64_t>(&out, stats.in_flight);
   PutLe<uint64_t>(&out, stats.latency_count);
   PutF64(&out, stats.p50_ms);
@@ -242,6 +272,7 @@ Result<ServiceStatsSnapshot> DecodeStatsResponse(
   if (!reader.ReadU8(&code) || !reader.ReadU64(&stats.received) ||
       !reader.ReadU64(&stats.served) || !reader.ReadU64(&stats.rejected) ||
       !reader.ReadU64(&stats.expired) || !reader.ReadU64(&stats.failed) ||
+      !reader.ReadU64(&stats.degraded) ||
       !reader.ReadU64(&stats.in_flight) ||
       !reader.ReadU64(&stats.latency_count) || !reader.ReadF64(&stats.p50_ms) ||
       !reader.ReadF64(&stats.p95_ms) || !reader.ReadF64(&stats.p99_ms) ||
@@ -257,6 +288,9 @@ Result<ServiceStatsSnapshot> DecodeStatsResponse(
       !reader.ReadF64(&stats.ingest.extract_ms) ||
       !reader.ReadF64(&stats.ingest.commit_ms)) {
     return Truncated("stats response");
+  }
+  if (!ValidStatusCode(code)) {
+    return Status::Corruption("unknown status code on wire");
   }
   uint32_t n_extractors = 0;
   if (!reader.ReadU32(&n_extractors)) return Truncated("stats response");
@@ -282,68 +316,133 @@ Result<ServiceStatsSnapshot> DecodeStatsResponse(
   return stats;
 }
 
-Status SendFrame(int fd, MessageType type,
-                 const std::vector<uint8_t>& payload) {
-  if (payload.size() > kMaxFramePayload) {
-    return Status::InvalidArgument("frame payload too large");
-  }
-  std::vector<uint8_t> frame;
-  frame.reserve(5 + payload.size());
-  PutLe<uint32_t>(&frame, static_cast<uint32_t>(payload.size()));
-  PutU8(&frame, static_cast<uint8_t>(type));
-  frame.insert(frame.end(), payload.begin(), payload.end());
+std::vector<uint8_t> EncodeErrorResponse(const Status& status) {
+  std::vector<uint8_t> out;
+  PutU8(&out, static_cast<uint8_t>(status.code()));
+  const std::string& msg = status.message();
+  PutLe<uint32_t>(&out, static_cast<uint32_t>(msg.size()));
+  out.insert(out.end(), msg.begin(), msg.end());
+  return out;
+}
 
-  size_t sent = 0;
-  while (sent < frame.size()) {
-    const ssize_t n = ::send(fd, frame.data() + sent, frame.size() - sent,
-                             MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return Status::IOError(StringPrintf("send failed: %s",
-                                          std::strerror(errno)));
-    }
-    sent += static_cast<size_t>(n);
+Status DecodeErrorResponse(const std::vector<uint8_t>& payload, Status* out) {
+  Reader reader(payload);
+  uint8_t code = 0;
+  uint32_t msg_len = 0;
+  if (!reader.ReadU8(&code) || !reader.ReadU32(&msg_len)) {
+    return Truncated("error response header");
+  }
+  if (!ValidStatusCode(code) || code == 0) {
+    return Status::Corruption("unknown status code on wire");
+  }
+  std::vector<uint8_t> msg;
+  if (!reader.ReadBytes(&msg, msg_len) || !reader.AtEnd()) {
+    return Truncated("error response message");
+  }
+  *out = DecodeStatusField(code, std::move(msg));
+  return Status::OK();
+}
+
+FrameSender::FrameSender(MessageType type,
+                         const std::vector<uint8_t>& payload) {
+  frame_.reserve(9 + payload.size());
+  PutLe<uint32_t>(&frame_, static_cast<uint32_t>(payload.size()));
+  PutU8(&frame_, static_cast<uint8_t>(type) | kChecksumMarker);
+  PutLe<uint32_t>(&frame_,
+                  FrameChecksum(type, payload.data(), payload.size()));
+  frame_.insert(frame_.end(), payload.begin(), payload.end());
+}
+
+Status FrameSender::Resume(Transport* transport, TransportDeadline deadline) {
+  while (offset_ < frame_.size()) {
+    auto sent = transport->Send(frame_.data() + offset_,
+                                frame_.size() - offset_, deadline);
+    if (!sent.ok()) return sent.status();
+    offset_ += *sent;
   }
   return Status::OK();
 }
 
+Status SendFrame(Transport* transport, MessageType type,
+                 const std::vector<uint8_t>& payload,
+                 TransportDeadline deadline) {
+  if (payload.size() > kMaxFramePayload) {
+    return Status::InvalidArgument("frame payload too large");
+  }
+  FrameSender sender(type, payload);
+  return sender.Resume(transport, deadline);
+}
+
 namespace {
 
-Status RecvAll(int fd, void* buf, size_t n) {
+/// Reads exactly \p n bytes. \p any_received distinguishes EOF at a
+/// frame boundary (clean close) from EOF mid-frame (torn frame).
+Status RecvAll(Transport* transport, uint8_t* buf, size_t n,
+               TransportDeadline deadline, bool* any_received) {
   size_t got = 0;
   while (got < n) {
-    const ssize_t r =
-        ::recv(fd, static_cast<uint8_t*>(buf) + got, n - got, 0);
-    if (r < 0) {
-      if (errno == EINTR) continue;
-      return Status::IOError(StringPrintf("recv failed: %s",
-                                          std::strerror(errno)));
+    auto r = transport->Recv(buf + got, n - got, deadline);
+    if (!r.ok()) return r.status();
+    if (*r == 0) {
+      return (got == 0 && !*any_received)
+                 ? Status::IOError("connection closed")
+                 : Status::IOError("connection closed mid-frame");
     }
-    if (r == 0) {
-      return Status::IOError("connection closed mid-frame");
-    }
-    got += static_cast<size_t>(r);
+    got += *r;
+    *any_received = true;
   }
   return Status::OK();
 }
 
 }  // namespace
 
-Result<Frame> RecvFrame(int fd) {
+Result<Frame> RecvFrame(Transport* transport, TransportDeadline deadline,
+                        size_t max_payload) {
+  bool any = false;
   uint8_t header[5];
-  VR_RETURN_NOT_OK(RecvAll(fd, header, sizeof(header)));
+  VR_RETURN_NOT_OK(RecvAll(transport, header, sizeof(header), deadline, &any));
   uint32_t len = 0;
   for (size_t i = 0; i < 4; ++i) {
     len |= static_cast<uint32_t>(header[i]) << (8 * i);
   }
-  if (len > kMaxFramePayload) {
+  // Length is validated before any payload allocation, so a forged
+  // length field cannot drive an over-allocation.
+  if (len > max_payload) {
     return Status::Corruption("oversized wire frame");
   }
+  const uint8_t type_byte = header[4];
+  const uint8_t version_bits = type_byte & kChecksumMarker;
+  if (version_bits != 0 && version_bits != kChecksumMarker) {
+    return Status::Corruption("corrupt frame version bits");
+  }
+  const bool checksummed = version_bits == kChecksumMarker;
+  const uint8_t raw_type = type_byte & static_cast<uint8_t>(~kChecksumMarker);
+  if (raw_type == 0 || raw_type > kMaxMessageType) {
+    return Status::Corruption("unknown wire message type");
+  }
+
+  uint32_t expected_checksum = 0;
+  if (checksummed) {
+    uint8_t sum[4];
+    VR_RETURN_NOT_OK(RecvAll(transport, sum, sizeof(sum), deadline, &any));
+    for (size_t i = 0; i < 4; ++i) {
+      expected_checksum |= static_cast<uint32_t>(sum[i]) << (8 * i);
+    }
+  }
+
   Frame frame;
-  frame.type = static_cast<MessageType>(header[4]);
+  frame.type = static_cast<MessageType>(raw_type);
   frame.payload.resize(len);
   if (len > 0) {
-    VR_RETURN_NOT_OK(RecvAll(fd, frame.payload.data(), len));
+    VR_RETURN_NOT_OK(
+        RecvAll(transport, frame.payload.data(), len, deadline, &any));
+  }
+  if (checksummed) {
+    const uint32_t actual = FrameChecksum(frame.type, frame.payload.data(),
+                                          frame.payload.size());
+    if (actual != expected_checksum) {
+      return Status::Corruption("frame checksum mismatch");
+    }
   }
   return frame;
 }

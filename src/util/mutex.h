@@ -25,6 +25,7 @@
 
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -80,6 +81,14 @@ class CondVar {
     // wait, which the analysis cannot see — hence the local opt-out;
     // the REQUIRES contract above is still enforced at call sites.
     cv_.wait(mu);
+  }
+
+  /// Timed Wait: blocks until notified or \p timeout elapses. Returns
+  /// false on timeout. Same predicate-loop discipline as Wait applies —
+  /// re-check the condition after every return.
+  bool WaitFor(Mutex& mu, std::chrono::milliseconds timeout) REQUIRES(mu)
+      NO_THREAD_SAFETY_ANALYSIS {
+    return cv_.wait_for(mu, timeout) == std::cv_status::no_timeout;
   }
 
   void NotifyOne() { cv_.notify_one(); }

@@ -29,6 +29,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Unavailable";
     case StatusCode::kDeadlineExceeded:
       return "DeadlineExceeded";
+    case StatusCode::kPartialResult:
+      return "PartialResult";
   }
   return "Unknown";
 }

@@ -29,7 +29,16 @@ enum class StatusCode : uint8_t {
   kInternal = 8,
   kUnavailable = 9,
   kDeadlineExceeded = 10,
+  /// The operation succeeded against a degraded subset of the data
+  /// (e.g. a store with quarantined tables): results are present but
+  /// incomplete, and the message summarizes the damage.
+  kPartialResult = 11,
 };
+
+/// Largest StatusCode value; used by wire decoders to reject frames
+/// carrying codes this build does not know.
+inline constexpr uint8_t kMaxStatusCode =
+    static_cast<uint8_t>(StatusCode::kPartialResult);
 
 /// \brief Returns a human-readable name for a StatusCode ("OK", "IOError", ...).
 const char* StatusCodeName(StatusCode code);
@@ -79,6 +88,9 @@ class Status {
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
+  static Status PartialResult(std::string msg) {
+    return Status(StatusCode::kPartialResult, std::move(msg));
+  }
   /// @}
 
   /// True iff the status is OK.
@@ -101,6 +113,9 @@ class Status {
   bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
   bool IsDeadlineExceeded() const {
     return code_ == StatusCode::kDeadlineExceeded;
+  }
+  bool IsPartialResult() const {
+    return code_ == StatusCode::kPartialResult;
   }
 
   /// "OK" or "<CodeName>: <message>".

@@ -1,0 +1,385 @@
+/// \file client_retry_test.cc
+/// \brief VrClient retry semantics against a deliberately flaky server:
+/// reconnect-and-retry on resets, deadline-bounded backoff, idempotency
+/// rules, circuit breaker transitions, and deterministic jitter.
+
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "service/client.h"
+#include "service/fault_injection_transport.h"
+#include "service/retry.h"
+#include "service/wire.h"
+
+namespace vr {
+namespace {
+
+Image TestImage() {
+  Image image(4, 4, 3);
+  for (int y = 0; y < 4; ++y) {
+    for (int x = 0; x < 4; ++x) {
+      image.At(x, y, 0) = static_cast<uint8_t>(x * 40);
+      image.At(x, y, 1) = static_cast<uint8_t>(y * 40);
+      image.At(x, y, 2) = 128;
+    }
+  }
+  return image;
+}
+
+/// \brief Minimal wire-speaking server that hard-closes the first
+/// \p fail_first accepted connections (a connection reset from the
+/// client's point of view) and serves canned responses afterwards.
+class FlakyServer {
+ public:
+  explicit FlakyServer(int fail_first) : fail_first_(fail_first) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    int reuse = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    EXPECT_EQ(
+        ::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+    EXPECT_EQ(::listen(fd, 8), 0);
+    socklen_t addr_len = sizeof(addr);
+    EXPECT_EQ(
+        ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len),
+        0);
+    port_ = ntohs(addr.sin_port);
+    listen_fd_.store(fd);
+    acceptor_ = std::thread([this] { AcceptLoop(); });
+  }
+
+  ~FlakyServer() { Stop(); }
+
+  void Stop() {
+    const int fd = listen_fd_.exchange(-1);
+    if (fd < 0) return;
+    // Unblock the acceptor, join it, and only then close the fd so the
+    // number cannot be recycled under a racing accept.
+    ::shutdown(fd, SHUT_RDWR);
+    if (acceptor_.joinable()) acceptor_.join();
+    ::close(fd);
+    for (auto& handler : handlers_) {
+      if (handler.joinable()) handler.join();
+    }
+  }
+
+  uint16_t port() const { return port_; }
+  int connections() const { return connections_.load(); }
+  int queries_served() const { return queries_served_.load(); }
+
+ private:
+  void AcceptLoop() {
+    for (;;) {
+      const int listen_fd = listen_fd_.load();
+      if (listen_fd < 0) return;  // Stop() ran
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) return;  // listener shut down
+      const int serial = connections_.fetch_add(1) + 1;
+      if (serial <= fail_first_) {
+        handlers_.emplace_back([fd] {
+          // Wait for the first request bytes so the reset lands on the
+          // RPC, not on the connect handshake; then an abortive close
+          // (SO_LINGER 0 turns close() into a RST) gives the client a
+          // genuine connection reset rather than a graceful EOF.
+          uint8_t sink[64];
+          (void)::recv(fd, sink, sizeof(sink), 0);
+          struct linger lg {1, 0};
+          ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+          ::close(fd);
+        });
+        continue;
+      }
+      handlers_.emplace_back([this, fd] { Serve(fd); });
+    }
+  }
+
+  void Serve(int fd) {
+    std::unique_ptr<Transport> transport = SocketTransport::Adopt(fd);
+    for (;;) {
+      auto frame = RecvFrame(transport.get());
+      if (!frame.ok()) return;
+      switch (frame->type) {
+        case MessageType::kQueryRequest: {
+          auto request = DecodeQueryRequest(frame->payload);
+          if (!request.ok()) return;
+          ServiceResponse response;
+          response.request_id = request->request_id;
+          response.status = Status::OK();
+          QueryResult result;
+          result.i_id = 7;
+          result.v_id = 1;
+          result.score = 0.25;
+          response.results.push_back(result);
+          queries_served_.fetch_add(1);
+          if (!SendFrame(transport.get(), MessageType::kQueryResponse,
+                         EncodeQueryResponse(response))
+                   .ok()) {
+            return;
+          }
+          break;
+        }
+        case MessageType::kStatsRequest: {
+          ServiceStatsSnapshot stats;
+          stats.received = 1;
+          if (!SendFrame(transport.get(), MessageType::kStatsResponse,
+                         EncodeStatsResponse(stats))
+                   .ok()) {
+            return;
+          }
+          break;
+        }
+        case MessageType::kShutdownRequest:
+          (void)SendFrame(transport.get(), MessageType::kShutdownResponse,
+                          {0});
+          return;
+        default:
+          return;
+      }
+    }
+  }
+
+  int fail_first_;
+  std::atomic<int> listen_fd_{-1};
+  uint16_t port_ = 0;
+  std::atomic<int> connections_{0};
+  std::atomic<int> queries_served_{0};
+  std::thread acceptor_;
+  std::vector<std::thread> handlers_;
+};
+
+ClientOptions FastRetryOptions(int max_attempts) {
+  ClientOptions options;
+  options.retry.max_attempts = max_attempts;
+  options.retry.initial_backoff_ms = 1;
+  options.retry.max_backoff_ms = 4;
+  options.breaker.failure_threshold = 0;  // isolate retry behavior
+  return options;
+}
+
+TEST(ClientRetryTest, DefaultPolicySurvivesOneConnectionReset) {
+  FlakyServer server(/*fail_first=*/1);
+  ClientOptions options;  // stock policy: the acceptance criterion
+  options.retry.initial_backoff_ms = 1;  // keep the test fast
+  options.retry.max_backoff_ms = 4;
+  auto client = VrClient::Connect("127.0.0.1", server.port(), options);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  auto response = (*client)->Query(TestImage(), 3);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_TRUE(response->status.ok());
+  ASSERT_EQ(response->results.size(), 1u);
+  EXPECT_EQ(response->results[0].i_id, 7);
+  // The reset cost exactly one reconnect.
+  EXPECT_EQ(server.connections(), 2);
+  EXPECT_EQ(server.queries_served(), 1);
+}
+
+TEST(ClientRetryTest, InjectedResetIsTransparentlyRetried) {
+  FlakyServer server(/*fail_first=*/0);
+  ClientOptions options = FastRetryOptions(3);
+  std::atomic<int> wraps{0};
+  options.transport_hook =
+      [&wraps](std::unique_ptr<Transport> inner)
+      -> std::unique_ptr<Transport> {
+    TransportFaultOptions faults;  // no probabilistic schedule
+    auto wrapped = std::make_unique<FaultInjectionTransport>(
+        std::move(inner), faults);
+    if (wraps.fetch_add(1) == 0) {
+      wrapped->FailNthRecv(1);  // first reply is a reset
+    }
+    return wrapped;
+  };
+  auto client = VrClient::Connect("127.0.0.1", server.port(), options);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  auto response = (*client)->Query(TestImage(), 3);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_TRUE(response->status.ok());
+  EXPECT_EQ(wraps.load(), 2);  // the retry reconnected exactly once
+}
+
+TEST(ClientRetryTest, ExhaustedRetriesReturnTheLastError) {
+  FlakyServer server(/*fail_first=*/1000);
+  ClientOptions options = FastRetryOptions(3);
+  auto client = VrClient::Connect("127.0.0.1", server.port(), options);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  auto response = (*client)->Query(TestImage(), 3);
+  ASSERT_FALSE(response.ok());
+  EXPECT_TRUE(response.status().IsIOError())
+      << response.status().ToString();
+  // The eager connection served attempt 1; each retry reconnected once.
+  EXPECT_EQ(server.connections(), 3);
+}
+
+TEST(ClientRetryTest, NonIdempotentShutdownIsNeverRetried) {
+  FlakyServer server(/*fail_first=*/1000);
+  ClientOptions options = FastRetryOptions(5);
+  auto client = VrClient::Connect("127.0.0.1", server.port(), options);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  EXPECT_FALSE((*client)->Shutdown().ok());
+  // Only the eager connect: a failed shutdown must not be resent.
+  EXPECT_EQ(server.connections(), 1);
+}
+
+TEST(ClientRetryTest, DeadlineExpiresDuringBackoffNotAfterIt) {
+  FlakyServer server(/*fail_first=*/1000);
+  ClientOptions options;
+  options.rpc_timeout_ms = 40;
+  options.retry.max_attempts = 5;
+  options.retry.initial_backoff_ms = 5000;  // dwarfs the deadline
+  options.retry.jitter = 0.0;
+  options.breaker.failure_threshold = 0;
+  auto client = VrClient::Connect("127.0.0.1", server.port(), options);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  const auto start = std::chrono::steady_clock::now();
+  auto response = (*client)->Query(TestImage(), 3);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  ASSERT_FALSE(response.ok());
+  EXPECT_TRUE(response.status().IsDeadlineExceeded())
+      << response.status().ToString();
+  // The client noticed the backoff would outlive the deadline and
+  // returned immediately instead of sleeping 5 s first.
+  EXPECT_LT(elapsed, std::chrono::seconds(2));
+}
+
+TEST(ClientRetryTest, BreakerFailsFastAfterThreshold) {
+  FlakyServer server(/*fail_first=*/1000);
+  ClientOptions options = FastRetryOptions(1);
+  options.breaker.failure_threshold = 1;
+  options.breaker.open_ms = 60000;
+  auto client = VrClient::Connect("127.0.0.1", server.port(), options);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  EXPECT_FALSE((*client)->Query(TestImage(), 3).ok());
+  EXPECT_EQ((*client)->breaker_state(), CircuitBreaker::State::kOpen);
+  const int connections_before = server.connections();
+  auto fast_fail = (*client)->Query(TestImage(), 3);
+  ASSERT_FALSE(fast_fail.ok());
+  EXPECT_TRUE(fast_fail.status().IsUnavailable());
+  EXPECT_NE(fast_fail.status().ToString().find("circuit breaker"),
+            std::string::npos);
+  // Failing fast means no new connection was attempted.
+  EXPECT_EQ(server.connections(), connections_before);
+}
+
+TEST(RetryPolicyTest, RetryableStatusClassification) {
+  EXPECT_TRUE(IsRetryableStatus(Status::IOError("reset")));
+  EXPECT_TRUE(IsRetryableStatus(Status::Unavailable("draining")));
+  EXPECT_TRUE(IsRetryableStatus(Status::Corruption("bit flip")));
+  EXPECT_FALSE(IsRetryableStatus(Status::DeadlineExceeded("late")));
+  EXPECT_FALSE(IsRetryableStatus(Status::InvalidArgument("bad k")));
+  EXPECT_FALSE(IsRetryableStatus(Status::NotFound("gone")));
+  EXPECT_FALSE(IsRetryableStatus(Status::OK()));
+}
+
+TEST(RetryPolicyTest, BackoffIsExponentialAndCapped) {
+  RetryPolicy policy;
+  policy.initial_backoff_ms = 10;
+  policy.multiplier = 2.0;
+  policy.max_backoff_ms = 35;
+  policy.jitter = 0.0;
+  Rng rng(1);
+  EXPECT_EQ(BackoffForAttempt(policy, 1, &rng), 0u);
+  EXPECT_EQ(BackoffForAttempt(policy, 2, &rng), 10u);
+  EXPECT_EQ(BackoffForAttempt(policy, 3, &rng), 20u);
+  EXPECT_EQ(BackoffForAttempt(policy, 4, &rng), 35u);  // capped
+  EXPECT_EQ(BackoffForAttempt(policy, 5, &rng), 35u);
+}
+
+TEST(RetryPolicyTest, JitterIsDeterministicPerSeed) {
+  RetryPolicy policy;
+  policy.jitter = 0.25;
+  auto schedule = [&policy](uint64_t seed) {
+    Rng rng(seed);
+    std::vector<uint64_t> waits;
+    for (int attempt = 2; attempt <= 6; ++attempt) {
+      waits.push_back(BackoffForAttempt(policy, attempt, &rng));
+    }
+    return waits;
+  };
+  EXPECT_EQ(schedule(42), schedule(42));
+  EXPECT_NE(schedule(42), schedule(43));
+  // Jitter stays within the documented [1 - j, 1 + j] envelope.
+  Rng rng(7);
+  for (int attempt = 2; attempt <= 5; ++attempt) {
+    Rng probe(rng.Next());
+    const uint64_t wait = BackoffForAttempt(policy, attempt, &probe);
+    RetryPolicy flat = policy;
+    flat.jitter = 0.0;
+    Rng unused(1);
+    const uint64_t base = BackoffForAttempt(flat, attempt, &unused);
+    EXPECT_GE(wait, static_cast<uint64_t>(base * 0.75) - 1);
+    EXPECT_LE(wait, static_cast<uint64_t>(base * 1.25) + 1);
+  }
+}
+
+TEST(CircuitBreakerTest, OpensHalfOpensAndRecloses) {
+  CircuitBreakerOptions options;
+  options.failure_threshold = 2;
+  options.open_ms = 100;
+  CircuitBreaker breaker(options);
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point t0{};
+
+  EXPECT_TRUE(breaker.Allow(t0));
+  breaker.RecordFailure(t0);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  breaker.RecordFailure(t0);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(breaker.Allow(t0 + std::chrono::milliseconds(50)));
+
+  // After open_ms one probe is allowed (half-open), no more.
+  const auto probe_time = t0 + std::chrono::milliseconds(150);
+  EXPECT_TRUE(breaker.Allow(probe_time));
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.Allow(probe_time));
+}
+
+TEST(CircuitBreakerTest, FailedProbeReopensForAFreshWindow) {
+  CircuitBreakerOptions options;
+  options.failure_threshold = 1;
+  options.open_ms = 100;
+  CircuitBreaker breaker(options);
+  using std::chrono::milliseconds;
+  const std::chrono::steady_clock::time_point t0{};
+
+  breaker.RecordFailure(t0);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_TRUE(breaker.Allow(t0 + milliseconds(150)));  // half-open probe
+  breaker.RecordFailure(t0 + milliseconds(150));
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  // The window restarts from the probe failure, not the first trip.
+  EXPECT_FALSE(breaker.Allow(t0 + milliseconds(200)));
+  EXPECT_TRUE(breaker.Allow(t0 + milliseconds(300)));
+}
+
+TEST(CircuitBreakerTest, DisabledBreakerAlwaysAllows) {
+  CircuitBreakerOptions options;
+  options.failure_threshold = 0;
+  CircuitBreaker breaker(options);
+  const std::chrono::steady_clock::time_point t0{};
+  for (int i = 0; i < 20; ++i) breaker.RecordFailure(t0);
+  EXPECT_TRUE(breaker.Allow(t0));
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+}
+
+}  // namespace
+}  // namespace vr

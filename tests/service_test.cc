@@ -8,6 +8,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <future>
 #include <thread>
 #include <vector>
@@ -15,6 +16,9 @@
 #include "eval/table1_runner.h"  // RemoveDirRecursive
 #include "service/client.h"
 #include "service/server.h"
+#include "service/transport.h"
+#include "service/wire.h"
+#include "storage/pager.h"
 #include "video/synth/generator.h"
 
 namespace vr {
@@ -295,6 +299,167 @@ TEST_F(ServiceTest, ClientConnectFailsCleanly) {
   auto client = VrClient::Connect("127.0.0.1", 1);
   ASSERT_FALSE(client.ok());
   EXPECT_TRUE(client.status().IsIOError());
+}
+
+/// Overwrites \p count bytes at \p offset of \p path with 0xEE.
+void CorruptFile(const std::string& path, long offset, size_t count) {
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr) << path;
+  std::fseek(f, offset, SEEK_SET);
+  const std::vector<uint8_t> garbage(count, 0xEE);
+  std::fwrite(garbage.data(), 1, garbage.size(), f);
+  std::fclose(f);
+}
+
+TEST_F(ServiceTest, DegradedStoreServesPartialResultsEndToEnd) {
+  const auto direct = engine_->QueryByImage(query_, 5);
+  ASSERT_TRUE(direct.ok());
+  const std::vector<QueryResult> baseline = *direct;
+
+  // Smash a data page of the VIDEO_STORE table. KEY_FRAMES (the ranking
+  // path) stays healthy, so a degraded open quarantines VIDEO_STORE and
+  // still answers queries.
+  engine_.reset();
+  CorruptFile(dir_ + "/VIDEO_STORE.heap",
+              static_cast<long>(kPageSize + Pager::kChecksumSize) + 200, 32);
+
+  EngineOptions options;
+  options.enabled_features = {FeatureKind::kColorHistogram,
+                              FeatureKind::kGlcm};
+  options.store_video_blob = false;
+  EXPECT_TRUE(RetrievalEngine::Open(dir_, options).status().IsCorruption());
+
+  options.paranoid = false;
+  auto degraded = RetrievalEngine::Open(dir_, options);
+  ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+  engine_ = std::move(*degraded);
+  ASSERT_EQ(engine_->DamageReport().size(), 1u);
+  EXPECT_EQ(engine_->DamageReport()[0].table, "VIDEO_STORE");
+
+  RetrievalService service(engine_.get());
+  auto server = VrServer::Start(&service);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  auto client = VrClient::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  auto response = (*client)->Query(query_, 5);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_TRUE(response->status.IsPartialResult())
+      << response->status.ToString();
+  EXPECT_NE(response->status.ToString().find("VIDEO_STORE"),
+            std::string::npos)
+      << response->status.ToString();
+  // Ranked results still come back, identical to the healthy baseline.
+  ASSERT_EQ(response->results.size(), baseline.size());
+  for (size_t i = 0; i < baseline.size(); ++i) {
+    EXPECT_EQ(response->results[i].i_id, baseline[i].i_id);
+    EXPECT_NEAR(response->results[i].score, baseline[i].score, 1e-12);
+  }
+
+  auto stats = (*client)->GetStats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->degraded, 1u);
+  EXPECT_EQ(stats->served, 1u);
+
+  client->reset();
+  (*server)->Stop();
+}
+
+TEST_F(ServiceTest, ConnectionCapRejectsWithTypedError) {
+  RetrievalService service(engine_.get());
+  ServerOptions options;
+  options.max_connections = 1;
+  auto server = VrServer::Start(&service, options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  auto first = VrClient::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(first.ok());
+  // A served query guarantees the handler occupies the one slot.
+  ASSERT_TRUE((*first)->Query(query_, 2).ok());
+
+  ClientOptions no_retry;
+  no_retry.retry.max_attempts = 1;
+  auto second =
+      VrClient::Connect("127.0.0.1", (*server)->port(), no_retry);
+  ASSERT_TRUE(second.ok());  // TCP connect succeeds; the RPC is refused
+  auto rejected = (*second)->Query(query_, 2);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_TRUE(rejected.status().IsUnavailable())
+      << rejected.status().ToString();
+  EXPECT_NE(rejected.status().ToString().find("connection limit"),
+            std::string::npos);
+
+  // Releasing the slot lets the next client in.
+  first->reset();
+  auto third = VrClient::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(third.ok());
+  auto served = [&] {
+    // The freed slot appears when the server reaps the old handler, one
+    // accept later; a retried query absorbs the race.
+    for (int i = 0; i < 50; ++i) {
+      auto response = (*third)->Query(query_, 2);
+      if (response.ok()) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return false;
+  }();
+  EXPECT_TRUE(served);
+
+  third->reset();
+  second->reset();
+  (*server)->Stop();
+}
+
+TEST_F(ServiceTest, SlowClientIsEvictedAtReadDeadline) {
+  RetrievalService service(engine_.get());
+  ServerOptions options;
+  options.read_deadline_ms = 100;
+  auto server = VrServer::Start(&service, options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  // A raw transport that sends two bytes of a frame and then stalls.
+  auto socket = SocketTransport::Connect("127.0.0.1", (*server)->port(),
+                                         /*timeout_ms=*/2000);
+  ASSERT_TRUE(socket.ok()) << socket.status().ToString();
+  const uint8_t half_frame[2] = {0x10, 0x00};
+  ASSERT_TRUE((*socket)->Send(half_frame, sizeof(half_frame), kNoDeadline)
+                  .ok());
+
+  // Within ~read_deadline_ms the server evicts us with a typed error
+  // frame, then closes. RecvFrame's own deadline bounds the test.
+  auto frame = RecvFrame(socket->get(), DeadlineAfterMs(5000));
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  ASSERT_EQ(frame->type, MessageType::kErrorResponse);
+  Status evicted;
+  ASSERT_TRUE(DecodeErrorResponse(frame->payload, &evicted).ok());
+  EXPECT_TRUE(evicted.IsUnavailable()) << evicted.ToString();
+  EXPECT_NE(evicted.ToString().find("read deadline"), std::string::npos);
+  auto after = RecvFrame(socket->get(), DeadlineAfterMs(5000));
+  EXPECT_FALSE(after.ok());  // connection closed after the eviction
+
+  (*server)->Stop();
+}
+
+TEST_F(ServiceTest, StopDrainsConnectionsWithinTimeout) {
+  RetrievalService service(engine_.get());
+  ServerOptions options;
+  options.drain_timeout_ms = 5000;
+  auto server = VrServer::Start(&service, options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  auto client = VrClient::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE((*client)->Query(query_, 3).ok());
+
+  // Stop with an idle-but-open connection: the drain shuts the reader
+  // down and returns well before the timeout, not after it.
+  const auto start = std::chrono::steady_clock::now();
+  (*server)->Stop();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(elapsed, std::chrono::milliseconds(4000));
+
+  // The listener is gone; the client cannot reconnect.
+  EXPECT_FALSE((*client)->Query(query_, 3).ok());
 }
 
 }  // namespace

@@ -35,6 +35,16 @@ TEST(StatusTest, ToStringIncludesCodeName) {
             "DeadlineExceeded: too slow");
 }
 
+TEST(StatusTest, PartialResultIsNonOkWithItsOwnName) {
+  const Status partial = Status::PartialResult("1 table quarantined");
+  EXPECT_FALSE(partial.ok());
+  EXPECT_TRUE(partial.IsPartialResult());
+  EXPECT_EQ(partial.code(), StatusCode::kPartialResult);
+  EXPECT_EQ(partial.ToString(), "PartialResult: 1 table quarantined");
+  EXPECT_FALSE(Status::OK().IsPartialResult());
+  EXPECT_FALSE(Status::Unavailable("x").IsPartialResult());
+}
+
 TEST(StatusTest, EqualityComparesCodeAndMessage) {
   EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
   EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));

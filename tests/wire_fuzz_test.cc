@@ -1,0 +1,175 @@
+/// \file wire_fuzz_test.cc
+/// \brief Seeded fuzzing of the wire framing and payload codecs:
+/// random byte streams, truncations and bit flips must produce a typed
+/// error or a faithful decode — never a crash, an over-allocation, or
+/// silently-accepted garbage.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "service/service.h"
+#include "service/transport.h"
+#include "service/wire.h"
+#include "util/rng.h"
+
+namespace vr {
+namespace {
+
+/// Payload cap for fuzzed frames, so a random length field can make the
+/// receiver allocate at most 1 MiB.
+constexpr size_t kFuzzMaxPayload = 1u << 20;
+
+std::vector<uint8_t> RandomBytes(Rng* rng, size_t len) {
+  std::vector<uint8_t> bytes(len);
+  for (auto& b : bytes) b = static_cast<uint8_t>(rng->Next() & 0xFF);
+  return bytes;
+}
+
+/// Runs one inbound byte stream through RecvFrame until EOF or error.
+/// The only acceptable outcomes are decoded frames and typed errors.
+void DrainStream(std::vector<uint8_t> stream) {
+  BufferTransport in(std::move(stream));
+  for (int i = 0; i < 64; ++i) {
+    auto frame = RecvFrame(&in, kNoDeadline, kFuzzMaxPayload);
+    if (!frame.ok()) {
+      EXPECT_TRUE(frame.status().IsCorruption() ||
+                  frame.status().IsIOError())
+          << frame.status().ToString();
+      return;
+    }
+    EXPECT_LE(frame->payload.size(), kFuzzMaxPayload);
+  }
+}
+
+/// A frame the encoder would produce, for mutation fuzzing.
+std::vector<uint8_t> EncodedQueryFrame(Rng* rng) {
+  ServiceRequest request;
+  request.request_id = rng->Next();
+  request.k = 1 + rng->Next() % 16;
+  request.image = Image(4, 3, 3);
+  for (int y = 0; y < 3; ++y) {
+    for (int x = 0; x < 4; ++x) {
+      for (int c = 0; c < 3; ++c) {
+        request.image.At(x, y, c) =
+            static_cast<uint8_t>(rng->Next() & 0xFF);
+      }
+    }
+  }
+  const std::vector<uint8_t> payload = EncodeQueryRequest(request);
+  BufferTransport out;
+  EXPECT_TRUE(
+      SendFrame(&out, MessageType::kQueryRequest, payload).ok());
+  return out.sent();
+}
+
+TEST(WireFuzzTest, RandomStreamsNeverCrashTheFraming) {
+  Rng rng(0xF0225EED);
+  for (int round = 0; round < 300; ++round) {
+    DrainStream(RandomBytes(&rng, rng.Next() % 512));
+  }
+}
+
+TEST(WireFuzzTest, TruncatedFramesAreTypedErrors) {
+  Rng rng(0x7235CA7E);
+  const std::vector<uint8_t> frame = EncodedQueryFrame(&rng);
+  for (size_t cut = 0; cut < frame.size(); ++cut) {
+    BufferTransport in(
+        std::vector<uint8_t>(frame.begin(), frame.begin() + cut));
+    auto received = RecvFrame(&in, kNoDeadline, kFuzzMaxPayload);
+    ASSERT_FALSE(received.ok()) << "prefix of " << cut << " bytes decoded";
+    EXPECT_TRUE(received.status().IsIOError() ||
+                received.status().IsCorruption())
+        << received.status().ToString();
+  }
+}
+
+TEST(WireFuzzTest, MutatedFramesNeverDecodeToGarbage) {
+  Rng rng(0xB17F11B5);
+  for (int round = 0; round < 200; ++round) {
+    std::vector<uint8_t> frame = EncodedQueryFrame(&rng);
+    const std::vector<uint8_t> pristine = frame;
+    // 1..4 random bit flips anywhere in the frame.
+    const int flips = 1 + static_cast<int>(rng.Next() % 4);
+    for (int f = 0; f < flips; ++f) {
+      const size_t bit = rng.Next() % (frame.size() * 8);
+      frame[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    }
+    if (frame == pristine) continue;  // flips cancelled out
+    BufferTransport in(frame);
+    auto received = RecvFrame(&in, kNoDeadline, kFuzzMaxPayload);
+    // Every frame the encoder emits is checksummed, so any mutation
+    // must be rejected with a typed error.
+    ASSERT_FALSE(received.ok())
+        << "mutated frame accepted in round " << round;
+    EXPECT_TRUE(received.status().IsCorruption() ||
+                received.status().IsIOError())
+        << received.status().ToString();
+  }
+}
+
+TEST(WireFuzzTest, OversizedLengthIsRejectedBeforeAllocation) {
+  Rng rng(0x0511ABE5);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<uint8_t> stream(4);
+    const uint32_t len =
+        static_cast<uint32_t>(kFuzzMaxPayload) + 1 +
+        static_cast<uint32_t>(rng.Next() % 0x7FFFFFFF);
+    std::memcpy(stream.data(), &len, sizeof(len));
+    stream.push_back(static_cast<uint8_t>(MessageType::kQueryRequest));
+    BufferTransport in(std::move(stream));
+    auto received = RecvFrame(&in, kNoDeadline, kFuzzMaxPayload);
+    ASSERT_FALSE(received.ok());
+    EXPECT_TRUE(received.status().IsCorruption())
+        << received.status().ToString();
+  }
+}
+
+TEST(WireFuzzTest, PayloadDecodersSurviveRandomInput) {
+  Rng rng(0xDEC0DE25);
+  for (int round = 0; round < 400; ++round) {
+    const std::vector<uint8_t> payload =
+        RandomBytes(&rng, rng.Next() % 256);
+    // None of these may crash or over-allocate; OK results are allowed
+    // (short random payloads can be structurally valid).
+    (void)DecodeQueryRequest(payload);
+    (void)DecodeQueryResponse(payload);
+    (void)DecodeStatsResponse(payload);
+    Status transported;
+    (void)DecodeErrorResponse(payload, &transported);
+  }
+}
+
+TEST(WireFuzzTest, MutatedPayloadsRoundTripOrFailTyped) {
+  Rng rng(0x5EEDF00D);
+  ServiceResponse response;
+  response.request_id = 42;
+  response.status = Status::OK();
+  for (int i = 0; i < 5; ++i) {
+    QueryResult r;
+    r.i_id = i;
+    r.v_id = i * 10;
+    r.score = 0.5 * i;
+    response.results.push_back(r);
+  }
+  const std::vector<uint8_t> pristine = EncodeQueryResponse(response);
+  for (int round = 0; round < 300; ++round) {
+    std::vector<uint8_t> payload = pristine;
+    const size_t bit = rng.Next() % (payload.size() * 8);
+    payload[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    auto decoded = DecodeQueryResponse(payload);
+    if (!decoded.ok()) {
+      EXPECT_TRUE(decoded.status().IsCorruption())
+          << decoded.status().ToString();
+      continue;
+    }
+    // Without a frame checksum a payload decoder cannot catch every
+    // flip, but whatever it accepts must stay within the declared
+    // bounds (no runaway result vectors).
+    EXPECT_LE(decoded->results.size(), pristine.size() / 24 + 1);
+  }
+}
+
+}  // namespace
+}  // namespace vr

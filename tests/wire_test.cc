@@ -1,9 +1,12 @@
 /// \file wire_test.cc
-/// \brief Wire-protocol codecs: round trips, validation, truncation.
+/// \brief Wire-protocol codecs and framing: round trips, validation,
+/// truncation, checksums, resumable sends.
 
 #include "service/wire.h"
 
 #include <gtest/gtest.h>
+
+#include "service/transport.h"
 
 namespace vr {
 namespace {
@@ -67,11 +70,12 @@ TEST(WireTest, QueryRequestRejectsBadEnums) {
   ServiceRequest request;
   request.image = TestImage(4, 4, 3);
   std::vector<uint8_t> payload = EncodeQueryRequest(request);
+  // The mode and feature bytes sit right after the u64 request id.
   std::vector<uint8_t> bad_mode = payload;
-  bad_mode[0] = 0x7F;
+  bad_mode[8] = 0x7F;
   EXPECT_FALSE(DecodeQueryRequest(bad_mode).ok());
   std::vector<uint8_t> bad_feature = payload;
-  bad_feature[1] = static_cast<uint8_t>(kNumFeatureKinds);
+  bad_feature[9] = static_cast<uint8_t>(kNumFeatureKinds);
   EXPECT_FALSE(DecodeQueryRequest(bad_feature).ok());
 }
 
@@ -185,6 +189,174 @@ TEST(WireTest, StatsResponseRejectsTruncation) {
   std::vector<uint8_t> payload = EncodeStatsResponse(ServiceStatsSnapshot{});
   payload.pop_back();
   EXPECT_FALSE(DecodeStatsResponse(payload).ok());
+}
+
+TEST(WireTest, StatsResponseCarriesDegradedCounter) {
+  ServiceStatsSnapshot stats;
+  stats.served = 5;
+  stats.degraded = 3;
+  auto decoded = DecodeStatsResponse(EncodeStatsResponse(stats));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->served, 5u);
+  EXPECT_EQ(decoded->degraded, 3u);
+}
+
+TEST(WireTest, QueryRoundTripCarriesRequestId) {
+  ServiceRequest request;
+  request.image = TestImage(4, 4, 3);
+  request.request_id = 0xDEADBEEFCAFEF00DULL;
+  auto decoded_req = DecodeQueryRequest(EncodeQueryRequest(request));
+  ASSERT_TRUE(decoded_req.ok());
+  EXPECT_EQ(decoded_req->request_id, 0xDEADBEEFCAFEF00DULL);
+
+  ServiceResponse response;
+  response.request_id = 77;
+  response.status = Status::PartialResult("degraded store: KEY_FRAMES");
+  QueryResult r;
+  r.i_id = 5;
+  response.results.push_back(r);
+  auto decoded_resp = DecodeQueryResponse(EncodeQueryResponse(response));
+  ASSERT_TRUE(decoded_resp.ok());
+  EXPECT_EQ(decoded_resp->request_id, 77u);
+  EXPECT_TRUE(decoded_resp->status.IsPartialResult());
+  ASSERT_EQ(decoded_resp->results.size(), 1u);
+}
+
+TEST(WireTest, QueryResponseRejectsUnknownStatusCode) {
+  ServiceResponse response;
+  std::vector<uint8_t> payload = EncodeQueryResponse(response);
+  payload[8] = kMaxStatusCode + 1;  // status code after the request id
+  EXPECT_FALSE(DecodeQueryResponse(payload).ok());
+}
+
+TEST(WireTest, ErrorResponseRoundTrip) {
+  const Status original = Status::Unavailable("connection limit reached");
+  Status decoded;
+  ASSERT_TRUE(DecodeErrorResponse(EncodeErrorResponse(original), &decoded)
+                  .ok());
+  EXPECT_TRUE(decoded.IsUnavailable());
+  EXPECT_EQ(decoded.message(), "connection limit reached");
+}
+
+TEST(WireTest, ErrorResponseRejectsGarbage) {
+  Status decoded;
+  EXPECT_FALSE(DecodeErrorResponse({}, &decoded).ok());
+  // An OK code in an error frame is nonsense.
+  std::vector<uint8_t> ok_code = EncodeErrorResponse(Status::IOError("x"));
+  ok_code[0] = 0;
+  EXPECT_FALSE(DecodeErrorResponse(ok_code, &decoded).ok());
+  std::vector<uint8_t> bad_code = EncodeErrorResponse(Status::IOError("x"));
+  bad_code[0] = kMaxStatusCode + 1;
+  EXPECT_FALSE(DecodeErrorResponse(bad_code, &decoded).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Framing over a Transport.
+
+std::vector<uint8_t> SamplePayload() {
+  std::vector<uint8_t> payload;
+  for (int i = 0; i < 64; ++i) payload.push_back(static_cast<uint8_t>(i * 7));
+  return payload;
+}
+
+TEST(WireFrameTest, FrameRoundTripOverTransport) {
+  BufferTransport out;
+  ASSERT_TRUE(
+      SendFrame(&out, MessageType::kQueryResponse, SamplePayload()).ok());
+
+  BufferTransport in(out.sent());
+  auto frame = RecvFrame(&in);
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_EQ(frame->type, MessageType::kQueryResponse);
+  EXPECT_EQ(frame->payload, SamplePayload());
+}
+
+TEST(WireFrameTest, FrameSurvivesShortReads) {
+  BufferTransport out;
+  ASSERT_TRUE(SendFrame(&out, MessageType::kStatsRequest, {}).ok());
+  BufferTransport in(out.sent());
+  in.set_recv_chunk(1);  // one byte per Recv
+  auto frame = RecvFrame(&in);
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_EQ(frame->type, MessageType::kStatsRequest);
+}
+
+TEST(WireFrameTest, EveryBitFlipIsRejected) {
+  BufferTransport out;
+  std::vector<uint8_t> payload = {1, 2, 3, 4, 5};
+  ASSERT_TRUE(SendFrame(&out, MessageType::kQueryRequest, payload).ok());
+  const std::vector<uint8_t>& wire = out.sent();
+  for (size_t bit = 0; bit < wire.size() * 8; ++bit) {
+    std::vector<uint8_t> flipped = wire;
+    flipped[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    BufferTransport in(flipped);
+    auto frame = RecvFrame(&in);
+    if (!frame.ok()) continue;  // typed rejection: good
+    ADD_FAILURE() << "bit flip at " << bit << " produced an accepted frame";
+  }
+}
+
+TEST(WireFrameTest, UncheckedV1FrameStillDecodes) {
+  // A frame from an older peer: no checksum flag, no checksum word.
+  std::vector<uint8_t> payload = {9, 8, 7};
+  std::vector<uint8_t> wire;
+  wire.push_back(static_cast<uint8_t>(payload.size()));
+  wire.push_back(0);
+  wire.push_back(0);
+  wire.push_back(0);
+  wire.push_back(static_cast<uint8_t>(MessageType::kQueryRequest));
+  wire.insert(wire.end(), payload.begin(), payload.end());
+  BufferTransport in(wire);
+  auto frame = RecvFrame(&in);
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_EQ(frame->type, MessageType::kQueryRequest);
+  EXPECT_EQ(frame->payload, payload);
+}
+
+TEST(WireFrameTest, OversizedLengthRejectedWithoutAllocation) {
+  std::vector<uint8_t> wire = {0xFF, 0xFF, 0xFF, 0xFF,
+                               static_cast<uint8_t>(MessageType::kQueryRequest)};
+  BufferTransport in(wire);
+  auto frame = RecvFrame(&in);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_TRUE(frame.status().IsCorruption());
+}
+
+TEST(WireFrameTest, EofAtBoundaryVsMidFrame) {
+  BufferTransport empty;
+  auto at_boundary = RecvFrame(&empty);
+  ASSERT_FALSE(at_boundary.ok());
+  EXPECT_EQ(at_boundary.status().message(), "connection closed");
+
+  BufferTransport out;
+  ASSERT_TRUE(SendFrame(&out, MessageType::kStatsRequest, {1, 2, 3}).ok());
+  std::vector<uint8_t> torn(out.sent().begin(), out.sent().end() - 2);
+  BufferTransport in(torn);
+  auto mid_frame = RecvFrame(&in);
+  ASSERT_FALSE(mid_frame.ok());
+  EXPECT_EQ(mid_frame.status().message(), "connection closed mid-frame");
+}
+
+TEST(WireFrameTest, FrameSenderResumesAfterDeadline) {
+  const std::vector<uint8_t> payload = SamplePayload();
+  BufferTransport out;
+  out.set_send_limit(10);  // stall after 10 bytes
+  FrameSender sender(MessageType::kQueryResponse, payload);
+
+  Status first = sender.Resume(&out, kNoDeadline);
+  ASSERT_TRUE(first.IsDeadlineExceeded()) << first.ToString();
+  EXPECT_FALSE(sender.done());
+  EXPECT_EQ(sender.bytes_sent(), 10u);
+
+  // The peer drains; the frame resumes exactly where it stopped.
+  out.set_send_limit(SIZE_MAX);
+  ASSERT_TRUE(sender.Resume(&out, kNoDeadline).ok());
+  EXPECT_TRUE(sender.done());
+
+  BufferTransport in(out.sent());
+  auto frame = RecvFrame(&in);
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_EQ(frame->payload, payload);
 }
 
 }  // namespace
