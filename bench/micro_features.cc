@@ -1,64 +1,199 @@
 /// \file micro_features.cc
-/// \brief google-benchmark microbenchmarks for the seven feature
-/// extractors and their distances.
+/// \brief Feature-extraction benchmark: legacy per-extractor extraction
+/// versus the fused ExtractionPlan, with per-intermediate timings.
+/// Plain executable (see EXPERIMENTS.md "Feature extraction" for the
+/// reproducible recipe); writes machine-readable results to
+/// BENCH_features.json (or the path given as argv[1]).
+///
+/// Three measurements over the same query-geometry frames:
+///  - legacy: each registered extractor's standalone Extract;
+///  - fused: one ExtractionPlan::ExtractAll pass, split into
+///    per-extractor time (inside the fused paths) and per-intermediate
+///    time (gray plane, gray histogram, HSV plane, float luma);
+///  - totals: whole-bank cost legacy vs fused — the number the query
+///    path's extract_ms actually pays.
+///
+/// Every run first asserts the fused plan reproduces the legacy
+/// extractors bit for bit on every frame. `--smoke` keeps that parity
+/// gate on a seconds-scale pass and skips the JSON;
+/// scripts/check_all.sh uses it as a regression gate.
 
-#include <benchmark/benchmark.h>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "features/extractor_registry.h"
+#include "features/plan/extraction_plan.h"
 #include "imaging/draw.h"
 #include "util/rng.h"
+#include "util/stopwatch.h"
 
 namespace {
 
-vr::Image BenchImage(int w, int h, uint64_t seed) {
+/// Query-frame geometry (the shape search_cli and the query bench use).
+constexpr int kWidth = 120;
+constexpr int kHeight = 90;
+
+vr::Image BenchImage(uint64_t seed) {
   vr::Rng rng(seed);
-  vr::Image img(w, h, 3);
+  vr::Image img(kWidth, kHeight, 3);
   vr::FillVerticalGradient(&img, {40, 70, 120}, {200, 180, 90});
   vr::DrawStripes(&img, 9, 35.0, {90, 40, 40}, {40, 90, 40});
   vr::AddGaussianNoise(&img, 6.0, &rng);
   return img;
 }
 
-void BM_Extract(benchmark::State& state) {
-  const auto kind = static_cast<vr::FeatureKind>(state.range(0));
-  const int size = static_cast<int>(state.range(1));
-  auto extractor = vr::MakeExtractor(kind);
-  const vr::Image img = BenchImage(size, size * 3 / 4, 1);
-  for (auto _ : state) {
-    auto fv = extractor->Extract(img);
-    benchmark::DoNotOptimize(fv);
-  }
-  state.SetLabel(vr::FeatureKindName(kind));
-  state.SetItemsProcessed(state.iterations());
+bool SameBits(double a, double b) {
+  uint64_t ba = 0;
+  uint64_t bb = 0;
+  std::memcpy(&ba, &a, sizeof(ba));
+  std::memcpy(&bb, &b, sizeof(bb));
+  return ba == bb;
 }
-BENCHMARK(BM_Extract)
-    ->ArgsProduct({{0, 1, 2, 3, 4, 5, 6}, {128, 256}})
-    ->Unit(benchmark::kMillisecond);
 
-void BM_Distance(benchmark::State& state) {
-  const auto kind = static_cast<vr::FeatureKind>(state.range(0));
-  auto extractor = vr::MakeExtractor(kind);
-  const vr::FeatureVector a =
-      extractor->Extract(BenchImage(160, 120, 2)).value();
-  const vr::FeatureVector b =
-      extractor->Extract(BenchImage(160, 120, 3)).value();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(extractor->Distance(a, b));
-  }
-  state.SetLabel(vr::FeatureKindName(kind));
+std::vector<const vr::FeatureExtractor*> Raw(
+    const std::vector<std::unique_ptr<vr::FeatureExtractor>>& owned) {
+  std::vector<const vr::FeatureExtractor*> raw;
+  for (const auto& e : owned) raw.push_back(e.get());
+  return raw;
 }
-BENCHMARK(BM_Distance)->DenseRange(0, 6);
 
-void BM_FeatureStringRoundTrip(benchmark::State& state) {
-  auto extractor = vr::MakeExtractor(vr::FeatureKind::kGabor);
-  const vr::FeatureVector fv =
-      extractor->Extract(BenchImage(128, 96, 4)).value();
-  for (auto _ : state) {
-    const std::string s = fv.ToString();
-    auto back = vr::FeatureVector::FromString(s);
-    benchmark::DoNotOptimize(back);
+/// Dies loudly unless the fused plan reproduces every legacy extractor
+/// bit for bit on every frame — the same contract the ctest parity
+/// suite pins, re-checked here so the bench numbers are meaningful.
+void AssertParity(
+    const std::vector<std::unique_ptr<vr::FeatureExtractor>>& extractors,
+    vr::ExtractionPlan* plan, const std::vector<vr::Image>& frames) {
+  for (const vr::Image& img : frames) {
+    const vr::FeatureMap fused = plan->ExtractAll(img).value();
+    for (const auto& extractor : extractors) {
+      const vr::FeatureVector legacy = extractor->Extract(img).value();
+      const vr::FeatureVector& got = fused.at(extractor->kind());
+      bool same = legacy.size() == got.size();
+      for (size_t i = 0; same && i < legacy.size(); ++i) {
+        same = SameBits(legacy[i], got[i]);
+      }
+      if (!same) {
+        std::fprintf(stderr, "PARITY FAILURE: %s fused != legacy\n",
+                     vr::FeatureKindName(extractor->kind()));
+        std::exit(1);
+      }
+    }
   }
 }
-BENCHMARK(BM_FeatureStringRoundTrip);
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path = "BENCH_features.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      json_path = argv[i];
+    }
+  }
+  const size_t iters = smoke ? 4 : 60;
+
+  const auto extractors = vr::MakeAllExtractors();
+  vr::ExtractionPlan plan(Raw(extractors));
+  std::vector<vr::Image> frames;
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    frames.push_back(BenchImage(seed));
+  }
+
+  AssertParity(extractors, &plan, frames);
+  std::printf("parity: fused plan bit-identical to legacy extractors\n");
+
+  // Legacy: each extractor standalone, mean ms per frame.
+  std::vector<double> legacy_ms(extractors.size(), 0.0);
+  for (size_t e = 0; e < extractors.size(); ++e) {
+    vr::Stopwatch sw;
+    for (size_t i = 0; i < iters; ++i) {
+      auto fv = extractors[e]->Extract(frames[i % frames.size()]);
+      if (!fv.ok()) return 1;
+    }
+    legacy_ms[e] = sw.ElapsedMillis() / static_cast<double>(iters);
+  }
+
+  // Fused: one ExtractAll pass per frame, cost split by the plan's own
+  // timers (extractor time excludes the shared intermediates).
+  std::vector<double> fused_ms(extractors.size(), 0.0);
+  std::vector<double> intermediate_ms(vr::kNumIntermediates, 0.0);
+  double fused_total_ms = 0.0;
+  {
+    vr::Stopwatch sw;
+    for (size_t i = 0; i < iters; ++i) {
+      vr::ExtractionPlan::FrameTimings timings;
+      auto bank = plan.ExtractAll(frames[i % frames.size()], &timings);
+      if (!bank.ok()) return 1;
+      for (size_t e = 0; e < extractors.size(); ++e) {
+        const auto kind = static_cast<size_t>(extractors[e]->kind());
+        fused_ms[e] += static_cast<double>(timings.extractor_ns[kind]) / 1e6;
+      }
+      for (uint32_t b = 0; b < vr::kNumIntermediates; ++b) {
+        intermediate_ms[b] +=
+            static_cast<double>(timings.intermediate_ns[b]) / 1e6;
+      }
+    }
+    fused_total_ms = sw.ElapsedMillis() / static_cast<double>(iters);
+  }
+  for (double& ms : fused_ms) ms /= static_cast<double>(iters);
+  for (double& ms : intermediate_ms) ms /= static_cast<double>(iters);
+
+  double legacy_total_ms = 0.0;
+  for (double ms : legacy_ms) legacy_total_ms += ms;
+
+  std::printf("\n%-18s %10s %10s %9s\n", "extractor", "legacy_ms", "fused_ms",
+              "speedup");
+  for (size_t e = 0; e < extractors.size(); ++e) {
+    std::printf("%-18s %10.3f %10.3f %8.2fx\n",
+                vr::FeatureKindName(extractors[e]->kind()), legacy_ms[e],
+                fused_ms[e],
+                fused_ms[e] > 0.0 ? legacy_ms[e] / fused_ms[e] : 0.0);
+  }
+  std::printf("\n%-18s %10s\n", "intermediate", "ms");
+  for (uint32_t b = 0; b < vr::kNumIntermediates; ++b) {
+    std::printf("%-18s %10.3f\n", vr::IntermediateName(b), intermediate_ms[b]);
+  }
+  std::printf("\nwhole bank (%dx%d): legacy %.2f ms, fused %.2f ms "
+              "(%.2fx)\n",
+              kWidth, kHeight, legacy_total_ms, fused_total_ms,
+              fused_total_ms > 0.0 ? legacy_total_ms / fused_total_ms : 0.0);
+
+  if (smoke) {
+    std::printf("\nmicro_features smoke: PASS\n");
+    return 0;
+  }
+
+  std::FILE* json = std::fopen(json_path.c_str(), "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(json,
+               "{\n  \"benchmark\": \"features\",\n"
+               "  \"frame\": \"%dx%d\",\n  \"iterations\": %zu,\n"
+               "  \"legacy_total_ms\": %.3f,\n"
+               "  \"fused_total_ms\": %.3f,\n  \"extractors\": [\n",
+               kWidth, kHeight, iters, legacy_total_ms, fused_total_ms);
+  for (size_t e = 0; e < extractors.size(); ++e) {
+    std::fprintf(json,
+                 "    {\"name\": \"%s\", \"legacy_ms\": %.4f, "
+                 "\"fused_ms\": %.4f}%s\n",
+                 vr::FeatureKindName(extractors[e]->kind()), legacy_ms[e],
+                 fused_ms[e], e + 1 < extractors.size() ? "," : "");
+  }
+  std::fprintf(json, "  ],\n  \"intermediates\": [\n");
+  for (uint32_t b = 0; b < vr::kNumIntermediates; ++b) {
+    std::fprintf(json, "    {\"name\": \"%s\", \"ms\": %.4f}%s\n",
+                 vr::IntermediateName(b), intermediate_ms[b],
+                 b + 1 < vr::kNumIntermediates ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("wrote %s\n", json_path.c_str());
+  return 0;
+}

@@ -5,12 +5,16 @@
 /// machine-readable results to BENCH_query.json (or the path given as
 /// argv[1]).
 ///
-/// Two measurements:
+/// Three measurements:
 ///  - pruning: mean candidate count per RangeLookupMode versus the
 ///    full corpus (the reduction bucket lookup buys over a scan);
 ///  - latency: QueryByImage p50/p95 and qps at 1/2/4/8 rank shards
-///    over the unpruned candidate set (use_index=false), so the
-///    ranking stage — the part sharding accelerates — dominates.
+///    over the unpruned candidate set (use_index=false, extraction
+///    cache off), so every query pays cold fused extraction and the
+///    ranking stage — the part sharding accelerates — dominates;
+///  - paths: the cold baseline versus the extraction-cache hit path
+///    (repeated query frames) and query-by-stored-id (no extraction at
+///    all), each parity-checked against the cold rankings first.
 ///
 /// Every sharded run is asserted byte-identical to the serial
 /// baseline before its numbers are reported. The `cpus` field records
@@ -129,11 +133,20 @@ double Percentile(std::vector<double> sorted_ms, double p) {
 }
 
 std::unique_ptr<vr::RetrievalEngine> OpenRanked(const std::string& dir,
-                                                size_t shards) {
+                                                size_t shards,
+                                                size_t cache_capacity) {
   vr::EngineOptions options = BaseOptions();
   options.use_index = false;  // rank the whole corpus: worst case
   options.parallel_rank_threshold = shards > 1 ? 1 : 0;
   options.rank_workers = std::max<size_t>(shards, 1);
+  // The bench compares shard counts on whatever box it runs on, so it
+  // must be allowed to exceed hardware_concurrency (the engine default
+  // caps at the core count).
+  options.rank_oversubscribe = true;
+  // The shard comparison measures the cold path: extraction must run
+  // on every query, so the cache is disabled unless a path measurement
+  // asks for it.
+  options.extraction_cache_capacity = cache_capacity;
   return vr::RetrievalEngine::Open(dir, options).value();
 }
 
@@ -187,6 +200,47 @@ LatencyResult MeasureLatency(vr::RetrievalEngine* engine,
   return result;
 }
 
+/// Query-by-stored-id latency: ranks against the features already in
+/// the columnar matrix — no pixels, no extraction, no cache.
+LatencyResult MeasureById(vr::RetrievalEngine* engine,
+                          const std::vector<int64_t>& ids, size_t iters) {
+  for (size_t i = 0; i < std::min<size_t>(ids.size(), 4); ++i) {
+    (void)engine->QueryByStoredId(ids[i], 20);
+  }
+  std::vector<double> ms;
+  ms.reserve(iters);
+  const vr::QueryStats before = engine->query_stats();
+  vr::Stopwatch total;
+  for (size_t i = 0; i < iters; ++i) {
+    vr::Stopwatch sw;
+    (void)engine->QueryByStoredId(ids[i % ids.size()], 20).value();
+    ms.push_back(sw.ElapsedMillis());
+  }
+  const double seconds = total.ElapsedMillis() / 1000.0;
+  const vr::QueryStats after = engine->query_stats();
+  LatencyResult result;
+  result.label = "by_id";
+  result.p50_ms = Percentile(ms, 50);
+  result.p95_ms = Percentile(ms, 95);
+  result.qps = static_cast<double>(iters) / seconds;
+  result.extract_ms =
+      (after.extract_ms - before.extract_ms) / static_cast<double>(iters);
+  result.rank_ms =
+      (after.rank_ms - before.rank_ms) / static_cast<double>(iters);
+  return result;
+}
+
+/// Every stored key-frame id, in storage order.
+std::vector<int64_t> AllKeyFrameIds(vr::RetrievalEngine* engine) {
+  std::vector<int64_t> ids;
+  for (const auto& video : engine->store()->ListVideos().value()) {
+    const auto frame_ids =
+        engine->store()->KeyFrameIdsOfVideo(video.v_id).value();
+    ids.insert(ids.end(), frame_ids.begin(), frame_ids.end());
+  }
+  return ids;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -214,14 +268,14 @@ int main(int argc, char** argv) {
   std::vector<std::vector<vr::QueryResult>> baseline;
   std::vector<LatencyResult> runs;
   {
-    auto engine = OpenRanked(dir, 1);
+    auto engine = OpenRanked(dir, 1, /*cache_capacity=*/0);
     for (const vr::Image& q : queries) {
       baseline.push_back(engine->QueryByImage(q, 20).value());
     }
     runs.push_back(MeasureLatency(engine.get(), queries, iters, "shards=1"));
   }
   for (const size_t shards : {size_t{2}, size_t{4}, size_t{8}}) {
-    auto engine = OpenRanked(dir, shards);
+    auto engine = OpenRanked(dir, shards, /*cache_capacity=*/0);
     AssertParity(baseline, engine.get(), queries, shards);
     runs.push_back(MeasureLatency(engine.get(), queries, iters,
                                   "shards=" + std::to_string(shards)));
@@ -231,6 +285,30 @@ int main(int argc, char** argv) {
     }
   }
   std::printf("parity: sharded results byte-identical to serial\n");
+
+  // Fast paths against the cold baseline: the extraction cache serving
+  // a repeated query frame, and query-by-stored-id skipping pixels
+  // entirely. Both must reproduce the cold rankings exactly.
+  std::vector<LatencyResult> paths;
+  {
+    LatencyResult cold = runs[0];
+    cold.label = "cold";
+    paths.push_back(cold);
+    auto engine = OpenRanked(dir, 1, /*cache_capacity=*/64);
+    AssertParity(baseline, engine.get(), queries, 1);
+    paths.push_back(
+        MeasureLatency(engine.get(), queries, iters, "cache_hit"));
+    if (engine->query_stats().cache_hits == 0) {
+      std::fprintf(stderr, "cache_hit run never hit the cache\n");
+      return 1;
+    }
+    const std::vector<int64_t> ids = AllKeyFrameIds(engine.get());
+    if (ids.empty()) {
+      std::fprintf(stderr, "no stored key-frame ids\n");
+      return 1;
+    }
+    paths.push_back(MeasureById(engine.get(), ids, iters));
+  }
 
   const std::vector<PruningResult> pruning = {
       MeasurePruning(dir, vr::RangeLookupMode::kExact, "exact", queries),
@@ -247,6 +325,12 @@ int main(int argc, char** argv) {
     std::printf("%-10s %9.2f %9.2f %11.2f %8.2f %9.1f %8.2fx\n",
                 r.label.c_str(), r.p50_ms, r.p95_ms, r.extract_ms, r.rank_ms,
                 r.qps, r.qps / base_qps);
+  }
+  std::printf("\n%-10s %9s %9s %11s %8s %9s\n", "path", "p50_ms", "p95_ms",
+              "extract_ms", "rank_ms", "qps");
+  for (const LatencyResult& r : paths) {
+    std::printf("%-10s %9.2f %9.2f %11.2f %8.2f %9.1f\n", r.label.c_str(),
+                r.p50_ms, r.p95_ms, r.extract_ms, r.rank_ms, r.qps);
   }
   std::printf("\n%-12s %16s %8s %10s\n", "mode", "avg_candidates", "total",
               "scanned");
@@ -280,6 +364,16 @@ int main(int argc, char** argv) {
                  "\"rank_ms\": %.3f, \"qps\": %.3f, \"speedup\": %.3f}%s\n",
                  r.label.c_str(), r.p50_ms, r.p95_ms, r.extract_ms, r.rank_ms,
                  r.qps, r.qps / base_qps, i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(json, "  ],\n  \"paths\": [\n");
+  for (size_t i = 0; i < paths.size(); ++i) {
+    const LatencyResult& r = paths[i];
+    std::fprintf(json,
+                 "    {\"path\": \"%s\", \"p50_ms\": %.3f, "
+                 "\"p95_ms\": %.3f, \"extract_ms\": %.3f, "
+                 "\"rank_ms\": %.3f, \"qps\": %.3f}%s\n",
+                 r.label.c_str(), r.p50_ms, r.p95_ms, r.extract_ms, r.rank_ms,
+                 r.qps, i + 1 < paths.size() ? "," : "");
   }
   std::fprintf(json, "  ],\n  \"pruning\": [\n");
   for (size_t i = 0; i < pruning.size(); ++i) {

@@ -5,12 +5,19 @@
 ///
 ///   ./search_cli [db_dir] [--create] [--degraded]
 ///   ./search_cli --connect <host> <port>
+///   ./search_cli [db_dir] --query-id <frame_id> [k]
+///   ./search_cli --connect <host> <port> --query-id <frame_id> [k]
 ///
 /// In the default local mode the database directory must already exist
 /// (pass --create to start a fresh one). With --connect the console
 /// speaks the binary wire protocol to a running serve_cli instead of
 /// opening a database; query/queryfile/single/stats/shutdown work
 /// remotely.
+///
+/// --query-id runs one non-interactive query-by-stored-id: the query
+/// features are read straight from the columnar store (no extraction),
+/// results print to stdout and the process exits — the scriptable
+/// entry point to the engine's by-id fast path, local or remote.
 ///
 /// Commands:
 ///   seed                      build a small demo corpus (if empty)
@@ -91,6 +98,30 @@ void PrintRemoteResponse(const vr::ServiceResponse& response) {
   PrintResultRows(response.results, response.stats);
 }
 
+/// One-shot remote query-by-stored-id: connect, rank against the
+/// features stored for \p frame_id, print, exit.
+int RunRemoteQueryById(const std::string& host, uint16_t port,
+                       int64_t frame_id, size_t k) {
+  auto client_result = vr::VrClient::Connect(host, port);
+  if (!client_result.ok()) {
+    std::fprintf(stderr, "error: cannot connect to %s:%u — %s\n",
+                 host.c_str(), static_cast<unsigned>(port),
+                 client_result.status().ToString().c_str());
+    return 1;
+  }
+  auto response = (*client_result)->QueryById(frame_id, k);
+  if (!response.ok()) {
+    std::fprintf(stderr, "%s\n", response.status().ToString().c_str());
+    return 1;
+  }
+  if (!response->status.ok() && !response->status.IsPartialResult()) {
+    std::fprintf(stderr, "%s\n", response->status.ToString().c_str());
+    return 1;
+  }
+  PrintRemoteResponse(*response);
+  return 0;
+}
+
 /// Remote console: the same query commands, served over the wire.
 int RunClientMode(const std::string& host, uint16_t port) {
   auto client_result = vr::VrClient::Connect(host, port);
@@ -145,6 +176,13 @@ int RunClientMode(const std::string& host, uint16_t port) {
                   static_cast<unsigned long long>(stats->pager.evictions),
                   static_cast<unsigned long long>(
                       stats->pager.checksum_failures));
+      std::printf("query: image=%llu video=%llu by_id=%llu "
+                  "cache_hits=%llu cache_misses=%llu\n",
+                  static_cast<unsigned long long>(stats->query.image_queries),
+                  static_cast<unsigned long long>(stats->query.video_queries),
+                  static_cast<unsigned long long>(stats->query.id_queries),
+                  static_cast<unsigned long long>(stats->query.cache_hits),
+                  static_cast<unsigned long long>(stats->query.cache_misses));
     } else if (cmd == "shutdown") {
       const vr::Status st = client->Shutdown();
       if (!st.ok()) {
@@ -224,6 +262,8 @@ int main(int argc, char** argv) {
           {"--create", nullptr, "create the database if missing"},
           {"--degraded", nullptr,
            "open a damaged store, quarantining broken tables"},
+          {"--query-id", "<frame_id> [k]",
+           "one-shot query by stored key-frame id, then exit"},
           {"--help", nullptr, "show this help and exit"},
       },
   };
@@ -232,6 +272,12 @@ int main(int argc, char** argv) {
   bool create = false;
   bool degraded = false;
   bool dir_given = false;
+  bool connect_given = false;
+  std::string host;
+  uint16_t port = 0;
+  bool query_id_given = false;
+  int64_t query_id = 0;
+  size_t query_id_k = 10;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--connect") {
@@ -239,8 +285,32 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "usage: %s --connect <host> <port>\n", argv[0]);
         return 2;
       }
-      return RunClientMode(argv[i + 1],
-                           static_cast<uint16_t>(std::atoi(argv[i + 2])));
+      connect_given = true;
+      host = argv[i + 1];
+      port = static_cast<uint16_t>(std::atoi(argv[i + 2]));
+      i += 2;
+    } else if (arg == "--query-id") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "usage: %s --query-id <frame_id> [k]\n",
+                     argv[0]);
+        return 2;
+      }
+      auto id = vr::ParseInt64(argv[i + 1]);
+      if (!id.ok()) {
+        std::fprintf(stderr, "bad frame id '%s'\n", argv[i + 1]);
+        return 2;
+      }
+      query_id_given = true;
+      query_id = *id;
+      ++i;
+      // Optional k right after the id.
+      if (i + 1 < argc) {
+        auto k = vr::ParseInt64(argv[i + 1]);
+        if (k.ok() && *k > 0) {
+          query_id_k = static_cast<size_t>(*k);
+          ++i;
+        }
+      }
     } else if (arg == "--create") {
       create = true;
     } else if (arg == "--degraded") {
@@ -251,6 +321,11 @@ int main(int argc, char** argv) {
     } else {
       return vr::PrintUsageError(kSpec);
     }
+  }
+  if (connect_given) {
+    return query_id_given
+               ? RunRemoteQueryById(host, port, query_id, query_id_k)
+               : RunClientMode(host, port);
   }
 
   if (!vr::Env::Default()->FileExists(dir) && !create) {
@@ -279,6 +354,15 @@ int main(int argc, char** argv) {
   for (const vr::TableDamage& damage : engine->DamageReport()) {
     std::fprintf(stderr, "warning: table %s quarantined: %s\n",
                  damage.table.c_str(), damage.reason.ToString().c_str());
+  }
+  if (query_id_given) {
+    auto results = engine->QueryByStoredId(query_id, query_id_k);
+    if (!results.ok()) {
+      std::fprintf(stderr, "%s\n", results.status().ToString().c_str());
+      return 1;
+    }
+    PrintResults(*results, engine.get());
+    return 0;
   }
   std::printf("vretrieve search console — %zu key frames indexed in %s\n",
               engine->indexed_key_frames(), dir.c_str());

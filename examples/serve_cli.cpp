@@ -179,15 +179,19 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(stats.failed),
               static_cast<unsigned long long>(stats.degraded), stats.p50_ms,
               stats.p95_ms, stats.p99_ms);
-  std::printf("query stages: image=%llu video=%llu sharded=%llu "
+  std::printf("query stages: image=%llu video=%llu by_id=%llu sharded=%llu "
               "candidates=%llu/%llu extract=%.2fms select=%.2fms "
               "rank=%.2fms\n",
               static_cast<unsigned long long>(stats.query.image_queries),
               static_cast<unsigned long long>(stats.query.video_queries),
+              static_cast<unsigned long long>(stats.query.id_queries),
               static_cast<unsigned long long>(stats.query.sharded_ranks),
               static_cast<unsigned long long>(stats.query.candidates_scored),
               static_cast<unsigned long long>(stats.query.candidates_total),
               stats.query.extract_ms, stats.query.select_ms,
               stats.query.rank_ms);
+  std::printf("extraction cache: hits=%llu misses=%llu\n",
+              static_cast<unsigned long long>(stats.query.cache_hits),
+              static_cast<unsigned long long>(stats.query.cache_misses));
   return 0;
 }

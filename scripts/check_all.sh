@@ -3,6 +3,7 @@
 # static analysis (Clang thread-safety + clang-tidy; skips itself on
 # machines without clang), the plain build + full test suite, the
 # query-bench smoke run (its built-in serial-vs-sharded parity assert),
+# the feature-bench smoke run (fused-vs-legacy bit parity),
 # the network chaos sweep (seeded fault injection + wire fuzzing),
 # then the sanitizer passes (ASan/UBSan over everything, TSan over the
 # concurrency suites — check_sanitizers.sh chains into check_tsan.sh
@@ -22,6 +23,7 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure
 
 "$BUILD_DIR"/bench/micro_query --smoke
+"$BUILD_DIR"/bench/micro_features --smoke
 
 scripts/check_chaos.sh "$BUILD_DIR"
 scripts/check_sanitizers.sh

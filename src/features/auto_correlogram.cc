@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "features/plan/frame_context.h"
 #include "imaging/color.h"
 #include "imaging/resize.h"
 
@@ -67,6 +68,101 @@ Result<FeatureVector> AutoColorCorrelogram::Extract(const Image& img) const {
 
   std::vector<double> feature(static_cast<size_t>(kHsvQuantBins) * d_max, 0.0);
   for (size_t i = 0; i < feature.size(); ++i) {
+    feature[i] = ring_total[i] > 0 ? counts[i] / ring_total[i] : 0.0;
+  }
+  return FeatureVector(name(), std::move(feature));
+}
+
+uint32_t AutoColorCorrelogram::SharedIntermediates() const {
+  return static_cast<uint32_t>(Intermediate::kHsvPlane);
+}
+
+Result<FeatureVector> AutoColorCorrelogram::ExtractShared(
+    const Image& img, PlanContext& ctx) const {
+  if (img.empty()) return Status::InvalidArgument("empty image");
+  if (img.width() > 256 || img.height() > 256) {
+    // The shared HSV plane covers the full-resolution frame, but this
+    // path needs the downscaled one — fall back to the legacy extractor.
+    return Extract(img);
+  }
+  const int w = img.width();
+  const int h = img.height();
+  const size_t pixels = static_cast<size_t>(w) * h;
+
+  // Quantized color plane from the shared HSV plane (built in the same
+  // row-major order the legacy loop walks).
+  Span<int> quant = ctx.arena().AllocSpan<int>(pixels);
+  const std::vector<Hsv>& hsv = ctx.HsvPlane();
+  for (size_t i = 0; i < pixels; ++i) {
+    quant[i] = QuantizeHsv(hsv[i]);
+  }
+
+  const int d_max = max_distance_;
+  const size_t dims = static_cast<size_t>(kHsvQuantBins) * d_max;
+  // Pair counts accumulate sums of 1.0 — exact integers — so visiting
+  // the ring cells row/column-wise (cache- and SIMD-friendly) instead
+  // of the legacy dx/dy walk produces bit-identical totals: same cell
+  // set, and integer addition is order-independent.
+  Span<double> counts = ctx.arena().AllocSpan<double>(dims);
+  Span<double> ring_total = ctx.arena().AllocSpan<double>(dims);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const int c = quant[static_cast<size_t>(y) * w + x];
+      const bool interior =
+          x >= d_max && y >= d_max && x + d_max < w && y + d_max < h;
+      for (int d = 1; d <= d_max; ++d) {
+        const size_t idx =
+            static_cast<size_t>(c) * d_max + static_cast<size_t>(d - 1);
+        if (interior) {
+          // Every ring cell is in-image: top/bottom rows are contiguous
+          // runs, sides are strided columns; no bounds checks.
+          const int* top = quant.data() + static_cast<size_t>(y - d) * w +
+                           (x - d);
+          const int* bot = quant.data() + static_cast<size_t>(y + d) * w +
+                           (x - d);
+          int match = 0;
+          const int len = 2 * d + 1;
+          for (int i = 0; i < len; ++i) {
+            match += (top[i] == c) + (bot[i] == c);
+          }
+          for (int yy = y - d + 1; yy <= y + d - 1; ++yy) {
+            const int* row = quant.data() + static_cast<size_t>(yy) * w;
+            match += (row[x - d] == c) + (row[x + d] == c);
+          }
+          ring_total[idx] += static_cast<double>(8 * d);
+          counts[idx] += static_cast<double>(match);
+        } else {
+          // Boundary pixels: same chessboard ring, with clipping.
+          for (int dy = -d; dy <= d; ++dy) {
+            const int ny = y + dy;
+            if (ny < 0 || ny >= h) continue;
+            const int* row = quant.data() + static_cast<size_t>(ny) * w;
+            const bool edge_row = dy == -d || dy == d;
+            const int x0 = std::max(0, x - d);
+            const int x1 = std::min(w - 1, x + d);
+            if (edge_row) {
+              for (int nx = x0; nx <= x1; ++nx) {
+                ring_total[idx] += 1.0;
+                if (row[nx] == c) counts[idx] += 1.0;
+              }
+            } else {
+              if (x - d >= 0) {
+                ring_total[idx] += 1.0;
+                if (row[x - d] == c) counts[idx] += 1.0;
+              }
+              if (x + d < w) {
+                ring_total[idx] += 1.0;
+                if (row[x + d] == c) counts[idx] += 1.0;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  std::vector<double> feature(dims, 0.0);
+  for (size_t i = 0; i < dims; ++i) {
     feature[i] = ring_total[i] > 0 ? counts[i] / ring_total[i] : 0.0;
   }
   return FeatureVector(name(), std::move(feature));

@@ -20,6 +20,9 @@ class AutoColorCorrelogram : public FeatureExtractor {
 
   FeatureKind kind() const override { return FeatureKind::kAutoCorrelogram; }
   Result<FeatureVector> Extract(const Image& img) const override;
+  uint32_t SharedIntermediates() const override;
+  Result<FeatureVector> ExtractShared(const Image& img,
+                                      PlanContext& ctx) const override;
   double DistanceSpan(const double* a, size_t na, const double* b,
                       size_t nb) const override;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "features/plan/frame_context.h"
 #include "imaging/color.h"
 #include "imaging/float_image.h"
 #include "similarity/metrics.h"
@@ -17,8 +18,24 @@ Result<FeatureVector> EdgeHistogram::Extract(const Image& img) const {
   if (img.width() < 2 * grid_ || img.height() < 2 * grid_) {
     return Status::InvalidArgument("image too small for edge grid");
   }
-  const FloatImage gray = FloatImage::FromImage(img);
+  return FromGrayFloat(FloatImage::FromImage(img));
+}
 
+uint32_t EdgeHistogram::SharedIntermediates() const {
+  return static_cast<uint32_t>(Intermediate::kGrayFloat);
+}
+
+Result<FeatureVector> EdgeHistogram::ExtractShared(const Image& img,
+                                                   PlanContext& ctx) const {
+  if (img.empty()) return Status::InvalidArgument("empty image");
+  if (img.width() < 2 * grid_ || img.height() < 2 * grid_) {
+    return Status::InvalidArgument("image too small for edge grid");
+  }
+  return FromGrayFloat(ctx.GrayFloat());
+}
+
+Result<FeatureVector> EdgeHistogram::FromGrayFloat(
+    const FloatImage& gray) const {
   // MPEG-7 EHD block filters over 2x2 means a, b / c, d:
   //   vertical:    |a + c - b - d|
   //   horizontal:  |a + b - c - d|

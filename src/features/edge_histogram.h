@@ -14,6 +14,8 @@
 
 namespace vr {
 
+class FloatImage;
+
 /// \brief Local edge-type histogram over a grid of sub-images.
 class EdgeHistogram : public FeatureExtractor {
  public:
@@ -25,6 +27,9 @@ class EdgeHistogram : public FeatureExtractor {
 
   FeatureKind kind() const override { return FeatureKind::kEdgeHistogram; }
   Result<FeatureVector> Extract(const Image& img) const override;
+  uint32_t SharedIntermediates() const override;
+  Result<FeatureVector> ExtractShared(const Image& img,
+                                      PlanContext& ctx) const override;
   double DistanceSpan(const double* a, size_t na, const double* b,
                       size_t nb) const override;
   /// L1 is covered by a batch kernel; dispatch the whole column there.
@@ -39,6 +44,11 @@ class EdgeHistogram : public FeatureExtractor {
   }
 
  private:
+  /// Block classification + per-cell normalization from the float gray
+  /// plane. Extract and ExtractShared both funnel here, so the paths
+  /// are bit-identical by construction.
+  Result<FeatureVector> FromGrayFloat(const FloatImage& gray) const;
+
   int grid_;
   double edge_threshold_;
 };

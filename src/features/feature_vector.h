@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -16,6 +17,8 @@
 #include "util/status.h"
 
 namespace vr {
+
+class PlanContext;  // features/plan/frame_context.h
 
 /// The feature families. The first seven are the paper's (Table 1
 /// evaluates them individually); the last two implement the paper's
@@ -81,6 +84,10 @@ class FeatureVector {
   std::vector<double> values_;
 };
 
+/// Extracted features keyed by family (the row-oriented form used at
+/// ingest; retrieval's FeatureMatrix is its columnar transpose).
+using FeatureMap = std::map<FeatureKind, FeatureVector>;
+
 /// \brief Interface implemented by each of the paper's extractors.
 class FeatureExtractor {
  public:
@@ -94,6 +101,24 @@ class FeatureExtractor {
 
   /// Computes the feature of \p img.
   virtual Result<FeatureVector> Extract(const Image& img) const = 0;
+
+  /// Shared intermediates (bits of plan::Intermediate) this extractor
+  /// reads from a PlanContext in ExtractShared; 0 when it derives
+  /// everything itself. The ExtractionPlan unions these across its
+  /// registered extractors and materializes each intermediate exactly
+  /// once per frame.
+  virtual uint32_t SharedIntermediates() const { return 0; }
+
+  /// Fused extraction: like Extract, but shared intermediates come from
+  /// \p ctx (memoized per frame) and temporaries may use ctx's arena
+  /// and per-kind scratch slot. Must return values bit-identical to
+  /// Extract(img) — tests/extraction_plan_test.cc enforces this for
+  /// every registered kind. The default delegates to Extract.
+  virtual Result<FeatureVector> ExtractShared(const Image& img,
+                                              PlanContext& ctx) const {
+    (void)ctx;
+    return Extract(img);
+  }
 
   /// Dissimilarity between two vectors produced by this extractor.
   /// Smaller is more similar; must be >= 0 and 0 for identical inputs.

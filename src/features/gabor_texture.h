@@ -22,6 +22,9 @@ class GaborTexture : public FeatureExtractor {
 
   FeatureKind kind() const override { return FeatureKind::kGabor; }
   Result<FeatureVector> Extract(const Image& img) const override;
+  uint32_t SharedIntermediates() const override;
+  Result<FeatureVector> ExtractShared(const Image& img,
+                                      PlanContext& ctx) const override;
 
   int scales() const { return scales_; }
   int orientations() const { return orientations_; }

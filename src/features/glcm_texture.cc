@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "features/plan/frame_context.h"
 #include "imaging/color.h"
 
 namespace vr {
@@ -17,14 +18,45 @@ Result<FeatureVector> GlcmTexture::Extract(const Image& img) const {
     return Status::InvalidArgument("image narrower than GLCM step");
   }
   const Image gray = ToGray(img);
+  const size_t l = static_cast<size_t>(
+      256 >> [this] {
+        int s = 0;
+        while ((256 >> s) > levels_) ++s;
+        return s;
+      }());
+  std::vector<double> glcm(l * l, 0.0);
+  return FromGrayBuffer(gray, glcm.data(), l);
+}
+
+uint32_t GlcmTexture::SharedIntermediates() const {
+  return static_cast<uint32_t>(Intermediate::kGray);
+}
+
+Result<FeatureVector> GlcmTexture::ExtractShared(const Image& img,
+                                                 PlanContext& ctx) const {
+  if (img.empty()) return Status::InvalidArgument("empty image");
+  if (img.width() <= step_) {
+    return Status::InvalidArgument("image narrower than GLCM step");
+  }
+  const size_t l = static_cast<size_t>(
+      256 >> [this] {
+        int s = 0;
+        while ((256 >> s) > levels_) ++s;
+        return s;
+      }());
+  // Arena-backed matrix: no allocation once the arena has warmed up.
+  Span<double> glcm = ctx.arena().AllocSpan<double>(l * l);
+  return FromGrayBuffer(ctx.Gray(), glcm.data(), l);
+}
+
+Result<FeatureVector> GlcmTexture::FromGrayBuffer(const Image& gray,
+                                                  double* glcm,
+                                                  size_t l) const {
   const int shift = [this] {
     int s = 0;
     while ((256 >> s) > levels_) ++s;
     return s;
   }();
-  const size_t l = static_cast<size_t>(256 >> shift);
-
-  std::vector<double> glcm(l * l, 0.0);
   uint64_t pixel_counter = 0;
   for (int y = 0; y < gray.height(); ++y) {
     for (int x = 0; x + step_ < gray.width(); ++x) {
@@ -37,7 +69,9 @@ Result<FeatureVector> GlcmTexture::Extract(const Image& img) const {
     }
   }
   if (pixel_counter == 0) return Status::InvalidArgument("degenerate image");
-  for (double& v : glcm) v /= static_cast<double>(pixel_counter);
+  for (size_t i = 0; i < l * l; ++i) {
+    glcm[i] /= static_cast<double>(pixel_counter);
+  }
 
   double asm_ = 0.0;
   double contrast = 0.0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "features/plan/frame_context.h"
 #include "imaging/resize.h"
 
 namespace vr {
@@ -15,7 +16,29 @@ Result<FeatureVector> NaiveSignature::Extract(const Image& img) const {
   if (img.empty()) return Status::InvalidArgument("empty image");
   const Image scaled =
       Resize(img, base_size_, base_size_, ResizeFilter::kNearest);
+  return FromScaled(scaled);
+}
 
+namespace {
+/// Persistent rescale target so steady-state extraction reuses one
+/// 300x300 buffer instead of reallocating it per frame.
+struct NaiveScratch : PlanContext::Scratch {
+  Image scaled;
+};
+}  // namespace
+
+uint32_t NaiveSignature::SharedIntermediates() const { return 0; }
+
+Result<FeatureVector> NaiveSignature::ExtractShared(const Image& img,
+                                                    PlanContext& ctx) const {
+  if (img.empty()) return Status::InvalidArgument("empty image");
+  NaiveScratch* scratch = ctx.ScratchFor<NaiveScratch>(kind());
+  ResizeInto(img, base_size_, base_size_, ResizeFilter::kNearest,
+             &scratch->scaled);
+  return FromScaled(scratch->scaled);
+}
+
+FeatureVector NaiveSignature::FromScaled(const Image& scaled) const {
   std::vector<double> feature;
   feature.reserve(static_cast<size_t>(kPoints) * 3);
   for (int gy = 0; gy < kGrid; ++gy) {

@@ -22,6 +22,9 @@ class NaiveSignature : public FeatureExtractor {
 
   FeatureKind kind() const override { return FeatureKind::kNaiveSignature; }
   Result<FeatureVector> Extract(const Image& img) const override;
+  uint32_t SharedIntermediates() const override;
+  Result<FeatureVector> ExtractShared(const Image& img,
+                                      PlanContext& ctx) const override;
 
   /// Sum over the 25 points of the Euclidean RGB distance between the
   /// two signatures — the quantity the paper compares against 800.
@@ -32,6 +35,10 @@ class NaiveSignature : public FeatureExtractor {
   static constexpr int kPoints = kGrid * kGrid;
 
  private:
+  /// Grid sampling over the already-rescaled image; shared by Extract
+  /// and ExtractShared so the paths are bit-identical by construction.
+  FeatureVector FromScaled(const Image& scaled) const;
+
   int base_size_;
   int sample_size_;
 };

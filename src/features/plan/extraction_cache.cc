@@ -1,0 +1,87 @@
+#include "features/plan/extraction_cache.h"
+
+#include <cstring>
+
+#include "util/hash.h"
+
+namespace vr {
+
+ExtractionCache::ExtractionCache(size_t capacity, HashFn hash)
+    : capacity_(capacity), hash_(hash != nullptr ? hash : &Fnv1a64) {}
+
+bool ExtractionCache::KeyMatches(const Slot& slot, const Image& img) {
+  return slot.width == img.width() && slot.height == img.height() &&
+         slot.channels == img.channels() &&
+         slot.pixels.size() == img.SizeBytes() &&
+         (slot.pixels.empty() ||
+          std::memcmp(slot.pixels.data(), img.data(), slot.pixels.size()) == 0);
+}
+
+bool ExtractionCache::Lookup(const Image& img, Entry* out) {
+  if (capacity_ == 0) return false;
+  const uint64_t h = hash_(img.data(), img.SizeBytes());
+  MutexLock lock(mutex_);
+  auto [it, end] = by_hash_.equal_range(h);
+  for (; it != end; ++it) {
+    if (!KeyMatches(*it->second, img)) continue;  // hash collision
+    lru_.splice(lru_.begin(), lru_, it->second);
+    *out = it->second->entry;
+    ++stats_.hits;
+    return true;
+  }
+  ++stats_.misses;
+  return false;
+}
+
+void ExtractionCache::Insert(const Image& img, const Entry& entry) {
+  if (capacity_ == 0) return;
+  const uint64_t h = hash_(img.data(), img.SizeBytes());
+  MutexLock lock(mutex_);
+  auto [it, end] = by_hash_.equal_range(h);
+  for (; it != end; ++it) {
+    if (!KeyMatches(*it->second, img)) continue;
+    // Racing extractions of the same frame both insert; features are a
+    // pure function of the pixels, so refreshing recency is enough.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  Slot slot;
+  slot.hash = h;
+  slot.width = img.width();
+  slot.height = img.height();
+  slot.channels = img.channels();
+  slot.pixels.assign(img.data(), img.data() + img.SizeBytes());
+  slot.entry = entry;
+  lru_.push_front(std::move(slot));
+  by_hash_.emplace(h, lru_.begin());
+  while (lru_.size() > capacity_) {
+    const LruList::iterator victim = std::prev(lru_.end());
+    auto [vit, vend] = by_hash_.equal_range(victim->hash);
+    for (; vit != vend; ++vit) {
+      if (vit->second == victim) {
+        by_hash_.erase(vit);
+        break;
+      }
+    }
+    lru_.erase(victim);
+    ++stats_.evictions;
+  }
+}
+
+void ExtractionCache::Clear() {
+  MutexLock lock(mutex_);
+  lru_.clear();
+  by_hash_.clear();
+}
+
+size_t ExtractionCache::size() const {
+  MutexLock lock(mutex_);
+  return lru_.size();
+}
+
+ExtractionCache::Stats ExtractionCache::stats() const {
+  MutexLock lock(mutex_);
+  return stats_;
+}
+
+}  // namespace vr

@@ -1,0 +1,110 @@
+/// \file extraction_cache.h
+/// \brief Content-addressed cache of extracted feature banks.
+///
+/// Extraction is a pure function of the frame's pixels, so two frames
+/// with identical bytes always extract to identical features — the
+/// cache keys on an FNV-1a hash of the pixel bytes (plus geometry) and
+/// lets repeated query frames skip the extractors entirely. Entries
+/// also carry the frame's gray histogram, from which the engine
+/// re-derives the range-finder bucket without touching the pixels.
+///
+/// Collision safety: a hash match alone is never trusted — every hit
+/// does a full-key compare (geometry + every pixel byte) against the
+/// stored frame copy, so two frames that collide in the hash can
+/// coexist and neither is ever served the other's features. The hash
+/// function is injectable for exactly that test.
+///
+/// Eviction: bounded LRU. Lookup refreshes recency; Insert evicts the
+/// least-recently-used entries above capacity.
+///
+/// Invalidation: there is nothing to invalidate — entries depend only
+/// on pixel content, never on corpus state, so ingest and remove leave
+/// the cache untouched and still-correct (the engine test suite pins
+/// queries after ingest/remove against a cold-cache engine).
+///
+/// Thread-safety: fully internally synchronized; every method may be
+/// called concurrently (queries share the engine lock, so the cache
+/// must serialize itself). Guarded state is annotated and verified by
+/// Clang's thread-safety analysis.
+
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "features/feature_vector.h"
+#include "imaging/histogram.h"
+#include "imaging/image.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace vr {
+
+/// \brief Bounded LRU of pixel-content -> extracted features.
+class ExtractionCache {
+ public:
+  using HashFn = uint64_t (*)(const uint8_t* data, size_t size);
+
+  /// Hit/miss/eviction counters since construction.
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+  };
+
+  /// A cached extraction: the full feature bank plus the frame's gray
+  /// histogram (the range finder's input).
+  struct Entry {
+    FeatureMap features;
+    GrayHistogram histogram;
+  };
+
+  /// \p capacity bounds the entry count (0 disables the cache: Lookup
+  /// always misses, Insert is a no-op). \p hash overrides the content
+  /// hash — the collision-safety tests inject a degenerate one; null
+  /// selects FNV-1a.
+  explicit ExtractionCache(size_t capacity, HashFn hash = nullptr);
+
+  /// Copies the cached entry for \p img into \p out and refreshes its
+  /// recency. False (a miss) when absent.
+  bool Lookup(const Image& img, Entry* out) EXCLUDES(mutex_);
+
+  /// Inserts (or refreshes) the entry for \p img, evicting LRU entries
+  /// beyond capacity.
+  void Insert(const Image& img, const Entry& entry) EXCLUDES(mutex_);
+
+  /// Drops every entry (counters survive).
+  void Clear() EXCLUDES(mutex_);
+
+  size_t size() const EXCLUDES(mutex_);
+  size_t capacity() const { return capacity_; }
+  Stats stats() const EXCLUDES(mutex_);
+
+ private:
+  struct Slot {
+    uint64_t hash = 0;
+    int width = 0;
+    int height = 0;
+    int channels = 0;
+    std::vector<uint8_t> pixels;  ///< full key copy for the hit compare
+    Entry entry;
+  };
+  using LruList = std::list<Slot>;
+
+  /// True when \p slot's key equals \p img byte-for-byte.
+  static bool KeyMatches(const Slot& slot, const Image& img);
+
+  const size_t capacity_;
+  const HashFn hash_;
+  mutable Mutex mutex_;
+  /// Front = most recently used.
+  LruList lru_ GUARDED_BY(mutex_);
+  /// Hash -> every slot with that hash (collisions chain here).
+  std::unordered_multimap<uint64_t, LruList::iterator> by_hash_
+      GUARDED_BY(mutex_);
+  Stats stats_ GUARDED_BY(mutex_);
+};
+
+}  // namespace vr

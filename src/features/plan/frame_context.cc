@@ -1,0 +1,147 @@
+#include "features/plan/frame_context.h"
+
+#include "util/stopwatch.h"
+
+namespace vr {
+
+namespace {
+
+uint64_t ToNanos(double ms) { return static_cast<uint64_t>(ms * 1e6); }
+
+size_t BitIndex(Intermediate which) {
+  uint32_t v = static_cast<uint32_t>(which);
+  size_t i = 0;
+  while (v > 1) {
+    v >>= 1;
+    ++i;
+  }
+  return i;
+}
+
+}  // namespace
+
+const char* IntermediateName(uint32_t bit) {
+  switch (bit) {
+    case 0:
+      return "gray";
+    case 1:
+      return "gray_histogram";
+    case 2:
+      return "hsv_plane";
+    case 3:
+      return "gray_float";
+    default:
+      return "unknown";
+  }
+}
+
+PlanContext::PlanContext() : arena_(1u << 16) {}
+
+void PlanContext::BeginFrame(const Image& img) {
+  frame_ = &img;
+  have_gray_ = false;
+  have_histogram_ = false;
+  have_hsv_ = false;
+  have_gray_float_ = false;
+  gray_view_ = nullptr;
+  arena_.Reset();
+  intermediate_ns_.fill(0);
+}
+
+const Image& PlanContext::Gray() {
+  if (!have_gray_) {
+    Stopwatch timer;
+    if (frame_->channels() == 1) {
+      gray_view_ = frame_;
+    } else {
+      // Same conversion ToGray performs, written into the reusable
+      // plane (re-sized only when the frame geometry changes).
+      if (gray_.width() != frame_->width() ||
+          gray_.height() != frame_->height() || gray_.channels() != 1) {
+        gray_ = Image(frame_->width(), frame_->height(), 1);
+      }
+      const Image& in = *frame_;
+      for (int y = 0; y < in.height(); ++y) {
+        for (int x = 0; x < in.width(); ++x) {
+          gray_.At(x, y) = RgbToGray(in.PixelRgb(x, y));
+        }
+      }
+      gray_view_ = &gray_;
+    }
+    have_gray_ = true;
+    intermediate_ns_[BitIndex(Intermediate::kGray)] +=
+        ToNanos(timer.ElapsedMillis());
+  }
+  return *gray_view_;
+}
+
+const GrayHistogram& PlanContext::Histogram() {
+  if (!have_histogram_) {
+    const Image& gray = Gray();
+    Stopwatch timer;
+    // Identical bins to ComputeGrayHistogram(frame): that helper also
+    // reduces RGB pixels through RgbToGray before counting.
+    histogram_ = GrayHistogram{};
+    const uint8_t* data = gray.data();
+    const size_t n = gray.PixelCount();
+    for (size_t i = 0; i < n; ++i) ++histogram_.bins[data[i]];
+    have_histogram_ = true;
+    intermediate_ns_[BitIndex(Intermediate::kGrayHistogram)] +=
+        ToNanos(timer.ElapsedMillis());
+  }
+  return histogram_;
+}
+
+const std::vector<Hsv>& PlanContext::HsvPlane() {
+  if (!have_hsv_) {
+    Stopwatch timer;
+    const Image& in = *frame_;
+    hsv_.clear();
+    hsv_.reserve(in.PixelCount());
+    for (int y = 0; y < in.height(); ++y) {
+      for (int x = 0; x < in.width(); ++x) {
+        hsv_.push_back(RgbToHsv(in.PixelRgb(x, y)));
+      }
+    }
+    have_hsv_ = true;
+    intermediate_ns_[BitIndex(Intermediate::kHsvPlane)] +=
+        ToNanos(timer.ElapsedMillis());
+  }
+  return hsv_;
+}
+
+const FloatImage& PlanContext::GrayFloat() {
+  if (!have_gray_float_) {
+    Stopwatch timer;
+    const Image& in = *frame_;
+    if (gray_float_.width() != in.width() ||
+        gray_float_.height() != in.height()) {
+      gray_float_ = FloatImage(in.width(), in.height());
+    }
+    // FloatImage::FromImage's arithmetic: the unrounded float luma for
+    // RGB, the raw byte for single-channel frames.
+    for (int y = 0; y < in.height(); ++y) {
+      for (int x = 0; x < in.width(); ++x) {
+        if (in.channels() == 1) {
+          gray_float_.At(x, y) = static_cast<float>(in.At(x, y));
+        } else {
+          const Rgb p = in.PixelRgb(x, y);
+          gray_float_.At(x, y) = 0.299f * p.r + 0.587f * p.g + 0.114f * p.b;
+        }
+      }
+    }
+    have_gray_float_ = true;
+    intermediate_ns_[BitIndex(Intermediate::kGrayFloat)] +=
+        ToNanos(timer.ElapsedMillis());
+  }
+  return gray_float_;
+}
+
+void PlanContext::Materialize(uint32_t mask) {
+  if (mask & static_cast<uint32_t>(Intermediate::kGray)) Gray();
+  if (mask & static_cast<uint32_t>(Intermediate::kGrayHistogram)) Histogram();
+  if (mask & static_cast<uint32_t>(Intermediate::kHsvPlane)) HsvPlane();
+  if (mask & static_cast<uint32_t>(Intermediate::kGrayFloat)) GrayFloat();
+}
+
+}  // namespace vr

@@ -1,0 +1,124 @@
+/// \file frame_context.h
+/// \brief Shared per-frame intermediates for the fused extraction plan.
+///
+/// Several extractors independently re-derive the same intermediates
+/// from the frame: the gray plane (GLCM, Gabor, Tamura, region
+/// growing), its histogram (region growing's threshold and the range
+/// finder's bucket), the per-pixel HSV plane (color moments and, on
+/// frames that skip its resize cap, the auto correlogram) and the float
+/// luma plane (edge histogram). PlanContext computes each exactly once
+/// per frame and hands every consumer the same memoized view.
+///
+/// Every producer replays the legacy per-extractor arithmetic verbatim
+/// — same formula, same pixel order — so a fused extraction is
+/// bit-identical to running the extractors standalone (the parity
+/// contract tests/extraction_plan_test.cc enforces).
+///
+/// Thread-safety: none; a PlanContext belongs to one ExtractionPlan and
+/// one extraction uses it at a time (the engine's plan pool enforces
+/// this). The REQUIRES-style contract is documented in DESIGN.md.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "features/feature_vector.h"
+#include "features/plan/arena.h"
+#include "imaging/color.h"
+#include "imaging/float_image.h"
+#include "imaging/histogram.h"
+#include "imaging/image.h"
+
+namespace vr {
+
+/// Intermediates an extractor can declare (and PlanContext memoizes).
+/// Values are bit positions for the plan's union mask.
+enum class Intermediate : uint32_t {
+  kGray = 1u << 0,           ///< u8 gray plane (BT.601, rounded)
+  kGrayHistogram = 1u << 1,  ///< 256-bin histogram of the gray plane
+  kHsvPlane = 1u << 2,       ///< per-pixel RgbToHsv, row-major
+  kGrayFloat = 1u << 3,      ///< float luma plane (BT.601, unrounded)
+};
+
+inline constexpr uint32_t kNumIntermediates = 4;
+
+/// Stable name of the intermediate at bit position \p bit.
+const char* IntermediateName(uint32_t bit);
+
+/// \brief Memoized shared intermediates plus scratch for one frame.
+class PlanContext {
+ public:
+  PlanContext();
+
+  /// Rebinds the context to \p img: memos are cleared, the arena cursor
+  /// rewinds (capacity kept), per-extractor scratch survives. \p img
+  /// must outlive the frame.
+  void BeginFrame(const Image& img);
+
+  /// The frame bound by BeginFrame.
+  const Image& frame() const { return *frame_; }
+
+  /// \name Memoized intermediates.
+  /// Each computes on first access per frame (timed into
+  /// intermediate_ns) and returns the cached plane afterwards.
+  /// @{
+  const Image& Gray();
+  const GrayHistogram& Histogram();
+  const std::vector<Hsv>& HsvPlane();
+  const FloatImage& GrayFloat();
+  /// @}
+
+  /// Eagerly computes every intermediate in \p mask (bits of
+  /// Intermediate) — the plan calls this once per frame with the union
+  /// of every registered extractor's declaration.
+  void Materialize(uint32_t mask);
+
+  /// Per-frame scratch allocator for extractor temporaries.
+  Arena& arena() { return arena_; }
+
+  /// \brief Base for per-extractor persistent state (filter banks, FFT
+  /// plans, reusable rasters). Survives BeginFrame, dies with the
+  /// context.
+  struct Scratch {
+    virtual ~Scratch() = default;
+  };
+
+  /// The persistent scratch slot of \p kind, created on first use.
+  template <typename T>
+  T* ScratchFor(FeatureKind kind) {
+    std::unique_ptr<Scratch>& slot = scratch_[static_cast<size_t>(kind)];
+    if (slot == nullptr) slot = std::make_unique<T>();
+    return static_cast<T*>(slot.get());
+  }
+
+  /// Nanoseconds spent computing each intermediate this frame, indexed
+  /// by bit position.
+  const std::array<uint64_t, kNumIntermediates>& intermediate_ns() const {
+    return intermediate_ns_;
+  }
+
+ private:
+  const Image* frame_ = nullptr;
+
+  bool have_gray_ = false;
+  bool have_histogram_ = false;
+  bool have_hsv_ = false;
+  bool have_gray_float_ = false;
+
+  /// When the frame is already single-channel, Gray() aliases it
+  /// instead of copying (ToGray does the same).
+  const Image* gray_view_ = nullptr;
+  Image gray_;
+  GrayHistogram histogram_;
+  std::vector<Hsv> hsv_;
+  FloatImage gray_float_;
+
+  Arena arena_;
+  std::array<std::unique_ptr<Scratch>, kNumFeatureKinds> scratch_;
+  std::array<uint64_t, kNumIntermediates> intermediate_ns_{};
+};
+
+}  // namespace vr

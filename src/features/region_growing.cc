@@ -1,9 +1,9 @@
 #include "features/region_growing.h"
 
 #include <cmath>
-#include <utility>
 #include <vector>
 
+#include "features/plan/frame_context.h"
 #include "imaging/color.h"
 #include "imaging/morphology.h"
 #include "imaging/threshold.h"
@@ -31,9 +31,16 @@ Result<Image> SimpleRegionGrowing::Preprocess(const Image& img) const {
 
 Result<RegionStats> SimpleRegionGrowing::Analyze(const Image& img) const {
   VR_ASSIGN_OR_RETURN(Image binary, Preprocess(img));
+  const size_t pixels = static_cast<size_t>(binary.width()) * binary.height();
+  std::vector<int> labels(pixels, 0);
+  std::vector<Pt> stack(pixels);
+  return LabelRegions(binary, labels.data(), stack.data());
+}
+
+RegionStats SimpleRegionGrowing::LabelRegions(const Image& binary, int* labels,
+                                              Pt* stack) const {
   const int w = binary.width();
   const int h = binary.height();
-  std::vector<int> labels(static_cast<size_t>(w) * h, -1);
   auto label_at = [&](int x, int y) -> int& {
     return labels[static_cast<size_t>(y) * w + x];
   };
@@ -41,31 +48,29 @@ Result<RegionStats> SimpleRegionGrowing::Analyze(const Image& img) const {
   RegionStats stats;
   const size_t major_min = std::max<size_t>(
       1, static_cast<size_t>(major_fraction_ * static_cast<double>(w) * h));
-  std::vector<std::pair<int, int>> stack;
   for (int y = 0; y < h; ++y) {
     for (int x = 0; x < w; ++x) {
-      if (label_at(x, y) >= 0) continue;
+      if (label_at(x, y) != 0) continue;
       const uint8_t value = binary.At(x, y);
       if (value == 0) ++stats.num_holes;
       ++stats.num_regions;
       const int region = stats.num_regions;
       size_t size = 0;
-      stack.clear();
-      stack.emplace_back(x, y);
+      size_t top = 0;
+      stack[top++] = {x, y};
       label_at(x, y) = region;
-      while (!stack.empty()) {
-        const auto [cx, cy] = stack.back();
-        stack.pop_back();
+      while (top > 0) {
+        const auto [cx, cy] = stack[--top];
         ++size;
         for (int dy = -1; dy <= 1; ++dy) {
           for (int dx = -1; dx <= 1; ++dx) {
             const int nx = cx + dx;
             const int ny = cy + dy;
             if (nx < 0 || ny < 0 || nx >= w || ny >= h) continue;
-            if (label_at(nx, ny) >= 0) continue;
+            if (label_at(nx, ny) != 0) continue;
             if (binary.At(nx, ny) != value) continue;
             label_at(nx, ny) = region;
-            stack.emplace_back(nx, ny);
+            stack[top++] = {nx, ny};
           }
         }
       }
@@ -73,6 +78,36 @@ Result<RegionStats> SimpleRegionGrowing::Analyze(const Image& img) const {
     }
   }
   return stats;
+}
+
+uint32_t SimpleRegionGrowing::SharedIntermediates() const {
+  return static_cast<uint32_t>(Intermediate::kGray) |
+         static_cast<uint32_t>(Intermediate::kGrayHistogram);
+}
+
+Result<FeatureVector> SimpleRegionGrowing::ExtractShared(
+    const Image& img, PlanContext& ctx) const {
+  if (img.empty()) return Status::InvalidArgument("empty image");
+  // Preprocess() recomputes gray + histogram; here both come from the
+  // shared plan (the histogram over the gray plane is exactly
+  // ComputeGrayHistogram of it), and the labeling buffers come from the
+  // frame arena instead of fresh vectors.
+  const int threshold = MinFuzzinessThreshold(ctx.Histogram());
+  Image binary = Binarize(ctx.Gray(), threshold);
+  const StructuringElement kernel = PaperKernel5x5();
+  binary = Dilate(binary, kernel);
+  binary = Erode(binary, kernel);
+  binary = Erode(binary, kernel);
+  binary = Dilate(binary, kernel);
+
+  const size_t pixels = static_cast<size_t>(binary.width()) * binary.height();
+  Span<int> labels = ctx.arena().AllocSpan<int>(pixels);
+  Span<Pt> stack = ctx.arena().AllocSpan<Pt>(pixels);
+  const RegionStats stats = LabelRegions(binary, labels.data(), stack.data());
+  return FeatureVector(
+      name(), {static_cast<double>(stats.num_regions),
+               static_cast<double>(stats.num_holes),
+               static_cast<double>(stats.num_major_regions)});
 }
 
 Result<FeatureVector> SimpleRegionGrowing::Extract(const Image& img) const {

@@ -30,6 +30,9 @@ class SimpleRegionGrowing : public FeatureExtractor {
 
   FeatureKind kind() const override { return FeatureKind::kRegionGrowing; }
   Result<FeatureVector> Extract(const Image& img) const override;
+  uint32_t SharedIntermediates() const override;
+  Result<FeatureVector> ExtractShared(const Image& img,
+                                      PlanContext& ctx) const override;
   double DistanceSpan(const double* a, size_t na, const double* b,
                       size_t nb) const override;
 
@@ -46,6 +49,20 @@ class SimpleRegionGrowing : public FeatureExtractor {
   };
 
  private:
+  /// Trivially-copyable grow-stack element (arena-allocatable).
+  struct Pt {
+    int x;
+    int y;
+  };
+
+  /// Connected-component labeling over \p binary. \p labels must be a
+  /// zero-initialized w*h buffer (0 = unlabeled; regions number from 1)
+  /// and \p stack a w*h scratch buffer (each pixel is pushed at most
+  /// once). Extract and ExtractShared both funnel here, so the paths
+  /// are bit-identical by construction.
+  RegionStats LabelRegions(const Image& binary, int* labels,
+                           Pt* stack) const;
+
   double major_fraction_;
 };
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "features/plan/frame_context.h"
 #include "imaging/color.h"
 #include "imaging/filter.h"
 #include "imaging/resize.h"
@@ -17,17 +18,33 @@ TamuraTexture::TamuraTexture(int max_scale, int dir_bins, double dir_threshold)
 
 Result<FeatureVector> TamuraTexture::Extract(const Image& img) const {
   if (img.empty()) return Status::InvalidArgument("empty image");
+  return FromGray(ToGray(img));
+}
+
+uint32_t TamuraTexture::SharedIntermediates() const {
+  return static_cast<uint32_t>(Intermediate::kGray);
+}
+
+Result<FeatureVector> TamuraTexture::ExtractShared(const Image& img,
+                                                   PlanContext& ctx) const {
+  if (img.empty()) return Status::InvalidArgument("empty image");
+  return FromGray(ctx.Gray());
+}
+
+Result<FeatureVector> TamuraTexture::FromGray(const Image& gray_in) const {
   // Bound the working size so coarseness windows stay meaningful and the
   // extractor stays fast on large frames.
-  Image gray = ToGray(img);
-  if (gray.width() > 256 || gray.height() > 256) {
+  const Image* gray = &gray_in;
+  Image resized;
+  if (gray->width() > 256 || gray->height() > 256) {
     const double s =
-        256.0 / std::max(gray.width(), gray.height());
-    gray = Resize(gray, std::max(16, static_cast<int>(gray.width() * s)),
-                  std::max(16, static_cast<int>(gray.height() * s)),
-                  ResizeFilter::kBilinear);
+        256.0 / std::max(gray->width(), gray->height());
+    resized = Resize(*gray, std::max(16, static_cast<int>(gray->width() * s)),
+                     std::max(16, static_cast<int>(gray->height() * s)),
+                     ResizeFilter::kBilinear);
+    gray = &resized;
   }
-  const FloatImage f = FloatImage::FromImage(gray);
+  const FloatImage f = FloatImage::FromImage(*gray);
   const int w = f.width();
   const int h = f.height();
   const size_t pixels = static_cast<size_t>(w) * h;

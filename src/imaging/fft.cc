@@ -1,6 +1,8 @@
 #include "imaging/fft.h"
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
 
 namespace vr {
 
@@ -67,6 +69,116 @@ Status Fft2D(ComplexImage* img, bool inverse) {
     for (int y = 0; y < h; ++y) col[static_cast<size_t>(y)] = img->At(x, y);
     VR_RETURN_NOT_OK(Fft1D(&col, inverse));
     for (int y = 0; y < h; ++y) img->At(x, y) = col[static_cast<size_t>(y)];
+  }
+  return Status::OK();
+}
+
+FftPlan::FftPlan(size_t n) : n_(n) {
+  if (!IsPowerOfTwo(n)) {
+    n_ = 0;
+    return;
+  }
+  bitrev_.resize(n);
+  for (size_t i = 1, j = 0; i < n; ++i) {
+    size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    bitrev_[i] = j;
+  }
+  for (int dir = 0; dir < 2; ++dir) {
+    auto& tables = dir ? inv_ : fwd_;
+    for (size_t len = 2; len <= n; len <<= 1) {
+      // The identical recurrence Fft1D runs inside its butterfly loop;
+      // the table entry for step k is therefore bitwise equal to the w
+      // the direct loop would hold.
+      const float ang =
+          2.0f * static_cast<float>(M_PI) / len * (dir ? 1.0f : -1.0f);
+      const Complex wlen(std::cos(ang), std::sin(ang));
+      std::vector<Complex> table(len / 2);
+      Complex w(1.0f, 0.0f);
+      for (size_t k = 0; k < len / 2; ++k) {
+        table[k] = w;
+        w *= wlen;
+      }
+      tables.push_back(std::move(table));
+    }
+  }
+}
+
+Status FftPlan::Run(Complex* a, bool inverse) const {
+  const size_t n = n_;
+  if (n == 0) {
+    return Status::InvalidArgument("FFT size must be a power of two");
+  }
+  for (size_t i = 1; i < n; ++i) {
+    const size_t j = bitrev_[i];
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  const auto& tables = inverse ? inv_ : fwd_;
+  size_t level = 0;
+  for (size_t len = 2; len <= n; len <<= 1, ++level) {
+    const Complex* table = tables[level].data();
+    for (size_t i = 0; i < n; i += len) {
+      for (size_t k = 0; k < len / 2; ++k) {
+        const Complex u = a[i + k];
+        const Complex v = a[i + k + len / 2] * table[k];
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+      }
+    }
+  }
+  if (inverse) {
+    const float inv_n = 1.0f / static_cast<float>(n);
+    for (size_t i = 0; i < n; ++i) a[i] *= inv_n;
+  }
+  return Status::OK();
+}
+
+Fft2DPlan::Fft2DPlan(int width, int height)
+    : row_(static_cast<size_t>(width)), col_(static_cast<size_t>(height)) {}
+
+Status Fft2DPlan::Run(ComplexImage* img, bool inverse) const {
+  const int w = img->width;
+  const int h = img->height;
+  if (static_cast<size_t>(w) != row_.size() ||
+      static_cast<size_t>(h) != col_.size() || row_.size() == 0 ||
+      col_.size() == 0) {
+    return Status::InvalidArgument("2-D FFT plan/image size mismatch");
+  }
+  Complex* d = img->data.data();
+  for (int y = 0; y < h; ++y) {
+    VR_RETURN_NOT_OK(row_.Run(d + static_cast<size_t>(y) * w, inverse));
+  }
+  // Column pass across all x at once: the bit-reversal permutation
+  // becomes whole-row swaps and each butterfly a unit-stride sweep.
+  const auto& bitrev = col_.bitrev();
+  for (size_t i = 1; i < static_cast<size_t>(h); ++i) {
+    const size_t j = bitrev[i];
+    if (i < j) {
+      std::swap_ranges(d + i * w, d + (i + 1) * w, d + j * w);
+    }
+  }
+  size_t level = 0;
+  for (size_t len = 2; len <= static_cast<size_t>(h); len <<= 1, ++level) {
+    const std::vector<Complex>& table = col_.twiddles(level, inverse);
+    for (size_t i = 0; i < static_cast<size_t>(h); i += len) {
+      for (size_t k = 0; k < len / 2; ++k) {
+        Complex* ra = d + (i + k) * w;
+        Complex* rb = d + (i + k + len / 2) * w;
+        const Complex wk = table[k];
+        for (int x = 0; x < w; ++x) {
+          const Complex u = ra[x];
+          const Complex v = rb[x] * wk;
+          ra[x] = u + v;
+          rb[x] = u - v;
+        }
+      }
+    }
+  }
+  if (inverse) {
+    const float inv_n = 1.0f / static_cast<float>(h);
+    const size_t total = static_cast<size_t>(w) * h;
+    for (size_t i = 0; i < total; ++i) d[i] *= inv_n;
   }
   return Status::OK();
 }

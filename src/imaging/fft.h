@@ -51,6 +51,59 @@ struct ComplexImage {
 /// In-place 2-D FFT; both dimensions must be powers of two.
 Status Fft2D(ComplexImage* img, bool inverse);
 
+/// \brief Precomputed twiddle tables for repeated 1-D transforms of one
+/// size.
+///
+/// Bit-identical to Fft1D: the tables are generated with the same
+/// incremental `w *= wlen` recurrence the direct loop evaluates, so
+/// every butterfly multiplies by the exact float it would have computed
+/// on the fly — precomputation only breaks the serial dependency chain
+/// that throttles the direct loop. Safe to share across threads once
+/// built (Run touches only caller data).
+class FftPlan {
+ public:
+  /// \p n must be a power of two.
+  explicit FftPlan(size_t n);
+
+  size_t size() const { return n_; }
+
+  /// In-place transform of \p data (exactly size() elements).
+  Status Run(Complex* data, bool inverse) const;
+
+  const std::vector<size_t>& bitrev() const { return bitrev_; }
+  /// Twiddle table for butterfly level \p level (len == 2 << level);
+  /// entry k is the w the direct loop would hold at step k.
+  const std::vector<Complex>& twiddles(size_t level, bool inverse) const {
+    return inverse ? inv_[level] : fwd_[level];
+  }
+
+ private:
+  size_t n_ = 0;
+  std::vector<size_t> bitrev_;
+  std::vector<std::vector<Complex>> fwd_;  // [level][k]
+  std::vector<std::vector<Complex>> inv_;
+};
+
+/// \brief 2-D FFT plan: row tables plus a column pass vectorized across
+/// x (butterflies combine whole rows, unit stride), bit-identical to
+/// Fft2D because each column's arithmetic sequence is unchanged —
+/// columns are merely processed in lockstep instead of one at a time.
+class Fft2DPlan {
+ public:
+  /// Both dimensions must be powers of two.
+  Fft2DPlan(int width, int height);
+
+  int width() const { return static_cast<int>(row_.size()); }
+  int height() const { return static_cast<int>(col_.size()); }
+
+  /// In-place transform of \p img (dimensions must match the plan).
+  Status Run(ComplexImage* img, bool inverse) const;
+
+ private:
+  FftPlan row_;
+  FftPlan col_;
+};
+
 /// Zero-pads \p img into a pow2 x pow2 complex raster of at least
 /// \p min_w x \p min_h.
 ComplexImage ToComplexPadded(const FloatImage& img, int min_w, int min_h);

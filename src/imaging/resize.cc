@@ -7,8 +7,17 @@ namespace vr {
 
 namespace {
 
-Image ResizeNearest(const Image& img, int out_w, int out_h) {
-  Image out(out_w, out_h, img.channels());
+/// Reuses \p out when it already has the right geometry.
+void PrepareOutput(const Image& img, int out_w, int out_h, Image* out) {
+  if (out->width() != out_w || out->height() != out_h ||
+      out->channels() != img.channels()) {
+    *out = Image(out_w, out_h, img.channels());
+  }
+}
+
+void ResizeNearestInto(const Image& img, int out_w, int out_h, Image* outp) {
+  PrepareOutput(img, out_w, out_h, outp);
+  Image& out = *outp;
   const double sx = static_cast<double>(img.width()) / out_w;
   const double sy = static_cast<double>(img.height()) / out_h;
   for (int y = 0; y < out_h; ++y) {
@@ -20,11 +29,11 @@ Image ResizeNearest(const Image& img, int out_w, int out_h) {
       }
     }
   }
-  return out;
 }
 
-Image ResizeBilinear(const Image& img, int out_w, int out_h) {
-  Image out(out_w, out_h, img.channels());
+void ResizeBilinearInto(const Image& img, int out_w, int out_h, Image* outp) {
+  PrepareOutput(img, out_w, out_h, outp);
+  Image& out = *outp;
   const double sx = static_cast<double>(img.width()) / out_w;
   const double sy = static_cast<double>(img.height()) / out_h;
   for (int y = 0; y < out_h; ++y) {
@@ -45,21 +54,35 @@ Image ResizeBilinear(const Image& img, int out_w, int out_h) {
       }
     }
   }
-  return out;
 }
 
 }  // namespace
 
-Image Resize(const Image& img, int out_w, int out_h, ResizeFilter filter) {
-  if (img.empty() || out_w <= 0 || out_h <= 0) return Image();
-  if (out_w == img.width() && out_h == img.height()) return img;
+void ResizeInto(const Image& img, int out_w, int out_h, ResizeFilter filter,
+                Image* out) {
+  if (img.empty() || out_w <= 0 || out_h <= 0) {
+    *out = Image();
+    return;
+  }
+  if (out_w == img.width() && out_h == img.height()) {
+    *out = img;
+    return;
+  }
   switch (filter) {
     case ResizeFilter::kNearest:
-      return ResizeNearest(img, out_w, out_h);
+      ResizeNearestInto(img, out_w, out_h, out);
+      return;
     case ResizeFilter::kBilinear:
-      return ResizeBilinear(img, out_w, out_h);
+      ResizeBilinearInto(img, out_w, out_h, out);
+      return;
   }
-  return Image();
+  *out = Image();
+}
+
+Image Resize(const Image& img, int out_w, int out_h, ResizeFilter filter) {
+  Image out;
+  ResizeInto(img, out_w, out_h, filter, &out);
+  return out;
 }
 
 }  // namespace vr

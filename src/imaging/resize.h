@@ -20,4 +20,10 @@ enum class ResizeFilter {
 Image Resize(const Image& img, int out_w, int out_h,
              ResizeFilter filter = ResizeFilter::kBilinear);
 
+/// Rescales into \p out, reusing its buffer when the geometry already
+/// matches (the fused extraction plan's allocation-free steady state).
+/// Bit-identical to Resize — both run the same kernels.
+void ResizeInto(const Image& img, int out_w, int out_h, ResizeFilter filter,
+                Image* out);
+
 }  // namespace vr

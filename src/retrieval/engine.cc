@@ -35,11 +35,22 @@ Result<std::unique_ptr<RetrievalEngine>> RetrievalEngine::Open(
   size_t rank_workers = options.rank_workers != 0
                             ? options.rank_workers
                             : std::max(1u, std::thread::hardware_concurrency());
+  if (!options.rank_oversubscribe) {
+    // More rank shards than cores is pure overhead (context switches on
+    // a serial machine); cap at what the hardware can actually overlap.
+    rank_workers = std::min(
+        rank_workers,
+        static_cast<size_t>(std::max(1u, std::thread::hardware_concurrency())));
+  }
   if (options.parallel_rank_threshold > 0 && rank_workers > 1) {
     ThreadPoolOptions pool_options;
     pool_options.num_threads = rank_workers;
     pool_options.queue_capacity = rank_workers * 2;
     engine->rank_pool_ = std::make_unique<ThreadPool>(pool_options);
+  }
+  if (options.extraction_cache_capacity > 0) {
+    engine->extraction_cache_ =
+        std::make_unique<ExtractionCache>(options.extraction_cache_capacity);
   }
   return engine;
 }
@@ -83,6 +94,60 @@ Result<FeatureMap> RetrievalEngine::ExtractEnabled(
         extractors_[static_cast<size_t>(kind)].get();
     VR_ASSIGN_OR_RETURN(FeatureVector fv, extractor->Extract(img));
     out.emplace(kind, std::move(fv));
+  }
+  return out;
+}
+
+std::unique_ptr<ExtractionPlan> RetrievalEngine::AcquirePlan() const {
+  {
+    MutexLock lock(plan_mutex_);
+    if (!plan_pool_.empty()) {
+      std::unique_ptr<ExtractionPlan> plan = std::move(plan_pool_.back());
+      plan_pool_.pop_back();
+      return plan;
+    }
+  }
+  std::vector<const FeatureExtractor*> enabled;
+  enabled.reserve(options_.enabled_features.size());
+  for (FeatureKind kind : options_.enabled_features) {
+    enabled.push_back(extractors_[static_cast<size_t>(kind)].get());
+  }
+  return std::make_unique<ExtractionPlan>(std::move(enabled));
+}
+
+void RetrievalEngine::ReleasePlan(std::unique_ptr<ExtractionPlan> plan) const {
+  // Bound the pool: a plan's warm scratch (Gabor filter bank + FFT
+  // buffers) is worth ~1 MB, so keep at most a handful.
+  static constexpr size_t kMaxPooledPlans = 8;
+  MutexLock lock(plan_mutex_);
+  if (plan_pool_.size() < kMaxPooledPlans) {
+    plan_pool_.push_back(std::move(plan));
+  }
+}
+
+Result<RetrievalEngine::ExtractedQuery> RetrievalEngine::ExtractWithPlan(
+    const Image& img, ExtractionPlan::FrameTimings* timings) const {
+  ExtractedQuery out;
+  if (extraction_cache_ != nullptr) {
+    ExtractionCache::Entry entry;
+    if (extraction_cache_->Lookup(img, &entry)) {
+      out.features = std::move(entry.features);
+      out.histogram = entry.histogram;
+      out.cache_hit = true;
+      return out;
+    }
+  }
+  std::unique_ptr<ExtractionPlan> plan = AcquirePlan();
+  Result<FeatureMap> features = plan->ExtractAll(img, timings);
+  if (!features.ok()) return features.status();
+  out.features = std::move(*features);
+  out.histogram = plan->histogram();
+  ReleasePlan(std::move(plan));
+  if (extraction_cache_ != nullptr) {
+    ExtractionCache::Entry entry;
+    entry.features = out.features;
+    entry.histogram = out.histogram;
+    extraction_cache_->Insert(img, entry);
   }
   return out;
 }

@@ -19,6 +19,8 @@
 #include <vector>
 
 #include "features/extractor_registry.h"
+#include "features/plan/extraction_cache.h"
+#include "features/plan/extraction_plan.h"
 #include "imaging/image.h"
 #include "index/range_bucket_index.h"
 #include "keyframe/keyframe_extractor.h"
@@ -27,6 +29,7 @@
 #include "retrieval/query_stats.h"
 #include "similarity/combined_scorer.h"
 #include "storage/video_store.h"
+#include "util/mutex.h"
 #include "util/shared_mutex.h"
 #include "util/status.h"
 #include "util/thread_annotations.h"
@@ -74,6 +77,17 @@ struct EngineOptions {
   /// is only created when the resolved count exceeds 1 and
   /// parallel_rank_threshold is non-zero.
   size_t rank_workers = 0;
+  /// By default the resolved rank worker count is capped at
+  /// hardware_concurrency(): on a 1-CPU box, oversubscribed shards are
+  /// strictly slower than a serial rank (BENCH_query.json measured
+  /// shards=4 at ~1.4x the serial latency). Benchmarks that must
+  /// exercise the sharded path regardless set this to true.
+  bool rank_oversubscribe = false;
+  /// Entry capacity of the content-addressed extraction cache keyed on
+  /// query-frame pixel bytes (see features/plan/extraction_cache.h);
+  /// 0 disables caching. Repeated query frames skip extraction
+  /// entirely — the dominant cost of a cold query.
+  size_t extraction_cache_capacity = 64;
 };
 
 /// One ranked retrieval hit.
@@ -245,6 +259,12 @@ class RetrievalEngine {
   Result<std::vector<VideoQueryResult>> QueryByVideo(
       const std::vector<Image>& query_frames, size_t k,
       const QueryCheckpoint& checkpoint = {});
+  /// Query-by-stored-id fast path: ranks against the features already
+  /// in the columnar cache for key frame \p i_id — no pixel decode, no
+  /// extraction. Selection reuses the frame's stored range bucket.
+  /// NotFound when the id is not indexed.
+  Result<std::vector<QueryResult>> QueryByStoredId(
+      int64_t i_id, size_t k, const QueryCheckpoint& checkpoint = {});
   /// @}
 
   /// Pruning statistics of the most recent query (a snapshot; under
@@ -313,6 +333,7 @@ class RetrievalEngine {
   struct QueryCounters {
     std::atomic<uint64_t> image_queries{0};
     std::atomic<uint64_t> video_queries{0};
+    std::atomic<uint64_t> id_queries{0};
     std::atomic<uint64_t> sharded_ranks{0};
     std::atomic<uint64_t> candidates_scored{0};
     std::atomic<uint64_t> candidates_total{0};
@@ -327,9 +348,42 @@ class RetrievalEngine {
   Status WarmCache() REQUIRES(mutex_);
   Result<FeatureMap> ExtractEnabled(
       const Image& img) const;
+
+  /// A query frame after fused extraction: the feature bank, the gray
+  /// histogram (the range finder's input — recomputing it from pixels
+  /// would redo work the plan already did) and whether the extraction
+  /// cache served it.
+  struct ExtractedQuery {
+    FeatureMap features;
+    GrayHistogram histogram;
+    bool cache_hit = false;
+  };
+  /// Extracts every enabled feature through the fused extraction plan,
+  /// consulting the content-addressed cache first and inserting on a
+  /// miss. Lock-free: plans come from the internal pool, the cache is
+  /// internally synchronized. Optional \p timings receives the
+  /// per-extractor / per-intermediate breakdown of a miss.
+  Result<ExtractedQuery> ExtractWithPlan(
+      const Image& img, ExtractionPlan::FrameTimings* timings = nullptr) const;
+  /// Checks a fused plan out of the pool (creating one over the enabled
+  /// extractors when the pool is empty). Plans hold per-thread scratch,
+  /// so a plan is used by exactly one extraction at a time.
+  std::unique_ptr<ExtractionPlan> AcquirePlan() const EXCLUDES(plan_mutex_);
+  /// Returns a plan to the pool (drops it when the pool is full).
+  void ReleasePlan(std::unique_ptr<ExtractionPlan> plan) const
+      EXCLUDES(plan_mutex_);
+
   /// Bucket-pruned candidate rows of matrix_ for a query image; updates
   /// the last-query pruning stats.
   Result<std::vector<uint32_t>> SelectCandidates(const Image& query)
+      REQUIRES_SHARED(mutex_);
+  /// Same pruning from an already-known histogram (the fused extraction
+  /// path) — avoids re-walking the query pixels.
+  Result<std::vector<uint32_t>> SelectCandidatesByHistogram(
+      const GrayHistogram& hist) REQUIRES_SHARED(mutex_);
+  /// Same pruning from a precomputed bucket (the query-by-stored-id
+  /// path, which has no pixels at all).
+  Result<std::vector<uint32_t>> SelectCandidatesByRange(const GrayRange& range)
       REQUIRES_SHARED(mutex_);
   /// Shard count for ranking \p candidates rows (1 = serial).
   size_t NumRankShards(size_t candidates) const;
@@ -366,6 +420,16 @@ class RetrievalEngine {
   /// Open, immutable after — shard tasks only ever read query-local
   /// buffers plus matrix_ under the caller's shared lock.
   std::unique_ptr<ThreadPool> rank_pool_;
+  /// Pool of reusable fused extraction plans. Each plan owns warm
+  /// scratch (FFT twiddles, Gabor filter bank, arena) worth keeping
+  /// across queries; the pool is a leaf mutex (never held while taking
+  /// mutex_ or any pager lock).
+  mutable Mutex plan_mutex_;
+  mutable std::vector<std::unique_ptr<ExtractionPlan>> plan_pool_
+      GUARDED_BY(plan_mutex_);
+  /// Content-addressed feature cache for query frames; internally
+  /// synchronized (also a leaf). Null when capacity is 0.
+  std::unique_ptr<ExtractionCache> extraction_cache_;
   std::atomic<size_t> last_candidates_{0};
   std::atomic<size_t> last_total_{0};
   mutable IngestCounters ingest_counters_;

@@ -22,10 +22,8 @@
 #include "index/range_finder.h"
 
 namespace vr {
-
-/// Extracted features keyed by family (the row-oriented form used at
-/// ingest; FeatureMatrix is its columnar transpose).
-using FeatureMap = std::map<FeatureKind, FeatureVector>;
+// FeatureMap (the row-oriented transpose of this matrix) lives with
+// FeatureVector in features/feature_vector.h.
 
 /// \brief Columnar store of per-key-frame features.
 ///

@@ -55,15 +55,26 @@ Result<PreparedKeyFrame> RetrievalEngine::PrepareKeyFrame(
     const std::string pnm = EncodePnm(key.image);
     out.image.assign(pnm.begin(), pnm.end());
   }
-  out.range = FindRange(key.image, options_.range);
-  for (FeatureKind kind : options_.enabled_features) {
-    const FeatureExtractor* extractor =
-        extractors_[static_cast<size_t>(kind)].get();
-    Stopwatch extractor_timer;
-    VR_ASSIGN_OR_RETURN(FeatureVector fv, extractor->Extract(key.image));
-    ingest_counters_.extractor_ns[static_cast<size_t>(kind)].fetch_add(
-        ToNanos(extractor_timer.ElapsedMillis()), std::memory_order_relaxed);
-    out.features.emplace(kind, std::move(fv));
+  // Fused extraction: one plan pass computes shared intermediates once
+  // and feeds every enabled extractor (bit-identical to the per-
+  // extractor loop this replaced — the extraction_plan_test parity
+  // suite enforces it). The plan's histogram doubles as the range
+  // finder's input, so the pixels are walked exactly once here.
+  ExtractionPlan::FrameTimings timings;
+  {
+    std::unique_ptr<ExtractionPlan> plan = AcquirePlan();
+    Result<FeatureMap> features = plan->ExtractAll(key.image, &timings);
+    VR_RETURN_NOT_OK(features.status());
+    out.features = std::move(*features);
+    out.range = FindRange(plan->histogram(), options_.range);
+    ReleasePlan(std::move(plan));
+  }
+  for (int kind = 0; kind < kNumFeatureKinds; ++kind) {
+    const uint64_t ns = timings.extractor_ns[static_cast<size_t>(kind)];
+    if (ns != 0) {
+      ingest_counters_.extractor_ns[static_cast<size_t>(kind)].fetch_add(
+          ns, std::memory_order_relaxed);
+    }
   }
   auto regions = out.features.find(FeatureKind::kRegionGrowing);
   if (regions != out.features.end() &&

@@ -5,6 +5,7 @@
 
 #include "retrieval/engine.h"
 #include "similarity/dtw.h"
+#include "util/string_util.h"
 #include "similarity/normalizer.h"
 #include "util/mutex.h"
 #include "util/stopwatch.h"
@@ -33,6 +34,20 @@ const double* ColumnBase(const FeatureMatrix::Column& col) {
 
 Result<std::vector<uint32_t>> RetrievalEngine::SelectCandidates(
     const Image& query) {
+  // Legacy entry point (no precomputed histogram): bucket the pixels
+  // here. The fused query paths call the histogram/range overloads.
+  return SelectCandidatesByRange(
+      options_.use_index ? FindRange(query, options_.range) : GrayRange{});
+}
+
+Result<std::vector<uint32_t>> RetrievalEngine::SelectCandidatesByHistogram(
+    const GrayHistogram& hist) {
+  return SelectCandidatesByRange(
+      options_.use_index ? FindRange(hist, options_.range) : GrayRange{});
+}
+
+Result<std::vector<uint32_t>> RetrievalEngine::SelectCandidatesByRange(
+    const GrayRange& query_range) {
   std::vector<uint32_t> out;
   const size_t total = matrix_.rows();
   last_total_.store(total, std::memory_order_relaxed);
@@ -44,7 +59,6 @@ Result<std::vector<uint32_t>> RetrievalEngine::SelectCandidates(
     // index maps the query's bucket (plus lineage/overlap per the
     // mode) to frame ids, which resolve to matrix rows through
     // cache_by_id_. The parity suite pins this to the scan's result.
-    const GrayRange query_range = FindRange(query, options_.range);
     const std::vector<int64_t> ids =
         index_.Lookup(query_range, options_.lookup_mode);
     out.reserve(ids.size());
@@ -244,20 +258,19 @@ Result<std::vector<QueryResult>> RetrievalEngine::QueryByImage(
   ReaderMutexLock lock(mutex_);
   VR_RETURN_NOT_OK(RunCheckpoint(checkpoint));
   Stopwatch extract_timer;
-  VR_ASSIGN_OR_RETURN(FeatureMap features,
-                      ExtractEnabled(query));
+  VR_ASSIGN_OR_RETURN(ExtractedQuery extracted, ExtractWithPlan(query));
   query_counters_.extract_ns.fetch_add(ToNanos(extract_timer.ElapsedMillis()),
                                        std::memory_order_relaxed);
   VR_RETURN_NOT_OK(RunCheckpoint(checkpoint));
   Stopwatch select_timer;
   VR_ASSIGN_OR_RETURN(std::vector<uint32_t> candidates,
-                      SelectCandidates(query));
+                      SelectCandidatesByHistogram(extracted.histogram));
   query_counters_.select_ns.fetch_add(ToNanos(select_timer.ElapsedMillis()),
                                       std::memory_order_relaxed);
   VR_RETURN_NOT_OK(RunCheckpoint(checkpoint));
   Stopwatch rank_timer;
   Result<std::vector<QueryResult>> ranked =
-      Rank(features, candidates, options_.enabled_features, k);
+      Rank(extracted.features, candidates, options_.enabled_features, k);
   query_counters_.rank_ns.fetch_add(ToNanos(rank_timer.ElapsedMillis()),
                                     std::memory_order_relaxed);
   query_counters_.image_queries.fetch_add(1, std::memory_order_relaxed);
@@ -277,15 +290,36 @@ Result<std::vector<QueryResult>> RetrievalEngine::QueryByImageSingleFeature(
   ReaderMutexLock lock(mutex_);
   VR_RETURN_NOT_OK(RunCheckpoint(checkpoint));
   Stopwatch extract_timer;
-  VR_ASSIGN_OR_RETURN(FeatureVector fv, extractor->Extract(query));
+  // A full cached bank serves single-feature queries too; a miss runs
+  // just this extractor through a plan (partial banks are not cached).
   FeatureMap features;
-  features.emplace(kind, std::move(fv));
+  GrayHistogram query_hist;
+  bool served_from_cache = false;
+  if (extraction_cache_ != nullptr) {
+    ExtractionCache::Entry entry;
+    if (extraction_cache_->Lookup(query, &entry)) {
+      const auto cached = entry.features.find(kind);
+      if (cached != entry.features.end()) {
+        features.emplace(kind, std::move(cached->second));
+        query_hist = entry.histogram;
+        served_from_cache = true;
+      }
+    }
+  }
+  if (!served_from_cache) {
+    std::unique_ptr<ExtractionPlan> plan = AcquirePlan();
+    Result<FeatureVector> fv = plan->ExtractOne(query, kind);
+    VR_RETURN_NOT_OK(fv.status());
+    features.emplace(kind, std::move(*fv));
+    query_hist = plan->histogram();
+    ReleasePlan(std::move(plan));
+  }
   query_counters_.extract_ns.fetch_add(ToNanos(extract_timer.ElapsedMillis()),
                                        std::memory_order_relaxed);
   VR_RETURN_NOT_OK(RunCheckpoint(checkpoint));
   Stopwatch select_timer;
   VR_ASSIGN_OR_RETURN(std::vector<uint32_t> candidates,
-                      SelectCandidates(query));
+                      SelectCandidatesByHistogram(query_hist));
   query_counters_.select_ns.fetch_add(ToNanos(select_timer.ElapsedMillis()),
                                       std::memory_order_relaxed);
   VR_RETURN_NOT_OK(RunCheckpoint(checkpoint));
@@ -294,6 +328,56 @@ Result<std::vector<QueryResult>> RetrievalEngine::QueryByImageSingleFeature(
   query_counters_.rank_ns.fetch_add(ToNanos(rank_timer.ElapsedMillis()),
                                     std::memory_order_relaxed);
   query_counters_.image_queries.fetch_add(1, std::memory_order_relaxed);
+  return ranked;
+}
+
+Result<std::vector<QueryResult>> RetrievalEngine::QueryByStoredId(
+    int64_t i_id, size_t k, const QueryCheckpoint& checkpoint) {
+  ReaderMutexLock lock(mutex_);
+  VR_RETURN_NOT_OK(RunCheckpoint(checkpoint));
+  // "Extraction" is a columnar read: materialize the stored feature
+  // rows for every enabled kind present on this frame. No pixels are
+  // decoded anywhere on this path.
+  Stopwatch extract_timer;
+  const auto it = cache_by_id_.find(i_id);
+  if (it == cache_by_id_.end()) {
+    return Status::NotFound(StringPrintf("key frame %lld is not indexed",
+                                         static_cast<long long>(i_id)));
+  }
+  const size_t row = it->second;
+  FeatureMap features;
+  std::vector<FeatureKind> kinds;
+  for (FeatureKind kind : options_.enabled_features) {
+    const FeatureMatrix::Column& column = matrix_.column(kind);
+    if (!column.present[row]) continue;
+    const double* base = ColumnBase(column) + row * column.stride;
+    features.emplace(
+        kind,
+        FeatureVector(extractors_[static_cast<size_t>(kind)]->name(),
+                      std::vector<double>(base, base + column.lengths[row])));
+    kinds.push_back(kind);
+  }
+  if (kinds.empty()) {
+    return Status::NotFound(
+        StringPrintf("key frame %lld has none of the enabled features",
+                     static_cast<long long>(i_id)));
+  }
+  query_counters_.extract_ns.fetch_add(ToNanos(extract_timer.ElapsedMillis()),
+                                       std::memory_order_relaxed);
+  VR_RETURN_NOT_OK(RunCheckpoint(checkpoint));
+  // Selection reuses the stored bucket (published at depth 0, which
+  // the index comparator ignores — see RangeBucketIndex::Lookup).
+  Stopwatch select_timer;
+  VR_ASSIGN_OR_RETURN(std::vector<uint32_t> candidates,
+                      SelectCandidatesByRange(matrix_.row(row).range));
+  query_counters_.select_ns.fetch_add(ToNanos(select_timer.ElapsedMillis()),
+                                      std::memory_order_relaxed);
+  VR_RETURN_NOT_OK(RunCheckpoint(checkpoint));
+  Stopwatch rank_timer;
+  Result<std::vector<QueryResult>> ranked = Rank(features, candidates, kinds, k);
+  query_counters_.rank_ns.fetch_add(ToNanos(rank_timer.ElapsedMillis()),
+                                    std::memory_order_relaxed);
+  query_counters_.id_queries.fetch_add(1, std::memory_order_relaxed);
   return ranked;
 }
 
@@ -312,9 +396,8 @@ Result<std::vector<VideoQueryResult>> RetrievalEngine::QueryByVideo(
   std::vector<FeatureMap> query_features;
   query_features.reserve(query_keys.size());
   for (const KeyFrame& kf : query_keys) {
-    VR_ASSIGN_OR_RETURN(FeatureMap f,
-                        ExtractEnabled(kf.image));
-    query_features.push_back(std::move(f));
+    VR_ASSIGN_OR_RETURN(ExtractedQuery extracted, ExtractWithPlan(kf.image));
+    query_features.push_back(std::move(extracted.features));
   }
   query_counters_.extract_ns.fetch_add(ToNanos(extract_timer.ElapsedMillis()),
                                        std::memory_order_relaxed);
@@ -409,6 +492,12 @@ QueryStats RetrievalEngine::query_stats() const {
       query_counters_.select_ns.load(std::memory_order_relaxed) / 1e6;
   stats.rank_ms =
       query_counters_.rank_ns.load(std::memory_order_relaxed) / 1e6;
+  stats.id_queries = query_counters_.id_queries.load(std::memory_order_relaxed);
+  if (extraction_cache_ != nullptr) {
+    const ExtractionCache::Stats cache = extraction_cache_->stats();
+    stats.cache_hits = cache.hits;
+    stats.cache_misses = cache.misses;
+  }
   return stats;
 }
 

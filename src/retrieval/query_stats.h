@@ -38,6 +38,14 @@ struct QueryStats {
   double select_ms = 0.0;
   /// Wall time ranking (distance columns + fusion + top-k).
   double rank_ms = 0.0;
+  /// Query-by-stored-id requests served (also counted nowhere else:
+  /// they are neither image nor video queries).
+  uint64_t id_queries = 0;
+  /// Extraction-cache hits: query frames whose features were served
+  /// from the content-addressed cache without running any extractor.
+  uint64_t cache_hits = 0;
+  /// Extraction-cache misses (extraction ran and the bank was cached).
+  uint64_t cache_misses = 0;
 };
 
 }  // namespace vr

@@ -146,6 +146,28 @@ Result<ServiceResponse> VrClient::Query(const Image& image, size_t k,
   return response;
 }
 
+Result<ServiceResponse> VrClient::QueryById(int64_t frame_id, size_t k,
+                                            uint64_t deadline_ms) {
+  ServiceRequest request;
+  request.mode = QueryMode::kById;
+  request.frame_id = frame_id;
+  request.k = k;
+  request.deadline_ms = deadline_ms;
+  request.request_id = next_request_id_++;
+  VR_ASSIGN_OR_RETURN(Frame frame,
+                      DoRpc(MessageType::kQueryRequest,
+                            EncodeQueryRequest(request),
+                            MessageType::kQueryResponse,
+                            /*idempotent=*/true));
+  VR_ASSIGN_OR_RETURN(ServiceResponse response,
+                      DecodeQueryResponse(frame.payload));
+  if (response.request_id != request.request_id) {
+    Close();
+    return Status::Corruption("query response id does not match request");
+  }
+  return response;
+}
+
 Result<ServiceStatsSnapshot> VrClient::GetStats() {
   VR_ASSIGN_OR_RETURN(Frame frame,
                       DoRpc(MessageType::kStatsRequest, {},

@@ -76,6 +76,12 @@ class VrClient {
                                 FeatureKind feature = FeatureKind::kColorHistogram,
                                 uint64_t deadline_ms = 0);
 
+  /// Round-trips one query-by-stored-id RPC: the server ranks against
+  /// the features already stored for key frame \p frame_id (no image
+  /// crosses the wire, no extraction runs). Idempotent, retried.
+  Result<ServiceResponse> QueryById(int64_t frame_id, size_t k,
+                                    uint64_t deadline_ms = 0);
+
   /// Fetches the service stats snapshot (idempotent, retried).
   Result<ServiceStatsSnapshot> GetStats();
 

@@ -104,11 +104,14 @@ void RetrievalService::Execute(
       };
     }
     Result<std::vector<QueryResult>> ranked =
-        request.mode == QueryMode::kSingleFeature
-            ? engine_->QueryByImageSingleFeature(request.image,
-                                                 request.feature, request.k,
-                                                 checkpoint)
-            : engine_->QueryByImage(request.image, request.k, checkpoint);
+        request.mode == QueryMode::kById
+            ? engine_->QueryByStoredId(request.frame_id, request.k,
+                                       checkpoint)
+            : request.mode == QueryMode::kSingleFeature
+                  ? engine_->QueryByImageSingleFeature(
+                        request.image, request.feature, request.k, checkpoint)
+                  : engine_->QueryByImage(request.image, request.k,
+                                          checkpoint);
     if (ranked.ok()) {
       response.results = std::move(ranked).value();
       response.stats = engine_->last_candidate_stats();

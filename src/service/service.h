@@ -38,6 +38,10 @@ namespace vr {
 enum class QueryMode : uint8_t {
   kCombined = 0,       ///< weighted fusion over all enabled features
   kSingleFeature = 1,  ///< one feature family only
+  /// Query by a stored key-frame id: the request carries frame_id
+  /// instead of an image, and the engine reads the query features
+  /// straight out of the columnar store (no extraction at all).
+  kById = 2,
 };
 
 /// Tuning for a RetrievalService.
@@ -57,11 +61,14 @@ struct ServiceOptions {
 
 /// One query as submitted by a client.
 struct ServiceRequest {
+  /// Query frame; unused (and not shipped) for QueryMode::kById.
   Image image;
   size_t k = 10;
   QueryMode mode = QueryMode::kCombined;
   /// Feature family for QueryMode::kSingleFeature.
   FeatureKind feature = FeatureKind::kColorHistogram;
+  /// Stored key-frame id for QueryMode::kById.
+  int64_t frame_id = 0;
   /// Relative deadline budget in ms; 0 uses the service default.
   uint64_t deadline_ms = 0;
   /// Client-assigned id echoed in the response. Lets a retrying client

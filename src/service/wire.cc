@@ -115,6 +115,11 @@ std::vector<uint8_t> EncodeQueryRequest(const ServiceRequest& request) {
   PutU8(&out, static_cast<uint8_t>(request.feature));
   PutLe<uint32_t>(&out, static_cast<uint32_t>(request.k));
   PutLe<uint64_t>(&out, request.deadline_ms);
+  if (request.mode == QueryMode::kById) {
+    // By-id queries ship the stored frame id in place of the image.
+    PutLe<uint64_t>(&out, static_cast<uint64_t>(request.frame_id));
+    return out;
+  }
   PutLe<uint16_t>(&out, static_cast<uint16_t>(request.image.width()));
   PutLe<uint16_t>(&out, static_cast<uint16_t>(request.image.height()));
   PutU8(&out, static_cast<uint8_t>(request.image.channels()));
@@ -135,22 +140,31 @@ Result<ServiceRequest> DecodeQueryRequest(
   uint8_t channels = 0;
   if (!reader.ReadU64(&request.request_id) || !reader.ReadU8(&mode) ||
       !reader.ReadU8(&feature) || !reader.ReadU32(&k) ||
-      !reader.ReadU64(&request.deadline_ms) || !reader.ReadU16(&width) ||
-      !reader.ReadU16(&height) || !reader.ReadU8(&channels)) {
+      !reader.ReadU64(&request.deadline_ms)) {
     return Truncated("query request header");
   }
-  if (mode > static_cast<uint8_t>(QueryMode::kSingleFeature)) {
+  if (mode > static_cast<uint8_t>(QueryMode::kById)) {
     return Status::InvalidArgument("unknown query mode on wire");
   }
   if (feature >= kNumFeatureKinds) {
     return Status::InvalidArgument("unknown feature kind on wire");
   }
-  if (channels != 1 && channels != 3) {
-    return Status::InvalidArgument("wire image must have 1 or 3 channels");
-  }
   request.mode = static_cast<QueryMode>(mode);
   request.feature = static_cast<FeatureKind>(feature);
   request.k = k;
+  if (request.mode == QueryMode::kById) {
+    if (!reader.ReadI64(&request.frame_id) || !reader.AtEnd()) {
+      return Truncated("query request frame id");
+    }
+    return request;
+  }
+  if (!reader.ReadU16(&width) || !reader.ReadU16(&height) ||
+      !reader.ReadU8(&channels)) {
+    return Truncated("query request header");
+  }
+  if (channels != 1 && channels != 3) {
+    return Status::InvalidArgument("wire image must have 1 or 3 channels");
+  }
   const size_t pixel_bytes = static_cast<size_t>(width) * height * channels;
   std::vector<uint8_t> pixels;
   if (!reader.ReadBytes(&pixels, pixel_bytes) || !reader.AtEnd()) {
@@ -258,6 +272,9 @@ std::vector<uint8_t> EncodeStatsResponse(const ServiceStatsSnapshot& stats) {
   PutLe<uint64_t>(&out, stats.query.sharded_ranks);
   PutLe<uint64_t>(&out, stats.query.candidates_scored);
   PutLe<uint64_t>(&out, stats.query.candidates_total);
+  PutLe<uint64_t>(&out, stats.query.id_queries);
+  PutLe<uint64_t>(&out, stats.query.cache_hits);
+  PutLe<uint64_t>(&out, stats.query.cache_misses);
   PutF64(&out, stats.query.extract_ms);
   PutF64(&out, stats.query.select_ms);
   PutF64(&out, stats.query.rank_ms);
@@ -305,6 +322,9 @@ Result<ServiceStatsSnapshot> DecodeStatsResponse(
       !reader.ReadU64(&stats.query.sharded_ranks) ||
       !reader.ReadU64(&stats.query.candidates_scored) ||
       !reader.ReadU64(&stats.query.candidates_total) ||
+      !reader.ReadU64(&stats.query.id_queries) ||
+      !reader.ReadU64(&stats.query.cache_hits) ||
+      !reader.ReadU64(&stats.query.cache_misses) ||
       !reader.ReadF64(&stats.query.extract_ms) ||
       !reader.ReadF64(&stats.query.select_ms) ||
       !reader.ReadF64(&stats.query.rank_ms)) {

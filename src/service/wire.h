@@ -19,8 +19,10 @@
 ///
 /// Message payloads:
 ///   kQueryRequest:   u64 request_id | u8 mode | u8 feature | u32 k |
-///                    u64 deadline_ms | u16 width | u16 height |
-///                    u8 channels | width*height*channels pixel bytes
+///                    u64 deadline_ms | body by mode:
+///                      mode 0/1 (image): u16 width | u16 height |
+///                        u8 channels | width*height*channels pixel bytes
+///                      mode 2 (by stored id): i64 frame_id (no image)
 ///   kQueryResponse:  u64 request_id | u8 status_code | u32 msg_len |
 ///                    msg bytes | u64 candidates | u64 total |
 ///                    u32 n_results | n * (i64 i_id | i64 v_id | f64 score)
@@ -36,9 +38,10 @@
 ///                    3 * f64 ingest times (decode, extract, commit ms) |
 ///                    u32 n_extractors | n * f64 per-extractor ms
 ///                    (FeatureKind enum order) |
-///                    5 * u64 query counters (image_queries,
+///                    8 * u64 query counters (image_queries,
 ///                    video_queries, sharded_ranks, candidates_scored,
-///                    candidates_total) |
+///                    candidates_total, id_queries, cache_hits,
+///                    cache_misses) |
 ///                    3 * f64 query times (extract, select, rank ms)
 ///   kShutdownRequest: (empty)
 ///   kShutdownResponse: u8 status_code=0

@@ -92,6 +92,103 @@ TEST(EngineTest, QueryWithExactFrameFindsItself) {
   EXPECT_NEAR(results[0].score, 0.0, 1e-6);
 }
 
+TEST(EngineTest, QueryByStoredIdRanksItselfFirst) {
+  auto engine =
+      RetrievalEngine::Open(FreshDir("eng_by_id"), FastOptions()).value();
+  const int64_t v_id =
+      engine->IngestFrames(SmallVideo(VideoCategory::kNews, 4), "news")
+          .value();
+  ASSERT_TRUE(
+      engine->IngestFrames(SmallVideo(VideoCategory::kMovie, 5), "m").ok());
+  const std::vector<int64_t> ids =
+      engine->store()->KeyFrameIdsOfVideo(v_id).value();
+  ASSERT_FALSE(ids.empty());
+  const auto results = engine->QueryByStoredId(ids[0], 5).value();
+  ASSERT_FALSE(results.empty());
+  // The stored features ARE the query features: distance to itself is 0.
+  EXPECT_EQ(results[0].i_id, ids[0]);
+  EXPECT_NEAR(results[0].score, 0.0, 1e-12);
+  for (size_t i = 1; i < results.size(); ++i) {
+    EXPECT_LE(results[i - 1].score, results[i].score);
+  }
+  EXPECT_EQ(engine->query_stats().id_queries, 1u);
+  // No extraction ran: the by-id path touches neither plan nor cache.
+  EXPECT_EQ(engine->query_stats().cache_hits, 0u);
+  EXPECT_EQ(engine->query_stats().cache_misses, 0u);
+}
+
+TEST(EngineTest, QueryByStoredIdUnknownIdIsNotFound) {
+  auto engine =
+      RetrievalEngine::Open(FreshDir("eng_by_id_404"), FastOptions())
+          .value();
+  ASSERT_TRUE(
+      engine->IngestFrames(SmallVideo(VideoCategory::kNews, 4), "n").ok());
+  EXPECT_TRUE(engine->QueryByStoredId(424242, 5).status().IsNotFound());
+}
+
+TEST(EngineTest, QueryByStoredIdAfterRemoveIsNotFound) {
+  auto engine =
+      RetrievalEngine::Open(FreshDir("eng_by_id_rm"), FastOptions()).value();
+  const int64_t v_id =
+      engine->IngestFrames(SmallVideo(VideoCategory::kNews, 4), "n").value();
+  const int64_t i_id =
+      engine->store()->KeyFrameIdsOfVideo(v_id).value().front();
+  ASSERT_TRUE(engine->QueryByStoredId(i_id, 1).ok());
+  ASSERT_TRUE(engine->RemoveVideo(v_id).ok());
+  EXPECT_TRUE(engine->QueryByStoredId(i_id, 1).status().IsNotFound());
+}
+
+TEST(EngineTest, ExtractionCacheCountsHitsAndServesIdenticalResults) {
+  auto engine =
+      RetrievalEngine::Open(FreshDir("eng_cache"), FastOptions()).value();
+  ASSERT_TRUE(
+      engine->IngestFrames(SmallVideo(VideoCategory::kCartoon, 1), "a").ok());
+  const Image query = SmallVideo(VideoCategory::kCartoon, 3)[0];
+  const auto cold = engine->QueryByImage(query, 5).value();
+  EXPECT_EQ(engine->query_stats().cache_misses, 1u);
+  EXPECT_EQ(engine->query_stats().cache_hits, 0u);
+  const auto warm = engine->QueryByImage(query, 5).value();
+  EXPECT_EQ(engine->query_stats().cache_misses, 1u);
+  EXPECT_EQ(engine->query_stats().cache_hits, 1u);
+  ASSERT_EQ(warm.size(), cold.size());
+  for (size_t i = 0; i < cold.size(); ++i) {
+    EXPECT_EQ(warm[i].i_id, cold[i].i_id);
+    EXPECT_EQ(warm[i].score, cold[i].score);  // bit-identical ranking
+  }
+}
+
+TEST(EngineTest, ExtractionCacheStaysCorrectAcrossIngestAndRemove) {
+  // The cache keys on query-frame pixels only — corpus mutations must
+  // never serve stale rankings through it, because ranking always runs
+  // against the live feature matrix.
+  EngineOptions options = FastOptions();
+  options.use_index = false;  // rank the whole corpus: growth is visible
+  auto engine =
+      RetrievalEngine::Open(FreshDir("eng_cache_mut"), options).value();
+  ASSERT_TRUE(
+      engine->IngestFrames(SmallVideo(VideoCategory::kCartoon, 1), "a").ok());
+  const Image query = SmallVideo(VideoCategory::kCartoon, 3)[0];
+  const auto before = engine->QueryByImage(query, 50).value();
+  const size_t total_before = engine->last_candidate_stats().total;
+
+  // Ingest more frames; the cached query must see the larger corpus.
+  const int64_t v2 =
+      engine->IngestFrames(SmallVideo(VideoCategory::kMovie, 2), "b").value();
+  const auto grown = engine->QueryByImage(query, 50).value();
+  EXPECT_GT(engine->last_candidate_stats().total, total_before);
+  EXPECT_GT(grown.size(), before.size());
+  EXPECT_GE(engine->query_stats().cache_hits, 1u);
+
+  // Remove them again; the cached query must match the original run.
+  ASSERT_TRUE(engine->RemoveVideo(v2).ok());
+  const auto after = engine->QueryByImage(query, 50).value();
+  ASSERT_EQ(after.size(), before.size());
+  for (size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(after[i].i_id, before[i].i_id);
+    EXPECT_EQ(after[i].score, before[i].score);
+  }
+}
+
 TEST(EngineTest, SingleFeatureQueryUsesOnlyThatFeature) {
   auto engine =
       RetrievalEngine::Open(FreshDir("eng_single"), FastOptions()).value();

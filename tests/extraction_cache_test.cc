@@ -1,0 +1,150 @@
+#include "features/plan/extraction_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "imaging/draw.h"
+#include "util/rng.h"
+
+namespace vr {
+namespace {
+
+Image NoiseImage(int w, int h, uint64_t seed) {
+  Image img(w, h, 3);
+  Rng rng(seed);
+  AddGaussianNoise(&img, 600.0, &rng);
+  return img;
+}
+
+ExtractionCache::Entry EntryTagged(double tag) {
+  ExtractionCache::Entry entry;
+  entry.features.emplace(FeatureKind::kColorHistogram,
+                         FeatureVector("histogram", {tag}));
+  entry.histogram.bins[0] = static_cast<uint64_t>(tag);
+  return entry;
+}
+
+double TagOf(const ExtractionCache::Entry& entry) {
+  return entry.features.at(FeatureKind::kColorHistogram)[0];
+}
+
+/// Degenerate hash: every frame collides. Correctness must then rest
+/// entirely on the full-key compare.
+uint64_t CollideAll(const uint8_t*, size_t) { return 42; }
+
+TEST(ExtractionCacheTest, HitReturnsInsertedEntry) {
+  ExtractionCache cache(4);
+  const Image img = NoiseImage(16, 12, 1);
+  ExtractionCache::Entry out;
+  EXPECT_FALSE(cache.Lookup(img, &out));
+  cache.Insert(img, EntryTagged(7.0));
+  ASSERT_TRUE(cache.Lookup(img, &out));
+  EXPECT_EQ(TagOf(out), 7.0);
+  EXPECT_EQ(out.histogram.bins[0], 7u);
+  const ExtractionCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.evictions, 0u);
+}
+
+TEST(ExtractionCacheTest, EvictsLeastRecentlyUsedInOrder) {
+  ExtractionCache cache(3);
+  const Image a = NoiseImage(16, 12, 1);
+  const Image b = NoiseImage(16, 12, 2);
+  const Image c = NoiseImage(16, 12, 3);
+  const Image d = NoiseImage(16, 12, 4);
+  cache.Insert(a, EntryTagged(1.0));
+  cache.Insert(b, EntryTagged(2.0));
+  cache.Insert(c, EntryTagged(3.0));
+  // Touch a: recency order is now a, c, b -> b is the LRU victim.
+  ExtractionCache::Entry out;
+  ASSERT_TRUE(cache.Lookup(a, &out));
+  cache.Insert(d, EntryTagged(4.0));
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_FALSE(cache.Lookup(b, &out));
+  EXPECT_TRUE(cache.Lookup(a, &out));
+  EXPECT_TRUE(cache.Lookup(c, &out));
+  EXPECT_TRUE(cache.Lookup(d, &out));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  // One more insert evicts the new LRU, which is a (the oldest touch).
+  cache.Insert(NoiseImage(16, 12, 5), EntryTagged(5.0));
+  EXPECT_FALSE(cache.Lookup(a, &out));
+}
+
+TEST(ExtractionCacheTest, HashCollisionsNeverCrossContaminate) {
+  ExtractionCache cache(8, &CollideAll);
+  const Image a = NoiseImage(16, 12, 1);
+  const Image b = NoiseImage(16, 12, 2);
+  const Image c = NoiseImage(12, 16, 3);  // same byte count, new geometry
+  cache.Insert(a, EntryTagged(1.0));
+  cache.Insert(b, EntryTagged(2.0));
+  cache.Insert(c, EntryTagged(3.0));
+  EXPECT_EQ(cache.size(), 3u);
+  ExtractionCache::Entry out;
+  ASSERT_TRUE(cache.Lookup(a, &out));
+  EXPECT_EQ(TagOf(out), 1.0);
+  ASSERT_TRUE(cache.Lookup(b, &out));
+  EXPECT_EQ(TagOf(out), 2.0);
+  ASSERT_TRUE(cache.Lookup(c, &out));
+  EXPECT_EQ(TagOf(out), 3.0);
+  // A colliding frame that was never inserted must miss.
+  EXPECT_FALSE(cache.Lookup(NoiseImage(16, 12, 9), &out));
+}
+
+TEST(ExtractionCacheTest, EvictionUnderCollisionsRemovesTheRightSlot) {
+  ExtractionCache cache(2, &CollideAll);
+  const Image a = NoiseImage(16, 12, 1);
+  const Image b = NoiseImage(16, 12, 2);
+  const Image c = NoiseImage(16, 12, 3);
+  cache.Insert(a, EntryTagged(1.0));
+  cache.Insert(b, EntryTagged(2.0));
+  cache.Insert(c, EntryTagged(3.0));  // evicts a from the shared chain
+  ExtractionCache::Entry out;
+  EXPECT_FALSE(cache.Lookup(a, &out));
+  ASSERT_TRUE(cache.Lookup(b, &out));
+  EXPECT_EQ(TagOf(out), 2.0);
+  ASSERT_TRUE(cache.Lookup(c, &out));
+  EXPECT_EQ(TagOf(out), 3.0);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ExtractionCacheTest, ReinsertRefreshesRecencyWithoutDuplicating) {
+  ExtractionCache cache(2);
+  const Image a = NoiseImage(16, 12, 1);
+  const Image b = NoiseImage(16, 12, 2);
+  cache.Insert(a, EntryTagged(1.0));
+  cache.Insert(b, EntryTagged(2.0));
+  cache.Insert(a, EntryTagged(99.0));  // refresh, not duplicate
+  EXPECT_EQ(cache.size(), 2u);
+  cache.Insert(NoiseImage(16, 12, 3), EntryTagged(3.0));  // evicts b
+  ExtractionCache::Entry out;
+  ASSERT_TRUE(cache.Lookup(a, &out));
+  // Features are a pure function of pixels, so the original entry is
+  // still the correct one.
+  EXPECT_EQ(TagOf(out), 1.0);
+  EXPECT_FALSE(cache.Lookup(b, &out));
+}
+
+TEST(ExtractionCacheTest, ZeroCapacityDisables) {
+  ExtractionCache cache(0);
+  const Image a = NoiseImage(16, 12, 1);
+  cache.Insert(a, EntryTagged(1.0));
+  ExtractionCache::Entry out;
+  EXPECT_FALSE(cache.Lookup(a, &out));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ExtractionCacheTest, ClearDropsEntriesKeepsCounters) {
+  ExtractionCache cache(4);
+  const Image a = NoiseImage(16, 12, 1);
+  cache.Insert(a, EntryTagged(1.0));
+  ExtractionCache::Entry out;
+  ASSERT_TRUE(cache.Lookup(a, &out));
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Lookup(a, &out));
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+}  // namespace
+}  // namespace vr

@@ -214,6 +214,9 @@ std::unique_ptr<RetrievalEngine> OpenWithShards(const std::string& dir,
   options.use_index = false;  // every row is a candidate -> big shards
   options.parallel_rank_threshold = 1;
   options.rank_workers = workers;
+  // This test must shard even on a 1-CPU machine (the default caps
+  // workers at hardware_concurrency).
+  options.rank_oversubscribe = true;
   return RetrievalEngine::Open(dir, options).value();
 }
 

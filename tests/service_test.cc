@@ -105,6 +105,74 @@ TEST_F(ServiceTest, SingleFeatureModeMatchesDirectEngine) {
   }
 }
 
+TEST_F(ServiceTest, ByIdModeMatchesDirectEngine) {
+  // Key-frame ids start at 1; the corpus seeded in SetUp has several.
+  const int64_t v_id = engine_->store()->ListVideos().value().front().v_id;
+  const int64_t i_id =
+      engine_->store()->KeyFrameIdsOfVideo(v_id).value().front();
+  const auto direct = engine_->QueryByStoredId(i_id, 5);
+  ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+
+  RetrievalService service(engine_.get());
+  ServiceRequest request;
+  request.mode = QueryMode::kById;
+  request.frame_id = i_id;
+  request.k = 5;
+  const ServiceResponse response = service.Query(std::move(request));
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  ASSERT_EQ(response.results.size(), direct->size());
+  for (size_t i = 0; i < direct->size(); ++i) {
+    EXPECT_EQ(response.results[i].i_id, (*direct)[i].i_id);
+    EXPECT_DOUBLE_EQ(response.results[i].score, (*direct)[i].score);
+  }
+}
+
+TEST_F(ServiceTest, ByIdModeUnknownIdFailsTyped) {
+  RetrievalService service(engine_.get());
+  ServiceRequest request;
+  request.mode = QueryMode::kById;
+  request.frame_id = 999999;
+  const ServiceResponse response = service.Query(std::move(request));
+  EXPECT_TRUE(response.status.IsNotFound()) << response.status.ToString();
+}
+
+TEST_F(ServiceTest, ByIdRpcRoundTripCarriesStatsCounters) {
+  const int64_t v_id = engine_->store()->ListVideos().value().front().v_id;
+  const int64_t i_id =
+      engine_->store()->KeyFrameIdsOfVideo(v_id).value().front();
+  const auto direct = engine_->QueryByStoredId(i_id, 5);
+  ASSERT_TRUE(direct.ok());
+
+  RetrievalService service(engine_.get());
+  auto server = VrServer::Start(&service);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  auto client = VrClient::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  auto response = (*client)->QueryById(i_id, 5);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  ASSERT_TRUE(response->status.ok()) << response->status.ToString();
+  ASSERT_EQ(response->results.size(), direct->size());
+  for (size_t i = 0; i < direct->size(); ++i) {
+    EXPECT_EQ(response->results[i].i_id, (*direct)[i].i_id);
+    EXPECT_NEAR(response->results[i].score, (*direct)[i].score, 1e-12);
+  }
+
+  // The same image query twice: a cache miss then a hit, both visible
+  // through the stats RPC alongside the by-id counter.
+  ASSERT_TRUE((*client)->Query(query_, 3).ok());
+  ASSERT_TRUE((*client)->Query(query_, 3).ok());
+  auto stats = (*client)->GetStats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  // Two by-id queries hit this engine: the direct baseline above and
+  // the RPC (the stats RPC reports engine-lifetime counters).
+  EXPECT_EQ(stats->query.id_queries, 2u);
+  EXPECT_GE(stats->query.cache_misses, 1u);
+  EXPECT_GE(stats->query.cache_hits, 1u);
+
+  (*server)->Stop();
+}
+
 TEST_F(ServiceTest, OverloadRejectsDeterministically) {
   ServiceOptions options;
   options.num_workers = 1;

@@ -79,6 +79,38 @@ TEST(WireTest, QueryRequestRejectsBadEnums) {
   EXPECT_FALSE(DecodeQueryRequest(bad_feature).ok());
 }
 
+TEST(WireTest, QueryRequestByIdRoundTrip) {
+  ServiceRequest request;
+  request.mode = QueryMode::kById;
+  request.frame_id = -7;  // ids are i64 on the wire; sign must survive
+  request.k = 5;
+  request.deadline_ms = 250;
+  request.request_id = 99;
+
+  const std::vector<uint8_t> payload = EncodeQueryRequest(request);
+  // No pixels cross the wire: header + one i64.
+  EXPECT_EQ(payload.size(), 8u + 1 + 1 + 4 + 8 + 8);
+  auto decoded = DecodeQueryRequest(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->mode, QueryMode::kById);
+  EXPECT_EQ(decoded->frame_id, -7);
+  EXPECT_EQ(decoded->k, 5u);
+  EXPECT_EQ(decoded->deadline_ms, 250u);
+  EXPECT_EQ(decoded->request_id, 99u);
+  EXPECT_TRUE(decoded->image.empty());
+}
+
+TEST(WireTest, QueryRequestByIdRejectsTruncationAndTrailingBytes) {
+  ServiceRequest request;
+  request.mode = QueryMode::kById;
+  request.frame_id = 42;
+  std::vector<uint8_t> payload = EncodeQueryRequest(request);
+  std::vector<uint8_t> cut(payload.begin(), payload.end() - 1);
+  EXPECT_FALSE(DecodeQueryRequest(cut).ok());
+  payload.push_back(0xEE);
+  EXPECT_FALSE(DecodeQueryRequest(payload).ok());
+}
+
 TEST(WireTest, QueryResponseRoundTrip) {
   ServiceResponse response;
   response.status = Status::OK();
@@ -153,6 +185,9 @@ TEST(WireTest, StatsResponseRoundTrip) {
   stats.query.sharded_ranks = 5;
   stats.query.candidates_scored = 1200;
   stats.query.candidates_total = 4800;
+  stats.query.id_queries = 9;
+  stats.query.cache_hits = 31;
+  stats.query.cache_misses = 11;
   stats.query.extract_ms = 75.5;
   stats.query.select_ms = 0.25;
   stats.query.rank_ms = 31.0;
@@ -180,6 +215,9 @@ TEST(WireTest, StatsResponseRoundTrip) {
   EXPECT_EQ(decoded->query.sharded_ranks, 5u);
   EXPECT_EQ(decoded->query.candidates_scored, 1200u);
   EXPECT_EQ(decoded->query.candidates_total, 4800u);
+  EXPECT_EQ(decoded->query.id_queries, 9u);
+  EXPECT_EQ(decoded->query.cache_hits, 31u);
+  EXPECT_EQ(decoded->query.cache_misses, 11u);
   EXPECT_DOUBLE_EQ(decoded->query.extract_ms, 75.5);
   EXPECT_DOUBLE_EQ(decoded->query.select_ms, 0.25);
   EXPECT_DOUBLE_EQ(decoded->query.rank_ms, 31.0);
