@@ -1,0 +1,336 @@
+/// \file micro_scale.cc
+/// \brief Corpus-scaling benchmark: warm open via the persisted
+/// FeatureMatrix cache and two-stage quantized querying at 10k-100k
+/// key frames. Plain executable (see EXPERIMENTS.md "Corpus scaling"
+/// for the reproducible recipe); writes machine-readable results to
+/// BENCH_scale.json (or the path given as argv[1]).
+///
+/// Extraction would dominate wall time long before the storage layer
+/// is stressed, so the corpus is synthesized directly at the
+/// VideoStore level: clustered feature vectors (per-video cluster
+/// center + per-frame noise, so nearest-neighbor structure exists for
+/// the coarse stage to preserve) written through PutKeyFrames in
+/// batches, no pixels anywhere.
+///
+/// Per corpus size, four measurements:
+///  - cold open: first engine open scans the store, builds the
+///    columnar matrix, and persists it (matrix.vrm);
+///  - warm open: second open pages the persisted columns back without
+///    touching a single store row — the cache's reason to exist;
+///  - by-id query latency with the two-stage path off (exact scan of
+///    the double columns) and on (quantized coarse scan, exact
+///    rerank of the survivors).
+///
+/// Every two-stage run is asserted bit-identical to the exact
+/// baseline over the sampled queries before its numbers are reported
+/// (PARITY FAILURE exits non-zero), and the warm open must actually
+/// have warm-loaded (stats().warm_loaded) — these are the
+/// correctness gates, the numbers are the product.
+///
+/// `--smoke` runs a seconds-scale corpus, keeps both gates, skips the
+/// JSON; scripts/check_all.sh uses it as a regression gate.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "eval/table1_runner.h"  // RemoveDirRecursive
+#include "retrieval/engine.h"
+#include "storage/page.h"  // kPageSize, to report matrix.vrm bytes
+#include "storage/video_store.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+constexpr vr::FeatureKind kKinds[] = {vr::FeatureKind::kColorHistogram,
+                                      vr::FeatureKind::kGlcm,
+                                      vr::FeatureKind::kNaiveSignature};
+constexpr size_t kKindDims[] = {64, 6, 24};
+constexpr size_t kFramesPerVideo = 100;
+
+vr::EngineOptions BenchOptions(bool two_stage) {
+  vr::EngineOptions options;
+  options.enabled_features = {kKinds[0], kKinds[1], kKinds[2]};
+  options.store_video_blob = false;
+  options.use_index = false;  // scale the scan, not the bucket index
+  // Identity normalization keeps fused scores batch-independent,
+  // which is what makes the two-stage rerank exact for multi-feature
+  // queries (see docs/DESIGN.md).
+  options.normalization = vr::NormalizationKind::kNone;
+  options.two_stage = two_stage;
+  // The smallest smoke corpus must still exercise the coarse stage.
+  options.two_stage_min_candidates = 256;
+  return options;
+}
+
+/// Writes \p key_frames clustered synthetic records straight into a
+/// fresh VideoStore. Returns the stored key-frame ids.
+std::vector<int64_t> SynthesizeCorpus(const std::string& dir,
+                                      size_t key_frames) {
+  vr::RemoveDirRecursive(dir);
+  auto store = vr::VideoStore::Open(dir).value();
+  std::mt19937_64 rng(0x5CA1Eu);
+  std::uniform_real_distribution<double> center_dist(0.0, 100.0);
+  std::normal_distribution<double> noise(0.0, 2.0);
+
+  std::vector<int64_t> ids;
+  ids.reserve(key_frames);
+  size_t remaining = key_frames;
+  int video_index = 0;
+  while (remaining > 0) {
+    const size_t frames = std::min(kFramesPerVideo, remaining);
+    remaining -= frames;
+
+    vr::VideoRecord video;
+    video.v_id = store->NextVideoId();
+    video.v_name = "scale_" + std::to_string(video_index++);
+    video.dostore = "2026-08-07";
+    (void)store->PutVideo(video).value();
+
+    // One cluster center per video and per kind; frames scatter
+    // around it, so frames of the same video are mutual near
+    // neighbors — the structure a coarse stage must not destroy.
+    std::vector<std::vector<double>> centers(std::size(kKinds));
+    for (size_t kind = 0; kind < std::size(kKinds); ++kind) {
+      centers[kind].resize(kKindDims[kind]);
+      for (double& v : centers[kind]) v = center_dist(rng);
+    }
+
+    std::vector<vr::KeyFrameRecord> batch;
+    batch.reserve(frames);
+    for (size_t f = 0; f < frames; ++f) {
+      vr::KeyFrameRecord rec;
+      rec.i_id = store->NextKeyFrameId();
+      rec.i_name = video.v_name + "_kf" + std::to_string(f);
+      rec.v_id = video.v_id;
+      rec.min = 0;
+      rec.max = 255;
+      for (size_t kind = 0; kind < std::size(kKinds); ++kind) {
+        std::vector<double> values = centers[kind];
+        for (double& v : values) v = std::max(0.0, v + noise(rng));
+        rec.features.emplace(
+            kKinds[kind],
+            vr::FeatureVector(vr::FeatureKindName(kKinds[kind]),
+                              std::move(values)));
+      }
+      ids.push_back(rec.i_id);
+      batch.push_back(std::move(rec));
+    }
+    if (!store->PutKeyFrames(batch).ok()) {
+      std::fprintf(stderr, "PutKeyFrames failed\n");
+      std::exit(1);
+    }
+  }
+  (void)store->Checkpoint();
+  return ids;
+}
+
+double Percentile(std::vector<double> sorted_ms, double p) {
+  std::sort(sorted_ms.begin(), sorted_ms.end());
+  const size_t idx = static_cast<size_t>(
+      p * static_cast<double>(sorted_ms.size() - 1) / 100.0 + 0.5);
+  return sorted_ms[std::min(idx, sorted_ms.size() - 1)];
+}
+
+struct QueryRun {
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double qps = 0.0;
+};
+
+QueryRun MeasureById(vr::RetrievalEngine* engine,
+                     const std::vector<int64_t>& sample, size_t iters,
+                     size_t k) {
+  for (size_t i = 0; i < std::min<size_t>(sample.size(), 4); ++i) {
+    (void)engine->QueryByStoredId(sample[i], k);
+  }
+  std::vector<double> ms;
+  ms.reserve(iters);
+  vr::Stopwatch total;
+  for (size_t i = 0; i < iters; ++i) {
+    vr::Stopwatch sw;
+    (void)engine->QueryByStoredId(sample[i % sample.size()], k).value();
+    ms.push_back(sw.ElapsedMillis());
+  }
+  QueryRun run;
+  run.qps = static_cast<double>(iters) / (total.ElapsedMillis() / 1000.0);
+  run.p50_ms = Percentile(ms, 50);
+  run.p95_ms = Percentile(ms, 95);
+  return run;
+}
+
+struct SizeResult {
+  size_t key_frames = 0;
+  double cold_open_ms = 0.0;
+  double warm_open_ms = 0.0;
+  uint64_t matrix_bytes = 0;
+  QueryRun exact;
+  QueryRun staged;
+  uint64_t coarse_survivors = 0;  ///< mean survivors per staged query
+};
+
+SizeResult RunSize(const std::string& dir, size_t key_frames, size_t iters,
+                   size_t k) {
+  std::printf("synthesizing %zu key frames...\n", key_frames);
+  const std::vector<int64_t> ids = SynthesizeCorpus(dir, key_frames);
+
+  SizeResult result;
+  result.key_frames = ids.size();
+
+  // Cold open: no matrix.vrm yet — the engine scans every store row,
+  // builds the columns, and persists them on the way out.
+  {
+    vr::Stopwatch sw;
+    auto engine =
+        vr::RetrievalEngine::Open(dir, BenchOptions(false)).value();
+    result.cold_open_ms = sw.ElapsedMillis();
+    const vr::MatrixStore::Stats stats = engine->matrix_store_stats();
+    if (stats.warm_loaded || stats.rewrites == 0) {
+      std::fprintf(stderr, "cold open did not persist the matrix\n");
+      std::exit(1);
+    }
+    result.matrix_bytes = stats.pages * vr::kPageSize;
+  }
+
+  // Every id, k results each, would take minutes at 100k; a spread
+  // sample is just as informative for latency and parity.
+  std::vector<int64_t> sample;
+  const size_t sample_size = std::min<size_t>(ids.size(), 64);
+  for (size_t i = 0; i < sample_size; ++i) {
+    sample.push_back(ids[i * ids.size() / sample_size]);
+  }
+
+  std::vector<std::vector<vr::QueryResult>> baseline;
+
+  // Warm open + exact baseline.
+  {
+    vr::Stopwatch sw;
+    auto engine =
+        vr::RetrievalEngine::Open(dir, BenchOptions(false)).value();
+    result.warm_open_ms = sw.ElapsedMillis();
+    if (!engine->matrix_store_stats().warm_loaded) {
+      std::fprintf(stderr, "warm open fell back to a store scan\n");
+      std::exit(1);
+    }
+    for (int64_t id : sample) {
+      baseline.push_back(engine->QueryByStoredId(id, k).value());
+    }
+    result.exact = MeasureById(engine.get(), sample, iters, k);
+  }
+
+  // Two-stage: parity first, numbers second.
+  {
+    auto engine =
+        vr::RetrievalEngine::Open(dir, BenchOptions(true)).value();
+    for (size_t i = 0; i < sample.size(); ++i) {
+      const auto staged = engine->QueryByStoredId(sample[i], k).value();
+      const auto& expected = baseline[i];
+      bool same = staged.size() == expected.size();
+      for (size_t j = 0; same && j < staged.size(); ++j) {
+        same = staged[j].i_id == expected[j].i_id &&
+               staged[j].score == expected[j].score;
+      }
+      if (!same) {
+        std::fprintf(stderr,
+                     "PARITY FAILURE: two-stage diverges from exact on "
+                     "query %zu at %zu key frames\n",
+                     i, key_frames);
+        std::exit(1);
+      }
+    }
+    const vr::QueryStats before = engine->query_stats();
+    result.staged = MeasureById(engine.get(), sample, iters, k);
+    const vr::QueryStats after = engine->query_stats();
+    const uint64_t staged_queries =
+        after.two_stage_queries - before.two_stage_queries;
+    if (staged_queries == 0) {
+      std::fprintf(stderr, "two-stage path never activated at %zu\n",
+                   key_frames);
+      std::exit(1);
+    }
+    result.coarse_survivors =
+        (after.coarse_candidates - before.coarse_candidates) / staged_queries;
+  }
+
+  vr::RemoveDirRecursive(dir);
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path = "BENCH_scale.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      json_path = argv[i];
+    }
+  }
+  const std::string dir = "/tmp/vretrieve_bench_scale";
+  const std::vector<size_t> sizes =
+      smoke ? std::vector<size_t>{2000}
+            : std::vector<size_t>{10000, 50000, 100000};
+  const size_t iters = smoke ? 16 : 48;
+  const size_t k = 10;
+
+  std::vector<SizeResult> results;
+  for (size_t size : sizes) {
+    results.push_back(RunSize(dir, size, iters, k));
+  }
+  std::printf("parity: two-stage top-%zu bit-identical to exact at every "
+              "size\n\n",
+              k);
+
+  std::printf("%10s %12s %12s %12s %11s %11s %9s %9s\n", "key_frames",
+              "cold_open_ms", "warm_open_ms", "matrix_MiB", "exact_p50",
+              "staged_p50", "speedup", "survivors");
+  for (const SizeResult& r : results) {
+    std::printf("%10zu %12.1f %12.1f %12.2f %11.2f %11.2f %8.2fx %9llu\n",
+                r.key_frames, r.cold_open_ms, r.warm_open_ms,
+                static_cast<double>(r.matrix_bytes) / (1024.0 * 1024.0),
+                r.exact.p50_ms, r.staged.p50_ms,
+                r.exact.p50_ms / r.staged.p50_ms,
+                static_cast<unsigned long long>(r.coarse_survivors));
+  }
+
+  if (smoke) {
+    std::printf("\nmicro_scale smoke: PASS\n");
+    return 0;
+  }
+
+  std::FILE* json = std::fopen(json_path.c_str(), "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(json,
+               "{\n  \"benchmark\": \"corpus_scaling\",\n"
+               "  \"iterations\": %zu,\n  \"top_k\": %zu,\n"
+               "  \"sizes\": [\n",
+               iters, k);
+  for (size_t i = 0; i < results.size(); ++i) {
+    const SizeResult& r = results[i];
+    std::fprintf(
+        json,
+        "    {\"key_frames\": %zu, \"cold_open_ms\": %.1f, "
+        "\"warm_open_ms\": %.1f, \"matrix_bytes\": %llu,\n"
+        "     \"exact\": {\"p50_ms\": %.3f, \"p95_ms\": %.3f, "
+        "\"qps\": %.1f},\n"
+        "     \"two_stage\": {\"p50_ms\": %.3f, \"p95_ms\": %.3f, "
+        "\"qps\": %.1f, \"coarse_survivors\": %llu}}%s\n",
+        r.key_frames, r.cold_open_ms, r.warm_open_ms,
+        static_cast<unsigned long long>(r.matrix_bytes), r.exact.p50_ms,
+        r.exact.p95_ms, r.exact.qps, r.staged.p50_ms, r.staged.p95_ms,
+        r.staged.qps, static_cast<unsigned long long>(r.coarse_survivors),
+        i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("\nwrote %s\n", json_path.c_str());
+  return 0;
+}

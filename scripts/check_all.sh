@@ -4,6 +4,7 @@
 # machines without clang), the plain build + full test suite, the
 # query-bench smoke run (its built-in serial-vs-sharded parity assert),
 # the feature-bench smoke run (fused-vs-legacy bit parity),
+# the scale-bench smoke run (warm-open + two-stage-vs-exact parity),
 # the network chaos sweep (seeded fault injection + wire fuzzing),
 # then the sanitizer passes (ASan/UBSan over everything, TSan over the
 # concurrency suites — check_sanitizers.sh chains into check_tsan.sh
@@ -24,6 +25,7 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure
 
 "$BUILD_DIR"/bench/micro_query --smoke
 "$BUILD_DIR"/bench/micro_features --smoke
+"$BUILD_DIR"/bench/micro_scale --smoke
 
 scripts/check_chaos.sh "$BUILD_DIR"
 scripts/check_sanitizers.sh

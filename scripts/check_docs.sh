@@ -13,7 +13,7 @@ cd "$(dirname "$0")/.."
 fail=0
 err() { echo "check_docs: $*" >&2; fail=1; }
 
-DOCS=(README.md DESIGN.md EXPERIMENTS.md docs/ARCHITECTURE.md)
+DOCS=(README.md DESIGN.md EXPERIMENTS.md docs/ARCHITECTURE.md docs/FORMAT.md)
 
 for doc in "${DOCS[@]}"; do
   [[ -f "$doc" ]] || err "missing document: $doc"
@@ -36,9 +36,30 @@ for doc in "${DOCS[@]}"; do
            | sed 's/[.,;:)]*$//' | sort -u)
 done
 
-# 2. README links the architecture document.
+# 2. README links the architecture document, and the byte-level format
+#    spec is linked from both entry points that promise it.
 grep -q 'docs/ARCHITECTURE.md' README.md \
   || err "README.md does not link docs/ARCHITECTURE.md"
+grep -q 'docs/FORMAT.md' README.md \
+  || err "README.md does not link docs/FORMAT.md"
+grep -q 'FORMAT.md' docs/ARCHITECTURE.md \
+  || err "docs/ARCHITECTURE.md does not link FORMAT.md"
+
+# 2b. No dead intra-repo markdown links: every [text](target) whose
+#     target is a relative path must resolve from the doc's directory
+#     (external URLs and pure #anchors are skipped, a #fragment after
+#     a path is stripped).
+for doc in "${DOCS[@]}"; do
+  [[ -f "$doc" ]] || continue
+  dir=$(dirname "$doc")
+  while IFS= read -r target; do
+    [[ "$target" == http* || "$target" == \#* ]] && continue
+    path="${target%%#*}"
+    [[ -z "$path" ]] && continue
+    [[ -e "$dir/$path" || -e "$path" ]] \
+      || err "$doc has dead markdown link: $target"
+  done < <(grep -oE '\]\(([^)]+)\)' "$doc" | sed 's/^](//; s/)$//' | sort -u)
+done
 
 # 3. Symbols the docs hang their explanations on still exist in code.
 declare -A SYMBOLS=(
@@ -68,9 +89,50 @@ for cli in examples/serve_cli.cpp examples/ingest_admin.cpp \
   grep -q 'cli_flags.h' "$cli" || err "$cli does not use util/cli_flags.h"
 done
 
-# 5. The bench recipe in EXPERIMENTS.md matches an actual target.
+# 5. The bench recipes in EXPERIMENTS.md match actual targets.
 grep -q 'micro_ingest' bench/CMakeLists.txt \
   || err "EXPERIMENTS.md recipe target micro_ingest not in bench/CMakeLists.txt"
+grep -q 'micro_scale' bench/CMakeLists.txt \
+  || err "EXPERIMENTS.md recipe target micro_scale not in bench/CMakeLists.txt"
+
+# 6. Headline figures quoted in EXPERIMENTS.md agree with the committed
+#    BENCH JSONs — the anti-drift gate for measured numbers. Each check
+#    recomputes the doc's figure from the JSON it cites.
+json_field() {  # json_field <file> <key>: first numeric value of key
+  grep -oE "\"$2\": [0-9.]+" "$1" | head -1 | grep -oE '[0-9.]+$'
+}
+quoted_2dp() {  # quoted_2dp <value>: the doc quotes <value> to 2 decimals
+  # A value like 16.965 rounds to 16.96 or 16.97 depending on the
+  # rounding mode (and on FP representation), so accept both.
+  local lo hi
+  lo=$(awk -v v="$1" 'BEGIN{printf "%.2f", int(v*100)/100}')
+  hi=$(awk -v v="$1" 'BEGIN{printf "%.2f", (int(v*100)+1)/100}')
+  grep -qE "$(echo "$lo" | sed 's/\./\\./')|$(echo "$hi" | sed 's/\./\\./')" \
+    EXPERIMENTS.md
+}
+if [[ -f BENCH_features.json ]]; then
+  legacy=$(json_field BENCH_features.json legacy_total_ms)
+  fused=$(json_field BENCH_features.json fused_total_ms)
+  speedup=$(awk -v a="$legacy" -v b="$fused" 'BEGIN{print a/b}')
+  quoted_2dp "$speedup" \
+    || err "EXPERIMENTS.md fused-extraction speedup drifted from" \
+           "BENCH_features.json (expected ~$(awk -v v="$speedup" \
+           'BEGIN{printf "%.2f", v}')x)"
+fi
+if [[ -f BENCH_query.json ]]; then
+  p50=$(grep -oE '"config": "shards=1", "p50_ms": [0-9.]+' BENCH_query.json \
+        | grep -oE '[0-9.]+$')
+  quoted_2dp "$p50" \
+    || err "EXPERIMENTS.md serial query p50 drifted from BENCH_query.json" \
+           "(expected ~$(awk -v v="$p50" 'BEGIN{printf "%.2f", v}') ms)"
+fi
+if [[ -f BENCH_scale.json ]]; then
+  warm=$(grep -oE '"warm_open_ms": [0-9.]+' BENCH_scale.json | tail -1 \
+         | grep -oE '[0-9.]+$')
+  grep -q "$warm" EXPERIMENTS.md \
+    || err "EXPERIMENTS.md corpus-scaling warm-open figure drifted from" \
+           "BENCH_scale.json (expected $warm ms)"
+fi
 
 if [[ "$fail" -ne 0 ]]; then
   echo "check_docs: FAILED" >&2

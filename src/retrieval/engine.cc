@@ -26,9 +26,55 @@ Result<std::unique_ptr<RetrievalEngine>> RetrievalEngine::Open(
   VR_ASSIGN_OR_RETURN(engine->store_, VideoStore::Open(dir, db_options));
   {
     // Open is single-threaded; the writer lock is taken to satisfy
-    // WarmCache's guarded-state contract, not for contention.
+    // the guarded-state contracts, not for contention.
     WriterMutexLock lock(engine->mutex_);
-    VR_RETURN_NOT_OK(engine->WarmCache());
+    bool warm = false;
+    bool have_generation = false;
+    if (options.persist_matrix) {
+      VR_ASSIGN_OR_RETURN(engine->matrix_store_,
+                          MatrixStore::Open(dir, db_options.env));
+      // The generation handshake needs the store's row count once; a
+      // quarantined KEY_FRAMES table (degraded open) has no count, so
+      // the matrix cache sits this run out entirely.
+      Result<uint64_t> count = engine->store_->KeyFrameCount();
+      if (count.ok()) {
+        have_generation = true;
+        engine->matrix_gen_ = MatrixStore::Generation{
+            *count, engine->store_->PeekNextKeyFrameId()};
+        VR_ASSIGN_OR_RETURN(
+            warm, engine->matrix_store_->Load(engine->matrix_gen_,
+                                              &engine->matrix_));
+      } else {
+        engine->matrix_store_.reset();
+      }
+    }
+    if (warm) {
+      // Warm open: the matrix came back from pages; rebuild only the
+      // in-memory id map and range index from its rows — no store
+      // scan, no feature re-parsing.
+      for (size_t r = 0; r < engine->matrix_.rows(); ++r) {
+        const FeatureMatrix::Row& row = engine->matrix_.row(r);
+        engine->index_.InsertAt(row.i_id, row.range);
+        engine->cache_by_id_.emplace(row.i_id, r);
+      }
+      VR_LOG(Info) << "warm-opened retrieval cache with "
+                   << engine->matrix_.rows() << " key frames from "
+                   << engine->matrix_store_->path();
+    } else {
+      VR_RETURN_NOT_OK(engine->WarmCache());
+      if (engine->matrix_store_ != nullptr && have_generation) {
+        const Status persisted = engine->matrix_store_->RewriteFull(
+            engine->matrix_, engine->matrix_gen_);
+        if (!persisted.ok()) {
+          // The cache file is best-effort: queries don't need it, and
+          // the next open will rebuild. Demote to memory-only.
+          VR_LOG(Warn) << "matrix cache persist failed (disabled for "
+                          "this run): "
+                       << persisted.ToString();
+          engine->matrix_store_.reset();
+        }
+      }
+    }
   }
   // Rank pool: only worth spinning up when sharding can actually kick
   // in (threshold > 0) and more than one worker would run.
@@ -167,6 +213,16 @@ Status RetrievalEngine::RemoveVideo(int64_t v_id) {
     matrix_.SwapRemove(pos);
     if (pos != matrix_.rows()) {
       cache_by_id_[matrix_.row(pos).i_id] = pos;
+    }
+  }
+  if (matrix_store_ != nullptr) {
+    matrix_gen_.key_frame_count -= std::min<uint64_t>(
+        matrix_gen_.key_frame_count, ids.size());
+    const Status persisted = matrix_store_->Remove(ids, matrix_, matrix_gen_);
+    if (!persisted.ok()) {
+      VR_LOG(Warn) << "matrix cache remove failed (disabled for this run): "
+                   << persisted.ToString();
+      matrix_store_.reset();
     }
   }
   return Status::OK();

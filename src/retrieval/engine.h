@@ -26,6 +26,7 @@
 #include "keyframe/keyframe_extractor.h"
 #include "retrieval/feature_matrix.h"
 #include "retrieval/ingest_stats.h"
+#include "retrieval/matrix_store.h"
 #include "retrieval/query_stats.h"
 #include "similarity/combined_scorer.h"
 #include "storage/video_store.h"
@@ -88,6 +89,29 @@ struct EngineOptions {
   /// 0 disables caching. Repeated query frames skip extraction
   /// entirely — the dominant cost of a cold query.
   size_t extraction_cache_capacity = 64;
+  /// Persist the columnar FeatureMatrix (exact doubles + quantized
+  /// shadow codes) as a paged cache file next to the tables, so a warm
+  /// open streams binary pages instead of re-extracting every row from
+  /// the store. The file validates against the store's generation at
+  /// open and transparently falls back to the legacy rebuild when
+  /// stale or damaged (see retrieval/matrix_store.h).
+  bool persist_matrix = true;
+  /// Enable the two-stage query: a coarse scan over the 8-bit
+  /// quantized columns keeps the best k * two_stage_coarse_factor
+  /// candidates, then the exact double kernels rerank only those. Only
+  /// activates when the final score is batch-independent — single-
+  /// feature queries always are; combined queries only under
+  /// NormalizationKind::kNone (batch normalizers make every score
+  /// depend on the whole candidate set) — otherwise the query silently
+  /// runs the pure exact path. The returned top-k is bit-identical to
+  /// the exact path on corpora where the coarse stage retains the true
+  /// winners (gated in tests and bench/micro_scale).
+  bool two_stage = true;
+  /// Candidate count below which two-stage is skipped (the exact scan
+  /// is already cheap; the coarse pass would only add overhead).
+  size_t two_stage_min_candidates = 4096;
+  /// Coarse stage keeps k * this many candidates for the exact rerank.
+  size_t two_stage_coarse_factor = 4;
 };
 
 /// One ranked retrieval hit.
@@ -311,6 +335,16 @@ class RetrievalEngine {
     return matrix_.rows();
   }
 
+  /// Counters of the persisted matrix cache: file rows, tombstones,
+  /// whether this open was warm (loaded from pages instead of a store
+  /// scan), rewrites/appends since open. All-zero when persistence is
+  /// disabled or was demoted after a persist failure.
+  MatrixStore::Stats matrix_store_stats() const EXCLUDES(mutex_) {
+    ReaderMutexLock lock(mutex_);
+    return matrix_store_ != nullptr ? matrix_store_->stats()
+                                    : MatrixStore::Stats{};
+  }
+
  private:
   explicit RetrievalEngine(EngineOptions options)
       : options_(std::move(options)),
@@ -340,6 +374,8 @@ class RetrievalEngine {
     std::atomic<uint64_t> extract_ns{0};
     std::atomic<uint64_t> select_ns{0};
     std::atomic<uint64_t> rank_ns{0};
+    std::atomic<uint64_t> two_stage_queries{0};
+    std::atomic<uint64_t> coarse_candidates{0};
   };
 
   /// Rebuilds the feature cache and range index from the store; runs
@@ -395,11 +431,35 @@ class RetrievalEngine {
   /// state through local aliases bound while the lock is held).
   void RunSharded(size_t shards, const std::function<void(size_t)>& fn) const
       REQUIRES_SHARED(mutex_);
-  /// Ranks candidate rows of matrix_.
+  /// Ranks candidate rows of matrix_. Dispatches to the two-stage path
+  /// (coarse quantized scan, then RankExact over the survivors) when
+  /// TwoStageEligible, otherwise ranks everything exactly.
   Result<std::vector<QueryResult>> Rank(
       const FeatureMap& query_features, const std::vector<uint32_t>& candidates,
       const std::vector<FeatureKind>& kinds, size_t k) const
       REQUIRES_SHARED(mutex_);
+  /// The exact ranking kernel (the pre-two-stage Rank body): double
+  /// distance columns, batch fusion, top-k partial sort.
+  Result<std::vector<QueryResult>> RankExact(
+      const FeatureMap& query_features, const std::vector<uint32_t>& candidates,
+      const std::vector<FeatureKind>& kinds, size_t k) const
+      REQUIRES_SHARED(mutex_);
+  /// Whether this query may use the coarse quantized pre-selection: the
+  /// option is on, the candidate set is large enough to benefit, the
+  /// final score is batch-independent (single feature, or combined
+  /// under NormalizationKind::kNone), and every queried column has a
+  /// usable quantization range.
+  bool TwoStageEligible(const std::vector<FeatureKind>& kinds,
+                        size_t candidates, size_t k) const
+      REQUIRES_SHARED(mutex_);
+  /// Coarse stage: scores candidates by weighted L1 over the 8-bit
+  /// codes (each kind's code distance rescaled into its value range so
+  /// kinds combine on the same footing as the exact path) and returns
+  /// the best \p keep rows for the exact rerank.
+  std::vector<uint32_t> CoarseSelect(const FeatureMap& query_features,
+                                     const std::vector<uint32_t>& candidates,
+                                     const std::vector<FeatureKind>& kinds,
+                                     size_t keep) const REQUIRES_SHARED(mutex_);
 
   EngineOptions options_;
   KeyFrameExtractor key_frames_;  ///< stateless after construction
@@ -416,6 +476,13 @@ class RetrievalEngine {
   /// through cache_by_id_.
   FeatureMatrix matrix_ GUARDED_BY(mutex_);
   std::map<int64_t, size_t> cache_by_id_ GUARDED_BY(mutex_);
+  /// Persisted matrix cache (null when persist_matrix is off, or after
+  /// a persist failure demoted the cache to memory-only for this run —
+  /// the next open sees a stale generation and rebuilds).
+  std::unique_ptr<MatrixStore> matrix_store_ GUARDED_BY(mutex_);
+  /// Live store generation, tracked incrementally across commits and
+  /// removes so persisting never needs an O(N) KeyFrameCount() walk.
+  MatrixStore::Generation matrix_gen_ GUARDED_BY(mutex_);
   /// Workers for sharded ranking; null when serial-only. Created at
   /// Open, immutable after — shard tasks only ever read query-local
   /// buffers plus matrix_ under the caller's shared lock.

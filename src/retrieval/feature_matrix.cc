@@ -1,19 +1,42 @@
 #include "retrieval/feature_matrix.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace vr {
+
+uint8_t FeatureMatrix::QuantizeValue(double v, double qmin, double qmax) {
+  const double span = qmax - qmin;
+  if (!(span > 0.0)) return 0;  // degenerate (or NaN) range
+  const double scaled = std::lround((v - qmin) * 255.0 / span);
+  return static_cast<uint8_t>(std::clamp(scaled, 0.0, 255.0));
+}
 
 void FeatureMatrix::Relayout(Column& col, size_t rows, size_t needed) {
   size_t stride = col.stride == 0 ? needed : col.stride;
   while (stride < needed) stride *= 2;  // geometric so re-layouts amortize
   std::vector<double> values(rows * stride, 0.0);
+  std::vector<uint8_t> codes(rows * stride, 0);
   for (size_t r = 0; r < rows; ++r) {
     std::copy_n(col.values.data() + r * col.stride, col.lengths[r],
                 values.data() + r * stride);
+    std::copy_n(col.codes.data() + r * col.stride, col.lengths[r],
+                codes.data() + r * stride);
   }
   col.values = std::move(values);
+  col.codes = std::move(codes);
   col.stride = stride;
+}
+
+void FeatureMatrix::RequantizeColumn(Column& col, size_t rows) {
+  for (size_t r = 0; r < rows; ++r) {
+    const double* v = col.values.data() + r * col.stride;
+    uint8_t* c = col.codes.data() + r * col.stride;
+    const size_t len = col.lengths[r];
+    for (size_t i = 0; i < len; ++i) {
+      c[i] = QuantizeValue(v[i], col.qmin, col.qmax);
+    }
+  }
 }
 
 void FeatureMatrix::Append(int64_t i_id, int64_t v_id, const GrayRange& range,
@@ -26,13 +49,60 @@ void FeatureMatrix::Append(int64_t i_id, int64_t v_id, const GrayRange& range,
     const size_t len = it == features.end() ? 0 : it->second.size();
     if (len > col.stride) Relayout(col, pos, len);
     col.values.resize((pos + 1) * col.stride, 0.0);
+    col.codes.resize((pos + 1) * col.stride, 0);
     col.lengths.push_back(static_cast<uint32_t>(len));
     col.present.push_back(it == features.end() ? 0 : 1);
     if (len > 0) {
-      std::copy_n(it->second.values().data(), len,
-                  col.values.data() + pos * col.stride);
+      const double* src = it->second.values().data();
+      std::copy_n(src, len, col.values.data() + pos * col.stride);
+      // Maintain the quantized shadow. A row that extends the column's
+      // value range re-quantizes every existing code (rare once the
+      // corpus distribution settles; MatrixStore notices the range
+      // change and rewrites the persisted codes).
+      const auto [mn, mx] = std::minmax_element(src, src + len);
+      if (!col.quantized) {
+        col.qmin = *mn;
+        col.qmax = *mx;
+        col.quantized = true;
+      } else if (*mn < col.qmin || *mx > col.qmax) {
+        col.qmin = std::min(col.qmin, *mn);
+        col.qmax = std::max(col.qmax, *mx);
+        RequantizeColumn(col, pos + 1);
+        continue;  // the new row was coded by the requantize pass
+      }
+      uint8_t* codes = col.codes.data() + pos * col.stride;
+      for (size_t i = 0; i < len; ++i) {
+        codes[i] = QuantizeValue(src[i], col.qmin, col.qmax);
+      }
     }
   }
+}
+
+void FeatureMatrix::AppendLoaded(
+    const Row& row, const std::array<LoadedColumn, kNumFeatureKinds>& cols) {
+  const size_t pos = rows_.size();
+  rows_.push_back(row);
+  for (int k = 0; k < kNumFeatureKinds; ++k) {
+    Column& col = columns_[static_cast<size_t>(k)];
+    const LoadedColumn& in = cols[static_cast<size_t>(k)];
+    if (in.length > col.stride) Relayout(col, pos, in.length);
+    col.values.resize((pos + 1) * col.stride, 0.0);
+    col.codes.resize((pos + 1) * col.stride, 0);
+    col.lengths.push_back(in.length);
+    col.present.push_back(in.present);
+    if (in.length > 0) {
+      std::copy_n(in.values, in.length, col.values.data() + pos * col.stride);
+      std::copy_n(in.codes, in.length, col.codes.data() + pos * col.stride);
+    }
+  }
+}
+
+void FeatureMatrix::SetQuantRange(FeatureKind kind, double qmin, double qmax,
+                                  bool quantized) {
+  Column& col = columns_[static_cast<size_t>(kind)];
+  col.qmin = qmin;
+  col.qmax = qmax;
+  col.quantized = quantized;
 }
 
 void FeatureMatrix::SwapRemove(size_t pos) {
@@ -43,6 +113,8 @@ void FeatureMatrix::SwapRemove(size_t pos) {
       if (col.stride > 0) {
         std::copy_n(col.values.data() + last * col.stride, col.stride,
                     col.values.data() + pos * col.stride);
+        std::copy_n(col.codes.data() + last * col.stride, col.stride,
+                    col.codes.data() + pos * col.stride);
       }
       col.lengths[pos] = col.lengths[last];
       col.present[pos] = col.present[last];
@@ -51,6 +123,7 @@ void FeatureMatrix::SwapRemove(size_t pos) {
   rows_.pop_back();
   for (Column& col : columns_) {
     col.values.resize(last * col.stride);
+    col.codes.resize(last * col.stride);
     col.lengths.pop_back();
     col.present.pop_back();
   }
@@ -60,8 +133,12 @@ void FeatureMatrix::Clear() {
   rows_.clear();
   for (Column& col : columns_) {
     col.values.clear();
+    col.codes.clear();
     col.lengths.clear();
     col.present.clear();
+    col.qmin = 0.0;
+    col.qmax = 0.0;
+    col.quantized = false;
   }
 }
 

@@ -4,6 +4,7 @@
 #include "imaging/dct_codec.h"
 #include "imaging/ppm.h"
 #include "retrieval/engine.h"
+#include "util/logging.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
 #include "video/video_reader.h"
@@ -151,12 +152,28 @@ Result<int64_t> RetrievalEngine::CommitPrepared(PreparedVideo video) {
   VR_RETURN_NOT_OK(store_->PutVideo(video_row).status());
 
   // Publish to the in-memory structures only after everything persisted.
+  const size_t first_new_row = matrix_.rows();
   for (KeyFrameRecord& record : records) {
     const GrayRange range{static_cast<int>(record.min),
                           static_cast<int>(record.max), 0};
     index_.InsertAt(record.i_id, range);
     cache_by_id_.emplace(record.i_id, matrix_.rows());
     matrix_.Append(record.i_id, v_id, range, record.features);
+  }
+  if (matrix_store_ != nullptr) {
+    // Incrementally persist the new rows to the matrix cache file. The
+    // file is best-effort — the store above is the source of truth and
+    // already committed — so a persist failure only demotes the cache
+    // to memory-only for this run (the next open rebuilds it).
+    matrix_gen_.key_frame_count += records.size();
+    matrix_gen_.next_key_frame_id = store_->PeekNextKeyFrameId();
+    const Status persisted =
+        matrix_store_->Append(matrix_, first_new_row, matrix_gen_);
+    if (!persisted.ok()) {
+      VR_LOG(Warn) << "matrix cache append failed (disabled for this run): "
+                   << persisted.ToString();
+      matrix_store_.reset();
+    }
   }
   ingest_counters_.videos_ingested.fetch_add(1, std::memory_order_relaxed);
   ingest_counters_.keyframes_kept.fetch_add(records.size(),

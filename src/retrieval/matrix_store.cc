@@ -1,0 +1,529 @@
+#include "retrieval/matrix_store.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace vr {
+
+namespace {
+
+/// Payload bytes per kMatrixData page (after type/next/used header).
+constexpr uint32_t kPayloadStart = 12;
+constexpr uint32_t kPayloadCapacity = kPageSize - kPayloadStart;
+
+/// Header page field offsets (see docs/FORMAT.md "Matrix cache file").
+constexpr uint32_t kOffMagic = 4;
+constexpr uint32_t kOffVersion = 8;
+constexpr uint32_t kOffGenCount = 12;
+constexpr uint32_t kOffGenNextId = 20;
+constexpr uint32_t kOffFileRows = 28;
+constexpr uint32_t kOffTombstones = 36;
+constexpr uint32_t kOffDataHead = 44;
+constexpr uint32_t kOffDataTail = 48;
+constexpr uint32_t kOffDataTailUsed = 52;
+constexpr uint32_t kOffTombHead = 56;
+constexpr uint32_t kOffTombTail = 60;
+constexpr uint32_t kOffTombTailUsed = 64;
+constexpr uint32_t kOffQuantTable = 72;
+constexpr uint32_t kQuantEntrySize = 24;  // f64 qmin, f64 qmax, u8 flag, pad
+
+/// A persisted per-kind vector longer than this is treated as
+/// corruption (the longest real feature vector is a few thousand).
+constexpr uint32_t kMaxVectorLength = 1u << 20;
+
+void AppendBytes(std::vector<uint8_t>* out, const void* data, size_t n) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  out->insert(out->end(), p, p + n);
+}
+
+template <typename T>
+void AppendPod(std::vector<uint8_t>* out, T v) {
+  AppendBytes(out, &v, sizeof(T));
+}
+
+}  // namespace
+
+/// \brief Appends a byte stream across a chain of kMatrixData pages.
+///
+/// Pages are fetched per call and marked dirty immediately after every
+/// mutation, so buffer-pool eviction between pager calls can never drop
+/// a write.
+class MatrixStore::StreamWriter {
+ public:
+  explicit StreamWriter(Pager* pager) : pager_(pager) {}
+
+  /// Allocates the first page of a fresh chain and returns its id.
+  Result<uint32_t> StartFresh() {
+    VR_ASSIGN_OR_RETURN(cur_, pager_->Allocate(PageType::kMatrixData));
+    used_ = 0;
+    allocated_.push_back(cur_);
+    return cur_;
+  }
+
+  /// Resumes appending at an existing chain's tail.
+  Status Resume(uint32_t tail, uint32_t used) {
+    if (tail == kInvalidPageId || used > kPayloadCapacity) {
+      return Status::Corruption("matrix chain tail cursor out of range");
+    }
+    cur_ = tail;
+    used_ = used;
+    return Status::OK();
+  }
+
+  Status Write(const uint8_t* data, size_t n) {
+    while (n > 0) {
+      VR_ASSIGN_OR_RETURN(std::shared_ptr<Page> page, pager_->Fetch(cur_));
+      if (used_ >= kPayloadCapacity) {
+        // Current page is full: link a successor. Allocate may evict
+        // the current page, so re-fetch before touching its bytes.
+        VR_ASSIGN_OR_RETURN(uint32_t next,
+                            pager_->Allocate(PageType::kMatrixData));
+        allocated_.push_back(next);
+        VR_ASSIGN_OR_RETURN(page, pager_->Fetch(cur_));
+        page->set_next_page(next);
+        page->WriteAt<uint32_t>(8, used_);
+        VR_RETURN_NOT_OK(pager_->MarkDirty(cur_));
+        cur_ = next;
+        used_ = 0;
+        continue;
+      }
+      const size_t take =
+          std::min(n, static_cast<size_t>(kPayloadCapacity - used_));
+      std::memcpy(page->data() + kPayloadStart + used_, data, take);
+      used_ += static_cast<uint32_t>(take);
+      page->WriteAt<uint32_t>(8, used_);
+      VR_RETURN_NOT_OK(pager_->MarkDirty(cur_));
+      data += take;
+      n -= take;
+    }
+    return Status::OK();
+  }
+
+  uint32_t tail() const { return cur_; }
+  uint32_t tail_used() const { return used_; }
+  /// Pages allocated by this writer (excludes a Resume'd tail).
+  const std::vector<uint32_t>& allocated() const { return allocated_; }
+
+ private:
+  Pager* pager_;
+  uint32_t cur_ = kInvalidPageId;
+  uint32_t used_ = 0;
+  std::vector<uint32_t> allocated_;
+};
+
+/// \brief Reads a byte stream back from a kMatrixData chain, verifying
+/// page types and used-counts as it walks.
+class MatrixStore::StreamReader {
+ public:
+  explicit StreamReader(Pager* pager) : pager_(pager) {}
+
+  Status Start(uint32_t head) {
+    VR_RETURN_NOT_OK(FetchChecked(head));
+    return Status::OK();
+  }
+
+  Status Read(uint8_t* out, size_t n) {
+    while (n > 0) {
+      const uint32_t used = page_->ReadAt<uint32_t>(8);
+      if (used > kPayloadCapacity) {
+        return Status::Corruption("matrix data page used-count out of range");
+      }
+      if (off_ >= used) {
+        const uint32_t next = page_->next_page();
+        if (next == kInvalidPageId) {
+          return Status::Corruption("matrix data chain truncated");
+        }
+        VR_RETURN_NOT_OK(FetchChecked(next));
+        continue;
+      }
+      const size_t take = std::min(n, static_cast<size_t>(used - off_));
+      std::memcpy(out, page_->data() + kPayloadStart + off_, take);
+      off_ += static_cast<uint32_t>(take);
+      out += take;
+      n -= take;
+    }
+    return Status::OK();
+  }
+
+  template <typename T>
+  Status ReadPod(T* v) {
+    return Read(reinterpret_cast<uint8_t*>(v), sizeof(T));
+  }
+
+ private:
+  Status FetchChecked(uint32_t page_id) {
+    VR_ASSIGN_OR_RETURN(page_, pager_->Fetch(page_id));
+    if (page_->type() != PageType::kMatrixData) {
+      return Status::Corruption("matrix chain page has the wrong type");
+    }
+    off_ = 0;
+    return Status::OK();
+  }
+
+  Pager* pager_;
+  std::shared_ptr<Page> page_;
+  uint32_t off_ = 0;
+};
+
+Result<std::unique_ptr<MatrixStore>> MatrixStore::Open(const std::string& dir,
+                                                       Env* env) {
+  auto store = std::unique_ptr<MatrixStore>(new MatrixStore());
+  const std::string path = dir + "/" + kFileName;
+  Result<std::unique_ptr<Pager>> pager = Pager::Open(path, true, 256, env);
+  if (!pager.ok()) {
+    // The matrix file is a rebuildable cache: an unreadable meta page
+    // is not fatal, just start over with an empty file.
+    VR_LOG(Warn) << "matrix cache unreadable, recreating: "
+                 << pager.status().ToString();
+    Env* e = env != nullptr ? env : Env::Default();
+    (void)e->DeleteFile(path);
+    VR_ASSIGN_OR_RETURN(pager, Pager::Open(path, true, 256, env));
+  }
+  store->pager_ = std::move(*pager);
+  return store;
+}
+
+void MatrixStore::EncodeRow(const FeatureMatrix& matrix, size_t r,
+                            std::vector<uint8_t>* out) {
+  const FeatureMatrix::Row& row = matrix.row(r);
+  AppendPod<int64_t>(out, row.i_id);
+  AppendPod<int64_t>(out, row.v_id);
+  AppendPod<int32_t>(out, row.range.min);
+  AppendPod<int32_t>(out, row.range.max);
+  for (int k = 0; k < kNumFeatureKinds; ++k) {
+    const FeatureMatrix::Column& col =
+        matrix.column(static_cast<FeatureKind>(k));
+    const uint32_t len = col.lengths[r];
+    AppendPod<uint8_t>(out, col.present[r]);
+    AppendPod<uint32_t>(out, len);
+    if (len > 0) {
+      AppendBytes(out, col.row(r), len * sizeof(double));
+      AppendBytes(out, col.code_row(r), len);
+    }
+  }
+}
+
+Result<bool> MatrixStore::Load(const Generation& expected,
+                               FeatureMatrix* matrix) {
+  Result<bool> loaded = LoadInner(expected, matrix);
+  if (loaded.ok() && *loaded) {
+    warm_loaded_ = true;
+    return true;
+  }
+  if (!loaded.ok()) {
+    VR_LOG(Warn) << "matrix cache failed verification, rebuilding: "
+                 << loaded.status().ToString();
+  }
+  // Cold cache: undo any partial load. data_head_/tomb_head_ keep
+  // whatever the header said so the upcoming RewriteFull can recycle
+  // the old chains (best-effort).
+  matrix->Clear();
+  file_row_of_id_.clear();
+  tombstones_.clear();
+  tomb_pages_.clear();
+  file_rows_ = 0;
+  tombstone_count_ = 0;
+  warm_loaded_ = false;
+  return false;
+}
+
+Result<bool> MatrixStore::LoadInner(const Generation& expected,
+                                    FeatureMatrix* matrix) {
+  const uint32_t root = pager_->user_root();
+  if (root == kInvalidPageId) return false;  // never persisted
+  header_page_ = root;
+  VR_ASSIGN_OR_RETURN(std::shared_ptr<Page> header, pager_->Fetch(root));
+  if (header->type() != PageType::kMatrixHeader ||
+      header->ReadAt<uint32_t>(kOffMagic) != kMagic ||
+      header->ReadAt<uint32_t>(kOffVersion) != kFormatVersion) {
+    return false;
+  }
+  generation_.key_frame_count = header->ReadAt<uint64_t>(kOffGenCount);
+  generation_.next_key_frame_id = header->ReadAt<int64_t>(kOffGenNextId);
+  file_rows_ = header->ReadAt<uint64_t>(kOffFileRows);
+  tombstone_count_ = header->ReadAt<uint64_t>(kOffTombstones);
+  data_head_ = header->ReadAt<uint32_t>(kOffDataHead);
+  data_tail_ = header->ReadAt<uint32_t>(kOffDataTail);
+  data_tail_used_ = header->ReadAt<uint32_t>(kOffDataTailUsed);
+  tomb_head_ = header->ReadAt<uint32_t>(kOffTombHead);
+  tomb_tail_ = header->ReadAt<uint32_t>(kOffTombTail);
+  tomb_tail_used_ = header->ReadAt<uint32_t>(kOffTombTailUsed);
+  for (int k = 0; k < kNumFeatureKinds; ++k) {
+    const uint32_t off = kOffQuantTable + k * kQuantEntrySize;
+    quant_[k].qmin = header->ReadAt<double>(off);
+    quant_[k].qmax = header->ReadAt<double>(off + 8);
+    quant_[k].quantized = header->ReadAt<uint8_t>(off + 16);
+  }
+  if (!(generation_ == expected)) return false;  // stale cache
+
+  // Tombstone bitmap first, so dead rows can be skipped while the data
+  // chain streams through.
+  tombstones_.assign(file_rows_, 0);
+  if (file_rows_ > 0) {
+    StreamReader tomb_reader(pager_.get());
+    VR_RETURN_NOT_OK(tomb_reader.Start(tomb_head_));
+    VR_RETURN_NOT_OK(tomb_reader.Read(tombstones_.data(), tombstones_.size()));
+  }
+  VR_ASSIGN_OR_RETURN(tomb_pages_, ChainPages(tomb_head_));
+
+  for (int k = 0; k < kNumFeatureKinds; ++k) {
+    matrix->SetQuantRange(static_cast<FeatureKind>(k), quant_[k].qmin,
+                          quant_[k].qmax, quant_[k].quantized != 0);
+  }
+
+  StreamReader reader(pager_.get());
+  if (file_rows_ > 0) VR_RETURN_NOT_OK(reader.Start(data_head_));
+  std::array<std::vector<double>, kNumFeatureKinds> value_scratch;
+  std::array<std::vector<uint8_t>, kNumFeatureKinds> code_scratch;
+  for (uint64_t fr = 0; fr < file_rows_; ++fr) {
+    FeatureMatrix::Row row;
+    int32_t min = 0;
+    int32_t max = 0;
+    VR_RETURN_NOT_OK(reader.ReadPod(&row.i_id));
+    VR_RETURN_NOT_OK(reader.ReadPod(&row.v_id));
+    VR_RETURN_NOT_OK(reader.ReadPod(&min));
+    VR_RETURN_NOT_OK(reader.ReadPod(&max));
+    row.range = GrayRange{min, max, 0};
+    std::array<FeatureMatrix::LoadedColumn, kNumFeatureKinds> cols{};
+    for (int k = 0; k < kNumFeatureKinds; ++k) {
+      FeatureMatrix::LoadedColumn& col = cols[static_cast<size_t>(k)];
+      VR_RETURN_NOT_OK(reader.ReadPod(&col.present));
+      VR_RETURN_NOT_OK(reader.ReadPod(&col.length));
+      if (col.length > kMaxVectorLength) {
+        return Status::Corruption("matrix row vector length out of range");
+      }
+      if (col.length > 0) {
+        std::vector<double>& values = value_scratch[static_cast<size_t>(k)];
+        std::vector<uint8_t>& codes = code_scratch[static_cast<size_t>(k)];
+        values.resize(col.length);
+        codes.resize(col.length);
+        VR_RETURN_NOT_OK(
+            reader.Read(reinterpret_cast<uint8_t*>(values.data()),
+                        col.length * sizeof(double)));
+        VR_RETURN_NOT_OK(reader.Read(codes.data(), col.length));
+        col.values = values.data();
+        col.codes = codes.data();
+      }
+    }
+    if (tombstones_[fr]) continue;
+    file_row_of_id_.emplace(row.i_id, fr);
+    matrix->AppendLoaded(row, cols);
+  }
+  return true;
+}
+
+Result<std::vector<uint32_t>> MatrixStore::ChainPages(uint32_t head) {
+  std::vector<uint32_t> pages;
+  uint32_t cur = head;
+  const uint32_t limit = pager_->page_count();
+  while (cur != kInvalidPageId) {
+    if (pages.size() > limit) {
+      return Status::Corruption("matrix page chain contains a cycle");
+    }
+    VR_ASSIGN_OR_RETURN(std::shared_ptr<Page> page, pager_->Fetch(cur));
+    if (page->type() != PageType::kMatrixData) {
+      return Status::Corruption("matrix chain page has the wrong type");
+    }
+    pages.push_back(cur);
+    cur = page->next_page();
+  }
+  return pages;
+}
+
+Status MatrixStore::FreeChain(uint32_t head) {
+  uint32_t cur = head;
+  const uint32_t limit = pager_->page_count();
+  uint32_t freed = 0;
+  while (cur != kInvalidPageId) {
+    if (++freed > limit) {
+      return Status::Corruption("matrix page chain contains a cycle");
+    }
+    VR_ASSIGN_OR_RETURN(std::shared_ptr<Page> page, pager_->Fetch(cur));
+    const uint32_t next = page->next_page();
+    VR_RETURN_NOT_OK(pager_->Free(cur));
+    cur = next;
+  }
+  return Status::OK();
+}
+
+Status MatrixStore::WriteTombstoneChain() {
+  StreamWriter writer(pager_.get());
+  VR_ASSIGN_OR_RETURN(tomb_head_, writer.StartFresh());
+  if (!tombstones_.empty()) {
+    VR_RETURN_NOT_OK(writer.Write(tombstones_.data(), tombstones_.size()));
+  }
+  tomb_tail_ = writer.tail();
+  tomb_tail_used_ = writer.tail_used();
+  tomb_pages_ = writer.allocated();
+  return Status::OK();
+}
+
+Status MatrixStore::StoreHeader(const Generation& gen) {
+  if (header_page_ == kInvalidPageId) {
+    VR_ASSIGN_OR_RETURN(header_page_, pager_->Allocate(PageType::kMatrixHeader));
+    pager_->set_user_root(header_page_);
+  }
+  VR_ASSIGN_OR_RETURN(std::shared_ptr<Page> header,
+                      pager_->Fetch(header_page_));
+  header->set_type(PageType::kMatrixHeader);
+  header->WriteAt<uint32_t>(kOffMagic, kMagic);
+  header->WriteAt<uint32_t>(kOffVersion, kFormatVersion);
+  header->WriteAt<uint64_t>(kOffGenCount, gen.key_frame_count);
+  header->WriteAt<int64_t>(kOffGenNextId, gen.next_key_frame_id);
+  header->WriteAt<uint64_t>(kOffFileRows, file_rows_);
+  header->WriteAt<uint64_t>(kOffTombstones, tombstone_count_);
+  header->WriteAt<uint32_t>(kOffDataHead, data_head_);
+  header->WriteAt<uint32_t>(kOffDataTail, data_tail_);
+  header->WriteAt<uint32_t>(kOffDataTailUsed, data_tail_used_);
+  header->WriteAt<uint32_t>(kOffTombHead, tomb_head_);
+  header->WriteAt<uint32_t>(kOffTombTail, tomb_tail_);
+  header->WriteAt<uint32_t>(kOffTombTailUsed, tomb_tail_used_);
+  for (int k = 0; k < kNumFeatureKinds; ++k) {
+    const uint32_t off = kOffQuantTable + k * kQuantEntrySize;
+    header->WriteAt<double>(off, quant_[k].qmin);
+    header->WriteAt<double>(off + 8, quant_[k].qmax);
+    header->WriteAt<uint8_t>(off + 16, quant_[k].quantized);
+  }
+  VR_RETURN_NOT_OK(pager_->MarkDirty(header_page_));
+  generation_ = gen;
+  // Phase 2 of the two-phase persist: the header (and with it the new
+  // generation) only becomes durable after the data pages already are.
+  return pager_->Sync();
+}
+
+Status MatrixStore::RewriteFull(const FeatureMatrix& matrix,
+                                const Generation& gen) {
+  const uint32_t old_data = data_head_;
+  const uint32_t old_tomb = tomb_head_;
+
+  file_row_of_id_.clear();
+  StreamWriter writer(pager_.get());
+  VR_ASSIGN_OR_RETURN(data_head_, writer.StartFresh());
+  std::vector<uint8_t> record;
+  for (size_t r = 0; r < matrix.rows(); ++r) {
+    record.clear();
+    EncodeRow(matrix, r, &record);
+    VR_RETURN_NOT_OK(writer.Write(record.data(), record.size()));
+    file_row_of_id_.emplace(matrix.row(r).i_id, r);
+  }
+  data_tail_ = writer.tail();
+  data_tail_used_ = writer.tail_used();
+  file_rows_ = matrix.rows();
+  tombstone_count_ = 0;
+  tombstones_.assign(file_rows_, 0);
+  VR_RETURN_NOT_OK(WriteTombstoneChain());
+  for (int k = 0; k < kNumFeatureKinds; ++k) {
+    const FeatureMatrix::Column& col =
+        matrix.column(static_cast<FeatureKind>(k));
+    quant_[k] = QuantRange{col.qmin, col.qmax,
+                           static_cast<uint8_t>(col.quantized ? 1 : 0)};
+  }
+  // Phase 1: the fresh chains become durable while the header still
+  // points at the old ones (a crash here reads as the old, now-stale
+  // generation and triggers a rebuild).
+  VR_RETURN_NOT_OK(pager_->Sync());
+  VR_RETURN_NOT_OK(StoreHeader(gen));
+  // The old chains are unreachable now; recycle them. Best-effort — a
+  // failure (e.g. a corrupt old page) only leaks cache-file pages.
+  if (old_data != kInvalidPageId) (void)FreeChain(old_data);
+  if (old_tomb != kInvalidPageId) (void)FreeChain(old_tomb);
+  (void)pager_->Flush();
+  ++rewrites_;
+  return Status::OK();
+}
+
+Status MatrixStore::Append(const FeatureMatrix& matrix, size_t first_row,
+                           const Generation& gen) {
+  if (data_head_ == kInvalidPageId) return RewriteFull(matrix, gen);
+  for (int k = 0; k < kNumFeatureKinds; ++k) {
+    const FeatureMatrix::Column& col =
+        matrix.column(static_cast<FeatureKind>(k));
+    const QuantRange& persisted = quant_[k];
+    // A quantization-range change re-coded every in-memory row; the
+    // persisted codes of old rows are stale, so rewrite them all.
+    if (col.qmin != persisted.qmin || col.qmax != persisted.qmax ||
+        (col.quantized ? 1 : 0) != persisted.quantized) {
+      return RewriteFull(matrix, gen);
+    }
+  }
+
+  StreamWriter writer(pager_.get());
+  VR_RETURN_NOT_OK(writer.Resume(data_tail_, data_tail_used_));
+  std::vector<uint8_t> record;
+  const size_t added = matrix.rows() - first_row;
+  for (size_t r = first_row; r < matrix.rows(); ++r) {
+    record.clear();
+    EncodeRow(matrix, r, &record);
+    VR_RETURN_NOT_OK(writer.Write(record.data(), record.size()));
+    file_row_of_id_.emplace(matrix.row(r).i_id,
+                            file_rows_ + (r - first_row));
+  }
+  data_tail_ = writer.tail();
+  data_tail_used_ = writer.tail_used();
+
+  // Grow the tombstone bitmap with live markers for the new rows.
+  tombstones_.resize(file_rows_ + added, 0);
+  StreamWriter tomb_writer(pager_.get());
+  VR_RETURN_NOT_OK(tomb_writer.Resume(tomb_tail_, tomb_tail_used_));
+  const std::vector<uint8_t> zeros(added, 0);
+  VR_RETURN_NOT_OK(tomb_writer.Write(zeros.data(), zeros.size()));
+  tomb_tail_ = tomb_writer.tail();
+  tomb_tail_used_ = tomb_writer.tail_used();
+  tomb_pages_.insert(tomb_pages_.end(), tomb_writer.allocated().begin(),
+                     tomb_writer.allocated().end());
+
+  file_rows_ += added;
+  VR_RETURN_NOT_OK(pager_->Sync());  // phase 1: appended rows durable
+  VR_RETURN_NOT_OK(StoreHeader(gen));
+  ++appends_;
+  return Status::OK();
+}
+
+Status MatrixStore::Remove(const std::vector<int64_t>& ids,
+                           const FeatureMatrix& matrix,
+                           const Generation& gen) {
+  uint64_t newly_dead = 0;
+  for (int64_t id : ids) {
+    const auto it = file_row_of_id_.find(id);
+    if (it == file_row_of_id_.end()) continue;
+    const uint64_t fr = it->second;
+    file_row_of_id_.erase(it);
+    if (fr >= tombstones_.size() || tombstones_[fr]) continue;
+    tombstones_[fr] = 1;
+    ++newly_dead;
+    // Flip the persisted byte in place; a torn flip reads as a stale
+    // generation and rebuilds, same as every other partial mutation.
+    const uint64_t page_index = fr / kPayloadCapacity;
+    const uint32_t byte_off = static_cast<uint32_t>(fr % kPayloadCapacity);
+    if (page_index >= tomb_pages_.size()) {
+      return Status::Corruption("tombstone bitmap shorter than file rows");
+    }
+    const uint32_t page_id = tomb_pages_[page_index];
+    VR_ASSIGN_OR_RETURN(std::shared_ptr<Page> page, pager_->Fetch(page_id));
+    page->WriteAt<uint8_t>(kPayloadStart + byte_off, 1);
+    VR_RETURN_NOT_OK(pager_->MarkDirty(page_id));
+  }
+  tombstone_count_ += newly_dead;
+  // Compaction: once most of the file is dead weight, rewrite from the
+  // live in-memory matrix (already SwapRemove'd by the engine).
+  if (tombstone_count_ * 2 > file_rows_) {
+    return RewriteFull(matrix, gen);
+  }
+  VR_RETURN_NOT_OK(pager_->Sync());
+  return StoreHeader(gen);
+}
+
+MatrixStore::Stats MatrixStore::stats() const {
+  Stats stats;
+  stats.file_rows = file_rows_;
+  stats.tombstones = tombstone_count_;
+  stats.pages = pager_->page_count();
+  stats.warm_loaded = warm_loaded_;
+  stats.rewrites = rewrites_;
+  stats.appends = appends_;
+  return stats;
+}
+
+}  // namespace vr

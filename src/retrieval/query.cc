@@ -115,7 +115,138 @@ void RetrievalEngine::RunSharded(
   }
 }
 
+bool RetrievalEngine::TwoStageEligible(const std::vector<FeatureKind>& kinds,
+                                       size_t candidates, size_t k) const {
+  if (!options_.two_stage || k == 0) return false;
+  if (candidates < options_.two_stage_min_candidates) return false;
+  // No pruning win when the coarse stage would keep everything anyway.
+  if (k * options_.two_stage_coarse_factor >= candidates) return false;
+  // Batch normalizers (min-max, gaussian, rank) make every combined
+  // score depend on the whole candidate set, so reranking a subset
+  // could not reproduce the full-set scores bit-for-bit. Single-feature
+  // queries skip fusion entirely and are always batch-independent.
+  if (kinds.size() > 1 &&
+      options_.normalization != NormalizationKind::kNone) {
+    return false;
+  }
+  for (FeatureKind kind : kinds) {
+    const FeatureMatrix::Column& col = matrix_.column(kind);
+    if (!col.quantized || !(col.qmax > col.qmin)) return false;
+  }
+  return true;
+}
+
+std::vector<uint32_t> RetrievalEngine::CoarseSelect(
+    const FeatureMap& query_features, const std::vector<uint32_t>& candidates,
+    const std::vector<FeatureKind>& kinds, size_t keep) const {
+  // The coarse score is each kind's REAL metric (DistanceSpan) applied
+  // to values reconstructed from the 8-bit codes, fused with the same
+  // weights the exact path uses. Per-kind metrics differ wildly
+  // (normalized L1, Canberra, signature matching), so a generic
+  // code-space L1 would reorder candidates; reconstructing and reusing
+  // the extractor keeps the coarse order within quantization error of
+  // the exact order, and the keep = k * factor slack absorbs that
+  // error. The scan still only touches the compact u8 codes, which is
+  // where the memory-bandwidth win comes from.
+  struct CoarseKind {
+    const FeatureExtractor* extractor;
+    const FeatureMatrix::Column* column;
+    const FeatureVector* query;
+    double weight;  ///< fusion weight (1 for a single-kind query)
+    double step;    ///< dequantization step: (qmax - qmin) / 255
+  };
+  std::vector<CoarseKind> coarse;
+  coarse.reserve(kinds.size());
+  for (FeatureKind kind : kinds) {
+    const FeatureExtractor* extractor =
+        extractors_[static_cast<size_t>(kind)].get();
+    const auto q_it = query_features.find(kind);
+    // A missing query feature or disabled extractor makes RankExact
+    // fail identically for any candidate subset, so skipping the kind
+    // here cannot change observable behavior.
+    if (extractor == nullptr || q_it == query_features.end()) continue;
+    double weight = 1.0;
+    if (kinds.size() > 1) {
+      weight = scorer_.GetWeight(kind);
+      if (weight <= 0) continue;  // Combine() skips zero-weight kinds
+    }
+    const FeatureMatrix::Column& col = matrix_.column(kind);
+    coarse.push_back(CoarseKind{extractor, &col, &q_it->second, weight,
+                                (col.qmax - col.qmin) / 255.0});
+  }
+
+  // Sharded exactly like RankExact's batch-distance stage: each shard
+  // writes a disjoint slice of `scores`, so the result is independent
+  // of the shard count (and of whether the pool ran anything inline).
+  const size_t n = candidates.size();
+  std::vector<double> scores(n, 0.0);
+  const size_t shards = NumRankShards(n);
+  const size_t chunk = (n + shards - 1) / shards;
+  RunSharded(shards, [&](size_t shard) {
+    const size_t begin = shard * chunk;
+    const size_t end = std::min(n, begin + chunk);
+    std::vector<double> dequant;  // per-shard scratch, reused across rows
+    for (size_t i = begin; i < end; ++i) {
+      const uint32_t row = candidates[i];
+      double s = 0.0;
+      for (const CoarseKind& ck : coarse) {
+        if (!ck.column->present[row]) {
+          // Mirror the exact path: a frame without this feature ranks
+          // last for it (DBL_MAX there, a huge finite penalty here so
+          // multi-kind sums stay ordered instead of overflowing).
+          s += ck.weight * 1e300;
+          continue;
+        }
+        const uint8_t* codes = ck.column->code_row(row);
+        const size_t len = ck.column->lengths[row];
+        dequant.resize(len);
+        for (size_t j = 0; j < len; ++j) {
+          dequant[j] =
+              ck.column->qmin + ck.step * static_cast<double>(codes[j]);
+        }
+        s += ck.weight *
+             ck.extractor->DistanceSpan(ck.query->values().data(),
+                                        ck.query->size(), dequant.data(),
+                                        len);
+      }
+      scores[i] = s;
+    }
+  });
+
+  // Keep the best `keep` by coarse score; ties fall to i_id so the
+  // survivor set (and therefore the rerank input) is deterministic.
+  const FeatureMatrix& matrix = matrix_;
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  const size_t top = std::min(keep, n);
+  std::partial_sort(order.begin(), order.begin() + static_cast<ptrdiff_t>(top),
+                    order.end(), [&](uint32_t a, uint32_t b) {
+                      if (scores[a] != scores[b]) return scores[a] < scores[b];
+                      return matrix.row(candidates[a]).i_id <
+                             matrix.row(candidates[b]).i_id;
+                    });
+  std::vector<uint32_t> out;
+  out.reserve(top);
+  for (size_t i = 0; i < top; ++i) out.push_back(candidates[order[i]]);
+  return out;
+}
+
 Result<std::vector<QueryResult>> RetrievalEngine::Rank(
+    const FeatureMap& query_features, const std::vector<uint32_t>& candidates,
+    const std::vector<FeatureKind>& kinds, size_t k) const {
+  if (TwoStageEligible(kinds, candidates.size(), k)) {
+    const std::vector<uint32_t> survivors = CoarseSelect(
+        query_features, candidates, kinds,
+        k * options_.two_stage_coarse_factor);
+    query_counters_.two_stage_queries.fetch_add(1, std::memory_order_relaxed);
+    query_counters_.coarse_candidates.fetch_add(survivors.size(),
+                                                std::memory_order_relaxed);
+    return RankExact(query_features, survivors, kinds, k);
+  }
+  return RankExact(query_features, candidates, kinds, k);
+}
+
+Result<std::vector<QueryResult>> RetrievalEngine::RankExact(
     const FeatureMap& query_features, const std::vector<uint32_t>& candidates,
     const std::vector<FeatureKind>& kinds, size_t k) const {
   if (candidates.empty()) return std::vector<QueryResult>{};
@@ -493,6 +624,10 @@ QueryStats RetrievalEngine::query_stats() const {
   stats.rank_ms =
       query_counters_.rank_ns.load(std::memory_order_relaxed) / 1e6;
   stats.id_queries = query_counters_.id_queries.load(std::memory_order_relaxed);
+  stats.two_stage_queries =
+      query_counters_.two_stage_queries.load(std::memory_order_relaxed);
+  stats.coarse_candidates =
+      query_counters_.coarse_candidates.load(std::memory_order_relaxed);
   if (extraction_cache_ != nullptr) {
     const ExtractionCache::Stats cache = extraction_cache_->stats();
     stats.cache_hits = cache.hits;

@@ -46,6 +46,13 @@ struct QueryStats {
   uint64_t cache_hits = 0;
   /// Extraction-cache misses (extraction ran and the bank was cached).
   uint64_t cache_misses = 0;
+  /// Ranking passes that took the two-stage path (coarse quantized scan
+  /// followed by an exact rerank of the survivors).
+  uint64_t two_stage_queries = 0;
+  /// Candidates that survived the coarse stage into the exact rerank,
+  /// summed over two-stage queries (compare with candidates_scored to
+  /// see how much exact-kernel work the coarse stage saved).
+  uint64_t coarse_candidates = 0;
 };
 
 }  // namespace vr

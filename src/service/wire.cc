@@ -275,6 +275,8 @@ std::vector<uint8_t> EncodeStatsResponse(const ServiceStatsSnapshot& stats) {
   PutLe<uint64_t>(&out, stats.query.id_queries);
   PutLe<uint64_t>(&out, stats.query.cache_hits);
   PutLe<uint64_t>(&out, stats.query.cache_misses);
+  PutLe<uint64_t>(&out, stats.query.two_stage_queries);
+  PutLe<uint64_t>(&out, stats.query.coarse_candidates);
   PutF64(&out, stats.query.extract_ms);
   PutF64(&out, stats.query.select_ms);
   PutF64(&out, stats.query.rank_ms);
@@ -325,6 +327,8 @@ Result<ServiceStatsSnapshot> DecodeStatsResponse(
       !reader.ReadU64(&stats.query.id_queries) ||
       !reader.ReadU64(&stats.query.cache_hits) ||
       !reader.ReadU64(&stats.query.cache_misses) ||
+      !reader.ReadU64(&stats.query.two_stage_queries) ||
+      !reader.ReadU64(&stats.query.coarse_candidates) ||
       !reader.ReadF64(&stats.query.extract_ms) ||
       !reader.ReadF64(&stats.query.select_ms) ||
       !reader.ReadF64(&stats.query.rank_ms)) {

@@ -38,10 +38,11 @@
 ///                    3 * f64 ingest times (decode, extract, commit ms) |
 ///                    u32 n_extractors | n * f64 per-extractor ms
 ///                    (FeatureKind enum order) |
-///                    8 * u64 query counters (image_queries,
+///                    10 * u64 query counters (image_queries,
 ///                    video_queries, sharded_ranks, candidates_scored,
 ///                    candidates_total, id_queries, cache_hits,
-///                    cache_misses) |
+///                    cache_misses, two_stage_queries,
+///                    coarse_candidates) |
 ///                    3 * f64 query times (extract, select, rank ms)
 ///   kShutdownRequest: (empty)
 ///   kShutdownResponse: u8 status_code=0

@@ -34,10 +34,15 @@ void ScoreNormalizer::Fit(const std::vector<double>& scores) {
       std::sort(sorted_.begin(), sorted_.end());
       break;
     }
+    case NormalizationKind::kNone:
+      break;  // identity needs no parameters
   }
 }
 
 double ScoreNormalizer::Apply(double score) const {
+  // Identity is batch-independent by design: it ignores the fit (and
+  // the fitted_ flag) entirely, so an empty batch changes nothing.
+  if (kind_ == NormalizationKind::kNone) return score;
   if (!fitted_) return 0.5;
   switch (kind_) {
     case NormalizationKind::kMinMax: {
@@ -55,6 +60,8 @@ double ScoreNormalizer::Apply(double score) const {
       return static_cast<double>(it - sorted_.begin()) /
              static_cast<double>(sorted_.size());
     }
+    case NormalizationKind::kNone:
+      return score;  // unreachable (handled above); keeps -Wswitch quiet
   }
   return 0.5;
 }

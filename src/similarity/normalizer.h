@@ -20,6 +20,13 @@ enum class NormalizationKind {
   kGaussian,
   /// Rank: fraction of batch values strictly smaller than x.
   kRank,
+  /// Identity: raw distances pass through unchanged. Unlike the batch
+  /// normalizers above, a kNone score depends only on the (query, row)
+  /// pair — not on which other rows were scored alongside it. That
+  /// batch independence is what lets the two-stage quantized query
+  /// rerank a candidate subset and still reproduce the full-rank
+  /// combined scores bit for bit (see DESIGN.md).
+  kNone,
 };
 
 /// \brief Fits a normalization on a batch of raw scores, then maps values.

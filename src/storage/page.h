@@ -27,6 +27,11 @@ enum class PageType : uint8_t {
   kBTreeLeaf = 3,
   kBTreeInternal = 4,
   kBlob = 5,
+  /// Header page of a persisted FeatureMatrix cache file (matrix.vrm);
+  /// see retrieval/matrix_store.h and docs/FORMAT.md.
+  kMatrixHeader = 6,
+  /// Byte-stream data page of a persisted FeatureMatrix cache file.
+  kMatrixData = 7,
 };
 
 /// \brief An 8 KiB buffer with typed field access helpers.

@@ -93,9 +93,16 @@ class VideoStore {
       const std::function<bool(const KeyFrameRecord&)>& cb) const;
   /// @}
 
-  /// Next unused ids (maintained from the max at open).
+  /// Next unused ids (maintained from the max at open). Calling these
+  /// consumes the id.
   int64_t NextVideoId();
   int64_t NextKeyFrameId();
+
+  /// Reads the id watermarks without consuming them. With
+  /// KeyFrameCount() these form the generation handshake that
+  /// validates the persisted FeatureMatrix cache (matrix_store.h).
+  int64_t PeekNextVideoId() const { return next_video_id_; }
+  int64_t PeekNextKeyFrameId() const { return next_key_frame_id_; }
 
   Result<uint64_t> VideoCount() const;
   Result<uint64_t> KeyFrameCount() const;

@@ -1,0 +1,533 @@
+/// Persistence tests for the columnar FeatureMatrix cache.
+///
+/// Unit level: MatrixStore round-trips a matrix bitwise through its
+/// paged file (rewrite, incremental append, tombstones, compaction),
+/// reads torn or corrupt state as a cold cache, and never loses the
+/// previous generation to a failed append. Engine level: a warm open
+/// serves results identical to the legacy store-scan rebuild, external
+/// store mutation invalidates the cache, and a matrix-persist failure
+/// never fails the commit that triggered it.
+
+#include "retrieval/matrix_store.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <random>
+
+#include "eval/table1_runner.h"  // RemoveDirRecursive
+#include "retrieval/engine.h"
+#include "util/fault_injection_env.h"
+#include "video/synth/generator.h"
+
+namespace vr {
+namespace {
+
+std::string FreshDir(const char* name) {
+  const std::string dir = testing::TempDir() + "/" + name;
+  RemoveDirRecursive(dir);
+  return dir;
+}
+
+/// Kinds exercised by the unit tests (any three work; the store
+/// persists all kNumFeatureKinds slots regardless).
+constexpr FeatureKind kTestKinds[] = {FeatureKind::kColorHistogram,
+                                      FeatureKind::kGlcm, FeatureKind::kGabor};
+
+using Gen = MatrixStore::Generation;
+
+/// Appends \p count rows of seeded random features. Row 0 of a fresh
+/// matrix pins every column's quantization range to [0, 100] so later
+/// in-range batches exercise the incremental-append path instead of a
+/// range-drift rewrite.
+void AppendRandomRows(FeatureMatrix* matrix, size_t count, uint64_t seed,
+                      int64_t first_id, bool pin_range = true) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> value(0.0, 100.0);
+  std::uniform_int_distribution<int> length(1, 8);
+  for (size_t i = 0; i < count; ++i) {
+    const int64_t id = first_id + static_cast<int64_t>(i);
+    FeatureMap features;
+    if (pin_range && matrix->empty() && i == 0) {
+      for (FeatureKind kind : kTestKinds) {
+        features.emplace(kind, FeatureVector("t", {0.0, 100.0}));
+      }
+    } else {
+      for (FeatureKind kind : kTestKinds) {
+        if (rng() % 5 == 0) continue;  // occasionally absent
+        std::vector<double> v(static_cast<size_t>(length(rng)));
+        for (double& x : v) x = value(rng);
+        features.emplace(kind, FeatureVector("t", std::move(v)));
+      }
+    }
+    const GrayRange range{static_cast<int>(rng() % 128),
+                          static_cast<int>(128 + rng() % 128), 0};
+    matrix->Append(id, id % 7, range, features);
+  }
+}
+
+/// One row's logical contents, independent of column stride.
+struct RowImage {
+  int64_t v_id = 0;
+  GrayRange range;
+  std::array<std::pair<uint8_t, std::vector<double>>, kNumFeatureKinds> values;
+  std::array<std::vector<uint8_t>, kNumFeatureKinds> codes;
+};
+
+std::map<int64_t, RowImage> Materialize(const FeatureMatrix& matrix) {
+  std::map<int64_t, RowImage> out;
+  for (size_t r = 0; r < matrix.rows(); ++r) {
+    RowImage img;
+    img.v_id = matrix.row(r).v_id;
+    img.range = matrix.row(r).range;
+    for (int k = 0; k < kNumFeatureKinds; ++k) {
+      const FeatureMatrix::Column& col =
+          matrix.column(static_cast<FeatureKind>(k));
+      const uint32_t len = col.lengths[r];
+      img.values[static_cast<size_t>(k)] = {
+          col.present[r],
+          std::vector<double>(col.row(r), col.row(r) + len)};
+      img.codes[static_cast<size_t>(k)] =
+          std::vector<uint8_t>(col.code_row(r), col.code_row(r) + len);
+    }
+    out.emplace(matrix.row(r).i_id, std::move(img));
+  }
+  return out;
+}
+
+/// Bitwise logical equality: same ids, and per id the same metadata,
+/// per-kind presence, exact double values and quantized codes. Order-
+/// independent on purpose — the file replays insertion order while the
+/// in-memory matrix may have been swap-removed into a different one.
+void ExpectSameRows(const FeatureMatrix& a, const FeatureMatrix& b) {
+  const auto ma = Materialize(a);
+  const auto mb = Materialize(b);
+  ASSERT_EQ(ma.size(), mb.size());
+  for (const auto& [id, ra] : ma) {
+    const auto it = mb.find(id);
+    ASSERT_NE(it, mb.end()) << "id " << id << " missing";
+    const RowImage& rb = it->second;
+    EXPECT_EQ(ra.v_id, rb.v_id) << "id " << id;
+    EXPECT_EQ(ra.range.min, rb.range.min);
+    EXPECT_EQ(ra.range.max, rb.range.max);
+    for (int k = 0; k < kNumFeatureKinds; ++k) {
+      EXPECT_EQ(ra.values[static_cast<size_t>(k)],
+                rb.values[static_cast<size_t>(k)])
+          << "id " << id << " kind " << k;
+      EXPECT_EQ(ra.codes[static_cast<size_t>(k)],
+                rb.codes[static_cast<size_t>(k)])
+          << "id " << id << " kind " << k;
+    }
+  }
+  for (FeatureKind kind : kTestKinds) {
+    EXPECT_EQ(a.column(kind).qmin, b.column(kind).qmin);
+    EXPECT_EQ(a.column(kind).qmax, b.column(kind).qmax);
+    EXPECT_EQ(a.column(kind).quantized, b.column(kind).quantized);
+  }
+}
+
+Result<std::unique_ptr<MatrixStore>> OpenStore(const std::string& dir,
+                                               Env* env = nullptr) {
+  Env* e = env != nullptr ? env : Env::Default();
+  VR_RETURN_NOT_OK(e->CreateDirIfMissing(dir));
+  return MatrixStore::Open(dir, env);
+}
+
+TEST(MatrixStoreTest, FreshFileLoadsCold) {
+  auto store = OpenStore(FreshDir("mx_fresh")).value();
+  FeatureMatrix matrix;
+  const auto loaded = store->Load(Gen{0, 1}, &matrix);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_FALSE(*loaded);
+  EXPECT_FALSE(store->stats().warm_loaded);
+}
+
+TEST(MatrixStoreTest, RewriteFullRoundTripsBitwise) {
+  const std::string dir = FreshDir("mx_roundtrip");
+  FeatureMatrix matrix;
+  AppendRandomRows(&matrix, 50, 7, 100);
+  const Gen gen{50, 150};
+  {
+    auto store = OpenStore(dir).value();
+    ASSERT_TRUE(store->RewriteFull(matrix, gen).ok());
+    EXPECT_EQ(store->stats().file_rows, 50u);
+    EXPECT_EQ(store->stats().rewrites, 1u);
+  }
+  auto store = OpenStore(dir).value();
+  FeatureMatrix loaded;
+  ASSERT_TRUE(store->Load(gen, &loaded).value());
+  EXPECT_TRUE(store->stats().warm_loaded);
+  ExpectSameRows(matrix, loaded);
+}
+
+TEST(MatrixStoreTest, StaleGenerationLoadsCold) {
+  const std::string dir = FreshDir("mx_stale");
+  FeatureMatrix matrix;
+  AppendRandomRows(&matrix, 10, 3, 1);
+  {
+    auto store = OpenStore(dir).value();
+    ASSERT_TRUE(store->RewriteFull(matrix, Gen{10, 11}).ok());
+  }
+  auto store = OpenStore(dir).value();
+  FeatureMatrix loaded;
+  // Count off by one (a crash between store commit and matrix append).
+  EXPECT_FALSE(store->Load(Gen{11, 12}, &loaded).value());
+  EXPECT_TRUE(loaded.empty());
+  // Same count, different watermark (delete + re-insert collision).
+  EXPECT_FALSE(store->Load(Gen{10, 99}, &loaded).value());
+}
+
+TEST(MatrixStoreTest, IncrementalAppendRoundTrips) {
+  const std::string dir = FreshDir("mx_append");
+  FeatureMatrix matrix;
+  AppendRandomRows(&matrix, 30, 11, 100);
+  auto store = OpenStore(dir).value();
+  ASSERT_TRUE(store->RewriteFull(matrix, Gen{30, 130}).ok());
+  // Second batch stays within the pinned [0, 100] ranges, so this must
+  // take the append path, not a rewrite.
+  AppendRandomRows(&matrix, 20, 13, 130);
+  const Gen gen2{50, 150};
+  ASSERT_TRUE(store->Append(matrix, 30, gen2).ok());
+  EXPECT_EQ(store->stats().appends, 1u);
+  EXPECT_EQ(store->stats().rewrites, 1u);
+  EXPECT_EQ(store->stats().file_rows, 50u);
+
+  auto reopened = OpenStore(dir).value();
+  FeatureMatrix loaded;
+  ASSERT_TRUE(reopened->Load(gen2, &loaded).value());
+  ExpectSameRows(matrix, loaded);
+}
+
+TEST(MatrixStoreTest, QuantRangeDriftFallsBackToRewrite) {
+  const std::string dir = FreshDir("mx_drift");
+  FeatureMatrix matrix;
+  AppendRandomRows(&matrix, 20, 17, 1);
+  auto store = OpenStore(dir).value();
+  ASSERT_TRUE(store->RewriteFull(matrix, Gen{20, 21}).ok());
+  // A row outside [0, 100] re-quantizes the in-memory columns; the
+  // persisted codes of the old rows are now stale, so Append must
+  // rewrite everything.
+  FeatureMap wide;
+  for (FeatureKind kind : kTestKinds) {
+    wide.emplace(kind, FeatureVector("t", {-50.0, 250.0}));
+  }
+  matrix.Append(21, 0, GrayRange{0, 255, 0}, wide);
+  const Gen gen2{21, 22};
+  ASSERT_TRUE(store->Append(matrix, 20, gen2).ok());
+  EXPECT_EQ(store->stats().appends, 0u);
+  EXPECT_EQ(store->stats().rewrites, 2u);
+
+  auto reopened = OpenStore(dir).value();
+  FeatureMatrix loaded;
+  ASSERT_TRUE(reopened->Load(gen2, &loaded).value());
+  ExpectSameRows(matrix, loaded);  // includes the re-quantized codes
+}
+
+TEST(MatrixStoreTest, RemoveTombstonesSurviveReopen) {
+  const std::string dir = FreshDir("mx_tomb");
+  FeatureMatrix matrix;
+  AppendRandomRows(&matrix, 40, 23, 100);
+  auto store = OpenStore(dir).value();
+  ASSERT_TRUE(store->RewriteFull(matrix, Gen{40, 140}).ok());
+  // Remove 5 ids the way the engine does: swap-remove in memory, then
+  // tombstone the file rows.
+  std::vector<int64_t> dead = {103, 110, 125, 131, 139};
+  for (int64_t id : dead) {
+    for (size_t r = 0; r < matrix.rows(); ++r) {
+      if (matrix.row(r).i_id == id) {
+        matrix.SwapRemove(r);
+        break;
+      }
+    }
+  }
+  const Gen gen2{35, 140};
+  ASSERT_TRUE(store->Remove(dead, matrix, gen2).ok());
+  EXPECT_EQ(store->stats().tombstones, 5u);
+  EXPECT_EQ(store->stats().file_rows, 40u);  // not compacted yet
+
+  auto reopened = OpenStore(dir).value();
+  FeatureMatrix loaded;
+  ASSERT_TRUE(reopened->Load(gen2, &loaded).value());
+  EXPECT_EQ(loaded.rows(), 35u);
+  ExpectSameRows(matrix, loaded);
+}
+
+TEST(MatrixStoreTest, RemoveCompactsWhenMostlyDead) {
+  const std::string dir = FreshDir("mx_compact");
+  FeatureMatrix matrix;
+  AppendRandomRows(&matrix, 40, 29, 100);
+  auto store = OpenStore(dir).value();
+  ASSERT_TRUE(store->RewriteFull(matrix, Gen{40, 140}).ok());
+  std::vector<int64_t> dead;
+  for (int64_t id = 100; id < 121; ++id) dead.push_back(id);  // 21 > 40/2
+  for (int64_t id : dead) {
+    for (size_t r = 0; r < matrix.rows(); ++r) {
+      if (matrix.row(r).i_id == id) {
+        matrix.SwapRemove(r);
+        break;
+      }
+    }
+  }
+  const Gen gen2{19, 140};
+  ASSERT_TRUE(store->Remove(dead, matrix, gen2).ok());
+  EXPECT_EQ(store->stats().file_rows, 19u);  // compacted
+  EXPECT_EQ(store->stats().tombstones, 0u);
+  EXPECT_EQ(store->stats().rewrites, 2u);
+
+  auto reopened = OpenStore(dir).value();
+  FeatureMatrix loaded;
+  ASSERT_TRUE(reopened->Load(gen2, &loaded).value());
+  ExpectSameRows(matrix, loaded);
+}
+
+TEST(MatrixStoreTest, TornAppendKeepsPreviousGenerationReadable) {
+  const std::string dir = FreshDir("mx_torn");
+  FaultInjectionEnv env;
+  FeatureMatrix matrix;
+  AppendRandomRows(&matrix, 10, 31, 100);
+  const Gen gen1{10, 110};
+  {
+    auto store = OpenStore(dir, &env).value();
+    ASSERT_TRUE(store->RewriteFull(matrix, gen1).ok());
+    FeatureMatrix before_crash = matrix;
+    AppendRandomRows(&matrix, 5, 37, 110);
+    env.FailNthSync(1);  // phase-1 data sync of the append fails
+    EXPECT_FALSE(store->Append(matrix, 10, Gen{15, 115}).ok());
+    matrix = std::move(before_crash);
+  }
+  // Power cut: only synced state survives.
+  FaultInjectionEnv after(env.DurableSnapshot());
+  auto store = OpenStore(dir, &after).value();
+  FeatureMatrix loaded;
+  // The interrupted generation never became visible...
+  EXPECT_FALSE(store->Load(Gen{15, 115}, &loaded).value());
+  // ...and the previous one is still intact, bit for bit.
+  ASSERT_TRUE(store->Load(gen1, &loaded).value());
+  ExpectSameRows(matrix, loaded);
+}
+
+TEST(MatrixStoreTest, CorruptDataPageLoadsCold) {
+  const std::string dir = FreshDir("mx_corrupt");
+  FeatureMatrix matrix;
+  AppendRandomRows(&matrix, 20, 41, 1);
+  const Gen gen{20, 21};
+  {
+    auto store = OpenStore(dir).value();
+    ASSERT_TRUE(store->RewriteFull(matrix, gen).ok());
+  }
+  // Flip bytes inside the first allocated page (the data chain head);
+  // its checksum must now fail and the load must degrade to cold, not
+  // crash or return garbage.
+  const std::string path = dir + "/" + MatrixStore::kFileName;
+  const long slot = kPageSize + Pager::kChecksumSize;
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, slot + 300, SEEK_SET);
+  const uint8_t garbage[16] = {0xEE, 0xEE, 0xEE, 0xEE, 0xEE, 0xEE, 0xEE, 0xEE,
+                               0xEE, 0xEE, 0xEE, 0xEE, 0xEE, 0xEE, 0xEE, 0xEE};
+  std::fwrite(garbage, 1, sizeof(garbage), f);
+  std::fclose(f);
+
+  auto store = OpenStore(dir).value();
+  FeatureMatrix loaded;
+  const auto warm = store->Load(gen, &loaded);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_FALSE(*warm);
+  EXPECT_TRUE(loaded.empty());
+}
+
+// ---------------------------------------------------------------------
+// Engine-level coverage: the open/append/remove integration.
+
+EngineOptions FastOptions() {
+  EngineOptions options;
+  options.enabled_features = {FeatureKind::kColorHistogram,
+                              FeatureKind::kGlcm,
+                              FeatureKind::kNaiveSignature};
+  options.store_video_blob = false;
+  return options;
+}
+
+std::vector<Image> SmallVideo(VideoCategory category, uint64_t seed) {
+  SyntheticVideoSpec spec;
+  spec.category = category;
+  spec.width = 64;
+  spec.height = 48;
+  spec.num_scenes = 2;
+  spec.frames_per_scene = 6;
+  spec.seed = seed;
+  return GenerateVideoFrames(spec).value();
+}
+
+std::vector<QueryResult> ById(RetrievalEngine& engine, int64_t i_id,
+                              size_t k) {
+  auto results = engine.QueryByStoredId(i_id, k);
+  EXPECT_TRUE(results.ok()) << results.status();
+  return results.ok() ? *results : std::vector<QueryResult>{};
+}
+
+void ExpectSameResults(const std::vector<QueryResult>& a,
+                       const std::vector<QueryResult>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].i_id, b[i].i_id) << "rank " << i;
+    EXPECT_EQ(a[i].v_id, b[i].v_id) << "rank " << i;
+    EXPECT_EQ(a[i].score, b[i].score) << "rank " << i;  // bitwise
+    EXPECT_EQ(a[i].feature_distances, b[i].feature_distances);
+  }
+}
+
+TEST(MatrixStoreEngineTest, WarmOpenServesIdenticalResults) {
+  const std::string dir = FreshDir("mxe_warm");
+  std::vector<int64_t> ids;
+  std::map<int64_t, std::vector<QueryResult>> expected;
+  {
+    auto engine = RetrievalEngine::Open(dir, FastOptions()).value();
+    ASSERT_TRUE(
+        engine->IngestFrames(SmallVideo(VideoCategory::kCartoon, 1), "a").ok());
+    ASSERT_TRUE(
+        engine->IngestFrames(SmallVideo(VideoCategory::kMovie, 2), "b").ok());
+    EXPECT_FALSE(engine->matrix_store_stats().warm_loaded);
+    ASSERT_TRUE(engine->store()
+                    ->ScanKeyFrames([&](const KeyFrameRecord& rec) {
+                      ids.push_back(rec.i_id);
+                      return true;
+                    })
+                    .ok());
+    for (int64_t id : ids) expected[id] = ById(*engine, id, 10);
+  }
+  auto warm = RetrievalEngine::Open(dir, FastOptions()).value();
+  EXPECT_TRUE(warm->matrix_store_stats().warm_loaded);
+  EXPECT_EQ(warm->indexed_key_frames(), ids.size());
+  for (int64_t id : ids) {
+    SCOPED_TRACE("id " + std::to_string(id));
+    ExpectSameResults(expected[id], ById(*warm, id, 10));
+  }
+  // And identical to an engine that rebuilt from the store the legacy
+  // way (persistence off) — the cache changes nothing observable.
+  EngineOptions no_persist = FastOptions();
+  no_persist.persist_matrix = false;
+  // (Open the rebuild engine after the warm one is gone; two engines
+  // must not share a live database directory.)
+  warm.reset();
+  auto rebuilt = RetrievalEngine::Open(dir, no_persist).value();
+  EXPECT_FALSE(rebuilt->matrix_store_stats().warm_loaded);
+  for (int64_t id : ids) {
+    SCOPED_TRACE("id " + std::to_string(id));
+    ExpectSameResults(expected[id], ById(*rebuilt, id, 10));
+  }
+}
+
+TEST(MatrixStoreEngineTest, ExternalStoreMutationInvalidatesCache) {
+  const std::string dir = FreshDir("mxe_mutate");
+  int64_t victim = 0;
+  {
+    auto engine = RetrievalEngine::Open(dir, FastOptions()).value();
+    const int64_t v_id =
+        engine->IngestFrames(SmallVideo(VideoCategory::kNews, 3), "n").value();
+    victim = engine->store()->KeyFrameIdsOfVideo(v_id).value().front();
+  }
+  {
+    // Mutate the store behind the engine's back.
+    auto store = VideoStore::Open(dir).value();
+    ASSERT_TRUE(store->DeleteKeyFrame(victim).ok());
+  }
+  auto engine = RetrievalEngine::Open(dir, FastOptions()).value();
+  // The generation no longer matches: cold rebuild, then re-persist.
+  EXPECT_FALSE(engine->matrix_store_stats().warm_loaded);
+  EXPECT_GE(engine->matrix_store_stats().rewrites, 1u);
+  EXPECT_EQ(engine->indexed_key_frames(),
+            engine->store()->KeyFrameCount().value());
+  auto miss = engine->QueryByStoredId(victim, 3);
+  EXPECT_TRUE(miss.status().IsNotFound());
+}
+
+TEST(MatrixStoreEngineTest, RemoveVideoPersistsAcrossReopen) {
+  const std::string dir = FreshDir("mxe_remove");
+  int64_t removed_v = 0;
+  std::vector<int64_t> removed_ids;
+  {
+    auto engine = RetrievalEngine::Open(dir, FastOptions()).value();
+    removed_v =
+        engine->IngestFrames(SmallVideo(VideoCategory::kCartoon, 4), "a")
+            .value();
+    ASSERT_TRUE(
+        engine->IngestFrames(SmallVideo(VideoCategory::kMovie, 5), "b").ok());
+    removed_ids = engine->store()->KeyFrameIdsOfVideo(removed_v).value();
+    ASSERT_TRUE(engine->RemoveVideo(removed_v).ok());
+  }
+  auto engine = RetrievalEngine::Open(dir, FastOptions()).value();
+  EXPECT_TRUE(engine->matrix_store_stats().warm_loaded);
+  EXPECT_EQ(engine->indexed_key_frames(),
+            engine->store()->KeyFrameCount().value());
+  for (int64_t id : removed_ids) {
+    EXPECT_TRUE(engine->QueryByStoredId(id, 3).status().IsNotFound());
+  }
+}
+
+TEST(MatrixStoreEngineTest, PersistDisabledLeavesNoFile) {
+  const std::string dir = FreshDir("mxe_off");
+  EngineOptions options = FastOptions();
+  options.persist_matrix = false;
+  auto engine = RetrievalEngine::Open(dir, options).value();
+  ASSERT_TRUE(
+      engine->IngestFrames(SmallVideo(VideoCategory::kNews, 6), "n").ok());
+  const MatrixStore::Stats stats = engine->matrix_store_stats();
+  EXPECT_EQ(stats.file_rows, 0u);
+  EXPECT_FALSE(stats.warm_loaded);
+  EXPECT_FALSE(
+      Env::Default()->FileExists(dir + "/" + MatrixStore::kFileName));
+}
+
+TEST(MatrixStoreEngineTest, CommitSurvivesMatrixSyncFailure) {
+  EngineOptions options = FastOptions();
+  // Dry run on a healthy env to learn how many syncs the second commit
+  // performs; the matrix header sync is the last of them.
+  uint64_t commit_syncs = 0;
+  {
+    FaultInjectionEnv env;
+    options.env = &env;
+    auto engine =
+        RetrievalEngine::Open(FreshDir("mxe_sync_dry"), options).value();
+    ASSERT_TRUE(
+        engine->IngestFrames(SmallVideo(VideoCategory::kCartoon, 7), "a").ok());
+    const uint64_t before = env.sync_count();
+    ASSERT_TRUE(
+        engine->IngestFrames(SmallVideo(VideoCategory::kMovie, 8), "b").ok());
+    commit_syncs = env.sync_count() - before;
+  }
+  ASSERT_GT(commit_syncs, 0u);
+
+  FaultInjectionEnv env;
+  options.env = &env;
+  const std::string dir = FreshDir("mxe_sync");
+  auto engine = RetrievalEngine::Open(dir, options).value();
+  ASSERT_TRUE(
+      engine->IngestFrames(SmallVideo(VideoCategory::kCartoon, 7), "a").ok());
+  // Fail the final sync of the next commit — the matrix cache header.
+  env.FailNthSync(commit_syncs);
+  Result<int64_t> v_id =
+      engine->IngestFrames(SmallVideo(VideoCategory::kMovie, 8), "b");
+  // The commit itself must succeed: the store is the source of truth
+  // and was already durable when the cache append failed.
+  ASSERT_TRUE(v_id.ok()) << v_id.status();
+  EXPECT_EQ(engine->store()->VideoCount().value(), 2u);
+  // The cache was demoted to memory-only for this run.
+  EXPECT_EQ(engine->matrix_store_stats().file_rows, 0u);
+
+  // Power-cut the box: the failed header sync means the cache file's
+  // durable generation is still commit A's. A reopen must read it as
+  // stale, rebuild from the (fully durable) store, and serve all the
+  // data.
+  engine.reset();
+  env.DropUnsyncedData();
+  auto reopened = RetrievalEngine::Open(dir, options).value();
+  EXPECT_FALSE(reopened->matrix_store_stats().warm_loaded);
+  EXPECT_EQ(reopened->indexed_key_frames(),
+            reopened->store()->KeyFrameCount().value());
+  EXPECT_EQ(reopened->store()->VideoCount().value(), 2u);
+}
+
+}  // namespace
+}  // namespace vr

@@ -188,6 +188,8 @@ TEST(WireTest, StatsResponseRoundTrip) {
   stats.query.id_queries = 9;
   stats.query.cache_hits = 31;
   stats.query.cache_misses = 11;
+  stats.query.two_stage_queries = 7;
+  stats.query.coarse_candidates = 280;
   stats.query.extract_ms = 75.5;
   stats.query.select_ms = 0.25;
   stats.query.rank_ms = 31.0;
@@ -218,6 +220,8 @@ TEST(WireTest, StatsResponseRoundTrip) {
   EXPECT_EQ(decoded->query.id_queries, 9u);
   EXPECT_EQ(decoded->query.cache_hits, 31u);
   EXPECT_EQ(decoded->query.cache_misses, 11u);
+  EXPECT_EQ(decoded->query.two_stage_queries, 7u);
+  EXPECT_EQ(decoded->query.coarse_candidates, 280u);
   EXPECT_DOUBLE_EQ(decoded->query.extract_ms, 75.5);
   EXPECT_DOUBLE_EQ(decoded->query.select_ms, 0.25);
   EXPECT_DOUBLE_EQ(decoded->query.rank_ms, 31.0);
