@@ -183,6 +183,15 @@ int RunClientMode(const std::string& host, uint16_t port) {
                   static_cast<unsigned long long>(stats->query.id_queries),
                   static_cast<unsigned long long>(stats->query.cache_hits),
                   static_cast<unsigned long long>(stats->query.cache_misses));
+      std::printf("two-stage: queries=%llu coarse_survivors=%llu "
+                  "fallbacks=%llu margin_kept=%llu\n",
+                  static_cast<unsigned long long>(
+                      stats->query.two_stage_queries),
+                  static_cast<unsigned long long>(
+                      stats->query.coarse_candidates),
+                  static_cast<unsigned long long>(
+                      stats->query.two_stage_fallbacks),
+                  static_cast<unsigned long long>(stats->query.margin_kept));
     } else if (cmd == "shutdown") {
       const vr::Status st = client->Shutdown();
       if (!st.ok()) {

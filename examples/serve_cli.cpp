@@ -193,8 +193,11 @@ int main(int argc, char** argv) {
   std::printf("extraction cache: hits=%llu misses=%llu\n",
               static_cast<unsigned long long>(stats.query.cache_hits),
               static_cast<unsigned long long>(stats.query.cache_misses));
-  std::printf("two-stage: queries=%llu coarse_survivors=%llu\n",
+  std::printf("two-stage: queries=%llu coarse_survivors=%llu "
+              "fallbacks=%llu margin_kept=%llu\n",
               static_cast<unsigned long long>(stats.query.two_stage_queries),
-              static_cast<unsigned long long>(stats.query.coarse_candidates));
+              static_cast<unsigned long long>(stats.query.coarse_candidates),
+              static_cast<unsigned long long>(stats.query.two_stage_fallbacks),
+              static_cast<unsigned long long>(stats.query.margin_kept));
   return 0;
 }

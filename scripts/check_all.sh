@@ -4,7 +4,9 @@
 # machines without clang), the plain build + full test suite, the
 # query-bench smoke run (its built-in serial-vs-sharded parity assert),
 # the feature-bench smoke run (fused-vs-legacy bit parity),
-# the scale-bench smoke run (warm-open + two-stage-vs-exact parity),
+# the scale-bench smoke run (warm-open gate + two-stage-vs-exact
+# parity + the two-stage p50 <= exact p50 speed gate at its largest
+# smoke corpus),
 # the network chaos sweep (seeded fault injection + wire fuzzing),
 # then the sanitizer passes (ASan/UBSan over everything, TSan over the
 # concurrency suites — check_sanitizers.sh chains into check_tsan.sh

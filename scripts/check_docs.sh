@@ -132,6 +132,19 @@ if [[ -f BENCH_scale.json ]]; then
   grep -q "$warm" EXPERIMENTS.md \
     || err "EXPERIMENTS.md corpus-scaling warm-open figure drifted from" \
            "BENCH_scale.json (expected $warm ms)"
+  # The two-stage figures at the largest corpus: the doc must quote the
+  # staged p50 and the staged median must beat the exact scan it claims
+  # to beat (the same invariant micro_scale --smoke gates in CI).
+  staged=$(grep -oE '"two_stage": \{"p50_ms": [0-9.]+' BENCH_scale.json \
+           | tail -1 | grep -oE '[0-9.]+$')
+  exact=$(grep -oE '"exact": \{"p50_ms": [0-9.]+' BENCH_scale.json \
+          | tail -1 | grep -oE '[0-9.]+$')
+  quoted_2dp "$staged" \
+    || err "EXPERIMENTS.md corpus-scaling two-stage p50 drifted from" \
+           "BENCH_scale.json (expected ~$staged ms)"
+  awk -v s="$staged" -v e="$exact" 'BEGIN{exit !(s <= e)}' \
+    || err "BENCH_scale.json two-stage p50 ($staged ms) loses to the" \
+           "exact scan ($exact ms) at the largest corpus"
 fi
 
 if [[ "$fail" -ne 0 ]]; then

@@ -25,6 +25,11 @@ class AutoColorCorrelogram : public FeatureExtractor {
                                       PlanContext& ctx) const override;
   double DistanceSpan(const double* a, size_t na, const double* b,
                       size_t nb) const override;
+  /// d1 is 2-Lipschitz per element over the non-negative probabilities
+  /// this extractor produces, giving a row-independent error bound.
+  CodeMetricSpec code_metric() const override {
+    return {.family = CodeMetricFamily::kD1};
+  }
 
   int max_distance() const { return max_distance_; }
 

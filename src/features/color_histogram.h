@@ -36,6 +36,11 @@ class SimpleColorHistogram : public FeatureExtractor {
                                       PlanContext& ctx) const override;
   double DistanceSpan(const double* a, size_t na, const double* b,
                       size_t nb) const override;
+  /// The metric normalizes both sides per call, so the coarse kernel
+  /// reconstructs each row's sum from its code sum.
+  CodeMetricSpec code_metric() const override {
+    return {.family = CodeMetricFamily::kNormalizedL1};
+  }
 
   HistogramSpace space() const { return space_; }
 

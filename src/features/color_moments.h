@@ -23,6 +23,10 @@ class ColorMoments : public FeatureExtractor {
                                       PlanContext& ctx) const override;
   double DistanceSpan(const double* a, size_t na, const double* b,
                       size_t nb) const override;
+  /// L1 with the hue-mean circle wrap on element 0.
+  CodeMetricSpec code_metric() const override {
+    return {.family = CodeMetricFamily::kL1, .wrap_dim0 = true};
+  }
 
   /// Layout: [mean_h, std_h, skew_h, mean_s, ..., skew_v].
   static constexpr size_t kDims = 9;

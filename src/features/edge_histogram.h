@@ -32,6 +32,10 @@ class EdgeHistogram : public FeatureExtractor {
                                       PlanContext& ctx) const override;
   double DistanceSpan(const double* a, size_t na, const double* b,
                       size_t nb) const override;
+  /// Raw L1: the canonical integer-SAD coarse kernel.
+  CodeMetricSpec code_metric() const override {
+    return {.family = CodeMetricFamily::kL1};
+  }
   /// L1 is covered by a batch kernel; dispatch the whole column there.
   void BatchDistance(const double* query, size_t qn, const double* rows,
                      size_t stride, const uint32_t* lengths,

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "imaging/image.h"
+#include "similarity/code_kernels.h"
 #include "util/status.h"
 
 namespace vr {
@@ -134,6 +135,15 @@ class FeatureExtractor {
   /// Distance) so both entry points share one implementation.
   virtual double DistanceSpan(const double* a, size_t na, const double* b,
                               size_t nb) const;
+
+  /// Which integer code-space kernel family (similarity/code_kernels.h)
+  /// approximates this extractor's metric over the quantized shadow
+  /// columns, with the parameters (block size, element ranges, wrap)
+  /// matching DistanceSpan's arithmetic exactly — the per-family error
+  /// bounds are only valid for a spec that mirrors the real metric.
+  /// The default (CodeMetricFamily::kNone) opts the kind out of the
+  /// coarse stage; queries touching it fall back to the exact scan.
+  virtual CodeMetricSpec code_metric() const { return {}; }
 
   /// Batch form over a strided column: for each i in [0, count),
   /// out[i] = DistanceSpan(query, row indices[i]) where row j starts at

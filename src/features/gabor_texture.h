@@ -25,6 +25,12 @@ class GaborTexture : public FeatureExtractor {
   uint32_t SharedIntermediates() const override;
   Result<FeatureVector> ExtractShared(const Image& img,
                                       PlanContext& ctx) const override;
+  /// Plain L2 (the inherited default DistanceSpan); block 0 = one
+  /// block over the whole vector. Length-mismatched rows are forced by
+  /// the kernel, which covers the default metric's tail-mass terms.
+  CodeMetricSpec code_metric() const override {
+    return {.family = CodeMetricFamily::kL2Blocked};
+  }
 
   int scales() const { return scales_; }
   int orientations() const { return orientations_; }

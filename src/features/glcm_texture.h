@@ -28,6 +28,13 @@ class GlcmTexture : public FeatureExtractor {
                                       PlanContext& ctx) const override;
   double DistanceSpan(const double* a, size_t na, const double* b,
                       size_t nb) const override;
+  /// Canberra over the five texture stats (pixelCounter excluded),
+  /// mirroring DistanceSpan's [kAsm, kStatCount) loop.
+  CodeMetricSpec code_metric() const override {
+    return {.family = CodeMetricFamily::kCanberraL1,
+            .canberra_begin = kAsm,
+            .canberra_end = kStatCount};
+  }
 
   /// Positions of the stats within the feature vector.
   enum : size_t {

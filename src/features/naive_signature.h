@@ -30,6 +30,10 @@ class NaiveSignature : public FeatureExtractor {
   /// two signatures — the quantity the paper compares against 800.
   double DistanceSpan(const double* a, size_t na, const double* b,
                       size_t nb) const override;
+  /// Per-RGB-triple Euclidean distances: integer SSD over blocks of 3.
+  CodeMetricSpec code_metric() const override {
+    return {.family = CodeMetricFamily::kL2Blocked, .block = 3};
+  }
 
   static constexpr int kGrid = 5;
   static constexpr int kPoints = kGrid * kGrid;

@@ -35,6 +35,11 @@ class SimpleRegionGrowing : public FeatureExtractor {
                                       PlanContext& ctx) const override;
   double DistanceSpan(const double* a, size_t na, const double* b,
                       size_t nb) const override;
+  /// Canberra over the whole vector (the defaulted range clamps to the
+  /// query length).
+  CodeMetricSpec code_metric() const override {
+    return {.family = CodeMetricFamily::kCanberraL1};
+  }
 
   /// Runs preprocessing + labeling and returns the raw statistics.
   Result<RegionStats> Analyze(const Image& img) const;

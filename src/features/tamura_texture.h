@@ -26,6 +26,14 @@ class TamuraTexture : public FeatureExtractor {
                                       PlanContext& ctx) const override;
   double DistanceSpan(const double* a, size_t na, const double* b,
                       size_t nb) const override;
+  /// Canberra over coarseness & contrast plus an L1 tail over the
+  /// directionality histogram. Prepare fails for queries shorter than
+  /// kDirStart — those take DistanceSpan's default-L2 guard instead.
+  CodeMetricSpec code_metric() const override {
+    return {.family = CodeMetricFamily::kCanberraL1,
+            .canberra_end = kDirStart,
+            .l1_tail = true};
+  }
 
   enum : size_t {
     kCoarseness = 0,

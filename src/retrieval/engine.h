@@ -96,16 +96,19 @@ struct EngineOptions {
   /// open and transparently falls back to the legacy rebuild when
   /// stale or damaged (see retrieval/matrix_store.h).
   bool persist_matrix = true;
-  /// Enable the two-stage query: a coarse scan over the 8-bit
-  /// quantized columns keeps the best k * two_stage_coarse_factor
-  /// candidates, then the exact double kernels rerank only those. Only
-  /// activates when the final score is batch-independent — single-
-  /// feature queries always are; combined queries only under
-  /// NormalizationKind::kNone (batch normalizers make every score
-  /// depend on the whole candidate set) — otherwise the query silently
-  /// runs the pure exact path. The returned top-k is bit-identical to
-  /// the exact path on corpora where the coarse stage retains the true
-  /// winners (gated in tests and bench/micro_scale).
+  /// Enable the two-stage query: an integer code-space coarse scan
+  /// over the 8-bit quantized columns (similarity/code_kernels.h)
+  /// keeps at least k * two_stage_coarse_factor candidates — plus
+  /// every candidate whose certified coarse-score interval overlaps
+  /// the cut, so the exact rerank provably returns the bit-identical
+  /// top-k (see DESIGN.md's margin proof sketch). Only activates when
+  /// the final score is batch-independent — single-feature queries
+  /// always are; combined queries only under NormalizationKind::kNone
+  /// (batch normalizers make every score depend on the whole candidate
+  /// set) — otherwise the query silently runs the pure exact path.
+  /// When a kind has no code kernel or the margin would keep every
+  /// candidate (wide quantization range), the query falls back to the
+  /// exact scan and QueryStats::two_stage_fallbacks counts it.
   bool two_stage = true;
   /// Candidate count below which two-stage is skipped (the exact scan
   /// is already cheap; the coarse pass would only add overhead).
@@ -376,6 +379,8 @@ class RetrievalEngine {
     std::atomic<uint64_t> rank_ns{0};
     std::atomic<uint64_t> two_stage_queries{0};
     std::atomic<uint64_t> coarse_candidates{0};
+    std::atomic<uint64_t> two_stage_fallbacks{0};
+    std::atomic<uint64_t> margin_kept{0};
   };
 
   /// Rebuilds the feature cache and range index from the store; runs
@@ -452,14 +457,32 @@ class RetrievalEngine {
   bool TwoStageEligible(const std::vector<FeatureKind>& kinds,
                         size_t candidates, size_t k) const
       REQUIRES_SHARED(mutex_);
-  /// Coarse stage: scores candidates by weighted L1 over the 8-bit
-  /// codes (each kind's code distance rescaled into its value range so
-  /// kinds combine on the same footing as the exact path) and returns
-  /// the best \p keep rows for the exact rerank.
-  std::vector<uint32_t> CoarseSelect(const FeatureMap& query_features,
-                                     const std::vector<uint32_t>& candidates,
-                                     const std::vector<FeatureKind>& kinds,
-                                     size_t keep) const REQUIRES_SHARED(mutex_);
+  /// What the coarse stage decided for one query.
+  struct CoarseOutcome {
+    /// Rows (in candidate order) the exact rerank must score. Empty
+    /// and meaningless when fallback is set.
+    std::vector<uint32_t> survivors;
+    /// The coarse stage could not prune (a kind without a code kernel,
+    /// a failed kernel precondition, or a margin wide enough to keep
+    /// every candidate): run the exact scan over all candidates.
+    bool fallback = false;
+    /// Survivors beyond the keep target that the error margin forced
+    /// the stage to retain (the price of the exactness guarantee).
+    uint64_t margin_kept = 0;
+  };
+  /// Coarse stage: scores every candidate with the integer code-space
+  /// kernels (weighted, unnormalized — under kNone fusion the combined
+  /// score is a positive rescale of the weighted sum, so the survivor
+  /// set is unchanged), then keeps each candidate whose certified
+  /// lower bound does not exceed the \p keep-th smallest certified
+  /// upper bound. Rows the kernels cannot bound (absent feature,
+  /// length mismatch, uncertifiable row sum) are kept unconditionally.
+  /// The survivor set provably contains the exact top-keep (a fortiori
+  /// the top-k), independent of shard count.
+  CoarseOutcome CoarseSelect(const FeatureMap& query_features,
+                             const std::vector<uint32_t>& candidates,
+                             const std::vector<FeatureKind>& kinds,
+                             size_t keep) const REQUIRES_SHARED(mutex_);
 
   EngineOptions options_;
   KeyFrameExtractor key_frames_;  ///< stateless after construction

@@ -2,14 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
+
+#include "similarity/code_kernels.h"
 
 namespace vr {
 
 uint8_t FeatureMatrix::QuantizeValue(double v, double qmin, double qmax) {
-  const double span = qmax - qmin;
-  if (!(span > 0.0)) return 0;  // degenerate (or NaN) range
-  const double scaled = std::lround((v - qmin) * 255.0 / span);
-  return static_cast<uint8_t>(std::clamp(scaled, 0.0, 255.0));
+  return QuantizeCode(v, qmin, qmax);
 }
 
 void FeatureMatrix::Relayout(Column& col, size_t rows, size_t needed) {
@@ -33,9 +33,12 @@ void FeatureMatrix::RequantizeColumn(Column& col, size_t rows) {
     const double* v = col.values.data() + r * col.stride;
     uint8_t* c = col.codes.data() + r * col.stride;
     const size_t len = col.lengths[r];
+    uint32_t sum = 0;
     for (size_t i = 0; i < len; ++i) {
       c[i] = QuantizeValue(v[i], col.qmin, col.qmax);
+      sum += c[i];
     }
+    col.code_sums[r] = sum;
   }
 }
 
@@ -52,6 +55,7 @@ void FeatureMatrix::Append(int64_t i_id, int64_t v_id, const GrayRange& range,
     col.codes.resize((pos + 1) * col.stride, 0);
     col.lengths.push_back(static_cast<uint32_t>(len));
     col.present.push_back(it == features.end() ? 0 : 1);
+    col.code_sums.push_back(0);
     if (len > 0) {
       const double* src = it->second.values().data();
       std::copy_n(src, len, col.values.data() + pos * col.stride);
@@ -71,9 +75,12 @@ void FeatureMatrix::Append(int64_t i_id, int64_t v_id, const GrayRange& range,
         continue;  // the new row was coded by the requantize pass
       }
       uint8_t* codes = col.codes.data() + pos * col.stride;
+      uint32_t sum = 0;
       for (size_t i = 0; i < len; ++i) {
         codes[i] = QuantizeValue(src[i], col.qmin, col.qmax);
+        sum += codes[i];
       }
+      col.code_sums[pos] = sum;
     }
   }
 }
@@ -90,6 +97,10 @@ void FeatureMatrix::AppendLoaded(
     col.codes.resize((pos + 1) * col.stride, 0);
     col.lengths.push_back(in.length);
     col.present.push_back(in.present);
+    col.code_sums.push_back(
+        in.length > 0
+            ? std::accumulate(in.codes, in.codes + in.length, uint32_t{0})
+            : 0);
     if (in.length > 0) {
       std::copy_n(in.values, in.length, col.values.data() + pos * col.stride);
       std::copy_n(in.codes, in.length, col.codes.data() + pos * col.stride);
@@ -118,6 +129,7 @@ void FeatureMatrix::SwapRemove(size_t pos) {
       }
       col.lengths[pos] = col.lengths[last];
       col.present[pos] = col.present[last];
+      col.code_sums[pos] = col.code_sums[last];
     }
   }
   rows_.pop_back();
@@ -126,6 +138,7 @@ void FeatureMatrix::SwapRemove(size_t pos) {
     col.codes.resize(last * col.stride);
     col.lengths.pop_back();
     col.present.pop_back();
+    col.code_sums.pop_back();
   }
 }
 
@@ -136,6 +149,7 @@ void FeatureMatrix::Clear() {
     col.codes.clear();
     col.lengths.clear();
     col.present.clear();
+    col.code_sums.clear();
     col.qmin = 0.0;
     col.qmax = 0.0;
     col.quantized = false;

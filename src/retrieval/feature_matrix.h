@@ -63,6 +63,11 @@ class FeatureMatrix {
     /// qmin, qmax) for i < lengths[r]; the tail is zero. The coarse
     /// stage of a two-stage query scans these instead of the doubles.
     std::vector<uint8_t> codes;
+    /// Per-row sum of the codes over the row's length, maintained with
+    /// the shadow. The normalized-L1 coarse kernel reconstructs each
+    /// row's value sum as lengths[r] * qmin + step * code_sums[r]
+    /// without touching the codes a second time.
+    std::vector<uint32_t> code_sums;
     /// Affine quantization range: the min/max over every present value
     /// ever appended to this column. When an append extends the range
     /// the whole column is re-quantized, so the invariant above holds
@@ -131,7 +136,10 @@ class FeatureMatrix {
   /// Maps one value into the column's u8 code space: 0 for a degenerate
   /// range, else round(255 * (v - qmin) / (qmax - qmin)) clamped to
   /// [0, 255]. Deterministic — the persisted codes, the in-memory
-  /// shadow and the query-side coding all use exactly this function.
+  /// shadow and the query-side coding all use exactly this function
+  /// (it delegates to QuantizeCode in similarity/code_kernels.h, the
+  /// single definition the coarse kernels' error bounds are proved
+  /// against).
   static uint8_t QuantizeValue(double v, double qmin, double qmax);
 
  private:

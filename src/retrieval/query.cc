@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "retrieval/engine.h"
+#include "similarity/code_kernels.h"
 #include "similarity/dtw.h"
 #include "util/string_util.h"
 #include "similarity/normalizer.h"
@@ -120,7 +121,8 @@ bool RetrievalEngine::TwoStageEligible(const std::vector<FeatureKind>& kinds,
   if (!options_.two_stage || k == 0) return false;
   if (candidates < options_.two_stage_min_candidates) return false;
   // No pruning win when the coarse stage would keep everything anyway.
-  if (k * options_.two_stage_coarse_factor >= candidates) return false;
+  const size_t factor = std::max<size_t>(1, options_.two_stage_coarse_factor);
+  if (k * factor >= candidates) return false;
   // Batch normalizers (min-max, gaussian, rank) make every combined
   // score depend on the whole candidate set, so reranking a subset
   // could not reproduce the full-set scores bit-for-bit. Single-feature
@@ -136,24 +138,28 @@ bool RetrievalEngine::TwoStageEligible(const std::vector<FeatureKind>& kinds,
   return true;
 }
 
-std::vector<uint32_t> RetrievalEngine::CoarseSelect(
+RetrievalEngine::CoarseOutcome RetrievalEngine::CoarseSelect(
     const FeatureMap& query_features, const std::vector<uint32_t>& candidates,
     const std::vector<FeatureKind>& kinds, size_t keep) const {
-  // The coarse score is each kind's REAL metric (DistanceSpan) applied
-  // to values reconstructed from the 8-bit codes, fused with the same
-  // weights the exact path uses. Per-kind metrics differ wildly
-  // (normalized L1, Canberra, signature matching), so a generic
-  // code-space L1 would reorder candidates; reconstructing and reusing
-  // the extractor keeps the coarse order within quantization error of
-  // the exact order, and the keep = k * factor slack absorbs that
-  // error. The scan still only touches the compact u8 codes, which is
-  // where the memory-bandwidth win comes from.
+  // Each kind is scored by its integer code-space kernel
+  // (similarity/code_kernels.h): the query is quantized once here,
+  // candidate rows are scanned as raw u8 codes — no per-row
+  // dequantization buffer, no virtual dispatch in the row loop. Every
+  // kernel certifies |coarse - exact| <= slack per row, so each
+  // candidate c carries an interval [score_c - s_c, score_c + s_c]
+  // that provably contains its exact (unnormalized weighted) score.
+  // With theta = the keep-th smallest upper bound, every true top-keep
+  // row's lower bound is <= theta, so keeping exactly the candidates
+  // with lower <= theta (plus the rows no kernel can bound) preserves
+  // the exact top-k bit-for-bit through the rerank. Under kNone fusion
+  // the exact combined score is (sum w * d) / sum w — a positive
+  // rescale of the unnormalized sum scored here, so the survivor set
+  // is the same one the normalized intervals would produce.
+  CoarseOutcome out;
   struct CoarseKind {
-    const FeatureExtractor* extractor;
+    CodeKernelQuery prepared;
     const FeatureMatrix::Column* column;
-    const FeatureVector* query;
     double weight;  ///< fusion weight (1 for a single-kind query)
-    double step;    ///< dequantization step: (qmax - qmin) / 255
   };
   std::vector<CoarseKind> coarse;
   coarse.reserve(kinds.size());
@@ -171,63 +177,90 @@ std::vector<uint32_t> RetrievalEngine::CoarseSelect(
       if (weight <= 0) continue;  // Combine() skips zero-weight kinds
     }
     const FeatureMatrix::Column& col = matrix_.column(kind);
-    coarse.push_back(CoarseKind{extractor, &col, &q_it->second, weight,
-                                (col.qmax - col.qmin) / 255.0});
+    CoarseKind ck;
+    ck.column = &col;
+    ck.weight = weight;
+    if (!PrepareCodeKernelQuery(extractor->code_metric(),
+                                q_it->second.values().data(),
+                                q_it->second.size(), col.qmin, col.qmax,
+                                &ck.prepared)) {
+      // No kernel for this kind (or a precondition failed): no bound,
+      // no pruning — the exact scan handles the whole candidate set.
+      out.fallback = true;
+      return out;
+    }
+    coarse.push_back(std::move(ck));
+  }
+  if (coarse.empty()) {
+    out.fallback = true;
+    return out;
   }
 
   // Sharded exactly like RankExact's batch-distance stage: each shard
-  // writes a disjoint slice of `scores`, so the result is independent
-  // of the shard count (and of whether the pool ran anything inline).
+  // writes a disjoint slice, so the result is independent of the shard
+  // count (and of whether the pool ran anything inline).
   const size_t n = candidates.size();
   std::vector<double> scores(n, 0.0);
+  std::vector<double> slacks(n, 0.0);
+  std::vector<uint8_t> forced(n, 0);
   const size_t shards = NumRankShards(n);
   const size_t chunk = (n + shards - 1) / shards;
   RunSharded(shards, [&](size_t shard) {
     const size_t begin = shard * chunk;
     const size_t end = std::min(n, begin + chunk);
-    std::vector<double> dequant;  // per-shard scratch, reused across rows
-    for (size_t i = begin; i < end; ++i) {
-      const uint32_t row = candidates[i];
-      double s = 0.0;
-      for (const CoarseKind& ck : coarse) {
-        if (!ck.column->present[row]) {
-          // Mirror the exact path: a frame without this feature ranks
-          // last for it (DBL_MAX there, a huge finite penalty here so
-          // multi-kind sums stay ordered instead of overflowing).
-          s += ck.weight * 1e300;
-          continue;
-        }
-        const uint8_t* codes = ck.column->code_row(row);
-        const size_t len = ck.column->lengths[row];
-        dequant.resize(len);
-        for (size_t j = 0; j < len; ++j) {
-          dequant[j] =
-              ck.column->qmin + ck.step * static_cast<double>(codes[j]);
-        }
-        s += ck.weight *
-             ck.extractor->DistanceSpan(ck.query->values().data(),
-                                        ck.query->size(), dequant.data(),
-                                        len);
-      }
-      scores[i] = s;
+    if (begin >= end) return;
+    for (const CoarseKind& ck : coarse) {
+      CodeBatchSpan span;
+      span.codes = ck.column->codes.data();
+      span.stride = ck.column->stride;
+      span.lengths = ck.column->lengths.data();
+      span.code_sums = ck.column->code_sums.data();
+      span.present = ck.column->present.data();
+      span.rows = candidates.data() + begin;
+      span.count = end - begin;
+      span.weight = ck.weight;
+      span.score = scores.data() + begin;
+      span.slack = slacks.data() + begin;
+      span.forced = forced.data() + begin;
+      CodeKernelBatch(ck.prepared, span);
     }
   });
 
-  // Keep the best `keep` by coarse score; ties fall to i_id so the
-  // survivor set (and therefore the rerank input) is deterministic.
-  const FeatureMatrix& matrix = matrix_;
-  std::vector<uint32_t> order(n);
-  std::iota(order.begin(), order.end(), 0u);
-  const size_t top = std::min(keep, n);
-  std::partial_sort(order.begin(), order.begin() + static_cast<ptrdiff_t>(top),
-                    order.end(), [&](uint32_t a, uint32_t b) {
-                      if (scores[a] != scores[b]) return scores[a] < scores[b];
-                      return matrix.row(candidates[a]).i_id <
-                             matrix.row(candidates[b]).i_id;
-                    });
-  std::vector<uint32_t> out;
-  out.reserve(top);
-  for (size_t i = 0; i < top; ++i) out.push_back(candidates[order[i]]);
+  // Margin selection. The extra inflation headroom (relative plus
+  // absolute) swallows the floating-point noise of the selection
+  // arithmetic itself and of the exact path's own summation/division,
+  // so the real-arithmetic proof survives evaluation in doubles.
+  const size_t kf = std::min(keep, n);
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> uppers(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double s =
+        slacks[i] * (1.0 + 1e-9) + 1e-9 * (1.0 + std::fabs(scores[i]));
+    slacks[i] = s;
+    const double upper = scores[i] + s;
+    uppers[i] = forced[i] || !std::isfinite(upper) ? kInf : upper;
+  }
+  std::vector<double> order(uppers);
+  std::nth_element(order.begin(), order.begin() + static_cast<ptrdiff_t>(kf - 1),
+                   order.end());
+  const double theta = order[kf - 1];
+  out.survivors.reserve(kf);
+  for (size_t i = 0; i < n; ++i) {
+    // Forced rows and NaN scores fail the > comparison and stay in.
+    if (forced[i] || !(scores[i] - slacks[i] > theta)) {
+      out.survivors.push_back(candidates[i]);
+    }
+  }
+  if (out.survivors.size() >= n) {
+    // The margin kept every candidate (wide quantization range or a
+    // forced-heavy column): the "coarse" pass pruned nothing, so the
+    // rerank would just repeat the exact scan after paying for the
+    // code scan. Report a fallback instead.
+    out.survivors.clear();
+    out.fallback = true;
+    return out;
+  }
+  out.margin_kept = out.survivors.size() > kf ? out.survivors.size() - kf : 0;
   return out;
 }
 
@@ -235,13 +268,21 @@ Result<std::vector<QueryResult>> RetrievalEngine::Rank(
     const FeatureMap& query_features, const std::vector<uint32_t>& candidates,
     const std::vector<FeatureKind>& kinds, size_t k) const {
   if (TwoStageEligible(kinds, candidates.size(), k)) {
-    const std::vector<uint32_t> survivors = CoarseSelect(
-        query_features, candidates, kinds,
-        k * options_.two_stage_coarse_factor);
+    const size_t keep =
+        k * std::max<size_t>(1, options_.two_stage_coarse_factor);
+    CoarseOutcome outcome =
+        CoarseSelect(query_features, candidates, kinds, keep);
+    if (outcome.fallback) {
+      query_counters_.two_stage_fallbacks.fetch_add(1,
+                                                    std::memory_order_relaxed);
+      return RankExact(query_features, candidates, kinds, k);
+    }
     query_counters_.two_stage_queries.fetch_add(1, std::memory_order_relaxed);
-    query_counters_.coarse_candidates.fetch_add(survivors.size(),
+    query_counters_.coarse_candidates.fetch_add(outcome.survivors.size(),
                                                 std::memory_order_relaxed);
-    return RankExact(query_features, survivors, kinds, k);
+    query_counters_.margin_kept.fetch_add(outcome.margin_kept,
+                                          std::memory_order_relaxed);
+    return RankExact(query_features, outcome.survivors, kinds, k);
   }
   return RankExact(query_features, candidates, kinds, k);
 }
@@ -628,6 +669,10 @@ QueryStats RetrievalEngine::query_stats() const {
       query_counters_.two_stage_queries.load(std::memory_order_relaxed);
   stats.coarse_candidates =
       query_counters_.coarse_candidates.load(std::memory_order_relaxed);
+  stats.two_stage_fallbacks =
+      query_counters_.two_stage_fallbacks.load(std::memory_order_relaxed);
+  stats.margin_kept =
+      query_counters_.margin_kept.load(std::memory_order_relaxed);
   if (extraction_cache_ != nullptr) {
     const ExtractionCache::Stats cache = extraction_cache_->stats();
     stats.cache_hits = cache.hits;

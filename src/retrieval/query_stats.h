@@ -53,6 +53,16 @@ struct QueryStats {
   /// summed over two-stage queries (compare with candidates_scored to
   /// see how much exact-kernel work the coarse stage saved).
   uint64_t coarse_candidates = 0;
+  /// Eligible queries whose coarse stage could not prune and fell back
+  /// to the exact scan: a queried kind without a code kernel, a failed
+  /// kernel precondition, or an error margin wide enough to keep every
+  /// candidate. Disjoint from two_stage_queries — each eligible query
+  /// increments exactly one of the two.
+  uint64_t two_stage_fallbacks = 0;
+  /// Survivors beyond the k * factor keep target retained because
+  /// their certified score interval overlapped the cut — the price of
+  /// the bit-identical top-k guarantee, summed over two-stage queries.
+  uint64_t margin_kept = 0;
 };
 
 }  // namespace vr

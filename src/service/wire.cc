@@ -280,6 +280,11 @@ std::vector<uint8_t> EncodeStatsResponse(const ServiceStatsSnapshot& stats) {
   PutF64(&out, stats.query.extract_ms);
   PutF64(&out, stats.query.select_ms);
   PutF64(&out, stats.query.rank_ms);
+  // Optional tail (decoders tolerate its absence): the two-stage
+  // fallback counters added after the frame above was already in the
+  // field. Always appended going forward; new fields join this tail.
+  PutLe<uint64_t>(&out, stats.query.two_stage_fallbacks);
+  PutLe<uint64_t>(&out, stats.query.margin_kept);
   return out;
 }
 
@@ -333,6 +338,16 @@ Result<ServiceStatsSnapshot> DecodeStatsResponse(
       !reader.ReadF64(&stats.query.select_ms) ||
       !reader.ReadF64(&stats.query.rank_ms)) {
     return Truncated("stats response");
+  }
+  // Optional tail: a peer predating the two-stage fallback counters
+  // ends the payload here; the counters then stay zero. When the tail
+  // is present it must be complete — a half tail is corruption, not
+  // version skew.
+  if (!reader.AtEnd()) {
+    if (!reader.ReadU64(&stats.query.two_stage_fallbacks) ||
+        !reader.ReadU64(&stats.query.margin_kept)) {
+      return Truncated("stats response");
+    }
   }
   if (!reader.AtEnd()) {
     return Status::Corruption("trailing bytes after stats response");

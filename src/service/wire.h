@@ -43,7 +43,12 @@
 ///                    candidates_total, id_queries, cache_hits,
 ///                    cache_misses, two_stage_queries,
 ///                    coarse_candidates) |
-///                    3 * f64 query times (extract, select, rank ms)
+///                    3 * f64 query times (extract, select, rank ms) |
+///                    optional tail: 2 * u64 (two_stage_fallbacks,
+///                    margin_kept) — absent from peers predating the
+///                    code-space coarse kernels; decoders leave the
+///                    counters zero when the payload ends early, and
+///                    reject a partial tail as corruption
 ///   kShutdownRequest: (empty)
 ///   kShutdownResponse: u8 status_code=0
 ///   kErrorResponse:  u8 status_code | u32 msg_len | msg bytes

@@ -190,6 +190,8 @@ TEST(WireTest, StatsResponseRoundTrip) {
   stats.query.cache_misses = 11;
   stats.query.two_stage_queries = 7;
   stats.query.coarse_candidates = 280;
+  stats.query.two_stage_fallbacks = 3;
+  stats.query.margin_kept = 17;
   stats.query.extract_ms = 75.5;
   stats.query.select_ms = 0.25;
   stats.query.rank_ms = 31.0;
@@ -222,9 +224,32 @@ TEST(WireTest, StatsResponseRoundTrip) {
   EXPECT_EQ(decoded->query.cache_misses, 11u);
   EXPECT_EQ(decoded->query.two_stage_queries, 7u);
   EXPECT_EQ(decoded->query.coarse_candidates, 280u);
+  EXPECT_EQ(decoded->query.two_stage_fallbacks, 3u);
+  EXPECT_EQ(decoded->query.margin_kept, 17u);
   EXPECT_DOUBLE_EQ(decoded->query.extract_ms, 75.5);
   EXPECT_DOUBLE_EQ(decoded->query.select_ms, 0.25);
   EXPECT_DOUBLE_EQ(decoded->query.rank_ms, 31.0);
+}
+
+TEST(WireTest, StatsResponseToleratesLegacyPayloadWithoutTwoStageTail) {
+  ServiceStatsSnapshot stats;
+  stats.query.two_stage_queries = 7;
+  stats.query.two_stage_fallbacks = 3;
+  stats.query.margin_kept = 17;
+  std::vector<uint8_t> payload = EncodeStatsResponse(stats);
+  // A peer predating the code-space coarse kernels ends the payload
+  // right before the 16-byte (fallbacks, margin_kept) tail.
+  payload.resize(payload.size() - 16);
+  auto decoded = DecodeStatsResponse(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->query.two_stage_queries, 7u);
+  EXPECT_EQ(decoded->query.two_stage_fallbacks, 0u);
+  EXPECT_EQ(decoded->query.margin_kept, 0u);
+
+  // A half tail is no version skew — it is corruption.
+  std::vector<uint8_t> half = EncodeStatsResponse(stats);
+  half.resize(half.size() - 8);
+  EXPECT_FALSE(DecodeStatsResponse(half).ok());
 }
 
 TEST(WireTest, StatsResponseRejectsTruncation) {
