@@ -13,13 +13,13 @@
 
 #include <cstdio>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "eval/table1_runner.h"  // RemoveDirRecursive
 #include "retrieval/engine.h"
 #include "retrieval/ingest_pipeline.h"
 #include "util/stopwatch.h"
+#include "util/thread.h"
 #include "video/synth/generator.h"
 
 namespace {
@@ -102,7 +102,7 @@ RunResult RunPipeline(const std::vector<std::vector<vr::Image>>& corpus,
 
 int main(int argc, char** argv) {
   const std::string json_path = argc > 1 ? argv[1] : "BENCH_ingest.json";
-  const unsigned cpus = std::thread::hardware_concurrency();
+  const unsigned cpus = vr::Thread::HardwareConcurrency();
 
   std::printf("building corpus: %d synthetic videos...\n", kVideos);
   const auto corpus = BuildCorpus();

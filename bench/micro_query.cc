@@ -28,12 +28,12 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "eval/table1_runner.h"  // RemoveDirRecursive
 #include "retrieval/engine.h"
 #include "util/stopwatch.h"
+#include "util/thread.h"
 #include "video/synth/generator.h"
 
 namespace {
@@ -253,7 +253,7 @@ int main(int argc, char** argv) {
       json_path = argv[i];
     }
   }
-  const unsigned cpus = std::thread::hardware_concurrency();
+  const unsigned cpus = vr::Thread::HardwareConcurrency();
   const std::string dir = "/tmp/vretrieve_bench_query";
   const size_t target = smoke ? 32 : 512;
   const int max_videos = smoke ? 4 : 128;

@@ -1,5 +1,7 @@
 #!/usr/bin/env bash
 # The whole gate, in dependency order: docs consistency (no build),
+# vr-lint (project-invariant rules R1-R4 with must-fail probes; works
+# compiler-agnostic, degrades gracefully without python3),
 # static analysis (Clang thread-safety + clang-tidy; skips itself on
 # machines without clang), the plain build + full test suite, the
 # query-bench smoke run (its built-in serial-vs-sharded parity assert),
@@ -19,6 +21,7 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 
 scripts/check_docs.sh
+scripts/check_lint.sh
 scripts/check_static.sh
 
 cmake -B "$BUILD_DIR" -S . -G Ninja -DVR_WERROR=ON

@@ -15,6 +15,11 @@ cmake -B "$BUILD_DIR" -S . >/dev/null
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target \
   network_chaos_test wire_fuzz_test client_retry_test
 
+# Arm the runtime lock-order validator (vr-lint rule R3): chaos
+# schedules exercise rare teardown/retry interleavings where a
+# hierarchy inversion would otherwise hide.
+export VR_LOCK_ORDER_DEBUG=1
+
 VR_CHAOS_SEEDS="${VR_CHAOS_SEEDS:-16}" "$BUILD_DIR"/tests/network_chaos_test
 "$BUILD_DIR"/tests/wire_fuzz_test
 "$BUILD_DIR"/tests/client_retry_test

@@ -17,7 +17,11 @@ cmake -B "$BUILD_DIR" -S . \
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 
 export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
+# Arm the runtime lock-order validator (vr-lint rule R3): the TSan leg
+# already runs the heaviest concurrent schedules, so hierarchy
+# inversions surface here deterministically.
+export VR_LOCK_ORDER_DEBUG=1
 
 ctest --test-dir "$BUILD_DIR" --output-on-failure \
-  -R 'ThreadPool|Service|Wire|Concurrency|IngestPipeline|Chaos|Fuzz|Retry' "$@"
+  -R 'ThreadPool|Service|Wire|Concurrency|IngestPipeline|Chaos|Fuzz|Retry|LockOrder' "$@"
 echo "tsan run clean"

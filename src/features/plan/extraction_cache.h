@@ -98,7 +98,7 @@ class ExtractionCache {
 
   const size_t capacity_;
   const HashFn hash_;
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{LockLevel::kLeaf, "extraction_cache"};
   /// Front = most recently used.
   LruList lru_ GUARDED_BY(mutex_);
   /// Hash -> every slot with that hash (collisions chain here).

@@ -1,9 +1,9 @@
 #include "retrieval/engine.h"
 
 #include <algorithm>
-#include <thread>
 
 #include "util/logging.h"
+#include "util/thread.h"
 
 namespace vr {
 
@@ -80,13 +80,13 @@ Result<std::unique_ptr<RetrievalEngine>> RetrievalEngine::Open(
   // in (threshold > 0) and more than one worker would run.
   size_t rank_workers = options.rank_workers != 0
                             ? options.rank_workers
-                            : std::max(1u, std::thread::hardware_concurrency());
+                            : Thread::HardwareConcurrency();
   if (!options.rank_oversubscribe) {
     // More rank shards than cores is pure overhead (context switches on
     // a serial machine); cap at what the hardware can actually overlap.
     rank_workers = std::min(
         rank_workers,
-        static_cast<size_t>(std::max(1u, std::thread::hardware_concurrency())));
+        static_cast<size_t>(Thread::HardwareConcurrency()));
   }
   if (options.parallel_rank_threshold > 0 && rank_workers > 1) {
     ThreadPoolOptions pool_options;

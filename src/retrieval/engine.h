@@ -488,7 +488,7 @@ class RetrievalEngine {
   KeyFrameExtractor key_frames_;  ///< stateless after construction
   /// Guards index_, matrix_, cache_by_id_, scorer_ and store_ mutation:
   /// shared for queries, exclusive for ingest/remove/feedback.
-  mutable SharedMutex mutex_;
+  mutable SharedMutex mutex_{LockLevel::kEngine, "engine_rw"};
   RangeBucketIndex index_ GUARDED_BY(mutex_);
   CombinedScorer scorer_ GUARDED_BY(mutex_);
   /// The unique_ptr is set once in Open; the *store* behind it is
@@ -514,7 +514,7 @@ class RetrievalEngine {
   /// scratch (FFT twiddles, Gabor filter bank, arena) worth keeping
   /// across queries; the pool is a leaf mutex (never held while taking
   /// mutex_ or any pager lock).
-  mutable Mutex plan_mutex_;
+  mutable Mutex plan_mutex_{LockLevel::kLeaf, "engine_plan_pool"};
   mutable std::vector<std::unique_ptr<ExtractionPlan>> plan_pool_
       GUARDED_BY(plan_mutex_);
   /// Content-addressed feature cache for query frames; internally

@@ -144,9 +144,12 @@ Result<int64_t> RetrievalEngine::CommitPrepared(PreparedVideo video) {
   video_row.v_id = v_id;
   video_row.v_name = video.name;
   video_row.stream = EncodeStream(key_ids);
-  const std::time_t now = std::time(nullptr);
+  Env* env = options_.env != nullptr ? options_.env : Env::Default();
+  const std::time_t now = static_cast<std::time_t>(env->NowUnixSeconds());
   char date[32];
-  std::strftime(date, sizeof(date), "%Y-%m-%d", std::gmtime(&now));
+  std::tm utc{};
+  gmtime_r(&now, &utc);  // gmtime() proper keeps a shared static buffer
+  std::strftime(date, sizeof(date), "%Y-%m-%d", &utc);
   video_row.dostore = date;
   video_row.video = std::move(video.video_blob);
   VR_RETURN_NOT_OK(store_->PutVideo(video_row).status());

@@ -22,7 +22,7 @@ IngestPipeline::IngestPipeline(RetrievalEngine* engine,
                                IngestPipelineOptions options)
     : engine_(engine), options_(options) {
   if (options_.workers == 0) {
-    options_.workers = std::thread::hardware_concurrency();
+    options_.workers = Thread::HardwareConcurrency();
     if (options_.workers == 0) options_.workers = 1;
   }
   if (options_.max_in_flight == 0) {
@@ -38,7 +38,7 @@ IngestPipeline::IngestPipeline(RetrievalEngine* engine,
   pool_ = std::make_unique<ThreadPool>(pool_options);
 
   start_ = std::chrono::steady_clock::now();
-  committer_ = std::thread([this] { CommitterLoop(); });
+  committer_ = Thread([this] { CommitterLoop(); });
 }
 
 IngestPipeline::~IngestPipeline() { Finish(); }

@@ -47,11 +47,11 @@
 #include <map>
 #include <memory>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "retrieval/engine.h"
 #include "util/mutex.h"
+#include "util/thread.h"
 #include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
@@ -153,7 +153,7 @@ class IngestPipeline {
   /// progress counter below. ready_cv_ signals "a ticket landed in
   /// ready_ or finishing_ flipped"; capacity_cv_ signals "in-flight
   /// count dropped or finishing_ flipped".
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{LockLevel::kIngestPipeline, "ingest_pipeline"};
   CondVar ready_cv_;     ///< wakes the committer
   CondVar capacity_cv_;  ///< wakes blocked Submit calls
   /// Reorder buffer: prepared/failed videos keyed by ticket; the
@@ -168,7 +168,7 @@ class IngestPipeline {
   bool finished_ GUARDED_BY(mutex_) = false;
 
   std::chrono::steady_clock::time_point start_;
-  std::thread committer_;
+  Thread committer_;
 };
 
 }  // namespace vr

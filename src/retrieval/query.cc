@@ -97,7 +97,7 @@ void RetrievalEngine::RunSharded(
   // admission pattern as IngestPipeline), run shard 0 on the caller,
   // then wait. The latch mutex gives TSan the happens-before edges; the
   // tasks themselves only read state under the caller's shared lock.
-  Mutex done_mutex;
+  Mutex done_mutex{LockLevel::kLeaf, "rank_done"};
   CondVar done_cv;
   size_t done = 0;
   for (size_t shard = 1; shard < shards; ++shard) {

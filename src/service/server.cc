@@ -70,7 +70,7 @@ Result<std::unique_ptr<VrServer>> VrServer::Start(RetrievalService* service,
   }
   server->port_ = ntohs(bound.sin_port);
 
-  server->acceptor_ = std::thread([raw = server.get()] { raw->AcceptLoop(); });
+  server->acceptor_ = Thread([raw = server.get()] { raw->AcceptLoop(); });
   VR_LOG(Info) << "VrServer listening on " << server->options_.host << ":"
                << server->port_;
   return server;
@@ -98,7 +98,7 @@ void VrServer::AcceptLoop() {
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 
-    std::vector<std::thread> reap;
+    std::vector<Thread> reap;
     bool at_capacity = false;
     {
       MutexLock lock(mutex_);
@@ -106,7 +106,7 @@ void VrServer::AcceptLoop() {
       at_capacity = options_.max_connections > 0 &&
                     connections_.size() >= options_.max_connections;
     }
-    for (std::thread& t : reap) {
+    for (Thread& t : reap) {
       if (t.joinable()) t.join();
     }
 
@@ -127,7 +127,7 @@ void VrServer::AcceptLoop() {
     connections_.push_back(fd);
     const uint64_t id = next_conn_id_++;
     handlers_.emplace(
-        id, std::thread([this, fd, id] { HandleConnection(fd, id); }));
+        id, Thread([this, fd, id] { HandleConnection(fd, id); }));
   }
 }
 
@@ -242,8 +242,8 @@ void VrServer::Stop() {
   // EOF and handlers mid-request still write their response; handlers
   // refuse any further request (stopping_ is set). Then wait for the
   // connections to finish, bounded by drain_timeout_ms.
-  std::map<uint64_t, std::thread> handlers;
-  std::vector<std::thread> finished;
+  std::map<uint64_t, Thread> handlers;
+  std::vector<Thread> finished;
   {
     MutexLock lock(mutex_);
     for (int fd : connections_) ::shutdown(fd, SHUT_RD);
@@ -270,7 +270,7 @@ void VrServer::Stop() {
   for (auto& [id, t] : handlers) {
     if (t.joinable()) t.join();
   }
-  for (std::thread& t : finished) {
+  for (Thread& t : finished) {
     if (t.joinable()) t.join();
   }
   VR_LOG(Info) << "VrServer stopped";

@@ -28,12 +28,12 @@
 #include <map>
 #include <memory>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "service/service.h"
 #include "service/transport.h"
 #include "util/mutex.h"
+#include "util/thread.h"
 #include "util/thread_annotations.h"
 
 namespace vr {
@@ -108,7 +108,7 @@ class VrServer {
   uint16_t port_ = 0;
 
   std::atomic<bool> stopping_{false};
-  Mutex mutex_;
+  Mutex mutex_{LockLevel::kServer, "server_registry"};
   /// Signals "stop_requested_ or stopped_ flipped, or a connection
   /// finished" (the drain wait in Stop watches the latter).
   CondVar stopped_cv_;
@@ -119,10 +119,10 @@ class VrServer {
   /// Live handler threads keyed by connection serial. A handler moves
   /// its own entry to finished_ on exit; the acceptor reaps finished_
   /// so long-lived servers do not accumulate joined-out threads.
-  std::map<uint64_t, std::thread> handlers_ GUARDED_BY(mutex_);
-  std::vector<std::thread> finished_ GUARDED_BY(mutex_);
+  std::map<uint64_t, Thread> handlers_ GUARDED_BY(mutex_);
+  std::vector<Thread> finished_ GUARDED_BY(mutex_);
   uint64_t next_conn_id_ GUARDED_BY(mutex_) = 0;
-  std::thread acceptor_;
+  Thread acceptor_;
 };
 
 }  // namespace vr

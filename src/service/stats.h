@@ -41,7 +41,7 @@ class LatencyHistogram {
   /// Upper bound (exclusive) of bucket \p i in milliseconds. Filled in
   /// the constructor and immutable afterwards, hence unguarded.
   std::array<double, kNumBuckets> bounds_;
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{LockLevel::kLeaf, "latency_histogram"};
   std::array<uint64_t, kNumBuckets> counts_ GUARDED_BY(mutex_){};
   uint64_t total_ GUARDED_BY(mutex_) = 0;
 };

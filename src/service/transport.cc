@@ -105,7 +105,7 @@ Result<std::unique_ptr<SocketTransport>> SocketTransport::Connect(
 std::unique_ptr<SocketTransport> SocketTransport::Adopt(int fd) {
   // Best effort: if the fcntl fails the socket stays blocking, which
   // only weakens deadlines, not correctness.
-  SetNonBlocking(fd);
+  SetNonBlocking(fd).IgnoreError();  // best-effort: blocking socket still works
   return std::unique_ptr<SocketTransport>(new SocketTransport(fd));
 }
 

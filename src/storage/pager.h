@@ -170,7 +170,7 @@ class Pager {
   /// counters. path_, cache_capacity_ and format_version_ are set once
   /// in Open (before the pager is shared) and immutable afterwards, so
   /// they stay unguarded.
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{LockLevel::kPager, "pager"};
   std::string path_;
   std::unique_ptr<EnvFile> file_ GUARDED_BY(mutex_);
   uint32_t format_version_ = kPagerFormatCurrent;

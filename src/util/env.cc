@@ -1,5 +1,7 @@
 #include "util/env.h"
 
+#include <ctime>
+
 #include <sys/stat.h>
 #include <sys/types.h>
 #include <unistd.h>
@@ -188,8 +190,18 @@ Status Env::WriteFileAtomic(const std::string& path, const std::string& data) {
   return RenameFile(tmp, path);
 }
 
+int64_t Env::NowUnixSeconds() {
+  // The clock seam itself: the one place library code may read the
+  // wall clock directly.
+  return static_cast<int64_t>(
+      std::time(nullptr));  // vr-lint: allow(no-time-rand) Env is the clock seam
+}
+
 Env* Env::Default() {
-  static PosixEnv* env = new PosixEnv();
+  // Intentionally leaked process-wide singleton: storage objects may
+  // reference it from static destructors.
+  static PosixEnv* env =
+      new PosixEnv();  // vr-lint: allow(no-naked-new) leaky singleton by design
   return env;
 }
 

@@ -82,6 +82,12 @@ class Env {
   Status WriteFileAtomic(const std::string& path, const std::string& data);
   /// @}
 
+  /// Wall-clock seconds since the Unix epoch. This is the single
+  /// sanctioned clock seam in library code (vr-lint rule R4:
+  /// no-time-rand): routing timestamps through Env keeps them
+  /// substitutable in tests the same way file I/O already is.
+  virtual int64_t NowUnixSeconds();
+
   /// The process-wide POSIX environment.
   static Env* Default();
 };

@@ -1,0 +1,106 @@
+#include "util/lock_order.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace vr {
+namespace lock_order {
+namespace {
+
+// -1 = not yet initialized (consult the environment on first use).
+std::atomic<int> g_enforced{-1};
+
+bool InitFromEnvironment() {
+#ifdef VR_LOCK_ORDER_DEBUG
+  return true;
+#else
+  const char* env = std::getenv("VR_LOCK_ORDER_DEBUG");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+#endif
+}
+
+// Per-thread stack of held levels. Fixed capacity: the hierarchy has
+// six ranks and levels must strictly increase, so depth is bounded by
+// the rank count; 16 leaves slack for future levels.
+constexpr int kMaxHeld = 16;
+
+struct HeldStack {
+  int32_t levels[kMaxHeld];
+  const char* names[kMaxHeld];
+  int depth = 0;
+};
+
+thread_local HeldStack t_held;
+
+}  // namespace
+
+bool Enforced() {
+  int state = g_enforced.load(std::memory_order_relaxed);
+  if (state < 0) {
+    state = InitFromEnvironment() ? 1 : 0;
+    g_enforced.store(state, std::memory_order_relaxed);
+  }
+  return state == 1;
+}
+
+void SetEnforcedForTest(bool enforced) {
+  g_enforced.store(enforced ? 1 : 0, std::memory_order_relaxed);
+}
+
+void NoteAcquire(LockLevel level, const char* name) {
+  if (level == LockLevel::kUnranked || !Enforced()) return;
+  HeldStack& held = t_held;
+  const int32_t rank = static_cast<int32_t>(level);
+  if (held.depth > 0 && held.levels[held.depth - 1] >= rank) {
+    // Pre-abort diagnostic; the logger itself takes locks, so plain
+    // stderr is the only safe sink here.
+    std::fprintf(  // vr-lint: allow(no-printf) abort diagnostic
+        stderr,
+        "lock-order violation: acquiring '%s' (level %d) while holding "
+        "'%s' (level %d); the hierarchy requires strictly increasing "
+        "levels (docs/ARCHITECTURE.md § Lock hierarchy). Held stack:\n",
+        name, rank, held.names[held.depth - 1],
+        held.levels[held.depth - 1]);
+    for (int i = 0; i < held.depth; ++i) {
+      std::fprintf(  // vr-lint: allow(no-printf) abort diagnostic
+          stderr, "  [%d] '%s' level %d\n", i, held.names[i],
+          held.levels[i]);
+    }
+    std::abort();
+  }
+  if (held.depth >= kMaxHeld) {
+    std::fprintf(  // vr-lint: allow(no-printf) abort diagnostic
+        stderr,
+        "lock-order validator: held-stack overflow (depth %d) acquiring "
+        "'%s'\n",
+        held.depth, name);
+    std::abort();
+  }
+  held.levels[held.depth] = rank;
+  held.names[held.depth] = name;
+  ++held.depth;
+}
+
+void NoteRelease(LockLevel level) {
+  if (level == LockLevel::kUnranked || !Enforced()) return;
+  HeldStack& held = t_held;
+  const int32_t rank = static_cast<int32_t>(level);
+  for (int i = held.depth - 1; i >= 0; --i) {
+    if (held.levels[i] != rank) continue;
+    for (int j = i; j + 1 < held.depth; ++j) {
+      held.levels[j] = held.levels[j + 1];
+      held.names[j] = held.names[j + 1];
+    }
+    --held.depth;
+    return;
+  }
+  // Releasing a lock the validator never saw acquired: the validator
+  // was armed mid-run (between this lock's acquire and release).
+  // Harmless — ignore rather than abort.
+}
+
+int HeldDepth() { return t_held.depth; }
+
+}  // namespace lock_order
+}  // namespace vr

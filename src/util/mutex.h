@@ -29,6 +29,7 @@
 #include <condition_variable>
 #include <mutex>
 
+#include "util/lock_order.h"
 #include "util/thread_annotations.h"
 
 namespace vr {
@@ -36,18 +37,40 @@ namespace vr {
 /// \brief std::mutex as an annotated capability (BasicLockable, so
 /// std::unique_lock<vr::Mutex> and std::condition_variable_any work —
 /// but prefer MutexLock/CondVar, which the analysis understands).
+///
+/// Pass a LockLevel (and a diagnostic name) to rank the mutex in the
+/// documented lock hierarchy; ranked acquisitions are verified by the
+/// runtime lock-order validator (util/lock_order.h, vr-lint rule R3).
+/// Long-lived locks in src/ must be ranked; only scope-local scratch
+/// locks may stay kUnranked.
 class CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
+  explicit Mutex(LockLevel level, const char* name = "mutex")
+      : level_(level), name_(name) {}
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void lock() ACQUIRE() { inner_.lock(); }
-  void unlock() RELEASE() { inner_.unlock(); }
-  bool try_lock() TRY_ACQUIRE(true) { return inner_.try_lock(); }
+  void lock() ACQUIRE() {
+    // Validate (and abort) *before* blocking: reporting the ordering
+    // violation beats deadlocking on it.
+    lock_order::NoteAcquire(level_, name_);
+    inner_.lock();
+  }
+  void unlock() RELEASE() {
+    inner_.unlock();
+    lock_order::NoteRelease(level_);
+  }
+  bool try_lock() TRY_ACQUIRE(true) {
+    if (!inner_.try_lock()) return false;
+    lock_order::NoteAcquire(level_, name_);
+    return true;
+  }
 
  private:
   std::mutex inner_;
+  const LockLevel level_ = LockLevel::kUnranked;
+  const char* const name_ = "mutex";
 };
 
 /// \brief RAII exclusive hold of a vr::Mutex for one scope.

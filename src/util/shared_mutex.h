@@ -20,18 +20,27 @@
 #include <shared_mutex>
 #include <thread>
 
+#include "util/lock_order.h"
 #include "util/thread_annotations.h"
 
 namespace vr {
 
 /// \brief std::shared_mutex with writer preference.
+///
+/// Like vr::Mutex, takes an optional LockLevel (+ diagnostic name)
+/// ranking it in the lock hierarchy; both shared and exclusive
+/// acquisitions are then verified by the runtime lock-order validator
+/// (util/lock_order.h, vr-lint rule R3).
 class CAPABILITY("shared_mutex") SharedMutex {
  public:
   SharedMutex() = default;
+  explicit SharedMutex(LockLevel level, const char* name = "shared_mutex")
+      : level_(level), name_(name) {}
   SharedMutex(const SharedMutex&) = delete;
   SharedMutex& operator=(const SharedMutex&) = delete;
 
   void lock() ACQUIRE() {
+    lock_order::NoteAcquire(level_, name_);
     writers_waiting_.fetch_add(1, std::memory_order_acq_rel);
     // Scope guard: the queued-writer count must come back down even if
     // inner_.lock() throws (it may report resource/deadlock errors) —
@@ -40,11 +49,17 @@ class CAPABILITY("shared_mutex") SharedMutex {
     inner_.lock();
   }
   bool try_lock() TRY_ACQUIRE(true) {
-    return inner_.try_lock();
+    if (!inner_.try_lock()) return false;
+    lock_order::NoteAcquire(level_, name_);
+    return true;
   }
-  void unlock() RELEASE() { inner_.unlock(); }
+  void unlock() RELEASE() {
+    inner_.unlock();
+    lock_order::NoteRelease(level_);
+  }
 
   void lock_shared() ACQUIRE_SHARED() {
+    lock_order::NoteAcquire(level_, name_);
     // Back off while a writer is queued; the race where a writer
     // arrives just after the check only delays it by the readers
     // already admitted, never unboundedly.
@@ -55,9 +70,14 @@ class CAPABILITY("shared_mutex") SharedMutex {
   }
   bool try_lock_shared() TRY_ACQUIRE_SHARED(true) {
     if (writers_waiting_.load(std::memory_order_acquire) > 0) return false;
-    return inner_.try_lock_shared();
+    if (!inner_.try_lock_shared()) return false;
+    lock_order::NoteAcquire(level_, name_);
+    return true;
   }
-  void unlock_shared() RELEASE_SHARED() { inner_.unlock_shared(); }
+  void unlock_shared() RELEASE_SHARED() {
+    inner_.unlock_shared();
+    lock_order::NoteRelease(level_);
+  }
 
  private:
   struct WritersWaitingGuard {
@@ -71,6 +91,8 @@ class CAPABILITY("shared_mutex") SharedMutex {
 
   std::shared_mutex inner_;
   std::atomic<int> writers_waiting_{0};
+  const LockLevel level_ = LockLevel::kUnranked;
+  const char* const name_ = "shared_mutex";
 };
 
 /// \brief RAII shared (reader) hold of a SharedMutex for one scope.

@@ -52,8 +52,11 @@ std::ostream& operator<<(std::ostream& os, const Status& s) {
 namespace internal {
 
 void DieOnBadResult(const Status& status) {
-  std::fprintf(stderr, "Fatal: accessed value of errored Result: %s\n",
-               status.ToString().c_str());
+  // Pre-abort diagnostic: the logger may not be constructed (or may
+  // itself be the errored caller), so raw stderr is the safe sink.
+  std::fprintf(  // vr-lint: allow(no-printf) abort diagnostic
+      stderr, "Fatal: accessed value of errored Result: %s\n",
+      status.ToString().c_str());
   std::abort();
 }
 

@@ -46,7 +46,11 @@ const char* StatusCodeName(StatusCode code);
 /// \brief Result of a fallible operation: a code plus an optional message.
 ///
 /// A default-constructed Status is OK and carries no allocation.
-class Status {
+///
+/// The class is `[[nodiscard]]`: any call that returns a Status by
+/// value must be checked (or explicitly discarded via IgnoreError()),
+/// enforced tree-wide with -Werror=unused-result — vr-lint rule R1.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -118,6 +122,15 @@ class Status {
     return code_ == StatusCode::kPartialResult;
   }
 
+  /// Explicitly discards this status. The only sanctioned way to drop
+  /// a Status on the floor under vr-lint rule R1: write
+  ///
+  ///   DoThing().IgnoreError();  // best-effort: <why failure is fine>
+  ///
+  /// The trailing same-line comment is mandatory (vr-lint checks it),
+  /// so every deliberate swallow carries its justification in-place.
+  void IgnoreError() const {}
+
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;
 
@@ -136,8 +149,11 @@ std::ostream& operator<<(std::ostream& os, const Status& s);
 ///
 /// Accessing the value of an errored Result aborts, so check ok() (or use
 /// VR_ASSIGN_OR_RETURN) first.
+///
+/// Like Status, Result is `[[nodiscard]]` — silently dropping a
+/// Result discards both the value and the error (vr-lint rule R1).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value.
   Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)

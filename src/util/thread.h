@@ -1,0 +1,53 @@
+/// \file thread.h
+/// \brief vr::Thread — the project's thread handle (vr-lint rule R2).
+///
+/// Raw std::thread (like raw std::mutex) is banned outside src/util/:
+/// concurrency primitives must flow through the vr:: wrappers so the
+/// thread-safety and lock-order gates keep full coverage as the tree
+/// grows, and so a future scheduling seam (naming, affinity, test
+/// harness interception) has exactly one place to live. The wrapper is
+/// deliberately thin — construction starts the thread, join/joinable
+/// forward, and the destructor inherits std::thread's terminate-on-
+/// joinable contract (a silently detached thread is a bug we want
+/// loud).
+///
+/// Prefer ThreadPool for task-shaped work; reach for vr::Thread only
+/// for long-lived dedicated loops (acceptor, committer, handlers).
+
+#pragma once
+
+#include <thread>
+#include <utility>
+
+namespace vr {
+
+/// \brief Thin movable wrapper over std::thread.
+class Thread {
+ public:
+  Thread() = default;
+
+  /// Starts a thread running \p fn(args...).
+  template <typename Fn, typename... Args>
+  explicit Thread(Fn&& fn, Args&&... args)
+      : inner_(std::forward<Fn>(fn), std::forward<Args>(args)...) {}
+
+  Thread(Thread&&) = default;
+  Thread& operator=(Thread&&) = default;
+  Thread(const Thread&) = delete;
+  Thread& operator=(const Thread&) = delete;
+
+  bool joinable() const { return inner_.joinable(); }
+  void join() { inner_.join(); }
+
+  /// Number of hardware threads, never less than 1 (std::thread may
+  /// report 0 when the value is unknowable).
+  static unsigned HardwareConcurrency() {
+    const unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1u : n;
+  }
+
+ private:
+  std::thread inner_;
+};
+
+}  // namespace vr

@@ -42,12 +42,13 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues \p task without blocking. Returns false when the queue is
-  /// at capacity or the pool has been shut down; the task is dropped.
-  bool TrySubmit(std::function<void()> task);
+  /// at capacity or the pool has been shut down; the task is dropped —
+  /// callers must observe the rejection (vr-lint rule R1).
+  [[nodiscard]] bool TrySubmit(std::function<void()> task);
 
   /// Enqueues \p task, blocking while the queue is full. Returns false
   /// only when the pool has been shut down (the task is dropped).
-  bool Submit(std::function<void()> task);
+  [[nodiscard]] bool Submit(std::function<void()> task);
 
   /// Blocks until the queue is empty and every in-flight task finished.
   /// Tasks submitted concurrently with Drain may or may not be waited
@@ -71,7 +72,7 @@ class ThreadPool {
   /// protocol: not_empty_ signals a queue push or shutdown to workers,
   /// not_full_ signals a pop or shutdown to blocked Submit calls, and
   /// idle_ signals the drained-and-quiescent condition to Drain.
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{LockLevel::kThreadPool, "thread_pool"};
   CondVar not_empty_;   ///< signals workers
   CondVar not_full_;    ///< signals blocked Submit calls
   CondVar idle_;        ///< signals Drain

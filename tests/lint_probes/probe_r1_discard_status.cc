@@ -1,0 +1,36 @@
+// vr-lint must-fail probe, rule R1 (compile half): dropping a
+// [[nodiscard]] vr::Status / vr::Result / ThreadPool::TrySubmit result
+// must not compile under -Werror=unused-result.
+//
+// check_lint.sh compiles this file with -fsyntax-only and FAILS THE
+// GATE IF IT COMPILES CLEANLY.
+
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+vr::Status MightFail() { return vr::Status::IOError("probe"); }
+vr::Result<int> MightFailWithValue() { return vr::Status::IOError("probe"); }
+
+void DropsStatus() {
+  MightFail();  // BAD: Status silently discarded
+}
+
+void DropsResult() {
+  MightFailWithValue();  // BAD: Result (value *and* error) discarded
+}
+
+void DropsAdmission(vr::ThreadPool& pool) {
+  pool.TrySubmit([] {});  // BAD: queue-full rejection silently dropped
+}
+
+}  // namespace
+
+int main() {
+  vr::ThreadPool pool;
+  DropsStatus();
+  DropsResult();
+  DropsAdmission(pool);
+  return 0;
+}

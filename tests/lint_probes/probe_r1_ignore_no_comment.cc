@@ -1,0 +1,20 @@
+// vr-lint must-fail probe, rule R1 `ignore-needs-comment`: an
+// IgnoreError() call without a same-line justification comment must be
+// flagged. check_lint.sh FAILS THE GATE IF THE LINTER ACCEPTS THIS.
+
+#include "util/status.h"
+
+namespace {
+
+vr::Status MightFail() { return vr::Status::IOError("probe"); }
+
+void SwallowsSilently() {
+  MightFail().IgnoreError();
+}
+
+}  // namespace
+
+int main() {
+  SwallowsSilently();
+  return 0;
+}

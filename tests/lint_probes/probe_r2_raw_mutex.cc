@@ -1,0 +1,29 @@
+// vr-lint must-fail probe, rule R2 `raw-concurrency`: raw std
+// concurrency primitives outside src/util/ must be flagged — they are
+// invisible to the Clang thread-safety gate and the lock-order
+// validator. check_lint.sh FAILS THE GATE IF THE LINTER ACCEPTS THIS.
+
+#include <mutex>
+#include <thread>
+
+namespace {
+
+std::mutex g_raw_mutex;  // BAD: invisible to GUARDED_BY analysis
+int g_counter = 0;
+
+void RawPrimitives() {
+  std::lock_guard<std::mutex> guard(g_raw_mutex);  // BAD: raw guard
+  ++g_counter;
+}
+
+void RawThread() {
+  std::thread worker(RawPrimitives);  // BAD: use vr::Thread
+  worker.join();
+}
+
+}  // namespace
+
+int main() {
+  RawThread();
+  return g_counter == 0;
+}

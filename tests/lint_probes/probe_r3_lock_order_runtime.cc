@@ -1,0 +1,23 @@
+// vr-lint must-fail probe, rule R3 (runtime half): acquiring locks
+// against the documented hierarchy must abort under the lock-order
+// validator. check_lint.sh compiles this probe (with
+// src/util/lock_order.cc), runs it with VR_LOCK_ORDER_DEBUG=1 and
+// FAILS THE GATE IF IT EXITS CLEANLY — a clean exit means the
+// validator let a pager-before-engine inversion through.
+
+#include <cstdio>
+
+#include "util/mutex.h"
+
+int main() {
+  // The documented order is engine (20) before pager (40); take them
+  // inverted. NoteAcquire must abort before the second lock() blocks.
+  vr::Mutex pager_like(vr::LockLevel::kPager, "probe_pager");
+  vr::Mutex engine_like(vr::LockLevel::kEngine, "probe_engine");
+
+  vr::MutexLock hold_pager(pager_like);
+  vr::MutexLock hold_engine(engine_like);  // BAD: 20 after 40 — must abort
+
+  std::printf("lock-order probe: inversion was NOT caught\n");
+  return 0;
+}

@@ -1,0 +1,30 @@
+// vr-lint must-fail probe, rule R3 `unranked-lock`: a long-lived lock
+// member (trailing-underscore name) default-constructed — i.e. left
+// kUnranked, invisible to the lock-order validator — must be flagged.
+// check_lint.sh FAILS THE GATE IF THE LINTER ACCEPTS THIS.
+
+#include "util/mutex.h"
+#include "util/shared_mutex.h"
+
+namespace {
+
+class Subsystem {
+ public:
+  void Touch() {
+    vr::MutexLock lock(mutex_);
+    ++state_;
+  }
+
+ private:
+  vr::Mutex mutex_;  // BAD: no LockLevel — validator cannot rank it
+  vr::SharedMutex rw_mutex_;  // BAD: same, via the shared wrapper
+  int state_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Subsystem s;
+  s.Touch();
+  return 0;
+}

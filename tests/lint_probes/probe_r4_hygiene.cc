@@ -1,0 +1,29 @@
+// vr-lint must-fail probe, rule R4 hygiene bans: printf-family I/O
+// outside the logger, rand()/time()-seeded randomness outside vr::Rng,
+// and naked `new`. check_lint.sh FAILS THE GATE IF THE LINTER ACCEPTS
+// ANY OF THE THREE.
+
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+
+namespace {
+
+struct Widget {
+  int value = 0;
+};
+
+int HygieneViolations() {
+  std::srand(static_cast<unsigned>(std::time(nullptr)));  // BAD: no-time-rand
+  Widget* leaked = new Widget();  // BAD: no-naked-new
+  std::printf("widget %d\n", leaked->value);  // BAD: no-printf
+  const int draw = std::rand();  // BAD: no-time-rand
+  delete leaked;
+  return draw;
+}
+
+}  // namespace
+
+int main() {
+  return HygieneViolations() >= 0 ? 0 : 1;
+}

@@ -1,0 +1,230 @@
+/// Tests for the runtime lock-order validator (vr-lint rule R3):
+/// mechanics (monotone-level assertion, non-LIFO release, CondVar
+/// round-trips), death on inversion, and a clean run of the real
+/// engine ingest/query paths with the validator armed — the
+/// documented hierarchy must hold on the actual code, not just in
+/// ARCHITECTURE.md.
+
+#include "util/lock_order.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/table1_runner.h"  // RemoveDirRecursive
+#include "retrieval/engine.h"
+#include "retrieval/ingest_pipeline.h"
+#include "util/mutex.h"
+#include "util/shared_mutex.h"
+#include "video/synth/generator.h"
+
+namespace vr {
+namespace {
+
+/// Arms the validator for one test body and disarms it on exit, so
+/// suites sharing the binary are unaffected.
+class ArmValidator {
+ public:
+  ArmValidator() { lock_order::SetEnforcedForTest(true); }
+  ~ArmValidator() { lock_order::SetEnforcedForTest(false); }
+};
+
+TEST(LockOrderTest, InOrderAcquisitionIsCleanAndUnwinds) {
+  ArmValidator armed;
+  Mutex engine_like(LockLevel::kEngine, "t_engine");
+  Mutex pager_like(LockLevel::kPager, "t_pager");
+  Mutex leaf(LockLevel::kLeaf, "t_leaf");
+  {
+    MutexLock a(engine_like);
+    EXPECT_EQ(lock_order::HeldDepth(), 1);
+    MutexLock b(pager_like);
+    MutexLock c(leaf);
+    EXPECT_EQ(lock_order::HeldDepth(), 3);
+  }
+  EXPECT_EQ(lock_order::HeldDepth(), 0);
+}
+
+TEST(LockOrderTest, UnrankedLocksAreNotTracked) {
+  ArmValidator armed;
+  Mutex scratch;  // kUnranked
+  Mutex pager_like(LockLevel::kPager, "t_pager");
+  MutexLock a(pager_like);
+  MutexLock b(scratch);  // would be an inversion if it were ranked
+  EXPECT_EQ(lock_order::HeldDepth(), 1);
+}
+
+TEST(LockOrderTest, NonLifoReleaseIsTolerated) {
+  ArmValidator armed;
+  Mutex engine_like(LockLevel::kEngine, "t_engine");
+  Mutex pager_like(LockLevel::kPager, "t_pager");
+  engine_like.lock();
+  pager_like.lock();
+  engine_like.unlock();  // released out of LIFO order
+  EXPECT_EQ(lock_order::HeldDepth(), 1);
+  // The stack tracks the remaining hold correctly: a level above what
+  // is still held stays legal...
+  Mutex leaf_like(LockLevel::kLeaf, "t_leaf");
+  leaf_like.lock();
+  EXPECT_EQ(lock_order::HeldDepth(), 2);
+  leaf_like.unlock();
+  pager_like.unlock();
+  EXPECT_EQ(lock_order::HeldDepth(), 0);
+  // ...and once everything is released the lower level is fine again.
+  engine_like.lock();
+  EXPECT_EQ(lock_order::HeldDepth(), 1);
+  engine_like.unlock();
+  EXPECT_EQ(lock_order::HeldDepth(), 0);
+}
+
+TEST(LockOrderTest, SharedAcquisitionsAreRanked) {
+  ArmValidator armed;
+  SharedMutex rw(LockLevel::kEngine, "t_engine_rw");
+  Mutex pager_like(LockLevel::kPager, "t_pager");
+  {
+    ReaderMutexLock shared(rw);
+    MutexLock nested(pager_like);
+    EXPECT_EQ(lock_order::HeldDepth(), 2);
+  }
+  {
+    WriterMutexLock exclusive(rw);
+    EXPECT_EQ(lock_order::HeldDepth(), 1);
+  }
+  EXPECT_EQ(lock_order::HeldDepth(), 0);
+}
+
+TEST(LockOrderTest, TryLockParticipates) {
+  ArmValidator armed;
+  Mutex leaf(LockLevel::kLeaf, "t_leaf");
+  ASSERT_TRUE(leaf.try_lock());
+  EXPECT_EQ(lock_order::HeldDepth(), 1);
+  leaf.unlock();
+  EXPECT_EQ(lock_order::HeldDepth(), 0);
+}
+
+TEST(LockOrderTest, CondVarWaitReleasesAndReacquiresTheLevel) {
+  ArmValidator armed;
+  Mutex mu(LockLevel::kThreadPool, "t_cv_mutex");
+  CondVar cv;
+  MutexLock lock(mu);
+  // WaitFor goes through CondVar's release/reacquire path; on return
+  // the level must be held exactly once.
+  (void)cv.WaitFor(mu, std::chrono::milliseconds(1));
+  EXPECT_EQ(lock_order::HeldDepth(), 1);
+}
+
+TEST(LockOrderDeath, OutOfOrderAcquisitionAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        lock_order::SetEnforcedForTest(true);
+        Mutex pager_like(LockLevel::kPager, "t_pager");
+        Mutex engine_like(LockLevel::kEngine, "t_engine");
+        MutexLock outer(pager_like);
+        MutexLock inner(engine_like);  // 20 after 40: inversion
+      },
+      "lock-order violation");
+}
+
+TEST(LockOrderDeath, SameLevelNestingAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        lock_order::SetEnforcedForTest(true);
+        Mutex a(LockLevel::kLeaf, "t_leaf_a");
+        Mutex b(LockLevel::kLeaf, "t_leaf_b");
+        MutexLock outer(a);
+        MutexLock inner(b);  // equal levels may deadlock pairwise
+      },
+      "lock-order violation");
+}
+
+TEST(LockOrderDeath, DisarmedValidatorIgnoresInversion) {
+  // Control for the death tests above: same inversion, validator off,
+  // must run to completion.
+  lock_order::SetEnforcedForTest(false);
+  Mutex pager_like(LockLevel::kPager, "t_pager");
+  Mutex engine_like(LockLevel::kEngine, "t_engine");
+  MutexLock outer(pager_like);
+  MutexLock inner(engine_like);
+  EXPECT_EQ(lock_order::HeldDepth(), 0);
+}
+
+// ---------------------------------------------------------------
+// The real paths: engine ingest + queries + pipelined bulk ingest
+// must hold the documented hierarchy with the validator armed.
+// ---------------------------------------------------------------
+
+std::string FreshDir(const char* name) {
+  const std::string dir = testing::TempDir() + "/" + name;
+  RemoveDirRecursive(dir);
+  return dir;
+}
+
+EngineOptions FastOptions() {
+  EngineOptions options;
+  options.enabled_features = {FeatureKind::kColorHistogram,
+                              FeatureKind::kGlcm,
+                              FeatureKind::kNaiveSignature};
+  options.store_video_blob = false;
+  return options;
+}
+
+std::vector<Image> SmallVideo(VideoCategory category, uint64_t seed) {
+  SyntheticVideoSpec spec;
+  spec.category = category;
+  spec.width = 64;
+  spec.height = 48;
+  spec.num_scenes = 2;
+  spec.frames_per_scene = 6;
+  spec.seed = seed;
+  return GenerateVideoFrames(spec).value();
+}
+
+TEST(LockOrderEngineTest, IngestAndQueryPathsRunCleanUnderValidator) {
+  ArmValidator armed;
+  auto engine =
+      RetrievalEngine::Open(FreshDir("lock_order_engine"), FastOptions())
+          .value();
+  Result<int64_t> v_id =
+      engine->IngestFrames(SmallVideo(VideoCategory::kCartoon, 7), "a");
+  ASSERT_TRUE(v_id.ok()) << v_id.status();
+  ASSERT_TRUE(
+      engine->IngestFrames(SmallVideo(VideoCategory::kMovie, 8), "b").ok());
+
+  const auto frames = SmallVideo(VideoCategory::kCartoon, 9);
+  Result<std::vector<QueryResult>> results =
+      engine->QueryByImage(frames[0], 5);
+  ASSERT_TRUE(results.ok()) << results.status();
+  ASSERT_FALSE(results->empty());
+
+  // Warm-path query by stored id exercises the matrix + cache locks.
+  Result<std::vector<QueryResult>> by_id =
+      engine->QueryByStoredId((*results)[0].i_id, 3);
+  ASSERT_TRUE(by_id.ok()) << by_id.status();
+
+  ASSERT_TRUE(engine->RemoveVideo(*v_id).ok());
+  EXPECT_EQ(lock_order::HeldDepth(), 0);
+}
+
+TEST(LockOrderEngineTest, PipelinedBulkIngestRunsCleanUnderValidator) {
+  ArmValidator armed;
+  auto engine =
+      RetrievalEngine::Open(FreshDir("lock_order_pipe"), FastOptions())
+          .value();
+  IngestPipelineOptions options;
+  options.workers = 2;
+  IngestPipeline pipeline(engine.get(), options);
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    IngestJob job;
+    job.frames = SmallVideo(VideoCategory::kCartoon, seed);
+    job.name = "clip" + std::to_string(seed);
+    pipeline.Submit(std::move(job));
+  }
+  const auto& results = pipeline.Finish();
+  ASSERT_EQ(results.size(), 3u);
+  for (const auto& r : results) {
+    EXPECT_TRUE(r.ok()) << r.status();
+  }
+  EXPECT_EQ(lock_order::HeldDepth(), 0);
+}
+
+}  // namespace
+}  // namespace vr

@@ -42,7 +42,7 @@ TEST(PagerTest, AllocateWriteReadBack) {
     page_id = pager->Allocate(PageType::kSlotted).value();
     auto page = pager->Fetch(page_id).value();
     page->WriteAt<uint64_t>(64, 0xFEEDFACEULL);
-    pager->MarkDirty(page_id);
+    ASSERT_TRUE(pager->MarkDirty(page_id).ok());
     ASSERT_TRUE(pager->Flush().ok());
   }
   {
@@ -89,7 +89,7 @@ TEST(PagerTest, EvictionWritesDirtyPages) {
       const uint32_t id = pager->Allocate(PageType::kSlotted).value();
       auto page = pager->Fetch(id).value();
       page->WriteAt<uint32_t>(32, static_cast<uint32_t>(i));
-      pager->MarkDirty(id);
+      ASSERT_TRUE(pager->MarkDirty(id).ok());
       ids.push_back(id);
     }
     ASSERT_TRUE(pager->Flush().ok());
@@ -112,7 +112,7 @@ TEST(PagerTest, PinnedPagesSurviveEviction) {
   const uint32_t id = pager->Allocate(PageType::kSlotted).value();
   auto pinned = pager->Fetch(id).value();
   pinned->WriteAt<uint32_t>(16, 777);
-  pager->MarkDirty(id);
+  ASSERT_TRUE(pager->MarkDirty(id).ok());
   // Churn the cache.
   for (int i = 0; i < 32; ++i) {
     (void)pager->Allocate(PageType::kBlob).value();

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <type_traits>
+
 namespace vr {
 namespace {
 
@@ -112,6 +114,38 @@ TEST(ResultTest, AssignOrReturnPropagatesError) {
   int out = 123;
   EXPECT_TRUE(UsesAssignOrReturnError(&out).IsOutOfRange());
   EXPECT_EQ(out, 123);  // untouched
+}
+
+// vr-lint rule R1: Status is [[nodiscard]], and IgnoreError() is the
+// sanctioned explicit discard.
+
+Status AlwaysFails() { return Status::IOError("disk on fire"); }
+
+TEST(StatusTest, IgnoreErrorDiscardsExplicitly) {
+  // Compiles without an unused-result diagnostic (this TU builds under
+  // -Werror=unused-result like the rest of the tree) and leaves the
+  // status untouched for callers that still hold it.
+  AlwaysFails().IgnoreError();  // test: the discard idiom itself
+
+  Status st = AlwaysFails();
+  st.IgnoreError();  // test: usable on lvalues too
+  EXPECT_TRUE(st.IsIOError());
+  EXPECT_EQ(st.message(), "disk on fire");
+}
+
+TEST(StatusTest, IgnoreErrorOnOkStatusIsANoOp) {
+  const Status ok = Status::OK();
+  ok.IgnoreError();  // test: const-callable
+  EXPECT_TRUE(ok.ok());
+}
+
+TEST(StatusTest, StatusIsNodiscard) {
+  // Compile-time property, asserted via the type trait the attribute
+  // rides on; the must-fail probe (tests/lint_probes/
+  // probe_r1_discard_status.cc driven by scripts/check_lint.sh) proves
+  // the diagnostic actually fires on a dropped call.
+  static_assert(!std::is_void_v<decltype(AlwaysFails())>);
+  SUCCEED();
 }
 
 }  // namespace
