@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build-review/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(serve_cli_help "/root/repo/build-review/examples/serve_cli" "--help")
+set_tests_properties(serve_cli_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(ingest_admin_help "/root/repo/build-review/examples/ingest_admin" "--help")
+set_tests_properties(ingest_admin_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(search_cli_help "/root/repo/build-review/examples/search_cli" "--help")
+set_tests_properties(search_cli_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(search_cli_query_id "sh" "-c" "rm -rf query_id_smoke     && printf 'seed\\nquit\\n' | /root/repo/build-review/examples/search_cli query_id_smoke --create > /dev/null     && /root/repo/build-review/examples/search_cli query_id_smoke --query-id 1 5     && rm -rf query_id_smoke")
+set_tests_properties(search_cli_query_id PROPERTIES  WORKING_DIRECTORY "/root/repo/build-review/examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
